@@ -1,0 +1,54 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! proactive instance reuse, the Lambda memory→vCPU mapping, and the
+//! storage per-prefix bandwidth behind the serverless sort hindrance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{ablation_memory, ablation_prefix_bandwidth, ablation_reuse};
+
+fn bench_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-instance-reuse");
+    group.sample_size(10);
+    group.bench_function("reuse-vs-fresh", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(ablation_reuse(seed))
+        });
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-lambda-memory");
+    group.sample_size(10);
+    for mem in [885u32, 1769, 3538] {
+        group.bench_with_input(BenchmarkId::new("mb", mem), &mem, |b, &mem| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ablation_memory(seed, mem))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-prefix-bandwidth");
+    group.sample_size(10);
+    for bw_mb in [250u64, 500, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::new("mbps", bw_mb), &bw_mb, |b, &bw| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ablation_prefix_bandwidth(seed, bw as f64 * 1e6))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse, bench_memory, bench_prefix_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Calibration knobs for the cloud model.
+//!
+//! Defaults are calibrated so the microbenchmark shapes of the paper hold
+//! (see EXPERIMENTS.md): object storage saturates under a few GB/s of
+//! aggregate demand, Lambda sandboxes start in about a second, VMs boot
+//! from a pre-built AMI in about half a minute, and the managed analytics
+//! service takes about two minutes to spin up.
+
+use crate::pricing::{EmrTariff, LambdaTariff, S3Tariff};
+
+/// Object-storage model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageConfig {
+    /// Aggregate service throughput shared by all in-flight transfers,
+    /// bytes/s.
+    pub aggregate_bps: f64,
+    /// Throughput available under one top-level key prefix, bytes/s.
+    /// S3-like stores scale per prefix; an all-to-all exchange whose
+    /// pieces live under a single prefix saturates this — the resource
+    /// behind the paper's "serverless sort hindrance".
+    pub per_prefix_bps: f64,
+    /// Per-connection throughput cap, bytes/s (~85 MB/s is typical for a
+    /// single S3 GET stream).
+    pub per_conn_bps: f64,
+    /// Mean / std of GET time-to-first-byte, seconds.
+    pub get_latency: (f64, f64),
+    /// Mean / std of PUT first-byte latency, seconds.
+    pub put_latency: (f64, f64),
+    /// Mean / std of LIST latency, seconds.
+    pub list_latency: (f64, f64),
+    /// Admission rate for GET-class requests, requests/s (per-prefix rate
+    /// limits in real S3).
+    pub get_rate_per_sec: f64,
+    /// Admission rate for PUT-class requests, requests/s.
+    pub put_rate_per_sec: f64,
+    /// Request tariff.
+    pub tariff: S3Tariff,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            aggregate_bps: 30.0e9,
+            per_prefix_bps: 0.5e9,
+            per_conn_bps: 85.0e6,
+            get_latency: (0.025, 0.008),
+            put_latency: (0.035, 0.010),
+            list_latency: (0.040, 0.010),
+            get_rate_per_sec: 5500.0,
+            put_rate_per_sec: 3500.0,
+            tariff: S3Tariff {
+                usd_per_get: 0.0000004,
+                usd_per_put: 0.000005,
+                usd_per_list: 0.000005,
+            },
+        }
+    }
+}
+
+/// FaaS (cloud-function) model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaasConfig {
+    /// Client-to-control-plane invoke latency mean/std, seconds.
+    pub invoke_latency: (f64, f64),
+    /// Cold-start median, seconds (container fetch + runtime init).
+    pub cold_start_median: f64,
+    /// Cold-start log-normal sigma.
+    pub cold_start_sigma: f64,
+    /// Sandbox starts allowed immediately (burst concurrency).
+    pub burst: u32,
+    /// Sandbox start rate after the burst is exhausted, starts/s.
+    pub starts_per_sec: f64,
+    /// Sandbox NIC bandwidth, bytes/s.
+    pub sandbox_net_bps: f64,
+    /// Tariff (also defines the memory→vCPU mapping).
+    pub tariff: LambdaTariff,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        FaasConfig {
+            invoke_latency: (0.025, 0.008),
+            cold_start_median: 2.5,
+            cold_start_sigma: 0.35,
+            burst: 3000,
+            starts_per_sec: 500.0,
+            sandbox_net_bps: 100.0e6,
+            tariff: LambdaTariff::default(),
+        }
+    }
+}
+
+/// VM (EC2-like) model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmConfig {
+    /// Mean / std of boot time from a pre-built AMI, seconds.
+    pub boot: (f64, f64),
+    /// Mean / std of the post-boot agent/SSH setup, seconds.
+    pub setup: (f64, f64),
+    /// Seconds of billed time a terminate costs (deprovisioning tail).
+    pub terminate_secs: f64,
+    /// Minimum billed seconds per instance (AWS bills at least 60 s).
+    pub min_billed_secs: f64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            boot: (33.0, 3.5),
+            setup: (2.5, 0.5),
+            terminate_secs: 1.5,
+            min_billed_secs: 60.0,
+        }
+    }
+}
+
+/// Redis-like KV service parameters (runs on the master VM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvConfig {
+    /// Per-operation latency mean/std, seconds.
+    pub op_latency: (f64, f64),
+    /// Per-connection cap for KV transfers, bytes/s.
+    pub per_conn_bps: f64,
+    /// Throughput for host-local (same-VM, shared-memory) transfers,
+    /// bytes/s per flow.
+    pub local_bps: f64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            op_latency: (0.0008, 0.0002),
+            per_conn_bps: 600.0e6,
+            local_bps: 4.0e9,
+        }
+    }
+}
+
+/// Managed-analytics-service (EMR-Serverless-like) parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmrConfig {
+    /// Mean / std of application startup, seconds. Table 1 measures
+    /// 134.87 s end-to-end for 100×5 s of work, which is dominated by this.
+    pub startup: (f64, f64),
+    /// Worker vCPUs available with default execution parameters.
+    pub default_vcpus: u32,
+    /// GiB of memory per worker vCPU (billing).
+    pub gib_per_vcpu: f64,
+    /// Per-task dispatch overhead, seconds.
+    pub dispatch_overhead: f64,
+    /// Teardown, seconds.
+    pub teardown: (f64, f64),
+    /// Tariff.
+    pub tariff: EmrTariff,
+}
+
+impl Default for EmrConfig {
+    fn default() -> Self {
+        EmrConfig {
+            startup: (120.0, 6.0),
+            default_vcpus: 48,
+            gib_per_vcpu: 4.0,
+            dispatch_overhead: 0.25,
+            teardown: (4.0, 1.0),
+            tariff: EmrTariff::default(),
+        }
+    }
+}
+
+/// Top-level cloud model configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CloudConfig {
+    /// Object storage knobs.
+    pub storage: StorageConfig,
+    /// FaaS knobs.
+    pub faas: FaasConfig,
+    /// VM knobs.
+    pub vm: VmConfig,
+    /// KV knobs.
+    pub kv: KvConfig,
+    /// Managed-service knobs.
+    pub emr: EmrConfig,
+    /// Client (Lithops scheduler host) knobs.
+    pub client: ClientConfig,
+}
+
+/// The host that runs the framework client/scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientConfig {
+    /// Client NIC bandwidth, bytes/s.
+    pub net_bps: f64,
+    /// Client vCPUs (scheduler work runs here).
+    pub vcpus: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            net_bps: 1.25e9, // 10 Gbit/s in-region VM
+            vcpus: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_internally_consistent() {
+        let cfg = CloudConfig::default();
+        assert!(cfg.storage.per_conn_bps < cfg.storage.aggregate_bps);
+        assert!(cfg.faas.cold_start_median > 0.0);
+        assert!(cfg.vm.boot.0 > cfg.vm.setup.0);
+        assert!(cfg.kv.local_bps > cfg.kv.per_conn_bps);
+        assert!(cfg.emr.startup.0 > cfg.vm.boot.0);
+    }
+
+    #[test]
+    fn config_is_cloneable_and_comparable() {
+        let a = CloudConfig::default();
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.storage.aggregate_bps *= 2.0;
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! The managed-analytics-service model (EMR-Serverless-like).
+//!
+//! Table 1 of the paper compares a 100×5 s map across AWS Lambda, EC2 and
+//! EMR Serverless; the managed service loses badly (134.87 s) because of
+//! application startup. This module models exactly that shape: a long
+//! startup, a fixed default worker pool executing the map in waves, a
+//! teardown, and premium per-vCPU/GiB-second billing.
+//!
+//! Jobs are submitted through [`World::emr_submit`](crate::World::emr_submit)
+//! and complete as [`Notify::EmrDone`](crate::Notify::EmrDone).
+
+use std::fmt;
+
+use simkernel::{SimTime, SlotPool};
+
+/// Identifies a managed-service job within one [`World`](crate::World).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EmrJobId(u64);
+
+impl EmrJobId {
+    #[doc(hidden)]
+    pub fn from_index(index: u64) -> Self {
+        EmrJobId(index)
+    }
+
+    #[doc(hidden)]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EmrJobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "emr-job-{}", self.0)
+    }
+}
+
+/// Internal job state.
+#[derive(Debug)]
+pub(crate) struct EmrJob {
+    pub cpu_secs_per_task: f64,
+    pub vcpus: usize,
+    pub remaining: usize,
+    pub started: Option<SimTime>,
+    slots: SlotPool<()>,
+    queued: usize,
+}
+
+impl EmrJob {
+    pub(crate) fn new(tasks: usize, cpu_secs_per_task: f64, vcpus: usize) -> Self {
+        EmrJob {
+            cpu_secs_per_task,
+            vcpus,
+            remaining: tasks,
+            started: None,
+            slots: SlotPool::new(vcpus),
+            queued: tasks,
+        }
+    }
+
+    /// Submits every task; returns how many were admitted immediately.
+    pub(crate) fn start_all(&mut self) -> usize {
+        let mut admitted = 0;
+        for _ in 0..self.queued {
+            if self.slots.submit(()).is_some() {
+                admitted += 1;
+            }
+        }
+        self.queued = 0;
+        admitted
+    }
+
+    /// Marks one running task done; returns true if a queued task was
+    /// admitted in its place (the caller schedules its completion).
+    pub(crate) fn task_done(&mut self) -> bool {
+        self.remaining -= 1;
+        self.slots.release().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_form_when_tasks_exceed_vcpus() {
+        let mut job = EmrJob::new(100, 5.0, 48);
+        assert_eq!(job.start_all(), 48);
+        // First 48 finish; each admits a replacement until the queue
+        // drains (52 queued).
+        let mut replacements = 0;
+        for _ in 0..48 {
+            if job.task_done() {
+                replacements += 1;
+            }
+        }
+        assert_eq!(replacements, 48);
+        for _ in 0..48 {
+            if job.task_done() {
+                replacements += 1;
+            }
+        }
+        assert_eq!(replacements, 52);
+        for _ in 0..4 {
+            job.task_done();
+        }
+        assert_eq!(job.remaining, 0);
+    }
+
+    #[test]
+    fn small_job_fits_one_wave() {
+        let mut job = EmrJob::new(10, 1.0, 48);
+        assert_eq!(job.start_all(), 10);
+        for _ in 0..10 {
+            assert!(!job.task_done());
+        }
+        assert_eq!(job.remaining, 0);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(EmrJobId::from_index(2).to_string(), "emr-job-2");
+    }
+}

@@ -1,0 +1,117 @@
+//! Compute hosts.
+//!
+//! Both FaaS sandboxes and VMs present the same compute abstraction: a
+//! host with a number of vCPU slots, a speed factor, and a NIC. A VM
+//! host has `vcpus` integer slots at full speed; a sandbox host has a
+//! single slot whose speed is the fractional vCPU share its memory
+//! configuration buys (AWS allocates CPU proportionally to memory below
+//! 1769 MB).
+
+use std::fmt;
+
+use simkernel::SlotPool;
+use telemetry::FleetTag;
+
+use crate::ids::OpId;
+
+/// Identifies a host (sandbox or VM) within one
+/// [`World`](crate::World).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(u64);
+
+impl HostId {
+    #[doc(hidden)]
+    pub fn from_index(index: u64) -> Self {
+        HostId(index)
+    }
+
+    #[doc(hidden)]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// A compute job waiting for or occupying a slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingCompute {
+    pub op: OpId,
+    pub cpu_secs: f64,
+}
+
+/// Internal host state.
+#[derive(Debug)]
+pub(crate) struct Host {
+    /// vCPUs provisioned (can be fractional for sandboxes).
+    pub vcpus: f64,
+    /// Compute speed factor: wall time = cpu_secs / speed.
+    pub speed: f64,
+    /// NIC bandwidth in bytes/s; registered as the host's flow-group cap.
+    pub nic_bps: f64,
+    /// Compute slots.
+    pub slots: SlotPool<PendingCompute>,
+    /// Fleet for CPU-utilisation accounting; `None` for the client host.
+    pub fleet: Option<FleetTag>,
+    /// Whether the host can currently accept work.
+    pub alive: bool,
+}
+
+impl Host {
+    pub(crate) fn new(vcpus: f64, speed: f64, nic_bps: f64, fleet: Option<FleetTag>) -> Self {
+        assert!(vcpus > 0.0, "host needs positive vCPUs");
+        assert!(speed > 0.0, "host needs positive speed");
+        assert!(nic_bps > 0.0, "host needs positive NIC bandwidth");
+        let slot_count = (vcpus.floor() as usize).max(1);
+        Host {
+            vcpus,
+            speed,
+            nic_bps,
+            slots: SlotPool::new(slot_count),
+            fleet,
+            alive: false,
+        }
+    }
+
+    /// The busy-vCPU increment one running compute represents.
+    pub(crate) fn busy_equiv(&self) -> f64 {
+        // A VM slot runs at speed 1.0 and occupies one vCPU; a sandbox's
+        // single slot occupies its fractional share.
+        self.speed.min(self.vcpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_host_has_one_slot_per_vcpu() {
+        let host = Host::new(16.0, 1.0, 1e9, None);
+        assert_eq!(host.slots.capacity(), 16);
+        assert_eq!(host.busy_equiv(), 1.0);
+    }
+
+    #[test]
+    fn small_sandbox_has_single_fractional_slot() {
+        // A 443 MB sandbox: 0.25 vCPU, one slot, quarter speed.
+        let host = Host::new(0.25, 0.25, 1e8, None);
+        assert_eq!(host.slots.capacity(), 1);
+        assert_eq!(host.busy_equiv(), 0.25);
+    }
+
+    #[test]
+    fn display_host_id() {
+        assert_eq!(HostId::from_index(4).to_string(), "host-4");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive vCPUs")]
+    fn zero_vcpus_panics() {
+        Host::new(0.0, 1.0, 1e9, None);
+    }
+}

@@ -1,0 +1,266 @@
+//! The price list.
+//!
+//! On-demand us-east-1 prices as the paper quotes them (30 June 2024):
+//! a c5.4xlarge vCPU costs 0.12e-4 $/s while a Lambda vCPU-equivalent
+//! (1769 MB of memory) costs 0.28e-4 $/s — the 2.3× asymmetry the whole
+//! argument for serverful stateful stages rests on.
+
+/// An EC2-like instance type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceType {
+    /// API name, e.g. `"m4.4xlarge"`.
+    pub name: &'static str,
+    /// Number of vCPUs.
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub mem_gib: f64,
+    /// On-demand hourly price in dollars.
+    pub hourly_usd: f64,
+    /// Network baseline bandwidth in Gbit/s.
+    pub net_gbps: f64,
+}
+
+impl InstanceType {
+    /// Price per instance-second.
+    pub fn usd_per_second(&self) -> f64 {
+        self.hourly_usd / 3600.0
+    }
+
+    /// Price per vCPU-second.
+    pub fn usd_per_vcpu_second(&self) -> f64 {
+        self.usd_per_second() / self.vcpus as f64
+    }
+
+    /// NIC bandwidth in bytes/second.
+    pub fn net_bytes_per_sec(&self) -> f64 {
+        self.net_gbps * 1e9 / 8.0
+    }
+}
+
+/// The instance catalog used by the paper and by the sizing policy.
+/// Sorted by memory so the sizing policy can scan smallest-first.
+pub const CATALOG: &[InstanceType] = &[
+    InstanceType {
+        name: "c5.large",
+        vcpus: 2,
+        mem_gib: 4.0,
+        hourly_usd: 0.085,
+        net_gbps: 2.0,
+    },
+    InstanceType {
+        name: "c5.2xlarge",
+        vcpus: 8,
+        mem_gib: 16.0,
+        hourly_usd: 0.34,
+        net_gbps: 5.0,
+    },
+    InstanceType {
+        name: "c5.4xlarge",
+        vcpus: 16,
+        mem_gib: 32.0,
+        hourly_usd: 0.68,
+        net_gbps: 5.0,
+    },
+    InstanceType {
+        name: "m4.4xlarge",
+        vcpus: 16,
+        mem_gib: 64.0,
+        hourly_usd: 0.80,
+        net_gbps: 2.0,
+    },
+    InstanceType {
+        name: "r5.4xlarge",
+        vcpus: 16,
+        mem_gib: 128.0,
+        hourly_usd: 1.008,
+        net_gbps: 5.0,
+    },
+    InstanceType {
+        name: "r5.8xlarge",
+        vcpus: 32,
+        mem_gib: 256.0,
+        hourly_usd: 2.016,
+        net_gbps: 10.0,
+    },
+    InstanceType {
+        name: "r5.16xlarge",
+        vcpus: 64,
+        mem_gib: 512.0,
+        hourly_usd: 4.032,
+        net_gbps: 20.0,
+    },
+    InstanceType {
+        name: "m6a.32xlarge",
+        vcpus: 128,
+        mem_gib: 512.0,
+        hourly_usd: 5.5296,
+        net_gbps: 50.0,
+    },
+    InstanceType {
+        name: "r5.24xlarge",
+        vcpus: 96,
+        mem_gib: 768.0,
+        hourly_usd: 6.048,
+        net_gbps: 25.0,
+    },
+    InstanceType {
+        name: "u7i-12tb.224xlarge",
+        vcpus: 896,
+        mem_gib: 12288.0,
+        hourly_usd: 113.568,
+        net_gbps: 100.0,
+    },
+];
+
+/// The full instance catalog.
+pub fn catalog() -> &'static [InstanceType] {
+    CATALOG
+}
+
+/// Looks up an instance type by name.
+///
+/// # Example
+///
+/// ```
+/// let it = cloudsim::instance_type("c5.4xlarge").expect("in catalog");
+/// // The paper's quoted vCPU price: 0.12e-4 $/s.
+/// assert!((it.usd_per_vcpu_second() - 0.118e-4).abs() < 0.01e-4);
+/// ```
+pub fn instance_type(name: &str) -> Option<&'static InstanceType> {
+    CATALOG.iter().find(|it| it.name == name)
+}
+
+/// AWS Lambda tariff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LambdaTariff {
+    /// Dollars per GiB-second of configured memory.
+    pub usd_per_gib_second: f64,
+    /// Dollars per invocation.
+    pub usd_per_request: f64,
+    /// Memory that buys one full vCPU, in MB (AWS documents 1769 MB).
+    pub mb_per_vcpu: f64,
+}
+
+impl Default for LambdaTariff {
+    fn default() -> Self {
+        LambdaTariff {
+            usd_per_gib_second: 0.0000166667,
+            usd_per_request: 0.0000002,
+            mb_per_vcpu: 1769.0,
+        }
+    }
+}
+
+impl LambdaTariff {
+    /// The vCPU share a memory configuration buys (AWS allocates CPU
+    /// proportionally to memory).
+    pub fn vcpus_for_mb(&self, mem_mb: u32) -> f64 {
+        mem_mb as f64 / self.mb_per_vcpu
+    }
+
+    /// Cost of one sandbox running for `secs` with `mem_mb` of memory.
+    pub fn compute_usd(&self, mem_mb: u32, secs: f64) -> f64 {
+        let gib = mem_mb as f64 / 1024.0;
+        gib * secs * self.usd_per_gib_second
+    }
+
+    /// Effective price per vCPU-second at a memory configuration.
+    pub fn usd_per_vcpu_second(&self, mem_mb: u32) -> f64 {
+        self.compute_usd(mem_mb, 1.0) / self.vcpus_for_mb(mem_mb)
+    }
+}
+
+/// S3-like request tariff (data transfer within a region is free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct S3Tariff {
+    /// Dollars per GET request.
+    pub usd_per_get: f64,
+    /// Dollars per PUT request.
+    pub usd_per_put: f64,
+    /// Dollars per LIST request.
+    pub usd_per_list: f64,
+}
+
+impl Default for S3Tariff {
+    fn default() -> Self {
+        S3Tariff {
+            usd_per_get: 0.0000004,
+            usd_per_put: 0.000005,
+            usd_per_list: 0.000005,
+        }
+    }
+}
+
+/// EMR-Serverless-like managed tariff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmrTariff {
+    /// Dollars per worker vCPU-second.
+    pub usd_per_vcpu_second: f64,
+    /// Dollars per worker GiB-second of memory.
+    pub usd_per_gib_second: f64,
+}
+
+impl Default for EmrTariff {
+    fn default() -> Self {
+        EmrTariff {
+            usd_per_vcpu_second: 0.052624 / 3600.0,
+            usd_per_gib_second: 0.0057785 / 3600.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_by_memory() {
+        for pair in CATALOG.windows(2) {
+            assert!(
+                pair[0].mem_gib <= pair[1].mem_gib,
+                "{} before {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn paper_quoted_vcpu_prices_hold() {
+        // Paper Section 4.2: c5.4xlarge vCPU = 0.12e-4 $/s.
+        let c5 = instance_type("c5.4xlarge").unwrap();
+        assert!((c5.usd_per_vcpu_second() - 0.12e-4).abs() < 0.005e-4);
+        // Paper: Lambda at 1769 MB = 0.28e-4 $/s per vCPU.
+        let lambda = LambdaTariff::default();
+        assert!((lambda.usd_per_vcpu_second(1769) - 0.28e-4).abs() < 0.01e-4);
+        // The asymmetry that motivates the whole paper: ~2.3x.
+        let ratio = lambda.usd_per_vcpu_second(1769) / c5.usd_per_vcpu_second();
+        assert!((2.0..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn lambda_vcpu_mapping() {
+        let t = LambdaTariff::default();
+        assert!((t.vcpus_for_mb(1769) - 1.0).abs() < 1e-12);
+        assert!((t.vcpus_for_mb(3538) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_compute_cost_scales_with_memory_and_time() {
+        let t = LambdaTariff::default();
+        let one = t.compute_usd(1024, 10.0);
+        assert!((one - 10.0 * 0.0000166667).abs() < 1e-12);
+        assert!((t.compute_usd(2048, 10.0) - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instance_lookup_misses_gracefully() {
+        assert!(instance_type("nope.large").is_none());
+    }
+
+    #[test]
+    fn net_bandwidth_converts_to_bytes() {
+        let it = instance_type("m4.4xlarge").unwrap();
+        assert_eq!(it.net_bytes_per_sec(), 2.0e9 / 8.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Small modelling utilities shared across services.
+
+use simkernel::{SimDuration, SimTime};
+
+/// A serialising rate limiter: admissions are spaced at least `1/rate`
+/// apart. Models per-prefix request-rate limits on the storage service
+/// and client-side API call pacing.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::util::RateLimiter;
+/// use simkernel::SimTime;
+///
+/// let mut rl = RateLimiter::per_second(10.0); // one admission per 100 ms
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(rl.admit(t0).as_secs_f64(), 0.0);
+/// assert_eq!(rl.admit(t0).as_secs_f64(), 0.1);
+/// assert_eq!(rl.admit(t0).as_secs_f64(), 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    gap: SimDuration,
+    next_free: SimTime,
+}
+
+impl RateLimiter {
+    /// Creates a limiter admitting `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn per_second(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        RateLimiter {
+            gap: SimDuration::from_secs_f64(1.0 / rate),
+            next_free: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the admission time for a request arriving at `now` and
+    /// reserves the slot.
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.next_free);
+        self.next_free = start + self.gap;
+        start
+    }
+}
+
+/// A token bucket: `burst` immediate admissions, refilled at `rate`
+/// per second. Models FaaS burst-concurrency scaling.
+///
+/// # Example
+///
+/// ```
+/// use cloudsim::util::TokenBucket;
+/// use simkernel::SimTime;
+///
+/// let mut tb = TokenBucket::new(2.0, 1.0); // burst 2, +1 token/s
+/// let t0 = SimTime::ZERO;
+/// assert_eq!(tb.admit(t0).as_secs_f64(), 0.0);
+/// assert_eq!(tb.admit(t0).as_secs_f64(), 0.0);
+/// assert_eq!(tb.admit(t0).as_secs_f64(), 1.0); // waits for refill
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    rate: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with `capacity` burst tokens refilled at `rate`
+    /// tokens per second. The bucket starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `rate` is not positive and finite.
+    pub fn new(capacity: f64, rate: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        TokenBucket {
+            capacity,
+            rate,
+            tokens: capacity,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the time at which one token is available for a request
+    /// arriving at `now`, consuming it. Tokens may run into deficit; the
+    /// deficit expresses the backlog of admissions already promised.
+    /// Arrivals that predate an earlier arrival (possible because callers
+    /// add jittered latencies) are treated as arriving at the later time.
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        let now = now.max(self.last);
+        // Refill for the elapsed interval, clamped at capacity.
+        let dt = (now - self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.capacity);
+        self.last = now;
+        self.tokens -= 1.0;
+        if self.tokens >= 0.0 {
+            now
+        } else {
+            now + SimDuration::from_secs_f64(-self.tokens / self.rate)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn rate_limiter_spaces_admissions() {
+        let mut rl = RateLimiter::per_second(2.0);
+        assert_eq!(rl.admit(t(0.0)), t(0.0));
+        assert_eq!(rl.admit(t(0.0)), t(0.5));
+        assert_eq!(rl.admit(t(0.0)), t(1.0));
+        // A late arrival is not penalised.
+        assert_eq!(rl.admit(t(10.0)), t(10.0));
+    }
+
+    #[test]
+    fn token_bucket_burst_then_rate() {
+        let mut tb = TokenBucket::new(3.0, 2.0);
+        assert_eq!(tb.admit(t(0.0)), t(0.0));
+        assert_eq!(tb.admit(t(0.0)), t(0.0));
+        assert_eq!(tb.admit(t(0.0)), t(0.0));
+        // Burst exhausted: next admissions at +0.5 s each.
+        assert_eq!(tb.admit(t(0.0)), t(0.5));
+        assert_eq!(tb.admit(t(0.5)), t(1.0));
+    }
+
+    #[test]
+    fn token_bucket_refills_up_to_capacity() {
+        let mut tb = TokenBucket::new(2.0, 1.0);
+        tb.admit(t(0.0));
+        tb.admit(t(0.0));
+        // After 100 s only 2 tokens are back (capacity).
+        assert_eq!(tb.admit(t(100.0)), t(100.0));
+        assert_eq!(tb.admit(t(100.0)), t(100.0));
+        assert_eq!(tb.admit(t(100.0)), t(101.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        RateLimiter::per_second(0.0);
+    }
+}

@@ -1,0 +1,1168 @@
+//! The simulated cloud region.
+//!
+//! [`World`] owns the event queue and every service model. Frameworks
+//! drive it with an issue-then-pump pattern:
+//!
+//! 1. issue asynchronous operations (`get_object`, `compute`,
+//!    `vm_provision`, ...), each returning a handle;
+//! 2. call [`World::step`] repeatedly; internal events (bandwidth-pool
+//!    ticks, admissions, boots) are processed silently and completed
+//!    operations surface as [`Notify`] values in virtual-time order.
+//!
+//! Billing flows into a [`telemetry::CostLedger`] and CPU occupancy into
+//! a [`telemetry::CpuMonitor`], both owned by the world.
+
+use std::collections::{HashMap, VecDeque};
+
+use simkernel::fair_share::FlowId;
+use simkernel::{EventQueue, EventToken, FairShare, SimDuration, SimRng, SimTime};
+use telemetry::{CostCategory, CostLedger, CpuMonitor, FleetTag};
+
+use crate::config::CloudConfig;
+use crate::emr::{EmrJob, EmrJobId};
+use crate::host::{Host, HostId, PendingCompute};
+use crate::ids::{KvId, OpId, SandboxId, VmId};
+use crate::pricing::InstanceType;
+use crate::store::{ObjectBody, ObjectStore};
+use crate::util::{RateLimiter, TokenBucket};
+
+/// A completion surfaced by [`World::step`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Notify {
+    /// An asynchronous operation finished.
+    Op {
+        /// The handle returned when the operation was issued.
+        op: OpId,
+        /// What happened.
+        outcome: OpOutcome,
+    },
+    /// A FaaS sandbox finished its cold start and is executing.
+    SandboxUp {
+        /// The sandbox.
+        sandbox: SandboxId,
+    },
+    /// A VM finished booting and is ready for work.
+    VmUp {
+        /// The VM.
+        vm: VmId,
+    },
+    /// A timer set with [`World::timer`] fired.
+    Timer {
+        /// The caller-chosen tag.
+        tag: u64,
+    },
+    /// A managed-service job finished (all tasks done, application torn
+    /// down).
+    EmrDone {
+        /// The job.
+        job: EmrJobId,
+    },
+}
+
+/// The result of a completed operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OpOutcome {
+    /// Object stored.
+    PutOk,
+    /// Object fetched.
+    GetOk {
+        /// The object body (real bytes or opaque size).
+        body: ObjectBody,
+    },
+    /// GET on a key that does not exist.
+    GetMissing,
+    /// Keys matching the listed prefix, in lexicographic order.
+    ListOk {
+        /// Matching keys.
+        keys: Vec<String>,
+    },
+    /// Object deleted (or did not exist).
+    DeleteOk,
+    /// Compute segment finished.
+    ComputeOk,
+    /// Sleep elapsed.
+    SleepOk,
+    /// KV write (put/push) applied.
+    KvOk,
+    /// KV read (get/pop) result; `None` if the key/queue was empty.
+    KvValue {
+        /// The value, if present.
+        body: Option<ObjectBody>,
+    },
+    /// Host-to-host transfer finished.
+    TransferOk,
+}
+
+/// Internal events.
+#[derive(Debug)]
+enum Ev {
+    StorageStart { op: OpId },
+    StorageTick,
+    VpcStart { op: OpId },
+    VpcTick,
+    KvStart { op: OpId },
+    KvTick { kv: KvId },
+    ComputeDone { host: HostId, op: OpId },
+    SleepDone { op: OpId },
+    SandboxUp { sandbox: SandboxId },
+    VmUp { vm: VmId },
+    Timer { tag: u64 },
+    EmrUp { job: EmrJobId },
+    EmrTaskDone { job: EmrJobId },
+    EmrTorn { job: EmrJobId },
+}
+
+/// What to do when a storage/KV flow completes.
+#[derive(Debug)]
+enum FlowDone {
+    Get { op: OpId, body: ObjectBody },
+    Put {
+        op: OpId,
+        bucket: String,
+        key: String,
+        body: ObjectBody,
+    },
+    KvValue { op: OpId, body: ObjectBody },
+    KvPut { op: OpId, kv: KvId, key: String, body: ObjectBody },
+    KvPush { op: OpId, kv: KvId, queue: String, body: ObjectBody },
+    TransferDone { op: OpId },
+}
+
+/// Pending operation state between issue and completion.
+#[derive(Debug)]
+enum OpKind {
+    Get { from: HostId, bucket: String, key: String },
+    Put { from: HostId, bucket: String, key: String, body: ObjectBody },
+    List { bucket: String, prefix: String },
+    Delete { bucket: String, key: String },
+    Compute,
+    Sleep,
+    KvPut { from: HostId, kv: KvId, key: String, body: ObjectBody },
+    KvGet { from: HostId, kv: KvId, key: String },
+    KvPush { from: HostId, kv: KvId, queue: String, body: ObjectBody },
+    KvPop { from: HostId, kv: KvId, queue: String },
+    Transfer { from: HostId, to: HostId, bytes: u64 },
+}
+
+#[derive(Debug)]
+struct Sandbox {
+    host: HostId,
+    mem_mb: u32,
+    started: Option<SimTime>,
+    released: bool,
+    fleet: FleetTag,
+}
+
+#[derive(Debug)]
+struct Vm {
+    host: HostId,
+    itype: InstanceType,
+    up_at: Option<SimTime>,
+    terminated: bool,
+    fleet: FleetTag,
+}
+
+#[derive(Debug)]
+struct Kv {
+    host: HostId,
+    pool: FairShare,
+    tick: Option<EventToken>,
+    flows: HashMap<FlowId, FlowDone>,
+    data: HashMap<String, ObjectBody>,
+    queues: HashMap<String, VecDeque<ObjectBody>>,
+}
+
+/// The simulated cloud region. See the [module docs](self).
+#[derive(Debug)]
+pub struct World {
+    cfg: CloudConfig,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    outbox: VecDeque<Notify>,
+
+    // Object storage.
+    store: ObjectStore,
+    st_pool: FairShare,
+    st_tick: Option<EventToken>,
+    st_flows: HashMap<FlowId, FlowDone>,
+    st_get_rl: RateLimiter,
+    st_put_rl: RateLimiter,
+    prefix_groups: HashMap<String, u64>,
+
+    // Direct host-to-host transfers (cluster shuffle traffic).
+    vpc_pool: FairShare,
+    vpc_tick: Option<EventToken>,
+    vpc_flows: HashMap<FlowId, FlowDone>,
+
+    // Hosts / sandboxes / VMs / KV.
+    hosts: Vec<Host>,
+    client: HostId,
+    sandboxes: Vec<Sandbox>,
+    faas_bucket: TokenBucket,
+    vms: Vec<Vm>,
+    kvs: Vec<Kv>,
+    emr_jobs: Vec<EmrJob>,
+
+    // Op bookkeeping.
+    ops: HashMap<OpId, OpKind>,
+    next_op: u64,
+    /// Host-local KV transfers finishing after a plain delay.
+    local_finishers: HashMap<OpId, FlowDone>,
+
+    // Telemetry.
+    ledger: CostLedger,
+    cpu: CpuMonitor,
+    fleets: HashMap<String, FleetTag>,
+    bill_label: String,
+}
+
+impl World {
+    /// Creates a region from a configuration and a deterministic seed.
+    pub fn new(cfg: CloudConfig, seed: u64) -> World {
+        let mut st_pool = FairShare::new(cfg.storage.aggregate_bps, cfg.storage.per_conn_bps);
+        let mut hosts = Vec::new();
+        let client_host = Host::new(cfg.client.vcpus as f64, 1.0, cfg.client.net_bps, None);
+        st_pool.set_group_cap(0, client_host.nic_bps);
+        let mut vpc_pool = FairShare::new(f64::INFINITY, 1.25e9);
+        vpc_pool.set_group_cap(0, client_host.nic_bps);
+        hosts.push(client_host);
+        hosts[0].alive = true;
+        let faas_bucket = TokenBucket::new(cfg.faas.burst as f64, cfg.faas.starts_per_sec);
+        let st_get_rl = RateLimiter::per_second(cfg.storage.get_rate_per_sec);
+        let st_put_rl = RateLimiter::per_second(cfg.storage.put_rate_per_sec);
+        World {
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(seed),
+            outbox: VecDeque::new(),
+            store: ObjectStore::new(),
+            st_pool,
+            st_tick: None,
+            st_flows: HashMap::new(),
+            st_get_rl,
+            st_put_rl,
+            prefix_groups: HashMap::new(),
+            vpc_pool,
+            vpc_tick: None,
+            vpc_flows: HashMap::new(),
+            hosts,
+            client: HostId::from_index(0),
+            sandboxes: Vec::new(),
+            faas_bucket,
+            vms: Vec::new(),
+            kvs: Vec::new(),
+            emr_jobs: Vec::new(),
+            ops: HashMap::new(),
+            next_op: 0,
+            local_finishers: HashMap::new(),
+            ledger: CostLedger::new(),
+            cpu: CpuMonitor::new(),
+            fleets: HashMap::new(),
+            bill_label: String::new(),
+            cfg,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The host the framework client (scheduler) runs on.
+    pub fn client_host(&self) -> HostId {
+        self.client
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> &CloudConfig {
+        &self.cfg
+    }
+
+    /// Read access to the object store (for tests and result collection
+    /// outside the timed path).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Inserts an object directly, bypassing the timing and billing
+    /// models. For experiment setup (pre-loading input datasets), never
+    /// for the measured path.
+    pub fn seed_object(&mut self, bucket: &str, key: &str, body: ObjectBody) {
+        self.store.put(bucket, key, body);
+    }
+
+    /// The billing ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Mutable billing ledger (e.g. to reset between warm-up and
+    /// measurement).
+    pub fn ledger_mut(&mut self) -> &mut CostLedger {
+        &mut self.ledger
+    }
+
+    /// The CPU monitor.
+    pub fn cpu_monitor(&self) -> &CpuMonitor {
+        &self.cpu
+    }
+
+    /// Mutable CPU monitor (frameworks add their scheduler occupancy).
+    pub fn cpu_monitor_mut(&mut self) -> &mut CpuMonitor {
+        &mut self.cpu
+    }
+
+    /// Registers (or fetches) a fleet tag by name for CPU accounting.
+    pub fn fleet(&mut self, name: &str) -> FleetTag {
+        if let Some(&tag) = self.fleets.get(name) {
+            return tag;
+        }
+        let tag = self.cpu.register(name);
+        self.fleets.insert(name.to_owned(), tag);
+        tag
+    }
+
+    /// Sets the label attached to subsequent billing entries (typically
+    /// the current job/stage name).
+    pub fn set_bill_label(&mut self, label: impl Into<String>) {
+        self.bill_label = label.into();
+    }
+
+    /// Advances the simulation until something noteworthy happens.
+    /// Internal events are handled silently. Returns `None` when the
+    /// simulation has fully drained.
+    pub fn step(&mut self) -> Option<(SimTime, Notify)> {
+        loop {
+            if let Some(n) = self.outbox.pop_front() {
+                return Some((self.queue.now(), n));
+            }
+            let (t, ev) = self.queue.next()?;
+            self.handle(ev, t);
+        }
+    }
+
+    /// True when no events or notifications are pending.
+    pub fn is_idle(&mut self) -> bool {
+        self.outbox.is_empty() && self.queue.peek_time().is_none()
+    }
+
+    /// vCPUs of a host.
+    pub fn host_vcpus(&self, host: HostId) -> f64 {
+        self.hosts[host.index() as usize].vcpus
+    }
+
+    /// Adjusts a host's busy-vCPU accounting by a *fraction* of one
+    /// task's share. Frameworks use this to model the (de)serialisation
+    /// CPU that user code burns while overlapping storage I/O ("reads
+    /// and writes are parallelized to overlap (de)serialization with
+    /// I/O"). No scheduling effect — accounting only.
+    pub fn task_io_busy(&mut self, host: HostId, delta_fraction: f64) {
+        let h = &self.hosts[host.index() as usize];
+        if let Some(fleet) = h.fleet {
+            let delta = delta_fraction * h.busy_equiv();
+            let now = self.queue.now();
+            self.cpu.add_busy(fleet, now, delta);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object storage operations
+    // ------------------------------------------------------------------
+
+    /// Starts an asynchronous GET from `from`'s vantage point.
+    pub fn get_object(&mut self, from: HostId, bucket: &str, key: &str) -> OpId {
+        self.assert_alive(from);
+        let op = self.alloc_op(OpKind::Get {
+            from,
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+        });
+        let at = self.st_get_rl.admit(self.queue.now());
+        let lat = self.lat(self.cfg.storage.get_latency);
+        self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_get);
+        self.queue.schedule_at(at + lat, Ev::StorageStart { op });
+        op
+    }
+
+    /// Starts an asynchronous PUT.
+    pub fn put_object(
+        &mut self,
+        from: HostId,
+        bucket: &str,
+        key: &str,
+        body: ObjectBody,
+    ) -> OpId {
+        self.assert_alive(from);
+        let op = self.alloc_op(OpKind::Put {
+            from,
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+            body,
+        });
+        let at = self.st_put_rl.admit(self.queue.now());
+        let lat = self.lat(self.cfg.storage.put_latency);
+        self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_put);
+        self.queue.schedule_at(at + lat, Ev::StorageStart { op });
+        op
+    }
+
+    /// Starts an asynchronous LIST of keys under `prefix`.
+    pub fn list_objects(&mut self, from: HostId, bucket: &str, prefix: &str) -> OpId {
+        self.assert_alive(from);
+        let op = self.alloc_op(OpKind::List {
+            bucket: bucket.to_owned(),
+            prefix: prefix.to_owned(),
+        });
+        let at = self.st_get_rl.admit(self.queue.now());
+        let lat = self.lat(self.cfg.storage.list_latency);
+        self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_list);
+        self.queue.schedule_at(at + lat, Ev::StorageStart { op });
+        op
+    }
+
+    /// Starts an asynchronous DELETE.
+    pub fn delete_object(&mut self, from: HostId, bucket: &str, key: &str) -> OpId {
+        self.assert_alive(from);
+        let op = self.alloc_op(OpKind::Delete {
+            bucket: bucket.to_owned(),
+            key: key.to_owned(),
+        });
+        let at = self.st_put_rl.admit(self.queue.now());
+        let lat = self.lat(self.cfg.storage.put_latency);
+        self.queue.schedule_at(at + lat, Ev::StorageStart { op });
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // Compute / sleep / timer
+    // ------------------------------------------------------------------
+
+    /// Runs `cpu_secs` of single-threaded compute on one of `host`'s
+    /// slots (FIFO if all slots are busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is not alive or `cpu_secs` is negative.
+    pub fn compute(&mut self, host: HostId, cpu_secs: f64) -> OpId {
+        self.assert_alive(host);
+        assert!(cpu_secs >= 0.0, "compute time cannot be negative");
+        let op = self.alloc_op(OpKind::Compute);
+        let pending = PendingCompute { op, cpu_secs };
+        let admitted = self.hosts[host.index() as usize].slots.submit(pending);
+        if let Some(p) = admitted {
+            self.start_compute(host, p);
+        }
+        op
+    }
+
+    /// Completes after `duration` without occupying any resource
+    /// (framework-internal waits).
+    pub fn sleep(&mut self, duration: SimDuration) -> OpId {
+        let op = self.alloc_op(OpKind::Sleep);
+        self.queue.schedule_in(duration, Ev::SleepDone { op });
+        op
+    }
+
+    /// Fires [`Notify::Timer`] with `tag` after `delay`.
+    pub fn timer(&mut self, delay: SimDuration, tag: u64) {
+        self.queue.schedule_in(delay, Ev::Timer { tag });
+    }
+
+    /// Moves `bytes` directly between two hosts over the VPC network
+    /// (cluster shuffle traffic). Both hosts' NICs constrain the flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host is not alive.
+    pub fn net_transfer(&mut self, from: HostId, to: HostId, bytes: u64) -> OpId {
+        self.assert_alive(from);
+        self.assert_alive(to);
+        let op = self.alloc_op(OpKind::Transfer { from, to, bytes });
+        // TCP setup / first-byte latency within a VPC.
+        let lat = self.lat((0.0008, 0.0002));
+        self.queue.schedule_in(lat, Ev::VpcStart { op });
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // FaaS
+    // ------------------------------------------------------------------
+
+    /// Invokes a cloud function with `mem_mb` of memory. The sandbox
+    /// surfaces as [`Notify::SandboxUp`] after invoke latency, burst
+    /// admission and cold start.
+    pub fn faas_invoke(&mut self, mem_mb: u32, fleet: &str) -> SandboxId {
+        assert!(mem_mb >= 128, "Lambda memory must be at least 128 MB");
+        let tariff = self.cfg.faas.tariff;
+        let vcpus = tariff.vcpus_for_mb(mem_mb);
+        let speed = vcpus.min(1.0);
+        let fleet_tag = self.fleet(fleet);
+        let host = self.add_host(Host::new(
+            vcpus,
+            speed,
+            self.cfg.faas.sandbox_net_bps,
+            Some(fleet_tag),
+        ));
+        let sandbox = SandboxId::from_index(self.sandboxes.len() as u64);
+        self.sandboxes.push(Sandbox {
+            host,
+            mem_mb,
+            started: None,
+            released: false,
+            fleet: fleet_tag,
+        });
+        let now = self.queue.now();
+        let invoke = self.lat(self.cfg.faas.invoke_latency);
+        let admitted = self.faas_bucket.admit(now + invoke);
+        let cold = SimDuration::from_secs_f64(
+            self.rng
+                .lognormal_median(self.cfg.faas.cold_start_median, self.cfg.faas.cold_start_sigma),
+        );
+        self.queue.schedule_at(admitted + cold, Ev::SandboxUp { sandbox });
+        sandbox
+    }
+
+    /// Ends a sandbox, billing its execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sandbox never started or was already released.
+    pub fn faas_release(&mut self, sandbox: SandboxId) {
+        let now = self.queue.now();
+        let sb = &mut self.sandboxes[sandbox.index() as usize];
+        let started = sb.started.expect("released a sandbox that never started");
+        assert!(!sb.released, "sandbox released twice");
+        sb.released = true;
+        let secs = (now - started).as_secs_f64();
+        let tariff = self.cfg.faas.tariff;
+        let compute = tariff.compute_usd(sb.mem_mb, secs);
+        let host = sb.host;
+        let fleet = sb.fleet;
+        let vcpus = self.hosts[host.index() as usize].vcpus;
+        self.hosts[host.index() as usize].alive = false;
+        self.cpu.add_provisioned(fleet, now, -vcpus);
+        self.charge(CostCategory::FaasCompute, compute);
+        self.charge(CostCategory::FaasRequests, tariff.usd_per_request);
+    }
+
+    /// The host a sandbox executes on.
+    pub fn sandbox_host(&self, sandbox: SandboxId) -> HostId {
+        self.sandboxes[sandbox.index() as usize].host
+    }
+
+    // ------------------------------------------------------------------
+    // VMs
+    // ------------------------------------------------------------------
+
+    /// Provisions a VM of the given type; it surfaces as
+    /// [`Notify::VmUp`] after boot and agent setup.
+    pub fn vm_provision(&mut self, itype: &InstanceType, fleet: &str) -> VmId {
+        let fleet_tag = self.fleet(fleet);
+        let host = self.add_host(Host::new(
+            itype.vcpus as f64,
+            1.0,
+            itype.net_bytes_per_sec(),
+            Some(fleet_tag),
+        ));
+        let vm = VmId::from_index(self.vms.len() as u64);
+        self.vms.push(Vm {
+            host,
+            itype: *itype,
+            up_at: None,
+            terminated: false,
+            fleet: fleet_tag,
+        });
+        let boot = self.lat_floor(self.cfg.vm.boot, 5.0);
+        let setup = self.lat_floor(self.cfg.vm.setup, 0.5);
+        self.queue.schedule_in(boot + setup, Ev::VmUp { vm });
+        vm
+    }
+
+    /// Terminates a VM, billing its uptime (per-second with the
+    /// configured minimum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM never came up or was already terminated.
+    pub fn vm_terminate(&mut self, vm: VmId) {
+        let now = self.queue.now();
+        let rec = &mut self.vms[vm.index() as usize];
+        let up_at = rec.up_at.expect("terminated a VM that never came up");
+        assert!(!rec.terminated, "VM terminated twice");
+        rec.terminated = true;
+        let secs = (now - up_at).as_secs_f64() + self.cfg.vm.terminate_secs;
+        let billed = secs.max(self.cfg.vm.min_billed_secs);
+        let cost = billed * rec.itype.usd_per_second();
+        let host = rec.host;
+        let fleet = rec.fleet;
+        let vcpus = self.hosts[host.index() as usize].vcpus;
+        self.hosts[host.index() as usize].alive = false;
+        self.cpu.add_provisioned(fleet, now, -vcpus);
+        self.charge(CostCategory::VmCompute, cost);
+    }
+
+    /// The host a VM provides.
+    pub fn vm_host(&self, vm: VmId) -> HostId {
+        self.vms[vm.index() as usize].host
+    }
+
+    /// The instance type a VM was provisioned as.
+    pub fn vm_instance_type(&self, vm: VmId) -> InstanceType {
+        self.vms[vm.index() as usize].itype
+    }
+
+    // ------------------------------------------------------------------
+    // KV (Redis-on-master)
+    // ------------------------------------------------------------------
+
+    /// Starts a Redis-like KV server on a running VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not up.
+    pub fn kv_create(&mut self, vm: VmId) -> KvId {
+        let host = self.vm_host(vm);
+        self.assert_alive(host);
+        let nic = self.hosts[host.index() as usize].nic_bps;
+        let pool = FairShare::new(nic, self.cfg.kv.per_conn_bps);
+        let kv = KvId::from_index(self.kvs.len() as u64);
+        self.kvs.push(Kv {
+            host,
+            pool,
+            tick: None,
+            flows: HashMap::new(),
+            data: HashMap::new(),
+            queues: HashMap::new(),
+        });
+        kv
+    }
+
+    /// Asynchronously stores `body` under `key` in a KV server.
+    pub fn kv_put(&mut self, from: HostId, kv: KvId, key: &str, body: ObjectBody) -> OpId {
+        self.kv_op(
+            from,
+            OpKind::KvPut {
+                from,
+                kv,
+                key: key.to_owned(),
+                body,
+            },
+        )
+    }
+
+    /// Asynchronously fetches `key` from a KV server.
+    pub fn kv_get(&mut self, from: HostId, kv: KvId, key: &str) -> OpId {
+        self.kv_op(
+            from,
+            OpKind::KvGet {
+                from,
+                kv,
+                key: key.to_owned(),
+            },
+        )
+    }
+
+    /// Asynchronously appends `body` to a KV queue.
+    pub fn kv_push(&mut self, from: HostId, kv: KvId, queue: &str, body: ObjectBody) -> OpId {
+        self.kv_op(
+            from,
+            OpKind::KvPush {
+                from,
+                kv,
+                queue: queue.to_owned(),
+                body,
+            },
+        )
+    }
+
+    /// Asynchronously pops the head of a KV queue (`None` if empty).
+    pub fn kv_pop(&mut self, from: HostId, kv: KvId, queue: &str) -> OpId {
+        self.kv_op(
+            from,
+            OpKind::KvPop {
+                from,
+                kv,
+                queue: queue.to_owned(),
+            },
+        )
+    }
+
+    fn kv_op(&mut self, from: HostId, kind: OpKind) -> OpId {
+        self.assert_alive(from);
+        let op = self.alloc_op(kind);
+        let lat = self.lat(self.cfg.kv.op_latency);
+        self.queue.schedule_in(lat, Ev::KvStart { op });
+        op
+    }
+
+    // ------------------------------------------------------------------
+    // Managed service (EMR-Serverless-like)
+    // ------------------------------------------------------------------
+
+    /// Submits a map job of `tasks` tasks, each `cpu_secs_per_task`
+    /// seconds of CPU, to the managed analytics service. Completion
+    /// surfaces as [`Notify::EmrDone`]; billing covers the application
+    /// lifetime.
+    pub fn emr_submit(&mut self, tasks: usize, cpu_secs_per_task: f64) -> EmrJobId {
+        assert!(tasks > 0, "managed job needs at least one task");
+        let job = EmrJobId::from_index(self.emr_jobs.len() as u64);
+        self.emr_jobs.push(EmrJob::new(
+            tasks,
+            cpu_secs_per_task,
+            self.cfg.emr.default_vcpus as usize,
+        ));
+        let startup = self.lat_floor(self.cfg.emr.startup, 10.0);
+        self.queue.schedule_in(startup, Ev::EmrUp { job });
+        job
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn alloc_op(&mut self, kind: OpKind) -> OpId {
+        let op = OpId::from_index(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(op, kind);
+        op
+    }
+
+    fn add_host(&mut self, host: Host) -> HostId {
+        let id = HostId::from_index(self.hosts.len() as u64);
+        self.st_pool.set_group_cap(id.index(), host.nic_bps);
+        self.vpc_pool.set_group_cap(id.index(), host.nic_bps);
+        self.hosts.push(host);
+        id
+    }
+
+    fn assert_alive(&self, host: HostId) {
+        assert!(
+            self.hosts[host.index() as usize].alive,
+            "{host} is not alive"
+        );
+    }
+
+    fn lat(&mut self, (mean, std): (f64, f64)) -> SimDuration {
+        self.rng.latency(mean, std)
+    }
+
+    fn lat_floor(&mut self, (mean, std): (f64, f64), floor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.rng.normal_at_least(mean, std, floor))
+    }
+
+    fn charge(&mut self, category: CostCategory, amount: f64) {
+        let label = self.bill_label.clone();
+        self.ledger.charge(self.queue.now(), category, amount, label);
+    }
+
+    fn notify_op(&mut self, op: OpId, outcome: OpOutcome) {
+        self.ops.remove(&op);
+        self.outbox.push_back(Notify::Op { op, outcome });
+    }
+
+    fn handle(&mut self, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::StorageStart { op } => self.on_storage_start(op, now),
+            Ev::StorageTick => {
+                self.st_collect(now);
+                self.st_reschedule(now);
+            }
+            Ev::VpcStart { op } => self.on_vpc_start(op, now),
+            Ev::VpcTick => {
+                self.vpc_collect(now);
+                self.vpc_reschedule(now);
+            }
+            Ev::KvStart { op } => self.on_kv_start(op, now),
+            Ev::KvTick { kv } => {
+                self.kv_collect(kv, now);
+                self.kv_reschedule(kv, now);
+            }
+            Ev::ComputeDone { host, op } => self.on_compute_done(host, op, now),
+            Ev::SleepDone { op } => {
+                if let Some(done) = self.local_finishers.remove(&op) {
+                    self.ops.remove(&op);
+                    self.finish_flow(done);
+                } else {
+                    self.notify_op(op, OpOutcome::SleepOk);
+                }
+            }
+            Ev::SandboxUp { sandbox } => self.on_sandbox_up(sandbox, now),
+            Ev::VmUp { vm } => self.on_vm_up(vm, now),
+            Ev::Timer { tag } => self.outbox.push_back(Notify::Timer { tag }),
+            Ev::EmrUp { job } => self.on_emr_up(job, now),
+            Ev::EmrTaskDone { job } => self.on_emr_task_done(job, now),
+            Ev::EmrTorn { job } => self.on_emr_torn(job, now),
+        }
+    }
+
+    // --- storage flow plumbing ---
+
+    fn on_storage_start(&mut self, op: OpId, now: SimTime) {
+        let kind = self.ops.remove(&op).expect("unknown storage op");
+        match kind {
+            OpKind::Get { from, bucket, key } => match self.store.get(&bucket, &key) {
+                None => self.outbox.push_back(Notify::Op {
+                    op,
+                    outcome: OpOutcome::GetMissing,
+                }),
+                Some(body) => {
+                    let body = body.clone();
+                    let len = body.len();
+                    self.st_begin_flow(now, len, from, &key, FlowDone::Get { op, body });
+                }
+            },
+            OpKind::Put {
+                from,
+                bucket,
+                key,
+                body,
+            } => {
+                let len = body.len();
+                let prefix_key = key.clone();
+                self.st_begin_flow(
+                    now,
+                    len,
+                    from,
+                    &prefix_key,
+                    FlowDone::Put { op, bucket, key, body },
+                );
+            }
+            OpKind::List { bucket, prefix } => {
+                let keys = self.store.list_prefix(&bucket, &prefix);
+                self.outbox.push_back(Notify::Op {
+                    op,
+                    outcome: OpOutcome::ListOk { keys },
+                });
+            }
+            OpKind::Delete { bucket, key } => {
+                self.store.delete(&bucket, &key);
+                self.outbox.push_back(Notify::Op {
+                    op,
+                    outcome: OpOutcome::DeleteOk,
+                });
+            }
+            other => unreachable!("non-storage op in storage start: {other:?}"),
+        }
+    }
+
+    fn st_begin_flow(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        from: HostId,
+        key: &str,
+        done: FlowDone,
+    ) {
+        self.st_collect(now);
+        let prefix_group = self.prefix_group(key);
+        let flow = self
+            .st_pool
+            .start(now, bytes, &[from.index(), prefix_group]);
+        self.st_flows.insert(flow, done);
+        self.st_reschedule(now);
+    }
+
+    /// The flow group for a key's top-level prefix. S3-like stores scale
+    /// throughput per key prefix, so each top-level prefix gets its own
+    /// bandwidth pool — all-to-all shuffle traffic under one prefix
+    /// saturates while wide scans across many prefixes scale out.
+    fn prefix_group(&mut self, key: &str) -> u64 {
+        const PREFIX_GROUP_BASE: u64 = 1 << 48;
+        let prefix = key.split('/').next().unwrap_or(key).to_owned();
+        let next = PREFIX_GROUP_BASE + self.prefix_groups.len() as u64;
+        let id = *self.prefix_groups.entry(prefix).or_insert(next);
+        if !self.st_pool.has_group(id) {
+            self.st_pool
+                .set_group_cap(id, self.cfg.storage.per_prefix_bps);
+        }
+        id
+    }
+
+    fn st_collect(&mut self, now: SimTime) {
+        for flow in self.st_pool.advance(now) {
+            let done = self.st_flows.remove(&flow).expect("unknown storage flow");
+            self.finish_flow(done);
+        }
+    }
+
+    fn st_reschedule(&mut self, now: SimTime) {
+        if let Some(tok) = self.st_tick.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(at) = self.st_pool.next_completion() {
+            let at = at.max(now);
+            self.st_tick = Some(self.queue.schedule_at(at, Ev::StorageTick));
+        }
+    }
+
+    fn on_vpc_start(&mut self, op: OpId, now: SimTime) {
+        let kind = self.ops.remove(&op).expect("unknown transfer op");
+        let OpKind::Transfer { from, to, bytes } = kind else {
+            unreachable!("non-transfer op in vpc start")
+        };
+        self.vpc_collect(now);
+        let flow = self.vpc_pool.start(now, bytes, &[from.index(), to.index()]);
+        self.vpc_flows.insert(flow, FlowDone::TransferDone { op });
+        self.vpc_reschedule(now);
+    }
+
+    fn vpc_collect(&mut self, now: SimTime) {
+        for flow in self.vpc_pool.advance(now) {
+            let done = self.vpc_flows.remove(&flow).expect("unknown vpc flow");
+            self.finish_flow(done);
+        }
+    }
+
+    fn vpc_reschedule(&mut self, now: SimTime) {
+        if let Some(tok) = self.vpc_tick.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(at) = self.vpc_pool.next_completion() {
+            let at = at.max(now);
+            self.vpc_tick = Some(self.queue.schedule_at(at, Ev::VpcTick));
+        }
+    }
+
+    fn finish_flow(&mut self, done: FlowDone) {
+        match done {
+            FlowDone::Get { op, body } => self.notify_op(op, OpOutcome::GetOk { body }),
+            FlowDone::Put {
+                op,
+                bucket,
+                key,
+                body,
+            } => {
+                self.store.put(&bucket, &key, body);
+                self.notify_op(op, OpOutcome::PutOk);
+            }
+            FlowDone::KvValue { op, body } => {
+                self.notify_op(op, OpOutcome::KvValue { body: Some(body) })
+            }
+            FlowDone::KvPut { op, kv, key, body } => {
+                self.kvs[kv.index() as usize].data.insert(key, body);
+                self.notify_op(op, OpOutcome::KvOk);
+            }
+            FlowDone::KvPush {
+                op,
+                kv,
+                queue,
+                body,
+            } => {
+                self.kvs[kv.index() as usize]
+                    .queues
+                    .entry(queue)
+                    .or_default()
+                    .push_back(body);
+                self.notify_op(op, OpOutcome::KvOk);
+            }
+            FlowDone::TransferDone { op } => {
+                self.notify_op(op, OpOutcome::TransferOk);
+            }
+        }
+    }
+
+    // --- KV flow plumbing ---
+
+    fn on_kv_start(&mut self, op: OpId, now: SimTime) {
+        let kind = self.ops.remove(&op).expect("unknown KV op");
+        match kind {
+            OpKind::KvPut { from, kv, key, body } => {
+                let len = body.len();
+                self.kv_begin_flow(kv, now, len, from, FlowDone::KvPut { op, kv, key, body });
+            }
+            OpKind::KvPush {
+                from,
+                kv,
+                queue,
+                body,
+            } => {
+                let len = body.len();
+                self.kv_begin_flow(
+                    kv,
+                    now,
+                    len,
+                    from,
+                    FlowDone::KvPush { op, kv, queue, body },
+                );
+            }
+            OpKind::KvGet { from, kv, key } => {
+                match self.kvs[kv.index() as usize].data.get(&key).cloned() {
+                    None => self.outbox.push_back(Notify::Op {
+                        op,
+                        outcome: OpOutcome::KvValue { body: None },
+                    }),
+                    Some(body) => {
+                        let len = body.len();
+                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
+                    }
+                }
+            }
+            OpKind::KvPop { from, kv, queue } => {
+                let popped = self.kvs[kv.index() as usize]
+                    .queues
+                    .get_mut(&queue)
+                    .and_then(VecDeque::pop_front);
+                match popped {
+                    None => self.outbox.push_back(Notify::Op {
+                        op,
+                        outcome: OpOutcome::KvValue { body: None },
+                    }),
+                    Some(body) => {
+                        let len = body.len();
+                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
+                    }
+                }
+            }
+            other => unreachable!("non-KV op in KV start: {other:?}"),
+        }
+    }
+
+    fn kv_begin_flow(
+        &mut self,
+        kv: KvId,
+        now: SimTime,
+        bytes: u64,
+        from: HostId,
+        done: FlowDone,
+    ) {
+        self.kv_collect(kv, now);
+        let kv_host = self.kvs[kv.index() as usize].host;
+        let local = kv_host == from;
+        // Local (same-VM) exchanges move through shared memory: very fast
+        // and not constrained by the NIC. Remote exchanges contend on the
+        // KV host's NIC and the requester's NIC.
+        if local {
+            // Same-VM exchange through shared memory: a fixed-rate copy,
+            // not constrained by any NIC.
+            let delay = SimDuration::from_secs_f64(bytes as f64 / self.cfg.kv.local_bps);
+            self.schedule_flow_finish(delay, done);
+            return;
+        }
+        let from_nic = self.hosts[from.index() as usize].nic_bps;
+        let state = &mut self.kvs[kv.index() as usize];
+        state.pool.set_group_cap(from.index(), from_nic);
+        let flow = state.pool.start(now, bytes, &[from.index()]);
+        state.flows.insert(flow, done);
+        self.kv_reschedule(kv, now);
+    }
+
+    /// Finishes a flow after a fixed delay (host-local transfers).
+    fn schedule_flow_finish(&mut self, delay: SimDuration, done: FlowDone) {
+        let op = self.alloc_op(OpKind::Sleep);
+        self.local_finishers.insert(op, done);
+        self.queue.schedule_in(delay, Ev::SleepDone { op });
+    }
+
+    fn kv_collect(&mut self, kv: KvId, now: SimTime) {
+        let completed = self.kvs[kv.index() as usize].pool.advance(now);
+        for flow in completed {
+            let done = self.kvs[kv.index() as usize]
+                .flows
+                .remove(&flow)
+                .expect("unknown KV flow");
+            self.finish_flow(done);
+        }
+    }
+
+    fn kv_reschedule(&mut self, kv: KvId, now: SimTime) {
+        let state = &mut self.kvs[kv.index() as usize];
+        if let Some(tok) = state.tick.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(at) = state.pool.next_completion() {
+            let at = at.max(now);
+            state.tick = Some(self.queue.schedule_at(at, Ev::KvTick { kv }));
+        }
+    }
+
+    // --- compute ---
+
+    fn start_compute(&mut self, host: HostId, p: PendingCompute) {
+        let now = self.queue.now();
+        let h = &self.hosts[host.index() as usize];
+        let dur = SimDuration::from_secs_f64(p.cpu_secs / h.speed);
+        let equiv = h.busy_equiv();
+        if let Some(fleet) = h.fleet {
+            self.cpu.add_busy(fleet, now, equiv);
+        }
+        self.queue.schedule_in(dur, Ev::ComputeDone { host, op: p.op });
+    }
+
+    fn on_compute_done(&mut self, host: HostId, op: OpId, now: SimTime) {
+        let h = &mut self.hosts[host.index() as usize];
+        let equiv = h.busy_equiv();
+        let fleet = h.fleet;
+        let next = h.slots.release();
+        if let Some(fleet) = fleet {
+            self.cpu.add_busy(fleet, now, -equiv);
+        }
+        self.notify_op(op, OpOutcome::ComputeOk);
+        if let Some(p) = next {
+            self.start_compute(host, p);
+        }
+    }
+
+    // --- lifecycle events ---
+
+    fn on_sandbox_up(&mut self, sandbox: SandboxId, now: SimTime) {
+        let sb = &mut self.sandboxes[sandbox.index() as usize];
+        sb.started = Some(now);
+        let host = sb.host;
+        let fleet = sb.fleet;
+        self.hosts[host.index() as usize].alive = true;
+        let vcpus = self.hosts[host.index() as usize].vcpus;
+        self.cpu.add_provisioned(fleet, now, vcpus);
+        self.outbox.push_back(Notify::SandboxUp { sandbox });
+    }
+
+    fn on_vm_up(&mut self, vm: VmId, now: SimTime) {
+        let rec = &mut self.vms[vm.index() as usize];
+        rec.up_at = Some(now);
+        let host = rec.host;
+        let fleet = rec.fleet;
+        self.hosts[host.index() as usize].alive = true;
+        let vcpus = self.hosts[host.index() as usize].vcpus;
+        self.cpu.add_provisioned(fleet, now, vcpus);
+        self.outbox.push_back(Notify::VmUp { vm });
+    }
+
+    // --- EMR ---
+
+    fn on_emr_up(&mut self, job: EmrJobId, now: SimTime) {
+        let dispatch = self.cfg.emr.dispatch_overhead;
+        let rec = &mut self.emr_jobs[job.index() as usize];
+        rec.started = Some(now);
+        let admitted = rec.start_all();
+        for _ in 0..admitted {
+            let dur = SimDuration::from_secs_f64(dispatch + rec.cpu_secs_per_task);
+            self.queue.schedule_in(dur, Ev::EmrTaskDone { job });
+        }
+    }
+
+    fn on_emr_task_done(&mut self, job: EmrJobId, _now: SimTime) {
+        let dispatch = self.cfg.emr.dispatch_overhead;
+        let rec = &mut self.emr_jobs[job.index() as usize];
+        let more = rec.task_done();
+        if more {
+            let dur = SimDuration::from_secs_f64(dispatch + rec.cpu_secs_per_task);
+            self.queue.schedule_in(dur, Ev::EmrTaskDone { job });
+        } else if rec.remaining == 0 {
+            let teardown = self.lat_floor(self.cfg.emr.teardown, 1.0);
+            self.queue.schedule_in(teardown, Ev::EmrTorn { job });
+        }
+    }
+
+    fn on_emr_torn(&mut self, job: EmrJobId, now: SimTime) {
+        let rec = &self.emr_jobs[job.index() as usize];
+        let started = rec.started.expect("EMR job torn down before start");
+        let secs = (now - started).as_secs_f64();
+        let vcpus = rec.vcpus as f64;
+        let gib = vcpus * self.cfg.emr.gib_per_vcpu;
+        let tariff = self.cfg.emr.tariff;
+        let cost = vcpus * secs * tariff.usd_per_vcpu_second
+            + gib * secs * tariff.usd_per_gib_second;
+        self.charge(CostCategory::ManagedService, cost);
+        self.outbox.push_back(Notify::EmrDone { job });
+    }
+}

@@ -1,0 +1,117 @@
+//! Cluster and stage definitions.
+
+/// A fixed cluster of identical instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Instance type name (must exist in the [`cloudsim::pricing`]
+    /// catalog).
+    pub instance_type: String,
+    /// Number of instances.
+    pub count: usize,
+    /// Per-task launch overhead (serialisation, scheduling), seconds.
+    pub task_overhead_secs: f64,
+    /// Per-stage DAG-scheduler overhead, seconds.
+    pub stage_overhead_secs: f64,
+    /// Local-disk bandwidth per node, bytes/s. Shuffles spill to disk
+    /// and re-read (external sort), which bottlenecks stateful stages
+    /// the way the paper's Table 3 Spark column shows.
+    pub disk_bps_per_node: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // The METASPACE production cluster: 4 x c5.4xlarge = 64 vCPUs /
+        // 128 GB.
+        ClusterConfig {
+            instance_type: "c5.4xlarge".to_owned(),
+            count: 4,
+            task_overhead_secs: 0.05,
+            stage_overhead_secs: 0.4,
+            disk_bps_per_node: 300.0e6,
+        }
+    }
+}
+
+/// One BSP stage of a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDef {
+    /// Stage name (timeline, billing attribution).
+    pub name: String,
+    /// Number of parallel tasks.
+    pub tasks: usize,
+    /// CPU-seconds of compute per task.
+    pub cpu_secs_per_task: f64,
+    /// Bytes each task reads from object storage.
+    pub read_bytes_per_task: u64,
+    /// Bytes each task writes to object storage.
+    pub write_bytes_per_task: u64,
+    /// Total bytes exchanged all-to-all across executors *before* the
+    /// tasks run (the shuffle feeding this stage). Zero for map stages.
+    pub shuffle_bytes: u64,
+    /// Whether this stage is a stateful operation in the paper's sense.
+    pub stateful: bool,
+    /// Top-level storage prefix the stage's objects live under; distinct
+    /// prefixes scale storage throughput independently.
+    pub storage_prefix: String,
+    /// Number of distinct top-level prefixes task inputs spread across
+    /// (input key prefix becomes `{storage_prefix}-{task % spread}`).
+    pub prefix_spread: usize,
+}
+
+impl StageDef {
+    /// A pure-compute stage (no I/O) — useful for microbenchmarks.
+    pub fn compute_only(name: impl Into<String>, tasks: usize, cpu_secs: f64) -> Self {
+        let name = name.into();
+        StageDef {
+            storage_prefix: name.clone(),
+            name,
+            tasks,
+            cpu_secs_per_task: cpu_secs,
+            read_bytes_per_task: 0,
+            write_bytes_per_task: 0,
+            shuffle_bytes: 0,
+            stateful: false,
+            prefix_spread: 1,
+        }
+    }
+
+    /// Marks the stage stateful with a pre-shuffle of `bytes`.
+    pub fn with_shuffle(mut self, bytes: u64) -> Self {
+        self.shuffle_bytes = bytes;
+        self.stateful = true;
+        self
+    }
+
+    /// Sets per-task storage I/O.
+    pub fn with_io(mut self, read: u64, write: u64) -> Self {
+        self.read_bytes_per_task = read;
+        self.write_bytes_per_task = write;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_cluster() {
+        let cfg = ClusterConfig::default();
+        assert_eq!(cfg.instance_type, "c5.4xlarge");
+        assert_eq!(cfg.count, 4);
+        let it = cloudsim::instance_type(&cfg.instance_type).unwrap();
+        assert_eq!(it.vcpus as usize * cfg.count, 64);
+        assert_eq!(it.mem_gib * cfg.count as f64, 128.0);
+    }
+
+    #[test]
+    fn stage_builders_compose() {
+        let stage = StageDef::compute_only("sort", 32, 2.0)
+            .with_shuffle(1 << 30)
+            .with_io(1024, 2048);
+        assert!(stage.stateful);
+        assert_eq!(stage.shuffle_bytes, 1 << 30);
+        assert_eq!(stage.read_bytes_per_task, 1024);
+        assert_eq!(stage.write_bytes_per_task, 2048);
+    }
+}

@@ -1,0 +1,40 @@
+//! A Spark-like fixed-cluster baseline engine.
+//!
+//! The paper compares its serverless and hybrid deployments against the
+//! original METASPACE production setup: a Spark cluster of four
+//! c5.4xlarge instances (64 vCPUs, 128 GB). This crate reproduces the
+//! *structural* properties of that baseline on the [`cloudsim`]
+//! substrate:
+//!
+//! * a **fixed pool** of VMs — wide stages run in waves over the 64 task
+//!   slots (under-provisioning), narrow stages leave most slots idle
+//!   (over-provisioning), which is exactly the utilisation pathology of
+//!   Table 3's Spark column;
+//! * **BSP stage execution** — a stage starts only when its predecessor
+//!   finished;
+//! * **network shuffle** — stateful stages move data all-to-all across
+//!   the executors' NICs (not through object storage);
+//! * tasks read input from and write output to object storage, like the
+//!   real pipeline.
+//!
+//! Cluster configuration/initialisation time is excluded from reported
+//! job times, matching the paper's measurement methodology ("we exclude
+//! cluster configuration and initialisation times").
+//!
+//! # Example
+//!
+//! ```
+//! use clustersim::{ClusterConfig, ClusterEngine, StageDef};
+//! use cloudsim::{CloudConfig, World};
+//!
+//! let mut world = World::new(CloudConfig::default(), 7);
+//! let mut cluster = ClusterEngine::provision(&mut world, ClusterConfig::default());
+//! let report = cluster.run(&mut world, &[StageDef::compute_only("probe", 64, 1.0)]);
+//! assert!(report.wall_secs >= 1.0);
+//! ```
+
+pub mod config;
+pub mod engine;
+
+pub use config::{ClusterConfig, StageDef};
+pub use engine::{ClusterEngine, ClusterReport};

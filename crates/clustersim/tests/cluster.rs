@@ -1,0 +1,117 @@
+//! End-to-end tests of the Spark-like baseline.
+
+use cloudsim::{CloudConfig, World};
+use clustersim::{ClusterConfig, ClusterEngine, StageDef};
+
+fn world() -> World {
+    World::new(CloudConfig::default(), 61)
+}
+
+#[test]
+fn wide_stage_runs_in_waves() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    assert_eq!(cluster.slots(), 64);
+    // 192 tasks x 5 s on 64 slots = 3 waves ≈ 15 s + overheads.
+    let report = cluster.run(&mut w, &[StageDef::compute_only("wide", 192, 5.0)]);
+    assert!(
+        (15.0..18.0).contains(&report.wall_secs),
+        "expected ~15 s (3 waves), got {}",
+        report.wall_secs
+    );
+}
+
+#[test]
+fn narrow_stage_wastes_slots_but_finishes_fast() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    let report = cluster.run(&mut w, &[StageDef::compute_only("narrow", 4, 5.0)]);
+    // One wave, 60 of 64 slots idle.
+    assert!((5.0..7.0).contains(&report.wall_secs), "{}", report.wall_secs);
+    // Utilisation over the stage window is low: ~4/64.
+    let tl = &report.timeline;
+    let span = tl.span("narrow").unwrap();
+    let samples = w.cpu_monitor().utilisation_samples(
+        span.start,
+        span.end,
+        simkernel::SimDuration::from_millis(500),
+    );
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    assert!(mean < 15.0, "narrow stage should underutilise, got {mean}%");
+}
+
+#[test]
+fn shuffle_moves_data_across_nics() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    // 30 GB all-to-all over 4 x 5 Gbit/s NICs (~24 s) plus the external
+    // sort's disk spill+re-read at 4 x 150 MB/s (~100 s).
+    let stage = StageDef::compute_only("exchange", 4, 0.1).with_shuffle(30_000_000_000);
+    let report = cluster.run(&mut w, &[stage]);
+    assert!(
+        (60.0..200.0).contains(&report.wall_secs),
+        "expected NIC+disk-bound shuffle, got {} s",
+        report.wall_secs
+    );
+    assert!(report.timeline.span("exchange").unwrap().stateful);
+}
+
+#[test]
+fn cost_is_pool_time_not_work() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    // A nearly idle job still pays for the whole pool.
+    let report = cluster.run(&mut w, &[StageDef::compute_only("idle-ish", 1, 10.0)]);
+    let rate = 4.0 * cloudsim::instance_type("c5.4xlarge").unwrap().usd_per_second();
+    let expected = report.wall_secs * rate;
+    assert!((report.cost_usd - expected).abs() < 1e-9);
+}
+
+#[test]
+fn stages_run_back_to_back() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    let stages = vec![
+        StageDef::compute_only("a", 64, 2.0),
+        StageDef::compute_only("b", 64, 3.0),
+    ];
+    let report = cluster.run(&mut w, &stages);
+    assert_eq!(report.timeline.spans().len(), 2);
+    let a = report.timeline.span("a").unwrap();
+    let b = report.timeline.span("b").unwrap();
+    assert!(b.start >= a.end, "stage b started before a finished");
+    assert!((5.0..8.0).contains(&report.wall_secs), "{}", report.wall_secs);
+}
+
+#[test]
+fn io_stages_touch_storage() {
+    let mut w = world();
+    let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+    let stage =
+        StageDef::compute_only("io", 64, 0.5).with_io(50_000_000, 10_000_000);
+    let before = w.ledger().total_for(telemetry::CostCategory::StorageRequests);
+    let report = cluster.run(&mut w, &[stage]);
+    let after = w.ledger().total_for(telemetry::CostCategory::StorageRequests);
+    assert!(after > before, "storage requests should be billed");
+    // 64 readers x 50 MB on 4 NICs under one prefix (0.5 GB/s cap):
+    // 3.2 GB / 0.5 GB/s ≈ 6.4 s of read time plus compute and writes.
+    assert!(
+        (6.0..20.0).contains(&report.wall_secs),
+        "got {}",
+        report.wall_secs
+    );
+}
+
+#[test]
+fn deterministic_cluster_runs() {
+    let run = || {
+        let mut w = world();
+        let mut cluster = ClusterEngine::provision(&mut w, ClusterConfig::default());
+        let report = cluster.run(
+            &mut w,
+            &[StageDef::compute_only("x", 100, 1.0).with_io(1_000_000, 1_000_000)],
+        );
+        report.wall_secs
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,23 @@
+use metaspace::{jobs, run_annotation, Architecture};
+
+#[test]
+#[ignore]
+fn probe_table4() {
+    let paper = [
+        ("Brain", 152.20, 105.49, 54.83),
+        ("Xenograft", 351.57, 398.70, 889.54),
+        ("X089", 488.86, 709.14, 2582.66),
+    ];
+    for (name, p_cf, p_hy, p_sp) in paper {
+        let job = jobs::by_name(name).unwrap();
+        let cf = run_annotation(&job, Architecture::Serverless, 1).unwrap();
+        let hy = run_annotation(&job, Architecture::Hybrid, 1).unwrap();
+        let sp = run_annotation(&job, Architecture::Cluster, 1).unwrap();
+        eprintln!("{name}: CF {:.1}s/${:.3} (paper {p_cf}) | HY {:.1}s/${:.3} (paper {p_hy}) | SP {:.1}s/${:.3} (paper {p_sp})",
+            cf.wall_secs, cf.cost_usd, hy.wall_secs, hy.cost_usd, sp.wall_secs, sp.cost_usd);
+        for i in 0..cf.stages.len() {
+            eprintln!("   {:>14} t={:<5} CF {:>7.1}s  HY {:>7.1}s  SP {:>7.1}s",
+                cf.stages[i].name, cf.stages[i].tasks, cf.stages[i].secs, hy.stages[i].secs, sp.stages[i].secs);
+        }
+    }
+}

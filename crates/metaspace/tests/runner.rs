@@ -1,0 +1,76 @@
+//! Runner-level tests on the (cheap) Brain job.
+
+use metaspace::{jobs, pipeline, run_annotation, Architecture};
+
+#[test]
+fn all_architectures_complete_brain() {
+    let job = jobs::brain();
+    for arch in [
+        Architecture::Serverless,
+        Architecture::Hybrid,
+        Architecture::Cluster,
+    ] {
+        let report = run_annotation(&job, arch, 2).unwrap();
+        assert_eq!(report.job, "Brain");
+        assert_eq!(report.arch, arch);
+        assert!(report.wall_secs > 10.0, "{arch}: {}", report.wall_secs);
+        assert!(report.cost_usd > 0.0);
+        assert_eq!(report.stages.len(), pipeline::stages(&job).len());
+        // Every stage actually ran.
+        for s in &report.stages {
+            assert!(s.secs > 0.0, "{arch}: stage {} has no span", s.name);
+        }
+    }
+}
+
+#[test]
+fn hybrid_runs_stateful_stages_on_vms() {
+    let job = jobs::brain();
+    let report = run_annotation(&job, Architecture::Hybrid, 2).unwrap();
+    // The hybrid's VM spend exists, and the stateful stages are faster
+    // than pure serverless (warm right-sized VM + shared memory).
+    let cf = run_annotation(&job, Architecture::Serverless, 2).unwrap();
+    let stateful_secs = |r: &metaspace::AnnotationReport| {
+        r.stages
+            .iter()
+            .filter(|s| s.stateful)
+            .map(|s| s.secs)
+            .sum::<f64>()
+    };
+    assert!(
+        stateful_secs(&report) < stateful_secs(&cf),
+        "hybrid stateful {} vs serverless {}",
+        stateful_secs(&report),
+        stateful_secs(&cf)
+    );
+}
+
+#[test]
+fn stage_results_mark_the_paper_stateful_set() {
+    let report = run_annotation(&jobs::brain(), Architecture::Serverless, 2).unwrap();
+    let stateful: Vec<&str> = report
+        .stages
+        .iter()
+        .filter(|s| s.stateful)
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(stateful, vec!["db-segment", "ds-segment", "collect"]);
+}
+
+#[test]
+fn architectures_report_cpu_statistics() {
+    for arch in [Architecture::Serverless, Architecture::Cluster] {
+        let report = run_annotation(&jobs::brain(), arch, 2).unwrap();
+        let cpu = report.cpu.expect("usage stats");
+        assert!(cpu.average > 0.0 && cpu.average <= 100.0);
+        assert!(cpu.max <= 100.0 + 1e-9);
+        assert!(cpu.min >= 0.0);
+    }
+}
+
+#[test]
+fn cost_performance_is_consistent_with_parts() {
+    let report = run_annotation(&jobs::brain(), Architecture::Cluster, 2).unwrap();
+    let cp = report.cost_performance();
+    assert!((cp - 1.0 / (report.wall_secs * report.cost_usd)).abs() < 1e-12);
+}

@@ -1,0 +1,57 @@
+//! CloudObjects: Lithops' abstraction for sharing data between stages.
+//!
+//! A [`CloudObjectRef`] is a lightweight pointer to an object in cloud
+//! storage. Stages running on *different backends* (cloud functions and
+//! VMs) exchange data by passing refs; the data itself moves through the
+//! object store. Carrying the object size in the ref is what lets the
+//! serverful backend right-size VMs from the inputs alone, without
+//! touching the data.
+
+use std::fmt;
+
+/// A reference to an object in cloud storage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CloudObjectRef {
+    /// The bucket holding the object.
+    pub bucket: String,
+    /// The object key.
+    pub key: String,
+    /// The object's size in bytes at creation time.
+    pub size: u64,
+}
+
+impl CloudObjectRef {
+    /// Creates a reference.
+    pub fn new(bucket: impl Into<String>, key: impl Into<String>, size: u64) -> Self {
+        CloudObjectRef {
+            bucket: bucket.into(),
+            key: key.into(),
+            size,
+        }
+    }
+}
+
+impl fmt::Display for CloudObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cos://{}/{} ({} B)", self.bucket, self.key, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_location_and_size() {
+        let r = CloudObjectRef::new("data", "sorted/part-0", 4096);
+        assert_eq!(r.to_string(), "cos://data/sorted/part-0 (4096 B)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = CloudObjectRef::new("b", "k", 1);
+        let b = CloudObjectRef::new("b", "k", 1);
+        assert_eq!(a, b);
+        assert_ne!(a, CloudObjectRef::new("b", "k", 2));
+    }
+}

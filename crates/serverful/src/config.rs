@@ -1,0 +1,125 @@
+//! Executor configuration.
+
+use crate::sizing::SizingPolicy;
+
+/// How the serverful (VM) backend lays out compute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecMode {
+    /// One right-sized VM runs the master process, the KV store and one
+    /// worker per vCPU — the deployment the paper uses for in-place
+    /// sorts. The instance type comes from the sizing policy unless
+    /// overridden.
+    Consolidated,
+    /// A dedicated master VM plus `count` worker VMs of `instance_type`.
+    Fleet {
+        /// Worker instance type name (must be in the catalog).
+        instance_type: String,
+        /// Number of worker VMs.
+        count: usize,
+    },
+}
+
+/// Configuration of the serverful (standalone) backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandaloneConfig {
+    /// Compute layout.
+    pub exec_mode: ExecMode,
+    /// Instance type for the dedicated master VM (fleet mode).
+    pub master_instance: String,
+    /// Force a specific worker instance type instead of the sizing
+    /// policy's choice (consolidated mode).
+    pub instance_override: Option<String>,
+    /// Input-size-driven sizing policy.
+    pub sizing: SizingPolicy,
+    /// Keep VMs alive between jobs of the same executor ("use existing,
+    /// previously configured VMs"); `false` tears everything down after
+    /// each job.
+    pub reuse_instances: bool,
+    /// Mean/std of the SSH connect + worker bootstrap performed on each
+    /// fresh VM, seconds.
+    pub ssh_setup: (f64, f64),
+    /// Master's storage-polling interval while monitoring a job, seconds.
+    pub poll_interval: f64,
+    /// Client-side setup per `map` on this backend — small, because the
+    /// runtime and modules already live on the VMs.
+    pub map_setup_secs: f64,
+}
+
+impl Default for StandaloneConfig {
+    fn default() -> Self {
+        StandaloneConfig {
+            exec_mode: ExecMode::Consolidated,
+            master_instance: "c5.large".to_owned(),
+            instance_override: None,
+            sizing: SizingPolicy::default(),
+            reuse_instances: true,
+            ssh_setup: (2.0, 0.4),
+            poll_interval: 1.0,
+            map_setup_secs: 0.5,
+        }
+    }
+}
+
+/// Configuration shared by all backends of one executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorConfig {
+    /// Bucket used for job metadata, inputs and results.
+    pub bucket: String,
+    /// Sandbox memory for the FaaS backend, MB (1769 MB = 1 vCPU).
+    pub runtime_memory_mb: u32,
+    /// Client's storage-polling interval while monitoring a FaaS job,
+    /// seconds.
+    pub poll_interval: f64,
+    /// Whether each sandbox fetches its input bundle from object storage
+    /// before running (Lithops ships function + data through storage).
+    pub fetch_input: bool,
+    /// Client-side seconds spent per `map` call serialising the function
+    /// and its dependencies and uploading them before dispatch.
+    pub map_setup_secs: f64,
+    /// Fraction of a vCPU a logical function burns while waiting on
+    /// storage/KV I/O ((de)serialisation overlapped with transfers).
+    /// Accounting only; affects the Table 3 utilisation statistics.
+    pub io_compute_overlap: f64,
+    /// Serverful-backend options.
+    pub standalone: StandaloneConfig,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            bucket: "lithops-workspace".to_owned(),
+            runtime_memory_mb: 1769,
+            poll_interval: 2.0,
+            fetch_input: true,
+            map_setup_secs: 2.5,
+            io_compute_overlap: 0.35,
+            standalone: StandaloneConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = ExecutorConfig::default();
+        // 1769 MB is the paper's Lambda configuration (= 1 vCPU).
+        assert_eq!(cfg.runtime_memory_mb, 1769);
+        assert!(matches!(cfg.standalone.exec_mode, ExecMode::Consolidated));
+        assert!(cfg.standalone.reuse_instances);
+    }
+
+    #[test]
+    fn fleet_mode_is_expressible() {
+        let mode = ExecMode::Fleet {
+            instance_type: "c5.4xlarge".into(),
+            count: 4,
+        };
+        match mode {
+            ExecMode::Fleet { count, .. } => assert_eq!(count, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1085 @@
+//! The execution environment: world pump, notification routing, and the
+//! backend state machines.
+//!
+//! [`CloudEnv`] owns the simulated [`World`] plus every in-flight job and
+//! serverful resource pool. [`FunctionExecutor`](crate::FunctionExecutor)
+//! is a thin facade over it: `map` registers a job here, `get_result`
+//! pumps the world until the job's monitor declares it finished.
+//!
+//! ## FaaS job lifecycle (classic Lithops)
+//!
+//! 1. the client uploads each task's input bundle to object storage and
+//!    invokes one sandbox per task;
+//! 2. each sandbox cold-starts, fetches its input, runs the logical
+//!    function (compute and I/O charged by the world), and writes its
+//!    encoded result back to object storage;
+//! 3. the client monitors completion by polling the job's result prefix,
+//!    then collects and decodes the results.
+//!
+//! ## Serverful job lifecycle (the paper's contribution)
+//!
+//! 1. the executor connects to a master (provisioning it if needed);
+//! 2. the master *proactively provisions* the required worker VMs —
+//!    right-sized from the job's input size — and starts one worker
+//!    process per vCPU over SSH;
+//! 3. workers load logical functions from the Redis-like KV store on the
+//!    master, execute them, and write results to object storage;
+//! 4. the master monitors completion, collects the output and notifies
+//!    the client; all instances are automatically stopped afterwards
+//!    (unless instance reuse is enabled).
+
+use std::collections::{HashMap, VecDeque};
+
+use cloudsim::{
+    CloudConfig, HostId, KvId, Notify, ObjectBody, OpId, OpOutcome, SandboxId, VmId, World,
+};
+use simkernel::{SimDuration, SimTime};
+use telemetry::{FleetTag, StageSpan, Timeline};
+
+use crate::config::{ExecMode, StandaloneConfig};
+use crate::error::ExecError;
+use crate::job::{JobBackend, JobState, MonitorState, PendingShape, TaskPhase, TaskRun};
+use crate::payload::Payload;
+use crate::task::{Action, ActionOutcome, TaskStep};
+
+/// Where a notification should be delivered.
+#[derive(Debug, Clone)]
+enum Route {
+    /// An op issued by a task's logic (or its result write).
+    Task { job: usize, task: usize },
+    /// The client PUT of a task's input bundle.
+    InputPut { job: usize, task: usize },
+    /// Client-side function/deps serialisation before dispatch.
+    JobSetup { job: usize },
+    /// Monitor poll timer.
+    Poll { job: usize },
+    /// Monitor LIST.
+    List { job: usize },
+    /// Monitor result GET.
+    Collect { job: usize, task: usize },
+    /// A pool VM came up / finished SSH setup.
+    PoolVm { pool: usize, slot: PoolSlot },
+    /// Master pushed one task bundle into the KV queue.
+    Push { pool: usize, job: usize },
+    /// A worker process's KV pop.
+    Pop { pool: usize, vm_idx: usize, proc: usize },
+    /// The master's SSH notification reaching the client.
+    MasterNotify { job: usize },
+}
+
+/// Which pool VM a lifecycle notification concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PoolSlot {
+    Master,
+    Worker(usize),
+}
+
+/// Lifecycle of a pool VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VmPhase {
+    Booting,
+    SshSetup,
+    Ready,
+}
+
+#[derive(Debug)]
+struct PoolVm {
+    vm: VmId,
+    host: HostId,
+    itype: cloudsim::InstanceType,
+    phase: VmPhase,
+}
+
+/// A serverful resource pool: one per executor using the VM backend.
+pub(crate) struct StandalonePool {
+    cfg: StandaloneConfig,
+    /// Dedicated master VM (fleet mode). In consolidated mode the single
+    /// worker VM doubles as the master.
+    master: Option<PoolVm>,
+    kv: Option<KvId>,
+    workers: Vec<PoolVm>,
+    queue: VecDeque<usize>,
+    active: Option<usize>,
+    /// Pushes still outstanding before workers may start popping.
+    pushes_outstanding: usize,
+    fleet_name: String,
+}
+
+impl StandalonePool {
+    fn consolidated(&self) -> bool {
+        matches!(self.cfg.exec_mode, ExecMode::Consolidated)
+    }
+
+    fn master_host(&self) -> HostId {
+        if self.consolidated() {
+            self.workers[0].host
+        } else {
+            self.master.as_ref().expect("master missing").host
+        }
+    }
+
+    fn all_ready(&self) -> bool {
+        let workers_ready = !self.workers.is_empty()
+            && self.workers.iter().all(|w| w.phase == VmPhase::Ready);
+        if self.consolidated() {
+            workers_ready
+        } else {
+            workers_ready && self.master.as_ref().is_some_and(|m| m.phase == VmPhase::Ready)
+        }
+    }
+}
+
+/// The execution environment. See the [module docs](self).
+pub struct CloudEnv {
+    world: World,
+    timeline: Timeline,
+    jobs: Vec<JobState>,
+    pools: Vec<StandalonePool>,
+    op_routes: HashMap<OpId, Route>,
+    sandbox_routes: HashMap<SandboxId, Route>,
+    vm_routes: HashMap<VmId, Route>,
+    timer_routes: HashMap<u64, Route>,
+    next_timer: u64,
+    scheduler_fleet: FleetTag,
+    active_jobs: usize,
+}
+
+impl std::fmt::Debug for CloudEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudEnv")
+            .field("now", &self.world.now())
+            .field("jobs", &self.jobs.len())
+            .field("pools", &self.pools.len())
+            .finish()
+    }
+}
+
+impl CloudEnv {
+    /// Creates an environment over a fresh simulated cloud region.
+    pub fn new(config: CloudConfig, seed: u64) -> Self {
+        let mut world = World::new(config, seed);
+        let scheduler_fleet = world.fleet("scheduler");
+        let client_vcpus = world.config().client.vcpus as f64;
+        // The Lithops scheduler host counts as provisioned resources for
+        // the whole run (Table 3 includes it).
+        world
+            .cpu_monitor_mut()
+            .add_provisioned(scheduler_fleet, SimTime::ZERO, client_vcpus);
+        CloudEnv {
+            world,
+            timeline: Timeline::new(),
+            jobs: Vec::new(),
+            pools: Vec::new(),
+            op_routes: HashMap::new(),
+            sandbox_routes: HashMap::new(),
+            vm_routes: HashMap::new(),
+            timer_routes: HashMap::new(),
+            next_timer: 0,
+            scheduler_fleet,
+            active_jobs: 0,
+        }
+    }
+
+    /// Creates an environment with the default cloud configuration.
+    pub fn new_default(seed: u64) -> Self {
+        Self::new(CloudConfig::default(), seed)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The underlying world (telemetry, store inspection, seeding).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the underlying world.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The timeline of completed stages.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Pre-loads an object outside the timed path (experiment setup).
+    pub fn seed_object(&mut self, bucket: &str, key: &str, body: ObjectBody) {
+        self.world.seed_object(bucket, key, body);
+    }
+
+    // ------------------------------------------------------------------
+    // Job submission (called by FunctionExecutor)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn submit(&mut self, mut job: JobState) -> usize {
+        let id = job.id;
+        debug_assert_eq!(id, self.jobs.len());
+        job.submitted_at = self.world.now();
+        self.world.set_bill_label(job.name.clone());
+        self.job_activity(1);
+        // Client-side setup: serialise the function and its modules and
+        // upload them, before any dispatch happens (Lithops does this on
+        // every map).
+        let setup = job.setup_secs.max(1e-3);
+        self.jobs.push(job);
+        let client = self.world.client_host();
+        let op = self.world.compute(client, setup);
+        self.op_routes.insert(op, Route::JobSetup { job: id });
+        id
+    }
+
+    fn on_job_setup(&mut self, id: usize) {
+        match self.jobs[id].backend.clone() {
+            JobBackend::Faas {
+                memory_mb,
+                fetch_input,
+                fleet,
+            } => {
+                self.jobs[id].monitor_host = self.world.client_host();
+                self.dispatch_faas(id, memory_mb, fetch_input, &fleet);
+                self.schedule_poll(id);
+            }
+            JobBackend::Standalone { pool } => {
+                self.pools[pool].queue.push_back(id);
+                self.pool_try_start(pool);
+            }
+        }
+    }
+
+    pub(crate) fn next_job_id(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub(crate) fn create_pool(&mut self, cfg: StandaloneConfig) -> usize {
+        let idx = self.pools.len();
+        self.pools.push(StandalonePool {
+            cfg,
+            master: None,
+            kv: None,
+            workers: Vec::new(),
+            queue: VecDeque::new(),
+            active: None,
+            pushes_outstanding: 0,
+            fleet_name: format!("standalone-{idx}"),
+        });
+        idx
+    }
+
+    /// Tears a pool's VMs down (executor shutdown).
+    pub(crate) fn shutdown_pool(&mut self, pool: usize) {
+        let p = &mut self.pools[pool];
+        assert!(p.active.is_none(), "shutdown with an active job");
+        for w in p.workers.drain(..) {
+            if w.phase == VmPhase::Ready {
+                self.world.vm_terminate(w.vm);
+            }
+        }
+        if let Some(m) = p.master.take() {
+            if m.phase == VmPhase::Ready {
+                self.world.vm_terminate(m.vm);
+            }
+        }
+        p.kv = None;
+    }
+
+    /// Pumps the world until `job` finishes; returns its results in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates task failures, decode failures and stalls.
+    pub(crate) fn run_job(&mut self, job: usize) -> Result<Vec<Payload>, ExecError> {
+        while !self.jobs[job].is_finished() {
+            match self.world.step() {
+                Some((t, n)) => self.dispatch(t, n),
+                None => {
+                    return Err(ExecError::Stalled(format!(
+                        "simulation drained with job {job} ({}) unfinished: {}/{} tasks done",
+                        self.jobs[job].name,
+                        self.jobs[job].done_tasks,
+                        self.jobs[job].tasks.len()
+                    )));
+                }
+            }
+        }
+        if let Some(err) = self.jobs[job].error.clone() {
+            return Err(err);
+        }
+        let results = std::mem::take(&mut self.jobs[job].results);
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.ok_or_else(|| {
+                    ExecError::TaskFailed(format!("task {i} produced no result"))
+                })
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, _t: SimTime, n: Notify) {
+        match n {
+            Notify::Op { op, outcome } => {
+                let Some(route) = self.op_routes.remove(&op) else {
+                    return; // op of an already-failed job
+                };
+                self.on_op(route, op, outcome);
+            }
+            Notify::SandboxUp { sandbox } => {
+                if let Some(route) = self.sandbox_routes.remove(&sandbox) {
+                    self.on_sandbox_up(route, sandbox);
+                }
+            }
+            Notify::VmUp { vm } => {
+                if let Some(route) = self.vm_routes.remove(&vm) {
+                    self.on_vm_up(route, vm);
+                }
+            }
+            Notify::Timer { tag } => {
+                if let Some(route) = self.timer_routes.remove(&tag) {
+                    self.on_timer(route);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, route: Route) {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.timer_routes.insert(tag, route);
+        self.world.timer(delay, tag);
+    }
+
+    fn job_activity(&mut self, delta: i64) {
+        let now = self.world.now();
+        let was = self.active_jobs;
+        self.active_jobs = (self.active_jobs as i64 + delta) as usize;
+        // The scheduler burns roughly one vCPU while any job is in
+        // flight (dispatching, polling, collecting).
+        if was == 0 && self.active_jobs > 0 {
+            self.world
+                .cpu_monitor_mut()
+                .add_busy(self.scheduler_fleet, now, 1.0);
+        } else if was > 0 && self.active_jobs == 0 {
+            self.world
+                .cpu_monitor_mut()
+                .add_busy(self.scheduler_fleet, now, -1.0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // FaaS backend
+    // ------------------------------------------------------------------
+
+    fn dispatch_faas(&mut self, job: usize, memory_mb: u32, fetch_input: bool, fleet: &str) {
+        let n = self.jobs[job].inputs.len();
+        for task in 0..n {
+            if fetch_input {
+                // Upload the input bundle first; invoke on completion so
+                // the sandbox never races its own input.
+                let key = self.jobs[job].input_key(task);
+                let body = ObjectBody::real(self.jobs[job].inputs[task].encode());
+                let client = self.world.client_host();
+                let bucket = self.jobs[job].bucket.clone();
+                let op = self.world.put_object(client, &bucket, &key, body);
+                self.op_routes.insert(op, Route::InputPut { job, task });
+            } else {
+                self.invoke_task(job, task, memory_mb, fleet);
+            }
+        }
+    }
+
+    fn invoke_task(&mut self, job: usize, task: usize, memory_mb: u32, fleet: &str) {
+        let sandbox = self.world.faas_invoke(memory_mb, fleet);
+        self.jobs[job].tasks[task].sandbox = Some(sandbox);
+        self.jobs[job].tasks[task].phase = TaskPhase::Starting;
+        self.sandbox_routes
+            .insert(sandbox, Route::Task { job, task });
+    }
+
+    fn on_sandbox_up(&mut self, route: Route, sandbox: SandboxId) {
+        let Route::Task { job, task } = route else {
+            unreachable!("sandbox route is always a task")
+        };
+        if self.jobs[job].is_finished() {
+            // Job failed while this sandbox was starting; bill and drop.
+            self.world.faas_release(sandbox);
+            return;
+        }
+        let host = self.world.sandbox_host(sandbox);
+        let fetch = matches!(
+            self.jobs[job].backend,
+            JobBackend::Faas { fetch_input: true, .. }
+        );
+        if fetch {
+            self.jobs[job].tasks[task].phase = TaskPhase::FetchingInput;
+            let bucket = self.jobs[job].bucket.clone();
+            let key = self.jobs[job].input_key(task);
+            let op = self.world.get_object(host, &bucket, &key);
+            self.op_routes.insert(op, Route::Task { job, task });
+            // Remember the host for when the input arrives.
+            self.jobs[job].tasks[task].run = Some(TaskRun::new(
+                // Placeholder logic; replaced at start. Using the factory
+                // here would double-construct.
+                crate::task::ScriptTask::new().boxed(),
+                host,
+                None,
+            ));
+        } else {
+            let input = self.jobs[job].inputs[task].clone();
+            self.start_task(job, task, host, None, &input);
+        }
+    }
+
+    fn start_task(
+        &mut self,
+        job: usize,
+        task: usize,
+        host: HostId,
+        kv: Option<KvId>,
+        input: &Payload,
+    ) {
+        let logic = (self.jobs[job].factory)(input);
+        let mut run = TaskRun::new(logic, host, kv);
+        self.jobs[job].tasks[task].phase = TaskPhase::Running;
+        let step = run.logic.on_start(input);
+        self.apply_step(job, task, run, step);
+    }
+
+    /// Applies a task step: issues the action's ops or finishes the task.
+    fn apply_step(&mut self, job: usize, task: usize, mut run: TaskRun, step: TaskStep) {
+        match step {
+            TaskStep::Act(action) => {
+                match self.issue_action(job, task, &mut run, action) {
+                    Ok(()) => self.jobs[job].tasks[task].run = Some(run),
+                    Err(err) => self.fail_task(job, task, run, err.to_string()),
+                }
+            }
+            TaskStep::Finish(payload) => {
+                self.jobs[job].tasks[task].run = Some(run);
+                self.finish_task(job, task, payload);
+            }
+            TaskStep::Fail(msg) => self.fail_task(job, task, run, msg),
+        }
+    }
+
+    fn issue_action(
+        &mut self,
+        job: usize,
+        task: usize,
+        run: &mut TaskRun,
+        action: Action,
+    ) -> Result<(), ExecError> {
+        let host = run.host;
+        run.shape = PendingShape::Single;
+        let route = Route::Task { job, task };
+        // Data-path actions burn partial CPU for (de)serialisation while
+        // the transfer is in flight (accounting only).
+        let overlapped = !matches!(action, Action::Compute { .. } | Action::Sleep { .. });
+        if overlapped {
+            let frac = self.jobs[job].io_overlap;
+            if frac > 0.0 {
+                self.world.task_io_busy(host, frac);
+                run.io_busy = frac;
+            }
+        }
+        match action {
+            Action::Compute { cpu_secs } => {
+                let op = self.world.compute(host, cpu_secs);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Sleep { secs } => {
+                let op = self.world.sleep(SimDuration::from_secs_f64(secs));
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Get { bucket, key } => {
+                let op = self.world.get_object(host, &bucket, &key);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Put { bucket, key, body } => {
+                let op = self.world.put_object(host, &bucket, &key, body);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Delete { bucket, key } => {
+                let op = self.world.delete_object(host, &bucket, &key);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::List { bucket, prefix } => {
+                let op = self.world.list_objects(host, &bucket, &prefix);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::GetMany { bucket, keys } => {
+                assert!(!keys.is_empty(), "GetMany with no keys");
+                run.shape = PendingShape::Multi {
+                    results: vec![None; keys.len()],
+                    puts: false,
+                };
+                for (i, key) in keys.iter().enumerate() {
+                    let op = self.world.get_object(host, &bucket, key);
+                    run.pending.insert(op, i);
+                    self.op_routes.insert(op, route.clone());
+                }
+            }
+            Action::PutMany { bucket, entries } => {
+                assert!(!entries.is_empty(), "PutMany with no entries");
+                run.shape = PendingShape::Multi {
+                    results: vec![None; entries.len()],
+                    puts: true,
+                };
+                for (i, (key, body)) in entries.into_iter().enumerate() {
+                    let op = self.world.put_object(host, &bucket, &key, body);
+                    run.pending.insert(op, i);
+                    self.op_routes.insert(op, route.clone());
+                }
+            }
+            Action::KvGet { key } => {
+                let kv = run.kv.ok_or_else(|| {
+                    ExecError::Unsupported("KV access outside the serverful backend".into())
+                })?;
+                let op = self.world.kv_get(host, kv, &key);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::KvPut { key, body } => {
+                let kv = run.kv.ok_or_else(|| {
+                    ExecError::Unsupported("KV access outside the serverful backend".into())
+                })?;
+                let op = self.world.kv_put(host, kv, &key, body);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+        }
+        Ok(())
+    }
+
+    /// An op belonging to a task (either its logic or its result write)
+    /// completed.
+    fn on_task_op(&mut self, job: usize, task: usize, op: OpId, outcome: OpOutcome) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        match &self.jobs[job].tasks[task].phase {
+            TaskPhase::FetchingInput => {
+                let body = match outcome {
+                    OpOutcome::GetOk { body } => body,
+                    OpOutcome::GetMissing => {
+                        let run = self.jobs[job].tasks[task].run.take().unwrap();
+                        self.fail_task(job, task, run, "input bundle missing".into());
+                        return;
+                    }
+                    other => unreachable!("input fetch yielded {other:?}"),
+                };
+                let run = self.jobs[job].tasks[task].run.take().unwrap();
+                let host = run.host;
+                let input = match body.bytes() {
+                    Some(bytes) => match Payload::decode(bytes) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let run2 = TaskRun::new(crate::task::ScriptTask::new().boxed(), host, None);
+                            self.fail_task(job, task, run2, e.to_string());
+                            return;
+                        }
+                    },
+                    None => {
+                        // Opaque input bundle: fall back to the in-memory
+                        // input (used by paper-scale profile runs).
+                        self.jobs[job].inputs[task].clone()
+                    }
+                };
+                drop(run);
+                self.start_task(job, task, host, None, &input);
+            }
+            TaskPhase::Running => {
+                let mut run = self.jobs[job].tasks[task].run.take().unwrap();
+                // The action is completing (or progressing); once the
+                // last op lands, the overlapped-I/O accounting ends.
+                let body = match outcome {
+                    OpOutcome::GetOk { body } => Some(body),
+                    OpOutcome::GetMissing => {
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::MissingObject);
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    OpOutcome::ListOk { keys } => {
+                        run.pending.remove(&op);
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::Keys(keys));
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    OpOutcome::KvValue { body } => {
+                        run.pending.remove(&op);
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::KvValue(body));
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    _ => None,
+                };
+                match run.complete_op(op, body) {
+                    Some(assembled) => {
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(assembled);
+                        self.apply_step(job, task, run, step);
+                    }
+                    None => {
+                        // More ops of a multi-action outstanding.
+                        self.jobs[job].tasks[task].run = Some(run);
+                    }
+                }
+            }
+            TaskPhase::WritingResult => {
+                debug_assert!(matches!(outcome, OpOutcome::PutOk));
+                self.task_done(job, task);
+            }
+            other => unreachable!("op completed in phase {other:?}"),
+        }
+    }
+
+    /// Task logic finished: write the encoded result to object storage.
+    fn finish_task(&mut self, job: usize, task: usize, payload: Payload) {
+        let host = self.jobs[job].tasks[task].run.as_ref().unwrap().host;
+        self.jobs[job].tasks[task].phase = TaskPhase::WritingResult;
+        self.jobs[job].results[task] = None; // filled by the monitor
+        let bucket = self.jobs[job].bucket.clone();
+        let key = self.jobs[job].result_key(task);
+        let body = ObjectBody::real(payload.encode());
+        let op = self.world.put_object(host, &bucket, &key, body);
+        self.op_routes.insert(op, Route::Task { job, task });
+    }
+
+    /// Result written: retire the task's host slot.
+    fn task_done(&mut self, job: usize, task: usize) {
+        self.jobs[job].tasks[task].phase = TaskPhase::Done;
+        self.jobs[job].done_tasks += 1;
+        if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.world.faas_release(sandbox);
+        }
+        if let Some((vm_idx, proc)) = self.jobs[job].tasks[task].worker {
+            // The worker process fetches its next logical function.
+            if let JobBackend::Standalone { pool } = self.jobs[job].backend {
+                self.worker_pop(pool, vm_idx, proc);
+            }
+        }
+    }
+
+    /// Ends the overlapped-I/O busy accounting of a task's action.
+    fn end_io_busy(&mut self, run: &mut TaskRun) {
+        if run.io_busy > 0.0 {
+            self.world.task_io_busy(run.host, -run.io_busy);
+            run.io_busy = 0.0;
+        }
+    }
+
+    fn fail_task(&mut self, job: usize, task: usize, mut run: TaskRun, msg: String) {
+        self.end_io_busy(&mut run);
+        drop(run);
+        self.jobs[job].tasks[task].phase = TaskPhase::Failed(msg.clone());
+        if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.world.faas_release(sandbox);
+        }
+        let err = ExecError::TaskFailed(format!("task {task}: {msg}"));
+        self.complete_job(job, Some(err));
+    }
+
+    // ------------------------------------------------------------------
+    // Completion monitor (shared: client for FaaS, master for VMs)
+    // ------------------------------------------------------------------
+
+    fn schedule_poll(&mut self, job: usize) {
+        let interval = SimDuration::from_secs_f64(self.jobs[job].poll_interval);
+        self.jobs[job].monitor = MonitorState::Sleeping;
+        self.set_timer(interval, Route::Poll { job });
+    }
+
+    fn on_poll(&mut self, job: usize) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        self.jobs[job].monitor = MonitorState::Listing;
+        let host = self.jobs[job].monitor_host;
+        let bucket = self.jobs[job].bucket.clone();
+        let prefix = self.jobs[job].result_prefix();
+        let op = self.world.list_objects(host, &bucket, &prefix);
+        self.op_routes.insert(op, Route::List { job });
+    }
+
+    fn on_list(&mut self, job: usize, outcome: OpOutcome) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        let OpOutcome::ListOk { keys } = outcome else {
+            unreachable!("list op yielded a non-list outcome")
+        };
+        let total = self.jobs[job].tasks.len();
+        if keys.len() < total {
+            self.schedule_poll(job);
+            return;
+        }
+        // All results present: collect them.
+        let host = self.jobs[job].monitor_host;
+        let bucket = self.jobs[job].bucket.clone();
+        let mut outstanding = 0;
+        for key in keys {
+            let Some(task) = self.jobs[job].task_of_result_key(&key) else {
+                continue;
+            };
+            let op = self.world.get_object(host, &bucket, &key);
+            self.op_routes.insert(op, Route::Collect { job, task });
+            outstanding += 1;
+        }
+        self.jobs[job].monitor = MonitorState::Collecting { outstanding };
+    }
+
+    fn on_collect(&mut self, job: usize, task: usize, outcome: OpOutcome) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        let body = match outcome {
+            OpOutcome::GetOk { body } => body,
+            other => unreachable!("collect yielded {other:?}"),
+        };
+        let decoded = match body.bytes() {
+            Some(bytes) => Payload::decode(bytes),
+            None => Ok(Payload::Opaque { size: body.len() }),
+        };
+        match decoded {
+            Ok(p) => self.jobs[job].results[task] = Some(p),
+            Err(e) => {
+                self.complete_job(job, Some(e));
+                return;
+            }
+        }
+        let MonitorState::Collecting { outstanding } = &mut self.jobs[job].monitor else {
+            unreachable!("collect outside collecting state")
+        };
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.jobs[job].monitor = MonitorState::Done;
+            match self.jobs[job].backend {
+                JobBackend::Faas { .. } => self.complete_job(job, None),
+                JobBackend::Standalone { .. } => {
+                    // Master -> client SSH notification latency.
+                    self.set_timer(
+                        SimDuration::from_millis(60),
+                        Route::MasterNotify { job },
+                    );
+                }
+            }
+        }
+    }
+
+    fn complete_job(&mut self, job: usize, error: Option<ExecError>) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        let now = self.world.now();
+        self.jobs[job].finished_at = Some(now);
+        self.jobs[job].error = error;
+        self.job_activity(-1);
+        let j = &self.jobs[job];
+        self.timeline.record(StageSpan {
+            name: j.name.clone(),
+            start: j.submitted_at,
+            end: now,
+            tasks: j.tasks.len(),
+            stateful: j.stateful,
+        });
+        if let JobBackend::Standalone { pool } = self.jobs[job].backend {
+            self.pool_job_finished(pool, job);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serverful pool machinery
+    // ------------------------------------------------------------------
+
+    fn pool_try_start(&mut self, pool: usize) {
+        if self.pools[pool].active.is_some() {
+            return;
+        }
+        let Some(&job) = self.pools[pool].queue.front() else {
+            return;
+        };
+        // Proactive provisioning: figure out the fleet this job needs.
+        if !self.pool_ensure_infra(pool, job) {
+            return; // infra still coming up; retried on VM readiness
+        }
+        self.pools[pool].queue.pop_front();
+        self.pools[pool].active = Some(job);
+        self.pool_start_job(pool, job);
+    }
+
+    /// Ensures master + workers exist and are ready. Returns true when
+    /// everything is ready now.
+    fn pool_ensure_infra(&mut self, pool: usize, job: usize) -> bool {
+        let consolidated = self.pools[pool].consolidated();
+        let fleet_name = self.pools[pool].fleet_name.clone();
+        if consolidated {
+            // Single right-sized VM: sizing from the job's input bytes.
+            let wanted = match &self.pools[pool].cfg.instance_override {
+                Some(name) => *cloudsim::instance_type(name)
+                    .unwrap_or_else(|| panic!("unknown instance type {name}")),
+                None => *self.pools[pool]
+                    .cfg
+                    .sizing
+                    .choose(self.jobs[job].input_data_size()),
+            };
+            if self.pools[pool].workers.is_empty() {
+                let vm = self.world.vm_provision(&wanted, &fleet_name);
+                let host = self.world.vm_host(vm);
+                self.pools[pool].workers.push(PoolVm {
+                    vm,
+                    host,
+                    itype: wanted,
+                    phase: VmPhase::Booting,
+                });
+                self.vm_routes.insert(
+                    vm,
+                    Route::PoolVm {
+                        pool,
+                        slot: PoolSlot::Worker(0),
+                    },
+                );
+                return false;
+            }
+            // An existing VM is reused only if it is big enough.
+            let current = &self.pools[pool].workers[0];
+            if current.itype.mem_gib < wanted.mem_gib && current.phase == VmPhase::Ready {
+                let old = self.pools[pool].workers.remove(0);
+                self.world.vm_terminate(old.vm);
+                self.pools[pool].kv = None;
+                return self.pool_ensure_infra(pool, job);
+            }
+            return self.pools[pool].all_ready();
+        }
+        // Fleet mode: dedicated master + N workers of a fixed type.
+        let ExecMode::Fleet {
+            instance_type,
+            count,
+        } = self.pools[pool].cfg.exec_mode.clone()
+        else {
+            unreachable!()
+        };
+        if self.pools[pool].master.is_none() {
+            let master_name = self.pools[pool].cfg.master_instance.clone();
+            let itype = *cloudsim::instance_type(&master_name)
+                .unwrap_or_else(|| panic!("unknown instance type {master_name}"));
+            let vm = self.world.vm_provision(&itype, &fleet_name);
+            let host = self.world.vm_host(vm);
+            self.pools[pool].master = Some(PoolVm {
+                vm,
+                host,
+                itype,
+                phase: VmPhase::Booting,
+            });
+            self.vm_routes.insert(
+                vm,
+                Route::PoolVm {
+                    pool,
+                    slot: PoolSlot::Master,
+                },
+            );
+        }
+        let itype = *cloudsim::instance_type(&instance_type)
+            .unwrap_or_else(|| panic!("unknown instance type {instance_type}"));
+        while self.pools[pool].workers.len() < count {
+            let slot = self.pools[pool].workers.len();
+            let vm = self.world.vm_provision(&itype, &fleet_name);
+            let host = self.world.vm_host(vm);
+            self.pools[pool].workers.push(PoolVm {
+                vm,
+                host,
+                itype,
+                phase: VmPhase::Booting,
+            });
+            self.vm_routes.insert(
+                vm,
+                Route::PoolVm {
+                    pool,
+                    slot: PoolSlot::Worker(slot),
+                },
+            );
+        }
+        self.pools[pool].all_ready()
+    }
+
+    fn on_vm_up(&mut self, route: Route, _vm: VmId) {
+        let Route::PoolVm { pool, slot } = route else {
+            unreachable!("vm route is always a pool vm")
+        };
+        let ssh = self.pools[pool].cfg.ssh_setup;
+        self.pool_vm_mut(pool, slot).phase = VmPhase::SshSetup;
+        let delay = world_latency(&mut self.world, ssh);
+        self.set_timer(delay, Route::PoolVm { pool, slot });
+    }
+
+    fn on_pool_vm_ready(&mut self, pool: usize, slot: PoolSlot) {
+        self.pool_vm_mut(pool, slot).phase = VmPhase::Ready;
+        // The master's KV server starts as soon as its VM is ready.
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        if is_master_vm && self.pools[pool].kv.is_none() {
+            let vm = self.pool_vm_mut(pool, slot).vm;
+            let kv = self.world.kv_create(vm);
+            self.pools[pool].kv = Some(kv);
+        }
+        self.pool_try_start(pool);
+    }
+
+    fn pool_vm_mut(&mut self, pool: usize, slot: PoolSlot) -> &mut PoolVm {
+        match slot {
+            PoolSlot::Master => self.pools[pool].master.as_mut().expect("no master"),
+            PoolSlot::Worker(i) => &mut self.pools[pool].workers[i],
+        }
+    }
+
+    /// Infra ready: master pushes every task bundle into its KV queue.
+    fn pool_start_job(&mut self, pool: usize, job: usize) {
+        let kv = self.pools[pool].kv.expect("pool started without KV");
+        let master = self.pools[pool].master_host();
+        self.jobs[job].monitor_host = master;
+        let n = self.jobs[job].inputs.len();
+        let queue = format!("job-{job}");
+        self.pools[pool].pushes_outstanding = n;
+        for task in 0..n {
+            let bundle = Payload::List(vec![
+                Payload::U64(task as u64),
+                self.jobs[job].inputs[task].clone(),
+            ]);
+            let body = ObjectBody::real(bundle.encode());
+            let op = self.world.kv_push(master, kv, &queue, body);
+            self.op_routes.insert(op, Route::Push { pool, job });
+        }
+    }
+
+    fn on_push_done(&mut self, pool: usize, job: usize) {
+        self.pools[pool].pushes_outstanding -= 1;
+        if self.pools[pool].pushes_outstanding > 0 {
+            return;
+        }
+        // All bundles queued: start one worker process per vCPU.
+        let worker_specs: Vec<(usize, usize)> = self.pools[pool]
+            .workers
+            .iter()
+            .enumerate()
+            .flat_map(|(vm_idx, w)| {
+                (0..w.itype.vcpus as usize).map(move |proc| (vm_idx, proc))
+            })
+            .collect();
+        for (vm_idx, proc) in worker_specs {
+            self.worker_pop(pool, vm_idx, proc);
+        }
+        // The master begins monitoring result objects.
+        self.schedule_poll(job);
+    }
+
+    fn worker_pop(&mut self, pool: usize, vm_idx: usize, proc: usize) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        let kv = self.pools[pool].kv.expect("no KV");
+        let host = self.pools[pool].workers[vm_idx].host;
+        let queue = format!("job-{job}");
+        let op = self.world.kv_pop(host, kv, &queue);
+        self.op_routes.insert(op, Route::Pop { pool, vm_idx, proc });
+    }
+
+    fn on_pop(&mut self, pool: usize, vm_idx: usize, proc: usize, outcome: OpOutcome) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        let OpOutcome::KvValue { body } = outcome else {
+            unreachable!("pop yielded a non-KV outcome")
+        };
+        let Some(body) = body else {
+            return; // queue drained; worker process idles
+        };
+        let bytes = body.bytes().expect("task bundles are always real bytes");
+        let bundle = Payload::decode(bytes).expect("task bundle decodes");
+        let items = bundle.as_list().expect("bundle is a list");
+        let task = items[0].as_u64().expect("bundle[0] is the index") as usize;
+        let input = items[1].clone();
+        let host = self.pools[pool].workers[vm_idx].host;
+        let kv = self.pools[pool].kv;
+        self.jobs[job].tasks[task].worker = Some((vm_idx, proc));
+        self.start_task(job, task, host, kv, &input);
+    }
+
+    fn pool_job_finished(&mut self, pool: usize, _job: usize) {
+        self.pools[pool].active = None;
+        // "Once all logical functions have been completed, all resources
+        // are automatically stopped" — unless reuse is configured and
+        // more work may come.
+        if !self.pools[pool].cfg.reuse_instances && self.pools[pool].queue.is_empty() {
+            self.shutdown_pool(pool);
+        }
+        self.pool_try_start(pool);
+    }
+
+    // ------------------------------------------------------------------
+    // Route demultiplexers
+    // ------------------------------------------------------------------
+
+    fn on_op(&mut self, route: Route, op: OpId, outcome: OpOutcome) {
+        match route {
+            Route::Task { job, task } => self.on_task_op(job, task, op, outcome),
+            Route::InputPut { job, task } => {
+                if self.jobs[job].is_finished() {
+                    return;
+                }
+                let JobBackend::Faas {
+                    memory_mb, fleet, ..
+                } = self.jobs[job].backend.clone()
+                else {
+                    unreachable!("input put on a non-FaaS job")
+                };
+                self.invoke_task(job, task, memory_mb, &fleet);
+            }
+            Route::JobSetup { job } => self.on_job_setup(job),
+            Route::List { job } => self.on_list(job, outcome),
+            Route::Collect { job, task } => self.on_collect(job, task, outcome),
+            Route::Push { pool, job } => self.on_push_done(pool, job),
+            Route::Pop { pool, vm_idx, proc } => self.on_pop(pool, vm_idx, proc, outcome),
+            other => unreachable!("op completion routed to {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, route: Route) {
+        match route {
+            Route::Poll { job } => self.on_poll(job),
+            Route::PoolVm { pool, slot } => self.on_pool_vm_ready(pool, slot),
+            Route::MasterNotify { job } => self.complete_job(job, None),
+            other => unreachable!("timer routed to {other:?}"),
+        }
+    }
+}
+
+/// Draws a latency from the world's RNG-free path: uses mean only when
+/// std is zero. Implemented as a free function to avoid borrowing `self`
+/// twice.
+fn world_latency(world: &mut World, (mean, std): (f64, f64)) -> SimDuration {
+    // The world does not expose its RNG; derive jitter deterministically
+    // from current time to keep runs reproducible without threading a
+    // second RNG through the env.
+    let jitter = ((world.now().as_micros() % 997) as f64 / 997.0 - 0.5) * 2.0 * std;
+    SimDuration::from_secs_f64((mean + jitter).max(0.1))
+}

@@ -1,0 +1,65 @@
+//! Framework errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the executor API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A logical function referenced an object that does not exist.
+    MissingObject {
+        /// Bucket of the missing object.
+        bucket: String,
+        /// Key of the missing object.
+        key: String,
+    },
+    /// A payload failed to decode.
+    Decode(String),
+    /// A task reported a failure.
+    TaskFailed(String),
+    /// The simulation drained before the job finished — a framework or
+    /// workload bug (e.g. waiting on a result nobody writes).
+    Stalled(String),
+    /// An operation was used on a backend that does not support it
+    /// (e.g. master-KV access from the FaaS backend).
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingObject { bucket, key } => {
+                write!(f, "object not found: {bucket}/{key}")
+            }
+            ExecError::Decode(msg) => write!(f, "payload decode failed: {msg}"),
+            ExecError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
+            ExecError::Stalled(msg) => write!(f, "execution stalled: {msg}"),
+            ExecError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let e = ExecError::MissingObject {
+            bucket: "b".into(),
+            key: "k".into(),
+        };
+        let text = e.to_string();
+        assert!(text.starts_with("object not found"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ExecError>();
+    }
+}

@@ -1,0 +1,233 @@
+//! The `FunctionExecutor`: the entry point of the framework.
+//!
+//! Mirrors the Lithops API the paper extends: construct an executor for a
+//! backend, `map` a function over inputs, `get_result`. Switching a stage
+//! between cloud functions and VMs is a one-line change of the backend
+//! argument (Listing 1 of the paper).
+
+use std::fmt;
+
+use crate::config::ExecutorConfig;
+use crate::env::CloudEnv;
+use crate::error::ExecError;
+use crate::job::{JobBackend, JobState, MonitorState, TaskFactory, TaskState};
+use crate::payload::Payload;
+
+/// The compute backend an executor targets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Cloud functions (AWS-Lambda-like).
+    Faas,
+    /// Virtual machines orchestrated by a master (the paper's serverful
+    /// backend).
+    Vm,
+}
+
+impl Backend {
+    /// The FaaS backend.
+    pub fn faas() -> Backend {
+        Backend::Faas
+    }
+
+    /// The serverful (VM) backend.
+    pub fn vm() -> Backend {
+        Backend::Vm
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Faas => f.write_str("aws_lambda"),
+            Backend::Vm => f.write_str("aws_ec2"),
+        }
+    }
+}
+
+/// Handle to a submitted job; redeem with
+/// [`FunctionExecutor::get_result`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a job handle must be redeemed with get_result"]
+pub struct JobHandle {
+    pub(crate) id: usize,
+}
+
+/// Options for one `map` call.
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Stage name (billing labels, timeline spans).
+    pub name: String,
+    /// Mark this stage a stateful operation (sort/partition/exchange) in
+    /// the paper's sense; drives the Table 3 stateful-window statistics.
+    pub stateful: bool,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            name: "map".to_owned(),
+            stateful: false,
+        }
+    }
+}
+
+impl MapOptions {
+    /// Named stage options.
+    pub fn named(name: impl Into<String>) -> Self {
+        MapOptions {
+            name: name.into(),
+            stateful: false,
+        }
+    }
+
+    /// Marks the stage stateful.
+    pub fn stateful(mut self) -> Self {
+        self.stateful = true;
+        self
+    }
+}
+
+/// Ports parallel function calls to a cloud backend. See the
+/// [crate docs](crate) for a full example.
+pub struct FunctionExecutor {
+    backend: Backend,
+    config: ExecutorConfig,
+    /// Index of this executor's serverful pool, created lazily.
+    pool: Option<usize>,
+}
+
+impl fmt::Debug for FunctionExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionExecutor")
+            .field("backend", &self.backend)
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+impl FunctionExecutor {
+    /// Creates an executor for a backend.
+    pub fn new(env: &mut CloudEnv, backend: Backend, config: ExecutorConfig) -> Self {
+        let pool = match backend {
+            Backend::Vm => Some(env.create_pool(config.standalone.clone())),
+            Backend::Faas => None,
+        };
+        FunctionExecutor {
+            backend,
+            config,
+            pool,
+        }
+    }
+
+    /// The backend this executor targets.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Maps `factory` over `inputs` with default options.
+    pub fn map(
+        &mut self,
+        env: &mut CloudEnv,
+        factory: TaskFactory,
+        inputs: Vec<Payload>,
+    ) -> JobHandle {
+        self.map_with(env, factory, inputs, MapOptions::default())
+    }
+
+    /// Maps `factory` over `inputs` with explicit stage options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn map_with(
+        &mut self,
+        env: &mut CloudEnv,
+        factory: TaskFactory,
+        inputs: Vec<Payload>,
+        opts: MapOptions,
+    ) -> JobHandle {
+        assert!(!inputs.is_empty(), "map over no inputs");
+        let id = env.next_job_id();
+        let backend = match (&self.backend, self.pool) {
+            (Backend::Faas, _) => JobBackend::Faas {
+                memory_mb: self.config.runtime_memory_mb,
+                fetch_input: self.config.fetch_input,
+                fleet: "lambda".to_owned(),
+            },
+            (Backend::Vm, Some(pool)) => JobBackend::Standalone { pool },
+            (Backend::Vm, None) => unreachable!("vm backend without a pool"),
+        };
+        let poll_interval = match self.backend {
+            Backend::Faas => self.config.poll_interval,
+            Backend::Vm => self.config.standalone.poll_interval,
+        };
+        let setup_secs = match self.backend {
+            Backend::Faas => self.config.map_setup_secs,
+            Backend::Vm => self.config.standalone.map_setup_secs,
+        };
+        let n = inputs.len();
+        let job = JobState {
+            id,
+            name: opts.name,
+            stateful: opts.stateful,
+            backend,
+            bucket: self.config.bucket.clone(),
+            poll_interval,
+            factory,
+            setup_secs,
+            io_overlap: self.config.io_compute_overlap,
+            inputs,
+            tasks: (0..n).map(|_| TaskState::new()).collect(),
+            results: (0..n).map(|_| None).collect(),
+            done_tasks: 0,
+            submitted_at: env.now(),
+            finished_at: None,
+            error: None,
+            monitor: MonitorState::Sleeping,
+            monitor_host: env.world().client_host(),
+        };
+        let id = env.submit(job);
+        JobHandle { id }
+    }
+
+    /// Blocks (pumping the simulation) until the job completes; returns
+    /// results in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates task failures, payload decode failures, and stalls
+    /// (the simulation draining before completion).
+    pub fn get_result(
+        &mut self,
+        env: &mut CloudEnv,
+        job: JobHandle,
+    ) -> Result<Vec<Payload>, ExecError> {
+        env.run_job(job.id)
+    }
+
+    /// Tears down any VMs this executor keeps alive between jobs.
+    pub fn shutdown(&mut self, env: &mut CloudEnv) {
+        if let Some(pool) = self.pool {
+            env.shutdown_pool(pool);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_displays_like_lithops_names() {
+        assert_eq!(Backend::faas().to_string(), "aws_lambda");
+        assert_eq!(Backend::vm().to_string(), "aws_ec2");
+    }
+
+    #[test]
+    fn map_options_builder() {
+        let opts = MapOptions::named("dataset-sort").stateful();
+        assert_eq!(opts.name, "dataset-sort");
+        assert!(opts.stateful);
+    }
+}

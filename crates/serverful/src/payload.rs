@@ -1,0 +1,341 @@
+//! Values passed between the client and logical functions.
+//!
+//! [`Payload`] is the framework's value type: task inputs, task results
+//! and [`CloudObjectRef`]s all travel as payloads. Payloads are encoded
+//! with a small self-describing binary codec (no serde *format* crate is
+//! available offline, and the format is trivial: a tag byte followed by
+//! little-endian fields). Round-tripping is property-tested.
+
+use bytes::Bytes;
+
+use crate::cloudobject::CloudObjectRef;
+use crate::error::ExecError;
+
+/// A value the framework can ship between components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Nothing (a side-effect-only function).
+    Unit,
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Bytes),
+    /// A reference to an object in cloud storage.
+    CloudObject(CloudObjectRef),
+    /// An ordered collection.
+    List(Vec<Payload>),
+    /// Size-only stand-in for large synthetic data (paper-scale runs).
+    Opaque {
+        /// Logical size in bytes.
+        size: u64,
+    },
+}
+
+const TAG_UNIT: u8 = 0;
+const TAG_U64: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BYTES: u8 = 4;
+const TAG_COBJ: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_OPAQUE: u8 = 7;
+
+impl Payload {
+    /// The `u64` inside, if this is [`Payload::U64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Payload::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The `f64` inside, if this is [`Payload::F64`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Payload::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is [`Payload::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Payload::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bytes inside, if this is [`Payload::Bytes`].
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The cloud-object reference inside, if any.
+    pub fn as_cloudobject(&self) -> Option<&CloudObjectRef> {
+        match self {
+            Payload::CloudObject(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is [`Payload::List`].
+    pub fn as_list(&self) -> Option<&[Payload]> {
+        match self {
+            Payload::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The *logical data size* this payload stands for: for most variants
+    /// the encoded size, but for cloud-object references the size of the
+    /// referenced object, and for opaque payloads the declared size. The
+    /// sizing policy uses this to right-size VMs from task inputs.
+    pub fn data_size(&self) -> u64 {
+        match self {
+            Payload::Unit => 0,
+            Payload::U64(_) | Payload::F64(_) => 8,
+            Payload::Str(s) => s.len() as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::CloudObject(r) => r.size,
+            Payload::List(items) => items.iter().map(Payload::data_size).sum(),
+            Payload::Opaque { size } => *size,
+        }
+    }
+
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Unit => out.push(TAG_UNIT),
+            Payload::U64(x) => {
+                out.push(TAG_U64);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Payload::F64(x) => {
+                out.push(TAG_F64);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Payload::Str(s) => {
+                out.push(TAG_STR);
+                encode_slice(out, s.as_bytes());
+            }
+            Payload::Bytes(b) => {
+                out.push(TAG_BYTES);
+                encode_slice(out, b);
+            }
+            Payload::CloudObject(r) => {
+                out.push(TAG_COBJ);
+                encode_slice(out, r.bucket.as_bytes());
+                encode_slice(out, r.key.as_bytes());
+                out.extend_from_slice(&r.size.to_le_bytes());
+            }
+            Payload::List(items) => {
+                out.push(TAG_LIST);
+                out.extend_from_slice(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+            Payload::Opaque { size } => {
+                out.push(TAG_OPAQUE);
+                out.extend_from_slice(&size.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Decode`] on truncated or malformed input, or
+    /// if trailing bytes remain.
+    pub fn decode(data: &[u8]) -> Result<Payload, ExecError> {
+        let mut cursor = Cursor { data, pos: 0 };
+        let value = decode_one(&mut cursor)?;
+        if cursor.pos != data.len() {
+            return Err(ExecError::Decode(format!(
+                "{} trailing bytes after payload",
+                data.len() - cursor.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn encode_slice(out: &mut Vec<u8>, s: &[u8]) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExecError> {
+        if self.pos + n > self.data.len() {
+            return Err(ExecError::Decode("truncated payload".into()));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ExecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, ExecError> {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn len(&mut self) -> Result<usize, ExecError> {
+        let n = self.u64()?;
+        usize::try_from(n).map_err(|_| ExecError::Decode("length overflow".into()))
+    }
+}
+
+fn decode_one(c: &mut Cursor<'_>) -> Result<Payload, ExecError> {
+    match c.u8()? {
+        TAG_UNIT => Ok(Payload::Unit),
+        TAG_U64 => Ok(Payload::U64(c.u64()?)),
+        TAG_F64 => Ok(Payload::F64(f64::from_bits(c.u64()?))),
+        TAG_STR => {
+            let n = c.len()?;
+            let bytes = c.take(n)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|e| ExecError::Decode(format!("invalid UTF-8: {e}")))?;
+            Ok(Payload::Str(s.to_owned()))
+        }
+        TAG_BYTES => {
+            let n = c.len()?;
+            Ok(Payload::Bytes(Bytes::copy_from_slice(c.take(n)?)))
+        }
+        TAG_COBJ => {
+            let bn = c.len()?;
+            let bucket = String::from_utf8(c.take(bn)?.to_vec())
+                .map_err(|e| ExecError::Decode(format!("invalid UTF-8: {e}")))?;
+            let kn = c.len()?;
+            let key = String::from_utf8(c.take(kn)?.to_vec())
+                .map_err(|e| ExecError::Decode(format!("invalid UTF-8: {e}")))?;
+            let size = c.u64()?;
+            Ok(Payload::CloudObject(CloudObjectRef { bucket, key, size }))
+        }
+        TAG_LIST => {
+            let n = c.len()?;
+            // Guard against hostile lengths: each element takes >= 1 byte.
+            if n > c.data.len() - c.pos {
+                return Err(ExecError::Decode("list length exceeds input".into()));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_one(c)?);
+            }
+            Ok(Payload::List(items))
+        }
+        TAG_OPAQUE => Ok(Payload::Opaque { size: c.u64()? }),
+        tag => Err(ExecError::Decode(format!("unknown payload tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &Payload) {
+        let encoded = p.encode();
+        let decoded = Payload::decode(&encoded).expect("decode");
+        assert_eq!(&decoded, p);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(&Payload::Unit);
+        roundtrip(&Payload::U64(u64::MAX));
+        roundtrip(&Payload::F64(-1.25e300));
+        roundtrip(&Payload::Str("héllo wörld".into()));
+        roundtrip(&Payload::Bytes(Bytes::from(vec![0u8, 255, 7])));
+        roundtrip(&Payload::Opaque { size: 1 << 40 });
+    }
+
+    #[test]
+    fn cloudobject_roundtrips() {
+        roundtrip(&Payload::CloudObject(CloudObjectRef {
+            bucket: "b".into(),
+            key: "jobs/3/result".into(),
+            size: 12345,
+        }));
+    }
+
+    #[test]
+    fn nested_list_roundtrips() {
+        roundtrip(&Payload::List(vec![
+            Payload::U64(1),
+            Payload::List(vec![Payload::Str("x".into()), Payload::Unit]),
+            Payload::F64(2.5),
+        ]));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let enc = Payload::U64(7).encode();
+        assert!(Payload::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(Payload::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut enc = Payload::Unit.encode();
+        enc.push(0);
+        assert!(Payload::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert!(Payload::decode(&[200]).is_err());
+    }
+
+    #[test]
+    fn hostile_list_length_rejected() {
+        let mut enc = vec![TAG_LIST];
+        enc.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Payload::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn data_size_reflects_references() {
+        let p = Payload::List(vec![
+            Payload::CloudObject(CloudObjectRef {
+                bucket: "b".into(),
+                key: "k".into(),
+                size: 1_000_000,
+            }),
+            Payload::U64(3),
+        ]);
+        assert_eq!(p.data_size(), 1_000_008);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Payload::U64(3).as_u64(), Some(3));
+        assert_eq!(Payload::F64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Payload::Str("a".into()).as_str(), Some("a"));
+        assert!(Payload::Unit.as_u64().is_none());
+        assert!(Payload::List(vec![]).as_list().unwrap().is_empty());
+    }
+}

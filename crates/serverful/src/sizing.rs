@@ -1,0 +1,144 @@
+//! Input-size-driven instance sizing.
+//!
+//! The paper (§4.3): *"Accurately defining the memory requirements for
+//! each input is a non-trivial challenge, as sorting is a memory-intensive
+//! operation that consumes up to 2-3 times the data size. Our architecture
+//! measures input size and selects the host instance type based on
+//! empirically defined bounds."* [`SizingPolicy`] implements that rule
+//! against the instance catalog.
+
+use cloudsim::{catalog, InstanceType};
+
+/// Chooses an instance type from the data size a job will touch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingPolicy {
+    /// Memory demand as a multiple of input size (the paper's empirical
+    /// 2–3×).
+    pub mem_factor: f64,
+    /// Never pick an instance smaller than this many GiB.
+    pub min_mem_gib: f64,
+    /// Fixed memory headroom for OS + runtime, GiB.
+    pub headroom_gib: f64,
+    /// The largest instance memory the empirically-defined bound table
+    /// covers, GiB. Inputs whose requirement exceeds this are processed
+    /// in multiple sequential rounds on the largest bounded instance
+    /// (the paper sizes "based on empirically defined bounds"; its §4.2
+    /// experiment tops out at the 64 GiB m4.4xlarge).
+    pub max_instance_mem_gib: f64,
+}
+
+impl Default for SizingPolicy {
+    fn default() -> Self {
+        SizingPolicy {
+            mem_factor: 2.5,
+            min_mem_gib: 16.0,
+            headroom_gib: 1.0,
+            max_instance_mem_gib: 64.0,
+        }
+    }
+}
+
+impl SizingPolicy {
+    /// The memory requirement for `input_bytes` of data, in GiB.
+    pub fn required_mem_gib(&self, input_bytes: u64) -> f64 {
+        let data_gib = input_bytes as f64 / (1u64 << 30) as f64;
+        (data_gib * self.mem_factor + self.headroom_gib).max(self.min_mem_gib)
+    }
+
+    /// Picks the smallest catalog instance whose memory covers the
+    /// requirement; falls back to the largest instance when nothing is
+    /// big enough (the caller may then split the job).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use serverful::SizingPolicy;
+    ///
+    /// let policy = SizingPolicy::default();
+    /// // 20 GB of input -> ~51 GiB needed -> m4.4xlarge (64 GiB).
+    /// assert_eq!(policy.choose(20_000_000_000).name, "m4.4xlarge");
+    /// ```
+    pub fn choose(&self, input_bytes: u64) -> &'static InstanceType {
+        let need = self.required_mem_gib(input_bytes);
+        catalog()
+            .iter()
+            .find(|it| it.mem_gib >= need)
+            .unwrap_or_else(|| catalog().last().expect("catalog is non-empty"))
+    }
+
+    /// Plans a stateful operation within the empirical bound table:
+    /// the instance to use and the number of sequential rounds needed
+    /// when the data exceeds the largest bounded instance.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use serverful::SizingPolicy;
+    ///
+    /// let policy = SizingPolicy::default();
+    /// // 40 GB needs ~101 GiB of memory: two rounds on an m4.4xlarge.
+    /// let (it, rounds) = policy.plan(40_000_000_000);
+    /// assert_eq!((it.name, rounds), ("m4.4xlarge", 2));
+    /// ```
+    pub fn plan(&self, input_bytes: u64) -> (&'static InstanceType, usize) {
+        let need = self.required_mem_gib(input_bytes);
+        if need <= self.max_instance_mem_gib {
+            return (self.choose(input_bytes), 1);
+        }
+        let largest = catalog()
+            .iter()
+            .rfind(|it| it.mem_gib <= self.max_instance_mem_gib)
+            .expect("catalog has an instance within the bound");
+        let usable = largest.mem_gib - self.headroom_gib;
+        let per_round_bytes = (usable / self.mem_factor * (1u64 << 30) as f64) as u64;
+        let rounds = input_bytes.div_ceil(per_round_bytes.max(1)) as usize;
+        (largest, rounds.max(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inputs_get_the_minimum_instance() {
+        let policy = SizingPolicy::default();
+        let it = policy.choose(100 * 1024 * 1024); // 100 MB
+        assert_eq!(it.name, "c5.2xlarge"); // 16 GiB floor
+    }
+
+    #[test]
+    fn memory_scales_with_the_empirical_factor() {
+        let policy = SizingPolicy::default();
+        // 24 GiB of input * 2.5 + 1 headroom = 61 GiB -> m4.4xlarge.
+        let it = policy.choose(24 * (1 << 30));
+        assert_eq!(it.name, "m4.4xlarge");
+        // 30 GiB * 2.5 + 1 = 76 GiB -> r5.4xlarge (128 GiB).
+        let it = policy.choose(30 * (1 << 30));
+        assert_eq!(it.name, "r5.4xlarge");
+    }
+
+    #[test]
+    fn oversized_inputs_fall_back_to_largest() {
+        let policy = SizingPolicy::default();
+        let it = policy.choose(100 * (1u64 << 40)); // 100 TiB
+        assert_eq!(it.name, catalog().last().unwrap().name);
+    }
+
+    #[test]
+    fn required_mem_has_floor() {
+        let policy = SizingPolicy::default();
+        assert_eq!(policy.required_mem_gib(0), policy.min_mem_gib);
+    }
+
+    #[test]
+    fn custom_factor_changes_choice() {
+        let aggressive = SizingPolicy {
+            mem_factor: 1.0,
+            ..SizingPolicy::default()
+        };
+        let default = SizingPolicy::default();
+        let bytes = 40 * (1u64 << 30);
+        assert!(aggressive.choose(bytes).mem_gib <= default.choose(bytes).mem_gib);
+    }
+}

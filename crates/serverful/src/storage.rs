@@ -1,0 +1,201 @@
+//! Client-side storage facade and CloudObject helpers.
+//!
+//! Mirrors Lithops' `Storage` object (Listing 1): synchronous
+//! `put_cloudobject` / `get_cloudobject` calls from the client that block
+//! on (simulated) completion. Logical functions access storage through
+//! [`Action`](crate::Action)s instead — their I/O is part of the timed,
+//! contended path on their own host.
+
+use cloudsim::{Notify, ObjectBody, OpId, OpOutcome};
+
+use crate::cloudobject::CloudObjectRef;
+use crate::env::CloudEnv;
+use crate::error::ExecError;
+use crate::payload::Payload;
+
+/// A handle to the object storage service from the client's vantage
+/// point.
+#[derive(Debug, Clone)]
+pub struct Storage {
+    bucket: String,
+    counter: std::cell::Cell<u64>,
+}
+
+impl Storage {
+    /// Creates a facade writing CloudObjects into `bucket`.
+    pub fn new(bucket: impl Into<String>) -> Self {
+        Storage {
+            bucket: bucket.into(),
+            counter: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The bucket this facade targets.
+    pub fn bucket(&self) -> &str {
+        &self.bucket
+    }
+
+    /// Serialises a payload and uploads it as a fresh CloudObject,
+    /// blocking until the upload completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Stalled`] if the simulation drains first.
+    pub fn put_cloudobject(
+        &self,
+        env: &mut CloudEnv,
+        payload: &Payload,
+    ) -> Result<CloudObjectRef, ExecError> {
+        let n = self.counter.get();
+        self.counter.set(n + 1);
+        let key = format!("cloudobjects/{n:08}");
+        let body = match payload {
+            // Opaque payloads stand in for large data: store size-only.
+            Payload::Opaque { size } => ObjectBody::opaque(*size),
+            other => ObjectBody::real(other.encode()),
+        };
+        let size = body.len();
+        let client = env.world().client_host();
+        let op = env
+            .world_mut()
+            .put_object(client, &self.bucket, &key, body);
+        wait_op(env, op)?;
+        Ok(CloudObjectRef::new(self.bucket.clone(), key, size))
+    }
+
+    /// Downloads and decodes a CloudObject, blocking until done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::MissingObject`] if the ref is dangling, or a
+    /// decode error for corrupt contents.
+    pub fn get_cloudobject(
+        &self,
+        env: &mut CloudEnv,
+        cobj: &CloudObjectRef,
+    ) -> Result<Payload, ExecError> {
+        let client = env.world().client_host();
+        let op = env
+            .world_mut()
+            .get_object(client, &cobj.bucket, &cobj.key);
+        match wait_op(env, op)? {
+            OpOutcome::GetOk { body } => match body.bytes() {
+                Some(bytes) => Payload::decode(bytes),
+                None => Ok(Payload::Opaque { size: body.len() }),
+            },
+            OpOutcome::GetMissing => Err(ExecError::MissingObject {
+                bucket: cobj.bucket.clone(),
+                key: cobj.key.clone(),
+            }),
+            other => unreachable!("get yielded {other:?}"),
+        }
+    }
+
+    /// Deletes a CloudObject, blocking until done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Stalled`] if the simulation drains first.
+    pub fn delete_cloudobject(
+        &self,
+        env: &mut CloudEnv,
+        cobj: &CloudObjectRef,
+    ) -> Result<(), ExecError> {
+        let client = env.world().client_host();
+        let op = env
+            .world_mut()
+            .delete_object(client, &cobj.bucket, &cobj.key);
+        wait_op(env, op)?;
+        Ok(())
+    }
+}
+
+/// Pumps the world until `op` completes. Other notifications surfacing in
+/// the meantime are dropped — client-blocking calls are only legal while
+/// no job is in flight, which the framework's sequential client model
+/// guarantees.
+fn wait_op(env: &mut CloudEnv, op: OpId) -> Result<OpOutcome, ExecError> {
+    let client = env.world().client_host();
+    let _ = client;
+    loop {
+        match env.world_mut().step() {
+            Some((_, Notify::Op { op: done, outcome })) if done == op => return Ok(outcome),
+            Some(_) => continue,
+            None => {
+                return Err(ExecError::Stalled(format!(
+                    "simulation drained waiting on {op}"
+                )))
+            }
+        }
+    }
+}
+
+/// Convenience: the host-facing bucket/key pair of a ref, for building
+/// [`Action::Get`](crate::Action::Get)s inside task logic.
+pub fn action_get(cobj: &CloudObjectRef) -> crate::task::Action {
+    crate::task::Action::Get {
+        bucket: cobj.bucket.clone(),
+        key: cobj.key.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloudobject_roundtrip_through_storage() {
+        let mut env = CloudEnv::new_default(5);
+        let storage = Storage::new("data");
+        let payload = Payload::Str("hello".into());
+        let cobj = storage.put_cloudobject(&mut env, &payload).unwrap();
+        assert!(cobj.size > 0);
+        let back = storage.get_cloudobject(&mut env, &cobj).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn opaque_payloads_stay_opaque() {
+        let mut env = CloudEnv::new_default(5);
+        let storage = Storage::new("data");
+        let payload = Payload::Opaque { size: 1 << 20 };
+        let cobj = storage.put_cloudobject(&mut env, &payload).unwrap();
+        assert_eq!(cobj.size, 1 << 20);
+        let back = storage.get_cloudobject(&mut env, &cobj).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn dangling_ref_reports_missing() {
+        let mut env = CloudEnv::new_default(5);
+        let storage = Storage::new("data");
+        let cobj = CloudObjectRef::new("data", "nope", 1);
+        match storage.get_cloudobject(&mut env, &cobj) {
+            Err(ExecError::MissingObject { key, .. }) => assert_eq!(key, "nope"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_removes_object() {
+        let mut env = CloudEnv::new_default(5);
+        let storage = Storage::new("data");
+        let cobj = storage
+            .put_cloudobject(&mut env, &Payload::U64(1))
+            .unwrap();
+        storage.delete_cloudobject(&mut env, &cobj).unwrap();
+        assert!(matches!(
+            storage.get_cloudobject(&mut env, &cobj),
+            Err(ExecError::MissingObject { .. })
+        ));
+    }
+
+    #[test]
+    fn refs_get_distinct_keys() {
+        let mut env = CloudEnv::new_default(5);
+        let storage = Storage::new("data");
+        let a = storage.put_cloudobject(&mut env, &Payload::U64(1)).unwrap();
+        let b = storage.put_cloudobject(&mut env, &Payload::U64(2)).unwrap();
+        assert_ne!(a.key, b.key);
+    }
+}

@@ -1,0 +1,299 @@
+//! Edge cases and failure injection for the executor framework.
+
+use std::sync::Arc;
+
+use cloudsim::ObjectBody;
+use serverful::executor::MapOptions;
+use serverful::task::{Action, ActionOutcome, TaskLogic, TaskStep};
+use serverful::{
+    Backend, CloudEnv, ExecError, ExecutorConfig, FunctionExecutor, Payload, ScriptTask,
+};
+
+fn noop_factory(cpu: f64) -> serverful::job::TaskFactory {
+    Arc::new(move |_| {
+        ScriptTask::new()
+            .compute(cpu)
+            .finish_value(Payload::Unit)
+            .boxed()
+    })
+}
+
+#[test]
+fn get_many_with_one_missing_key_fails_the_task() {
+    let mut env = CloudEnv::new_default(71);
+    env.seed_object("b", "present-0", ObjectBody::opaque(10));
+    env.seed_object("b", "present-1", ObjectBody::opaque(10));
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .get_many(
+                "b",
+                vec!["present-0".into(), "missing".into(), "present-1".into()],
+            )
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, vec![Payload::Unit]);
+    let err = exec.get_result(&mut env, job).expect_err("must fail");
+    assert!(matches!(err, ExecError::TaskFailed(_)), "{err}");
+}
+
+#[test]
+fn list_action_sees_previously_written_objects() {
+    let mut env = CloudEnv::new_default(73);
+    for i in 0..5 {
+        env.seed_object("b", &format!("items/{i}"), ObjectBody::opaque(1));
+    }
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .action(Action::List {
+                bucket: "b".into(),
+                prefix: "items/".into(),
+            })
+            .finish_with(|_, outcomes| match &outcomes[0] {
+                ActionOutcome::Keys(keys) => TaskStep::Finish(Payload::U64(keys.len() as u64)),
+                other => panic!("unexpected {other:?}"),
+            })
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, vec![Payload::Unit]);
+    let results = exec.get_result(&mut env, job).unwrap();
+    assert_eq!(results, vec![Payload::U64(5)]);
+}
+
+#[test]
+fn delete_action_removes_objects() {
+    let mut env = CloudEnv::new_default(79);
+    env.seed_object("b", "victim", ObjectBody::opaque(1));
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .action(Action::Delete {
+                bucket: "b".into(),
+                key: "victim".into(),
+            })
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, vec![Payload::Unit]);
+    exec.get_result(&mut env, job).unwrap();
+    assert!(env.world().store().get("b", "victim").is_none());
+}
+
+#[test]
+fn sleep_action_advances_time_without_cpu() {
+    let mut env = CloudEnv::new_default(83);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .sleep(30.0)
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, vec![Payload::Unit]);
+    exec.get_result(&mut env, job).unwrap();
+    assert!(env.now().as_secs_f64() > 30.0);
+}
+
+/// A logic that fails on demand partway through a multi-op action.
+struct FailAfterRead;
+
+impl TaskLogic for FailAfterRead {
+    fn on_start(&mut self, _input: &Payload) -> TaskStep {
+        TaskStep::Act(Action::Get {
+            bucket: "b".into(),
+            key: "data".into(),
+        })
+    }
+
+    fn on_action(&mut self, _outcome: ActionOutcome) -> TaskStep {
+        TaskStep::Fail("deliberate failure after read".into())
+    }
+}
+
+#[test]
+fn explicit_task_failure_propagates_message() {
+    let mut env = CloudEnv::new_default(89);
+    env.seed_object("b", "data", ObjectBody::opaque(64));
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|_| Box::new(FailAfterRead));
+    let job = exec.map(&mut env, factory, vec![Payload::Unit]);
+    let err = exec.get_result(&mut env, job).expect_err("must fail");
+    assert!(err.to_string().contains("deliberate failure"), "{err}");
+}
+
+#[test]
+fn failure_in_one_task_fails_fast_without_hanging_others() {
+    let mut env = CloudEnv::new_default(97);
+    env.seed_object("b", "ok", ObjectBody::opaque(8));
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    // Task 0 reads a missing key; the rest compute for a long time.
+    let factory: serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        if input.as_u64() == Some(0) {
+            ScriptTask::new()
+                .get("b", "missing")
+                .finish_value(Payload::Unit)
+                .boxed()
+        } else {
+            ScriptTask::new()
+                .compute(1000.0)
+                .finish_value(Payload::Unit)
+                .boxed()
+        }
+    });
+    let job = exec.map(&mut env, factory, (0..4).map(Payload::U64).collect());
+    let err = exec.get_result(&mut env, job).expect_err("must fail");
+    assert!(matches!(err, ExecError::TaskFailed(_)));
+    // The failure surfaced long before the healthy tasks' 1000 s.
+    assert!(env.now().as_secs_f64() < 100.0);
+}
+
+#[test]
+fn consolidated_pool_reprovisions_when_inputs_outgrow_the_vm() {
+    let mut env = CloudEnv::new_default(101);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    // First job: tiny inputs -> small instance.
+    let job = exec.map(&mut env, noop_factory(0.5), vec![Payload::Unit]);
+    exec.get_result(&mut env, job).unwrap();
+    let t_after_small = env.now().as_secs_f64();
+    // Second job: inputs referencing 30 GB -> needs a bigger instance ->
+    // terminate + boot again.
+    let big = Payload::CloudObject(serverful::CloudObjectRef::new(
+        "b",
+        "huge",
+        30_000_000_000,
+    ));
+    env.seed_object("b", "huge", ObjectBody::opaque(30_000_000_000));
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .compute(0.5)
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, vec![big]);
+    exec.get_result(&mut env, job).unwrap();
+    let second_duration = env.now().as_secs_f64() - t_after_small;
+    assert!(
+        second_duration > 25.0,
+        "a re-boot should dominate the second job, got {second_duration:.1} s"
+    );
+    exec.shutdown(&mut env);
+    // Two worker VMs were billed (the small one and its replacement).
+    let vm_entries = env
+        .world()
+        .ledger()
+        .entries()
+        .iter()
+        .filter(|e| e.category == telemetry::CostCategory::VmCompute)
+        .count();
+    assert_eq!(vm_entries, 2);
+}
+
+#[test]
+fn vm_jobs_queue_fifo_on_one_pool() {
+    let mut env = CloudEnv::new_default(103);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    // Submit two jobs back to back, then redeem in order.
+    let job_a = exec.map_with(
+        &mut env,
+        noop_factory(1.0),
+        vec![Payload::Unit],
+        MapOptions::named("first"),
+    );
+    let job_b = exec.map_with(
+        &mut env,
+        noop_factory(1.0),
+        vec![Payload::Unit],
+        MapOptions::named("second"),
+    );
+    exec.get_result(&mut env, job_a).unwrap();
+    exec.get_result(&mut env, job_b).unwrap();
+    let tl = env.timeline();
+    let first = tl.span("first").unwrap();
+    let second = tl.span("second").unwrap();
+    assert!(second.end >= first.end, "jobs complete in submission order");
+    exec.shutdown(&mut env);
+}
+
+#[test]
+fn two_faas_jobs_can_interleave() {
+    // Two executors submit before either redeems; both complete.
+    let mut env = CloudEnv::new_default(107);
+    let mut a = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let mut b = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let job_a = a.map(&mut env, noop_factory(2.0), vec![Payload::Unit; 3]);
+    let job_b = b.map(&mut env, noop_factory(2.0), vec![Payload::Unit; 3]);
+    let ra = a.get_result(&mut env, job_a).unwrap();
+    let rb = b.get_result(&mut env, job_b).unwrap();
+    assert_eq!(ra.len(), 3);
+    assert_eq!(rb.len(), 3);
+    // Interleaved execution: the whole thing took about one job's time,
+    // not two.
+    assert!(env.now().as_secs_f64() < 25.0, "{}", env.now());
+}
+
+#[test]
+fn results_preserve_input_order_despite_out_of_order_completion() {
+    let mut env = CloudEnv::new_default(109);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    // Task i computes for (10 - i) seconds: later inputs finish earlier.
+    let factory: serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let i = input.as_u64().unwrap();
+        ScriptTask::new()
+            .compute((10 - i) as f64)
+            .finish_value(Payload::U64(i))
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, (0..10).map(Payload::U64).collect());
+    let results = exec.get_result(&mut env, job).unwrap();
+    let expected: Vec<Payload> = (0..10).map(Payload::U64).collect();
+    assert_eq!(results, expected);
+}
+
+#[test]
+fn empty_map_panics_loudly() {
+    let mut env = CloudEnv::new_default(113);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.map(&mut env, noop_factory(1.0), vec![])
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn io_overlap_accounting_stays_balanced() {
+    // Busy counts must return to zero after a heavy-I/O job; otherwise
+    // the Table 3 statistics would drift.
+    let mut env = CloudEnv::new_default(127);
+    for i in 0..8 {
+        env.seed_object("b", &format!("in/{i}"), ObjectBody::opaque(50_000_000));
+    }
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let factory: serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let i = input.as_u64().unwrap();
+        ScriptTask::new()
+            .get("b", format!("in/{i}"))
+            .compute(1.0)
+            .put("b", format!("out/{i}"), ObjectBody::opaque(1_000_000))
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, (0..8).map(Payload::U64).collect());
+    exec.get_result(&mut env, job).unwrap();
+    let end = env.now();
+    // After completion nothing is provisioned except the scheduler, and
+    // no stray busy fractions remain: utilisation is exactly the
+    // scheduler's own (1 busy of 1 provisioned = 100 %) or zero-busy.
+    let samples = env.world().cpu_monitor().utilisation_samples(
+        end,
+        end + simkernel::SimDuration::from_secs(1),
+        simkernel::SimDuration::from_millis(500),
+    );
+    for s in samples {
+        assert!(
+            s.abs() < 1e-6 || (s - 100.0).abs() < 1e-6,
+            "residual busy fraction: {s}"
+        );
+    }
+}

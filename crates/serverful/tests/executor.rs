@@ -1,0 +1,283 @@
+//! End-to-end tests of the FunctionExecutor on both backends.
+
+use std::sync::Arc;
+
+use cloudsim::ObjectBody;
+use serverful::executor::MapOptions;
+use serverful::{
+    Backend, CloudEnv, ExecMode, ExecutorConfig, FunctionExecutor, Payload, ScriptTask, Storage,
+    TaskStep,
+};
+use telemetry::CostCategory;
+
+fn double_factory() -> serverful::job::TaskFactory {
+    Arc::new(|input: &Payload| {
+        let x = input.as_u64().expect("u64 input");
+        ScriptTask::new()
+            .compute(1.0)
+            .finish_value(Payload::U64(x * 2))
+            .boxed()
+    })
+}
+
+#[test]
+fn faas_map_returns_results_in_input_order() {
+    let mut env = CloudEnv::new_default(11);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let inputs: Vec<Payload> = (0..20).map(Payload::U64).collect();
+    let job = exec.map(&mut env, double_factory(), inputs);
+    let results = exec.get_result(&mut env, job).expect("job succeeds");
+    let expected: Vec<Payload> = (0..20).map(|x| Payload::U64(x * 2)).collect();
+    assert_eq!(results, expected);
+}
+
+#[test]
+fn faas_map_bills_lambda_and_storage() {
+    let mut env = CloudEnv::new_default(11);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let job = exec.map(&mut env, double_factory(), vec![Payload::U64(1)]);
+    exec.get_result(&mut env, job).unwrap();
+    let ledger = env.world().ledger();
+    assert!(ledger.total_for(CostCategory::FaasCompute) > 0.0);
+    assert!(ledger.total_for(CostCategory::FaasRequests) > 0.0);
+    // Input upload, result write, monitor LIST/GET all hit storage.
+    assert!(ledger.total_for(CostCategory::StorageRequests) > 0.0);
+    assert_eq!(ledger.total_for(CostCategory::VmCompute), 0.0);
+}
+
+#[test]
+fn faas_map_takes_realistic_wall_time() {
+    let mut env = CloudEnv::new_default(11);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let inputs: Vec<Payload> = (0..100).map(Payload::U64).collect();
+    let factory: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .compute(5.0)
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, factory, inputs);
+    exec.get_result(&mut env, job).unwrap();
+    let secs = env.now().as_secs_f64();
+    // The paper's Table 1 measures 12.56 s for this exact shape.
+    assert!(
+        (7.0..20.0).contains(&secs),
+        "100x5s map should take ~8-15 s end-to-end, got {secs}"
+    );
+}
+
+#[test]
+fn vm_backend_runs_map_on_consolidated_instance() {
+    let mut env = CloudEnv::new_default(13);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let inputs: Vec<Payload> = (0..8).map(Payload::U64).collect();
+    let job = exec.map(&mut env, double_factory(), inputs);
+    let results = exec.get_result(&mut env, job).expect("job succeeds");
+    assert_eq!(results.len(), 8);
+    assert_eq!(results[3], Payload::U64(6));
+    // VM time was billed, not Lambda time... but only after teardown.
+    exec.shutdown(&mut env);
+    let ledger = env.world().ledger();
+    assert_eq!(ledger.total_for(CostCategory::FaasCompute), 0.0);
+    assert!(ledger.total_for(CostCategory::VmCompute) > 0.0);
+    // Provisioning dominates: ~30 s boot + setup + ssh + work.
+    let secs = env.now().as_secs_f64();
+    assert!((30.0..90.0).contains(&secs), "got {secs}");
+}
+
+#[test]
+fn vm_backend_reuses_instances_across_jobs() {
+    let mut env = CloudEnv::new_default(13);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let job = exec.map(&mut env, double_factory(), vec![Payload::U64(1)]);
+    exec.get_result(&mut env, job).unwrap();
+    let after_first = env.now().as_secs_f64();
+    let job = exec.map(&mut env, double_factory(), vec![Payload::U64(2)]);
+    exec.get_result(&mut env, job).unwrap();
+    let second_duration = env.now().as_secs_f64() - after_first;
+    // No second boot: the job runs in a few seconds.
+    assert!(
+        second_duration < 0.5 * after_first,
+        "second job ({second_duration} s) should be much faster than first ({after_first} s)"
+    );
+    exec.shutdown(&mut env);
+}
+
+#[test]
+fn vm_backend_without_reuse_tears_down_after_job() {
+    let mut env = CloudEnv::new_default(13);
+    let mut cfg = ExecutorConfig::default();
+    cfg.standalone.reuse_instances = false;
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), cfg);
+    let job = exec.map(&mut env, double_factory(), vec![Payload::U64(1)]);
+    exec.get_result(&mut env, job).unwrap();
+    // VM billing already recorded without an explicit shutdown.
+    assert!(env.world().ledger().total_for(CostCategory::VmCompute) > 0.0);
+}
+
+#[test]
+fn vm_fleet_mode_uses_master_plus_workers() {
+    let mut env = CloudEnv::new_default(17);
+    let mut cfg = ExecutorConfig::default();
+    cfg.standalone.exec_mode = ExecMode::Fleet {
+        instance_type: "c5.2xlarge".into(),
+        count: 2,
+    };
+    cfg.standalone.reuse_instances = false;
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), cfg);
+    let inputs: Vec<Payload> = (0..32).map(Payload::U64).collect();
+    let job = exec.map(&mut env, double_factory(), inputs);
+    let results = exec.get_result(&mut env, job).expect("job succeeds");
+    assert_eq!(results.len(), 32);
+    // Three VMs were billed: master + 2 workers.
+    let entries = env
+        .world()
+        .ledger()
+        .entries()
+        .iter()
+        .filter(|e| e.category == CostCategory::VmCompute)
+        .count();
+    assert_eq!(entries, 3);
+}
+
+#[test]
+fn hybrid_listing1_flow_passes_cloudobjects_between_backends() {
+    // The paper's Listing 1: create objects on Lambda, double them on EC2.
+    let mut env = CloudEnv::new_default(19);
+    let _storage = Storage::new("lithops-workspace");
+
+    // Stage 1 on Lambda: store x*10 as a cloudobject.
+    let mut lambda = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let create: serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let x = input.as_u64().expect("u64");
+        let data = Payload::U64(x * 10).encode();
+        let key = format!("stage1/{x}");
+        let len = data.len() as u64;
+        ScriptTask::new()
+            .put("lithops-workspace", &key, ObjectBody::real(data))
+            .finish_value(Payload::CloudObject(serverful::CloudObjectRef::new(
+                "lithops-workspace",
+                key,
+                len,
+            )))
+            .boxed()
+    });
+    let job = lambda.map(&mut env, create, vec![Payload::U64(1), Payload::U64(2)]);
+    let cobjs = lambda.get_result(&mut env, job).expect("stage 1");
+
+    // Stage 2 on EC2: read each object, double, return the value.
+    let mut ec2 = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let double: serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let r = input.as_cloudobject().expect("ref").clone();
+        ScriptTask::new()
+            .get(r.bucket.clone(), r.key.clone())
+            .compute(0.1)
+            .finish_with(|_, outcomes| {
+                let body = match &outcomes[0] {
+                    serverful::ActionOutcome::Object(b) => b,
+                    other => panic!("unexpected {other:?}"),
+                };
+                let inner = Payload::decode(body.bytes().unwrap()).unwrap();
+                TaskStep::Finish(Payload::U64(inner.as_u64().unwrap() * 2))
+            })
+            .boxed()
+    });
+    let job = ec2.map_with(
+        &mut env,
+        double,
+        cobjs,
+        MapOptions::named("double").stateful(),
+    );
+    let results = ec2.get_result(&mut env, job).expect("stage 2");
+    assert_eq!(results, vec![Payload::U64(20), Payload::U64(40)]);
+    ec2.shutdown(&mut env);
+
+    // Both backends were billed.
+    let ledger = env.world().ledger();
+    assert!(ledger.total_for(CostCategory::FaasCompute) > 0.0);
+    assert!(ledger.total_for(CostCategory::VmCompute) > 0.0);
+    // The timeline recorded both stages, the second stateful.
+    let tl = env.timeline();
+    assert_eq!(tl.spans().len(), 2);
+    assert!(tl.span("double").unwrap().stateful);
+}
+
+#[test]
+fn failed_task_surfaces_as_error() {
+    let mut env = CloudEnv::new_default(23);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let failing: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .get("nope-bucket", "nope-key")
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, failing, vec![Payload::Unit]);
+    let err = exec.get_result(&mut env, job).expect_err("must fail");
+    assert!(err.to_string().contains("task failed"), "{err}");
+}
+
+#[test]
+fn kv_access_fails_cleanly_on_faas_backend() {
+    let mut env = CloudEnv::new_default(29);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let kv_task: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .action(serverful::Action::KvGet { key: "x".into() })
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, kv_task, vec![Payload::Unit]);
+    let err = exec.get_result(&mut env, job).expect_err("must fail");
+    assert!(err.to_string().contains("unsupported"), "{err}");
+}
+
+#[test]
+fn kv_actions_work_on_vm_backend() {
+    let mut env = CloudEnv::new_default(31);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    // Task 0 writes to the master KV; then a second job reads it back
+    // (same pool, instances reused).
+    let writer: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .action(serverful::Action::KvPut {
+                key: "shared".into(),
+                body: ObjectBody::real(vec![42u8]),
+            })
+            .finish_value(Payload::Unit)
+            .boxed()
+    });
+    let job = exec.map(&mut env, writer, vec![Payload::Unit]);
+    exec.get_result(&mut env, job).unwrap();
+
+    let reader: serverful::job::TaskFactory = Arc::new(|_| {
+        ScriptTask::new()
+            .action(serverful::Action::KvGet {
+                key: "shared".into(),
+            })
+            .finish_with(|_, outcomes| match &outcomes[0] {
+                serverful::ActionOutcome::KvValue(Some(body)) => {
+                    TaskStep::Finish(Payload::U64(body.bytes().unwrap()[0] as u64))
+                }
+                other => panic!("unexpected {other:?}"),
+            })
+            .boxed()
+    });
+    let job = exec.map(&mut env, reader, vec![Payload::Unit]);
+    let results = exec.get_result(&mut env, job).unwrap();
+    assert_eq!(results, vec![Payload::U64(42)]);
+    exec.shutdown(&mut env);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let mut env = CloudEnv::new_default(37);
+        let mut exec =
+            FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+        let job = exec.map(&mut env, double_factory(), (0..10).map(Payload::U64).collect());
+        exec.get_result(&mut env, job).unwrap();
+        (env.now(), env.world().ledger().total())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,121 @@
+//! Key data: generation, encoding, partitioning.
+//!
+//! Real-mode sort data is a flat array of `u64` keys encoded as
+//! little-endian bytes — the simplest format that makes "is the output
+//! globally sorted" a meaningful, checkable property.
+
+use bytes::Bytes;
+use simkernel::SimRng;
+
+/// Encodes keys as little-endian bytes.
+pub fn encode_keys(keys: &[u64]) -> Bytes {
+    let mut out = Vec::with_capacity(keys.len() * 8);
+    for k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decodes little-endian bytes back into keys.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of 8.
+pub fn decode_keys(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len().is_multiple_of(8), "key blob length must be 8-aligned");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+/// Generates `n` uniformly random keys.
+pub fn random_keys(rng: &mut SimRng, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.uniform_u64(0, u64::MAX)).collect()
+}
+
+/// Evenly spaced range splitters for `r` ranges over the full `u64`
+/// domain: range `i` holds keys in `[splitters[i-1], splitters[i])`.
+pub fn uniform_splitters(r: usize) -> Vec<u64> {
+    assert!(r > 0, "need at least one range");
+    let step = u64::MAX / r as u64;
+    (1..r as u64).map(|i| i * step).collect()
+}
+
+/// The range a key belongs to, per `partition_point` over the splitters.
+pub fn range_of(key: u64, splitters: &[u64]) -> usize {
+    splitters.partition_point(|&s| s <= key)
+}
+
+/// Splits keys into `splitters.len() + 1` range buckets.
+pub fn partition_keys(keys: &[u64], splitters: &[u64]) -> Vec<Vec<u64>> {
+    let mut buckets = vec![Vec::new(); splitters.len() + 1];
+    for &k in keys {
+        buckets[range_of(k, splitters)].push(k);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let keys = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode_keys(&encode_keys(&keys)), keys);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-aligned")]
+    fn misaligned_blob_panics() {
+        decode_keys(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn partition_covers_all_keys_and_respects_ranges() {
+        let mut rng = SimRng::seed_from(1);
+        let keys = random_keys(&mut rng, 10_000);
+        let splitters = uniform_splitters(8);
+        let buckets = partition_keys(&keys, &splitters);
+        assert_eq!(buckets.len(), 8);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), keys.len());
+        for (i, bucket) in buckets.iter().enumerate() {
+            for &k in bucket {
+                if i > 0 {
+                    assert!(k >= splitters[i - 1]);
+                }
+                if i < splitters.len() {
+                    assert!(k < splitters[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_splitters_are_increasing() {
+        let s = uniform_splitters(16);
+        assert_eq!(s.len(), 15);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_of_boundaries() {
+        let splitters = vec![10, 20];
+        assert_eq!(range_of(9, &splitters), 0);
+        assert_eq!(range_of(10, &splitters), 1);
+        assert_eq!(range_of(19, &splitters), 1);
+        assert_eq!(range_of(20, &splitters), 2);
+    }
+
+    #[test]
+    fn uniform_keys_spread_roughly_evenly() {
+        let mut rng = SimRng::seed_from(9);
+        let keys = random_keys(&mut rng, 80_000);
+        let buckets = partition_keys(&keys, &uniform_splitters(8));
+        for b in &buckets {
+            let frac = b.len() as f64 / keys.len() as f64;
+            assert!((frac - 0.125).abs() < 0.02, "skewed bucket: {frac}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Distributed sort/partition operators over the serverful framework.
+//!
+//! The paper's §4.2 experiment ("the serverless sort hindrance",
+//! Figure 5) compares two ways to sort-and-partition a dataset:
+//!
+//! * [`serverless_sort`] — a range-partition sort purely on cloud
+//!   functions: mappers read chunks from object storage, partition them
+//!   into `R` ranges and write every piece back to storage; reducers
+//!   perform the all-to-all read, sort their range and write the output.
+//!   The 2·P·R intermediate objects are what saturates storage
+//!   throughput.
+//! * [`vm_sort`] — an in-place sort on a single right-sized VM: workers
+//!   read their share of chunks, exchange partitions through *shared
+//!   memory* (the master-local KV), sort and write the output. Only the
+//!   input read and output write touch object storage.
+//!
+//! Both run through the exact same `FunctionExecutor` API — switching
+//! is one backend argument, which is the paper's whole point.
+//!
+//! Data comes in two flavours:
+//! * **real** — chunks hold actual little-endian `u64` keys; the sort is
+//!   performed for real and [`verify::check_sorted`] proves global order.
+//!   Used by tests and examples at MB scale.
+//! * **opaque** — chunks carry only a declared size; timing and billing
+//!   are identical but nothing is materialised. Used at paper scale
+//!   (tens of GB).
+
+pub mod config;
+pub mod data;
+pub mod driver;
+pub mod tasks;
+pub mod verify;
+
+pub use config::SortConfig;
+pub use driver::{run_exchange, run_fused_exchange, seed_input, serverless_sort, vm_sort, SortReport};

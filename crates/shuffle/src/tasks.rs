@@ -1,0 +1,451 @@
+//! The logical functions of the sort: scatter (read + partition +
+//! exchange-write) and gather (exchange-read + sort + output-write).
+//!
+//! Both are parameterised by the exchange medium — object storage for
+//! the serverless sort, the master-local KV (shared memory) for the
+//! in-VM sort — so the *same* task code exercises both architectures.
+
+use cloudsim::ObjectBody;
+use serverful::cloudobject::CloudObjectRef;
+use serverful::task::{Action, ActionOutcome, TaskLogic, TaskStep};
+use serverful::Payload;
+
+use crate::config::SortConfig;
+use crate::data;
+
+/// Where intermediate pieces travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// Through object storage (`PutMany`/`GetMany`): the serverless path.
+    Storage,
+    /// Through the master's KV store — shared memory when the master is
+    /// the same VM: the serverful path.
+    Kv,
+}
+
+/// Key of a KV-exchanged piece.
+fn kv_piece_key(mapper: usize, range: usize) -> String {
+    format!("piece/{mapper:05}/{range:05}")
+}
+
+/// Scatter stage: read input chunks, partition into `ranges` buckets,
+/// write each piece to the exchange medium.
+pub struct ScatterTask {
+    cfg: SortConfig,
+    worker: usize,
+    ranges: usize,
+    exchange: Exchange,
+    refs: Vec<CloudObjectRef>,
+    stage: ScatterStage,
+}
+
+enum ScatterStage {
+    Init,
+    Reading,
+    Partitioning { pieces: Vec<ObjectBody> },
+    WritingStorage,
+    WritingKv { pieces: Vec<(usize, ObjectBody)> },
+}
+
+impl ScatterTask {
+    /// Creates the scatter logic for `worker`, reading the chunks in
+    /// `refs`.
+    pub fn new(
+        cfg: SortConfig,
+        worker: usize,
+        ranges: usize,
+        exchange: Exchange,
+        refs: Vec<CloudObjectRef>,
+    ) -> Self {
+        ScatterTask {
+            cfg,
+            worker,
+            ranges,
+            exchange,
+            refs,
+            stage: ScatterStage::Init,
+        }
+    }
+
+    /// Builds the per-range pieces from the fetched chunk bodies.
+    fn make_pieces(&self, bodies: &[ObjectBody]) -> Vec<ObjectBody> {
+        let total: u64 = bodies.iter().map(ObjectBody::len).sum();
+        if self.cfg.real_data {
+            let mut keys = Vec::with_capacity((total / 8) as usize);
+            for body in bodies {
+                keys.extend(data::decode_keys(
+                    body.bytes().expect("real-mode chunk has bytes"),
+                ));
+            }
+            let splitters = data::uniform_splitters(self.ranges);
+            data::partition_keys(&keys, &splitters)
+                .into_iter()
+                .map(|bucket| ObjectBody::real(data::encode_keys(&bucket)))
+                .collect()
+        } else {
+            // Opaque mode: even split, remainder on the last range.
+            let base = total / self.ranges as u64;
+            (0..self.ranges)
+                .map(|r| {
+                    let size = if r + 1 == self.ranges {
+                        total - base * (self.ranges as u64 - 1)
+                    } else {
+                        base
+                    };
+                    ObjectBody::opaque(size)
+                })
+                .collect()
+        }
+    }
+
+    fn next_kv_put(&mut self) -> TaskStep {
+        let ScatterStage::WritingKv { pieces } = &mut self.stage else {
+            unreachable!("kv write outside WritingKv")
+        };
+        match pieces.pop() {
+            Some((range, body)) => TaskStep::Act(Action::KvPut {
+                key: kv_piece_key(self.worker, range),
+                body,
+            }),
+            None => TaskStep::Finish(Payload::Unit),
+        }
+    }
+}
+
+impl TaskLogic for ScatterTask {
+    fn on_start(&mut self, _input: &Payload) -> TaskStep {
+        if self.refs.is_empty() {
+            // No chunks assigned (more workers than chunks): still emit
+            // empty pieces so every gather finds its full piece set.
+            let pieces = self.make_pieces(&[]);
+            self.stage = ScatterStage::Partitioning { pieces };
+            return TaskStep::Act(Action::Compute { cpu_secs: 0.0 });
+        }
+        self.stage = ScatterStage::Reading;
+        let bucket = self.refs[0].bucket.clone();
+        let keys = self.refs.iter().map(|r| r.key.clone()).collect();
+        TaskStep::Act(Action::GetMany { bucket, keys })
+    }
+
+    fn on_action(&mut self, outcome: ActionOutcome) -> TaskStep {
+        match std::mem::replace(&mut self.stage, ScatterStage::Init) {
+            ScatterStage::Reading => {
+                let ActionOutcome::Objects(bodies) = outcome else {
+                    return TaskStep::Fail("scatter read failed".into());
+                };
+                let total: u64 = bodies.iter().map(ObjectBody::len).sum();
+                let pieces = self.make_pieces(&bodies);
+                self.stage = ScatterStage::Partitioning { pieces };
+                TaskStep::Act(Action::Compute {
+                    cpu_secs: self.cfg.partition_cpu_secs(total),
+                })
+            }
+            ScatterStage::Partitioning { pieces } => match self.exchange {
+                Exchange::Storage => {
+                    let entries: Vec<(String, ObjectBody)> = pieces
+                        .into_iter()
+                        .enumerate()
+                        .map(|(r, body)| (self.cfg.piece_key(self.worker, r), body))
+                        .collect();
+                    self.stage = ScatterStage::WritingStorage;
+                    TaskStep::Act(Action::PutMany {
+                        bucket: self.cfg.bucket.clone(),
+                        entries,
+                    })
+                }
+                Exchange::Kv => {
+                    self.stage = ScatterStage::WritingKv {
+                        pieces: pieces.into_iter().enumerate().collect(),
+                    };
+                    self.next_kv_put()
+                }
+            },
+            ScatterStage::WritingStorage => TaskStep::Finish(Payload::Unit),
+            ScatterStage::WritingKv { pieces } => {
+                self.stage = ScatterStage::WritingKv { pieces };
+                self.next_kv_put()
+            }
+            ScatterStage::Init => unreachable!("action completed before start"),
+        }
+    }
+}
+
+/// Gather stage: all-to-all read of one range's pieces, sort, write the
+/// output part.
+pub struct GatherTask {
+    cfg: SortConfig,
+    range: usize,
+    mappers: usize,
+    exchange: Exchange,
+    stage: GatherStage,
+}
+
+enum GatherStage {
+    Init,
+    ReadingStorage,
+    ReadingKv { next: usize, bodies: Vec<ObjectBody> },
+    Sorting { output: ObjectBody },
+    Writing { bytes: u64 },
+}
+
+impl GatherTask {
+    /// Creates the gather logic for `range`, reading from `mappers`
+    /// scatter tasks.
+    pub fn new(cfg: SortConfig, range: usize, mappers: usize, exchange: Exchange) -> Self {
+        GatherTask {
+            cfg,
+            range,
+            mappers,
+            exchange,
+            stage: GatherStage::Init,
+        }
+    }
+
+    /// Re-issues the KV read of the piece currently awaited (used by the
+    /// fused exchange to retry after a not-yet-written piece).
+    pub(crate) fn retry_pending_kv(&mut self) -> TaskStep {
+        let GatherStage::ReadingKv { next, .. } = &self.stage else {
+            unreachable!("retry outside a KV read")
+        };
+        TaskStep::Act(Action::KvGet {
+            key: kv_piece_key(next - 1, self.range),
+        })
+    }
+
+    fn sort_step(&mut self, bodies: Vec<ObjectBody>) -> TaskStep {
+        let total: u64 = bodies.iter().map(ObjectBody::len).sum();
+        let output = if self.cfg.real_data {
+            let mut keys = Vec::with_capacity((total / 8) as usize);
+            for body in &bodies {
+                keys.extend(data::decode_keys(
+                    body.bytes().expect("real-mode piece has bytes"),
+                ));
+            }
+            keys.sort_unstable();
+            ObjectBody::real(data::encode_keys(&keys))
+        } else {
+            ObjectBody::opaque(total)
+        };
+        let cpu = self.cfg.sort_cpu_secs(total);
+        self.stage = GatherStage::Sorting { output };
+        TaskStep::Act(Action::Compute { cpu_secs: cpu })
+    }
+}
+
+impl TaskLogic for GatherTask {
+    fn on_start(&mut self, _input: &Payload) -> TaskStep {
+        match self.exchange {
+            Exchange::Storage => {
+                self.stage = GatherStage::ReadingStorage;
+                let keys = (0..self.mappers)
+                    .map(|m| self.cfg.piece_key(m, self.range))
+                    .collect();
+                TaskStep::Act(Action::GetMany {
+                    bucket: self.cfg.bucket.clone(),
+                    keys,
+                })
+            }
+            Exchange::Kv => {
+                self.stage = GatherStage::ReadingKv {
+                    next: 1,
+                    bodies: Vec::new(),
+                };
+                TaskStep::Act(Action::KvGet {
+                    key: kv_piece_key(0, self.range),
+                })
+            }
+        }
+    }
+
+    fn on_action(&mut self, outcome: ActionOutcome) -> TaskStep {
+        match std::mem::replace(&mut self.stage, GatherStage::Init) {
+            GatherStage::ReadingStorage => {
+                let ActionOutcome::Objects(bodies) = outcome else {
+                    return TaskStep::Fail("gather read failed".into());
+                };
+                self.sort_step(bodies)
+            }
+            GatherStage::ReadingKv { next, mut bodies } => {
+                let ActionOutcome::KvValue(Some(body)) = outcome else {
+                    return TaskStep::Fail(format!(
+                        "kv piece {} missing for range {}",
+                        next - 1,
+                        self.range
+                    ));
+                };
+                bodies.push(body);
+                if next < self.mappers {
+                    self.stage = GatherStage::ReadingKv {
+                        next: next + 1,
+                        bodies,
+                    };
+                    TaskStep::Act(Action::KvGet {
+                        key: kv_piece_key(next, self.range),
+                    })
+                } else {
+                    self.sort_step(bodies)
+                }
+            }
+            GatherStage::Sorting { output } => {
+                let bytes = output.len();
+                self.stage = GatherStage::Writing { bytes };
+                TaskStep::Act(Action::Put {
+                    bucket: self.cfg.bucket.clone(),
+                    key: self.cfg.output_key(self.range),
+                    body: output,
+                })
+            }
+            GatherStage::Writing { bytes } => TaskStep::Finish(Payload::U64(bytes)),
+            GatherStage::Init => unreachable!("action completed before start"),
+        }
+    }
+}
+
+/// The fused in-VM exchange: one worker performs scatter *and* gather in
+/// a single logical function, synchronising with its peers through the
+/// shared-memory KV — possible because all workers share the master's
+/// address space ("workers within a VM run as processes within the same
+/// container"). This halves the per-stage framework overhead compared
+/// with a two-job scatter/gather and is what the serverful backend runs
+/// for stateful operations.
+pub struct FusedExchangeTask {
+    scatter: ScatterTask,
+    gather: GatherTask,
+    phase: FusedPhase,
+    retries: usize,
+}
+
+enum FusedPhase {
+    Scattering,
+    Gathering,
+    AwaitingRetry,
+}
+
+/// How long a worker sleeps before re-checking for a missing peer piece.
+const RETRY_SECS: f64 = 0.15;
+/// Bound on retries so a lost piece fails loudly instead of spinning.
+const MAX_RETRIES: usize = 10_000;
+
+impl FusedExchangeTask {
+    /// Creates the fused logic for `worker`, which also owns range
+    /// `worker` of the output.
+    pub fn new(
+        cfg: SortConfig,
+        worker: usize,
+        workers: usize,
+        refs: Vec<CloudObjectRef>,
+    ) -> Self {
+        FusedExchangeTask {
+            scatter: ScatterTask::new(cfg.clone(), worker, workers, Exchange::Kv, refs),
+            gather: GatherTask::new(cfg, worker, workers, Exchange::Kv),
+            phase: FusedPhase::Scattering,
+            retries: 0,
+        }
+    }
+}
+
+impl TaskLogic for FusedExchangeTask {
+    fn on_start(&mut self, input: &Payload) -> TaskStep {
+        self.phase = FusedPhase::Scattering;
+        self.scatter.on_start(input)
+    }
+
+    fn on_action(&mut self, outcome: ActionOutcome) -> TaskStep {
+        match self.phase {
+            FusedPhase::Scattering => match self.scatter.on_action(outcome) {
+                TaskStep::Finish(_) => {
+                    self.phase = FusedPhase::Gathering;
+                    self.gather.on_start(&Payload::Unit)
+                }
+                other => other,
+            },
+            FusedPhase::Gathering => {
+                // A missing piece means a peer has not scattered yet:
+                // wait and retry instead of failing.
+                if let ActionOutcome::KvValue(None) = outcome {
+                    self.retries += 1;
+                    if self.retries > MAX_RETRIES {
+                        return TaskStep::Fail("exchange peer never produced its piece".into());
+                    }
+                    self.phase = FusedPhase::AwaitingRetry;
+                    return TaskStep::Act(Action::Sleep { secs: RETRY_SECS });
+                }
+                self.gather.on_action(outcome)
+            }
+            FusedPhase::AwaitingRetry => {
+                // The sleep elapsed; re-issue the same KV read by
+                // restarting the gather's pending request.
+                debug_assert!(matches!(outcome, ActionOutcome::Done));
+                self.phase = FusedPhase::Gathering;
+                self.gather.retry_pending_kv()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real_cfg() -> SortConfig {
+        SortConfig::small_real(8_000, 2, 2)
+    }
+
+    #[test]
+    fn scatter_pieces_partition_real_keys() {
+        let cfg = real_cfg();
+        let task = ScatterTask::new(cfg, 0, 2, Exchange::Storage, vec![]);
+        let keys: Vec<u64> = vec![1, u64::MAX / 2 + 10, 5, u64::MAX - 1];
+        let body = ObjectBody::real(data::encode_keys(&keys));
+        let pieces = task.make_pieces(&[body]);
+        assert_eq!(pieces.len(), 2);
+        let low = data::decode_keys(pieces[0].bytes().unwrap());
+        let high = data::decode_keys(pieces[1].bytes().unwrap());
+        assert_eq!(low, vec![1, 5]);
+        assert_eq!(high.len(), 2);
+    }
+
+    #[test]
+    fn scatter_opaque_pieces_cover_total() {
+        let mut cfg = real_cfg();
+        cfg.real_data = false;
+        let task = ScatterTask::new(cfg, 0, 3, Exchange::Storage, vec![]);
+        let pieces = task.make_pieces(&[ObjectBody::opaque(1000)]);
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces.iter().map(ObjectBody::len).sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn gather_kv_reads_all_mappers_sequentially() {
+        let cfg = real_cfg();
+        let mut task = GatherTask::new(cfg, 0, 3, Exchange::Kv);
+        let step = task.on_start(&Payload::Unit);
+        assert!(matches!(step, TaskStep::Act(Action::KvGet { .. })));
+        // Two more KV gets, then the sort compute.
+        let piece = || ObjectBody::real(data::encode_keys(&[3, 1, 2]));
+        let step = task.on_action(ActionOutcome::KvValue(Some(piece())));
+        assert!(matches!(step, TaskStep::Act(Action::KvGet { .. })));
+        let step = task.on_action(ActionOutcome::KvValue(Some(piece())));
+        assert!(matches!(step, TaskStep::Act(Action::KvGet { .. })));
+        let step = task.on_action(ActionOutcome::KvValue(Some(piece())));
+        assert!(matches!(step, TaskStep::Act(Action::Compute { .. })));
+        // Output write carries the sorted keys.
+        let step = task.on_action(ActionOutcome::Done);
+        match step {
+            TaskStep::Act(Action::Put { body, .. }) => {
+                let keys = data::decode_keys(body.bytes().unwrap());
+                assert_eq!(keys, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gather_fails_on_missing_kv_piece() {
+        let cfg = real_cfg();
+        let mut task = GatherTask::new(cfg, 1, 2, Exchange::Kv);
+        task.on_start(&Payload::Unit);
+        let step = task.on_action(ActionOutcome::KvValue(None));
+        assert!(matches!(step, TaskStep::Fail(_)));
+    }
+}

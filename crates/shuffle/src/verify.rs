@@ -1,0 +1,63 @@
+//! Output verification for real-data sorts.
+
+use serverful::CloudEnv;
+
+use crate::config::SortConfig;
+use crate::data;
+
+/// Checks that the sort output is a globally sorted permutation of
+/// `expected_keys` — each part internally sorted, parts in range order,
+/// and the multiset of keys preserved. Reads the store directly (untimed
+/// inspection).
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) on any violation; intended for
+/// tests and examples.
+pub fn check_sorted(env: &CloudEnv, cfg: &SortConfig, parts: usize, expected_keys: &[u64]) {
+    assert!(cfg.real_data, "verification requires real data");
+    let store = env.world().store();
+    let mut all = Vec::with_capacity(expected_keys.len());
+    let mut last_max: Option<u64> = None;
+    for r in 0..parts {
+        let key = cfg.output_key(r);
+        let body = store
+            .get(&cfg.bucket, &key)
+            .unwrap_or_else(|| panic!("missing output part {key}"));
+        let keys = data::decode_keys(body.bytes().expect("real output"));
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "part {r} is not internally sorted"
+        );
+        if let (Some(prev), Some(&first)) = (last_max, keys.first()) {
+            assert!(
+                prev <= first,
+                "part {r} starts below the previous part's maximum"
+            );
+        }
+        if let Some(&max) = keys.last() {
+            last_max = Some(max);
+        }
+        all.extend(keys);
+    }
+    let mut expected = expected_keys.to_vec();
+    expected.sort_unstable();
+    assert_eq!(
+        all, expected,
+        "output is not a permutation of the input keys"
+    );
+}
+
+/// Collects every key seeded into the input chunks (for building the
+/// expected multiset).
+pub fn input_keys(env: &CloudEnv, cfg: &SortConfig) -> Vec<u64> {
+    let store = env.world().store();
+    let mut keys = Vec::new();
+    for i in 0..cfg.chunks {
+        let body = store
+            .get(&cfg.bucket, &cfg.chunk_key(i))
+            .expect("input chunk seeded");
+        keys.extend(data::decode_keys(body.bytes().expect("real input")));
+    }
+    keys
+}

@@ -1,0 +1,19 @@
+use serverful::{Backend, CloudEnv, ExecutorConfig, FunctionExecutor, SizingPolicy};
+use shuffle::{seed_input, serverless_sort, vm_sort, SortConfig};
+
+#[test]
+#[ignore]
+fn probe() {
+    let cfg = SortConfig::xenograft();
+    let mut env = CloudEnv::new_default(53);
+    let refs = seed_input(&mut env, &cfg);
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let sl = serverless_sort(&mut env, &mut faas, &cfg, &refs).unwrap();
+    eprintln!("SERVERLESS wall={:.1}s cost=${:.4}", sl.wall_secs, sl.cost_usd);
+    let mut env = CloudEnv::new_default(53);
+    let refs = seed_input(&mut env, &cfg);
+    let mut vm = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let sv = vm_sort(&mut env, &mut vm, &cfg, &refs, &SizingPolicy::default()).unwrap();
+    eprintln!("VM wall={:.1}s cost=${:.4}", sv.wall_secs, sv.cost_usd);
+    eprintln!("ratios: time {:.2}x cost {:.2}x", sv.wall_secs/sl.wall_secs, sl.cost_usd/sv.cost_usd);
+}

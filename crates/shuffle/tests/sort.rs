@@ -1,0 +1,106 @@
+//! End-to-end sort tests: both architectures, real data verified.
+
+use serverful::{Backend, CloudEnv, ExecutorConfig, FunctionExecutor, SizingPolicy};
+use shuffle::{seed_input, serverless_sort, verify, vm_sort, SortConfig};
+
+fn real_cfg() -> SortConfig {
+    // 64 KB of real keys across 4 chunks into 3 ranges.
+    let mut cfg = SortConfig::small_real(65_536, 4, 3);
+    cfg.bucket = "sort-workspace".into();
+    cfg
+}
+
+#[test]
+fn serverless_sort_produces_globally_sorted_output() {
+    let mut env = CloudEnv::new_default(41);
+    let cfg = real_cfg();
+    let refs = seed_input(&mut env, &cfg);
+    let expected = verify::input_keys(&env, &cfg);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let report = serverless_sort(&mut env, &mut exec, &cfg, &refs).expect("sort runs");
+    assert_eq!(report.output_parts, 3);
+    verify::check_sorted(&env, &cfg, 3, &expected);
+    assert!(report.wall_secs > 0.0);
+    assert!(report.cost_usd > 0.0);
+}
+
+#[test]
+fn vm_sort_produces_identical_output_through_shared_memory() {
+    let mut env = CloudEnv::new_default(43);
+    let cfg = real_cfg();
+    let refs = seed_input(&mut env, &cfg);
+    let expected = verify::input_keys(&env, &cfg);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let sizing = SizingPolicy::default();
+    let report = vm_sort(&mut env, &mut exec, &cfg, &refs, &sizing).expect("sort runs");
+    // Small input -> the sizing floor (c5.2xlarge) -> 8 workers/parts.
+    assert_eq!(report.output_parts, 8);
+    verify::check_sorted(&env, &cfg, 8, &expected);
+}
+
+#[test]
+fn both_architectures_sort_the_same_multiset() {
+    // Run both on separate environments seeded identically; outputs must
+    // agree as multisets.
+    let cfg = real_cfg();
+
+    let mut env_a = CloudEnv::new_default(47);
+    let refs = seed_input(&mut env_a, &cfg);
+    let expected = verify::input_keys(&env_a, &cfg);
+    let mut faas = FunctionExecutor::new(&mut env_a, Backend::faas(), ExecutorConfig::default());
+    serverless_sort(&mut env_a, &mut faas, &cfg, &refs).unwrap();
+
+    let mut env_b = CloudEnv::new_default(47);
+    let refs = seed_input(&mut env_b, &cfg);
+    let mut vm = FunctionExecutor::new(&mut env_b, Backend::vm(), ExecutorConfig::default());
+    vm_sort(&mut env_b, &mut vm, &cfg, &refs, &SizingPolicy::default()).unwrap();
+
+    verify::check_sorted(&env_a, &cfg, 3, &expected);
+    verify::check_sorted(&env_b, &cfg, 8, &expected);
+}
+
+#[test]
+fn paper_scale_opaque_sort_runs_on_both_architectures() {
+    // The Figure 5 shape at full 25 GB scale, opaque data.
+    let cfg = SortConfig::xenograft();
+
+    let mut env = CloudEnv::new_default(53);
+    let refs = seed_input(&mut env, &cfg);
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let sl = serverless_sort(&mut env, &mut faas, &cfg, &refs).expect("serverless sort");
+
+    let mut env = CloudEnv::new_default(53);
+    let refs = seed_input(&mut env, &cfg);
+    let mut vm = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let sv = vm_sort(&mut env, &mut vm, &cfg, &refs, &SizingPolicy::default()).expect("vm sort");
+
+    // The paper's qualitative result: serverless is faster but the VM is
+    // several times cheaper.
+    assert!(
+        sl.wall_secs < sv.wall_secs,
+        "serverless ({:.1} s) should beat the VM ({:.1} s) on latency",
+        sl.wall_secs,
+        sv.wall_secs
+    );
+    assert!(
+        sv.cost_usd < sl.cost_usd / 2.0,
+        "VM (${:.3}) should be much cheaper than serverless (${:.3})",
+        sv.cost_usd,
+        sl.cost_usd
+    );
+    // 25 GB / 64 GB RAM -> the sizing policy picks m4.4xlarge: 16 parts.
+    assert_eq!(sv.output_parts, 16);
+}
+
+#[test]
+fn deterministic_sort_reports() {
+    let run = || {
+        let mut env = CloudEnv::new_default(59);
+        let cfg = real_cfg();
+        let refs = seed_input(&mut env, &cfg);
+        let mut exec =
+            FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+        serverless_sort(&mut env, &mut exec, &cfg, &refs).unwrap()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,337 @@
+//! Max-min style bandwidth sharing for contended links.
+//!
+//! [`FairShare`] models a shared transfer medium — the aggregate throughput
+//! of an object-storage service, a VM NIC, the memory bus of a host — as a
+//! set of concurrent flows that split capacity. Each flow's instantaneous
+//! rate is
+//!
+//! ```text
+//! rate(f) = min(per_flow_cap, aggregate_cap / n_active, group_cap(f) / n_group(f))
+//! ```
+//!
+//! which is a *conservative* approximation of true max-min fairness:
+//! capacity left unused by flows bottlenecked elsewhere is not
+//! redistributed. This errs towards slower transfers under contention,
+//! which is the effect the paper's storage-saturation argument rests on.
+//!
+//! The pool does not own an event queue. Drivers integrate it with three
+//! calls: [`FairShare::start`]/[`FairShare::advance`] whenever membership
+//! changes, and [`FairShare::next_completion`] to know when to look again.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an in-flight transfer within one [`FairShare`] pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+/// Remaining bytes below this threshold count as "done"; guards against
+/// float residue when progress is integrated in pieces.
+const DONE_EPSILON_BYTES: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64,
+    groups: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Group {
+    cap_bps: f64,
+    active: usize,
+}
+
+/// A fair-share bandwidth pool. See the [module docs](self) for the model.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{FairShare, SimTime};
+///
+/// // 100 B/s aggregate, 80 B/s per flow.
+/// let mut pool = FairShare::new(100.0, 80.0);
+/// let t0 = SimTime::ZERO;
+/// pool.start(t0, 80, &[]); // alone: runs at 80 B/s -> 1 s
+/// assert_eq!(pool.next_completion().unwrap().as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct FairShare {
+    aggregate_bps: f64,
+    per_flow_bps: f64,
+    flows: HashMap<FlowId, Flow>,
+    groups: HashMap<u64, Group>,
+    last_update: SimTime,
+    next_id: u64,
+    /// Total bytes that have finished transferring through this pool.
+    completed_bytes: f64,
+}
+
+impl FairShare {
+    /// Creates a pool with the given aggregate and per-flow caps in
+    /// bytes/second. The aggregate cap may be `f64::INFINITY` for an
+    /// uncontended medium; the per-flow cap must be finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_flow_bps` is not finite and positive, or if
+    /// `aggregate_bps` is not positive.
+    pub fn new(aggregate_bps: f64, per_flow_bps: f64) -> Self {
+        assert!(
+            per_flow_bps.is_finite() && per_flow_bps > 0.0,
+            "per-flow cap must be finite and positive"
+        );
+        assert!(aggregate_bps > 0.0, "aggregate cap must be positive");
+        FairShare {
+            aggregate_bps,
+            per_flow_bps,
+            flows: HashMap::new(),
+            groups: HashMap::new(),
+            last_update: SimTime::ZERO,
+            next_id: 0,
+            completed_bytes: 0.0,
+        }
+    }
+
+    /// Declares (or updates) the capacity of a flow group, typically one
+    /// host's NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_bps` is not positive.
+    pub fn set_group_cap(&mut self, group: u64, cap_bps: f64) {
+        assert!(cap_bps > 0.0, "group cap must be positive");
+        self.groups.entry(group).or_default().cap_bps = cap_bps;
+    }
+
+    /// Starts a transfer of `bytes` at time `now`, constrained by zero or
+    /// more group caps (e.g. the host's NIC and the storage key prefix).
+    /// Progress of all existing flows is brought up to `now` first; call
+    /// [`Self::advance`] *before* `start` if you need the completions
+    /// that may occur at the same instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update, or if a group was never
+    /// declared via [`Self::set_group_cap`].
+    pub fn start(&mut self, now: SimTime, bytes: u64, groups: &[u64]) -> FlowId {
+        self.progress_to(now);
+        for &g in groups {
+            let entry = self
+                .groups
+                .get_mut(&g)
+                .expect("flow group must be declared before use");
+            entry.active += 1;
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: bytes as f64,
+                groups: groups.to_vec(),
+            },
+        );
+        id
+    }
+
+    /// Whether a group has been declared.
+    pub fn has_group(&self, group: u64) -> bool {
+        self.groups.contains_key(&group)
+    }
+
+    /// Advances all flows to `now` and returns the flows that completed,
+    /// in deterministic (FlowId) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update.
+    pub fn advance(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.progress_to(now);
+        let mut done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= DONE_EPSILON_BYTES)
+            .map(|(id, _)| *id)
+            .collect();
+        done.sort_unstable();
+        for id in &done {
+            self.remove(*id);
+        }
+        done
+    }
+
+    /// Aborts an in-flight transfer. No-op if the flow already completed.
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) {
+        self.progress_to(now);
+        self.remove(id);
+    }
+
+    /// The earliest instant at which some current flow completes, assuming
+    /// membership does not change. `None` when the pool is idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let min_secs = self
+            .flows
+            .values()
+            .map(|f| f.remaining.max(0.0) / self.rate_of(f))
+            .fold(f64::INFINITY, f64::min);
+        if min_secs.is_finite() {
+            // Round up to the next whole microsecond so the driver's tick
+            // never lands strictly before the flow is actually done.
+            let micros = (min_secs * 1e6).ceil() as u64;
+            Some(self.last_update + SimDuration::from_micros(micros))
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes fully transferred through this pool so far.
+    pub fn completed_bytes(&self) -> f64 {
+        self.completed_bytes
+    }
+
+    /// Instantaneous rate of one flow under the current membership.
+    fn rate_of(&self, flow: &Flow) -> f64 {
+        let n = self.flows.len().max(1) as f64;
+        let mut rate = self.per_flow_bps.min(self.aggregate_bps / n);
+        for g in &flow.groups {
+            let group = &self.groups[g];
+            rate = rate.min(group.cap_bps / group.active.max(1) as f64);
+        }
+        rate
+    }
+
+    fn progress_to(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "fair-share pool asked to move backwards: {} < {}",
+            now,
+            self.last_update
+        );
+        let dt = (now - self.last_update).as_secs_f64();
+        self.last_update = now;
+        if dt == 0.0 || self.flows.is_empty() {
+            return;
+        }
+        // Rates depend only on membership, which is constant over the
+        // interval, so a single linear step is exact.
+        let rates: Vec<(FlowId, f64)> = self
+            .flows
+            .iter()
+            .map(|(id, f)| (*id, self.rate_of(f)))
+            .collect();
+        for (id, rate) in rates {
+            let f = self.flows.get_mut(&id).expect("flow disappeared");
+            f.remaining = (f.remaining - rate * dt).max(0.0);
+        }
+    }
+
+    fn remove(&mut self, id: FlowId) {
+        if let Some(flow) = self.flows.remove(&id) {
+            self.completed_bytes += 0.0f64.max(flow.remaining); // residue is ~0
+            for g in &flow.groups {
+                let group = self.groups.get_mut(g).expect("group disappeared");
+                group.active = group.active.saturating_sub(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn single_flow_runs_at_per_flow_cap() {
+        let mut pool = FairShare::new(1000.0, 100.0);
+        pool.start(t(0.0), 100, &[]);
+        assert_eq!(pool.next_completion(), Some(t(1.0)));
+        let done = pool.advance(t(1.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn aggregate_cap_splits_between_flows() {
+        // Aggregate 100 B/s, per-flow 100 B/s: two flows run at 50 each.
+        let mut pool = FairShare::new(100.0, 100.0);
+        pool.start(t(0.0), 100, &[]);
+        pool.start(t(0.0), 100, &[]);
+        assert_eq!(pool.next_completion(), Some(t(2.0)));
+        assert_eq!(pool.advance(t(2.0)).len(), 2);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        // Flow A: 50 bytes, flow B: 150 bytes, aggregate 100 B/s.
+        let mut pool = FairShare::new(100.0, 100.0);
+        pool.start(t(0.0), 50, &[]);
+        pool.start(t(0.0), 150, &[]);
+        // Both at 50 B/s; A finishes at t=1 with B holding 100 bytes.
+        assert_eq!(pool.next_completion(), Some(t(1.0)));
+        assert_eq!(pool.advance(t(1.0)).len(), 1);
+        // B alone now runs at 100 B/s: 100 bytes -> 1 more second.
+        assert_eq!(pool.next_completion(), Some(t(2.0)));
+        assert_eq!(pool.advance(t(2.0)).len(), 1);
+    }
+
+    #[test]
+    fn group_cap_limits_colocated_flows() {
+        // Huge aggregate, per-flow 100, but the two flows share a 100 B/s
+        // NIC -> 50 each.
+        let mut pool = FairShare::new(f64::INFINITY, 100.0);
+        pool.set_group_cap(7, 100.0);
+        pool.start(t(0.0), 100, &[7]);
+        pool.start(t(0.0), 100, &[7]);
+        assert_eq!(pool.next_completion(), Some(t(2.0)));
+        // A flow on another group is unaffected.
+        pool.set_group_cap(8, 1000.0);
+        pool.start(t(0.0), 100, &[8]);
+        // Third flow runs at min(100, inf/3, 1000/1) = 100 B/s -> 1s.
+        assert_eq!(pool.next_completion(), Some(t(1.0)));
+    }
+
+    #[test]
+    fn cancel_removes_flow_and_frees_share() {
+        let mut pool = FairShare::new(100.0, 100.0);
+        let a = pool.start(t(0.0), 1_000, &[]);
+        pool.start(t(0.0), 100, &[]);
+        pool.cancel(t(1.0), a);
+        assert_eq!(pool.active(), 1);
+        // Survivor had 50 bytes left at t=1, now alone at 100 B/s.
+        assert_eq!(pool.next_completion(), Some(t(1.5)));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut pool = FairShare::new(100.0, 100.0);
+        pool.start(t(0.0), 0, &[]);
+        assert_eq!(pool.advance(t(0.0)).len(), 1);
+    }
+
+    #[test]
+    fn completion_time_rounds_up() {
+        // 1 byte at 3 B/s = 333333.33 micros; must round *up*.
+        let mut pool = FairShare::new(100.0, 3.0);
+        pool.start(t(0.0), 1, &[]);
+        let done_at = pool.next_completion().unwrap();
+        assert!(done_at.as_micros() >= 333_334);
+        assert_eq!(pool.advance(done_at).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared before use")]
+    fn undeclared_group_panics() {
+        let mut pool = FairShare::new(100.0, 100.0);
+        pool.start(t(0.0), 10, &[99]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Seeded randomness for the simulation.
+//!
+//! [`SimRng`] wraps a [`rand::rngs::StdRng`] seeded explicitly so every
+//! run is reproducible, and supplies the few distributions the cloud model
+//! needs (uniform, normal via Box-Muller, log-normal, exponential) without
+//! pulling in a distributions crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A deterministic random number generator for simulation components.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// simulation component its own stream so adding draws in one place
+    /// does not perturb another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.random::<u64>())
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform range must be non-empty");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform range must be non-empty");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Standard normal draw (Box-Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 from (0, 1] to keep ln() finite.
+        let u1: f64 = 1.0 - self.inner.random::<f64>();
+        let u2: f64 = self.inner.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Normal draw truncated below at `floor`; used for latencies, which
+    /// must never be negative.
+    pub fn normal_at_least(&mut self, mean: f64, std_dev: f64, floor: f64) -> f64 {
+        self.normal(mean, std_dev).max(floor)
+    }
+
+    /// Log-normal draw parameterised by the *target* median and a shape
+    /// sigma (sigma of the underlying normal).
+    pub fn lognormal_median(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median > 0.0, "log-normal median must be positive");
+        (median.ln() + sigma * self.standard_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = 1.0 - self.inner.random::<f64>();
+        -mean * u.ln()
+    }
+
+    /// A latency helper: normal-at-least-zero converted to a duration.
+    pub fn latency(&mut self, mean_secs: f64, std_secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.normal_at_least(mean_secs, std_secs, 0.0))
+    }
+
+    /// Shuffles a slice in place (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_later_parent_draws() {
+        let mut parent1 = SimRng::seed_from(7);
+        let mut child1 = parent1.fork();
+        let mut parent2 = SimRng::seed_from(7);
+        let mut child2 = parent2.fork();
+        // Consume from one parent only; children must still agree.
+        let _ = parent1.uniform(0.0, 1.0);
+        assert_eq!(child1.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = SimRng::seed_from(123);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_at_least_respects_floor() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            assert!(rng.normal_at_least(0.0, 10.0, 0.25) >= 0.25);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seed_from(9);
+        let n = 20_001;
+        let mut draws: Vec<f64> = (0..n).map(|_| rng.lognormal_median(3.0, 0.5)).collect();
+        draws.sort_by(f64::total_cmp);
+        let median = draws[n / 2];
+        assert!((median - 3.0).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(3);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(items, (0..50).collect::<Vec<_>>());
+    }
+}

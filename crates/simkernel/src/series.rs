@@ -1,0 +1,199 @@
+//! Step-function time series.
+//!
+//! [`StepSeries`] records a piecewise-constant signal — number of busy
+//! vCPUs, provisioned capacity, in-flight requests — as it changes over
+//! virtual time, and supports the integrations the evaluation needs:
+//! time-weighted means, fixed-interval sampling (the paper samples CPU
+//! usage at one-second granularity for Table 3) and integrals (vCPU-seconds
+//! for billing cross-checks).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A piecewise-constant time series. The value at a time `t` is the value
+/// most recently set at or before `t`; before the first point it is the
+/// `initial` value given at construction.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{SimTime, StepSeries};
+///
+/// let mut s = StepSeries::new(0.0);
+/// s.set(SimTime::from_secs_f64(1.0), 4.0);
+/// s.set(SimTime::from_secs_f64(3.0), 2.0);
+/// assert_eq!(s.value_at(SimTime::from_secs_f64(2.0)), 4.0);
+/// // mean over [0, 4): (0*1 + 4*2 + 2*1) / 4 = 2.5
+/// let mean = s.time_weighted_mean(SimTime::ZERO, SimTime::from_secs_f64(4.0));
+/// assert!((mean - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepSeries {
+    initial: f64,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl StepSeries {
+    /// Creates a series whose value is `initial` until the first `set`.
+    pub fn new(initial: f64) -> Self {
+        StepSeries {
+            initial,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records that the signal takes value `value` from time `t` onwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded point (the series is
+    /// append-only). Setting at the same instant overwrites.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            assert!(t >= last_t, "StepSeries points must be time-ordered");
+            if last_t == t {
+                *last_v = value;
+                return;
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// Adds `delta` to the current value from time `t` onwards.
+    pub fn add(&mut self, t: SimTime, delta: f64) {
+        let current = self.last_value();
+        self.set(t, current + delta);
+    }
+
+    /// The most recently set value (or the initial value).
+    pub fn last_value(&self) -> f64 {
+        self.points.last().map_or(self.initial, |&(_, v)| v)
+    }
+
+    /// The value of the signal at time `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.initial,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Integral of the signal over `[from, to)`, in value·seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from`.
+    pub fn integral(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(to >= from, "integral interval reversed");
+        if to == from {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        let start = self.points.partition_point(|&(pt, _)| pt <= from);
+        for &(pt, v) in &self.points[start..] {
+            if pt >= to {
+                break;
+            }
+            total += value * (pt - cursor).as_secs_f64();
+            cursor = pt;
+            value = v;
+        }
+        total += value * (to - cursor).as_secs_f64();
+        total
+    }
+
+    /// Time-weighted mean over `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to <= from`.
+    pub fn time_weighted_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(to > from, "mean over an empty interval");
+        self.integral(from, to) / (to - from).as_secs_f64()
+    }
+
+    /// Samples the signal at `from, from+every, ...` strictly before `to`.
+    /// This mirrors the paper's fixed-interval CPU-usage sampling.
+    pub fn sample(&self, from: SimTime, to: SimTime, every: SimDuration) -> Vec<f64> {
+        assert!(!every.is_zero(), "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push(self.value_at(t));
+            t += every;
+        }
+        out
+    }
+
+    /// The recorded change points `(time, value)`.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn value_at_follows_steps() {
+        let mut s = StepSeries::new(1.0);
+        s.set(t(1.0), 5.0);
+        s.set(t(2.0), 3.0);
+        assert_eq!(s.value_at(t(0.5)), 1.0);
+        assert_eq!(s.value_at(t(1.0)), 5.0);
+        assert_eq!(s.value_at(t(1.9)), 5.0);
+        assert_eq!(s.value_at(t(10.0)), 3.0);
+    }
+
+    #[test]
+    fn add_accumulates_deltas() {
+        let mut s = StepSeries::new(0.0);
+        s.add(t(1.0), 2.0);
+        s.add(t(2.0), 3.0);
+        s.add(t(3.0), -4.0);
+        assert_eq!(s.value_at(t(2.5)), 5.0);
+        assert_eq!(s.last_value(), 1.0);
+    }
+
+    #[test]
+    fn same_instant_set_overwrites() {
+        let mut s = StepSeries::new(0.0);
+        s.set(t(1.0), 2.0);
+        s.set(t(1.0), 7.0);
+        assert_eq!(s.value_at(t(1.0)), 7.0);
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn integral_handles_partial_segments() {
+        let mut s = StepSeries::new(2.0);
+        s.set(t(2.0), 4.0);
+        // [1, 3): 2.0 over [1,2) + 4.0 over [2,3) = 6.0
+        assert!((s.integral(t(1.0), t(3.0)) - 6.0).abs() < 1e-12);
+        assert_eq!(s.integral(t(1.0), t(1.0)), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_step_values() {
+        let mut s = StepSeries::new(0.0);
+        s.set(t(1.0), 10.0);
+        s.set(t(3.0), 20.0);
+        let samples = s.sample(SimTime::ZERO, t(5.0), SimDuration::from_secs(1));
+        assert_eq!(samples, vec![0.0, 10.0, 10.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_set_panics() {
+        let mut s = StepSeries::new(0.0);
+        s.set(t(2.0), 1.0);
+        s.set(t(1.0), 1.0);
+    }
+}

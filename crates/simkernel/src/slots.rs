@@ -1,0 +1,149 @@
+//! FIFO vCPU slot pools.
+//!
+//! [`SlotPool`] models the compute capacity of a host: `capacity` slots,
+//! each able to run one job at a time, with excess jobs waiting in FIFO
+//! order. Like [`FairShare`](crate::FairShare), the pool owns no event
+//! queue — the driver schedules a completion event for every admission the
+//! pool reports.
+
+use std::collections::VecDeque;
+
+/// A FIFO pool of identical compute slots.
+///
+/// The pool hands out *admissions*; the caller is responsible for
+/// scheduling the corresponding completion and for calling
+/// [`SlotPool::release`] when it fires.
+///
+/// # Example
+///
+/// ```
+/// let mut pool: simkernel::SlotPool<&'static str> = simkernel::SlotPool::new(1);
+/// assert_eq!(pool.submit("a"), Some("a")); // admitted immediately
+/// assert_eq!(pool.submit("b"), None);      // queued
+/// assert_eq!(pool.release(), Some("b"));   // "a" done -> "b" admitted
+/// assert_eq!(pool.release(), None);        // "b" done -> idle
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlotPool<K> {
+    capacity: usize,
+    busy: usize,
+    queue: VecDeque<K>,
+}
+
+impl<K> SlotPool<K> {
+    /// Creates a pool with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "slot pool needs at least one slot");
+        SlotPool {
+            capacity,
+            busy: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Submits a job. Returns `Some(job)` if a slot was free and the job
+    /// starts now; otherwise the job joins the FIFO queue and `None` is
+    /// returned.
+    pub fn submit(&mut self, job: K) -> Option<K> {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            Some(job)
+        } else {
+            self.queue.push_back(job);
+            None
+        }
+    }
+
+    /// Releases one slot (a running job finished). If a job was queued, it
+    /// is admitted and returned so the caller can schedule its completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot was busy.
+    pub fn release(&mut self) -> Option<K> {
+        assert!(self.busy > 0, "released a slot that was never acquired");
+        match self.queue.pop_front() {
+            Some(job) => Some(job), // slot transfers directly to the next job
+            None => {
+                self.busy -= 1;
+                None
+            }
+        }
+    }
+
+    /// Number of slots currently running jobs.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no job is running or queued.
+    pub fn is_idle(&self) -> bool {
+        self.busy == 0 && self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity() {
+        let mut pool = SlotPool::new(2);
+        assert_eq!(pool.submit(1), Some(1));
+        assert_eq!(pool.submit(2), Some(2));
+        assert_eq!(pool.submit(3), None);
+        assert_eq!(pool.busy(), 2);
+        assert_eq!(pool.queued(), 1);
+    }
+
+    #[test]
+    fn fifo_order_on_release() {
+        let mut pool = SlotPool::new(1);
+        pool.submit("a");
+        pool.submit("b");
+        pool.submit("c");
+        assert_eq!(pool.release(), Some("b"));
+        assert_eq!(pool.release(), Some("c"));
+        assert_eq!(pool.release(), None);
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    fn busy_count_tracks_transfers() {
+        let mut pool = SlotPool::new(1);
+        pool.submit(1);
+        pool.submit(2);
+        // Releasing while the queue is non-empty keeps the slot busy.
+        pool.release();
+        assert_eq!(pool.busy(), 1);
+        pool.release();
+        assert_eq!(pool.busy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never acquired")]
+    fn release_on_idle_pool_panics() {
+        let mut pool: SlotPool<u8> = SlotPool::new(1);
+        pool.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _: SlotPool<u8> = SlotPool::new(0);
+    }
+}

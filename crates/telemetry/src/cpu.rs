@@ -1,0 +1,262 @@
+//! CPU-utilisation traces.
+//!
+//! The paper's Table 3 compares CPU usage of the serverless and Spark
+//! deployments: average, standard deviation, extrema, and the average
+//! restricted to stateful operations. [`CpuMonitor`] reproduces that
+//! measurement: each *fleet* (the Lambda pool, the cluster, the standalone
+//! workers, the scheduler) reports busy-vCPU and provisioned-vCPU step
+//! signals, and utilisation is sampled at a fixed interval as
+//! `100 × Σ busy / Σ provisioned`.
+
+use simkernel::{SimDuration, SimTime, StepSeries};
+
+use crate::stats::Summary;
+
+/// Handle to a registered fleet within one [`CpuMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetTag(usize);
+
+#[derive(Debug)]
+struct Fleet {
+    name: String,
+    busy: StepSeries,
+    provisioned: StepSeries,
+}
+
+/// Records busy/provisioned vCPU counts per fleet over virtual time.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{SimDuration, SimTime};
+/// use telemetry::CpuMonitor;
+///
+/// let mut mon = CpuMonitor::new();
+/// let fleet = mon.register("lambda");
+/// mon.add_provisioned(fleet, SimTime::ZERO, 4.0);
+/// mon.add_busy(fleet, SimTime::ZERO, 2.0);
+/// let samples = mon.utilisation_samples(
+///     SimTime::ZERO,
+///     SimTime::from_secs_f64(3.0),
+///     SimDuration::from_secs(1),
+/// );
+/// assert_eq!(samples, vec![50.0, 50.0, 50.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CpuMonitor {
+    fleets: Vec<Fleet>,
+}
+
+impl CpuMonitor {
+    /// Creates a monitor with no fleets.
+    pub fn new() -> Self {
+        CpuMonitor::default()
+    }
+
+    /// Registers a fleet and returns its tag.
+    pub fn register(&mut self, name: impl Into<String>) -> FleetTag {
+        self.fleets.push(Fleet {
+            name: name.into(),
+            busy: StepSeries::new(0.0),
+            provisioned: StepSeries::new(0.0),
+        });
+        FleetTag(self.fleets.len() - 1)
+    }
+
+    /// The name a fleet was registered under.
+    pub fn fleet_name(&self, tag: FleetTag) -> &str {
+        &self.fleets[tag.0].name
+    }
+
+    /// Adds `delta` busy vCPUs to a fleet from time `t` (negative to
+    /// release).
+    pub fn add_busy(&mut self, tag: FleetTag, t: SimTime, delta: f64) {
+        let fleet = &mut self.fleets[tag.0];
+        fleet.busy.add(t, delta);
+        debug_assert!(
+            fleet.busy.last_value() >= -1e-9,
+            "fleet {} busy count went negative",
+            fleet.name
+        );
+    }
+
+    /// Adds `delta` provisioned vCPUs to a fleet from time `t` (negative
+    /// to deprovision).
+    pub fn add_provisioned(&mut self, tag: FleetTag, t: SimTime, delta: f64) {
+        let fleet = &mut self.fleets[tag.0];
+        fleet.provisioned.add(t, delta);
+        debug_assert!(
+            fleet.provisioned.last_value() >= -1e-9,
+            "fleet {} provisioned count went negative",
+            fleet.name
+        );
+    }
+
+    /// Utilisation (percent) sampled every `every` over `[from, to)`,
+    /// aggregated across all fleets. Instants where nothing is provisioned
+    /// are skipped, matching a monitoring agent that has no hosts to
+    /// report on.
+    pub fn utilisation_samples(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        every: SimDuration,
+    ) -> Vec<f64> {
+        assert!(!every.is_zero(), "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            let busy: f64 = self.fleets.iter().map(|f| f.busy.value_at(t)).sum();
+            let prov: f64 = self.fleets.iter().map(|f| f.provisioned.value_at(t)).sum();
+            if prov > 1e-9 {
+                out.push(100.0 * busy / prov);
+            }
+            t += every;
+        }
+        out
+    }
+
+    /// Utilisation samples restricted to the given windows (used for the
+    /// "average (stateful operations)" row of Table 3).
+    pub fn utilisation_samples_in(
+        &self,
+        windows: &[(SimTime, SimTime)],
+        every: SimDuration,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        for &(from, to) in windows {
+            out.extend(self.utilisation_samples(from, to, every));
+        }
+        out
+    }
+
+    /// Total vCPU-seconds provisioned over `[from, to)`, across fleets.
+    pub fn provisioned_vcpu_seconds(&self, from: SimTime, to: SimTime) -> f64 {
+        self.fleets
+            .iter()
+            .map(|f| f.provisioned.integral(from, to))
+            .sum()
+    }
+
+    /// Total busy vCPU-seconds over `[from, to)`, across fleets.
+    pub fn busy_vcpu_seconds(&self, from: SimTime, to: SimTime) -> f64 {
+        self.fleets.iter().map(|f| f.busy.integral(from, to)).sum()
+    }
+}
+
+/// The CPU-usage statistics of one deployment run, in percent — the rows
+/// of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageStats {
+    /// Mean utilisation over the run.
+    pub average: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Peak utilisation.
+    pub max: f64,
+    /// Trough utilisation.
+    pub min: f64,
+    /// Mean utilisation during stateful operations only.
+    pub stateful_average: f64,
+}
+
+impl UsageStats {
+    /// Computes usage statistics from a monitor over `[from, to)`,
+    /// sampling every `every`, with `stateful_windows` marking the spans
+    /// of stateful operations.
+    ///
+    /// Returns `None` if no samples fall in the interval.
+    pub fn compute(
+        monitor: &CpuMonitor,
+        from: SimTime,
+        to: SimTime,
+        every: SimDuration,
+        stateful_windows: &[(SimTime, SimTime)],
+    ) -> Option<UsageStats> {
+        let samples = monitor.utilisation_samples(from, to, every);
+        let overall = Summary::of(&samples)?;
+        let stateful = monitor.utilisation_samples_in(stateful_windows, every);
+        let stateful_average = Summary::of(&stateful).map_or(f64::NAN, |s| s.mean);
+        Some(UsageStats {
+            average: overall.mean,
+            std_dev: overall.std_dev,
+            max: overall.max,
+            min: overall.min,
+            stateful_average,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn utilisation_is_busy_over_provisioned() {
+        let mut mon = CpuMonitor::new();
+        let a = mon.register("a");
+        mon.add_provisioned(a, t(0.0), 10.0);
+        mon.add_busy(a, t(0.0), 5.0);
+        mon.add_busy(a, t(2.0), 5.0);
+        let samples = mon.utilisation_samples(t(0.0), t(4.0), SimDuration::from_secs(1));
+        assert_eq!(samples, vec![50.0, 50.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn fleets_aggregate() {
+        let mut mon = CpuMonitor::new();
+        let a = mon.register("a");
+        let b = mon.register("b");
+        mon.add_provisioned(a, t(0.0), 4.0);
+        mon.add_provisioned(b, t(0.0), 4.0);
+        mon.add_busy(a, t(0.0), 4.0);
+        // 4 busy of 8 provisioned = 50 %.
+        let samples = mon.utilisation_samples(t(0.0), t(1.0), SimDuration::from_secs(1));
+        assert_eq!(samples, vec![50.0]);
+    }
+
+    #[test]
+    fn unprovisioned_instants_are_skipped() {
+        let mut mon = CpuMonitor::new();
+        let a = mon.register("a");
+        mon.add_provisioned(a, t(2.0), 2.0);
+        mon.add_busy(a, t(2.0), 1.0);
+        let samples = mon.utilisation_samples(t(0.0), t(4.0), SimDuration::from_secs(1));
+        // t=0 and t=1 have nothing provisioned.
+        assert_eq!(samples, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn stateful_windows_select_samples() {
+        let mut mon = CpuMonitor::new();
+        let a = mon.register("a");
+        mon.add_provisioned(a, t(0.0), 10.0);
+        mon.add_busy(a, t(0.0), 8.0); // 80 % during [0, 5)
+        mon.add_busy(a, t(5.0), -6.0); // 20 % during [5, 10) -- "stateful"
+        let stats = UsageStats::compute(
+            &mon,
+            t(0.0),
+            t(10.0),
+            SimDuration::from_secs(1),
+            &[(t(5.0), t(10.0))],
+        )
+        .unwrap();
+        assert_eq!(stats.average, 50.0);
+        assert_eq!(stats.max, 80.0);
+        assert_eq!(stats.min, 20.0);
+        assert_eq!(stats.stateful_average, 20.0);
+    }
+
+    #[test]
+    fn vcpu_seconds_integrate() {
+        let mut mon = CpuMonitor::new();
+        let a = mon.register("a");
+        mon.add_provisioned(a, t(0.0), 4.0);
+        mon.add_provisioned(a, t(10.0), -4.0);
+        assert_eq!(mon.provisioned_vcpu_seconds(t(0.0), t(20.0)), 40.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Measurement substrate for the serverful-functions reproduction.
+//!
+//! Everything the paper's evaluation *measures* lives here, decoupled from
+//! how the system under test produces it:
+//!
+//! * [`CostLedger`] — an append-only billing ledger ([`cost`]); every
+//!   simulated dollar (Lambda GB-seconds, EC2 instance-seconds, S3
+//!   requests, managed-service premiums) is a ledger entry.
+//! * [`CpuMonitor`] — busy/provisioned vCPU traces per fleet, and the
+//!   utilisation statistics of Table 3 ([`cpu`]).
+//! * [`Timeline`] — named stage spans for per-stage breakdowns and
+//!   Figure 2-style concurrency plots ([`timeline`]).
+//! * [`stats`] — summary statistics shared by the above.
+//! * [`report`] — plain-text table/figure rendering plus paper-vs-measured
+//!   comparison rows for EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use simkernel::SimTime;
+//! use telemetry::{CostCategory, CostLedger};
+//!
+//! let mut ledger = CostLedger::new();
+//! ledger.charge(SimTime::ZERO, CostCategory::FaasCompute, 0.75, "sort stage");
+//! ledger.charge(SimTime::ZERO, CostCategory::StorageRequests, 0.02, "shuffle PUTs");
+//! assert!((ledger.total() - 0.77).abs() < 1e-12);
+//! ```
+
+pub mod cost;
+pub mod cpu;
+pub mod report;
+pub mod stats;
+pub mod timeline;
+
+pub use cost::{CostCategory, CostLedger};
+pub use cpu::{CpuMonitor, FleetTag, UsageStats};
+pub use report::{PaperRow, Table};
+pub use stats::Summary;
+pub use timeline::{StageSpan, Timeline};

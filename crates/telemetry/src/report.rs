@@ -1,0 +1,218 @@
+//! Plain-text rendering for tables and figures.
+//!
+//! The reproduction harness prints each paper table/figure as aligned
+//! text. [`Table`] renders generic grids; [`PaperRow`] renders a
+//! paper-vs-measured comparison with the ratio, which is what
+//! EXPERIMENTS.md records; [`bar_chart`] renders the bar figures.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::Table;
+///
+/// let mut t = Table::new(["service", "time"]);
+/// t.row(["AWS Lambda", "12.56 s"]);
+/// t.row(["AWS EC2", "42.34 s"]);
+/// let text = t.to_string();
+/// assert!(text.contains("AWS Lambda"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width does not match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A paper-value vs measured-value comparison row.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::PaperRow;
+///
+/// let row = PaperRow::new("Xenograft speedup over Spark", 2.50, 2.41);
+/// assert!(row.to_string().contains("2.50"));
+/// assert!((row.ratio() - 0.964).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaperRow {
+    metric: String,
+    paper: f64,
+    measured: f64,
+}
+
+impl PaperRow {
+    /// Creates a comparison row.
+    pub fn new(metric: impl Into<String>, paper: f64, measured: f64) -> Self {
+        PaperRow {
+            metric: metric.into(),
+            paper,
+            measured,
+        }
+    }
+
+    /// measured / paper; 1.0 means an exact match.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.paper
+    }
+}
+
+impl fmt::Display for PaperRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<48} paper {:>10.2}   measured {:>10.2}   (x{:.2})",
+            self.metric,
+            self.paper,
+            self.measured,
+            self.ratio()
+        )
+    }
+}
+
+/// Renders labelled values as a horizontal ASCII bar chart, scaled so the
+/// largest value spans `width` characters.
+///
+/// # Example
+///
+/// ```
+/// let chart = telemetry::report::bar_chart(&[("a".into(), 2.0), ("b".into(), 4.0)], 8);
+/// assert!(chart.contains("########"));
+/// ```
+pub fn bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in items {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$}  {:<width$}  {value:.4}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a much longer name", "2"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // All rows should be equally wide (trailing cell padding aside).
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("a much longer name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn paper_row_ratio() {
+        let row = PaperRow::new("m", 100.0, 50.0);
+        assert_eq!(row.ratio(), 0.5);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(&[("x".into(), 1.0), ("y".into(), 2.0)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("#####"));
+        assert!(!lines[0].contains("######"));
+        assert!(lines[1].contains("##########"));
+    }
+
+    #[test]
+    fn bar_chart_of_zeros_has_no_bars() {
+        let chart = bar_chart(&[("x".into(), 0.0)], 10);
+        assert!(!chart.contains('#'));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = Table::new(["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

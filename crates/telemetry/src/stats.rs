@@ -1,0 +1,138 @@
+//! Summary statistics over samples.
+
+use std::fmt;
+
+/// Mean / standard deviation / extrema of a sample set.
+///
+/// The standard deviation is the *population* deviation (divide by `n`),
+/// matching how monitoring dashboards — and the paper's Table 3 — treat a
+/// full trace as the population rather than a sample of one.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.min, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`, or `None` if empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        Some(Summary {
+            mean,
+            std_dev: var.sqrt(),
+            max,
+            min,
+            count: samples.len(),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.2} ± {:.2} (min {:.2}, max {:.2}, n={})",
+            self.mean, self.std_dev, self.min, self.max, self.count
+        )
+    }
+}
+
+/// Percentile with linear interpolation, `p` in `[0, 100]`.
+///
+/// Returns `None` on an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_has_zero_std() {
+        let s = Summary::of(&[5.0; 10]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 10);
+    }
+
+    #[test]
+    fn summary_population_std() {
+        // Population std of [2, 4] is 1.0 (sample std would be sqrt(2)).
+        let s = Summary::of(&[2.0, 4.0]).unwrap();
+        assert_eq!(s.std_dev, 1.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let xs = [30.0, 10.0, 40.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::of(&[1.0, 3.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("mean 2.00"), "{text}");
+        assert!(text.contains("n=2"), "{text}");
+    }
+}

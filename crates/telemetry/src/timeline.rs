@@ -1,0 +1,188 @@
+//! Stage timelines.
+//!
+//! A [`Timeline`] records the named spans of a pipeline run — stage start
+//! and end, task count, whether the stage is a stateful operation. It
+//! backs the Figure 2 style per-stage concurrency listing and the
+//! stateful-window selection of Table 3.
+
+use simkernel::{SimDuration, SimTime};
+
+/// One executed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpan {
+    /// Stage name, e.g. `"dataset-sort"`.
+    pub name: String,
+    /// When the first task of the stage was dispatched.
+    pub start: SimTime,
+    /// When the stage's results were all collected.
+    pub end: SimTime,
+    /// Number of parallel tasks the stage ran.
+    pub tasks: usize,
+    /// Whether the stage is a stateful operation (sort / partition /
+    /// all-to-all exchange) in the paper's sense.
+    pub stateful: bool,
+}
+
+impl StageSpan {
+    /// Wall-clock duration of the stage.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// An append-only record of stage spans.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimTime;
+/// use telemetry::{StageSpan, Timeline};
+///
+/// let mut tl = Timeline::new();
+/// tl.record(StageSpan {
+///     name: "map".into(),
+///     start: SimTime::ZERO,
+///     end: SimTime::from_secs_f64(5.0),
+///     tasks: 100,
+///     stateful: false,
+/// });
+/// assert_eq!(tl.makespan().as_secs_f64(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    spans: Vec<StageSpan>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends a stage span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span ends before it starts.
+    pub fn record(&mut self, span: StageSpan) {
+        assert!(span.end >= span.start, "stage {} ends before it starts", span.name);
+        self.spans.push(span);
+    }
+
+    /// All spans in recorded order.
+    pub fn spans(&self) -> &[StageSpan] {
+        &self.spans
+    }
+
+    /// The first span with the given name, if any.
+    pub fn span(&self, name: &str) -> Option<&StageSpan> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Earliest start across spans (zero if empty).
+    pub fn start(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.start)
+            .min()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Latest end across spans (zero if empty).
+    pub fn end(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// End-to-end duration from the earliest start to the latest end.
+    pub fn makespan(&self) -> SimDuration {
+        self.end().saturating_since(self.start())
+    }
+
+    /// The `(start, end)` windows of stateful spans, for
+    /// [`UsageStats`](crate::UsageStats) selection.
+    pub fn stateful_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.spans
+            .iter()
+            .filter(|s| s.stateful)
+            .map(|s| (s.start, s.end))
+            .collect()
+    }
+
+    /// Sum of the per-stage wall-clock durations (can exceed the makespan
+    /// if stages overlap).
+    pub fn total_stage_time(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: f64, end: f64, tasks: usize, stateful: bool) -> StageSpan {
+        StageSpan {
+            name: name.into(),
+            start: SimTime::from_secs_f64(start),
+            end: SimTime::from_secs_f64(end),
+            tasks,
+            stateful,
+        }
+    }
+
+    #[test]
+    fn makespan_covers_all_spans() {
+        let mut tl = Timeline::new();
+        tl.record(span("a", 1.0, 3.0, 10, false));
+        tl.record(span("b", 2.0, 6.0, 20, true));
+        assert_eq!(tl.makespan().as_secs_f64(), 5.0);
+        assert_eq!(tl.start().as_secs_f64(), 1.0);
+        assert_eq!(tl.end().as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn stateful_windows_filter() {
+        let mut tl = Timeline::new();
+        tl.record(span("a", 0.0, 1.0, 1, false));
+        tl.record(span("b", 1.0, 2.0, 1, true));
+        tl.record(span("c", 2.0, 3.0, 1, true));
+        let windows = tl.stateful_windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].0.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut tl = Timeline::new();
+        tl.record(span("sort", 0.0, 2.0, 32, true));
+        assert_eq!(tl.span("sort").unwrap().tasks, 32);
+        assert!(tl.span("missing").is_none());
+    }
+
+    #[test]
+    fn empty_timeline_is_zero() {
+        let tl = Timeline::new();
+        assert_eq!(tl.makespan(), SimDuration::ZERO);
+        assert!(tl.stateful_windows().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn reversed_span_panics() {
+        let mut tl = Timeline::new();
+        tl.record(span("bad", 2.0, 1.0, 1, false));
+    }
+
+    #[test]
+    fn total_stage_time_sums_durations() {
+        let mut tl = Timeline::new();
+        tl.record(span("a", 0.0, 2.0, 1, false));
+        tl.record(span("b", 1.0, 4.0, 1, false));
+        assert_eq!(tl.total_stage_time().as_secs_f64(), 5.0);
+    }
+}

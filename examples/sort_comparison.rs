@@ -1,0 +1,73 @@
+//! The paper's §4.2 experiment ("the serverless sort hindrance"): the
+//! same sort-and-partition on 37 cloud functions vs one right-sized VM.
+//!
+//! First runs a *small, real* sort (actual `u64` keys, output verified
+//! globally sorted on both architectures), then the paper-scale 25 GB
+//! opaque run behind Figure 5. Run with:
+//!
+//! ```text
+//! cargo run --release --example sort_comparison
+//! ```
+
+use std::error::Error;
+
+use serverful_repro::serverful::{
+    Backend, CloudEnv, ExecutorConfig, FunctionExecutor, SizingPolicy,
+};
+use serverful_repro::shuffle::{
+    seed_input, serverless_sort, verify, vm_sort, SortConfig,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- Small real-data sort: correctness on both architectures --------
+    println!("== real-data sort (1 MB of u64 keys), verified ==");
+    let cfg = SortConfig::small_real(1 << 20, 8, 4);
+
+    let mut env = CloudEnv::new_default(7);
+    let refs = seed_input(&mut env, &cfg);
+    let expected = verify::input_keys(&env, &cfg);
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let r = serverless_sort(&mut env, &mut faas, &cfg, &refs)?;
+    verify::check_sorted(&env, &cfg, r.output_parts, &expected);
+    println!("serverless: {:.1} s, globally sorted ✓", r.wall_secs);
+
+    let mut env = CloudEnv::new_default(7);
+    let refs = seed_input(&mut env, &cfg);
+    let mut vm = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let r = vm_sort(&mut env, &mut vm, &cfg, &refs, &SizingPolicy::default())?;
+    verify::check_sorted(&env, &cfg, r.output_parts, &expected);
+    println!("single VM:  {:.1} s, globally sorted ✓", r.wall_secs);
+
+    // --- Paper scale: Figure 5 ------------------------------------------
+    println!("\n== paper scale: Xenograft sort, 37 x 1769 MB functions vs one m4.4xlarge ==");
+    let cfg = SortConfig::xenograft();
+
+    let mut env = CloudEnv::new_default(7);
+    let refs = seed_input(&mut env, &cfg);
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let sl = serverless_sort(&mut env, &mut faas, &cfg, &refs)?;
+
+    let mut env = CloudEnv::new_default(7);
+    let refs = seed_input(&mut env, &cfg);
+    let mut vm = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let sv = vm_sort(&mut env, &mut vm, &cfg, &refs, &SizingPolicy::default())?;
+
+    println!(
+        "serverless: {:>7.1} s  ${:.3}   (cost-performance {:.5})",
+        sl.wall_secs,
+        sl.cost_usd,
+        sl.cost_performance()
+    );
+    println!(
+        "single VM:  {:>7.1} s  ${:.3}   (cost-performance {:.5})",
+        sv.wall_secs,
+        sv.cost_usd,
+        sv.cost_performance()
+    );
+    println!(
+        "\nserverless is {:.2}x faster; the VM is {:.1}x cheaper (paper: 1.28x / ~17x)",
+        sv.wall_secs / sl.wall_secs,
+        sl.cost_usd / sv.cost_usd
+    );
+    Ok(())
+}

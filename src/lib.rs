@@ -1,0 +1,16 @@
+//! Umbrella crate for the serverful-functions reproduction.
+//!
+//! This package exists to host the workspace-level examples (`examples/`)
+//! and cross-crate integration tests (`tests/`). It re-exports the member
+//! crates so examples can write `use serverful_repro::serverful::...`.
+//!
+//! Start with the [`serverful`] crate — the paper's contribution — and the
+//! `quickstart` example.
+
+pub use clustersim;
+pub use cloudsim;
+pub use metaspace;
+pub use serverful;
+pub use shuffle;
+pub use simkernel;
+pub use telemetry;

@@ -1,0 +1,164 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use serverful_repro::cloudsim::ObjectBody;
+use serverful_repro::serverful::{CloudObjectRef, Payload};
+use serverful_repro::shuffle::data as sortdata;
+use serverful_repro::simkernel::{EventQueue, FairShare, SimDuration, SimTime, StepSeries};
+
+/// An arbitrary payload of bounded depth.
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    let leaf = prop_oneof![
+        Just(Payload::Unit),
+        any::<u64>().prop_map(Payload::U64),
+        // NaN is not round-trip comparable with PartialEq; use finite.
+        (-1e300f64..1e300).prop_map(Payload::F64),
+        ".{0,32}".prop_map(Payload::Str),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| Payload::Bytes(bytes::Bytes::from(v))),
+        ("[a-z]{1,8}", "[a-z/]{1,16}", any::<u64>())
+            .prop_map(|(b, k, s)| Payload::CloudObject(CloudObjectRef::new(b, k, s))),
+        any::<u64>().prop_map(|size| Payload::Opaque { size }),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Payload::List)
+    })
+}
+
+proptest! {
+    /// The wire codec round-trips every payload.
+    #[test]
+    fn payload_codec_roundtrips(p in arb_payload()) {
+        let encoded = p.encode();
+        let decoded = Payload::decode(&encoded).expect("decode");
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn payload_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Payload::decode(&bytes);
+    }
+
+    /// Sort-key encoding round-trips.
+    #[test]
+    fn sort_keys_roundtrip(keys in proptest::collection::vec(any::<u64>(), 0..512)) {
+        let encoded = sortdata::encode_keys(&keys);
+        prop_assert_eq!(sortdata::decode_keys(&encoded), keys);
+    }
+
+    /// Range partitioning conserves keys and respects splitter bounds.
+    #[test]
+    fn partitioning_conserves_keys(
+        keys in proptest::collection::vec(any::<u64>(), 1..512),
+        ranges in 1usize..16,
+    ) {
+        let splitters = sortdata::uniform_splitters(ranges);
+        let buckets = sortdata::partition_keys(&keys, &splitters);
+        prop_assert_eq!(buckets.len(), ranges);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, keys.len());
+        for (i, bucket) in buckets.iter().enumerate() {
+            for &k in bucket {
+                if i > 0 {
+                    prop_assert!(k >= splitters[i - 1]);
+                }
+                if i < splitters.len() {
+                    prop_assert!(k < splitters[i]);
+                }
+            }
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(delays in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule_at(SimTime::from_micros(d), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.next() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, delays.len());
+    }
+
+    /// Fair-share transfers all complete, and total completion time is
+    /// bounded below by aggregate capacity.
+    #[test]
+    fn fair_share_conserves_bytes(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..32),
+    ) {
+        let aggregate = 1_000_000.0;
+        let mut pool = FairShare::new(aggregate, 500_000.0);
+        let t0 = SimTime::ZERO;
+        for &s in &sizes {
+            pool.start(t0, s, &[]);
+        }
+        let total: u64 = sizes.iter().sum();
+        let mut done = 0;
+        let mut now = t0;
+        let mut guard = 0;
+        while pool.active() > 0 {
+            let next = pool.next_completion().expect("active pool has a completion");
+            prop_assert!(next >= now);
+            now = next;
+            done += pool.advance(now).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "pool failed to drain");
+        }
+        prop_assert_eq!(done, sizes.len());
+        // No faster than the aggregate cap allows.
+        let lower_bound = total as f64 / aggregate;
+        prop_assert!(now.as_secs_f64() >= lower_bound * 0.999);
+    }
+
+    /// Step-series integrals are additive over adjacent intervals.
+    #[test]
+    fn step_series_integral_is_additive(
+        points in proptest::collection::vec((0u64..1000, -100.0f64..100.0), 1..32),
+        split in 1u64..999,
+    ) {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut series = StepSeries::new(0.0);
+        let mut last = None;
+        for (t, v) in sorted {
+            if last == Some(t) {
+                continue;
+            }
+            series.set(SimTime::from_micros(t), v);
+            last = Some(t);
+        }
+        let a = SimTime::ZERO;
+        let m = SimTime::from_micros(split);
+        let b = SimTime::from_micros(1000);
+        let whole = series.integral(a, b);
+        let parts = series.integral(a, m) + series.integral(m, b);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// Object bodies report the length their constructor was given.
+    #[test]
+    fn object_body_length_is_stable(size in any::<u32>()) {
+        let body = ObjectBody::opaque(size as u64);
+        prop_assert_eq!(body.len(), size as u64);
+        let real = ObjectBody::real(vec![0u8; (size % 4096) as usize]);
+        prop_assert_eq!(real.len(), (size % 4096) as u64);
+    }
+
+    /// SimDuration arithmetic is consistent with float seconds.
+    #[test]
+    fn duration_arithmetic_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let da = SimDuration::from_secs_f64(a);
+        let db = SimDuration::from_secs_f64(b);
+        let sum = (da + db).as_secs_f64();
+        prop_assert!((sum - (a + b)).abs() < 1e-5);
+    }
+}
