@@ -1,54 +1,48 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
-//! proactive instance reuse, the Lambda memory→vCPU mapping, and the
-//! storage per-prefix bandwidth behind the serverless sort hindrance.
+//! proactive instance reuse, the Lambda memory→vCPU mapping, the storage
+//! per-prefix bandwidth behind the serverless sort hindrance, and the
+//! fault-rate sweep showing what retries cost under injected failures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use bench::harness::run_bench;
+use bench::{
+    ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
+    FaultRatePoint,
+};
 
-use bench::{ablation_memory, ablation_prefix_bandwidth, ablation_reuse};
-
-fn bench_reuse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-instance-reuse");
-    group.sample_size(10);
-    group.bench_function("reuse-vs-fresh", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(ablation_reuse(seed))
-        });
-    });
-    group.finish();
-}
-
-fn bench_memory(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-lambda-memory");
-    group.sample_size(10);
+fn main() {
+    run_bench("ablation-instance-reuse/reuse-vs-fresh", 10, ablation_reuse);
     for mem in [885u32, 1769, 3538] {
-        group.bench_with_input(BenchmarkId::new("mb", mem), &mem, |b, &mem| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                black_box(ablation_memory(seed, mem))
-            });
+        run_bench(&format!("ablation-lambda-memory/mb/{mem}"), 10, |seed| {
+            ablation_memory(seed, mem)
         });
     }
-    group.finish();
-}
-
-fn bench_prefix_bandwidth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-prefix-bandwidth");
-    group.sample_size(10);
     for bw_mb in [250u64, 500, 1000, 2000] {
-        group.bench_with_input(BenchmarkId::new("mbps", bw_mb), &bw_mb, |b, &bw| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                black_box(ablation_prefix_bandwidth(seed, bw as f64 * 1e6))
-            });
+        run_bench(&format!("ablation-prefix-bandwidth/mbps/{bw_mb}"), 10, |seed| {
+            ablation_prefix_bandwidth(seed, bw_mb as f64 * 1e6)
         });
     }
-    group.finish();
+    // Fault-rate sweep: how injected failures move cost and wall-clock
+    // once the executor retries them (Table 1-style map on both
+    // backends). Printed per point because the simulated deltas — not
+    // the harness time — are the interesting output here.
+    println!();
+    println!("fault-rate sweep (faas map + vm map, 40 tasks x 1 s):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "rate", "faas wall s", "faas cost", "vm wall s", "vm cost", "retries", "faults"
+    );
+    for rate in [0.0, 0.02, 0.05, 0.10, 0.20] {
+        let FaultRatePoint {
+            faas_wall_secs,
+            faas_cost_usd,
+            vm_wall_secs,
+            vm_cost_usd,
+            retries,
+            faults_injected,
+        } = ablation_fault_rate(7, rate);
+        println!(
+            "{rate:>8.2} {faas_wall_secs:>12.2} {faas_cost_usd:>12.6} {vm_wall_secs:>12.2} \
+             {vm_cost_usd:>12.6} {retries:>9} {faults_injected:>9}"
+        );
+    }
 }
-
-criterion_group!(benches, bench_reuse, bench_memory, bench_prefix_bandwidth);
-criterion_main!(benches);

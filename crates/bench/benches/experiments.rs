@@ -1,116 +1,36 @@
-//! One Criterion benchmark per paper table/figure: each iteration
-//! regenerates the experiment end-to-end on the simulated substrate.
-//! The measured quantity is harness time (how long the reproduction
-//! takes to run), not the simulated times themselves — those are what
-//! the `repro` binary prints and EXPERIMENTS.md records.
+//! One benchmark per paper table/figure: each iteration regenerates the
+//! experiment end-to-end on the simulated substrate. The measured
+//! quantity is harness time (how long the reproduction takes to run),
+//! not the simulated times themselves — those are what the `repro`
+//! binary prints and EXPERIMENTS.md records.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use bench::harness::run_bench;
 use bench::{fig2, fig5, table1, table3, table4_row};
 use metaspace::{jobs, run_annotation, Architecture};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1-elastic-map");
-    group.sample_size(10);
-    group.bench_function("all-services", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(table1(seed))
-        });
-    });
-    group.finish();
-}
-
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3-cpu-usage");
-    group.sample_size(10);
-    group.bench_function("xenograft-both-deployments", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(table3(seed))
-        });
-    });
-    group.finish();
-}
-
-fn bench_table4(c: &mut Criterion) {
+fn main() {
+    run_bench("table1-elastic-map/all-services", 10, table1);
+    run_bench("table3-cpu-usage/xenograft-both-deployments", 10, table3);
     // Also regenerates Figures 3, 4 and 6 (they are views of these runs).
-    let mut group = c.benchmark_group("table4-annotation");
-    group.sample_size(10);
     for job in jobs::all() {
-        group.bench_with_input(
-            BenchmarkId::new("all-architectures", job.name),
-            &job,
-            |b, job| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(table4_row(job, seed))
-                });
-            },
+        run_bench(
+            &format!("table4-annotation/all-architectures/{}", job.name),
+            10,
+            |seed| table4_row(&job, seed),
         );
     }
-    group.finish();
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2-stage-concurrency");
-    group.sample_size(10);
-    group.bench_function("xenograft-serverless", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(fig2(seed))
-        });
-    });
-    group.finish();
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5-sort");
-    group.sample_size(10);
-    group.bench_function("serverless-vs-vm", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(fig5(seed))
-        });
-    });
-    group.finish();
-}
-
-fn bench_single_architectures(c: &mut Criterion) {
+    run_bench("fig2-stage-concurrency/xenograft-serverless", 10, fig2);
+    run_bench("fig5-sort/serverless-vs-vm", 10, fig5);
     // Per-architecture Brain runs: the cheapest end-to-end pipeline,
     // useful for tracking simulator performance regressions.
-    let mut group = c.benchmark_group("brain-annotation");
-    group.sample_size(10);
     let job = jobs::brain();
     for arch in [
         Architecture::Serverless,
         Architecture::Hybrid,
         Architecture::Cluster,
     ] {
-        group.bench_with_input(BenchmarkId::new("arch", arch), &arch, |b, &arch| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_annotation(&job, arch, seed).expect("run"))
-            });
+        run_bench(&format!("brain-annotation/arch/{arch}"), 10, |seed| {
+            run_annotation(&job, arch, seed).expect("run")
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_table3,
-    bench_table4,
-    bench_fig2,
-    bench_fig5,
-    bench_single_architectures
-);
-criterion_main!(benches);

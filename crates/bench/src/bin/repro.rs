@@ -8,7 +8,8 @@
 use std::env;
 
 use bench::{
-    ablation_memory, ablation_prefix_bandwidth, ablation_reuse, extension_huge_sort, fig2, fig5,
+    ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
+    extension_huge_sort, fig2, fig5,
     table1, table2, table3, table4, Table4Row, FIG4_PAPER_RATIO, FIG5_PAPER_COST_RATIO,
     FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER, TABLE4_PAPER,
 };
@@ -337,6 +338,30 @@ fn run_ablations(seed: u64) {
             format!("{:.0}", bw / 1e6),
             format!("{:.1}", r.wall_secs),
             format!("{:.3}", r.cost_usd),
+        ]);
+    }
+    print!("{table}");
+
+    heading("Ablation: fault rate vs retry overhead (40-task map, both backends)");
+    let mut table = Table::new([
+        "Fault rate (%)",
+        "FaaS time (s)",
+        "FaaS cost ($)",
+        "VM time (s)",
+        "VM cost ($)",
+        "Faults",
+        "Retries",
+    ]);
+    for rate in [0.0, 0.01, 0.02, 0.05] {
+        let p = ablation_fault_rate(seed, rate);
+        table.row([
+            format!("{:.0}", rate * 100.0),
+            format!("{:.1}", p.faas_wall_secs),
+            format!("{:.4}", p.faas_cost_usd),
+            format!("{:.1}", p.vm_wall_secs),
+            format!("{:.4}", p.vm_cost_usd),
+            format!("{}", p.faults_injected),
+            format!("{}", p.retries),
         ]);
     }
     print!("{table}");

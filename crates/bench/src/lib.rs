@@ -285,6 +285,79 @@ pub fn ablation_prefix_bandwidth(seed: u64, per_prefix_bps: f64) -> SortReport {
     serverless_sort(&mut env, &mut faas, &cfg, &refs).expect("serverless sort")
 }
 
+/// One point of the fault-rate ablation: the same map on both backends
+/// under seeded fault injection at a given base rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRatePoint {
+    /// FaaS map wall-clock, seconds.
+    pub faas_wall_secs: f64,
+    /// FaaS map billed dollars.
+    pub faas_cost_usd: f64,
+    /// VM map wall-clock, seconds.
+    pub vm_wall_secs: f64,
+    /// VM map billed dollars.
+    pub vm_cost_usd: f64,
+    /// Total retries (task + storage + straggler) across both runs.
+    pub retries: u64,
+    /// Total faults injected across both runs.
+    pub faults_injected: u64,
+}
+
+/// An ablation: a 40-task × 1 s map on both backends under fault
+/// injection at `rate` (see [`cloudsim::FaultConfig::at_rate`]),
+/// measuring what retries cost in wall-clock and dollars. `rate` 0 is
+/// the fault-free baseline.
+pub fn ablation_fault_rate(seed: u64, rate: f64) -> FaultRatePoint {
+    let factory = || -> serverful::job::TaskFactory {
+        Arc::new(|_| {
+            ScriptTask::new()
+                .compute(1.0)
+                .finish_value(Payload::Unit)
+                .boxed()
+        })
+    };
+    let cloud = || cloudsim::CloudConfig {
+        faults: cloudsim::FaultConfig::at_rate(rate),
+        ..cloudsim::CloudConfig::default()
+    };
+
+    let mut env = CloudEnv::new(cloud(), seed);
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let job = faas.map_with(
+        &mut env,
+        factory(),
+        (0..40).map(Payload::U64).collect(),
+        MapOptions::named("fault-abl-faas"),
+    );
+    faas.get_result(&mut env, job).expect("faas map under faults");
+    let faas_wall_secs = env.now().as_secs_f64();
+    let faas_cost_usd = env.world().ledger().total();
+    let faas_ledger = env.world().fault_ledger().clone();
+
+    let mut env = CloudEnv::new(cloud(), seed);
+    let mut vm = FunctionExecutor::new(&mut env, Backend::vm(), ExecutorConfig::default());
+    let job = vm.map_with(
+        &mut env,
+        factory(),
+        (0..40).map(Payload::U64).collect(),
+        MapOptions::named("fault-abl-vm"),
+    );
+    vm.get_result(&mut env, job).expect("vm map under faults");
+    vm.shutdown(&mut env);
+    let vm_wall_secs = env.now().as_secs_f64();
+    let vm_cost_usd = env.world().ledger().total();
+    let vm_ledger = env.world().fault_ledger().clone();
+
+    FaultRatePoint {
+        faas_wall_secs,
+        faas_cost_usd,
+        vm_wall_secs,
+        vm_cost_usd,
+        retries: faas_ledger.total_retries() + vm_ledger.total_retries(),
+        faults_injected: faas_ledger.total_injected() + vm_ledger.total_injected(),
+    }
+}
+
 /// The paper's closing extension ("AWS EC2 offers instances with tens of
 /// terabytes of memory... We could virtually sort datasets of thousands
 /// of GBs within serverful components, vertically scaling them to input
@@ -311,6 +384,33 @@ pub fn extension_huge_sort(seed: u64, total_gb: f64) -> (String, f64, f64) {
     let itype = sizing.choose(cfg.total_bytes);
     let report = vm_sort(&mut env, &mut exec, &cfg, &refs, &sizing).expect("huge sort");
     (itype.name.to_owned(), report.wall_secs, report.cost_usd)
+}
+
+/// A minimal timing harness for the `harness = false` benches (the
+/// offline build environment has no Criterion; these print comparable
+/// per-iteration statistics).
+pub mod harness {
+    use std::time::Instant;
+
+    /// Times `iters` calls of `f` (plus one untimed warm-up) and prints
+    /// mean/min/max wall milliseconds. `f` receives a 1-based iteration
+    /// index usable as a seed.
+    pub fn run_bench<R>(name: &str, iters: u64, mut f: impl FnMut(u64) -> R) {
+        std::hint::black_box(f(0));
+        let mut times = Vec::with_capacity(iters as usize);
+        for i in 1..=iters {
+            let t = Instant::now();
+            std::hint::black_box(f(i));
+            times.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        times.sort_by(f64::total_cmp);
+        let mean: f64 = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{name:<52} mean {mean:>10.3} ms  min {:>10.3} ms  max {:>10.3} ms  (n={iters})",
+            times[0],
+            times[times.len() - 1],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! from a pre-built AMI in about half a minute, and the managed analytics
 //! service takes about two minutes to spin up.
 
+use crate::faults::FaultConfig;
 use crate::pricing::{EmrTariff, LambdaTariff, S3Tariff};
 
 /// Object-storage model parameters.
@@ -182,6 +183,8 @@ pub struct CloudConfig {
     pub emr: EmrConfig,
     /// Client (Lithops scheduler host) knobs.
     pub client: ClientConfig,
+    /// Fault-injection knobs (all disabled by default).
+    pub faults: FaultConfig,
 }
 
 /// The host that runs the framework client/scheduler.
@@ -209,6 +212,7 @@ mod tests {
     #[test]
     fn defaults_are_internally_consistent() {
         let cfg = CloudConfig::default();
+        assert!(!cfg.faults.any_enabled(), "faults must default to off");
         assert!(cfg.storage.per_conn_bps < cfg.storage.aggregate_bps);
         assert!(cfg.faas.cold_start_median > 0.0);
         assert!(cfg.vm.boot.0 > cfg.vm.setup.0);

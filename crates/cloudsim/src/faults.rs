@@ -1,0 +1,310 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! [`FaultConfig`] turns on failure classes with per-class
+//! probabilities; the [`FaultInjector`] draws every fault decision from
+//! its **own** RNG stream, seeded from the world seed XOR a fixed salt.
+//! Two invariants make chaos runs reproducible and the fault layer
+//! zero-cost when disabled:
+//!
+//! * a probability of zero never draws from the RNG, so a world with
+//!   all probabilities at zero produces the byte-identical event trace
+//!   of a world built before this module existed;
+//! * the injector's stream is independent of the world's latency RNG,
+//!   so enabling one fault class never perturbs latencies or the
+//!   schedule of the other classes beyond the failures themselves.
+//!
+//! Fault decisions are made when a resource is acquired (invoke,
+//! provision, request admission), which keys the schedule to the
+//! deterministic order of simulated operations rather than to wall
+//! time.
+
+use simkernel::{SimDuration, SimRng, SimTime};
+pub use telemetry::FaultKind;
+
+/// Salt folded into the world seed for the injector's RNG stream.
+const FAULT_SEED_SALT: u64 = 0xFA17_1D1C_7AB1_E5EE;
+
+/// Probabilities and windows for every injectable failure class.
+///
+/// All probabilities default to zero (injection disabled). Values are
+/// per *decision point*: per invoke for sandbox faults, per provision
+/// for VM faults, per request for storage faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a FaaS invocation fails during cold start
+    /// (surfaces as [`FaultKind::SandboxInvokeError`]; user code never
+    /// runs and nothing is billed).
+    pub sandbox_invoke_error_prob: f64,
+    /// Probability that a sandbox crashes mid-execution
+    /// ([`FaultKind::SandboxCrash`]; the crashed execution is billed,
+    /// as AWS bills failed Lambda runs).
+    pub sandbox_crash_prob: f64,
+    /// Uniform window, seconds after user code starts, in which a
+    /// planned sandbox crash fires.
+    pub sandbox_crash_after: (f64, f64),
+    /// Probability that a VM provision request fails at boot
+    /// ([`FaultKind::VmBootFailure`]; nothing is billed).
+    pub vm_boot_failure_prob: f64,
+    /// Probability that a VM is lost while running
+    /// ([`FaultKind::VmLoss`]; its uptime is billed). Hosts protected
+    /// with [`World::protect_host`](crate::World::protect_host) and
+    /// hosts running a KV server (masters) are spared.
+    pub vm_loss_prob: f64,
+    /// Uniform window, seconds after the VM comes up, in which a
+    /// planned loss fires.
+    pub vm_loss_after: (f64, f64),
+    /// Probability that a storage request fails with a transient 5xx
+    /// ([`FaultKind::StorageTransient`]; the failed request is not
+    /// billed).
+    pub storage_error_prob: f64,
+    /// Probability that a storage request is throttled with a 503
+    /// SlowDown ([`FaultKind::StorageSlowDown`]; not billed).
+    pub storage_slowdown_prob: f64,
+    /// Restricts injection to a virtual-time window `[start, end)` in
+    /// seconds; `None` means faults can fire at any time.
+    pub window: Option<(f64, f64)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            sandbox_invoke_error_prob: 0.0,
+            sandbox_crash_prob: 0.0,
+            sandbox_crash_after: (0.5, 20.0),
+            vm_boot_failure_prob: 0.0,
+            vm_loss_prob: 0.0,
+            vm_loss_after: (5.0, 120.0),
+            storage_error_prob: 0.0,
+            storage_slowdown_prob: 0.0,
+            window: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Injection fully disabled (the default).
+    pub fn disabled() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// The chaos-suite profile: 5% sandbox crashes, 2% VM boot
+    /// failures, 10% storage throttling — the rates the repository's
+    /// chaos tests run the paper's workloads under.
+    pub fn chaos() -> FaultConfig {
+        FaultConfig {
+            sandbox_invoke_error_prob: 0.02,
+            sandbox_crash_prob: 0.05,
+            vm_boot_failure_prob: 0.02,
+            vm_loss_prob: 0.02,
+            storage_error_prob: 0.05,
+            storage_slowdown_prob: 0.05,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Scales every probability of the chaos profile so that the
+    /// *storage* classes sum to `rate` and the compute classes match it
+    /// (used by the fault-rate ablation sweep).
+    pub fn at_rate(rate: f64) -> FaultConfig {
+        FaultConfig {
+            sandbox_invoke_error_prob: rate * 0.5,
+            sandbox_crash_prob: rate,
+            vm_boot_failure_prob: rate,
+            vm_loss_prob: rate,
+            storage_error_prob: rate * 0.5,
+            storage_slowdown_prob: rate * 0.5,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when at least one failure class can fire.
+    pub fn any_enabled(&self) -> bool {
+        self.sandbox_invoke_error_prob > 0.0
+            || self.sandbox_crash_prob > 0.0
+            || self.vm_boot_failure_prob > 0.0
+            || self.vm_loss_prob > 0.0
+            || self.storage_error_prob > 0.0
+            || self.storage_slowdown_prob > 0.0
+    }
+}
+
+/// Draws fault decisions from a dedicated RNG stream.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(cfg: FaultConfig, world_seed: u64) -> FaultInjector {
+        FaultInjector {
+            cfg,
+            rng: SimRng::seed_from(world_seed ^ FAULT_SEED_SALT),
+        }
+    }
+
+    fn active(&self, now: SimTime) -> bool {
+        match self.cfg.window {
+            None => true,
+            Some((start, end)) => {
+                let t = now.as_secs_f64();
+                t >= start && t < end
+            }
+        }
+    }
+
+    /// Bernoulli draw; consumes RNG state only when `prob > 0` and the
+    /// window is open (the zero-cost-when-disabled invariant).
+    fn roll(&mut self, prob: f64, now: SimTime) -> bool {
+        if prob <= 0.0 || !self.active(now) {
+            return false;
+        }
+        self.rng.next_f64() < prob
+    }
+
+    fn draw_delay(&mut self, (lo, hi): (f64, f64)) -> SimDuration {
+        SimDuration::from_secs_f64(self.rng.uniform(lo.min(hi), lo.max(hi).max(lo + 1e-9)))
+    }
+
+    /// Fault decision for a FaaS invocation, drawn at invoke time.
+    pub(crate) fn sandbox_fault(&mut self, now: SimTime) -> Option<SandboxFault> {
+        if self.roll(self.cfg.sandbox_invoke_error_prob, now) {
+            return Some(SandboxFault::InvokeError);
+        }
+        if self.roll(self.cfg.sandbox_crash_prob, now) {
+            let after = self.draw_delay(self.cfg.sandbox_crash_after);
+            return Some(SandboxFault::CrashAfter(after));
+        }
+        None
+    }
+
+    /// Fault decision for a VM provision request, drawn at provision
+    /// time.
+    pub(crate) fn vm_fault(&mut self, now: SimTime) -> Option<VmFault> {
+        if self.roll(self.cfg.vm_boot_failure_prob, now) {
+            return Some(VmFault::BootFailure);
+        }
+        if self.roll(self.cfg.vm_loss_prob, now) {
+            let after = self.draw_delay(self.cfg.vm_loss_after);
+            return Some(VmFault::LossAfter(after));
+        }
+        None
+    }
+
+    /// Fault decision for a storage request, drawn at issue time.
+    pub(crate) fn storage_fault(&mut self, now: SimTime) -> Option<FaultKind> {
+        if self.roll(self.cfg.storage_error_prob, now) {
+            return Some(FaultKind::StorageTransient);
+        }
+        if self.roll(self.cfg.storage_slowdown_prob, now) {
+            return Some(FaultKind::StorageSlowDown);
+        }
+        None
+    }
+}
+
+/// A planned sandbox failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SandboxFault {
+    InvokeError,
+    CrashAfter(SimDuration),
+}
+
+/// A planned VM failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum VmFault {
+    BootFailure,
+    LossAfter(SimDuration),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_never_draws() {
+        let mut inj = FaultInjector::new(FaultConfig::disabled(), 42);
+        let before = inj.rng.clone();
+        for i in 0..100u64 {
+            let now = SimTime::from_micros(i * 1_000_000);
+            assert!(inj.sandbox_fault(now).is_none());
+            assert!(inj.vm_fault(now).is_none());
+            assert!(inj.storage_fault(now).is_none());
+        }
+        // The RNG stream was never advanced.
+        assert_eq!(format!("{before:?}"), format!("{:?}", inj.rng));
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let cfg = FaultConfig::chaos();
+        let mut a = FaultInjector::new(cfg.clone(), 7);
+        let mut b = FaultInjector::new(cfg, 7);
+        for i in 0..1000u64 {
+            let now = SimTime::from_micros(i * 10_000);
+            assert_eq!(a.sandbox_fault(now), b.sandbox_fault(now));
+            assert_eq!(a.storage_fault(now), b.storage_fault(now));
+            assert_eq!(a.vm_fault(now), b.vm_fault(now));
+        }
+    }
+
+    #[test]
+    fn probabilities_are_roughly_respected() {
+        let cfg = FaultConfig {
+            storage_error_prob: 0.2,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, 3);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|&i| {
+                inj.storage_fault(SimTime::from_micros(i as u64))
+                    .is_some()
+            })
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn window_gates_injection() {
+        let cfg = FaultConfig {
+            storage_error_prob: 1.0,
+            window: Some((10.0, 20.0)),
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, 9);
+        assert!(inj.storage_fault(SimTime::from_micros(5_000_000)).is_none());
+        assert!(inj.storage_fault(SimTime::from_micros(15_000_000)).is_some());
+        assert!(inj.storage_fault(SimTime::from_micros(25_000_000)).is_none());
+    }
+
+    #[test]
+    fn crash_delays_fall_inside_the_configured_window() {
+        let cfg = FaultConfig {
+            sandbox_crash_prob: 1.0,
+            sandbox_crash_after: (1.0, 4.0),
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg, 11);
+        for i in 0..200u64 {
+            match inj.sandbox_fault(SimTime::from_micros(i)) {
+                Some(SandboxFault::CrashAfter(d)) => {
+                    let secs = d.as_secs_f64();
+                    assert!((1.0..=4.0).contains(&secs), "delay {secs}");
+                }
+                other => panic!("expected a planned crash, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_profile_enables_every_class() {
+        assert!(!FaultConfig::disabled().any_enabled());
+        let chaos = FaultConfig::chaos();
+        assert!(chaos.any_enabled());
+        assert!(chaos.sandbox_crash_prob >= 0.05);
+        assert!(chaos.storage_error_prob + chaos.storage_slowdown_prob >= 0.10);
+        assert!(chaos.vm_boot_failure_prob >= 0.02);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod config;
 pub mod emr;
+pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod pricing;
@@ -45,6 +46,7 @@ pub mod world;
 
 pub use config::{CloudConfig, FaasConfig, KvConfig, StorageConfig, VmConfig};
 pub use emr::EmrJobId;
+pub use faults::{FaultConfig, FaultKind};
 pub use host::HostId;
 pub use ids::{KvId, OpId, SandboxId, VmId};
 pub use pricing::{catalog, instance_type, InstanceType, LambdaTariff, S3Tariff};

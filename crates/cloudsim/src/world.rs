@@ -12,14 +12,15 @@
 //! Billing flows into a [`telemetry::CostLedger`] and CPU occupancy into
 //! a [`telemetry::CpuMonitor`], both owned by the world.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use simkernel::fair_share::FlowId;
 use simkernel::{EventQueue, EventToken, FairShare, SimDuration, SimRng, SimTime};
-use telemetry::{CostCategory, CostLedger, CpuMonitor, FleetTag};
+use telemetry::{CostCategory, CostLedger, CpuMonitor, FaultKind, FaultLedger, FleetTag};
 
 use crate::config::CloudConfig;
 use crate::emr::{EmrJob, EmrJobId};
+use crate::faults::{FaultInjector, SandboxFault, VmFault};
 use crate::host::{Host, HostId, PendingCompute};
 use crate::ids::{KvId, OpId, SandboxId, VmId};
 use crate::pricing::InstanceType;
@@ -58,6 +59,24 @@ pub enum Notify {
         /// The job.
         job: EmrJobId,
     },
+    /// An injected fault took a sandbox down: either the invocation
+    /// errored during cold start or the sandbox crashed mid-execution.
+    /// The sandbox is dead; do not release it again.
+    SandboxFailed {
+        /// The sandbox.
+        sandbox: SandboxId,
+        /// What happened.
+        fault: FaultKind,
+    },
+    /// An injected fault took a VM down: the provision request failed
+    /// at boot or the running instance was lost. The VM is dead; do not
+    /// terminate it again.
+    VmFailed {
+        /// The VM.
+        vm: VmId,
+        /// What happened.
+        fault: FaultKind,
+    },
 }
 
 /// The result of a completed operation.
@@ -93,6 +112,12 @@ pub enum OpOutcome {
     },
     /// Host-to-host transfer finished.
     TransferOk,
+    /// The operation failed with an injected transient fault; the
+    /// caller may retry it.
+    Faulted {
+        /// The injected fault class.
+        fault: FaultKind,
+    },
 }
 
 /// Internal events.
@@ -112,6 +137,12 @@ enum Ev {
     EmrUp { job: EmrJobId },
     EmrTaskDone { job: EmrJobId },
     EmrTorn { job: EmrJobId },
+    // Injected faults.
+    StorageFault { op: OpId, fault: FaultKind },
+    SandboxInvokeFail { sandbox: SandboxId },
+    SandboxCrash { sandbox: SandboxId },
+    VmBootFail { vm: VmId },
+    VmCrash { vm: VmId },
 }
 
 /// What to do when a storage/KV flow completes.
@@ -153,6 +184,9 @@ struct Sandbox {
     started: Option<SimTime>,
     released: bool,
     fleet: FleetTag,
+    /// Injected crash scheduled to fire this long after user code
+    /// starts (decided at invoke time).
+    planned_crash: Option<SimDuration>,
 }
 
 #[derive(Debug)]
@@ -162,6 +196,9 @@ struct Vm {
     up_at: Option<SimTime>,
     terminated: bool,
     fleet: FleetTag,
+    /// Injected loss scheduled to fire this long after the VM comes up
+    /// (decided at provision time).
+    planned_loss: Option<SimDuration>,
 }
 
 #[derive(Debug)]
@@ -211,9 +248,16 @@ pub struct World {
     /// Host-local KV transfers finishing after a plain delay.
     local_finishers: HashMap<OpId, FlowDone>,
 
+    // Fault injection.
+    faults: FaultInjector,
+    /// Hosts the injector must never take down mid-job (masters; hosts
+    /// running a KV server are spared automatically).
+    protected_hosts: HashSet<HostId>,
+
     // Telemetry.
     ledger: CostLedger,
     cpu: CpuMonitor,
+    fault_ledger: FaultLedger,
     fleets: HashMap<String, FleetTag>,
     bill_label: String,
 }
@@ -232,6 +276,7 @@ impl World {
         let faas_bucket = TokenBucket::new(cfg.faas.burst as f64, cfg.faas.starts_per_sec);
         let st_get_rl = RateLimiter::per_second(cfg.storage.get_rate_per_sec);
         let st_put_rl = RateLimiter::per_second(cfg.storage.put_rate_per_sec);
+        let faults = FaultInjector::new(cfg.faults.clone(), seed);
         World {
             queue: EventQueue::new(),
             rng: SimRng::seed_from(seed),
@@ -256,8 +301,11 @@ impl World {
             ops: HashMap::new(),
             next_op: 0,
             local_finishers: HashMap::new(),
+            faults,
+            protected_hosts: HashSet::new(),
             ledger: CostLedger::new(),
             cpu: CpuMonitor::new(),
+            fault_ledger: FaultLedger::new(),
             fleets: HashMap::new(),
             bill_label: String::new(),
             cfg,
@@ -311,6 +359,30 @@ impl World {
     /// Mutable CPU monitor (frameworks add their scheduler occupancy).
     pub fn cpu_monitor_mut(&mut self) -> &mut CpuMonitor {
         &mut self.cpu
+    }
+
+    /// The fault/retry ledger.
+    pub fn fault_ledger(&self) -> &FaultLedger {
+        &self.fault_ledger
+    }
+
+    /// Mutable fault/retry ledger (frameworks record their retries and
+    /// give-ups next to the world's injection counters).
+    pub fn fault_ledger_mut(&mut self) -> &mut FaultLedger {
+        &mut self.fault_ledger
+    }
+
+    /// True while a host can issue and receive operations.
+    pub fn host_alive(&self, host: HostId) -> bool {
+        self.hosts[host.index() as usize].alive
+    }
+
+    /// Marks a host as exempt from injected mid-job VM loss. Frameworks
+    /// protect single points of failure the paper's design assumes are
+    /// reliable (the master VM; hosts running a KV server are spared
+    /// automatically).
+    pub fn protect_host(&mut self, host: HostId) {
+        self.protected_hosts.insert(host);
     }
 
     /// Registers (or fetches) a fleet tag by name for CPU accounting.
@@ -380,6 +452,11 @@ impl World {
         });
         let at = self.st_get_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.get_latency);
+        if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
+            // Failed requests (5xx / SlowDown) are not billed.
+            self.queue.schedule_at(at + lat, Ev::StorageFault { op, fault });
+            return op;
+        }
         self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_get);
         self.queue.schedule_at(at + lat, Ev::StorageStart { op });
         op
@@ -402,6 +479,10 @@ impl World {
         });
         let at = self.st_put_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.put_latency);
+        if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
+            self.queue.schedule_at(at + lat, Ev::StorageFault { op, fault });
+            return op;
+        }
         self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_put);
         self.queue.schedule_at(at + lat, Ev::StorageStart { op });
         op
@@ -416,6 +497,10 @@ impl World {
         });
         let at = self.st_get_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.list_latency);
+        if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
+            self.queue.schedule_at(at + lat, Ev::StorageFault { op, fault });
+            return op;
+        }
         self.charge(CostCategory::StorageRequests, self.cfg.storage.tariff.usd_per_list);
         self.queue.schedule_at(at + lat, Ev::StorageStart { op });
         op
@@ -430,6 +515,10 @@ impl World {
         });
         let at = self.st_put_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.put_latency);
+        if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
+            self.queue.schedule_at(at + lat, Ev::StorageFault { op, fault });
+            return op;
+        }
         self.queue.schedule_at(at + lat, Ev::StorageStart { op });
         op
     }
@@ -505,21 +594,33 @@ impl World {
             Some(fleet_tag),
         ));
         let sandbox = SandboxId::from_index(self.sandboxes.len() as u64);
+        let now = self.queue.now();
+        let fault = self.faults.sandbox_fault(now);
         self.sandboxes.push(Sandbox {
             host,
             mem_mb,
             started: None,
             released: false,
             fleet: fleet_tag,
+            planned_crash: match fault {
+                Some(SandboxFault::CrashAfter(after)) => Some(after),
+                _ => None,
+            },
         });
-        let now = self.queue.now();
         let invoke = self.lat(self.cfg.faas.invoke_latency);
         let admitted = self.faas_bucket.admit(now + invoke);
         let cold = SimDuration::from_secs_f64(
             self.rng
                 .lognormal_median(self.cfg.faas.cold_start_median, self.cfg.faas.cold_start_sigma),
         );
-        self.queue.schedule_at(admitted + cold, Ev::SandboxUp { sandbox });
+        if matches!(fault, Some(SandboxFault::InvokeError)) {
+            // The runtime fails to initialise: the error surfaces where
+            // the sandbox would have come up; nothing is billed.
+            self.queue
+                .schedule_at(admitted + cold, Ev::SandboxInvokeFail { sandbox });
+        } else {
+            self.queue.schedule_at(admitted + cold, Ev::SandboxUp { sandbox });
+        }
         sandbox
     }
 
@@ -529,6 +630,24 @@ impl World {
     ///
     /// Panics if the sandbox never started or was already released.
     pub fn faas_release(&mut self, sandbox: SandboxId) {
+        self.retire_sandbox(sandbox);
+    }
+
+    /// Abandons a running sandbox whose work will be redone elsewhere
+    /// (speculative straggler re-dispatch): bills it like a release and
+    /// books the billed GB-seconds as wasted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sandbox never started or was already released.
+    pub fn faas_abandon(&mut self, sandbox: SandboxId) {
+        let gb_secs = self.retire_sandbox(sandbox);
+        self.fault_ledger.wasted_gb_secs += gb_secs;
+    }
+
+    /// Bills and tears down a started sandbox; returns its billed
+    /// GB-seconds.
+    fn retire_sandbox(&mut self, sandbox: SandboxId) -> f64 {
         let now = self.queue.now();
         let sb = &mut self.sandboxes[sandbox.index() as usize];
         let started = sb.started.expect("released a sandbox that never started");
@@ -537,6 +656,7 @@ impl World {
         let secs = (now - started).as_secs_f64();
         let tariff = self.cfg.faas.tariff;
         let compute = tariff.compute_usd(sb.mem_mb, secs);
+        let gb_secs = sb.mem_mb as f64 / 1024.0 * secs;
         let host = sb.host;
         let fleet = sb.fleet;
         let vcpus = self.hosts[host.index() as usize].vcpus;
@@ -544,6 +664,7 @@ impl World {
         self.cpu.add_provisioned(fleet, now, -vcpus);
         self.charge(CostCategory::FaasCompute, compute);
         self.charge(CostCategory::FaasRequests, tariff.usd_per_request);
+        gb_secs
     }
 
     /// The host a sandbox executes on.
@@ -566,16 +687,26 @@ impl World {
             Some(fleet_tag),
         ));
         let vm = VmId::from_index(self.vms.len() as u64);
+        let fault = self.faults.vm_fault(self.queue.now());
         self.vms.push(Vm {
             host,
             itype: *itype,
             up_at: None,
             terminated: false,
             fleet: fleet_tag,
+            planned_loss: match fault {
+                Some(VmFault::LossAfter(after)) => Some(after),
+                _ => None,
+            },
         });
         let boot = self.lat_floor(self.cfg.vm.boot, 5.0);
         let setup = self.lat_floor(self.cfg.vm.setup, 0.5);
-        self.queue.schedule_in(boot + setup, Ev::VmUp { vm });
+        if matches!(fault, Some(VmFault::BootFailure)) {
+            // Capacity errors surface at boot time; nothing is billed.
+            self.queue.schedule_in(boot, Ev::VmBootFail { vm });
+        } else {
+            self.queue.schedule_in(boot + setup, Ev::VmUp { vm });
+        }
         vm
     }
 
@@ -793,6 +924,14 @@ impl World {
             Ev::EmrUp { job } => self.on_emr_up(job, now),
             Ev::EmrTaskDone { job } => self.on_emr_task_done(job, now),
             Ev::EmrTorn { job } => self.on_emr_torn(job, now),
+            Ev::StorageFault { op, fault } => {
+                self.fault_ledger.record_fault(fault);
+                self.notify_op(op, OpOutcome::Faulted { fault });
+            }
+            Ev::SandboxInvokeFail { sandbox } => self.on_sandbox_invoke_fail(sandbox),
+            Ev::SandboxCrash { sandbox } => self.on_sandbox_crash(sandbox, now),
+            Ev::VmBootFail { vm } => self.on_vm_boot_fail(vm),
+            Ev::VmCrash { vm } => self.on_vm_crash(vm, now),
         }
     }
 
@@ -1110,9 +1249,13 @@ impl World {
         sb.started = Some(now);
         let host = sb.host;
         let fleet = sb.fleet;
+        let planned_crash = sb.planned_crash;
         self.hosts[host.index() as usize].alive = true;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.cpu.add_provisioned(fleet, now, vcpus);
+        if let Some(after) = planned_crash {
+            self.queue.schedule_in(after, Ev::SandboxCrash { sandbox });
+        }
         self.outbox.push_back(Notify::SandboxUp { sandbox });
     }
 
@@ -1121,10 +1264,92 @@ impl World {
         rec.up_at = Some(now);
         let host = rec.host;
         let fleet = rec.fleet;
+        let planned_loss = rec.planned_loss;
         self.hosts[host.index() as usize].alive = true;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.cpu.add_provisioned(fleet, now, vcpus);
+        if let Some(after) = planned_loss {
+            self.queue.schedule_in(after, Ev::VmCrash { vm });
+        }
         self.outbox.push_back(Notify::VmUp { vm });
+    }
+
+    // --- injected faults ---
+
+    /// The invocation failed during cold start: user code never ran, the
+    /// host never came alive, nothing is billed.
+    fn on_sandbox_invoke_fail(&mut self, sandbox: SandboxId) {
+        let sb = &mut self.sandboxes[sandbox.index() as usize];
+        debug_assert!(sb.started.is_none());
+        sb.released = true;
+        self.fault_ledger.record_fault(FaultKind::SandboxInvokeError);
+        self.outbox.push_back(Notify::SandboxFailed {
+            sandbox,
+            fault: FaultKind::SandboxInvokeError,
+        });
+    }
+
+    /// A planned crash fires mid-execution. If the sandbox finished
+    /// first (already released) the plan is moot. AWS bills crashed
+    /// Lambda executions, so the partial run is billed — and booked as
+    /// wasted GB-seconds, since its output never materialised.
+    fn on_sandbox_crash(&mut self, sandbox: SandboxId, _now: SimTime) {
+        if self.sandboxes[sandbox.index() as usize].released {
+            return;
+        }
+        let gb_secs = self.retire_sandbox(sandbox);
+        self.fault_ledger.wasted_gb_secs += gb_secs;
+        self.fault_ledger.record_fault(FaultKind::SandboxCrash);
+        self.outbox.push_back(Notify::SandboxFailed {
+            sandbox,
+            fault: FaultKind::SandboxCrash,
+        });
+    }
+
+    /// The provision request failed: the VM never came up, nothing is
+    /// billed.
+    fn on_vm_boot_fail(&mut self, vm: VmId) {
+        let rec = &mut self.vms[vm.index() as usize];
+        debug_assert!(rec.up_at.is_none());
+        rec.terminated = true;
+        self.fault_ledger.record_fault(FaultKind::VmBootFailure);
+        self.outbox.push_back(Notify::VmFailed {
+            vm,
+            fault: FaultKind::VmBootFailure,
+        });
+    }
+
+    /// A planned VM loss fires. Terminated VMs and protected hosts
+    /// (masters, KV hosts — the single points of failure the paper's
+    /// design keeps reliable) are spared. Uptime until the loss is
+    /// billed (per-second, with the minimum) and booked as wasted
+    /// instance-seconds.
+    fn on_vm_crash(&mut self, vm: VmId, now: SimTime) {
+        let rec = &self.vms[vm.index() as usize];
+        if rec.terminated {
+            return;
+        }
+        let host = rec.host;
+        if self.protected_hosts.contains(&host) || self.kvs.iter().any(|kv| kv.host == host) {
+            return;
+        }
+        let rec = &mut self.vms[vm.index() as usize];
+        let up_at = rec.up_at.expect("crashed a VM that never came up");
+        rec.terminated = true;
+        let secs = (now - up_at).as_secs_f64();
+        let billed = secs.max(self.cfg.vm.min_billed_secs);
+        let cost = billed * rec.itype.usd_per_second();
+        let fleet = rec.fleet;
+        let vcpus = self.hosts[host.index() as usize].vcpus;
+        self.hosts[host.index() as usize].alive = false;
+        self.cpu.add_provisioned(fleet, now, -vcpus);
+        self.charge(CostCategory::VmCompute, cost);
+        self.fault_ledger.wasted_instance_secs += billed;
+        self.fault_ledger.record_fault(FaultKind::VmLoss);
+        self.outbox.push_back(Notify::VmFailed {
+            vm,
+            fault: FaultKind::VmLoss,
+        });
     }
 
     // --- EMR ---

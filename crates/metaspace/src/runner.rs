@@ -100,10 +100,26 @@ pub fn run_annotation(
     arch: Architecture,
     seed: u64,
 ) -> Result<AnnotationReport, ExecError> {
+    run_annotation_with(job, arch, seed, CloudConfig::default())
+}
+
+/// Like [`run_annotation`], but over an explicit cloud configuration —
+/// chaos experiments inject faults by enabling `cloud.faults`.
+///
+/// # Errors
+///
+/// Propagates executor failures, including exhausted retry budgets
+/// under fault injection.
+pub fn run_annotation_with(
+    job: &JobSpec,
+    arch: Architecture,
+    seed: u64,
+    cloud: CloudConfig,
+) -> Result<AnnotationReport, ExecError> {
     match arch {
-        Architecture::Serverless => run_functions(job, false, seed),
-        Architecture::Hybrid => run_functions(job, true, seed),
-        Architecture::Cluster => Ok(run_cluster(job, seed)),
+        Architecture::Serverless => run_functions(job, false, seed, cloud),
+        Architecture::Hybrid => run_functions(job, true, seed, cloud),
+        Architecture::Cluster => Ok(run_cluster(job, seed, cloud)),
     }
 }
 
@@ -111,8 +127,13 @@ pub fn run_annotation(
 // Cloud-function / hybrid path
 // ----------------------------------------------------------------------
 
-fn run_functions(job: &JobSpec, hybrid: bool, seed: u64) -> Result<AnnotationReport, ExecError> {
-    let mut env = CloudEnv::new(CloudConfig::default(), seed);
+fn run_functions(
+    job: &JobSpec,
+    hybrid: bool,
+    seed: u64,
+    cloud: CloudConfig,
+) -> Result<AnnotationReport, ExecError> {
+    let mut env = CloudEnv::new(cloud, seed);
     let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
     let stages = pipeline::stages(job);
     // The architecture sizes the serverful host from the job's largest
@@ -336,8 +357,8 @@ fn summarise(stages: &[Stage], spans: &[telemetry::StageSpan]) -> Vec<StageResul
 // Cluster path
 // ----------------------------------------------------------------------
 
-fn run_cluster(job: &JobSpec, seed: u64) -> AnnotationReport {
-    let mut world = World::new(CloudConfig::default(), seed);
+fn run_cluster(job: &JobSpec, seed: u64, cloud: CloudConfig) -> AnnotationReport {
+    let mut world = World::new(cloud, seed);
     let mut cluster = ClusterEngine::provision(&mut world, ClusterConfig::default());
     let start = world.now();
     let stages = pipeline::stages(job);

@@ -1,5 +1,6 @@
 //! Executor configuration.
 
+use crate::retry::RetryPolicy;
 use crate::sizing::SizingPolicy;
 
 /// How the serverful (VM) backend lays out compute.
@@ -43,6 +44,9 @@ pub struct StandaloneConfig {
     /// Client-side setup per `map` on this backend — small, because the
     /// runtime and modules already live on the VMs.
     pub map_setup_secs: f64,
+    /// Attempts per VM slot before a provisioning failure is surfaced
+    /// to the job (replacement VMs after boot failures or losses).
+    pub max_provision_attempts: u32,
 }
 
 impl Default for StandaloneConfig {
@@ -56,6 +60,7 @@ impl Default for StandaloneConfig {
             ssh_setup: (2.0, 0.4),
             poll_interval: 1.0,
             map_setup_secs: 0.5,
+            max_provision_attempts: 5,
         }
     }
 }
@@ -80,6 +85,9 @@ pub struct ExecutorConfig {
     /// storage/KV I/O ((de)serialisation overlapped with transfers).
     /// Accounting only; affects the Table 3 utilisation statistics.
     pub io_compute_overlap: f64,
+    /// Retry/backoff/straggler policy applied to every job of this
+    /// executor (task re-dispatch, storage re-issue, worker requeue).
+    pub retry: RetryPolicy,
     /// Serverful-backend options.
     pub standalone: StandaloneConfig,
 }
@@ -93,6 +101,7 @@ impl Default for ExecutorConfig {
             fetch_input: true,
             map_setup_secs: 2.5,
             io_compute_overlap: 0.35,
+            retry: RetryPolicy::default(),
             standalone: StandaloneConfig::default(),
         }
     }

@@ -57,14 +57,69 @@ enum Route {
     List { job: usize },
     /// Monitor result GET.
     Collect { job: usize, task: usize },
-    /// A pool VM came up / finished SSH setup.
-    PoolVm { pool: usize, slot: PoolSlot },
+    /// A pool VM came up / finished SSH setup. `epoch` versions the
+    /// slot so timers of a replaced VM are dropped.
+    PoolVm { pool: usize, slot: PoolSlot, epoch: u64 },
     /// Master pushed one task bundle into the KV queue.
     Push { pool: usize, job: usize },
-    /// A worker process's KV pop.
-    Pop { pool: usize, vm_idx: usize, proc: usize },
+    /// A worker process's KV pop. `epoch` versions the worker VM so
+    /// pops issued by a since-replaced VM are not mistaken for the
+    /// replacement's.
+    Pop { pool: usize, vm_idx: usize, proc: usize, epoch: u64 },
     /// The master's SSH notification reaching the client.
     MasterNotify { job: usize },
+    /// Backoff timer before re-dispatching a failed task attempt.
+    RetryTask { job: usize, task: usize, attempt: u32 },
+    /// Backoff timer before re-issuing a faulted storage request.
+    RetryStorage {
+        spec: StorageSpec,
+        attempts: u32,
+        inner: Box<Route>,
+        /// `(faulted op, its slot)` in the task action's pending map,
+        /// if any. The faulted op stays in the map as a placeholder
+        /// while the backoff runs — so a sibling op of a multi-op
+        /// action cannot drain the map and assemble a result with a
+        /// hole — and is swapped for the re-issued op at fire time.
+        pending_slot: Option<(OpId, usize)>,
+        /// Task attempt the op belonged to; a mismatch at fire time
+        /// means the whole attempt was torn down meanwhile.
+        task_attempt: u32,
+    },
+    /// Master re-pushing a requeued task bundle after a worker loss.
+    Requeue { pool: usize },
+}
+
+/// A retryable storage request, kept verbatim so a faulted op can be
+/// re-issued after backoff.
+#[derive(Debug, Clone)]
+enum StorageSpec {
+    Get { host: HostId, bucket: String, key: String },
+    Put { host: HostId, bucket: String, key: String, body: ObjectBody },
+    List { host: HostId, bucket: String, prefix: String },
+    Delete { host: HostId, bucket: String, key: String },
+}
+
+impl StorageSpec {
+    fn host(&self) -> HostId {
+        match self {
+            StorageSpec::Get { host, .. }
+            | StorageSpec::Put { host, .. }
+            | StorageSpec::List { host, .. }
+            | StorageSpec::Delete { host, .. } => *host,
+        }
+    }
+}
+
+/// Why a task attempt ended prematurely (selects the retry counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptFailure {
+    /// The sandbox died under the task (already torn down by the world).
+    SandboxDead,
+    /// A storage op of the attempt ran out of its retry budget.
+    StorageExhausted,
+    /// The monitor abandoned the attempt as a straggler (sandbox still
+    /// running; it is billed and abandoned).
+    Straggler,
 }
 
 /// Which pool VM a lifecycle notification concerns.
@@ -80,6 +135,9 @@ enum VmPhase {
     Booting,
     SshSetup,
     Ready,
+    /// The slot's VM is gone and its provisioning budget is spent; a new
+    /// job re-provisions it with a fresh budget.
+    Dead,
 }
 
 #[derive(Debug)]
@@ -88,6 +146,12 @@ struct PoolVm {
     host: HostId,
     itype: cloudsim::InstanceType,
     phase: VmPhase,
+    /// Slot generation; bumped on every (re-)provision so in-flight pops
+    /// and SSH timers of a replaced VM can be told apart.
+    epoch: u64,
+    /// Provisioning attempts charged against this slot for the current
+    /// job (boot failures and losses both consume the budget).
+    provision_attempts: u32,
 }
 
 /// A serverful resource pool: one per executor using the VM backend.
@@ -102,6 +166,11 @@ pub(crate) struct StandalonePool {
     active: Option<usize>,
     /// Pushes still outstanding before workers may start popping.
     pushes_outstanding: usize,
+    /// Worker processes that popped an empty queue and went idle; woken
+    /// when a requeued bundle lands.
+    idle_procs: Vec<(usize, usize)>,
+    /// Source of slot epochs.
+    epoch_counter: u64,
     fleet_name: String,
 }
 
@@ -136,6 +205,8 @@ pub struct CloudEnv {
     jobs: Vec<JobState>,
     pools: Vec<StandalonePool>,
     op_routes: HashMap<OpId, Route>,
+    /// Replay specs for in-flight storage ops (fault retries).
+    op_specs: HashMap<OpId, (StorageSpec, u32)>,
     sandbox_routes: HashMap<SandboxId, Route>,
     vm_routes: HashMap<VmId, Route>,
     timer_routes: HashMap<u64, Route>,
@@ -171,6 +242,7 @@ impl CloudEnv {
             jobs: Vec::new(),
             pools: Vec::new(),
             op_routes: HashMap::new(),
+            op_specs: HashMap::new(),
             sandbox_routes: HashMap::new(),
             vm_routes: HashMap::new(),
             timer_routes: HashMap::new(),
@@ -263,6 +335,8 @@ impl CloudEnv {
             queue: VecDeque::new(),
             active: None,
             pushes_outstanding: 0,
+            idle_procs: Vec::new(),
+            epoch_counter: 0,
             fleet_name: format!("standalone-{idx}"),
         });
         idx
@@ -272,17 +346,23 @@ impl CloudEnv {
     pub(crate) fn shutdown_pool(&mut self, pool: usize) {
         let p = &mut self.pools[pool];
         assert!(p.active.is_none(), "shutdown with an active job");
+        let mut terminate = Vec::new();
         for w in p.workers.drain(..) {
+            self.vm_routes.remove(&w.vm);
             if w.phase == VmPhase::Ready {
-                self.world.vm_terminate(w.vm);
+                terminate.push(w.vm);
             }
         }
         if let Some(m) = p.master.take() {
+            self.vm_routes.remove(&m.vm);
             if m.phase == VmPhase::Ready {
-                self.world.vm_terminate(m.vm);
+                terminate.push(m.vm);
             }
         }
         p.kv = None;
+        for vm in terminate {
+            self.world.vm_terminate(vm);
+        }
     }
 
     /// Pumps the world until `job` finishes; returns its results in
@@ -328,18 +408,40 @@ impl CloudEnv {
         match n {
             Notify::Op { op, outcome } => {
                 let Some(route) = self.op_routes.remove(&op) else {
-                    return; // op of an already-failed job
+                    self.op_specs.remove(&op);
+                    return; // op of an already-failed job or torn-down attempt
                 };
+                if let OpOutcome::Faulted { .. } = outcome {
+                    let spec = self.op_specs.remove(&op);
+                    self.on_storage_faulted(op, route, spec);
+                    return;
+                }
+                self.op_specs.remove(&op);
                 self.on_op(route, op, outcome);
             }
             Notify::SandboxUp { sandbox } => {
-                if let Some(route) = self.sandbox_routes.remove(&sandbox) {
+                // The route stays registered until the sandbox is
+                // released: a mid-task crash must still find its task.
+                if let Some(route) = self.sandbox_routes.get(&sandbox).cloned() {
                     self.on_sandbox_up(route, sandbox);
                 }
             }
+            Notify::SandboxFailed { sandbox, .. } => {
+                if let Some(Route::Task { job, task }) = self.sandbox_routes.remove(&sandbox) {
+                    self.jobs[job].tasks[task].sandbox = None;
+                    self.task_attempt_failed(job, task, AttemptFailure::SandboxDead);
+                }
+            }
             Notify::VmUp { vm } => {
-                if let Some(route) = self.vm_routes.remove(&vm) {
+                // The route stays registered: a mid-job VM loss (long
+                // after boot) must still find its pool slot.
+                if let Some(route) = self.vm_routes.get(&vm).cloned() {
                     self.on_vm_up(route, vm);
+                }
+            }
+            Notify::VmFailed { vm, .. } => {
+                if let Some(route) = self.vm_routes.remove(&vm) {
+                    self.on_pool_vm_failed(route);
                 }
             }
             Notify::Timer { tag } => {
@@ -349,6 +451,173 @@ impl CloudEnv {
             }
             _ => {}
         }
+    }
+
+    /// Issues a storage request from its spec, remembering it so a fault
+    /// can re-issue it after backoff. All env storage traffic flows
+    /// through here.
+    fn issue_storage(&mut self, spec: StorageSpec, attempts: u32, route: Route) -> OpId {
+        let op = match &spec {
+            StorageSpec::Get { host, bucket, key } => {
+                self.world.get_object(*host, bucket, key)
+            }
+            StorageSpec::Put {
+                host,
+                bucket,
+                key,
+                body,
+            } => self.world.put_object(*host, bucket, key, body.clone()),
+            StorageSpec::List {
+                host,
+                bucket,
+                prefix,
+            } => self.world.list_objects(*host, bucket, prefix),
+            StorageSpec::Delete { host, bucket, key } => {
+                self.world.delete_object(*host, bucket, key)
+            }
+        };
+        self.op_specs.insert(op, (spec, attempts));
+        self.op_routes.insert(op, route);
+        op
+    }
+
+    /// The job a route belongs to, if any.
+    fn route_job(route: &Route) -> Option<usize> {
+        match route {
+            Route::Task { job, .. }
+            | Route::InputPut { job, .. }
+            | Route::JobSetup { job }
+            | Route::Poll { job }
+            | Route::List { job }
+            | Route::Collect { job, .. }
+            | Route::Push { job, .. }
+            | Route::MasterNotify { job }
+            | Route::RetryTask { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    /// A storage op came back with an injected fault (transient 5xx or
+    /// SlowDown). Monitor ops retry indefinitely — a polling loop just
+    /// polls again; everything else obeys the job's retry budget and
+    /// escalates to a task-level retry when exhausted.
+    fn on_storage_faulted(&mut self, op: OpId, route: Route, spec: Option<(StorageSpec, u32)>) {
+        let Some((spec, attempts)) = spec else {
+            unreachable!("faulted op without a stored spec")
+        };
+        let Some(job) = Self::route_job(&route) else {
+            unreachable!("faulted op routed to {route:?}")
+        };
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        let policy = self.jobs[job].retry.clone();
+        let monitor = matches!(route, Route::List { .. } | Route::Collect { .. });
+        if !monitor && !policy.allows_retry(attempts) {
+            self.world.fault_ledger_mut().attempts_exhausted += 1;
+            match route {
+                Route::Task { job, task } | Route::InputPut { job, task } => {
+                    self.task_attempt_failed(job, task, AttemptFailure::StorageExhausted);
+                }
+                other => unreachable!("storage budget exhausted on {other:?}"),
+            }
+            return;
+        }
+        self.world.fault_ledger_mut().storage_retries += 1;
+        // For task-logic ops, the faulted op STAYS in the attempt's
+        // pending map as a placeholder (siblings of a multi-op action
+        // must not see the map drain and assemble a holey result); the
+        // retry swaps in its replacement.
+        let (pending_slot, task_attempt) = match &route {
+            Route::Task { job, task } => {
+                let t = &mut self.jobs[*job].tasks[*task];
+                let index = t.run.as_ref().and_then(|r| r.pending.get(&op).copied());
+                (index.map(|i| (op, i)), t.attempts)
+            }
+            _ => (None, 0),
+        };
+        let backoff = policy
+            .jittered_backoff_secs(attempts.min(policy.max_attempts.max(1)), op.index());
+        self.set_timer(
+            SimDuration::from_secs_f64(backoff),
+            Route::RetryStorage {
+                spec,
+                attempts,
+                inner: Box::new(route),
+                pending_slot,
+                task_attempt,
+            },
+        );
+    }
+
+    /// A task attempt failed (sandbox death, exhausted storage budget, or
+    /// straggler abandonment): tear the attempt down and either schedule
+    /// a re-dispatch or fail the job when the budget is spent.
+    fn task_attempt_failed(&mut self, job: usize, task: usize, why: AttemptFailure) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        self.clear_task_attempt(job, task, why);
+        let attempts = self.jobs[job].tasks[task].attempts;
+        let policy = self.jobs[job].retry.clone();
+        if !policy.allows_retry(attempts) {
+            self.world.fault_ledger_mut().attempts_exhausted += 1;
+            let err = ExecError::AttemptsExhausted {
+                what: format!("task {task} of job '{}'", self.jobs[job].name),
+                attempts: attempts.max(1),
+            };
+            self.complete_job(job, Some(err));
+            return;
+        }
+        match why {
+            AttemptFailure::Straggler => {
+                self.world.fault_ledger_mut().stragglers_redispatched += 1;
+            }
+            _ => self.world.fault_ledger_mut().task_retries += 1,
+        }
+        let backoff = policy.jittered_backoff_secs(
+            attempts.max(1),
+            ((job as u64) << 32) | task as u64,
+        );
+        self.set_timer(
+            SimDuration::from_secs_f64(backoff),
+            Route::RetryTask {
+                job,
+                task,
+                attempt: attempts,
+            },
+        );
+    }
+
+    /// Drops every trace of a task's current attempt: pending op routes,
+    /// the run, the sandbox (abandoned unless already dead) and the
+    /// worker slot (its process goes back to popping).
+    fn clear_task_attempt(&mut self, job: usize, task: usize, why: AttemptFailure) {
+        if let Some(mut run) = self.jobs[job].tasks[task].run.take() {
+            let ops: Vec<OpId> = run.pending.keys().copied().collect();
+            for op in ops {
+                self.op_routes.remove(&op);
+                self.op_specs.remove(&op);
+            }
+            self.end_io_busy(&mut run);
+        }
+        if let Some(sandbox) = self.jobs[job].tasks[task].sandbox.take() {
+            self.sandbox_routes.remove(&sandbox);
+            if why != AttemptFailure::SandboxDead {
+                // Abandon the still-running sandbox: billed (AWS bills
+                // failed executions) and booked as waste.
+                self.world.faas_abandon(sandbox);
+            }
+        }
+        if let Some((vm_idx, proc)) = self.jobs[job].tasks[task].worker.take() {
+            // The freed worker process fetches its next bundle (this
+            // task's own requeued bundle arrives only after backoff).
+            if let JobBackend::Standalone { pool } = self.jobs[job].backend {
+                self.worker_pop(pool, vm_idx, proc);
+            }
+        }
+        self.jobs[job].tasks[task].phase = TaskPhase::Queued;
+        self.jobs[job].tasks[task].started_at = None;
     }
 
     fn set_timer(&mut self, delay: SimDuration, route: Route) {
@@ -382,25 +651,51 @@ impl CloudEnv {
     fn dispatch_faas(&mut self, job: usize, memory_mb: u32, fetch_input: bool, fleet: &str) {
         let n = self.jobs[job].inputs.len();
         for task in 0..n {
-            if fetch_input {
-                // Upload the input bundle first; invoke on completion so
-                // the sandbox never races its own input.
-                let key = self.jobs[job].input_key(task);
-                let body = ObjectBody::real(self.jobs[job].inputs[task].encode());
-                let client = self.world.client_host();
-                let bucket = self.jobs[job].bucket.clone();
-                let op = self.world.put_object(client, &bucket, &key, body);
-                self.op_routes.insert(op, Route::InputPut { job, task });
-            } else {
-                self.invoke_task(job, task, memory_mb, fleet);
-            }
+            self.dispatch_faas_task(job, task, memory_mb, fetch_input, fleet);
+        }
+    }
+
+    /// Dispatches (or re-dispatches) one FaaS task. Re-uploading the
+    /// input bundle on retries is idempotent and covers the case where
+    /// the original upload itself was lost.
+    fn dispatch_faas_task(
+        &mut self,
+        job: usize,
+        task: usize,
+        memory_mb: u32,
+        fetch_input: bool,
+        fleet: &str,
+    ) {
+        if fetch_input {
+            // Upload the input bundle first; invoke on completion so
+            // the sandbox never races its own input.
+            let key = self.jobs[job].input_key(task);
+            let body = ObjectBody::real(self.jobs[job].inputs[task].encode());
+            let client = self.world.client_host();
+            let bucket = self.jobs[job].bucket.clone();
+            self.issue_storage(
+                StorageSpec::Put {
+                    host: client,
+                    bucket,
+                    key,
+                    body,
+                },
+                1,
+                Route::InputPut { job, task },
+            );
+        } else {
+            self.invoke_task(job, task, memory_mb, fleet);
         }
     }
 
     fn invoke_task(&mut self, job: usize, task: usize, memory_mb: u32, fleet: &str) {
         let sandbox = self.world.faas_invoke(memory_mb, fleet);
-        self.jobs[job].tasks[task].sandbox = Some(sandbox);
-        self.jobs[job].tasks[task].phase = TaskPhase::Starting;
+        let now = self.world.now();
+        let t = &mut self.jobs[job].tasks[task];
+        t.sandbox = Some(sandbox);
+        t.phase = TaskPhase::Starting;
+        t.attempts += 1;
+        t.started_at = Some(now);
         self.sandbox_routes
             .insert(sandbox, Route::Task { job, task });
     }
@@ -411,6 +706,7 @@ impl CloudEnv {
         };
         if self.jobs[job].is_finished() {
             // Job failed while this sandbox was starting; bill and drop.
+            self.sandbox_routes.remove(&sandbox);
             self.world.faas_release(sandbox);
             return;
         }
@@ -423,16 +719,22 @@ impl CloudEnv {
             self.jobs[job].tasks[task].phase = TaskPhase::FetchingInput;
             let bucket = self.jobs[job].bucket.clone();
             let key = self.jobs[job].input_key(task);
-            let op = self.world.get_object(host, &bucket, &key);
-            self.op_routes.insert(op, Route::Task { job, task });
-            // Remember the host for when the input arrives.
-            self.jobs[job].tasks[task].run = Some(TaskRun::new(
+            let op = self.issue_storage(
+                StorageSpec::Get { host, bucket, key },
+                1,
+                Route::Task { job, task },
+            );
+            // Remember the host for when the input arrives; track the
+            // GET so an attempt teardown cleans its route up.
+            let mut run = TaskRun::new(
                 // Placeholder logic; replaced at start. Using the factory
                 // here would double-construct.
                 crate::task::ScriptTask::new().boxed(),
                 host,
                 None,
-            ));
+            );
+            run.pending.insert(op, 0);
+            self.jobs[job].tasks[task].run = Some(run);
         } else {
             let input = self.jobs[job].inputs[task].clone();
             self.start_task(job, task, host, None, &input);
@@ -503,24 +805,45 @@ impl CloudEnv {
                 self.op_routes.insert(op, route);
             }
             Action::Get { bucket, key } => {
-                let op = self.world.get_object(host, &bucket, &key);
+                let op = self.issue_storage(
+                    StorageSpec::Get { host, bucket, key },
+                    1,
+                    route,
+                );
                 run.pending.insert(op, 0);
-                self.op_routes.insert(op, route);
             }
             Action::Put { bucket, key, body } => {
-                let op = self.world.put_object(host, &bucket, &key, body);
+                let op = self.issue_storage(
+                    StorageSpec::Put {
+                        host,
+                        bucket,
+                        key,
+                        body,
+                    },
+                    1,
+                    route,
+                );
                 run.pending.insert(op, 0);
-                self.op_routes.insert(op, route);
             }
             Action::Delete { bucket, key } => {
-                let op = self.world.delete_object(host, &bucket, &key);
+                let op = self.issue_storage(
+                    StorageSpec::Delete { host, bucket, key },
+                    1,
+                    route,
+                );
                 run.pending.insert(op, 0);
-                self.op_routes.insert(op, route);
             }
             Action::List { bucket, prefix } => {
-                let op = self.world.list_objects(host, &bucket, &prefix);
+                let op = self.issue_storage(
+                    StorageSpec::List {
+                        host,
+                        bucket,
+                        prefix,
+                    },
+                    1,
+                    route,
+                );
                 run.pending.insert(op, 0);
-                self.op_routes.insert(op, route);
             }
             Action::GetMany { bucket, keys } => {
                 assert!(!keys.is_empty(), "GetMany with no keys");
@@ -528,10 +851,17 @@ impl CloudEnv {
                     results: vec![None; keys.len()],
                     puts: false,
                 };
-                for (i, key) in keys.iter().enumerate() {
-                    let op = self.world.get_object(host, &bucket, key);
+                for (i, key) in keys.into_iter().enumerate() {
+                    let op = self.issue_storage(
+                        StorageSpec::Get {
+                            host,
+                            bucket: bucket.clone(),
+                            key,
+                        },
+                        1,
+                        route.clone(),
+                    );
                     run.pending.insert(op, i);
-                    self.op_routes.insert(op, route.clone());
                 }
             }
             Action::PutMany { bucket, entries } => {
@@ -541,9 +871,17 @@ impl CloudEnv {
                     puts: true,
                 };
                 for (i, (key, body)) in entries.into_iter().enumerate() {
-                    let op = self.world.put_object(host, &bucket, &key, body);
+                    let op = self.issue_storage(
+                        StorageSpec::Put {
+                            host,
+                            bucket: bucket.clone(),
+                            key,
+                            body,
+                        },
+                        1,
+                        route.clone(),
+                    );
                     run.pending.insert(op, i);
-                    self.op_routes.insert(op, route.clone());
                 }
             }
             Action::KvGet { key } => {
@@ -571,6 +909,15 @@ impl CloudEnv {
     fn on_task_op(&mut self, job: usize, task: usize, op: OpId, outcome: OpOutcome) {
         if self.jobs[job].is_finished() {
             return;
+        }
+        // The task's host may have died at this very timestamp with its
+        // failure notification still queued behind this op: issuing the
+        // next action would hit a dead host. Drop the completion — the
+        // pending SandboxFailed/VmFailed tears the attempt down.
+        if let Some(run) = &self.jobs[job].tasks[task].run {
+            if !self.world.host_alive(run.host) {
+                return;
+            }
         }
         match &self.jobs[job].tasks[task].phase {
             TaskPhase::FetchingInput => {
@@ -659,8 +1006,21 @@ impl CloudEnv {
         let bucket = self.jobs[job].bucket.clone();
         let key = self.jobs[job].result_key(task);
         let body = ObjectBody::real(payload.encode());
-        let op = self.world.put_object(host, &bucket, &key, body);
-        self.op_routes.insert(op, Route::Task { job, task });
+        let op = self.issue_storage(
+            StorageSpec::Put {
+                host,
+                bucket,
+                key,
+                body,
+            },
+            1,
+            Route::Task { job, task },
+        );
+        // Track the write in the pending map so an attempt teardown
+        // (worker loss, straggler) cleans its route up too.
+        if let Some(run) = self.jobs[job].tasks[task].run.as_mut() {
+            run.pending.insert(op, 0);
+        }
     }
 
     /// Result written: retire the task's host slot.
@@ -668,6 +1028,7 @@ impl CloudEnv {
         self.jobs[job].tasks[task].phase = TaskPhase::Done;
         self.jobs[job].done_tasks += 1;
         if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.sandbox_routes.remove(&sandbox);
             self.world.faas_release(sandbox);
         }
         if let Some((vm_idx, proc)) = self.jobs[job].tasks[task].worker {
@@ -691,6 +1052,7 @@ impl CloudEnv {
         drop(run);
         self.jobs[job].tasks[task].phase = TaskPhase::Failed(msg.clone());
         if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.sandbox_routes.remove(&sandbox);
             self.world.faas_release(sandbox);
         }
         let err = ExecError::TaskFailed(format!("task {task}: {msg}"));
@@ -711,12 +1073,60 @@ impl CloudEnv {
         if self.jobs[job].is_finished() {
             return;
         }
+        self.check_stragglers(job);
+        if self.jobs[job].is_finished() {
+            return; // straggler handling may exhaust a task's budget
+        }
         self.jobs[job].monitor = MonitorState::Listing;
         let host = self.jobs[job].monitor_host;
         let bucket = self.jobs[job].bucket.clone();
         let prefix = self.jobs[job].result_prefix();
-        let op = self.world.list_objects(host, &bucket, &prefix);
-        self.op_routes.insert(op, Route::List { job });
+        self.issue_storage(
+            StorageSpec::List {
+                host,
+                bucket,
+                prefix,
+            },
+            1,
+            Route::List { job },
+        );
+    }
+
+    /// Speculative re-execution: on each poll, FaaS task attempts older
+    /// than the straggler timeout are abandoned (billed, booked as waste)
+    /// and re-dispatched. Disabled unless the policy sets a timeout.
+    fn check_stragglers(&mut self, job: usize) {
+        let Some(timeout) = self.jobs[job].retry.straggler_timeout_secs else {
+            return;
+        };
+        if !matches!(self.jobs[job].backend, JobBackend::Faas { .. }) {
+            return;
+        }
+        let now = self.world.now();
+        let policy = self.jobs[job].retry.clone();
+        let late: Vec<usize> = self
+            .jobs[job]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                // Only attempts whose sandbox has started can be safely
+                // abandoned (cold starts are left to finish).
+                matches!(
+                    t.phase,
+                    TaskPhase::FetchingInput | TaskPhase::Running | TaskPhase::WritingResult
+                ) && policy.allows_retry(t.attempts)
+                    && t.started_at
+                        .is_some_and(|s| (now - s).as_secs_f64() > timeout)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for task in late {
+            self.task_attempt_failed(job, task, AttemptFailure::Straggler);
+            if self.jobs[job].is_finished() {
+                return;
+            }
+        }
     }
 
     fn on_list(&mut self, job: usize, outcome: OpOutcome) {
@@ -739,8 +1149,15 @@ impl CloudEnv {
             let Some(task) = self.jobs[job].task_of_result_key(&key) else {
                 continue;
             };
-            let op = self.world.get_object(host, &bucket, &key);
-            self.op_routes.insert(op, Route::Collect { job, task });
+            self.issue_storage(
+                StorageSpec::Get {
+                    host,
+                    bucket: bucket.clone(),
+                    key,
+                },
+                1,
+                Route::Collect { job, task },
+            );
             outstanding += 1;
         }
         self.jobs[job].monitor = MonitorState::Collecting { outstanding };
@@ -825,11 +1242,78 @@ impl CloudEnv {
         self.pool_start_job(pool, job);
     }
 
+    /// Provisions (or re-provisions) a pool VM slot, protecting master
+    /// hosts from injected VM loss (the paper's design assumes the
+    /// orchestrating master stays up; boot failures still apply).
+    fn pool_provision(
+        &mut self,
+        pool: usize,
+        slot: PoolSlot,
+        itype: cloudsim::InstanceType,
+        provision_attempts: u32,
+    ) {
+        let fleet_name = self.pools[pool].fleet_name.clone();
+        let vm = self.world.vm_provision(&itype, &fleet_name);
+        let host = self.world.vm_host(vm);
+        self.pools[pool].epoch_counter += 1;
+        let epoch = self.pools[pool].epoch_counter;
+        let pv = PoolVm {
+            vm,
+            host,
+            itype,
+            phase: VmPhase::Booting,
+            epoch,
+            provision_attempts,
+        };
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        match slot {
+            PoolSlot::Master => self.pools[pool].master = Some(pv),
+            PoolSlot::Worker(i) => {
+                let workers = &mut self.pools[pool].workers;
+                if i < workers.len() {
+                    workers[i] = pv;
+                } else {
+                    debug_assert_eq!(i, workers.len());
+                    workers.push(pv);
+                }
+            }
+        }
+        if is_master_vm {
+            self.world.protect_host(host);
+        }
+        self.vm_routes.insert(vm, Route::PoolVm { pool, slot, epoch });
+    }
+
+    /// Re-provisions any slot left `Dead` by an exhausted replacement
+    /// budget, with a fresh budget (called when a new job starts).
+    fn pool_replace_dead(&mut self, pool: usize) {
+        if let Some(m) = &self.pools[pool].master {
+            if m.phase == VmPhase::Dead {
+                let itype = m.itype;
+                self.pool_provision(pool, PoolSlot::Master, itype, 1);
+            }
+        }
+        let dead: Vec<(usize, cloudsim::InstanceType)> = self.pools[pool]
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.phase == VmPhase::Dead)
+            .map(|(i, w)| (i, w.itype))
+            .collect();
+        for (i, itype) in dead {
+            self.pool_provision(pool, PoolSlot::Worker(i), itype, 1);
+        }
+    }
+
     /// Ensures master + workers exist and are ready. Returns true when
     /// everything is ready now.
     fn pool_ensure_infra(&mut self, pool: usize, job: usize) -> bool {
+        self.pool_replace_dead(pool);
         let consolidated = self.pools[pool].consolidated();
-        let fleet_name = self.pools[pool].fleet_name.clone();
         if consolidated {
             // Single right-sized VM: sizing from the job's input bytes.
             let wanted = match &self.pools[pool].cfg.instance_override {
@@ -841,27 +1325,14 @@ impl CloudEnv {
                     .choose(self.jobs[job].input_data_size()),
             };
             if self.pools[pool].workers.is_empty() {
-                let vm = self.world.vm_provision(&wanted, &fleet_name);
-                let host = self.world.vm_host(vm);
-                self.pools[pool].workers.push(PoolVm {
-                    vm,
-                    host,
-                    itype: wanted,
-                    phase: VmPhase::Booting,
-                });
-                self.vm_routes.insert(
-                    vm,
-                    Route::PoolVm {
-                        pool,
-                        slot: PoolSlot::Worker(0),
-                    },
-                );
+                self.pool_provision(pool, PoolSlot::Worker(0), wanted, 1);
                 return false;
             }
             // An existing VM is reused only if it is big enough.
             let current = &self.pools[pool].workers[0];
             if current.itype.mem_gib < wanted.mem_gib && current.phase == VmPhase::Ready {
                 let old = self.pools[pool].workers.remove(0);
+                self.vm_routes.remove(&old.vm);
                 self.world.vm_terminate(old.vm);
                 self.pools[pool].kv = None;
                 return self.pool_ensure_infra(pool, job);
@@ -880,57 +1351,44 @@ impl CloudEnv {
             let master_name = self.pools[pool].cfg.master_instance.clone();
             let itype = *cloudsim::instance_type(&master_name)
                 .unwrap_or_else(|| panic!("unknown instance type {master_name}"));
-            let vm = self.world.vm_provision(&itype, &fleet_name);
-            let host = self.world.vm_host(vm);
-            self.pools[pool].master = Some(PoolVm {
-                vm,
-                host,
-                itype,
-                phase: VmPhase::Booting,
-            });
-            self.vm_routes.insert(
-                vm,
-                Route::PoolVm {
-                    pool,
-                    slot: PoolSlot::Master,
-                },
-            );
+            self.pool_provision(pool, PoolSlot::Master, itype, 1);
         }
         let itype = *cloudsim::instance_type(&instance_type)
             .unwrap_or_else(|| panic!("unknown instance type {instance_type}"));
         while self.pools[pool].workers.len() < count {
             let slot = self.pools[pool].workers.len();
-            let vm = self.world.vm_provision(&itype, &fleet_name);
-            let host = self.world.vm_host(vm);
-            self.pools[pool].workers.push(PoolVm {
-                vm,
-                host,
-                itype,
-                phase: VmPhase::Booting,
-            });
-            self.vm_routes.insert(
-                vm,
-                Route::PoolVm {
-                    pool,
-                    slot: PoolSlot::Worker(slot),
-                },
-            );
+            self.pool_provision(pool, PoolSlot::Worker(slot), itype, 1);
         }
         self.pools[pool].all_ready()
     }
 
-    fn on_vm_up(&mut self, route: Route, _vm: VmId) {
-        let Route::PoolVm { pool, slot } = route else {
+    fn on_vm_up(&mut self, route: Route, vm: VmId) {
+        let Route::PoolVm { pool, slot, epoch } = route else {
             unreachable!("vm route is always a pool vm")
         };
+        match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch => {}
+            _ => {
+                // Slot gone (pool shut down) or replaced: the VM is
+                // orphaned; stop paying for it.
+                self.vm_routes.remove(&vm);
+                self.world.vm_terminate(vm);
+                return;
+            }
+        }
         let ssh = self.pools[pool].cfg.ssh_setup;
         self.pool_vm_mut(pool, slot).phase = VmPhase::SshSetup;
         let delay = world_latency(&mut self.world, ssh);
-        self.set_timer(delay, Route::PoolVm { pool, slot });
+        self.set_timer(delay, Route::PoolVm { pool, slot, epoch });
     }
 
-    fn on_pool_vm_ready(&mut self, pool: usize, slot: PoolSlot) {
-        self.pool_vm_mut(pool, slot).phase = VmPhase::Ready;
+    fn on_pool_vm_ready(&mut self, pool: usize, slot: PoolSlot, epoch: u64) {
+        match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch && pv.phase == VmPhase::SshSetup => {
+                pv.phase = VmPhase::Ready;
+            }
+            _ => return, // stale SSH timer of a replaced VM or shut pool
+        }
         // The master's KV server starts as soon as its VM is ready.
         let is_master_vm = match slot {
             PoolSlot::Master => true,
@@ -943,12 +1401,141 @@ impl CloudEnv {
             self.pools[pool].kv = Some(kv);
         }
         self.pool_try_start(pool);
+        // A replacement worker joining mid-job starts its processes
+        // immediately (the initial cohort is started by on_push_done).
+        if let PoolSlot::Worker(i) = slot {
+            if self.pools[pool].active.is_some() && self.pools[pool].pushes_outstanding == 0 {
+                let vcpus = self.pools[pool].workers[i].itype.vcpus as usize;
+                for proc in 0..vcpus {
+                    self.worker_pop(pool, i, proc);
+                }
+            }
+        }
+    }
+
+    /// A pool VM failed: boot failure or mid-job loss. Replacement VMs
+    /// are provisioned into the same slot while the budget lasts; a lost
+    /// worker's in-flight tasks are requeued on the master's KV queue.
+    fn on_pool_vm_failed(&mut self, route: Route) {
+        let Route::PoolVm { pool, slot, epoch } = route else {
+            unreachable!("vm route is always a pool vm")
+        };
+        let (itype, attempts, was_ready) = match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch => {
+                let was_ready = pv.phase == VmPhase::Ready;
+                pv.phase = VmPhase::Dead;
+                (pv.itype, pv.provision_attempts, was_ready)
+            }
+            // Stale failure of a replaced VM or a shut-down pool.
+            _ => return,
+        };
+        if let PoolSlot::Worker(i) = slot {
+            self.pools[pool].idle_procs.retain(|&(v, _)| v != i);
+            if was_ready {
+                self.pool_worker_lost(pool, i);
+            }
+        }
+        let budget = self.pools[pool].cfg.max_provision_attempts.max(1);
+        if attempts >= budget {
+            self.world.fault_ledger_mut().attempts_exhausted += 1;
+            self.fail_pool_job(
+                pool,
+                ExecError::InfraFailed(format!(
+                    "pool VM slot {slot:?} failed {attempts} provisioning attempts"
+                )),
+            );
+            return;
+        }
+        self.world.fault_ledger_mut().vm_replacements += 1;
+        self.pool_provision(pool, slot, itype, attempts + 1);
+    }
+
+    /// Requeues every unfinished task that was running on a lost worker
+    /// VM. Attempt budgets are charged per task; an exhausted task fails
+    /// the job.
+    fn pool_worker_lost(&mut self, pool: usize, vm_idx: usize) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        let lost: Vec<usize> = self.jobs[job]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.worker, Some((v, _)) if v == vm_idx)
+                    && !matches!(t.phase, TaskPhase::Done)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for task in lost {
+            if self.jobs[job].is_finished() {
+                return;
+            }
+            let attempts = self.jobs[job].tasks[task].attempts;
+            if !self.jobs[job].retry.allows_retry(attempts) {
+                self.world.fault_ledger_mut().attempts_exhausted += 1;
+                let err = ExecError::AttemptsExhausted {
+                    what: format!("task {task} of job '{}'", self.jobs[job].name),
+                    attempts: attempts.max(1),
+                };
+                self.complete_job(job, Some(err));
+                return;
+            }
+            // Tear the attempt down without touching the (dead) worker's
+            // process bookkeeping, then push the bundle back.
+            self.jobs[job].tasks[task].worker = None;
+            self.clear_task_attempt(job, task, AttemptFailure::SandboxDead);
+            self.world.fault_ledger_mut().task_retries += 1;
+            self.requeue_task(pool, job, task);
+        }
+    }
+
+    /// Pushes a task's bundle back onto the master's KV queue (worker
+    /// loss or a storage-exhausted VM attempt).
+    fn requeue_task(&mut self, pool: usize, job: usize, task: usize) {
+        let Some(kv) = self.pools[pool].kv else {
+            return; // pool torn down meanwhile
+        };
+        let master = self.pools[pool].master_host();
+        let queue = format!("job-{job}");
+        let bundle = Payload::List(vec![
+            Payload::U64(task as u64),
+            self.jobs[job].inputs[task].clone(),
+        ]);
+        let body = ObjectBody::real(bundle.encode());
+        let op = self.world.kv_push(master, kv, &queue, body);
+        self.op_routes.insert(op, Route::Requeue { pool });
+    }
+
+    /// A requeued bundle landed: wake idle worker processes so one of
+    /// them picks it up.
+    fn on_requeue_done(&mut self, pool: usize) {
+        let idle: Vec<(usize, usize)> = self.pools[pool].idle_procs.drain(..).collect();
+        for (vm_idx, proc) in idle {
+            self.worker_pop(pool, vm_idx, proc);
+        }
+    }
+
+    /// Fails the pool's current job — or, before any job is active, the
+    /// one waiting at the head of the queue — with `err`.
+    fn fail_pool_job(&mut self, pool: usize, err: ExecError) {
+        if let Some(job) = self.pools[pool].active {
+            self.complete_job(job, Some(err));
+        } else if let Some(job) = self.pools[pool].queue.pop_front() {
+            self.complete_job(job, Some(err));
+        }
     }
 
     fn pool_vm_mut(&mut self, pool: usize, slot: PoolSlot) -> &mut PoolVm {
+        self.pool_vm_opt(pool, slot).expect("pool VM slot missing")
+    }
+
+    /// The slot's VM, if the slot still exists (pool shutdowns drain the
+    /// worker list while replacements may still be booting).
+    fn pool_vm_opt(&mut self, pool: usize, slot: PoolSlot) -> Option<&mut PoolVm> {
         match slot {
-            PoolSlot::Master => self.pools[pool].master.as_mut().expect("no master"),
-            PoolSlot::Worker(i) => &mut self.pools[pool].workers[i],
+            PoolSlot::Master => self.pools[pool].master.as_mut(),
+            PoolSlot::Worker(i) => self.pools[pool].workers.get_mut(i),
         }
     }
 
@@ -976,11 +1563,13 @@ impl CloudEnv {
         if self.pools[pool].pushes_outstanding > 0 {
             return;
         }
-        // All bundles queued: start one worker process per vCPU.
+        // All bundles queued: start one worker process per vCPU of every
+        // worker that is up (replacements still booting join on ready).
         let worker_specs: Vec<(usize, usize)> = self.pools[pool]
             .workers
             .iter()
             .enumerate()
+            .filter(|(_, w)| w.phase == VmPhase::Ready)
             .flat_map(|(vm_idx, w)| {
                 (0..w.itype.vcpus as usize).map(move |proc| (vm_idx, proc))
             })
@@ -996,22 +1585,66 @@ impl CloudEnv {
         let Some(job) = self.pools[pool].active else {
             return;
         };
-        let kv = self.pools[pool].kv.expect("no KV");
-        let host = self.pools[pool].workers[vm_idx].host;
+        let Some(kv) = self.pools[pool].kv else {
+            return;
+        };
+        let w = &self.pools[pool].workers[vm_idx];
+        if w.phase != VmPhase::Ready {
+            return;
+        }
+        let host = w.host;
+        let epoch = w.epoch;
+        if !self.world.host_alive(host) {
+            return; // VM just died; its VmFailed notification is queued
+        }
         let queue = format!("job-{job}");
         let op = self.world.kv_pop(host, kv, &queue);
-        self.op_routes.insert(op, Route::Pop { pool, vm_idx, proc });
+        self.op_routes.insert(
+            op,
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            },
+        );
     }
 
-    fn on_pop(&mut self, pool: usize, vm_idx: usize, proc: usize, outcome: OpOutcome) {
+    fn on_pop(
+        &mut self,
+        pool: usize,
+        vm_idx: usize,
+        proc: usize,
+        epoch: u64,
+        outcome: OpOutcome,
+    ) {
         let Some(job) = self.pools[pool].active else {
             return;
         };
         let OpOutcome::KvValue { body } = outcome else {
             unreachable!("pop yielded a non-KV outcome")
         };
+        let stale = self.pools[pool].workers[vm_idx].epoch != epoch
+            || !self.world.host_alive(self.pools[pool].workers[vm_idx].host);
+        if stale {
+            // Pop issued by a since-lost worker VM (or one whose crash
+            // notification is still queued): the popped bundle must not
+            // vanish with it — push it back for the others.
+            if let Some(body) = body {
+                if let Some(kv) = self.pools[pool].kv {
+                    let master = self.pools[pool].master_host();
+                    let queue = format!("job-{job}");
+                    let op = self.world.kv_push(master, kv, &queue, body);
+                    self.op_routes.insert(op, Route::Requeue { pool });
+                }
+            }
+            return;
+        }
         let Some(body) = body else {
-            return; // queue drained; worker process idles
+            // Queue drained; the worker process idles until a requeued
+            // bundle wakes it.
+            self.pools[pool].idle_procs.push((vm_idx, proc));
+            return;
         };
         let bytes = body.bytes().expect("task bundles are always real bytes");
         let bundle = Payload::decode(bytes).expect("task bundle decodes");
@@ -1020,7 +1653,11 @@ impl CloudEnv {
         let input = items[1].clone();
         let host = self.pools[pool].workers[vm_idx].host;
         let kv = self.pools[pool].kv;
-        self.jobs[job].tasks[task].worker = Some((vm_idx, proc));
+        let now = self.world.now();
+        let t = &mut self.jobs[job].tasks[task];
+        t.worker = Some((vm_idx, proc));
+        t.attempts += 1;
+        t.started_at = Some(now);
         self.start_task(job, task, host, kv, &input);
     }
 
@@ -1058,7 +1695,13 @@ impl CloudEnv {
             Route::List { job } => self.on_list(job, outcome),
             Route::Collect { job, task } => self.on_collect(job, task, outcome),
             Route::Push { pool, job } => self.on_push_done(pool, job),
-            Route::Pop { pool, vm_idx, proc } => self.on_pop(pool, vm_idx, proc, outcome),
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            } => self.on_pop(pool, vm_idx, proc, epoch, outcome),
+            Route::Requeue { pool } => self.on_requeue_done(pool),
             other => unreachable!("op completion routed to {other:?}"),
         }
     }
@@ -1066,9 +1709,72 @@ impl CloudEnv {
     fn on_timer(&mut self, route: Route) {
         match route {
             Route::Poll { job } => self.on_poll(job),
-            Route::PoolVm { pool, slot } => self.on_pool_vm_ready(pool, slot),
+            Route::PoolVm { pool, slot, epoch } => self.on_pool_vm_ready(pool, slot, epoch),
             Route::MasterNotify { job } => self.complete_job(job, None),
+            Route::RetryTask { job, task, attempt } => self.on_retry_task(job, task, attempt),
+            Route::RetryStorage {
+                spec,
+                attempts,
+                inner,
+                pending_slot,
+                task_attempt,
+            } => self.on_retry_storage(spec, attempts, *inner, pending_slot, task_attempt),
             other => unreachable!("timer routed to {other:?}"),
+        }
+    }
+
+    /// Backoff elapsed: re-dispatch a failed task attempt.
+    fn on_retry_task(&mut self, job: usize, task: usize, attempt: u32) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        if self.jobs[job].tasks[task].attempts != attempt {
+            return; // a newer attempt superseded this timer
+        }
+        match self.jobs[job].backend.clone() {
+            JobBackend::Faas {
+                memory_mb,
+                fetch_input,
+                fleet,
+            } => self.dispatch_faas_task(job, task, memory_mb, fetch_input, &fleet),
+            JobBackend::Standalone { pool } => {
+                self.requeue_task(pool, job, task);
+            }
+        }
+    }
+
+    /// Backoff elapsed: re-issue a faulted storage request, unless the
+    /// attempt it belonged to was torn down meanwhile.
+    fn on_retry_storage(
+        &mut self,
+        spec: StorageSpec,
+        attempts: u32,
+        inner: Route,
+        pending_slot: Option<(OpId, usize)>,
+        task_attempt: u32,
+    ) {
+        let Some(job) = Self::route_job(&inner) else {
+            unreachable!("storage retry routed to {inner:?}")
+        };
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        if let Route::Task { job: j, task } = inner {
+            if self.jobs[j].tasks[task].attempts != task_attempt {
+                return; // the whole attempt was retried; drop the op
+            }
+        }
+        if !self.world.host_alive(spec.host()) {
+            return; // issuing host died; task-level recovery owns this
+        }
+        let op = self.issue_storage(spec, attempts + 1, inner.clone());
+        if let Route::Task { job: j, task } = inner {
+            if let (Some((stale, idx)), Some(run)) =
+                (pending_slot, self.jobs[j].tasks[task].run.as_mut())
+            {
+                run.pending.remove(&stale);
+                run.pending.insert(op, idx);
+            }
         }
     }
 }

@@ -24,6 +24,16 @@ pub enum ExecError {
     /// An operation was used on a backend that does not support it
     /// (e.g. master-KV access from the FaaS backend).
     Unsupported(String),
+    /// A unit of work kept failing until its retry budget ran out.
+    AttemptsExhausted {
+        /// What was being retried (task, storage op, VM slot).
+        what: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The backend could not keep its infrastructure up (e.g. repeated
+    /// VM provisioning failures).
+    InfraFailed(String),
 }
 
 impl fmt::Display for ExecError {
@@ -36,6 +46,10 @@ impl fmt::Display for ExecError {
             ExecError::TaskFailed(msg) => write!(f, "task failed: {msg}"),
             ExecError::Stalled(msg) => write!(f, "execution stalled: {msg}"),
             ExecError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            ExecError::AttemptsExhausted { what, attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts: {what}")
+            }
+            ExecError::InfraFailed(msg) => write!(f, "infrastructure failure: {msg}"),
         }
     }
 }

@@ -177,6 +177,7 @@ impl FunctionExecutor {
             factory,
             setup_secs,
             io_overlap: self.config.io_compute_overlap,
+            retry: self.config.retry.clone(),
             inputs,
             tasks: (0..n).map(|_| TaskState::new()).collect(),
             results: (0..n).map(|_| None).collect(),

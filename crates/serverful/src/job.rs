@@ -13,6 +13,7 @@ use simkernel::SimTime;
 
 use crate::error::ExecError;
 use crate::payload::Payload;
+use crate::retry::RetryPolicy;
 use crate::task::{ActionOutcome, TaskLogic};
 
 /// Creates a fresh [`TaskLogic`] for an input. Shared by all tasks of a
@@ -142,6 +143,11 @@ pub(crate) struct TaskState {
     pub sandbox: Option<SandboxId>,
     /// Worker slot (vm index, proc index) on the serverful backend.
     pub worker: Option<(usize, usize)>,
+    /// Dispatch attempts made so far (also versions the task's in-flight
+    /// work: stale retry timers from a previous attempt are dropped).
+    pub attempts: u32,
+    /// When the current attempt was dispatched (straggler detection).
+    pub started_at: Option<SimTime>,
 }
 
 impl TaskState {
@@ -151,6 +157,8 @@ impl TaskState {
             run: None,
             sandbox: None,
             worker: None,
+            attempts: 0,
+            started_at: None,
         }
     }
 }
@@ -179,6 +187,7 @@ pub(crate) struct JobState {
     pub factory: TaskFactory,
     pub setup_secs: f64,
     pub io_overlap: f64,
+    pub retry: RetryPolicy,
     pub inputs: Vec<Payload>,
     pub tasks: Vec<TaskState>,
     pub results: Vec<Option<Payload>>,
@@ -252,6 +261,7 @@ mod tests {
             factory: Arc::new(|_| ScriptTask::new().boxed()),
             setup_secs: 0.0,
             io_overlap: 0.0,
+            retry: RetryPolicy::default(),
             inputs: vec![Payload::U64(1), Payload::Opaque { size: 100 }],
             tasks: vec![TaskState::new(), TaskState::new()],
             results: vec![None, None],

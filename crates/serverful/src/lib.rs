@@ -47,6 +47,7 @@ pub mod error;
 pub mod executor;
 pub mod job;
 pub mod payload;
+pub mod retry;
 pub mod sizing;
 pub mod storage;
 pub mod task;
@@ -57,6 +58,7 @@ pub use env::CloudEnv;
 pub use error::ExecError;
 pub use executor::{Backend, FunctionExecutor, JobHandle};
 pub use payload::Payload;
+pub use retry::RetryPolicy;
 pub use sizing::SizingPolicy;
 pub use storage::Storage;
 pub use task::{Action, ActionOutcome, ScriptTask, TaskLogic, TaskStep};

@@ -1,12 +1,11 @@
 //! Seeded randomness for the simulation.
 //!
-//! [`SimRng`] wraps a [`rand::rngs::StdRng`] seeded explicitly so every
-//! run is reproducible, and supplies the few distributions the cloud model
-//! needs (uniform, normal via Box-Muller, log-normal, exponential) without
-//! pulling in a distributions crate.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! [`SimRng`] is a self-contained xoshiro256++ generator seeded
+//! explicitly so every run is reproducible (the build environment has no
+//! crates.io access, so no external RNG crate is used), and supplies the
+//! few distributions the cloud model needs (uniform, normal via
+//! Box-Muller, log-normal, exponential) without pulling in a
+//! distributions crate.
 
 use crate::time::SimDuration;
 
@@ -23,22 +22,58 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state
+/// (the seeding procedure the xoshiro authors recommend).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator; used to give each
     /// simulation component its own stream so adding draws in one place
     /// does not perturb another.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.random::<u64>())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -48,7 +83,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.random_range(lo..hi)
+        lo + (hi - lo) * self.next_f64()
     }
 
     /// Uniform integer draw in `[lo, hi)`.
@@ -58,14 +93,23 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.random_range(lo..hi)
+        // Debiased multiply-shift (Lemire); rejects at most span/2^64 of
+        // draws, so the loop terminates almost immediately.
+        let span = hi - lo;
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let wide = (self.next_u64() as u128) * (span as u128);
+            if (wide as u64) >= threshold {
+                return lo + (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Standard normal draw (Box-Muller).
     pub fn standard_normal(&mut self) -> f64 {
         // Draw u1 from (0, 1] to keep ln() finite.
-        let u1: f64 = 1.0 - self.inner.random::<f64>();
-        let u2: f64 = self.inner.random::<f64>();
+        let u1: f64 = 1.0 - self.next_f64();
+        let u2: f64 = self.next_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -90,7 +134,7 @@ impl SimRng {
     /// Exponential draw with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = 1.0 - self.inner.random::<f64>();
+        let u: f64 = 1.0 - self.next_f64();
         -mean * u.ln()
     }
 
@@ -102,7 +146,7 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher-Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.uniform_u64(0, i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }

@@ -1,0 +1,239 @@
+//! Fault and retry accounting.
+//!
+//! The simulator injects failures (see `cloudsim::faults`) and the
+//! framework retries them; this module owns the ledger both sides write
+//! to. It answers the questions the chaos experiments ask: how many
+//! faults fired, how much work was retried, and how many billed
+//! GB-seconds / instance-seconds were burned on attempts whose output
+//! was thrown away.
+
+use std::fmt;
+
+/// A class of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A FaaS invocation failed before user code ran (runtime/init
+    /// error during cold start).
+    SandboxInvokeError,
+    /// A FaaS sandbox crashed while executing user code.
+    SandboxCrash,
+    /// A VM provisioning request failed (capacity error at boot).
+    VmBootFailure,
+    /// A running VM was lost mid-job (hardware failure / reclaim).
+    VmLoss,
+    /// An object-storage request failed with a transient 5xx error.
+    StorageTransient,
+    /// An object-storage request was throttled (503 SlowDown).
+    StorageSlowDown,
+}
+
+impl FaultKind {
+    /// All fault kinds, in ledger order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::SandboxInvokeError,
+        FaultKind::SandboxCrash,
+        FaultKind::VmBootFailure,
+        FaultKind::VmLoss,
+        FaultKind::StorageTransient,
+        FaultKind::StorageSlowDown,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::SandboxInvokeError => 0,
+            FaultKind::SandboxCrash => 1,
+            FaultKind::VmBootFailure => 2,
+            FaultKind::VmLoss => 3,
+            FaultKind::StorageTransient => 4,
+            FaultKind::StorageSlowDown => 5,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SandboxInvokeError => "sandbox invoke error",
+            FaultKind::SandboxCrash => "sandbox crash",
+            FaultKind::VmBootFailure => "vm boot failure",
+            FaultKind::VmLoss => "vm loss",
+            FaultKind::StorageTransient => "storage transient error",
+            FaultKind::StorageSlowDown => "storage slow-down",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counters of injected faults and the recovery work they caused.
+///
+/// The world records injections and wasted billed time; the executor
+/// records retries, replacements and give-ups. Comparing two runs'
+/// ledgers for equality is how the determinism tests check that a
+/// seeded fault schedule replays exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLedger {
+    injected: [u64; 6],
+    /// Whole-task re-dispatches (fresh sandbox / requeued bundle).
+    pub task_retries: u64,
+    /// Single storage requests re-issued after a transient error.
+    pub storage_retries: u64,
+    /// Replacement VMs provisioned after a boot failure or loss.
+    pub vm_replacements: u64,
+    /// Straggler tasks speculatively re-dispatched by the monitor.
+    pub stragglers_redispatched: u64,
+    /// Units of work whose retry budget ran out.
+    pub attempts_exhausted: u64,
+    /// Billed GB-seconds of sandbox executions that crashed or were
+    /// abandoned (their output never counted).
+    pub wasted_gb_secs: f64,
+    /// Billed instance-seconds on VMs that were lost mid-job.
+    pub wasted_instance_secs: f64,
+}
+
+impl FaultLedger {
+    /// An empty ledger.
+    pub fn new() -> FaultLedger {
+        FaultLedger::default()
+    }
+
+    /// Records one injected fault.
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        self.injected[kind.index()] += 1;
+    }
+
+    /// Injected faults of one kind.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total injected faults across all kinds.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total retries of any kind (task, storage, VM replacement,
+    /// straggler re-dispatch).
+    pub fn total_retries(&self) -> u64 {
+        self.task_retries
+            + self.storage_retries
+            + self.vm_replacements
+            + self.stragglers_redispatched
+    }
+
+    /// True when nothing was recorded — the expected state of a run
+    /// with fault injection disabled.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultLedger::default()
+    }
+
+    /// A plain-text report block (empty string when nothing happened).
+    pub fn report(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("fault injection\n");
+        for kind in FaultKind::ALL {
+            let n = self.injected(kind);
+            if n > 0 {
+                out.push_str(&format!("  {:<24} {n}\n", kind.name()));
+            }
+        }
+        out.push_str(&format!("  {:<24} {}\n", "task retries", self.task_retries));
+        out.push_str(&format!(
+            "  {:<24} {}\n",
+            "storage retries", self.storage_retries
+        ));
+        out.push_str(&format!(
+            "  {:<24} {}\n",
+            "vm replacements", self.vm_replacements
+        ));
+        if self.stragglers_redispatched > 0 {
+            out.push_str(&format!(
+                "  {:<24} {}\n",
+                "stragglers redispatched", self.stragglers_redispatched
+            ));
+        }
+        if self.attempts_exhausted > 0 {
+            out.push_str(&format!(
+                "  {:<24} {}\n",
+                "attempts exhausted", self.attempts_exhausted
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<24} {:.2}\n",
+            "wasted GB-seconds", self.wasted_gb_secs
+        ));
+        out.push_str(&format!(
+            "  {:<24} {:.2}\n",
+            "wasted instance-seconds", self.wasted_instance_secs
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ledger_is_empty_and_reports_nothing() {
+        let ledger = FaultLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total_injected(), 0);
+        assert_eq!(ledger.total_retries(), 0);
+        assert!(ledger.report().is_empty());
+    }
+
+    #[test]
+    fn counts_accumulate_per_kind() {
+        let mut ledger = FaultLedger::new();
+        ledger.record_fault(FaultKind::SandboxCrash);
+        ledger.record_fault(FaultKind::SandboxCrash);
+        ledger.record_fault(FaultKind::StorageSlowDown);
+        assert_eq!(ledger.injected(FaultKind::SandboxCrash), 2);
+        assert_eq!(ledger.injected(FaultKind::StorageSlowDown), 1);
+        assert_eq!(ledger.injected(FaultKind::VmLoss), 0);
+        assert_eq!(ledger.total_injected(), 3);
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn retries_sum_across_mechanisms() {
+        let mut ledger = FaultLedger::new();
+        ledger.task_retries = 3;
+        ledger.storage_retries = 5;
+        ledger.vm_replacements = 1;
+        ledger.stragglers_redispatched = 2;
+        assert_eq!(ledger.total_retries(), 11);
+    }
+
+    #[test]
+    fn report_names_recorded_fault_kinds() {
+        let mut ledger = FaultLedger::new();
+        ledger.record_fault(FaultKind::VmLoss);
+        ledger.task_retries = 1;
+        let report = ledger.report();
+        assert!(report.contains("vm loss"));
+        assert!(report.contains("task retries"));
+        assert!(!report.contains("sandbox crash"));
+    }
+
+    #[test]
+    fn equal_histories_compare_equal() {
+        let mut a = FaultLedger::new();
+        let mut b = FaultLedger::new();
+        for ledger in [&mut a, &mut b] {
+            ledger.record_fault(FaultKind::StorageTransient);
+            ledger.storage_retries += 1;
+            ledger.wasted_gb_secs += 1.5;
+        }
+        assert_eq!(a, b);
+        b.record_fault(FaultKind::StorageTransient);
+        assert_ne!(a, b);
+    }
+}

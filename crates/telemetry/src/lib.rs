@@ -10,6 +10,8 @@
 //!   utilisation statistics of Table 3 ([`cpu`]).
 //! * [`Timeline`] — named stage spans for per-stage breakdowns and
 //!   Figure 2-style concurrency plots ([`timeline`]).
+//! * [`FaultLedger`] — injected-fault and retry counters plus the billed
+//!   time wasted on failed attempts ([`faults`]).
 //! * [`stats`] — summary statistics shared by the above.
 //! * [`report`] — plain-text table/figure rendering plus paper-vs-measured
 //!   comparison rows for EXPERIMENTS.md.
@@ -28,12 +30,14 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod faults;
 pub mod report;
 pub mod stats;
 pub mod timeline;
 
 pub use cost::{CostCategory, CostLedger};
 pub use cpu::{CpuMonitor, FleetTag, UsageStats};
+pub use faults::{FaultKind, FaultLedger};
 pub use report::{PaperRow, Table};
 pub use stats::Summary;
 pub use timeline::{StageSpan, Timeline};

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification for every PR.
+#
+#   scripts/ci.sh          # lint + debug tests (fast path)
+#   scripts/ci.sh --full   # also the release-gated paper-scale + chaos runs
+#
+# The chaos suite's small cases run in debug with the workspace tests;
+# its paper-scale assertions (hybrid-beats-serverless under faults) are
+# `#[ignore]`d in debug and only run under --release, like the other
+# paper-scale tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (debug) =="
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== tests (release: paper-scale + chaos gates) =="
+    cargo test --workspace --release -q
+fi
+
+echo "CI OK"

@@ -1,0 +1,241 @@
+//! Chaos tests: deterministic fault injection on both backends, proving
+//! the executor's retry/backoff machinery masks failures — jobs still
+//! complete with byte-identical results, and the paper's claims survive.
+//!
+//! The injection layer draws from its own seeded RNG stream, so every
+//! test here is fully reproducible: a failing seed is a bug, not flake.
+
+use std::sync::Arc;
+
+use serverful_repro::cloudsim::{CloudConfig, FaultConfig};
+use serverful_repro::metaspace::{jobs, run_annotation_with, Architecture};
+use serverful_repro::serverful::executor::MapOptions;
+use serverful_repro::serverful::{
+    Backend, CloudEnv, ExecMode, ExecutorConfig, FunctionExecutor, Payload, RetryPolicy,
+    ScriptTask,
+};
+use serverful_repro::telemetry::FaultKind;
+
+/// The chaos profile the issue prescribes: 5% sandbox crashes, 2% VM
+/// boot failures, 10% storage faults — plus a sprinkle of invoke errors
+/// and SlowDowns.
+fn chaos_cloud() -> CloudConfig {
+    CloudConfig {
+        faults: FaultConfig {
+            sandbox_invoke_error_prob: 0.02,
+            sandbox_crash_prob: 0.05,
+            vm_boot_failure_prob: 0.02,
+            storage_error_prob: 0.07,
+            storage_slowdown_prob: 0.03,
+            ..FaultConfig::disabled()
+        },
+        ..CloudConfig::default()
+    }
+}
+
+/// A map whose results are a pure function of the input, so re-executed
+/// attempts must reproduce them exactly.
+fn square_map(env: &mut CloudEnv, exec: &mut FunctionExecutor, n: u64) -> Vec<Payload> {
+    let factory: serverful_repro::serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let i = input.as_u64().expect("u64 input");
+        ScriptTask::new()
+            .compute(0.8)
+            .finish_value(Payload::U64(i * i))
+            .boxed()
+    });
+    let job = exec.map_with(
+        env,
+        factory,
+        (0..n).map(Payload::U64).collect(),
+        MapOptions::named("chaos-square"),
+    );
+    exec.get_result(env, job).expect("map under chaos")
+}
+
+#[test]
+fn faas_map_survives_chaos_with_identical_results() {
+    // Fault-free reference.
+    let mut env = CloudEnv::new_default(11);
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let clean = square_map(&mut env, &mut exec, 24);
+
+    // Chaos run: crashes, invoke errors and storage faults injected.
+    let mut env = CloudEnv::new(chaos_cloud(), 11);
+    let mut cfg = ExecutorConfig::default();
+    cfg.retry.max_attempts = 6; // survive unlucky streaks at 10% storage faults
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), cfg);
+    let chaotic = square_map(&mut env, &mut exec, 24);
+
+    assert_eq!(clean, chaotic, "retries must reproduce results exactly");
+    let ledger = env.world().fault_ledger();
+    assert!(
+        ledger.total_injected() > 0,
+        "the chaos profile should actually inject faults"
+    );
+    assert!(
+        ledger.total_retries() > 0,
+        "injected faults should surface as retries: {}",
+        ledger.report()
+    );
+}
+
+#[test]
+fn vm_pool_survives_boot_failures_and_worker_loss() {
+    // Aggressive VM fault rates so the fleet provably takes hits: boot
+    // failures on provisioning and mid-job losses of worker VMs.
+    let cloud = CloudConfig {
+        faults: FaultConfig {
+            vm_boot_failure_prob: 0.25,
+            vm_loss_prob: 0.6,
+            vm_loss_after: (5.0, 40.0),
+            storage_error_prob: 0.05,
+            ..FaultConfig::disabled()
+        },
+        ..CloudConfig::default()
+    };
+    let mut env = CloudEnv::new(cloud, 5);
+    let mut cfg = ExecutorConfig::default();
+    cfg.standalone.exec_mode = ExecMode::Fleet {
+        instance_type: "c5.large".into(),
+        count: 3,
+    };
+    cfg.standalone.reuse_instances = false;
+    let mut exec = FunctionExecutor::new(&mut env, Backend::vm(), cfg);
+
+    let factory: serverful_repro::serverful::job::TaskFactory = Arc::new(|input: &Payload| {
+        let i = input.as_u64().expect("u64 input");
+        ScriptTask::new()
+            .compute(6.0)
+            .finish_value(Payload::U64(i + 100))
+            .boxed()
+    });
+    let job = exec.map_with(
+        &mut env,
+        factory,
+        (0..18).map(Payload::U64).collect(),
+        MapOptions::named("chaos-vm"),
+    );
+    let results = exec.get_result(&mut env, job).expect("vm map under chaos");
+    exec.shutdown(&mut env);
+
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.as_u64(), Some(i as u64 + 100), "task {i} result");
+    }
+    let ledger = env.world().fault_ledger();
+    let vm_faults =
+        ledger.injected(FaultKind::VmBootFailure) + ledger.injected(FaultKind::VmLoss);
+    assert!(
+        vm_faults > 0,
+        "the test should exercise VM recovery: {}",
+        ledger.report()
+    );
+    assert!(
+        ledger.vm_replacements > 0,
+        "failed VMs must be replaced: {}",
+        ledger.report()
+    );
+}
+
+#[test]
+fn straggler_redispatch_completes_the_job() {
+    // A straggler timeout far above normal task latency plus sandbox
+    // crashes: speculative re-dispatch must never corrupt results.
+    let cloud = CloudConfig {
+        faults: FaultConfig {
+            sandbox_crash_prob: 0.10,
+            sandbox_crash_after: (0.5, 30.0),
+            ..FaultConfig::disabled()
+        },
+        ..CloudConfig::default()
+    };
+    let mut env = CloudEnv::new(cloud, 23);
+    let cfg = ExecutorConfig {
+        retry: RetryPolicy {
+            straggler_timeout_secs: Some(45.0),
+            ..RetryPolicy::default()
+        },
+        ..ExecutorConfig::default()
+    };
+    let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), cfg);
+    let results = square_map(&mut env, &mut exec, 16);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.as_u64(), Some((i * i) as u64), "task {i} result");
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    // Golden determinism: two runs of the same seeded fault schedule
+    // produce identical billing ledgers, fault ledgers and wall-clocks.
+    let run = || {
+        let mut env = CloudEnv::new(chaos_cloud(), 17);
+        let mut cfg = ExecutorConfig::default();
+        cfg.retry.max_attempts = 6;
+        let mut exec = FunctionExecutor::new(&mut env, Backend::faas(), cfg);
+        let results = square_map(&mut env, &mut exec, 20);
+        (
+            results,
+            env.now(),
+            env.world().ledger().entries().to_vec(),
+            env.world().fault_ledger().clone(),
+        )
+    };
+    let (r1, t1, bill1, faults1) = run();
+    let (r2, t2, bill2, faults2) = run();
+    assert_eq!(r1, r2, "results diverged across identical seeded runs");
+    assert_eq!(t1, t2, "wall-clock diverged");
+    assert_eq!(bill1, bill2, "billing ledger diverged");
+    assert_eq!(faults1, faults2, "fault ledger diverged");
+}
+
+#[test]
+fn zero_probabilities_match_the_default_config() {
+    // All-zero fault probabilities draw nothing from the injector's RNG:
+    // a `FaultConfig::at_rate(0.0)` run must be byte-identical (time,
+    // billing, fault ledger) to one with the default (disabled) config.
+    let run = |cloud: CloudConfig| {
+        let mut env = CloudEnv::new(cloud, 29);
+        let mut exec =
+            FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+        let results = square_map(&mut env, &mut exec, 12);
+        (
+            results,
+            env.now(),
+            env.world().ledger().entries().to_vec(),
+            env.world().fault_ledger().clone(),
+        )
+    };
+    let zeroed = CloudConfig {
+        faults: FaultConfig::at_rate(0.0),
+        ..CloudConfig::default()
+    };
+    let (r1, t1, bill1, faults1) = run(CloudConfig::default());
+    let (r2, t2, bill2, faults2) = run(zeroed);
+    assert_eq!(r1, r2);
+    assert_eq!(t1, t2, "a zero-rate fault layer must not perturb timing");
+    assert_eq!(bill1, bill2);
+    assert!(faults1.is_empty() && faults2.is_empty());
+}
+
+/// Figure 6's ordering under failures: the hybrid architecture still
+/// beats pure serverless on cost-performance when the region misbehaves.
+#[test]
+// Paper-scale simulation: minutes under debug; run with --release.
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn hybrid_still_beats_serverless_under_chaos() {
+    let cloud = CloudConfig {
+        faults: FaultConfig::at_rate(0.02),
+        ..CloudConfig::default()
+    };
+    let job = jobs::xenograft();
+    let cf = run_annotation_with(&job, Architecture::Serverless, 1, cloud.clone())
+        .expect("serverless under chaos");
+    let hy = run_annotation_with(&job, Architecture::Hybrid, 1, cloud)
+        .expect("hybrid under chaos");
+    assert!(
+        hy.cost_performance() > cf.cost_performance(),
+        "hybrid {} vs serverless {} under faults",
+        hy.cost_performance(),
+        cf.cost_performance()
+    );
+}

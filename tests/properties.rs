@@ -1,80 +1,124 @@
 //! Property-based tests on the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no crates.io access, so instead of
+//! `proptest` these properties run over seeded random cases drawn from
+//! [`SimRng`]: each test executes a few hundred generated inputs and
+//! reports the failing case's seed on assertion failure, which is enough
+//! to reproduce (`SimRng::seed_from(seed)` regenerates the exact case).
 
 use serverful_repro::cloudsim::ObjectBody;
 use serverful_repro::serverful::{CloudObjectRef, Payload};
 use serverful_repro::shuffle::data as sortdata;
-use serverful_repro::simkernel::{EventQueue, FairShare, SimDuration, SimTime, StepSeries};
+use serverful_repro::simkernel::{EventQueue, FairShare, SimDuration, SimRng, SimTime, StepSeries};
 
-/// An arbitrary payload of bounded depth.
-fn arb_payload() -> impl Strategy<Value = Payload> {
-    let leaf = prop_oneof![
-        Just(Payload::Unit),
-        any::<u64>().prop_map(Payload::U64),
-        // NaN is not round-trip comparable with PartialEq; use finite.
-        (-1e300f64..1e300).prop_map(Payload::F64),
-        ".{0,32}".prop_map(Payload::Str),
-        proptest::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|v| Payload::Bytes(bytes::Bytes::from(v))),
-        ("[a-z]{1,8}", "[a-z/]{1,16}", any::<u64>())
-            .prop_map(|(b, k, s)| Payload::CloudObject(CloudObjectRef::new(b, k, s))),
-        any::<u64>().prop_map(|size| Payload::Opaque { size }),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        proptest::collection::vec(inner, 0..6).prop_map(Payload::List)
-    })
+/// Runs `body` over `n` seeded cases; the case seed is passed through so
+/// failures print a reproducible starting point.
+fn forall_cases(n: u64, mut body: impl FnMut(u64, &mut SimRng)) {
+    for case in 0..n {
+        let seed = 0xC0FFEE ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = SimRng::seed_from(seed);
+        body(seed, &mut rng);
+    }
 }
 
-proptest! {
-    /// The wire codec round-trips every payload.
-    #[test]
-    fn payload_codec_roundtrips(p in arb_payload()) {
+fn arb_string(rng: &mut SimRng, max_len: u64) -> String {
+    let len = rng.uniform_u64(0, max_len + 1) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + rng.uniform_u64(0, 26) as u8))
+        .collect()
+}
+
+fn arb_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let len = rng.uniform_u64(0, max_len + 1) as usize;
+    (0..len).map(|_| rng.uniform_u64(0, 256) as u8).collect()
+}
+
+/// An arbitrary payload of bounded depth.
+fn arb_payload(rng: &mut SimRng, depth: u32) -> Payload {
+    let variants = if depth == 0 { 7 } else { 8 };
+    match rng.uniform_u64(0, variants) {
+        0 => Payload::Unit,
+        1 => Payload::U64(rng.next_u64()),
+        // NaN is not round-trip comparable with PartialEq; use finite.
+        2 => Payload::F64(rng.uniform(-1e300, 1e300)),
+        3 => Payload::Str(arb_string(rng, 32)),
+        4 => Payload::Bytes(bytes::Bytes::from(arb_bytes(rng, 64))),
+        5 => Payload::CloudObject(CloudObjectRef::new(
+            arb_string(rng, 8),
+            arb_string(rng, 16),
+            rng.next_u64(),
+        )),
+        6 => Payload::Opaque { size: rng.next_u64() },
+        _ => {
+            let n = rng.uniform_u64(0, 6) as usize;
+            Payload::List((0..n).map(|_| arb_payload(rng, depth - 1)).collect())
+        }
+    }
+}
+
+/// The wire codec round-trips every payload.
+#[test]
+fn payload_codec_roundtrips() {
+    forall_cases(256, |seed, rng| {
+        let p = arb_payload(rng, 3);
         let encoded = p.encode();
         let decoded = Payload::decode(&encoded).expect("decode");
-        prop_assert_eq!(decoded, p);
-    }
+        assert_eq!(decoded, p, "seed {seed}");
+    });
+}
 
-    /// Decoding arbitrary bytes never panics (it may error).
-    #[test]
-    fn payload_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding arbitrary bytes never panics (it may error).
+#[test]
+fn payload_decode_never_panics() {
+    forall_cases(512, |_seed, rng| {
+        let bytes = arb_bytes(rng, 256);
         let _ = Payload::decode(&bytes);
-    }
+    });
+}
 
-    /// Sort-key encoding round-trips.
-    #[test]
-    fn sort_keys_roundtrip(keys in proptest::collection::vec(any::<u64>(), 0..512)) {
+/// Sort-key encoding round-trips.
+#[test]
+fn sort_keys_roundtrip() {
+    forall_cases(128, |seed, rng| {
+        let n = rng.uniform_u64(0, 512) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
         let encoded = sortdata::encode_keys(&keys);
-        prop_assert_eq!(sortdata::decode_keys(&encoded), keys);
-    }
+        assert_eq!(sortdata::decode_keys(&encoded), keys, "seed {seed}");
+    });
+}
 
-    /// Range partitioning conserves keys and respects splitter bounds.
-    #[test]
-    fn partitioning_conserves_keys(
-        keys in proptest::collection::vec(any::<u64>(), 1..512),
-        ranges in 1usize..16,
-    ) {
+/// Range partitioning conserves keys and respects splitter bounds.
+#[test]
+fn partitioning_conserves_keys() {
+    forall_cases(128, |seed, rng| {
+        let n = rng.uniform_u64(1, 512) as usize;
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let ranges = rng.uniform_u64(1, 16) as usize;
         let splitters = sortdata::uniform_splitters(ranges);
         let buckets = sortdata::partition_keys(&keys, &splitters);
-        prop_assert_eq!(buckets.len(), ranges);
+        assert_eq!(buckets.len(), ranges, "seed {seed}");
         let total: usize = buckets.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, keys.len());
+        assert_eq!(total, keys.len(), "seed {seed}");
         for (i, bucket) in buckets.iter().enumerate() {
             for &k in bucket {
                 if i > 0 {
-                    prop_assert!(k >= splitters[i - 1]);
+                    assert!(k >= splitters[i - 1], "seed {seed}");
                 }
                 if i < splitters.len() {
-                    prop_assert!(k < splitters[i]);
+                    assert!(k < splitters[i], "seed {seed}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The event queue pops in non-decreasing time order regardless of
-    /// insertion order.
-    #[test]
-    fn event_queue_is_time_ordered(delays in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+/// The event queue pops in non-decreasing time order regardless of
+/// insertion order.
+#[test]
+fn event_queue_is_time_ordered() {
+    forall_cases(128, |seed, rng| {
+        let n = rng.uniform_u64(1, 64) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
         let mut q: EventQueue<usize> = EventQueue::new();
         for (i, &d) in delays.iter().enumerate() {
             q.schedule_at(SimTime::from_micros(d), i);
@@ -82,19 +126,21 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut count = 0;
         while let Some((t, _)) = q.next() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "seed {seed}");
             last = t;
             count += 1;
         }
-        prop_assert_eq!(count, delays.len());
-    }
+        assert_eq!(count, delays.len(), "seed {seed}");
+    });
+}
 
-    /// Fair-share transfers all complete, and total completion time is
-    /// bounded below by aggregate capacity.
-    #[test]
-    fn fair_share_conserves_bytes(
-        sizes in proptest::collection::vec(1u64..1_000_000, 1..32),
-    ) {
+/// Fair-share transfers all complete, and total completion time is
+/// bounded below by aggregate capacity.
+#[test]
+fn fair_share_conserves_bytes() {
+    forall_cases(64, |seed, rng| {
+        let n = rng.uniform_u64(1, 32) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1, 1_000_000)).collect();
         let aggregate = 1_000_000.0;
         let mut pool = FairShare::new(aggregate, 500_000.0);
         let t0 = SimTime::ZERO;
@@ -107,29 +153,32 @@ proptest! {
         let mut guard = 0;
         while pool.active() > 0 {
             let next = pool.next_completion().expect("active pool has a completion");
-            prop_assert!(next >= now);
+            assert!(next >= now, "seed {seed}");
             now = next;
             done += pool.advance(now).len();
             guard += 1;
-            prop_assert!(guard < 10_000, "pool failed to drain");
+            assert!(guard < 10_000, "pool failed to drain (seed {seed})");
         }
-        prop_assert_eq!(done, sizes.len());
+        assert_eq!(done, sizes.len(), "seed {seed}");
         // No faster than the aggregate cap allows.
         let lower_bound = total as f64 / aggregate;
-        prop_assert!(now.as_secs_f64() >= lower_bound * 0.999);
-    }
+        assert!(now.as_secs_f64() >= lower_bound * 0.999, "seed {seed}");
+    });
+}
 
-    /// Step-series integrals are additive over adjacent intervals.
-    #[test]
-    fn step_series_integral_is_additive(
-        points in proptest::collection::vec((0u64..1000, -100.0f64..100.0), 1..32),
-        split in 1u64..999,
-    ) {
-        let mut sorted = points.clone();
-        sorted.sort_by_key(|&(t, _)| t);
+/// Step-series integrals are additive over adjacent intervals.
+#[test]
+fn step_series_integral_is_additive() {
+    forall_cases(128, |seed, rng| {
+        let n = rng.uniform_u64(1, 32) as usize;
+        let mut points: Vec<(u64, f64)> = (0..n)
+            .map(|_| (rng.uniform_u64(0, 1000), rng.uniform(-100.0, 100.0)))
+            .collect();
+        let split = rng.uniform_u64(1, 999);
+        points.sort_by_key(|&(t, _)| t);
         let mut series = StepSeries::new(0.0);
         let mut last = None;
-        for (t, v) in sorted {
+        for (t, v) in points {
             if last == Some(t) {
                 continue;
             }
@@ -141,24 +190,31 @@ proptest! {
         let b = SimTime::from_micros(1000);
         let whole = series.integral(a, b);
         let parts = series.integral(a, m) + series.integral(m, b);
-        prop_assert!((whole - parts).abs() < 1e-9);
-    }
+        assert!((whole - parts).abs() < 1e-9, "seed {seed}");
+    });
+}
 
-    /// Object bodies report the length their constructor was given.
-    #[test]
-    fn object_body_length_is_stable(size in any::<u32>()) {
+/// Object bodies report the length their constructor was given.
+#[test]
+fn object_body_length_is_stable() {
+    forall_cases(128, |seed, rng| {
+        let size = rng.uniform_u64(0, u64::from(u32::MAX)) as u32;
         let body = ObjectBody::opaque(size as u64);
-        prop_assert_eq!(body.len(), size as u64);
+        assert_eq!(body.len(), size as u64, "seed {seed}");
         let real = ObjectBody::real(vec![0u8; (size % 4096) as usize]);
-        prop_assert_eq!(real.len(), (size % 4096) as u64);
-    }
+        assert_eq!(real.len(), (size % 4096) as u64, "seed {seed}");
+    });
+}
 
-    /// SimDuration arithmetic is consistent with float seconds.
-    #[test]
-    fn duration_arithmetic_consistent(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+/// SimDuration arithmetic is consistent with float seconds.
+#[test]
+fn duration_arithmetic_consistent() {
+    forall_cases(256, |seed, rng| {
+        let a = rng.uniform(0.0, 1e6);
+        let b = rng.uniform(0.0, 1e6);
         let da = SimDuration::from_secs_f64(a);
         let db = SimDuration::from_secs_f64(b);
         let sum = (da + db).as_secs_f64();
-        prop_assert!((sum - (a + b)).abs() < 1e-5);
-    }
+        assert!((sum - (a + b)).abs() < 1e-5, "seed {seed}");
+    });
 }
