@@ -3,48 +3,58 @@
 //!
 //! ```text
 //! repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|all] [seed]
+//! repro trace <job> [--arch serverless|hybrid|spark] [--seed N]
 //! ```
+//!
+//! `trace` writes deterministic Chrome trace-event JSON to stdout (load
+//! it in `chrome://tracing` or <https://ui.perfetto.dev>) and a text
+//! summary to stderr.
 
 use std::env;
 
+use bench::render::{
+    render_fig2, render_fig3_rows, render_fig4_rows, render_fig5, render_fig6_rows,
+    render_table1, render_table2, render_table3, render_table4_rows, render_trace,
+};
 use bench::{
     ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
-    extension_huge_sort, fig2, fig5,
-    table1, table2, table3, table4, Table4Row, FIG4_PAPER_RATIO, FIG5_PAPER_COST_RATIO,
-    FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER, TABLE4_PAPER,
+    extension_huge_sort, table4,
 };
-use telemetry::report::bar_chart;
-use telemetry::{PaperRow, Table};
+use telemetry::Table;
 
 fn main() {
     let args: Vec<String> = env::args().collect();
     let what = args.get(1).map_or("all", String::as_str);
+    if what == "trace" {
+        run_trace(&args[2..]);
+        return;
+    }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     match what {
-        "table1" => run_table1(seed),
-        "table2" => run_table2(),
-        "table3" => run_table3(seed),
-        "table4" => run_table4(seed),
-        "fig2" => run_fig2(seed),
-        "fig3" => run_fig3(seed),
-        "fig4" => run_fig4(seed),
-        "fig5" => run_fig5(seed),
-        "fig6" => run_fig6(seed),
+        "table1" => print!("{}", render_table1(seed)),
+        "table2" => print!("{}", render_table2()),
+        "table3" => print!("{}", render_table3(seed)),
+        "table4" => print!("{}", render_table4_rows(&table4(seed))),
+        "fig2" => print!("{}", render_fig2(seed)),
+        "fig3" => print!("{}", render_fig3_rows(&table4(seed))),
+        "fig4" => print!("{}", render_fig4_rows(&table4(seed))),
+        "fig5" => print!("{}", render_fig5(seed)),
+        "fig6" => print!("{}", render_fig6_rows(&table4(seed))),
         "ablations" => run_ablations(seed),
         "extension" => run_extension(seed),
         "all" => {
-            run_table1(seed);
-            run_table2();
-            run_table3(seed);
+            print!("{}", render_table1(seed));
+            print!("{}", render_table2());
+            print!("{}", render_table3(seed));
             // Figures 3, 4 and 6 share Table 4's runs; compute once.
             let rows = table4(seed);
-            print_table4(&rows);
-            print_fig3(&rows);
-            print_fig4(&rows);
-            print_fig6(&rows);
-            run_fig2(seed);
-            run_fig5(seed);
+            print!("{}", render_table4_rows(&rows));
+            print!("{}", render_fig3_rows(&rows));
+            print!("{}", render_fig4_rows(&rows));
+            print!("{}", render_fig6_rows(&rows));
+            print!("{}", render_fig2(seed));
+            print!("{}", render_fig5(seed));
             run_ablations(seed);
             run_extension(seed);
         }
@@ -53,265 +63,52 @@ fn main() {
             eprintln!(
                 "usage: repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|extension|all] [seed]"
             );
+            eprintln!("       repro trace <job> [--arch serverless|hybrid|spark] [--seed N]");
             std::process::exit(2);
         }
     }
 }
 
+/// `repro trace <job> [--arch A] [--seed N]`: trace JSON on stdout,
+/// summary on stderr.
+fn run_trace(args: &[String]) {
+    let mut job = None;
+    let mut arch = "serverless".to_owned();
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arch" => match it.next() {
+                Some(a) => arch = a.clone(),
+                None => die("--arch needs a value"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => die("--seed needs an integer"),
+            },
+            other if job.is_none() && !other.starts_with('-') => job = Some(other.to_owned()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(job) = job else {
+        die("usage: repro trace <job> [--arch serverless|hybrid|spark] [--seed N]");
+    };
+    match render_trace(&job, &arch, seed) {
+        Ok(trace) => {
+            print!("{}", trace.chrome_json);
+            eprint!("{}", trace.summary);
+        }
+        Err(msg) => die(&msg),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
 fn heading(title: &str) {
     println!("\n=== {title} ===");
-}
-
-fn run_table1(seed: u64) {
-    heading("Table 1: 100 x 5 s CPU-bound map across services (incl. (de)provisioning)");
-    let t = table1(seed);
-    let mut table = Table::new(["Service", "Paper", "Measured"]);
-    table.row([
-        "AWS Lambda".to_owned(),
-        format!("{:.2} s", TABLE1_PAPER.lambda_secs),
-        format!("{:.2} s", t.lambda_secs),
-    ]);
-    table.row([
-        "AWS EC2 (m6a.32xlarge)".to_owned(),
-        format!("{:.2} s", TABLE1_PAPER.ec2_secs),
-        format!("{:.2} s", t.ec2_secs),
-    ]);
-    table.row([
-        "AWS EMR Serverless".to_owned(),
-        format!("{:.2} s", TABLE1_PAPER.emr_secs),
-        format!("{:.2} s", t.emr_secs),
-    ]);
-    print!("{table}");
-}
-
-fn run_table2() {
-    heading("Table 2: METASPACE job setups");
-    let mut table = Table::new([
-        "Job",
-        "Dataset (GB)",
-        "Database (#formulas)",
-        "Max volume (GB)",
-    ]);
-    for job in table2() {
-        table.row([
-            job.name.to_owned(),
-            format!("{:.2}", job.dataset_gb),
-            format!("{}k", job.db_formulas / 1000),
-            format!("{:.2}", job.max_volume_gb),
-        ]);
-    }
-    print!("{table}");
-}
-
-fn run_table3(seed: u64) {
-    heading("Table 3: CPU usage, Xenograft (cloud functions vs Spark), percent");
-    let t = table3(seed);
-    let cf = t.cloud_functions;
-    let sp = t.spark;
-    let measured = [
-        ("average", cf.average, sp.average),
-        ("std-dev", cf.std_dev, sp.std_dev),
-        ("maximum", cf.max, sp.max),
-        ("minimum", cf.min, sp.min),
-        ("stateful-average", cf.stateful_average, sp.stateful_average),
-    ];
-    let mut table = Table::new([
-        "Metric",
-        "CF paper",
-        "CF measured",
-        "Spark paper",
-        "Spark measured",
-    ]);
-    for ((name, p_cf, p_sp), (_, m_cf, m_sp)) in TABLE3_PAPER.iter().zip(measured.iter()) {
-        table.row([
-            (*name).to_owned(),
-            format!("{p_cf:.2}"),
-            format!("{m_cf:.2}"),
-            format!("{p_sp:.2}"),
-            format!("{m_sp:.2}"),
-        ]);
-    }
-    print!("{table}");
-}
-
-fn run_table4(seed: u64) {
-    let rows = table4(seed);
-    print_table4(&rows);
-}
-
-fn print_table4(rows: &[Table4Row]) {
-    heading("Table 4: end-to-end annotation time per architecture (seconds)");
-    let mut table = Table::new([
-        "Job", "CF paper", "CF", "Hybrid paper", "Hybrid", "Spark paper", "Spark",
-    ]);
-    for row in rows {
-        let (_, p_cf, p_hy, p_sp) = TABLE4_PAPER
-            .iter()
-            .find(|(n, ..)| *n == row.job.name)
-            .expect("paper row");
-        table.row([
-            row.job.name.to_owned(),
-            format!("{p_cf:.2}"),
-            format!("{:.2}", row.cloud_functions.wall_secs),
-            format!("{p_hy:.2}"),
-            format!("{:.2}", row.hybrid.wall_secs),
-            format!("{p_sp:.2}"),
-            format!("{:.2}", row.spark.wall_secs),
-        ]);
-    }
-    print!("{table}");
-}
-
-fn run_fig2(seed: u64) {
-    heading("Figure 2: concurrent functions per stage, serverless Xenograft");
-    println!("(stateful stages marked *)");
-    let stages = fig2(seed);
-    let items: Vec<(String, f64)> = stages
-        .iter()
-        .map(|(name, tasks, stateful, _)| {
-            let label = if *stateful {
-                format!("*{name}")
-            } else {
-                name.clone()
-            };
-            (label, *tasks as f64)
-        })
-        .collect();
-    print!("{}", bar_chart(&items, 48));
-}
-
-fn run_fig3(seed: u64) {
-    let rows = table4(seed);
-    print_fig3(&rows);
-}
-
-fn print_fig3(rows: &[Table4Row]) {
-    heading("Figure 3: execution time, cloud functions vs Spark (seconds)");
-    let mut items = Vec::new();
-    for row in rows {
-        items.push((
-            format!("{} CF", row.job.name),
-            row.cloud_functions.wall_secs,
-        ));
-        items.push((format!("{} Spark", row.job.name), row.spark.wall_secs));
-    }
-    print!("{}", bar_chart(&items, 48));
-    let xeno = rows.iter().find(|r| r.job.name == "Xenograft").unwrap();
-    println!(
-        "{}",
-        PaperRow::new(
-            "Xenograft speedup of CF over Spark",
-            2.50,
-            xeno.spark.wall_secs / xeno.cloud_functions.wall_secs
-        )
-    );
-    let x089 = rows.iter().find(|r| r.job.name == "X089").unwrap();
-    println!(
-        "{}",
-        PaperRow::new(
-            "X089 annotation-time reduction (%)",
-            81.0,
-            (1.0 - x089.cloud_functions.wall_secs / x089.spark.wall_secs) * 100.0
-        )
-    );
-}
-
-fn run_fig4(seed: u64) {
-    let rows = table4(seed);
-    print_fig4(&rows);
-}
-
-fn print_fig4(rows: &[Table4Row]) {
-    heading("Figure 4: cost, cloud functions vs Spark (dollars)");
-    let mut items = Vec::new();
-    for row in rows {
-        items.push((format!("{} CF", row.job.name), row.cloud_functions.cost_usd));
-        items.push((format!("{} Spark", row.job.name), row.spark.cost_usd));
-    }
-    print!("{}", bar_chart(&items, 48));
-    for row in rows {
-        let (_, paper_ratio) = FIG4_PAPER_RATIO
-            .iter()
-            .find(|(n, _)| *n == row.job.name)
-            .expect("paper ratio");
-        println!(
-            "{}",
-            PaperRow::new(
-                format!("{} CF/Spark cost ratio", row.job.name),
-                *paper_ratio,
-                row.cloud_functions.cost_usd / row.spark.cost_usd
-            )
-        );
-    }
-}
-
-fn run_fig5(seed: u64) {
-    heading("Figure 5: Xenograft distributed sort, serverless vs single VM");
-    let f = fig5(seed);
-    let mut table = Table::new(["Architecture", "Time (s)", "Cost ($)"]);
-    table.row([
-        "37 x 1769 MB functions".to_owned(),
-        format!("{:.1}", f.serverless.wall_secs),
-        format!("{:.3}", f.serverless.cost_usd),
-    ]);
-    table.row([
-        "one m4.4xlarge VM".to_owned(),
-        format!("{:.1}", f.vm.wall_secs),
-        format!("{:.3}", f.vm.cost_usd),
-    ]);
-    print!("{table}");
-    println!(
-        "{}",
-        PaperRow::new(
-            "serverless speedup over the VM",
-            FIG5_PAPER_SPEEDUP,
-            f.vm.wall_secs / f.serverless.wall_secs
-        )
-    );
-    println!(
-        "{}",
-        PaperRow::new(
-            "VM cost advantage (x cheaper)",
-            FIG5_PAPER_COST_RATIO,
-            f.serverless.cost_usd / f.vm.cost_usd
-        )
-    );
-}
-
-fn run_fig6(seed: u64) {
-    let rows = table4(seed);
-    print_fig6(&rows);
-}
-
-fn print_fig6(rows: &[Table4Row]) {
-    heading("Figure 6: cost-performance, 1/(latency x cost)");
-    let mut items = Vec::new();
-    for row in rows {
-        items.push((
-            format!("{} CF", row.job.name),
-            row.cloud_functions.cost_performance(),
-        ));
-        items.push((
-            format!("{} hybrid", row.job.name),
-            row.hybrid.cost_performance(),
-        ));
-        items.push((format!("{} Spark", row.job.name), row.spark.cost_performance()));
-    }
-    print!("{}", bar_chart(&items, 48));
-    for (job, paper_gain) in [("Xenograft", 188.23), ("X089", 148.10)] {
-        let row = rows.iter().find(|r| r.job.name == job).unwrap();
-        let gain = (row.hybrid.cost_performance() / row.cloud_functions.cost_performance()
-            - 1.0)
-            * 100.0;
-        println!(
-            "{}",
-            PaperRow::new(
-                format!("{job} hybrid cost-perf improvement (%)"),
-                paper_gain,
-                gain
-            )
-        );
-    }
 }
 
 fn run_ablations(seed: u64) {

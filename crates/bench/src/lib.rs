@@ -9,6 +9,8 @@
 use std::sync::Arc;
 
 use metaspace::{jobs, run_annotation, AnnotationReport, Architecture, JobSpec};
+
+pub mod render;
 use serverful::executor::MapOptions;
 use serverful::{
     Backend, CloudEnv, ExecMode, ExecutorConfig, FunctionExecutor, Payload, ScriptTask,

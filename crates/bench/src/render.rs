@@ -1,0 +1,333 @@
+//! Text rendering of every table and figure, shared by the `repro`
+//! binary and the golden-table regression suite.
+//!
+//! Each `render_*` function returns exactly what `repro <what>` prints
+//! (heading included), so goldens snapshot the user-visible output.
+
+use metaspace::{jobs, run_annotation_traced, Architecture, TraceOutput};
+use telemetry::report::bar_chart;
+use telemetry::{PaperRow, Table};
+
+use crate::{
+    fig2, fig5, table1, table2, table3, table4, Table4Row, FIG4_PAPER_RATIO,
+    FIG5_PAPER_COST_RATIO, FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER, TABLE4_PAPER,
+};
+
+fn heading(out: &mut String, title: &str) {
+    out.push_str(&format!("\n=== {title} ===\n"));
+}
+
+/// Renders Table 1.
+pub fn render_table1(seed: u64) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Table 1: 100 x 5 s CPU-bound map across services (incl. (de)provisioning)",
+    );
+    let t = table1(seed);
+    let mut table = Table::new(["Service", "Paper", "Measured"]);
+    table.row([
+        "AWS Lambda".to_owned(),
+        format!("{:.2} s", TABLE1_PAPER.lambda_secs),
+        format!("{:.2} s", t.lambda_secs),
+    ]);
+    table.row([
+        "AWS EC2 (m6a.32xlarge)".to_owned(),
+        format!("{:.2} s", TABLE1_PAPER.ec2_secs),
+        format!("{:.2} s", t.ec2_secs),
+    ]);
+    table.row([
+        "AWS EMR Serverless".to_owned(),
+        format!("{:.2} s", TABLE1_PAPER.emr_secs),
+        format!("{:.2} s", t.emr_secs),
+    ]);
+    out.push_str(&table.to_string());
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    heading(&mut out, "Table 2: METASPACE job setups");
+    let mut table = Table::new([
+        "Job",
+        "Dataset (GB)",
+        "Database (#formulas)",
+        "Max volume (GB)",
+    ]);
+    for job in table2() {
+        table.row([
+            job.name.to_owned(),
+            format!("{:.2}", job.dataset_gb),
+            format!("{}k", job.db_formulas / 1000),
+            format!("{:.2}", job.max_volume_gb),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3(seed: u64) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Table 3: CPU usage, Xenograft (cloud functions vs Spark), percent",
+    );
+    let t = table3(seed);
+    let cf = t.cloud_functions;
+    let sp = t.spark;
+    let measured = [
+        ("average", cf.average, sp.average),
+        ("std-dev", cf.std_dev, sp.std_dev),
+        ("maximum", cf.max, sp.max),
+        ("minimum", cf.min, sp.min),
+        ("stateful-average", cf.stateful_average, sp.stateful_average),
+    ];
+    let mut table = Table::new([
+        "Metric",
+        "CF paper",
+        "CF measured",
+        "Spark paper",
+        "Spark measured",
+    ]);
+    for ((name, p_cf, p_sp), (_, m_cf, m_sp)) in TABLE3_PAPER.iter().zip(measured.iter()) {
+        table.row([
+            (*name).to_owned(),
+            format!("{p_cf:.2}"),
+            format!("{m_cf:.2}"),
+            format!("{p_sp:.2}"),
+            format!("{m_sp:.2}"),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out
+}
+
+/// Renders Table 4 from pre-computed rows.
+pub fn render_table4_rows(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Table 4: end-to-end annotation time per architecture (seconds)",
+    );
+    let mut table = Table::new([
+        "Job", "CF paper", "CF", "Hybrid paper", "Hybrid", "Spark paper", "Spark",
+    ]);
+    for row in rows {
+        let (_, p_cf, p_hy, p_sp) = TABLE4_PAPER
+            .iter()
+            .find(|(n, ..)| *n == row.job.name)
+            .expect("paper row");
+        table.row([
+            row.job.name.to_owned(),
+            format!("{p_cf:.2}"),
+            format!("{:.2}", row.cloud_functions.wall_secs),
+            format!("{p_hy:.2}"),
+            format!("{:.2}", row.hybrid.wall_secs),
+            format!("{p_sp:.2}"),
+            format!("{:.2}", row.spark.wall_secs),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out
+}
+
+/// Renders Table 4.
+pub fn render_table4(seed: u64) -> String {
+    render_table4_rows(&table4(seed))
+}
+
+/// Renders Figure 2.
+pub fn render_fig2(seed: u64) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 2: concurrent functions per stage, serverless Xenograft",
+    );
+    out.push_str("(stateful stages marked *)\n");
+    let stages = fig2(seed);
+    let items: Vec<(String, f64)> = stages
+        .iter()
+        .map(|(name, tasks, stateful, _)| {
+            let label = if *stateful {
+                format!("*{name}")
+            } else {
+                name.clone()
+            };
+            (label, *tasks as f64)
+        })
+        .collect();
+    out.push_str(&bar_chart(&items, 48));
+    out
+}
+
+/// Renders Figure 3 from pre-computed rows.
+pub fn render_fig3_rows(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 3: execution time, cloud functions vs Spark (seconds)",
+    );
+    let mut items = Vec::new();
+    for row in rows {
+        items.push((
+            format!("{} CF", row.job.name),
+            row.cloud_functions.wall_secs,
+        ));
+        items.push((format!("{} Spark", row.job.name), row.spark.wall_secs));
+    }
+    out.push_str(&bar_chart(&items, 48));
+    let xeno = rows.iter().find(|r| r.job.name == "Xenograft").unwrap();
+    out.push_str(&format!(
+        "{}\n",
+        PaperRow::new(
+            "Xenograft speedup of CF over Spark",
+            2.50,
+            xeno.spark.wall_secs / xeno.cloud_functions.wall_secs
+        )
+    ));
+    let x089 = rows.iter().find(|r| r.job.name == "X089").unwrap();
+    out.push_str(&format!(
+        "{}\n",
+        PaperRow::new(
+            "X089 annotation-time reduction (%)",
+            81.0,
+            (1.0 - x089.cloud_functions.wall_secs / x089.spark.wall_secs) * 100.0
+        )
+    ));
+    out
+}
+
+/// Renders Figure 4 from pre-computed rows.
+pub fn render_fig4_rows(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 4: cost, cloud functions vs Spark (dollars)");
+    let mut items = Vec::new();
+    for row in rows {
+        items.push((format!("{} CF", row.job.name), row.cloud_functions.cost_usd));
+        items.push((format!("{} Spark", row.job.name), row.spark.cost_usd));
+    }
+    out.push_str(&bar_chart(&items, 48));
+    for row in rows {
+        let (_, paper_ratio) = FIG4_PAPER_RATIO
+            .iter()
+            .find(|(n, _)| *n == row.job.name)
+            .expect("paper ratio");
+        out.push_str(&format!(
+            "{}\n",
+            PaperRow::new(
+                format!("{} CF/Spark cost ratio", row.job.name),
+                *paper_ratio,
+                row.cloud_functions.cost_usd / row.spark.cost_usd
+            )
+        ));
+    }
+    out
+}
+
+/// Renders Figure 5.
+pub fn render_fig5(seed: u64) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 5: Xenograft distributed sort, serverless vs single VM",
+    );
+    let f = fig5(seed);
+    let mut table = Table::new(["Architecture", "Time (s)", "Cost ($)"]);
+    table.row([
+        "37 x 1769 MB functions".to_owned(),
+        format!("{:.1}", f.serverless.wall_secs),
+        format!("{:.3}", f.serverless.cost_usd),
+    ]);
+    table.row([
+        "one m4.4xlarge VM".to_owned(),
+        format!("{:.1}", f.vm.wall_secs),
+        format!("{:.3}", f.vm.cost_usd),
+    ]);
+    out.push_str(&table.to_string());
+    out.push_str(&format!(
+        "{}\n",
+        PaperRow::new(
+            "serverless speedup over the VM",
+            FIG5_PAPER_SPEEDUP,
+            f.vm.wall_secs / f.serverless.wall_secs
+        )
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        PaperRow::new(
+            "VM cost advantage (x cheaper)",
+            FIG5_PAPER_COST_RATIO,
+            f.serverless.cost_usd / f.vm.cost_usd
+        )
+    ));
+    out
+}
+
+/// Renders Figure 6 from pre-computed rows.
+pub fn render_fig6_rows(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 6: cost-performance, 1/(latency x cost)");
+    let mut items = Vec::new();
+    for row in rows {
+        items.push((
+            format!("{} CF", row.job.name),
+            row.cloud_functions.cost_performance(),
+        ));
+        items.push((
+            format!("{} hybrid", row.job.name),
+            row.hybrid.cost_performance(),
+        ));
+        items.push((
+            format!("{} Spark", row.job.name),
+            row.spark.cost_performance(),
+        ));
+    }
+    out.push_str(&bar_chart(&items, 48));
+    for (job, paper_gain) in [("Xenograft", 188.23), ("X089", 148.10)] {
+        let row = rows.iter().find(|r| r.job.name == job).unwrap();
+        let gain = (row.hybrid.cost_performance() / row.cloud_functions.cost_performance()
+            - 1.0)
+            * 100.0;
+        out.push_str(&format!(
+            "{}\n",
+            PaperRow::new(
+                format!("{job} hybrid cost-perf improvement (%)"),
+                paper_gain,
+                gain
+            )
+        ));
+    }
+    out
+}
+
+/// Renders Figure 6.
+pub fn render_fig6(seed: u64) -> String {
+    render_fig6_rows(&crate::table4(seed))
+}
+
+/// Runs an annotation job with span tracing on and returns the trace
+/// (Chrome JSON + summary). `job` matches a Table 2 job name
+/// case-insensitively; `arch` is one of `serverless`, `hybrid` or
+/// `spark`.
+///
+/// # Errors
+///
+/// Returns a message for unknown jobs/architectures or failed runs.
+pub fn render_trace(job: &str, arch: &str, seed: u64) -> Result<TraceOutput, String> {
+    let spec = jobs::all()
+        .into_iter()
+        .find(|j| j.name.eq_ignore_ascii_case(job))
+        .ok_or_else(|| format!("unknown job `{job}` (expected Brain, Xenograft or X089)"))?;
+    let arch = match arch.to_ascii_lowercase().as_str() {
+        "serverless" | "cf" | "faas" => Architecture::Serverless,
+        "hybrid" => Architecture::Hybrid,
+        "spark" | "cluster" => Architecture::Cluster,
+        other => return Err(format!("unknown architecture `{other}`")),
+    };
+    let (_, trace) =
+        run_annotation_traced(&spec, arch, seed, cloudsim::CloudConfig::default())
+            .map_err(|e| format!("traced run failed: {e}"))?;
+    Ok(trace)
+}

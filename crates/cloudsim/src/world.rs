@@ -15,7 +15,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use simkernel::fair_share::FlowId;
-use simkernel::{EventQueue, EventToken, FairShare, SimDuration, SimRng, SimTime};
+use simkernel::{EventQueue, EventToken, FairShare, SchedStats, SimDuration, SimRng, SimTime};
+use telemetry::trace::{SpanId, Tracer};
 use telemetry::{CostCategory, CostLedger, CpuMonitor, FaultKind, FaultLedger, FleetTag};
 
 use crate::config::CloudConfig;
@@ -187,6 +188,12 @@ struct Sandbox {
     /// Injected crash scheduled to fire this long after user code
     /// starts (decided at invoke time).
     planned_crash: Option<SimDuration>,
+    /// Trace span covering invoke + burst admission + cold start.
+    cold_span: SpanId,
+    /// Trace span covering the billed execution window.
+    exec_span: SpanId,
+    /// Parent span recorded at invoke time, inherited by `exec_span`.
+    span_parent: SpanId,
 }
 
 #[derive(Debug)]
@@ -199,6 +206,12 @@ struct Vm {
     /// Injected loss scheduled to fire this long after the VM comes up
     /// (decided at provision time).
     planned_loss: Option<SimDuration>,
+    /// Trace span covering boot + agent setup.
+    boot_span: SpanId,
+    /// Trace span covering the billed uptime.
+    run_span: SpanId,
+    /// Parent span recorded at provision time, inherited by `run_span`.
+    span_parent: SpanId,
 }
 
 #[derive(Debug)]
@@ -260,6 +273,14 @@ pub struct World {
     fault_ledger: FaultLedger,
     fleets: HashMap<String, FleetTag>,
     bill_label: String,
+
+    // Tracing (zero-cost while the tracer is disabled).
+    tracer: Tracer,
+    /// Parent for spans opened at issue time; set by the framework
+    /// around the operations it issues on behalf of a task.
+    trace_parent: SpanId,
+    /// Open span per in-flight operation.
+    op_spans: HashMap<OpId, SpanId>,
 }
 
 impl World {
@@ -308,6 +329,9 @@ impl World {
             fault_ledger: FaultLedger::new(),
             fleets: HashMap::new(),
             bill_label: String::new(),
+            tracer: Tracer::new(),
+            trace_parent: SpanId::NONE,
+            op_spans: HashMap::new(),
             cfg,
         }
     }
@@ -370,6 +394,36 @@ impl World {
     /// give-ups next to the world's injection counters).
     pub fn fault_ledger_mut(&mut self) -> &mut FaultLedger {
         &mut self.fault_ledger
+    }
+
+    /// Turns span recording on or off. Off (the default) makes every
+    /// tracing hook a no-op.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable trace collector (frameworks record their own spans —
+    /// jobs, task attempts, pipeline stages — into the same trace).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Sets the parent span that operations issued from now on are
+    /// attributed to (the framework's current task attempt). Pass
+    /// [`SpanId::NONE`] to clear.
+    pub fn set_trace_parent(&mut self, parent: SpanId) {
+        self.trace_parent = parent;
+    }
+
+    /// Lifetime scheduler counters from the event queue (events
+    /// scheduled / fired / cancelled).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.queue.stats()
     }
 
     /// True while a host can issue and receive operations.
@@ -450,6 +504,7 @@ impl World {
             bucket: bucket.to_owned(),
             key: key.to_owned(),
         });
+        self.trace_op_begin(op, "GET", "storage", Some(key), None);
         let at = self.st_get_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.get_latency);
         if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
@@ -471,12 +526,14 @@ impl World {
         body: ObjectBody,
     ) -> OpId {
         self.assert_alive(from);
+        let bytes = body.len();
         let op = self.alloc_op(OpKind::Put {
             from,
             bucket: bucket.to_owned(),
             key: key.to_owned(),
             body,
         });
+        self.trace_op_begin(op, "PUT", "storage", Some(key), Some(bytes));
         let at = self.st_put_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.put_latency);
         if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
@@ -495,6 +552,7 @@ impl World {
             bucket: bucket.to_owned(),
             prefix: prefix.to_owned(),
         });
+        self.trace_op_begin(op, "LIST", "storage", Some(prefix), None);
         let at = self.st_get_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.list_latency);
         if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
@@ -513,6 +571,7 @@ impl World {
             bucket: bucket.to_owned(),
             key: key.to_owned(),
         });
+        self.trace_op_begin(op, "DELETE", "storage", Some(key), None);
         let at = self.st_put_rl.admit(self.queue.now());
         let lat = self.lat(self.cfg.storage.put_latency);
         if let Some(fault) = self.faults.storage_fault(self.queue.now()) {
@@ -568,6 +627,7 @@ impl World {
         self.assert_alive(from);
         self.assert_alive(to);
         let op = self.alloc_op(OpKind::Transfer { from, to, bytes });
+        self.trace_op_begin(op, "TRANSFER", "vpc", None, Some(bytes));
         // TCP setup / first-byte latency within a VPC.
         let lat = self.lat((0.0008, 0.0002));
         self.queue.schedule_in(lat, Ev::VpcStart { op });
@@ -596,6 +656,10 @@ impl World {
         let sandbox = SandboxId::from_index(self.sandboxes.len() as u64);
         let now = self.queue.now();
         let fault = self.faults.sandbox_fault(now);
+        let cold_span = self
+            .tracer
+            .begin(now, "cold-start", "faas", fleet, self.trace_parent);
+        self.tracer.attr_u64(cold_span, "mem_mb", mem_mb as u64);
         self.sandboxes.push(Sandbox {
             host,
             mem_mb,
@@ -606,6 +670,9 @@ impl World {
                 Some(SandboxFault::CrashAfter(after)) => Some(after),
                 _ => None,
             },
+            cold_span,
+            exec_span: SpanId::NONE,
+            span_parent: self.trace_parent,
         });
         let invoke = self.lat(self.cfg.faas.invoke_latency);
         let admitted = self.faas_bucket.admit(now + invoke);
@@ -659,11 +726,14 @@ impl World {
         let gb_secs = sb.mem_mb as f64 / 1024.0 * secs;
         let host = sb.host;
         let fleet = sb.fleet;
+        let exec_span = sb.exec_span;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
         self.charge(CostCategory::FaasCompute, compute);
         self.charge(CostCategory::FaasRequests, tariff.usd_per_request);
+        self.tracer.attr_f64(exec_span, "gb_secs", gb_secs);
+        self.tracer.end(exec_span, now);
         gb_secs
     }
 
@@ -688,6 +758,10 @@ impl World {
         ));
         let vm = VmId::from_index(self.vms.len() as u64);
         let fault = self.faults.vm_fault(self.queue.now());
+        let boot_span =
+            self.tracer
+                .begin(self.queue.now(), "vm-boot", "vm", fleet, self.trace_parent);
+        self.tracer.attr_str(boot_span, "instance_type", itype.name);
         self.vms.push(Vm {
             host,
             itype: *itype,
@@ -698,6 +772,9 @@ impl World {
                 Some(VmFault::LossAfter(after)) => Some(after),
                 _ => None,
             },
+            boot_span,
+            run_span: SpanId::NONE,
+            span_parent: self.trace_parent,
         });
         let boot = self.lat_floor(self.cfg.vm.boot, 5.0);
         let setup = self.lat_floor(self.cfg.vm.setup, 0.5);
@@ -727,10 +804,13 @@ impl World {
         let cost = billed * rec.itype.usd_per_second();
         let host = rec.host;
         let fleet = rec.fleet;
+        let run_span = rec.run_span;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
         self.charge(CostCategory::VmCompute, cost);
+        self.tracer.attr_f64(run_span, "billed_secs", billed);
+        self.tracer.end(run_span, now);
     }
 
     /// The host a VM provides.
@@ -821,7 +901,24 @@ impl World {
 
     fn kv_op(&mut self, from: HostId, kind: OpKind) -> OpId {
         self.assert_alive(from);
+        let label: Option<(&'static str, String, Option<u64>)> =
+            if self.tracer.is_enabled() {
+                Some(match &kind {
+                    OpKind::KvPut { key, body, .. } => ("KV PUT", key.clone(), Some(body.len())),
+                    OpKind::KvGet { key, .. } => ("KV GET", key.clone(), None),
+                    OpKind::KvPush { queue, body, .. } => {
+                        ("KV PUSH", queue.clone(), Some(body.len()))
+                    }
+                    OpKind::KvPop { queue, .. } => ("KV POP", queue.clone(), None),
+                    other => unreachable!("non-KV op kind: {other:?}"),
+                })
+            } else {
+                None
+            };
         let op = self.alloc_op(kind);
+        if let Some((name, key, bytes)) = label {
+            self.trace_op_begin(op, name, "kv", Some(&key), bytes);
+        }
         let lat = self.lat(self.cfg.kv.op_latency);
         self.queue.schedule_in(lat, Ev::KvStart { op });
         op
@@ -859,6 +956,36 @@ impl World {
         op
     }
 
+    /// Opens a span for an in-flight operation (no-op while tracing is
+    /// off). `key` attributes object/KV keys; storage keys also get
+    /// their top-level prefix, the unit of bandwidth contention.
+    fn trace_op_begin(
+        &mut self,
+        op: OpId,
+        name: &'static str,
+        track: &'static str,
+        key: Option<&str>,
+        bytes: Option<u64>,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let span = self
+            .tracer
+            .begin(self.queue.now(), name, "storage", track, self.trace_parent);
+        if let Some(key) = key {
+            self.tracer.attr_str(span, "key", key);
+            if track == "storage" {
+                let prefix = key.split('/').next().unwrap_or(key);
+                self.tracer.attr_str(span, "prefix", prefix);
+            }
+        }
+        if let Some(bytes) = bytes {
+            self.tracer.attr_u64(span, "bytes", bytes);
+        }
+        self.op_spans.insert(op, span);
+    }
+
     fn add_host(&mut self, host: Host) -> HostId {
         let id = HostId::from_index(self.hosts.len() as u64);
         self.st_pool.set_group_cap(id.index(), host.nic_bps);
@@ -889,6 +1016,18 @@ impl World {
 
     fn notify_op(&mut self, op: OpId, outcome: OpOutcome) {
         self.ops.remove(&op);
+        if let Some(span) = self.op_spans.remove(&op) {
+            match &outcome {
+                OpOutcome::GetOk { body } => self.tracer.attr_u64(span, "bytes", body.len()),
+                OpOutcome::KvValue { body: Some(body) } => {
+                    self.tracer.attr_u64(span, "bytes", body.len())
+                }
+                OpOutcome::GetMissing => self.tracer.attr_str(span, "result", "missing"),
+                OpOutcome::Faulted { fault } => self.tracer.attr_str(span, "fault", fault.name()),
+                _ => {}
+            }
+            self.tracer.end(span, self.queue.now());
+        }
         self.outbox.push_back(Notify::Op { op, outcome });
     }
 
@@ -926,6 +1065,7 @@ impl World {
             Ev::EmrTorn { job } => self.on_emr_torn(job, now),
             Ev::StorageFault { op, fault } => {
                 self.fault_ledger.record_fault(fault);
+                self.tracer.instant(now, fault.name(), "fault", "faults");
                 self.notify_op(op, OpOutcome::Faulted { fault });
             }
             Ev::SandboxInvokeFail { sandbox } => self.on_sandbox_invoke_fail(sandbox),
@@ -941,10 +1081,7 @@ impl World {
         let kind = self.ops.remove(&op).expect("unknown storage op");
         match kind {
             OpKind::Get { from, bucket, key } => match self.store.get(&bucket, &key) {
-                None => self.outbox.push_back(Notify::Op {
-                    op,
-                    outcome: OpOutcome::GetMissing,
-                }),
+                None => self.notify_op(op, OpOutcome::GetMissing),
                 Some(body) => {
                     let body = body.clone();
                     let len = body.len();
@@ -969,17 +1106,11 @@ impl World {
             }
             OpKind::List { bucket, prefix } => {
                 let keys = self.store.list_prefix(&bucket, &prefix);
-                self.outbox.push_back(Notify::Op {
-                    op,
-                    outcome: OpOutcome::ListOk { keys },
-                });
+                self.notify_op(op, OpOutcome::ListOk { keys });
             }
             OpKind::Delete { bucket, key } => {
                 self.store.delete(&bucket, &key);
-                self.outbox.push_back(Notify::Op {
-                    op,
-                    outcome: OpOutcome::DeleteOk,
-                });
+                self.notify_op(op, OpOutcome::DeleteOk);
             }
             other => unreachable!("non-storage op in storage start: {other:?}"),
         }
@@ -1127,10 +1258,7 @@ impl World {
             }
             OpKind::KvGet { from, kv, key } => {
                 match self.kvs[kv.index() as usize].data.get(&key).cloned() {
-                    None => self.outbox.push_back(Notify::Op {
-                        op,
-                        outcome: OpOutcome::KvValue { body: None },
-                    }),
+                    None => self.notify_op(op, OpOutcome::KvValue { body: None }),
                     Some(body) => {
                         let len = body.len();
                         self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
@@ -1143,10 +1271,7 @@ impl World {
                     .get_mut(&queue)
                     .and_then(VecDeque::pop_front);
                 match popped {
-                    None => self.outbox.push_back(Notify::Op {
-                        op,
-                        outcome: OpOutcome::KvValue { body: None },
-                    }),
+                    None => self.notify_op(op, OpOutcome::KvValue { body: None }),
                     Some(body) => {
                         let len = body.len();
                         self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
@@ -1250,6 +1375,14 @@ impl World {
         let host = sb.host;
         let fleet = sb.fleet;
         let planned_crash = sb.planned_crash;
+        let cold_span = sb.cold_span;
+        let span_parent = sb.span_parent;
+        self.tracer.end(cold_span, now);
+        if self.tracer.is_enabled() {
+            let track = self.cpu.fleet_name(fleet).to_owned();
+            let span = self.tracer.begin(now, "sandbox", "faas", &track, span_parent);
+            self.sandboxes[sandbox.index() as usize].exec_span = span;
+        }
         self.hosts[host.index() as usize].alive = true;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.cpu.add_provisioned(fleet, now, vcpus);
@@ -1265,6 +1398,16 @@ impl World {
         let host = rec.host;
         let fleet = rec.fleet;
         let planned_loss = rec.planned_loss;
+        let boot_span = rec.boot_span;
+        let span_parent = rec.span_parent;
+        let itype_name = rec.itype.name;
+        self.tracer.end(boot_span, now);
+        if self.tracer.is_enabled() {
+            let track = self.cpu.fleet_name(fleet).to_owned();
+            let span = self.tracer.begin(now, "vm", "vm", &track, span_parent);
+            self.tracer.attr_str(span, "instance_type", itype_name);
+            self.vms[vm.index() as usize].run_span = span;
+        }
         self.hosts[host.index() as usize].alive = true;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.cpu.add_provisioned(fleet, now, vcpus);
@@ -1282,6 +1425,12 @@ impl World {
         let sb = &mut self.sandboxes[sandbox.index() as usize];
         debug_assert!(sb.started.is_none());
         sb.released = true;
+        let cold_span = sb.cold_span;
+        let now = self.queue.now();
+        self.tracer.attr_str(cold_span, "fault", FaultKind::SandboxInvokeError.name());
+        self.tracer.end(cold_span, now);
+        self.tracer
+            .instant(now, FaultKind::SandboxInvokeError.name(), "fault", "faults");
         self.fault_ledger.record_fault(FaultKind::SandboxInvokeError);
         self.outbox.push_back(Notify::SandboxFailed {
             sandbox,
@@ -1293,11 +1442,16 @@ impl World {
     /// first (already released) the plan is moot. AWS bills crashed
     /// Lambda executions, so the partial run is billed — and booked as
     /// wasted GB-seconds, since its output never materialised.
-    fn on_sandbox_crash(&mut self, sandbox: SandboxId, _now: SimTime) {
+    fn on_sandbox_crash(&mut self, sandbox: SandboxId, now: SimTime) {
         if self.sandboxes[sandbox.index() as usize].released {
             return;
         }
         let gb_secs = self.retire_sandbox(sandbox);
+        let exec_span = self.sandboxes[sandbox.index() as usize].exec_span;
+        self.tracer
+            .attr_str(exec_span, "fault", FaultKind::SandboxCrash.name());
+        self.tracer
+            .instant(now, FaultKind::SandboxCrash.name(), "fault", "faults");
         self.fault_ledger.wasted_gb_secs += gb_secs;
         self.fault_ledger.record_fault(FaultKind::SandboxCrash);
         self.outbox.push_back(Notify::SandboxFailed {
@@ -1312,6 +1466,13 @@ impl World {
         let rec = &mut self.vms[vm.index() as usize];
         debug_assert!(rec.up_at.is_none());
         rec.terminated = true;
+        let boot_span = rec.boot_span;
+        let now = self.queue.now();
+        self.tracer
+            .attr_str(boot_span, "fault", FaultKind::VmBootFailure.name());
+        self.tracer.end(boot_span, now);
+        self.tracer
+            .instant(now, FaultKind::VmBootFailure.name(), "fault", "faults");
         self.fault_ledger.record_fault(FaultKind::VmBootFailure);
         self.outbox.push_back(Notify::VmFailed {
             vm,
@@ -1340,10 +1501,16 @@ impl World {
         let billed = secs.max(self.cfg.vm.min_billed_secs);
         let cost = billed * rec.itype.usd_per_second();
         let fleet = rec.fleet;
+        let run_span = rec.run_span;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
         self.charge(CostCategory::VmCompute, cost);
+        self.tracer.attr_str(run_span, "fault", FaultKind::VmLoss.name());
+        self.tracer.attr_f64(run_span, "wasted_secs", billed);
+        self.tracer.end(run_span, now);
+        self.tracer
+            .instant(now, FaultKind::VmLoss.name(), "fault", "faults");
         self.fault_ledger.wasted_instance_secs += billed;
         self.fault_ledger.record_fault(FaultKind::VmLoss);
         self.outbox.push_back(Notify::VmFailed {

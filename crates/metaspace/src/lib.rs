@@ -32,4 +32,7 @@ pub mod runner;
 
 pub use jobs::JobSpec;
 pub use pipeline::{Stage, StageKind};
-pub use runner::{run_annotation, run_annotation_with, AnnotationReport, Architecture};
+pub use runner::{
+    run_annotation, run_annotation_traced, run_annotation_with, AnnotationReport, Architecture,
+    TraceOutput,
+};

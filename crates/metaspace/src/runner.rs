@@ -25,6 +25,7 @@ use serverful::{
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
 use simkernel::{SimDuration, SimTime};
+use telemetry::trace::SpanId;
 use telemetry::UsageStats;
 
 use crate::jobs::JobSpec;
@@ -89,6 +90,17 @@ impl AnnotationReport {
     }
 }
 
+/// Output of a traced run: deterministic Chrome trace-event JSON (load
+/// it in `chrome://tracing` or Perfetto) plus a compact text summary.
+#[derive(Debug, Clone)]
+pub struct TraceOutput {
+    /// The full span trace as Chrome trace-event JSON. Byte-identical
+    /// across runs with the same job, architecture and seed.
+    pub chrome_json: String,
+    /// Per-stage metrics, span census and fault/retry report.
+    pub summary: String,
+}
+
 /// Runs one job on one architecture in a fresh simulated region.
 ///
 /// # Errors
@@ -117,9 +129,57 @@ pub fn run_annotation_with(
     cloud: CloudConfig,
 ) -> Result<AnnotationReport, ExecError> {
     match arch {
-        Architecture::Serverless => run_functions(job, false, seed, cloud),
-        Architecture::Hybrid => run_functions(job, true, seed, cloud),
-        Architecture::Cluster => Ok(run_cluster(job, seed, cloud)),
+        Architecture::Serverless => run_functions(job, false, seed, cloud, false).map(|(r, _)| r),
+        Architecture::Hybrid => run_functions(job, true, seed, cloud, false).map(|(r, _)| r),
+        Architecture::Cluster => Ok(run_cluster(job, seed, cloud, false).0),
+    }
+}
+
+/// Like [`run_annotation`], but with span tracing on: also returns the
+/// run's deterministic Chrome trace JSON and a text summary.
+///
+/// The trace covers the measured window (pipeline stage spans, job and
+/// task-attempt spans, cold starts, VM lifecycles, storage transfers and
+/// fault/retry instants). The cluster architecture records the coarser
+/// world-level spans only.
+///
+/// # Errors
+///
+/// Propagates executor failures, like [`run_annotation`].
+pub fn run_annotation_traced(
+    job: &JobSpec,
+    arch: Architecture,
+    seed: u64,
+    cloud: CloudConfig,
+) -> Result<(AnnotationReport, TraceOutput), ExecError> {
+    match arch {
+        Architecture::Serverless => {
+            let (r, t) = run_functions(job, false, seed, cloud, true)?;
+            Ok((r, t.expect("traced run returns a trace")))
+        }
+        Architecture::Hybrid => {
+            let (r, t) = run_functions(job, true, seed, cloud, true)?;
+            Ok((r, t.expect("traced run returns a trace")))
+        }
+        Architecture::Cluster => {
+            let (r, t) = run_cluster(job, seed, cloud, true);
+            Ok((r, t.expect("traced run returns a trace")))
+        }
+    }
+}
+
+/// Renders a world's recorded trace into its export forms.
+fn trace_output(world: &World) -> TraceOutput {
+    let tracer = world.tracer();
+    let mut summary = tracer.summary(world.fault_ledger());
+    let sched = world.sched_stats();
+    summary.push_str(&format!(
+        "scheduler: {} events scheduled, {} fired, {} cancelled\n",
+        sched.scheduled, sched.fired, sched.cancelled
+    ));
+    TraceOutput {
+        chrome_json: tracer.chrome_json(),
+        summary,
     }
 }
 
@@ -132,7 +192,8 @@ fn run_functions(
     hybrid: bool,
     seed: u64,
     cloud: CloudConfig,
-) -> Result<AnnotationReport, ExecError> {
+    trace: bool,
+) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
     let mut env = CloudEnv::new(cloud, seed);
     let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
     let stages = pipeline::stages(job);
@@ -172,8 +233,24 @@ fn run_functions(
         shuffle::run_fused_exchange(&mut env, vm_exec, &warm, &refs, workers, false)?;
         env.world_mut().ledger_mut().reset();
     }
+    // Tracing starts after the warm-up so the trace covers exactly the
+    // measured window.
+    if trace {
+        env.enable_tracing();
+    }
     let start = env.now();
     for stage in &stages {
+        let stage_span = if trace {
+            let now = env.now();
+            let span = env
+                .world_mut()
+                .tracer_mut()
+                .begin(now, &stage.name, "stage", "pipeline", SpanId::NONE);
+            env.set_job_parent(span);
+            span
+        } else {
+            SpanId::NONE
+        };
         match stage.kind {
             StageKind::Stateless {
                 read_spread,
@@ -224,6 +301,11 @@ fn run_functions(
                 }
             },
         }
+        if trace {
+            let now = env.now();
+            env.world_mut().tracer_mut().end(stage_span, now);
+            env.set_job_parent(SpanId::NONE);
+        }
     }
     if let Some(mut vm_exec) = vm {
         vm_exec.shutdown(&mut env);
@@ -238,7 +320,7 @@ fn run_functions(
         SimDuration::from_secs(1),
         &env.timeline().stateful_windows(),
     );
-    Ok(AnnotationReport {
+    let report = AnnotationReport {
         job: job.name.to_owned(),
         arch: if hybrid {
             Architecture::Hybrid
@@ -249,7 +331,8 @@ fn run_functions(
         cost_usd: env.world().ledger().total(),
         stages: stage_results,
         cpu,
-    })
+    };
+    Ok((report, trace.then(|| trace_output(env.world()))))
 }
 
 /// Seeds per-task inputs and maps a read→compute→write script.
@@ -357,8 +440,16 @@ fn summarise(stages: &[Stage], spans: &[telemetry::StageSpan]) -> Vec<StageResul
 // Cluster path
 // ----------------------------------------------------------------------
 
-fn run_cluster(job: &JobSpec, seed: u64, cloud: CloudConfig) -> AnnotationReport {
+fn run_cluster(
+    job: &JobSpec,
+    seed: u64,
+    cloud: CloudConfig,
+    trace: bool,
+) -> (AnnotationReport, Option<TraceOutput>) {
     let mut world = World::new(cloud, seed);
+    if trace {
+        world.set_tracing(true);
+    }
     let mut cluster = ClusterEngine::provision(&mut world, ClusterConfig::default());
     let start = world.now();
     let stages = pipeline::stages(job);
@@ -385,14 +476,15 @@ fn run_cluster(job: &JobSpec, seed: u64, cloud: CloudConfig) -> AnnotationReport
         SimDuration::from_secs(1),
         &report.timeline.stateful_windows(),
     );
-    AnnotationReport {
+    let annotation = AnnotationReport {
         job: job.name.to_owned(),
         arch: Architecture::Cluster,
         wall_secs: report.wall_secs,
         cost_usd: report.cost_usd,
         stages: stage_results,
         cpu,
-    }
+    };
+    (annotation, trace.then(|| trace_output(&world)))
 }
 
 fn cluster_stage(stage: &Stage) -> StageDef {

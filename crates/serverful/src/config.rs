@@ -88,6 +88,9 @@ pub struct ExecutorConfig {
     /// Retry/backoff/straggler policy applied to every job of this
     /// executor (task re-dispatch, storage re-issue, worker requeue).
     pub retry: RetryPolicy,
+    /// Record a span trace of every job on virtual time (exported as
+    /// Chrome trace-event JSON). Costs nothing when off.
+    pub tracing: bool,
     /// Serverful-backend options.
     pub standalone: StandaloneConfig,
 }
@@ -102,6 +105,7 @@ impl Default for ExecutorConfig {
             map_setup_secs: 2.5,
             io_compute_overlap: 0.35,
             retry: RetryPolicy::default(),
+            tracing: false,
             standalone: StandaloneConfig::default(),
         }
     }

@@ -34,6 +34,7 @@ use cloudsim::{
     CloudConfig, HostId, KvId, Notify, ObjectBody, OpId, OpOutcome, SandboxId, VmId, World,
 };
 use simkernel::{SimDuration, SimTime};
+use telemetry::trace::SpanId;
 use telemetry::{FleetTag, StageSpan, Timeline};
 
 use crate::config::{ExecMode, StandaloneConfig};
@@ -213,6 +214,9 @@ pub struct CloudEnv {
     next_timer: u64,
     scheduler_fleet: FleetTag,
     active_jobs: usize,
+    /// Span subsequently submitted jobs parent under (a pipeline's stage
+    /// span, for example).
+    job_parent: SpanId,
 }
 
 impl std::fmt::Debug for CloudEnv {
@@ -249,6 +253,7 @@ impl CloudEnv {
             next_timer: 0,
             scheduler_fleet,
             active_jobs: 0,
+            job_parent: SpanId::NONE,
         }
     }
 
@@ -277,6 +282,23 @@ impl CloudEnv {
         &self.timeline
     }
 
+    /// Turns span tracing on for everything this environment runs. Costs
+    /// nothing until enabled; see [`telemetry::trace::Tracer`].
+    pub fn enable_tracing(&mut self) {
+        self.world.set_tracing(true);
+    }
+
+    /// True when the environment records a span trace.
+    pub fn tracing_enabled(&self) -> bool {
+        self.world.tracer().is_enabled()
+    }
+
+    /// Sets the span subsequently submitted jobs parent under (a
+    /// pipeline stage span). Pass [`SpanId::NONE`] to clear.
+    pub fn set_job_parent(&mut self, span: SpanId) {
+        self.job_parent = span;
+    }
+
     /// Pre-loads an object outside the timed path (experiment setup).
     pub fn seed_object(&mut self, bucket: &str, key: &str, body: ObjectBody) {
         self.world.seed_object(bucket, key, body);
@@ -290,6 +312,20 @@ impl CloudEnv {
         let id = job.id;
         debug_assert_eq!(id, self.jobs.len());
         job.submitted_at = self.world.now();
+        if self.world.tracer().is_enabled() {
+            let now = self.world.now();
+            let name = format!("job:{}", job.name);
+            let backend = match &job.backend {
+                JobBackend::Faas { .. } => "faas",
+                JobBackend::Standalone { .. } => "serverful",
+            };
+            let parent = self.job_parent;
+            let tracer = self.world.tracer_mut();
+            let span = tracer.begin(now, &name, "job", "jobs", parent);
+            tracer.attr_u64(span, "tasks", job.inputs.len() as u64);
+            tracer.attr_str(span, "backend", backend);
+            job.span = span;
+        }
         self.world.set_bill_label(job.name.clone());
         self.job_activity(1);
         // Client-side setup: serialise the function and its modules and
@@ -453,10 +489,56 @@ impl CloudEnv {
         }
     }
 
+    /// The span a task's I/O should parent under: the current attempt's
+    /// span, falling back to the job span before dispatch.
+    fn task_span(&self, job: usize, task: usize) -> SpanId {
+        let t = &self.jobs[job].tasks[task];
+        if t.span.is_none() {
+            self.jobs[job].span
+        } else {
+            t.span
+        }
+    }
+
+    /// The trace span ops issued for `route` parent under.
+    fn route_span(&self, route: &Route) -> SpanId {
+        match route {
+            Route::Task { job, task } | Route::InputPut { job, task } => {
+                self.task_span(*job, *task)
+            }
+            other => match Self::route_job(other) {
+                Some(job) => self.jobs[job].span,
+                None => SpanId::NONE,
+            },
+        }
+    }
+
+    /// Begins the span of a task's next dispatch attempt. Returns
+    /// [`SpanId::NONE`] (and allocates nothing) when tracing is off.
+    fn begin_attempt_span(&mut self, job: usize, task: usize, fleet: &str) -> SpanId {
+        if !self.world.tracer().is_enabled() {
+            return SpanId::NONE;
+        }
+        let now = self.world.now();
+        let name = format!("task {task}");
+        let stage = self.jobs[job].name.clone();
+        let parent = self.jobs[job].span;
+        let attempt = u64::from(self.jobs[job].tasks[task].attempts) + 1;
+        let tracer = self.world.tracer_mut();
+        let span = tracer.begin(now, &name, "task", "tasks", parent);
+        tracer.attr_str(span, "stage", &stage);
+        tracer.attr_u64(span, "task", task as u64);
+        tracer.attr_u64(span, "attempt", attempt);
+        tracer.attr_str(span, "fleet", fleet);
+        span
+    }
+
     /// Issues a storage request from its spec, remembering it so a fault
     /// can re-issue it after backoff. All env storage traffic flows
     /// through here.
     fn issue_storage(&mut self, spec: StorageSpec, attempts: u32, route: Route) -> OpId {
+        let parent = self.route_span(&route);
+        self.world.set_trace_parent(parent);
         let op = match &spec {
             StorageSpec::Get { host, bucket, key } => {
                 self.world.get_object(*host, bucket, key)
@@ -476,6 +558,7 @@ impl CloudEnv {
                 self.world.delete_object(*host, bucket, key)
             }
         };
+        self.world.set_trace_parent(SpanId::NONE);
         self.op_specs.insert(op, (spec, attempts));
         self.op_routes.insert(op, route);
         op
@@ -524,6 +607,10 @@ impl CloudEnv {
             return;
         }
         self.world.fault_ledger_mut().storage_retries += 1;
+        let retry_now = self.world.now();
+        self.world
+            .tracer_mut()
+            .instant(retry_now, "storage-retry", "retry", "retries");
         // For task-logic ops, the faulted op STAYS in the attempt's
         // pending map as a placeholder (siblings of a multi-op action
         // must not see the map drain and assemble a holey result); the
@@ -575,6 +662,14 @@ impl CloudEnv {
             }
             _ => self.world.fault_ledger_mut().task_retries += 1,
         }
+        if self.world.tracer().is_enabled() {
+            let now = self.world.now();
+            let name = match why {
+                AttemptFailure::Straggler => format!("straggler task {task}"),
+                _ => format!("retry task {task}"),
+            };
+            self.world.tracer_mut().instant(now, &name, "retry", "retries");
+        }
         let backoff = policy.jittered_backoff_secs(
             attempts.max(1),
             ((job as u64) << 32) | task as u64,
@@ -616,6 +711,16 @@ impl CloudEnv {
                 self.worker_pop(pool, vm_idx, proc);
             }
         }
+        let now = self.world.now();
+        let span = std::mem::replace(&mut self.jobs[job].tasks[task].span, SpanId::NONE);
+        let tracer = self.world.tracer_mut();
+        let abandoned = match why {
+            AttemptFailure::SandboxDead => "sandbox-dead",
+            AttemptFailure::StorageExhausted => "storage-exhausted",
+            AttemptFailure::Straggler => "straggler",
+        };
+        tracer.attr_str(span, "abandoned", abandoned);
+        tracer.end(span, now);
         self.jobs[job].tasks[task].phase = TaskPhase::Queued;
         self.jobs[job].tasks[task].started_at = None;
     }
@@ -689,13 +794,17 @@ impl CloudEnv {
     }
 
     fn invoke_task(&mut self, job: usize, task: usize, memory_mb: u32, fleet: &str) {
+        let span = self.begin_attempt_span(job, task, fleet);
+        self.world.set_trace_parent(span);
         let sandbox = self.world.faas_invoke(memory_mb, fleet);
+        self.world.set_trace_parent(SpanId::NONE);
         let now = self.world.now();
         let t = &mut self.jobs[job].tasks[task];
         t.sandbox = Some(sandbox);
         t.phase = TaskPhase::Starting;
         t.attempts += 1;
         t.started_at = Some(now);
+        t.span = span;
         self.sandbox_routes
             .insert(sandbox, Route::Task { job, task });
     }
@@ -888,7 +997,9 @@ impl CloudEnv {
                 let kv = run.kv.ok_or_else(|| {
                     ExecError::Unsupported("KV access outside the serverful backend".into())
                 })?;
+                self.world.set_trace_parent(self.task_span(job, task));
                 let op = self.world.kv_get(host, kv, &key);
+                self.world.set_trace_parent(SpanId::NONE);
                 run.pending.insert(op, 0);
                 self.op_routes.insert(op, route);
             }
@@ -896,7 +1007,9 @@ impl CloudEnv {
                 let kv = run.kv.ok_or_else(|| {
                     ExecError::Unsupported("KV access outside the serverful backend".into())
                 })?;
+                self.world.set_trace_parent(self.task_span(job, task));
                 let op = self.world.kv_put(host, kv, &key, body);
+                self.world.set_trace_parent(SpanId::NONE);
                 run.pending.insert(op, 0);
                 self.op_routes.insert(op, route);
             }
@@ -1025,6 +1138,9 @@ impl CloudEnv {
 
     /// Result written: retire the task's host slot.
     fn task_done(&mut self, job: usize, task: usize) {
+        let now = self.world.now();
+        let span = std::mem::replace(&mut self.jobs[job].tasks[task].span, SpanId::NONE);
+        self.world.tracer_mut().end(span, now);
         self.jobs[job].tasks[task].phase = TaskPhase::Done;
         self.jobs[job].done_tasks += 1;
         if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
@@ -1050,6 +1166,11 @@ impl CloudEnv {
     fn fail_task(&mut self, job: usize, task: usize, mut run: TaskRun, msg: String) {
         self.end_io_busy(&mut run);
         drop(run);
+        let now = self.world.now();
+        let span = std::mem::replace(&mut self.jobs[job].tasks[task].span, SpanId::NONE);
+        let tracer = self.world.tracer_mut();
+        tracer.attr_str(span, "failed", &msg);
+        tracer.end(span, now);
         self.jobs[job].tasks[task].phase = TaskPhase::Failed(msg.clone());
         if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
             self.sandbox_routes.remove(&sandbox);
@@ -1208,6 +1329,14 @@ impl CloudEnv {
         let now = self.world.now();
         self.jobs[job].finished_at = Some(now);
         self.jobs[job].error = error;
+        let span = self.jobs[job].span;
+        if self.world.tracer().is_enabled() {
+            if let Some(err) = &self.jobs[job].error {
+                let msg = err.to_string();
+                self.world.tracer_mut().attr_str(span, "error", &msg);
+            }
+        }
+        self.world.tracer_mut().end(span, now);
         self.job_activity(-1);
         let j = &self.jobs[job];
         self.timeline.record(StageSpan {
@@ -1503,7 +1632,9 @@ impl CloudEnv {
             self.jobs[job].inputs[task].clone(),
         ]);
         let body = ObjectBody::real(bundle.encode());
+        self.world.set_trace_parent(self.jobs[job].span);
         let op = self.world.kv_push(master, kv, &queue, body);
+        self.world.set_trace_parent(SpanId::NONE);
         self.op_routes.insert(op, Route::Requeue { pool });
     }
 
@@ -1547,6 +1678,7 @@ impl CloudEnv {
         let n = self.jobs[job].inputs.len();
         let queue = format!("job-{job}");
         self.pools[pool].pushes_outstanding = n;
+        self.world.set_trace_parent(self.jobs[job].span);
         for task in 0..n {
             let bundle = Payload::List(vec![
                 Payload::U64(task as u64),
@@ -1556,6 +1688,7 @@ impl CloudEnv {
             let op = self.world.kv_push(master, kv, &queue, body);
             self.op_routes.insert(op, Route::Push { pool, job });
         }
+        self.world.set_trace_parent(SpanId::NONE);
     }
 
     fn on_push_done(&mut self, pool: usize, job: usize) {
@@ -1598,7 +1731,9 @@ impl CloudEnv {
             return; // VM just died; its VmFailed notification is queued
         }
         let queue = format!("job-{job}");
+        self.world.set_trace_parent(self.jobs[job].span);
         let op = self.world.kv_pop(host, kv, &queue);
+        self.world.set_trace_parent(SpanId::NONE);
         self.op_routes.insert(
             op,
             Route::Pop {
@@ -1634,7 +1769,9 @@ impl CloudEnv {
                 if let Some(kv) = self.pools[pool].kv {
                     let master = self.pools[pool].master_host();
                     let queue = format!("job-{job}");
+                    self.world.set_trace_parent(self.jobs[job].span);
                     let op = self.world.kv_push(master, kv, &queue, body);
+                    self.world.set_trace_parent(SpanId::NONE);
                     self.op_routes.insert(op, Route::Requeue { pool });
                 }
             }
@@ -1653,11 +1790,14 @@ impl CloudEnv {
         let input = items[1].clone();
         let host = self.pools[pool].workers[vm_idx].host;
         let kv = self.pools[pool].kv;
+        let fleet = self.pools[pool].fleet_name.clone();
+        let span = self.begin_attempt_span(job, task, &fleet);
         let now = self.world.now();
         let t = &mut self.jobs[job].tasks[task];
         t.worker = Some((vm_idx, proc));
         t.attempts += 1;
         t.started_at = Some(now);
+        t.span = span;
         self.start_task(job, task, host, kv, &input);
     }
 

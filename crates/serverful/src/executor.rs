@@ -109,6 +109,9 @@ impl fmt::Debug for FunctionExecutor {
 impl FunctionExecutor {
     /// Creates an executor for a backend.
     pub fn new(env: &mut CloudEnv, backend: Backend, config: ExecutorConfig) -> Self {
+        if config.tracing {
+            env.enable_tracing();
+        }
         let pool = match backend {
             Backend::Vm => Some(env.create_pool(config.standalone.clone())),
             Backend::Faas => None,
@@ -187,6 +190,7 @@ impl FunctionExecutor {
             error: None,
             monitor: MonitorState::Sleeping,
             monitor_host: env.world().client_host(),
+            span: telemetry::trace::SpanId::NONE,
         };
         let id = env.submit(job);
         JobHandle { id }

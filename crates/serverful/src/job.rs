@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use cloudsim::{HostId, KvId, ObjectBody, OpId, SandboxId};
 use simkernel::SimTime;
+use telemetry::trace::SpanId;
 
 use crate::error::ExecError;
 use crate::payload::Payload;
@@ -148,6 +149,9 @@ pub(crate) struct TaskState {
     pub attempts: u32,
     /// When the current attempt was dispatched (straggler detection).
     pub started_at: Option<SimTime>,
+    /// Trace span of the current attempt ([`SpanId::NONE`] when tracing is
+    /// off or no attempt is in flight).
+    pub span: SpanId,
 }
 
 impl TaskState {
@@ -159,6 +163,7 @@ impl TaskState {
             worker: None,
             attempts: 0,
             started_at: None,
+            span: SpanId::NONE,
         }
     }
 }
@@ -197,6 +202,8 @@ pub(crate) struct JobState {
     pub error: Option<ExecError>,
     pub monitor: MonitorState,
     pub monitor_host: HostId,
+    /// Root trace span covering the whole job.
+    pub span: SpanId,
 }
 
 impl std::fmt::Debug for JobState {
@@ -271,6 +278,7 @@ mod tests {
             error: None,
             monitor: MonitorState::Sleeping,
             monitor_host: HostId::from_index(0),
+            span: SpanId::NONE,
         }
     }
 

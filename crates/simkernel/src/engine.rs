@@ -44,6 +44,22 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Lifetime counters of scheduler activity.
+///
+/// These are the queue's contribution to a trace: they cost two counter
+/// increments per event and let an observer report how much scheduling
+/// work a run performed without the queue depending on any telemetry
+/// machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events ever scheduled (including later-cancelled ones).
+    pub scheduled: u64,
+    /// Live events popped by [`EventQueue::next`].
+    pub fired: u64,
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+}
+
 /// A deterministic, cancellable discrete-event queue.
 ///
 /// # Example
@@ -67,6 +83,7 @@ pub struct EventQueue<E> {
     // Sorted vec of cancelled seq numbers still sitting in the heap. The
     // set stays tiny because entries are purged as they surface.
     cancelled: Vec<u64>,
+    stats: SchedStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,7 +100,13 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             cancelled: Vec::new(),
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Lifetime scheduling counters (see [`SchedStats`]).
+    pub fn stats(&self) -> SchedStats {
+        self.stats
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -107,6 +130,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.stats.scheduled += 1;
         self.heap.push(Entry { at, seq, event });
         EventToken(seq)
     }
@@ -121,6 +145,7 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, token: EventToken) {
         if let Err(pos) = self.cancelled.binary_search(&token.0) {
             self.cancelled.insert(pos, token.0);
+            self.stats.cancelled += 1;
         }
     }
 
@@ -138,6 +163,7 @@ impl<E> EventQueue<E> {
             }
             debug_assert!(entry.at >= self.now, "event heap went backwards");
             self.now = entry.at;
+            self.stats.fired += 1;
             return Some((entry.at, entry.event));
         }
         None
@@ -235,6 +261,21 @@ mod tests {
         q.cancel(tok);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs_f64(5.0)));
         assert_eq!(q.next().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn stats_count_scheduled_fired_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_in(SimDuration::from_secs(1), 1);
+        q.schedule_in(SimDuration::from_secs(2), 2);
+        q.schedule_in(SimDuration::from_secs(3), 3);
+        q.cancel(tok);
+        q.cancel(tok); // idempotent: counted once
+        while q.next().is_some() {}
+        let stats = q.stats();
+        assert_eq!(stats.scheduled, 3);
+        assert_eq!(stats.fired, 2);
+        assert_eq!(stats.cancelled, 1);
     }
 
     #[test]

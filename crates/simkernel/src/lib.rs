@@ -36,7 +36,7 @@ pub mod series;
 pub mod slots;
 pub mod time;
 
-pub use engine::{EventQueue, EventToken};
+pub use engine::{EventQueue, EventToken, SchedStats};
 pub use fair_share::{FairShare, FlowId};
 pub use rng::SimRng;
 pub use series::StepSeries;

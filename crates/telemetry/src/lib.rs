@@ -12,6 +12,8 @@
 //!   Figure 2-style concurrency plots ([`timeline`]).
 //! * [`FaultLedger`] — injected-fault and retry counters plus the billed
 //!   time wasted on failed attempts ([`faults`]).
+//! * [`Tracer`] — span-based tracing on virtual time, exported as
+//!   deterministic Chrome trace-event JSON ([`trace`]).
 //! * [`stats`] — summary statistics shared by the above.
 //! * [`report`] — plain-text table/figure rendering plus paper-vs-measured
 //!   comparison rows for EXPERIMENTS.md.
@@ -34,6 +36,7 @@ pub mod faults;
 pub mod report;
 pub mod stats;
 pub mod timeline;
+pub mod trace;
 
 pub use cost::{CostCategory, CostLedger};
 pub use cpu::{CpuMonitor, FleetTag, UsageStats};
@@ -41,3 +44,4 @@ pub use faults::{FaultKind, FaultLedger};
 pub use report::{PaperRow, Table};
 pub use stats::Summary;
 pub use timeline::{StageSpan, Timeline};
+pub use trace::{SpanId, StageMetrics, Tracer};

@@ -2,24 +2,47 @@
 # Tier-1 verification for every PR.
 #
 #   scripts/ci.sh          # lint + debug tests (fast path)
-#   scripts/ci.sh --full   # also the release-gated paper-scale + chaos runs
+#   scripts/ci.sh --full   # also the release-gated paper-scale + chaos
+#                          # runs, and the Xenograft trace artifact
 #
 # The chaos suite's small cases run in debug with the workspace tests;
 # its paper-scale assertions (hybrid-beats-serverless under faults) are
 # `#[ignore]`d in debug and only run under --release, like the other
 # paper-scale tests.
+#
+# Golden regression suites (tests/goldens.rs) run with the workspace
+# tests: table/figure text and trace summaries are snapshotted under
+# tests/goldens/ and any drift fails CI. Drift is never noise — the
+# simulation is deterministic — so either fix the regression or, for an
+# intentional behaviour change, refresh the snapshots and commit the
+# reviewed diff:
+#
+#   UPDATE_GOLDENS=1 cargo test --release --test goldens
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ -n "${UPDATE_GOLDENS:-}" ]]; then
+    echo "refusing to run CI with UPDATE_GOLDENS set: goldens would silently self-heal" >&2
+    exit 1
+fi
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tests (debug) =="
+echo "== tests (debug, incl. fast goldens) =="
 cargo test --workspace -q
 
 if [[ "${1:-}" == "--full" ]]; then
-    echo "== tests (release: paper-scale + chaos gates) =="
+    echo "== tests (release: paper-scale + chaos + golden gates) =="
     cargo test --workspace --release -q
+
+    echo "== trace artifact (Xenograft, seed 42) =="
+    cargo build --release -p bench -q
+    mkdir -p target/artifacts
+    ./target/release/repro trace xenograft --seed 42 \
+        > target/artifacts/xenograft-trace.json \
+        2> target/artifacts/xenograft-trace-summary.txt
+    ls -l target/artifacts/xenograft-trace.json
 fi
 
 echo "CI OK"

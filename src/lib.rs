@@ -7,6 +7,10 @@
 //! Start with the [`serverful`] crate — the paper's contribution — and the
 //! `quickstart` example.
 
+// `pub use bench` would also pull in the unstable built-in `#[bench]`
+// attribute from the macro namespace; `extern crate` re-exports only the
+// crate.
+pub extern crate bench;
 pub use clustersim;
 pub use cloudsim;
 pub use metaspace;

@@ -1,0 +1,149 @@
+//! Golden-table and golden-trace regression tests.
+//!
+//! Each golden file under `tests/goldens/` snapshots the exact text the
+//! `repro` binary prints for one table or figure at seed 42. The
+//! simulation is deterministic, so a golden only moves when behaviour
+//! does: an unexplained diff is a regression, not noise.
+//!
+//! After an *intentional* behaviour change, refresh the snapshots and
+//! review the diff like any other code change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --release --test goldens
+//! ```
+//!
+//! The paper-scale goldens (Tables 3–4, Figures 5–6, the Xenograft
+//! trace) are ignored under debug builds; run them with `--release`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serverful_repro::bench::render::{
+    render_fig5, render_fig6, render_table1, render_table2, render_table3, render_table4,
+};
+use serverful_repro::cloudsim::CloudConfig;
+use serverful_repro::metaspace::{jobs, run_annotation_traced, Architecture, TraceOutput};
+
+/// The one seed all goldens are pinned to.
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.txt"))
+}
+
+/// Compares `actual` against the stored golden, or rewrites the golden
+/// when `UPDATE_GOLDENS=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n(create it with UPDATE_GOLDENS=1 cargo test --release --test goldens)",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let mismatch = expected
+        .lines()
+        .zip(actual.lines())
+        .position(|(e, a)| e != a)
+        .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+    panic!(
+        "golden `{name}` drifted (first difference at line {}):\n\
+         --- expected ({})\n{}\n--- actual\n{}\n\
+         If this change is intentional, refresh with UPDATE_GOLDENS=1 \
+         cargo test --release --test goldens and commit the diff.",
+        mismatch + 1,
+        path.display(),
+        expected.lines().nth(mismatch).unwrap_or("<eof>"),
+        actual.lines().nth(mismatch).unwrap_or("<eof>"),
+    );
+}
+
+#[test]
+fn golden_table1() {
+    check_golden("table1", &render_table1(GOLDEN_SEED));
+}
+
+#[test]
+fn golden_table2() {
+    check_golden("table2", &render_table2());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn golden_table3() {
+    check_golden("table3", &render_table3(GOLDEN_SEED));
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn golden_table4() {
+    check_golden("table4", &render_table4(GOLDEN_SEED));
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn golden_fig5() {
+    check_golden("fig5", &render_fig5(GOLDEN_SEED));
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn golden_fig6() {
+    check_golden("fig6", &render_fig6(GOLDEN_SEED));
+}
+
+// --- golden traces -------------------------------------------------------
+
+fn traced(job: &str, arch: Architecture, seed: u64) -> TraceOutput {
+    let spec = jobs::all()
+        .into_iter()
+        .find(|j| j.name == job)
+        .expect("job in Table 2");
+    let (_, trace) =
+        run_annotation_traced(&spec, arch, seed, CloudConfig::default()).expect("traced run");
+    trace
+}
+
+/// The tracer is deterministic: two runs of the same seeded job emit
+/// byte-identical Chrome JSON, and a different seed emits a different
+/// trace. Brain is the smallest Table 2 job, so this stays in the debug
+/// suite.
+#[test]
+fn trace_same_seed_is_byte_identical() {
+    let a = traced("Brain", Architecture::Serverless, 7);
+    let b = traced("Brain", Architecture::Serverless, 7);
+    assert_eq!(a.chrome_json, b.chrome_json, "same seed must replay identically");
+    assert_eq!(a.summary, b.summary);
+    let c = traced("Brain", Architecture::Serverless, 8);
+    assert_ne!(a.chrome_json, c.chrome_json, "different seeds must differ");
+}
+
+/// The trace summary (span counts, per-stage latency quantiles, wasted
+/// work) is goldened for the Brain job: cheap to run, and it pins the
+/// whole tracer→collector→summary pipeline.
+#[test]
+fn golden_trace_brain_summary() {
+    let trace = traced("Brain", Architecture::Serverless, GOLDEN_SEED);
+    check_golden("trace_brain_summary", &trace.summary);
+}
+
+/// The paper-scale acceptance check: the seeded Xenograft trace replays
+/// byte-for-byte, on the serverless and the hybrid architecture.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn xenograft_trace_is_byte_identical() {
+    for arch in [Architecture::Serverless, Architecture::Hybrid] {
+        let a = traced("Xenograft", arch, 42);
+        let b = traced("Xenograft", arch, 42);
+        assert_eq!(a.chrome_json, b.chrome_json, "arch {arch:?}");
+    }
+}

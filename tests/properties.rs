@@ -6,8 +6,9 @@
 //! reports the failing case's seed on assertion failure, which is enough
 //! to reproduce (`SimRng::seed_from(seed)` regenerates the exact case).
 
-use serverful_repro::cloudsim::ObjectBody;
+use serverful_repro::cloudsim::{catalog, LambdaTariff, ObjectBody};
 use serverful_repro::serverful::{CloudObjectRef, Payload};
+use serverful_repro::telemetry::{CostCategory, CostLedger};
 use serverful_repro::shuffle::data as sortdata;
 use serverful_repro::simkernel::{EventQueue, FairShare, SimDuration, SimRng, SimTime, StepSeries};
 
@@ -216,5 +217,108 @@ fn duration_arithmetic_consistent() {
         let db = SimDuration::from_secs_f64(b);
         let sum = (da + db).as_secs_f64();
         assert!((sum - (a + b)).abs() < 1e-5, "seed {seed}");
+    });
+}
+
+/// Lambda billing is monotone in both duration and memory, and a GB-s
+/// charge is never negative — even at zero duration or tiny memory.
+#[test]
+fn lambda_billing_monotone_and_non_negative() {
+    let tariff = LambdaTariff::default();
+    forall_cases(256, |seed, rng| {
+        let mem_lo = rng.uniform_u64(0, 10_240) as u32;
+        let mem_hi = mem_lo + rng.uniform_u64(0, 10_240) as u32;
+        let secs_lo = rng.uniform(0.0, 3600.0);
+        let secs_hi = secs_lo + rng.uniform(0.0, 3600.0);
+        let base = tariff.compute_usd(mem_lo, secs_lo);
+        assert!(base.is_finite() && base >= 0.0, "seed {seed}: {base}");
+        assert!(
+            tariff.compute_usd(mem_lo, secs_hi) >= base,
+            "seed {seed}: longer run must not be cheaper"
+        );
+        assert!(
+            tariff.compute_usd(mem_hi, secs_lo) >= base,
+            "seed {seed}: more memory must not be cheaper"
+        );
+        assert!(tariff.compute_usd(0, 0.0) == 0.0, "seed {seed}");
+    });
+}
+
+/// Per-second VM billing is positive and monotone in duration for every
+/// catalog instance.
+#[test]
+fn vm_billing_monotone_in_duration() {
+    forall_cases(128, |seed, rng| {
+        let it = &catalog()[rng.uniform_u64(0, catalog().len() as u64) as usize];
+        assert!(it.usd_per_second() > 0.0, "seed {seed}: {}", it.name);
+        let lo = rng.uniform(0.0, 1e5);
+        let hi = lo + rng.uniform(0.0, 1e5);
+        assert!(
+            it.usd_per_second() * hi >= it.usd_per_second() * lo,
+            "seed {seed}: {}",
+            it.name
+        );
+    });
+}
+
+/// A ledger's grand total is exactly the sum over its categories.
+#[test]
+fn ledger_total_is_sum_of_categories() {
+    const CATEGORIES: [CostCategory; 5] = [
+        CostCategory::FaasCompute,
+        CostCategory::FaasRequests,
+        CostCategory::StorageRequests,
+        CostCategory::VmCompute,
+        CostCategory::ManagedService,
+    ];
+    forall_cases(128, |seed, rng| {
+        let mut ledger = CostLedger::new();
+        let n = rng.uniform_u64(0, 64);
+        for _ in 0..n {
+            let cat = CATEGORIES[rng.uniform_u64(0, 5) as usize];
+            ledger.charge(SimTime::ZERO, cat, rng.uniform(0.0, 10.0), "entry");
+        }
+        let by_category: f64 = CATEGORIES.iter().map(|&c| ledger.total_for(c)).sum();
+        assert!(
+            (ledger.total() - by_category).abs() < 1e-9,
+            "seed {seed}: {} vs {}",
+            ledger.total(),
+            by_category
+        );
+    });
+}
+
+/// The hybrid architecture's bill is the sum of its fleet ledgers:
+/// absorbing per-fleet ledgers into one preserves both the entries and
+/// the total.
+#[test]
+fn hybrid_cost_is_sum_of_fleet_ledgers() {
+    forall_cases(128, |seed, rng| {
+        let fleets = rng.uniform_u64(1, 6) as usize;
+        let mut parts = Vec::new();
+        for f in 0..fleets {
+            let mut ledger = CostLedger::new();
+            for _ in 0..rng.uniform_u64(0, 16) {
+                let cat = if f == 0 {
+                    CostCategory::FaasCompute
+                } else {
+                    CostCategory::VmCompute
+                };
+                ledger.charge(SimTime::ZERO, cat, rng.uniform(0.0, 5.0), format!("fleet-{f}"));
+            }
+            parts.push(ledger);
+        }
+        let expected_total: f64 = parts.iter().map(CostLedger::total).sum();
+        let expected_entries: usize = parts.iter().map(|l| l.entries().len()).sum();
+        let mut merged = CostLedger::new();
+        for part in parts {
+            merged.absorb(part);
+        }
+        assert_eq!(merged.entries().len(), expected_entries, "seed {seed}");
+        assert!(
+            (merged.total() - expected_total).abs() < 1e-9,
+            "seed {seed}: {} vs {expected_total}",
+            merged.total()
+        );
     });
 }
