@@ -4,22 +4,31 @@
 //! ```text
 //! repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|all] [seed]
 //! repro trace <job> [--arch serverless|hybrid|spark] [--seed N]
+//! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]
 //! ```
 //!
 //! `trace` writes deterministic Chrome trace-event JSON to stdout (load
 //! it in `chrome://tracing` or <https://ui.perfetto.dev>) and a text
 //! summary to stderr.
+//!
+//! `plan` searches the deployment-plan space for a job and prints the
+//! Pareto frontier over (cost, makespan) — the what-if planner that
+//! rediscovers the paper's hand-picked hybrid. `--threads` is purely a
+//! speed knob: the frontier is byte-identical at any worker count.
 
 use std::env;
 
 use bench::render::{
     render_fig2, render_fig3_rows, render_fig4_rows, render_fig5, render_fig6_rows,
-    render_table1, render_table2, render_table3, render_table4_rows, render_trace,
+    render_plan_search, render_table1, render_table2, render_table3, render_table4_rows,
+    render_trace,
 };
 use bench::{
     ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
     extension_huge_sort, table4,
 };
+use metaspace::jobs;
+use planner::{search, Evaluator, Objective, SearchConfig, SearchSpace};
 use telemetry::Table;
 
 fn main() {
@@ -27,6 +36,10 @@ fn main() {
     let what = args.get(1).map_or("all", String::as_str);
     if what == "trace" {
         run_trace(&args[2..]);
+        return;
+    }
+    if what == "plan" {
+        run_plan(&args[2..]);
         return;
     }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -64,6 +77,9 @@ fn main() {
                 "usage: repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|extension|all] [seed]"
             );
             eprintln!("       repro trace <job> [--arch serverless|hybrid|spark] [--seed N]");
+            eprintln!(
+                "       repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]"
+            );
             std::process::exit(2);
         }
     }
@@ -100,6 +116,56 @@ fn run_trace(args: &[String]) {
         }
         Err(msg) => die(&msg),
     }
+}
+
+/// `repro plan <job> [--objective O] [--threads N] [--seed N] [--smoke]`:
+/// searches the deployment space and prints the Pareto frontier.
+fn run_plan(args: &[String]) {
+    let mut job = None;
+    let mut objective = Objective::Pareto;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--objective" => match it.next().map(String::as_str).and_then(Objective::parse) {
+                Some(o) => objective = o,
+                None => die("--objective needs cost|latency|pareto"),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => die("--threads needs a positive integer"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => die("--seed needs an integer"),
+            },
+            "--smoke" => smoke = true,
+            other if job.is_none() && !other.starts_with('-') => job = Some(other.to_owned()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(job) = job else {
+        die("usage: repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]");
+    };
+    let Some(spec) = jobs::by_name(&job) else {
+        die(&format!("unknown job `{job}` (expected Brain, Xenograft or X089)"));
+    };
+    let ev = Evaluator::for_job(&spec, seed);
+    let space = if smoke {
+        SearchSpace::smoke(&ev.stages)
+    } else {
+        SearchSpace::standard(&ev.stages)
+    };
+    let cfg = SearchConfig {
+        objective,
+        threads,
+        seed,
+        ..SearchConfig::default()
+    };
+    let report = search(&ev, &space, &cfg);
+    print!("{}", render_plan_search(spec.name, &report, objective));
 }
 
 fn die(msg: &str) -> ! {

@@ -49,6 +49,9 @@ pub use emr::EmrJobId;
 pub use faults::{FaultConfig, FaultKind};
 pub use host::HostId;
 pub use ids::{KvId, OpId, SandboxId, VmId};
-pub use pricing::{catalog, instance_type, InstanceType, LambdaTariff, S3Tariff};
+pub use pricing::{
+    catalog, instance_type, instances_within_mem, largest_instance_within_mem,
+    smallest_instance_with_mem, InstanceType, LambdaTariff, S3Tariff,
+};
 pub use store::{ObjectBody, ObjectStore};
 pub use world::{Notify, OpOutcome, World};

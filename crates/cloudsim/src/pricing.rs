@@ -130,6 +130,34 @@ pub fn instance_type(name: &str) -> Option<&'static InstanceType> {
     CATALOG.iter().find(|it| it.name == name)
 }
 
+/// The smallest catalog instance with at least `need_gib` of memory —
+/// the scan the sizing policy's "empirically defined bounds" rule makes
+/// (the catalog is sorted by memory, so first match = smallest).
+///
+/// # Example
+///
+/// ```
+/// let it = cloudsim::smallest_instance_with_mem(40.0).expect("fits");
+/// assert_eq!(it.name, "m4.4xlarge"); // 64 GiB
+/// ```
+pub fn smallest_instance_with_mem(need_gib: f64) -> Option<&'static InstanceType> {
+    CATALOG.iter().find(|it| it.mem_gib >= need_gib)
+}
+
+/// The largest catalog instance with at most `bound_gib` of memory —
+/// the fallback when a requirement exceeds the bound table and work
+/// must split into sequential rounds.
+pub fn largest_instance_within_mem(bound_gib: f64) -> Option<&'static InstanceType> {
+    CATALOG.iter().rfind(|it| it.mem_gib <= bound_gib)
+}
+
+/// The catalog instances whose memory lies within `bound_gib` — the
+/// slice a bounded search (sizing policy, deployment planner) may pick
+/// from. Preserves catalog order (sorted by memory).
+pub fn instances_within_mem(bound_gib: f64) -> impl Iterator<Item = &'static InstanceType> {
+    CATALOG.iter().filter(move |it| it.mem_gib <= bound_gib)
+}
+
 /// AWS Lambda tariff.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LambdaTariff {
@@ -256,6 +284,25 @@ mod tests {
     #[test]
     fn instance_lookup_misses_gracefully() {
         assert!(instance_type("nope.large").is_none());
+    }
+
+    #[test]
+    fn catalog_scans_agree_with_each_other() {
+        // smallest ≥ need and largest ≤ bound bracket every memory size.
+        for it in CATALOG {
+            assert_eq!(
+                smallest_instance_with_mem(it.mem_gib).unwrap().mem_gib,
+                it.mem_gib
+            );
+            assert_eq!(
+                largest_instance_within_mem(it.mem_gib).unwrap().mem_gib,
+                it.mem_gib
+            );
+        }
+        assert!(smallest_instance_with_mem(f64::INFINITY).is_none());
+        assert!(largest_instance_within_mem(0.0).is_none());
+        let bounded: Vec<&str> = instances_within_mem(64.0).map(|it| it.name).collect();
+        assert_eq!(bounded, ["c5.large", "c5.2xlarge", "c5.4xlarge", "m4.4xlarge"]);
     }
 
     #[test]

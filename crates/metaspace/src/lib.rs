@@ -28,11 +28,13 @@ pub mod algo;
 pub mod data;
 pub mod jobs;
 pub mod pipeline;
+pub mod plan;
 pub mod runner;
 
 pub use jobs::JobSpec;
 pub use pipeline::{Stage, StageKind};
+pub use plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 pub use runner::{
-    run_annotation, run_annotation_traced, run_annotation_with, AnnotationReport, Architecture,
-    TraceOutput,
+    run_annotation, run_annotation_traced, run_annotation_with, run_plan, run_plan_stages,
+    run_plan_with, AnnotationReport, Architecture, TraceOutput,
 };

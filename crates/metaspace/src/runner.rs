@@ -1,4 +1,5 @@
-//! Runs the annotation pipeline on the three studied architectures.
+//! Runs the annotation pipeline on the three studied architectures —
+//! and, more generally, on any [`DeploymentPlan`].
 //!
 //! * [`Architecture::Serverless`] — every stage on cloud functions
 //!   (the deployment METASPACE migrated to first);
@@ -8,6 +9,12 @@
 //! * [`Architecture::Cluster`] — the original fixed Spark deployment
 //!   (4 × c5.4xlarge).
 //!
+//! The three architectures are *named plans*
+//! ([`DeploymentPlan::for_architecture`]): [`run_annotation`] builds the
+//! corresponding plan and hands it to [`run_plan_stages`], the single
+//! execution path every deployment — hand-picked or planner-found —
+//! flows through.
+//!
 //! Each run happens in a fresh simulated region and reports wall time,
 //! cost, per-stage spans (Figure 2) and CPU-utilisation statistics
 //! (Table 3).
@@ -15,12 +22,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cloudsim::{CloudConfig, ObjectBody, World};
+use cloudsim::{CloudConfig, InstanceType, ObjectBody, World};
 use clustersim::{ClusterConfig, ClusterEngine, StageDef};
 use serverful::executor::MapOptions;
 use serverful::{
-    Backend, CloudEnv, ExecError, ExecutorConfig, FunctionExecutor, Payload, ScriptTask,
-    SizingPolicy,
+    Backend, CloudEnv, ExecError, ExecMode, ExecutorConfig, FunctionExecutor, Payload,
+    RetryPolicy, ScriptTask, SizingPolicy,
 };
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
@@ -30,6 +37,7 @@ use telemetry::UsageStats;
 
 use crate::jobs::JobSpec;
 use crate::pipeline::{self, Stage, StageKind};
+use crate::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 
 /// The deployment architecture to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,12 +79,17 @@ pub struct StageResult {
 pub struct AnnotationReport {
     /// Job name.
     pub job: String,
-    /// Architecture evaluated.
+    /// Architecture evaluated (derived from the plan for plan runs).
     pub arch: Architecture,
     /// End-to-end seconds.
     pub wall_secs: f64,
     /// Dollars billed.
     pub cost_usd: f64,
+    /// Billed-but-wasted resources under faults/retries/stragglers, from
+    /// the telemetry fault ledger: sandbox GB-seconds plus VM
+    /// instance-seconds that bought no completed work. Zero in
+    /// fault-free runs.
+    pub waste: f64,
     /// Per-stage breakdown.
     pub stages: Vec<StageResult>,
     /// CPU-usage statistics over the run (Table 3), when measurable.
@@ -128,11 +141,9 @@ pub fn run_annotation_with(
     seed: u64,
     cloud: CloudConfig,
 ) -> Result<AnnotationReport, ExecError> {
-    match arch {
-        Architecture::Serverless => run_functions(job, false, seed, cloud, false).map(|(r, _)| r),
-        Architecture::Hybrid => run_functions(job, true, seed, cloud, false).map(|(r, _)| r),
-        Architecture::Cluster => Ok(run_cluster(job, seed, cloud, false).0),
-    }
+    let stages = pipeline::stages(job);
+    let plan = DeploymentPlan::for_architecture(arch, &stages);
+    run_plan_stages(job.name, &stages, &plan, seed, cloud, false).map(|(r, _)| r)
 }
 
 /// Like [`run_annotation`], but with span tracing on: also returns the
@@ -152,20 +163,114 @@ pub fn run_annotation_traced(
     seed: u64,
     cloud: CloudConfig,
 ) -> Result<(AnnotationReport, TraceOutput), ExecError> {
-    match arch {
-        Architecture::Serverless => {
-            let (r, t) = run_functions(job, false, seed, cloud, true)?;
-            Ok((r, t.expect("traced run returns a trace")))
+    let stages = pipeline::stages(job);
+    let plan = DeploymentPlan::for_architecture(arch, &stages);
+    let (r, t) = run_plan_stages(job.name, &stages, &plan, seed, cloud, true)?;
+    Ok((r, t.expect("traced run returns a trace")))
+}
+
+/// Runs one Table 2 job under an arbitrary [`DeploymentPlan`] in a
+/// fresh, default-configured simulated region.
+///
+/// # Errors
+///
+/// Propagates executor failures and rejects malformed plans (backend
+/// list not matching the stage graph, unknown instance types).
+pub fn run_plan(
+    job: &JobSpec,
+    plan: &DeploymentPlan,
+    seed: u64,
+) -> Result<AnnotationReport, ExecError> {
+    run_plan_with(job, plan, seed, CloudConfig::default())
+}
+
+/// Like [`run_plan`], but over an explicit cloud configuration.
+///
+/// # Errors
+///
+/// Propagates executor failures and rejects malformed plans.
+pub fn run_plan_with(
+    job: &JobSpec,
+    plan: &DeploymentPlan,
+    seed: u64,
+    cloud: CloudConfig,
+) -> Result<AnnotationReport, ExecError> {
+    let stages = pipeline::stages(job);
+    run_plan_stages(job.name, &stages, plan, seed, cloud, false).map(|(r, _)| r)
+}
+
+/// The general entry point: runs an arbitrary stage graph under an
+/// arbitrary plan. `label` names the run in the report; `trace` also
+/// records a span trace (returned as the second element).
+///
+/// This is the one execution path for every deployment: the three named
+/// architectures, planner candidates, and toy stage graphs
+/// (`examples/plan_search.rs`) all flow through here.
+///
+/// # Errors
+///
+/// Propagates executor failures and rejects malformed plans.
+pub fn run_plan_stages(
+    label: &str,
+    stages: &[Stage],
+    plan: &DeploymentPlan,
+    seed: u64,
+    cloud: CloudConfig,
+    trace: bool,
+) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
+    validate_plan(stages, plan)?;
+    match &plan.kind {
+        PlanKind::Functions(f) => {
+            run_functions_plan(label, stages, f, seed, cloud, trace)
         }
-        Architecture::Hybrid => {
-            let (r, t) = run_functions(job, true, seed, cloud, true)?;
-            Ok((r, t.expect("traced run returns a trace")))
+        PlanKind::Cluster(c) => Ok(run_cluster_plan(label, stages, c, seed, cloud, trace)),
+    }
+}
+
+/// Rejects plans the execution path cannot honour.
+fn validate_plan(stages: &[Stage], plan: &DeploymentPlan) -> Result<(), ExecError> {
+    let bad = |msg: String| Err(ExecError::Unsupported(msg));
+    match &plan.kind {
+        PlanKind::Functions(f) => {
+            if f.backends.len() != stages.len() {
+                return bad(format!(
+                    "plan `{}` assigns {} stages but the graph has {}",
+                    plan.name,
+                    f.backends.len(),
+                    stages.len()
+                ));
+            }
+            if f.memory_mb == 0 {
+                return bad(format!("plan `{}` has zero function memory", plan.name));
+            }
+            if f.vm_count == 0 {
+                return bad(format!("plan `{}` has an empty VM fleet", plan.name));
+            }
+            if f.max_attempts == 0 {
+                return bad(format!("plan `{}` allows zero attempts", plan.name));
+            }
+            if f.mem_factor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return bad(format!("plan `{}` has a non-positive mem factor", plan.name));
+            }
+            if let Some(name) = &f.instance {
+                if cloudsim::instance_type(name).is_none() {
+                    return bad(format!("plan `{}`: unknown instance type `{name}`", plan.name));
+                }
+            }
         }
-        Architecture::Cluster => {
-            let (r, t) = run_cluster(job, seed, cloud, true);
-            Ok((r, t.expect("traced run returns a trace")))
+        PlanKind::Cluster(c) => {
+            if c.nodes == 0 {
+                return bad(format!("plan `{}` has an empty cluster", plan.name));
+            }
+            if cloudsim::instance_type(&c.instance).is_none() {
+                return bad(format!(
+                    "plan `{}`: unknown instance type `{}`",
+                    plan.name, c.instance
+                ));
+            }
         }
     }
+    Ok(())
 }
 
 /// Renders a world's recorded trace into its export forms.
@@ -183,35 +288,72 @@ fn trace_output(world: &World) -> TraceOutput {
     }
 }
 
+/// Billed-but-wasted resources recorded by a world's fault ledger.
+fn ledger_waste(world: &World) -> f64 {
+    let ledger = world.fault_ledger();
+    ledger.wasted_gb_secs + ledger.wasted_instance_secs
+}
+
 // ----------------------------------------------------------------------
-// Cloud-function / hybrid path
+// Cloud-function / hybrid / serverful path
 // ----------------------------------------------------------------------
 
-fn run_functions(
-    job: &JobSpec,
-    hybrid: bool,
+fn run_functions_plan(
+    label: &str,
+    stages: &[Stage],
+    plan: &FunctionsPlan,
     seed: u64,
     cloud: CloudConfig,
     trace: bool,
 ) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
+    let retry = RetryPolicy {
+        max_attempts: plan.max_attempts,
+        ..RetryPolicy::default()
+    };
+    let sizing = SizingPolicy {
+        mem_factor: plan.mem_factor,
+        ..SizingPolicy::default()
+    };
     let mut env = CloudEnv::new(cloud, seed);
-    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
-    let stages = pipeline::stages(job);
-    // The architecture sizes the serverful host from the job's largest
-    // stateful operation ("measures input size and selects the host
+    let faas_cfg = ExecutorConfig {
+        runtime_memory_mb: plan.memory_mb,
+        retry: retry.clone(),
+        ..ExecutorConfig::default()
+    };
+    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), faas_cfg);
+    // The architecture sizes the serverful host from the largest stateful
+    // operation assigned to it ("measures input size and selects the host
     // instance type based on empirically defined bounds").
     let max_exchange_bytes = stages
         .iter()
-        .filter_map(|s| match s.kind {
+        .zip(&plan.backends)
+        .filter(|(_, b)| **b == StageBackend::Serverful)
+        .filter_map(|(s, _)| match s.kind {
             StageKind::Stateful { exchange_gb } => Some((exchange_gb * 1e9) as u64),
             StageKind::Stateless { .. } => None,
         })
         .max()
         .unwrap_or(0);
-    let (planned_itype, _) = SizingPolicy::default().plan(max_exchange_bytes);
-    let mut vm = hybrid.then(|| {
-        let mut cfg = ExecutorConfig::default(); // consolidated, reuse_instances
-        cfg.standalone.instance_override = Some(planned_itype.name.to_owned());
+    let planned_itype: &InstanceType = match &plan.instance {
+        Some(name) => cloudsim::instance_type(name).expect("validated above"),
+        None => sizing.plan(max_exchange_bytes).0,
+    };
+    // Total worker processes across the serverful fleet (one per vCPU).
+    let vm_workers = planned_itype.vcpus as usize * plan.vm_count;
+    let mut vm = plan.uses_serverful().then(|| {
+        let mut cfg = ExecutorConfig {
+            retry: retry.clone(),
+            ..ExecutorConfig::default() // consolidated, reuse_instances
+        };
+        cfg.standalone.sizing = sizing.clone();
+        if plan.vm_count == 1 {
+            cfg.standalone.instance_override = Some(planned_itype.name.to_owned());
+        } else {
+            cfg.standalone.exec_mode = ExecMode::Fleet {
+                instance_type: planned_itype.name.to_owned(),
+                count: plan.vm_count,
+            };
+        }
         FunctionExecutor::new(&mut env, Backend::vm(), cfg)
     });
     // Production deployments keep previously configured VMs warm ("use
@@ -229,8 +371,7 @@ fn run_functions(
         };
         warm.bucket = "lithops-workspace".to_owned();
         let refs = shuffle::seed_input(&mut env, &warm);
-        let workers = planned_itype.vcpus as usize;
-        shuffle::run_fused_exchange(&mut env, vm_exec, &warm, &refs, workers, false)?;
+        shuffle::run_fused_exchange(&mut env, vm_exec, &warm, &refs, vm_workers, false)?;
         env.world_mut().ledger_mut().reset();
     }
     // Tracing starts after the warm-up so the trace covers exactly the
@@ -239,7 +380,7 @@ fn run_functions(
         env.enable_tracing();
     }
     let start = env.now();
-    for stage in &stages {
+    for (stage, backend) in stages.iter().zip(&plan.backends) {
         let stage_span = if trace {
             let now = env.now();
             let span = env
@@ -255,16 +396,22 @@ fn run_functions(
             StageKind::Stateless {
                 read_spread,
                 write_spread,
-            } => run_stateless(&mut env, &mut faas, stage, read_spread, write_spread)?,
-            StageKind::Stateful { exchange_gb } => match vm.as_mut() {
-                Some(vm_exec) => {
+            } => {
+                let exec = match backend {
+                    StageBackend::Functions => &mut faas,
+                    StageBackend::Serverful => vm.as_mut().expect("serverful stage has a pool"),
+                };
+                run_stateless(&mut env, exec, stage, read_spread, write_spread)?;
+            }
+            StageKind::Stateful { exchange_gb } => match backend {
+                StageBackend::Serverful => {
+                    let vm_exec = vm.as_mut().expect("serverful stage has a pool");
                     // The serverful path is bounded by the empirical
-                    // instance table: data beyond the largest bounded
-                    // instance is processed in sequential rounds, fused
+                    // instance table: data beyond the fleet's bounded
+                    // memory is processed in sequential rounds, fused
                     // (scatter+gather in one job through shared memory).
                     let bytes = (exchange_gb * 1e9) as u64;
-                    let (_, rounds) = SizingPolicy::default().plan(bytes);
-                    let workers = planned_itype.vcpus as usize;
+                    let rounds = plan_rounds(&sizing, plan, planned_itype, bytes);
                     for round in 0..rounds {
                         let mut cfg =
                             exchange_config(stage, exchange_gb / rounds as f64, seed);
@@ -280,12 +427,12 @@ fn run_functions(
                             vm_exec,
                             &cfg,
                             &refs,
-                            workers,
+                            vm_workers,
                             false,
                         )?;
                     }
                 }
-                None => {
+                StageBackend::Functions => {
                     let cfg = exchange_config(stage, exchange_gb, seed);
                     let refs = shuffle::seed_input(&mut env, &cfg);
                     shuffle::run_exchange(
@@ -312,7 +459,7 @@ fn run_functions(
     }
 
     let end = env.now();
-    let stage_results = summarise(&stages, env.timeline().spans());
+    let stage_results = summarise(stages, env.timeline().spans());
     let cpu = UsageStats::compute(
         env.world().cpu_monitor(),
         start,
@@ -321,18 +468,46 @@ fn run_functions(
         &env.timeline().stateful_windows(),
     );
     let report = AnnotationReport {
-        job: job.name.to_owned(),
-        arch: if hybrid {
+        job: label.to_owned(),
+        arch: if plan.uses_serverful() {
             Architecture::Hybrid
         } else {
             Architecture::Serverless
         },
         wall_secs: (end - start).as_secs_f64(),
         cost_usd: env.world().ledger().total(),
+        waste: ledger_waste(env.world()),
         stages: stage_results,
         cpu,
     };
     Ok((report, trace.then(|| trace_output(env.world()))))
+}
+
+/// Sequential rounds a stateful exchange needs on the plan's fleet: the
+/// per-VM share of the data, bounded by the (chosen or policy-picked)
+/// instance's memory.
+fn plan_rounds(
+    sizing: &SizingPolicy,
+    plan: &FunctionsPlan,
+    itype: &InstanceType,
+    bytes: u64,
+) -> usize {
+    let share = bytes.div_ceil(plan.vm_count as u64);
+    if plan.instance.is_none() && plan.vm_count == 1 {
+        // The paper's path: the policy both picks the instance and
+        // splits into rounds against its empirical bound table.
+        return sizing.plan(share).1;
+    }
+    // Explicit instance (or fleet): the chosen type is the bound.
+    let bounded = SizingPolicy {
+        max_instance_mem_gib: itype.mem_gib,
+        ..sizing.clone()
+    };
+    if bounded.required_mem_gib(share) <= itype.mem_gib {
+        1
+    } else {
+        bounded.plan(share).1
+    }
 }
 
 /// Seeds per-task inputs and maps a read→compute→write script.
@@ -440,8 +615,10 @@ fn summarise(stages: &[Stage], spans: &[telemetry::StageSpan]) -> Vec<StageResul
 // Cluster path
 // ----------------------------------------------------------------------
 
-fn run_cluster(
-    job: &JobSpec,
+fn run_cluster_plan(
+    label: &str,
+    stages: &[Stage],
+    plan: &ClusterPlan,
     seed: u64,
     cloud: CloudConfig,
     trace: bool,
@@ -450,9 +627,13 @@ fn run_cluster(
     if trace {
         world.set_tracing(true);
     }
-    let mut cluster = ClusterEngine::provision(&mut world, ClusterConfig::default());
+    let cluster_cfg = ClusterConfig {
+        instance_type: plan.instance.clone(),
+        count: plan.nodes,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = ClusterEngine::provision(&mut world, cluster_cfg);
     let start = world.now();
-    let stages = pipeline::stages(job);
     let defs: Vec<StageDef> = stages.iter().map(cluster_stage).collect();
     let report = cluster.run(&mut world, &defs);
     let end = world.now();
@@ -477,10 +658,11 @@ fn run_cluster(
         &report.timeline.stateful_windows(),
     );
     let annotation = AnnotationReport {
-        job: job.name.to_owned(),
+        job: label.to_owned(),
         arch: Architecture::Cluster,
         wall_secs: report.wall_secs,
         cost_usd: report.cost_usd,
+        waste: ledger_waste(&world),
         stages: stage_results,
         cpu,
     };

@@ -1,0 +1,60 @@
+//! What-if deployment planning over the deterministic cloud simulator.
+//!
+//! The paper's headline hybrid deployment — stateless stages on cloud
+//! functions, stateful operations on a right-sized VM — is a point the
+//! authors picked *by hand* from empirical bounds (§4.3). This crate
+//! automates that choice: because `cloudsim` worlds are deterministic
+//! and cheap, every candidate [`metaspace::plan::DeploymentPlan`] can be
+//! evaluated exactly, in parallel, and the results merged into a
+//! reproducible Pareto frontier over (cost, makespan).
+//!
+//! The pieces:
+//!
+//! * [`SearchSpace`] — generates candidate plans from the instance
+//!   catalog and the stage model (backend masks, hosts, fleets, Lambda
+//!   memory, sizing factors, cluster shapes);
+//! * [`Evaluator`] — runs one candidate through a fresh simulated world
+//!   and returns `(cost_usd, makespan, waste)` from the telemetry
+//!   ledgers;
+//! * [`search`] — exhaustive grid for small spaces, seeded beam/local
+//!   search for large ones, fanned out over [`parallel_map`]'s
+//!   hand-rolled `std::thread::scope` work queue;
+//! * [`ParetoFrontier`] — the deterministic non-dominated set, with a
+//!   [`ParetoFrontier::stable_digest`] that is byte-identical for any
+//!   worker count and insertion order.
+//!
+//! The acceptance experiment (`repro plan brain`, EXPERIMENTS.md):
+//! given only the catalog and the workload, the planner rediscovers a
+//! hybrid plan that matches the paper's hand-picked one — serverful
+//! sort stages, policy-sized host — and dominates pure serverless on
+//! cost while beating the fixed cluster on makespan.
+//!
+//! # Example
+//!
+//! ```
+//! use metaspace::{jobs, pipeline};
+//! use planner::{search, Evaluator, SearchConfig, SearchSpace};
+//!
+//! let stages = pipeline::stages(&jobs::brain());
+//! let ev = Evaluator::new("brain-toy", stages, 42);
+//! let space = SearchSpace::smoke(&ev.stages);
+//! # // Paper-scale runs are slow in debug; doctests only build this.
+//! # if false {
+//! let report = search(&ev, &space, &SearchConfig::default());
+//! for p in report.frontier.points() {
+//!     println!("{}: ${:.2} {:.0}s", p.plan, p.cost_usd, p.makespan_secs);
+//! }
+//! # }
+//! ```
+
+pub mod eval;
+pub mod pareto;
+pub mod queue;
+pub mod search;
+pub mod space;
+
+pub use eval::{Evaluator, PlanOutcome};
+pub use pareto::ParetoFrontier;
+pub use queue::parallel_map;
+pub use search::{search, Objective, SearchConfig, SearchReport};
+pub use space::SearchSpace;

@@ -1,0 +1,236 @@
+//! A deterministic Pareto frontier over (cost, makespan).
+//!
+//! The frontier is a *set* in objective space: inserting the same
+//! outcomes in any order yields the same frontier, and rendering it
+//! yields the same bytes. Determinism comes from total orderings
+//! everywhere a float comparison could tie — `f64::total_cmp` on the
+//! objectives, then the plan's stable
+//! [`metaspace::plan::DeploymentPlan::key`] as the final tiebreak.
+
+use std::cmp::Ordering;
+
+use crate::eval::PlanOutcome;
+
+/// The non-dominated set of evaluated plans, kept sorted by
+/// (cost, makespan, plan key).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontier {
+    points: Vec<PlanOutcome>,
+}
+
+/// The total order frontier points are kept in.
+fn point_cmp(a: &PlanOutcome, b: &PlanOutcome) -> Ordering {
+    a.cost_usd
+        .total_cmp(&b.cost_usd)
+        .then_with(|| a.makespan_secs.total_cmp(&b.makespan_secs))
+        .then_with(|| a.plan.key().cmp(&b.plan.key()))
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> ParetoFrontier {
+        ParetoFrontier::default()
+    }
+
+    /// Builds a frontier from a batch of outcomes.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = PlanOutcome>) -> ParetoFrontier {
+        let mut f = ParetoFrontier::new();
+        for o in outcomes {
+            f.insert(o);
+        }
+        f
+    }
+
+    /// Offers one outcome: kept if no current point dominates it, and
+    /// any points it dominates (or duplicates by plan key) are evicted.
+    pub fn insert(&mut self, outcome: PlanOutcome) {
+        let key = outcome.plan.key();
+        if self
+            .points
+            .iter()
+            .any(|p| p.dominates(&outcome) || p.plan.key() == key)
+        {
+            return;
+        }
+        self.points.retain(|p| !outcome.dominates(p));
+        let at = self
+            .points
+            .binary_search_by(|p| point_cmp(p, &outcome))
+            .unwrap_or_else(|i| i);
+        self.points.insert(at, outcome);
+    }
+
+    /// Merges another frontier in.
+    pub fn merge(&mut self, other: ParetoFrontier) {
+        for p in other.points {
+            self.insert(p);
+        }
+    }
+
+    /// The frontier, sorted by (cost, makespan, plan key).
+    pub fn points(&self) -> &[PlanOutcome] {
+        &self.points
+    }
+
+    /// Number of non-dominated plans.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has survived (or been offered).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cheapest plan (ties broken by makespan, then key).
+    pub fn cheapest(&self) -> Option<&PlanOutcome> {
+        self.points.first()
+    }
+
+    /// The fastest plan (ties broken by cost, then key).
+    pub fn fastest(&self) -> Option<&PlanOutcome> {
+        self.points.iter().min_by(|a, b| {
+            a.makespan_secs
+                .total_cmp(&b.makespan_secs)
+                .then_with(|| a.cost_usd.total_cmp(&b.cost_usd))
+                .then_with(|| a.plan.key().cmp(&b.plan.key()))
+        })
+    }
+
+    /// Finds a frontier plan by name.
+    pub fn by_name(&self, name: &str) -> Option<&PlanOutcome> {
+        self.points.iter().find(|p| p.plan.name == name)
+    }
+
+    /// Whether `outcome` is dominated by some frontier point.
+    pub fn dominated(&self, outcome: &PlanOutcome) -> bool {
+        self.points.iter().any(|p| p.dominates(outcome))
+    }
+
+    /// A stable text rendering: one `key cost makespan` line per point.
+    /// Byte-identical across runs, worker counts and insertion orders —
+    /// the determinism tests compare exactly this.
+    pub fn stable_digest(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str(&format!(
+                "{} cost={:.9} makespan={:.9} waste={:.9}\n",
+                p.plan.key(),
+                p.cost_usd,
+                p.makespan_secs,
+                p.waste
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaspace::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, StageBackend};
+
+    fn outcome(name: &str, serverful: usize, cost: f64, makespan: f64) -> PlanOutcome {
+        // Distinct `serverful` values give distinct plan keys.
+        let plan = DeploymentPlan::functions(
+            name,
+            FunctionsPlan {
+                backends: (0..4)
+                    .map(|i| {
+                        if i < serverful {
+                            StageBackend::Serverful
+                        } else {
+                            StageBackend::Functions
+                        }
+                    })
+                    .collect(),
+                memory_mb: 1769,
+                instance: None,
+                vm_count: 1,
+                mem_factor: 2.5,
+                max_attempts: 3,
+            },
+        );
+        PlanOutcome {
+            plan,
+            cost_usd: cost,
+            makespan_secs: makespan,
+            waste: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_evicted() {
+        let mut f = ParetoFrontier::new();
+        f.insert(outcome("a", 0, 10.0, 10.0));
+        f.insert(outcome("b", 1, 5.0, 5.0)); // dominates a
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].plan.name, "b");
+        f.insert(outcome("c", 2, 20.0, 20.0)); // dominated, dropped
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn incomparable_points_coexist() {
+        let mut f = ParetoFrontier::new();
+        f.insert(outcome("cheap", 0, 1.0, 10.0));
+        f.insert(outcome("fast", 1, 10.0, 1.0));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.cheapest().unwrap().plan.name, "cheap");
+        assert_eq!(f.fastest().unwrap().plan.name, "fast");
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_digest() {
+        let pts = [
+            outcome("a", 0, 3.0, 7.0),
+            outcome("b", 1, 1.0, 9.0),
+            outcome("c", 2, 9.0, 1.0),
+            outcome("d", 3, 2.0, 8.0),
+            outcome("e", 4, 5.0, 5.0),
+        ];
+        let forward = ParetoFrontier::from_outcomes(pts.clone()).stable_digest();
+        let reverse =
+            ParetoFrontier::from_outcomes(pts.iter().rev().cloned()).stable_digest();
+        assert_eq!(forward, reverse);
+        assert!(!forward.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_are_inserted_once() {
+        let mut f = ParetoFrontier::new();
+        f.insert(outcome("a", 0, 3.0, 7.0));
+        f.insert(outcome("a2", 0, 3.0, 7.0)); // same key
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let left = ParetoFrontier::from_outcomes([
+            outcome("a", 0, 3.0, 7.0),
+            outcome("b", 1, 1.0, 9.0),
+        ]);
+        let right = ParetoFrontier::from_outcomes([
+            outcome("c", 2, 9.0, 1.0),
+            outcome("d", 3, 0.5, 0.5),
+        ]);
+        let mut merged = left.clone();
+        merged.merge(right);
+        // d dominates everything except nothing dominates it.
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged.points()[0].plan.name, "d");
+    }
+
+    #[test]
+    fn cluster_and_functions_keys_never_collide() {
+        let mut f = ParetoFrontier::new();
+        f.insert(outcome("fn", 0, 1.0, 1.0));
+        f.insert(PlanOutcome {
+            plan: DeploymentPlan::cluster_of("cl", ClusterPlan::paper()),
+            cost_usd: 1.0,
+            makespan_secs: 1.0,
+            waste: 0.0,
+        });
+        assert_eq!(f.len(), 2, "equal objectives, different families");
+    }
+}

@@ -1,0 +1,83 @@
+//! A hand-rolled parallel work queue over `std::thread::scope`.
+//!
+//! No crates.io here, so no rayon: workers pull item indices from a
+//! shared atomic counter, keep their results tagged with those indices,
+//! and the merge step sorts by index. The output is therefore a pure
+//! function of the input — identical for 1 worker or 64, however the
+//! OS schedules them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `threads` scoped workers and returns
+/// the results in input order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or a single
+/// item) everything runs on the calling thread.
+///
+/// # Example
+///
+/// ```
+/// let squares = planner::parallel_map(&[1u64, 2, 3, 4], 3, |_, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let tagged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(i, item)));
+                }
+                tagged.lock().expect("worker panicked holding lock").extend(local);
+            });
+        }
+    });
+    let mut tagged = tagged.into_inner().expect("worker panicked holding lock");
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 7, 64] {
+            let got = parallel_map(&items, threads, |_, x| x * 3);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 8, |_, x| *x), vec![9]);
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map(&items, 5, |i, x| (i, *x));
+        for (i, (idx, val)) in got.iter().enumerate() {
+            assert_eq!((i, i), (*idx, *val));
+        }
+    }
+}

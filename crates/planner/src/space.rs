@@ -1,0 +1,298 @@
+//! Generating the candidate-plan space from the instance catalog and
+//! the stage model.
+//!
+//! The knobs are exactly the ones the paper fixes by hand in §4.3:
+//! which stages go serverful, which instance hosts them, how many VMs,
+//! how much Lambda memory, how aggressively to size memory. The catalog
+//! ([`cloudsim::catalog`]) is the single source of truth for instance
+//! choices — the same table [`serverful::SizingPolicy`] scans.
+
+use std::collections::BTreeMap;
+
+use cloudsim::instances_within_mem;
+use metaspace::pipeline::{Stage, StageKind};
+use metaspace::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
+use serverful::SizingPolicy;
+
+/// The instance the sizing policy would pick for a backend mask — the
+/// same rule the runner applies (largest serverful stateful exchange
+/// drives the choice). Explicit-instance candidates equal to this are
+/// redundant deployments and get pruned.
+fn auto_instance(stages: &[Stage], backends: &[StageBackend], mem_factor: f64) -> String {
+    let bytes = stages
+        .iter()
+        .zip(backends)
+        .filter(|(_, b)| **b == StageBackend::Serverful)
+        .filter_map(|(s, _)| match s.kind {
+            StageKind::Stateful { exchange_gb } => Some((exchange_gb * 1e9) as u64),
+            StageKind::Stateless { .. } => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let sizing = SizingPolicy {
+        mem_factor,
+        ..SizingPolicy::default()
+    };
+    sizing.plan(bytes).0.name.to_owned()
+}
+
+/// The cross product of knob choices the search enumerates. Candidate
+/// generation is deterministic: plans come out deduplicated (by
+/// [`DeploymentPlan::key`]) and sorted by key.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Candidate backend assignments (each aligned with the stage list).
+    pub backend_masks: Vec<Vec<StageBackend>>,
+    /// Candidate Lambda memory configurations, MB.
+    pub memories_mb: Vec<u32>,
+    /// Candidate serverful hosts; `None` lets the sizing policy pick.
+    pub instances: Vec<Option<String>>,
+    /// Candidate serverful fleet sizes.
+    pub vm_counts: Vec<usize>,
+    /// Candidate sizing factors.
+    pub mem_factors: Vec<f64>,
+    /// Candidate fixed-cluster deployments.
+    pub clusters: Vec<ClusterPlan>,
+}
+
+/// The structured backend assignments the search considers: every
+/// stateful stage varies independently (`2^k` combinations for `k`
+/// stateful stages), while the stateless stages move as one block —
+/// all on functions, or all on the serverful fleet. The block is one
+/// search knob (stateless stages are individually homogeneous:
+/// embarrassingly parallel read→compute→write), which keeps the mask
+/// count at `2^(k+1)` instead of `2^stages`.
+fn backend_masks(stages: &[Stage]) -> Vec<Vec<StageBackend>> {
+    let stateful: Vec<usize> = stages
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_stateful())
+        .map(|(i, _)| i)
+        .collect();
+    let mut masks = Vec::new();
+    for stateless_backend in [StageBackend::Functions, StageBackend::Serverful] {
+        for bits in 0..(1u32 << stateful.len()) {
+            let mut mask: Vec<StageBackend> = vec![stateless_backend; stages.len()];
+            for (b, &idx) in stateful.iter().enumerate() {
+                mask[idx] = if bits & (1 << b) != 0 {
+                    StageBackend::Serverful
+                } else {
+                    StageBackend::Functions
+                };
+            }
+            masks.push(mask);
+        }
+    }
+    masks
+}
+
+impl SearchSpace {
+    /// The tiny space for smoke tests and CI: the three named
+    /// deployments' knob settings only (pure functions, the paper's
+    /// hybrid mask, the paper's cluster).
+    pub fn smoke(stages: &[Stage]) -> SearchSpace {
+        let hybrid_mask = match DeploymentPlan::hybrid(stages).kind {
+            PlanKind::Functions(f) => f.backends,
+            PlanKind::Cluster(_) => unreachable!("hybrid is a functions plan"),
+        };
+        SearchSpace {
+            backend_masks: vec![
+                vec![StageBackend::Functions; stages.len()],
+                hybrid_mask,
+            ],
+            memories_mb: vec![1769],
+            instances: vec![None],
+            vm_counts: vec![1],
+            mem_factors: vec![2.5],
+            clusters: vec![ClusterPlan::paper()],
+        }
+    }
+
+    /// The default space: every structured backend placement
+    /// (`2^(k+1)` masks — see [`backend_masks`]), two Lambda memory
+    /// settings, the policy's automatic host plus every catalog
+    /// instance within the 128 GiB class, fleets of 1–8 workers.
+    ///
+    /// The cluster family contains exactly the paper's fixed production
+    /// deployment: METASPACE's migration goal was leaving that cluster
+    /// behind, so the planner treats it as the *given baseline* to beat
+    /// rather than a free knob — the decision space is where each stage
+    /// of the serverless pipeline runs (functions vs serverful fleet).
+    pub fn standard(stages: &[Stage]) -> SearchSpace {
+        // Hosts the empirical bound table covers (plus one class above,
+        // so the search can question the paper's 64 GiB cut-off), but
+        // never the smallest boxes the stateful working set cannot fit.
+        let instances: Vec<Option<String>> = std::iter::once(None)
+            .chain(
+                instances_within_mem(128.0)
+                    .filter(|it| it.mem_gib >= 16.0)
+                    .map(|it| Some(it.name.to_owned())),
+            )
+            .collect();
+        SearchSpace {
+            backend_masks: backend_masks(stages),
+            memories_mb: vec![1769, 3538],
+            instances,
+            vm_counts: (1..=8).collect(),
+            mem_factors: vec![2.5],
+            clusters: vec![ClusterPlan::paper()],
+        }
+    }
+
+    /// Enumerates the concrete candidate plans: the cross product of the
+    /// knobs, canonicalised (a mask with no serverful stage ignores the
+    /// VM knobs), deduplicated by key and sorted by key. The three named
+    /// deployments keep their names when present.
+    pub fn candidates(&self, stages: &[Stage]) -> Vec<DeploymentPlan> {
+        let serverless = DeploymentPlan::serverless(stages);
+        let hybrid = DeploymentPlan::hybrid(stages);
+        let spark = DeploymentPlan::cluster();
+        let named: BTreeMap<String, &str> = [
+            (serverless.key(), "serverless"),
+            (hybrid.key(), "hybrid"),
+            (spark.key(), "spark"),
+        ]
+        .into_iter()
+        .collect();
+
+        let mut by_key: BTreeMap<String, DeploymentPlan> = BTreeMap::new();
+        let mut add = |plan: DeploymentPlan| {
+            let key = plan.key();
+            let plan = match named.get(&key) {
+                Some(name) => DeploymentPlan {
+                    name: (*name).to_owned(),
+                    ..plan
+                },
+                None => DeploymentPlan {
+                    name: key.clone(),
+                    ..plan
+                },
+            };
+            by_key.entry(key).or_insert(plan);
+        };
+
+        for mask in &self.backend_masks {
+            let pure_functions = !mask.contains(&StageBackend::Serverful);
+            let pure_serverful = !mask.contains(&StageBackend::Functions);
+            for &memory_mb in &self.memories_mb {
+                for instance in &self.instances {
+                    for &vm_count in &self.vm_counts {
+                        for &mem_factor in &self.mem_factors {
+                            if !pure_functions {
+                                if let Some(name) = instance {
+                                    // Same deployment as the `auto`
+                                    // candidate — prune the duplicate.
+                                    if *name == auto_instance(stages, mask, mem_factor) {
+                                        continue;
+                                    }
+                                }
+                            }
+                            // Inert knobs are canonicalised to their
+                            // defaults so each distinct deployment
+                            // appears once: the VM knobs without
+                            // serverful stages, the Lambda memory
+                            // without function stages.
+                            let f = if pure_functions {
+                                FunctionsPlan {
+                                    backends: mask.clone(),
+                                    memory_mb,
+                                    ..FunctionsPlan::serverless(mask.len())
+                                }
+                            } else {
+                                FunctionsPlan {
+                                    backends: mask.clone(),
+                                    memory_mb: if pure_serverful { 1769 } else { memory_mb },
+                                    instance: instance.clone(),
+                                    vm_count,
+                                    mem_factor,
+                                    ..FunctionsPlan::serverless(mask.len())
+                                }
+                            };
+                            add(DeploymentPlan::functions("candidate", f));
+                        }
+                    }
+                }
+            }
+        }
+        for cluster in &self.clusters {
+            add(DeploymentPlan::cluster_of("candidate", cluster.clone()));
+        }
+        by_key.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaspace::{jobs, pipeline};
+
+    #[test]
+    fn smoke_space_is_exactly_the_three_named_plans() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::smoke(&stages).candidates(&stages);
+        let names: Vec<&str> = plans.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(plans.len(), 3, "{names:?}");
+        assert!(names.contains(&"serverless"));
+        assert!(names.contains(&"hybrid"));
+        assert!(names.contains(&"spark"));
+    }
+
+    #[test]
+    fn candidates_are_deduplicated_and_sorted_by_key() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::standard(&stages).candidates(&stages);
+        let keys: Vec<String> = plans.iter().map(|p| p.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "sorted and unique");
+        assert!(plans.len() > 20, "standard space is a real space: {}", plans.len());
+    }
+
+    #[test]
+    fn pure_functions_masks_collapse_vm_knobs() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::standard(&stages).candidates(&stages);
+        let pure: Vec<&DeploymentPlan> = plans
+            .iter()
+            .filter(|p| matches!(&p.kind, PlanKind::Functions(f) if !f.uses_serverful()))
+            .collect();
+        // One per memory setting, not one per (memory × instance × fleet).
+        assert_eq!(pure.len(), SearchSpace::standard(&stages).memories_mb.len());
+    }
+
+    #[test]
+    fn standard_space_contains_the_paper_deployments() {
+        let stages = pipeline::stages(&jobs::xenograft());
+        let plans = SearchSpace::standard(&stages).candidates(&stages);
+        assert!(plans.iter().any(|p| p.name == "serverless"));
+        assert!(plans.iter().any(|p| p.name == "hybrid"));
+        assert!(plans.iter().any(|p| p.key() == DeploymentPlan::cluster().key()));
+    }
+
+    #[test]
+    fn mask_count_is_two_to_the_stateful_stages_plus_block() {
+        let stages = pipeline::stages(&jobs::brain());
+        let k = stages.iter().filter(|s| s.is_stateful()).count();
+        assert_eq!(backend_masks(&stages).len(), 1 << (k + 1));
+    }
+
+    #[test]
+    fn explicit_instances_matching_the_auto_choice_are_skipped() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::standard(&stages).candidates(&stages);
+        // For every serverful plan with an explicit instance there is no
+        // duplicate deployment: the `auto` twin resolves elsewhere.
+        for p in &plans {
+            if let PlanKind::Functions(f) = &p.kind {
+                if let Some(name) = &f.instance {
+                    let auto_twin = auto_instance(&stages, &f.backends, f.mem_factor);
+                    assert_ne!(
+                        name, &auto_twin,
+                        "{p}: explicit instance duplicates the sizing policy's choice"
+                    );
+                }
+            }
+        }
+    }
+}

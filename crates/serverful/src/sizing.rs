@@ -7,7 +7,9 @@
 //! empirically defined bounds."* [`SizingPolicy`] implements that rule
 //! against the instance catalog.
 
-use cloudsim::{catalog, InstanceType};
+use cloudsim::{
+    catalog, largest_instance_within_mem, smallest_instance_with_mem, InstanceType,
+};
 
 /// Chooses an instance type from the data size a job will touch.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,9 +62,7 @@ impl SizingPolicy {
     /// ```
     pub fn choose(&self, input_bytes: u64) -> &'static InstanceType {
         let need = self.required_mem_gib(input_bytes);
-        catalog()
-            .iter()
-            .find(|it| it.mem_gib >= need)
+        smallest_instance_with_mem(need)
             .unwrap_or_else(|| catalog().last().expect("catalog is non-empty"))
     }
 
@@ -85,9 +85,7 @@ impl SizingPolicy {
         if need <= self.max_instance_mem_gib {
             return (self.choose(input_bytes), 1);
         }
-        let largest = catalog()
-            .iter()
-            .rfind(|it| it.mem_gib <= self.max_instance_mem_gib)
+        let largest = largest_instance_within_mem(self.max_instance_mem_gib)
             .expect("catalog has an instance within the bound");
         let usable = largest.mem_gib - self.headroom_gib;
         let per_round_bytes = (usable / self.mem_factor * (1u64 << 30) as f64) as u64;

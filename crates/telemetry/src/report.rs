@@ -137,6 +137,86 @@ impl fmt::Display for PaperRow {
     }
 }
 
+/// One deployment plan's measured objectives, for
+/// [`plan_comparison`]. Deliberately plain data — the planner fills it
+/// from its outcomes, but any (name, cost, makespan, waste) triple
+/// renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Plan name or key.
+    pub name: String,
+    /// Dollars billed.
+    pub cost_usd: f64,
+    /// End-to-end seconds.
+    pub makespan_secs: f64,
+    /// Billed-but-wasted resources (GB-seconds + instance-seconds).
+    pub waste: f64,
+}
+
+impl PlanRow {
+    /// Creates a row.
+    pub fn new(name: impl Into<String>, cost_usd: f64, makespan_secs: f64, waste: f64) -> Self {
+        PlanRow {
+            name: name.into(),
+            cost_usd,
+            makespan_secs,
+            waste,
+        }
+    }
+}
+
+/// Renders a per-plan comparison: each plan's absolute objectives plus
+/// its cost and makespan relative to the best (lowest) in the set.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{plan_comparison, PlanRow};
+///
+/// let text = plan_comparison(&[
+///     PlanRow::new("hybrid", 1.0, 100.0, 0.0),
+///     PlanRow::new("serverless", 2.0, 120.0, 0.0),
+/// ]);
+/// assert!(text.contains("hybrid"));
+/// assert!(text.contains("1.00x")); // the best plan is its own baseline
+/// ```
+pub fn plan_comparison(rows: &[PlanRow]) -> String {
+    let best_cost = rows
+        .iter()
+        .map(|r| r.cost_usd)
+        .fold(f64::INFINITY, f64::min);
+    let best_time = rows
+        .iter()
+        .map(|r| r.makespan_secs)
+        .fold(f64::INFINITY, f64::min);
+    let rel = |v: f64, best: f64| {
+        if best > 0.0 {
+            format!("{:.2}x", v / best)
+        } else {
+            "-".to_owned()
+        }
+    };
+    let mut table = Table::new([
+        "Plan",
+        "Cost ($)",
+        "Makespan (s)",
+        "Waste",
+        "vs cheapest",
+        "vs fastest",
+    ]);
+    for r in rows {
+        table.row([
+            r.name.clone(),
+            format!("{:.4}", r.cost_usd),
+            format!("{:.2}", r.makespan_secs),
+            format!("{:.2}", r.waste),
+            rel(r.cost_usd, best_cost),
+            rel(r.makespan_secs, best_time),
+        ]);
+    }
+    table.to_string()
+}
+
 /// Renders labelled values as a horizontal ASCII bar chart, scaled so the
 /// largest value spans `width` characters.
 ///
@@ -214,5 +294,25 @@ mod tests {
         let t = Table::new(["a"]);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn plan_comparison_marks_baselines() {
+        let text = plan_comparison(&[
+            PlanRow::new("a", 2.0, 50.0, 0.0),
+            PlanRow::new("b", 1.0, 100.0, 3.5),
+        ]);
+        // `b` is cheapest (1.00x cost), `a` is fastest (1.00x time).
+        let a_line = text.lines().find(|l| l.starts_with("a ")).unwrap();
+        let b_line = text.lines().find(|l| l.starts_with("b ")).unwrap();
+        assert!(a_line.contains("2.00x") && a_line.contains("1.00x"));
+        assert!(b_line.contains("1.00x") && b_line.contains("2.00x"));
+        assert!(b_line.contains("3.50"));
+    }
+
+    #[test]
+    fn plan_comparison_survives_zero_costs() {
+        let text = plan_comparison(&[PlanRow::new("free", 0.0, 0.0, 0.0)]);
+        assert!(text.contains('-'), "zero baselines render as `-`");
     }
 }

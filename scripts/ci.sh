@@ -32,17 +32,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests (debug, incl. fast goldens) =="
 cargo test --workspace -q
 
+echo "== planner smoke search (Brain) =="
+# The smoke space holds only the paper's three named deployments; the
+# planner must still find a frontier plan that beats pure serverless on
+# cost (the paper's Figure 4 direction). Debug evaluation of the full
+# pipeline takes minutes, so this runs the release binary.
+cargo build --release -p bench -q
+./target/release/repro plan brain --smoke --threads 2 --seed 42 \
+    | tee /tmp/plan_smoke.txt
+grep -q "verdict: frontier beats pure-serverless on cost: yes" /tmp/plan_smoke.txt \
+    || { echo "planner smoke search lost to pure serverless" >&2; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="
     cargo test --workspace --release -q
 
     echo "== trace artifact (Xenograft, seed 42) =="
-    cargo build --release -p bench -q
     mkdir -p target/artifacts
     ./target/release/repro trace xenograft --seed 42 \
         > target/artifacts/xenograft-trace.json \
         2> target/artifacts/xenograft-trace-summary.txt
     ls -l target/artifacts/xenograft-trace.json
+
+    echo "== planner frontier artifact (Brain, full space, seed 42) =="
+    ./target/release/repro plan brain --objective pareto --threads 8 --seed 42 \
+        > target/artifacts/brain-frontier.txt
+    grep -q "verdict: one frontier hybrid beats both baselines: yes" \
+        target/artifacts/brain-frontier.txt \
+        || { echo "planner failed to rediscover a dominating hybrid" >&2; exit 1; }
+    ls -l target/artifacts/brain-frontier.txt
 fi
 
 echo "CI OK"

@@ -14,6 +14,7 @@ pub extern crate bench;
 pub use clustersim;
 pub use cloudsim;
 pub use metaspace;
+pub use planner;
 pub use serverful;
 pub use shuffle;
 pub use simkernel;

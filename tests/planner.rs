@@ -1,0 +1,72 @@
+//! Cross-crate acceptance tests for the deployment planner: the search
+//! over the full standard space must rediscover a serverful plan that
+//! beats the paper's hand-picked baselines, and the parallel search
+//! must be exactly reproducible. Paper-scale (full Brain pipeline per
+//! candidate), so `--release`-gated like the other end-to-end runs.
+
+use serverful_repro::metaspace::{jobs, Architecture};
+use serverful_repro::planner::{search, Evaluator, Objective, SearchConfig, SearchSpace};
+
+fn brain_search(threads: usize) -> serverful_repro::planner::SearchReport {
+    let job = jobs::brain();
+    let evaluator = Evaluator::for_job(&job, 42);
+    let space = SearchSpace::standard(&evaluator.stages);
+    let cfg = SearchConfig {
+        objective: Objective::Pareto,
+        threads,
+        seed: 42,
+        ..SearchConfig::default()
+    };
+    search(&evaluator, &space, &cfg)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn planner_rediscovers_a_plan_dominating_the_paper_baselines() {
+    let report = brain_search(4);
+    assert!(!report.frontier.is_empty(), "frontier must be non-empty");
+
+    let serverless = report
+        .ranked
+        .iter()
+        .find(|o| o.plan.name == "serverless")
+        .expect("named serverless plan evaluated");
+    let spark = report
+        .ranked
+        .iter()
+        .find(|o| o.plan.name == "spark")
+        .expect("named spark plan evaluated");
+
+    // The acceptance witness: one hybrid-family frontier plan at least
+    // as cheap as pure serverless AND at least as fast as the cluster.
+    let witness = report
+        .frontier
+        .points()
+        .iter()
+        .find(|p| {
+            p.plan.architecture() == Architecture::Hybrid
+                && p.cost_usd <= serverless.cost_usd
+                && p.makespan_secs <= spark.makespan_secs
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "no frontier hybrid beats serverless (${:.4}) and spark ({:.2}s):\n{}",
+                serverless.cost_usd,
+                spark.makespan_secs,
+                report.frontier.stable_digest()
+            )
+        });
+    assert!(
+        witness.plan.key().starts_with("fn:"),
+        "witness is a functions-family plan: {}",
+        witness.plan
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn brain_frontier_is_byte_identical_across_thread_counts() {
+    let single = brain_search(1).frontier.stable_digest();
+    let many = brain_search(8).frontier.stable_digest();
+    assert_eq!(single, many, "thread count leaked into the frontier");
+}
