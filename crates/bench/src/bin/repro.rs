@@ -5,6 +5,7 @@
 //! repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|all] [seed]
 //! repro trace <job> [--arch serverless|hybrid|spark] [--seed N]
 //! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]
+//! repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]
 //! ```
 //!
 //! `trace` writes deterministic Chrome trace-event JSON to stdout (load
@@ -15,6 +16,11 @@
 //! Pareto frontier over (cost, makespan) — the what-if planner that
 //! rediscovers the paper's hand-picked hybrid. `--threads` is purely a
 //! speed knob: the frontier is byte-identical at any worker count.
+//!
+//! `fleet` replays multi-tenant traffic through the region under the
+//! three deployment policies (serverless, per-job fleets, shared warm
+//! pool) and prints per-policy and per-tenant cost/latency tables.
+//! Like `plan`, `--threads` never changes a byte of output.
 
 use std::env;
 
@@ -27,6 +33,7 @@ use bench::{
     ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
     extension_huge_sort, table4,
 };
+use fleet::Scenario;
 use metaspace::jobs;
 use planner::{search, Evaluator, Objective, SearchConfig, SearchSpace};
 use telemetry::Table;
@@ -40,6 +47,10 @@ fn main() {
     }
     if what == "plan" {
         run_plan(&args[2..]);
+        return;
+    }
+    if what == "fleet" {
+        run_fleet(&args[2..]);
         return;
     }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -79,6 +90,9 @@ fn main() {
             eprintln!("       repro trace <job> [--arch serverless|hybrid|spark] [--seed N]");
             eprintln!(
                 "       repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]"
+            );
+            eprintln!(
+                "       repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]"
             );
             std::process::exit(2);
         }
@@ -166,6 +180,61 @@ fn run_plan(args: &[String]) {
     };
     let report = search(&ev, &space, &cfg);
     print!("{}", render_plan_search(spec.name, &report, objective));
+}
+
+/// `repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N]
+/// [--threads N]`: replays multi-tenant traffic under all three
+/// policies and prints the comparison tables.
+fn run_fleet(args: &[String]) {
+    let mut scenario = None;
+    let mut arrival_rate = None;
+    let mut duration = None;
+    let mut seed = 42u64;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--arrival-rate" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => arrival_rate = Some(r),
+                _ => die("--arrival-rate needs a positive number (jobs/minute)"),
+            },
+            "--duration" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(d) if d > 0.0 => duration = Some(d),
+                _ => die("--duration needs a positive number (seconds)"),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => die("--seed needs an integer"),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => die("--threads needs a positive integer"),
+            },
+            other if scenario.is_none() && !other.starts_with('-') => {
+                scenario = Some(other.to_owned())
+            }
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(scenario) = scenario else {
+        die("usage: repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]");
+    };
+    let Some(mut sc) = Scenario::named(&scenario) else {
+        die(&format!(
+            "unknown scenario `{scenario}` (expected one of: {})",
+            Scenario::all_names().join(", ")
+        ));
+    };
+    if let Some(rate) = arrival_rate {
+        sc.arrival_rate_per_min = rate;
+    }
+    if let Some(secs) = duration {
+        sc.duration_secs = secs;
+    }
+    match fleet::run_scenario(&sc, seed, threads) {
+        Ok(report) => print!("{}", fleet::report::render(&report)),
+        Err(err) => die(&format!("fleet run failed: {err}")),
+    }
 }
 
 fn die(msg: &str) -> ! {

@@ -168,6 +168,36 @@ impl Default for EmrConfig {
     }
 }
 
+/// Region-level account quotas shared by every tenant of the simulated
+/// region.
+///
+/// Real clouds cap an *account*, not a job: Lambda has a regional
+/// concurrent-execution limit and EC2 a regional vCPU limit. A single
+/// METASPACE run rarely notices either, but a fleet of concurrent jobs
+/// does — which is exactly the contention the `fleet` crate's admission
+/// controller models. The [`World`](crate::World) only *counts* usage
+/// ([`World::faas_active`](crate::World::faas_active),
+/// [`World::vm_vcpus_active`](crate::World::vm_vcpus_active)); admission
+/// policy lives in the layer that decides whether to queue or degrade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionQuotas {
+    /// Maximum concurrently-active Lambda sandboxes for the account.
+    pub lambda_concurrency: usize,
+    /// Maximum total vCPUs across running EC2 instances for the account.
+    pub ec2_vcpus: f64,
+}
+
+impl Default for RegionQuotas {
+    fn default() -> Self {
+        // Generous enough that single-job reproductions never hit them;
+        // fleet scenarios tighten these deliberately.
+        RegionQuotas {
+            lambda_concurrency: 10_000,
+            ec2_vcpus: 4096.0,
+        }
+    }
+}
+
 /// Top-level cloud model configuration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CloudConfig {
@@ -185,6 +215,8 @@ pub struct CloudConfig {
     pub client: ClientConfig,
     /// Fault-injection knobs (all disabled by default).
     pub faults: FaultConfig,
+    /// Region-level account quotas (generous by default).
+    pub quotas: RegionQuotas,
 }
 
 /// The host that runs the framework client/scheduler.

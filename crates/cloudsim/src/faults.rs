@@ -1,7 +1,7 @@
 //! Deterministic, seed-driven fault injection.
 //!
 //! [`FaultConfig`] turns on failure classes with per-class
-//! probabilities; the [`FaultInjector`] draws every fault decision from
+//! probabilities; the `FaultInjector` draws every fault decision from
 //! its **own** RNG stream, seeded from the world seed XOR a fixed salt.
 //! Two invariants make chaos runs reproducible and the fault layer
 //! zero-cost when disabled:

@@ -34,6 +34,8 @@
 //! assert!(t.as_secs_f64() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod emr;
 pub mod faults;
@@ -44,7 +46,7 @@ pub mod store;
 pub mod util;
 pub mod world;
 
-pub use config::{CloudConfig, FaasConfig, KvConfig, StorageConfig, VmConfig};
+pub use config::{CloudConfig, FaasConfig, KvConfig, RegionQuotas, StorageConfig, VmConfig};
 pub use emr::EmrJobId;
 pub use faults::{FaultConfig, FaultKind};
 pub use host::HostId;

@@ -185,6 +185,10 @@ struct Sandbox {
     started: Option<SimTime>,
     released: bool,
     fleet: FleetTag,
+    /// Bill label captured at invoke time, so the charge lands on the
+    /// job that created the sandbox even if another job's label is
+    /// current when it retires (concurrent multi-job worlds).
+    bill_label: String,
     /// Injected crash scheduled to fire this long after user code
     /// starts (decided at invoke time).
     planned_crash: Option<SimDuration>,
@@ -203,6 +207,8 @@ struct Vm {
     up_at: Option<SimTime>,
     terminated: bool,
     fleet: FleetTag,
+    /// Bill label captured at provision time (see [`Sandbox::bill_label`]).
+    bill_label: String,
     /// Injected loss scheduled to fire this long after the VM comes up
     /// (decided at provision time).
     planned_loss: Option<SimDuration>,
@@ -274,6 +280,11 @@ pub struct World {
     fleets: HashMap<String, FleetTag>,
     bill_label: String,
 
+    // Region-quota usage (the counters the fleet admission controller
+    // reads; enforcement policy lives above this crate).
+    active_sandboxes: usize,
+    active_vm_vcpus: f64,
+
     // Tracing (zero-cost while the tracer is disabled).
     tracer: Tracer,
     /// Parent for spans opened at issue time; set by the framework
@@ -329,6 +340,8 @@ impl World {
             fault_ledger: FaultLedger::new(),
             fleets: HashMap::new(),
             bill_label: String::new(),
+            active_sandboxes: 0,
+            active_vm_vcpus: 0.0,
             tracer: Tracer::new(),
             trace_parent: SpanId::NONE,
             op_spans: HashMap::new(),
@@ -373,6 +386,21 @@ impl World {
     /// measurement).
     pub fn ledger_mut(&mut self) -> &mut CostLedger {
         &mut self.ledger
+    }
+
+    /// Cloud-function sandboxes currently counted against the account's
+    /// regional concurrency (invoked and not yet retired). The `fleet`
+    /// admission controller compares this against
+    /// [`RegionQuotas::lambda_concurrency`](crate::RegionQuotas).
+    pub fn faas_active(&self) -> usize {
+        self.active_sandboxes
+    }
+
+    /// Total vCPUs of VMs currently counted against the account's
+    /// regional EC2 capacity (provisioned and not yet terminated).
+    /// Compared against [`RegionQuotas::ec2_vcpus`](crate::RegionQuotas).
+    pub fn vm_vcpus_active(&self) -> f64 {
+        self.active_vm_vcpus
     }
 
     /// The CPU monitor.
@@ -666,6 +694,7 @@ impl World {
             started: None,
             released: false,
             fleet: fleet_tag,
+            bill_label: self.bill_label.clone(),
             planned_crash: match fault {
                 Some(SandboxFault::CrashAfter(after)) => Some(after),
                 _ => None,
@@ -674,6 +703,7 @@ impl World {
             exec_span: SpanId::NONE,
             span_parent: self.trace_parent,
         });
+        self.active_sandboxes += 1;
         let invoke = self.lat(self.cfg.faas.invoke_latency);
         let admitted = self.faas_bucket.admit(now + invoke);
         let cold = SimDuration::from_secs_f64(
@@ -727,11 +757,13 @@ impl World {
         let host = sb.host;
         let fleet = sb.fleet;
         let exec_span = sb.exec_span;
+        let label = sb.bill_label.clone();
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
-        self.charge(CostCategory::FaasCompute, compute);
-        self.charge(CostCategory::FaasRequests, tariff.usd_per_request);
+        self.active_sandboxes -= 1;
+        self.charge_as(CostCategory::FaasCompute, compute, label.clone());
+        self.charge_as(CostCategory::FaasRequests, tariff.usd_per_request, label);
         self.tracer.attr_f64(exec_span, "gb_secs", gb_secs);
         self.tracer.end(exec_span, now);
         gb_secs
@@ -768,6 +800,7 @@ impl World {
             up_at: None,
             terminated: false,
             fleet: fleet_tag,
+            bill_label: self.bill_label.clone(),
             planned_loss: match fault {
                 Some(VmFault::LossAfter(after)) => Some(after),
                 _ => None,
@@ -776,6 +809,7 @@ impl World {
             run_span: SpanId::NONE,
             span_parent: self.trace_parent,
         });
+        self.active_vm_vcpus += itype.vcpus as f64;
         let boot = self.lat_floor(self.cfg.vm.boot, 5.0);
         let setup = self.lat_floor(self.cfg.vm.setup, 0.5);
         if matches!(fault, Some(VmFault::BootFailure)) {
@@ -805,10 +839,13 @@ impl World {
         let host = rec.host;
         let fleet = rec.fleet;
         let run_span = rec.run_span;
+        let label = rec.bill_label.clone();
+        let itype_vcpus = rec.itype.vcpus as f64;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
-        self.charge(CostCategory::VmCompute, cost);
+        self.active_vm_vcpus -= itype_vcpus;
+        self.charge_as(CostCategory::VmCompute, cost, label);
         self.tracer.attr_f64(run_span, "billed_secs", billed);
         self.tracer.end(run_span, now);
     }
@@ -1011,6 +1048,13 @@ impl World {
 
     fn charge(&mut self, category: CostCategory, amount: f64) {
         let label = self.bill_label.clone();
+        self.charge_as(category, amount, label);
+    }
+
+    /// Charges under an explicit label; used by sandbox/VM retirement,
+    /// which must bill the job that *created* the resource rather than
+    /// whichever label is current at teardown time.
+    fn charge_as(&mut self, category: CostCategory, amount: f64, label: String) {
         self.ledger.charge(self.queue.now(), category, amount, label);
     }
 
@@ -1426,6 +1470,7 @@ impl World {
         debug_assert!(sb.started.is_none());
         sb.released = true;
         let cold_span = sb.cold_span;
+        self.active_sandboxes -= 1;
         let now = self.queue.now();
         self.tracer.attr_str(cold_span, "fault", FaultKind::SandboxInvokeError.name());
         self.tracer.end(cold_span, now);
@@ -1466,7 +1511,9 @@ impl World {
         let rec = &mut self.vms[vm.index() as usize];
         debug_assert!(rec.up_at.is_none());
         rec.terminated = true;
+        let lost_vcpus = rec.itype.vcpus as f64;
         let boot_span = rec.boot_span;
+        self.active_vm_vcpus -= lost_vcpus;
         let now = self.queue.now();
         self.tracer
             .attr_str(boot_span, "fault", FaultKind::VmBootFailure.name());
@@ -1502,10 +1549,13 @@ impl World {
         let cost = billed * rec.itype.usd_per_second();
         let fleet = rec.fleet;
         let run_span = rec.run_span;
+        let label = rec.bill_label.clone();
+        let lost_vcpus = rec.itype.vcpus as f64;
         let vcpus = self.hosts[host.index() as usize].vcpus;
         self.hosts[host.index() as usize].alive = false;
         self.cpu.add_provisioned(fleet, now, -vcpus);
-        self.charge(CostCategory::VmCompute, cost);
+        self.active_vm_vcpus -= lost_vcpus;
+        self.charge_as(CostCategory::VmCompute, cost, label);
         self.tracer.attr_str(run_span, "fault", FaultKind::VmLoss.name());
         self.tracer.attr_f64(run_span, "wasted_secs", billed);
         self.tracer.end(run_span, now);

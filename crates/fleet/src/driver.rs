@@ -1,0 +1,572 @@
+//! The traffic driver: runs one scenario's arrival schedule through a
+//! shared simulated region, once per deployment policy.
+//!
+//! Each policy runs in its own *cell*: a fresh [`cloudsim::World`]
+//! seeded identically, replaying the identical arrival schedule, so the
+//! per-policy outcomes differ only by policy. Cells are independent
+//! single-threaded simulations; [`run_scenario`] fans them out over
+//! [`planner::parallel_map`] and merges in index order, which makes the
+//! full report byte-identical for any `--threads`.
+//!
+//! Inside a cell the driver owns the event loop (the executors never
+//! block): arrivals are [`serverful::CloudEnv::external_timer`]s, jobs
+//! advance stage-by-stage through non-blocking
+//! [`serverful::FunctionExecutor::try_result`] polls, and every stage
+//! submission first passes the [`Admission`] controller.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use cloudsim::{CloudConfig, ObjectBody};
+use metaspace::pipeline::{Stage, StageKind};
+use metaspace::plan::StageBackend;
+use serverful::executor::MapOptions;
+use serverful::{
+    Backend, CloudEnv, EnvEvent, ExecError, ExecutorConfig, FunctionExecutor, JobHandle, Payload,
+    ScriptTask,
+};
+use simkernel::SimTime;
+
+use crate::admission::Admission;
+use crate::arrivals::{self, Arrival};
+use crate::pool::SharedPool;
+use crate::scenario::{Policy, Scenario};
+
+/// Object-storage bucket fleet jobs stage data through.
+const BUCKET: &str = "fleet-workspace";
+
+/// One completed job's timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Index into the scenario's tenant list.
+    pub tenant: usize,
+    /// Job name, `{tenant}#{seq}`.
+    pub name: String,
+    /// Arrival (submission) time.
+    pub arrived: SimTime,
+    /// Completion time of the last stage.
+    pub finished: SimTime,
+}
+
+impl JobOutcome {
+    /// Arrival-to-completion latency, seconds — queueing included.
+    pub fn latency_secs(&self) -> f64 {
+        self.finished.saturating_since(self.arrived).as_secs_f64()
+    }
+}
+
+/// Everything one policy cell measured.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Policy (or plan) label.
+    pub label: String,
+    /// Completed jobs, in arrival order.
+    pub jobs: Vec<JobOutcome>,
+    /// Total dollars billed in the cell's region.
+    pub cost_usd: f64,
+    /// Dollars directly attributable to each tenant's jobs (billing
+    /// labels), index-aligned with the scenario's tenants. Shared-pool
+    /// VM cost is split pro-rata by completed jobs on top.
+    pub tenant_cost_usd: Vec<f64>,
+    /// Stage submissions that waited for quota headroom.
+    pub throttled: usize,
+    /// Stage submissions rerouted between pool and FaaS under pressure.
+    pub degraded: usize,
+    /// Shared-pool leases granted (0 without a pool).
+    pub pool_leases: usize,
+    /// Shared-pool leases that found warm VMs.
+    pub pool_hits: usize,
+}
+
+impl PolicyOutcome {
+    /// Latency percentile over completed jobs (0 with no jobs).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let lat: Vec<f64> = self.jobs.iter().map(JobOutcome::latency_secs).collect();
+        telemetry::stats::percentile(&lat, p).unwrap_or(0.0)
+    }
+
+    /// Warm-lease fraction in percent; `None` when the policy leased
+    /// nothing from a shared pool.
+    pub fn pool_hit_pct(&self) -> Option<f64> {
+        (self.pool_leases > 0).then(|| self.pool_hits as f64 / self.pool_leases as f64 * 100.0)
+    }
+
+    /// Latency percentile over one tenant's jobs (0 with no jobs).
+    pub fn tenant_latency_percentile(&self, tenant: usize, p: f64) -> f64 {
+        let lat: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.tenant == tenant)
+            .map(JobOutcome::latency_secs)
+            .collect();
+        telemetry::stats::percentile(&lat, p).unwrap_or(0.0)
+    }
+
+    /// Completed jobs of one tenant.
+    pub fn tenant_jobs(&self, tenant: usize) -> usize {
+        self.jobs.iter().filter(|j| j.tenant == tenant).count()
+    }
+}
+
+/// A full fleet run: every policy's outcome over the same traffic.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Seed of the arrival schedule and every cell's world.
+    pub seed: u64,
+    /// Per-policy outcomes, in [`run_scenario`]'s fixed policy order.
+    pub policies: Vec<PolicyOutcome>,
+}
+
+impl FleetReport {
+    /// The outcome of one policy, if it ran.
+    pub fn policy(&self, label: &str) -> Option<&PolicyOutcome> {
+        self.policies.iter().find(|p| p.label == label)
+    }
+}
+
+/// How a cell places each stage.
+#[derive(Clone, Copy)]
+pub(crate) enum Placement<'a> {
+    /// One of the three named policies.
+    Policy(Policy),
+    /// An explicit per-stage backend assignment (what-if evaluation of
+    /// a [`metaspace::plan::DeploymentPlan`] under load).
+    Plan(&'a [StageBackend]),
+}
+
+/// Runs every policy cell over the scenario's traffic and merges the
+/// outcomes.
+///
+/// # Errors
+///
+/// Propagates the first cell failure (stage failure or a stalled
+/// simulation), in policy order.
+pub fn run_scenario(sc: &Scenario, seed: u64, threads: usize) -> Result<FleetReport, ExecError> {
+    let policies = [Policy::Serverless, Policy::PerJobFleet, Policy::SharedPool];
+    let outcomes = planner::parallel_map(&policies, threads, |_, policy| {
+        run_cell(sc, Placement::Policy(*policy), policy.to_string(), seed)
+    });
+    let mut merged = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        merged.push(outcome?);
+    }
+    Ok(FleetReport {
+        scenario: sc.clone(),
+        seed,
+        policies: merged,
+    })
+}
+
+/// Runs a single policy cell.
+///
+/// # Errors
+///
+/// Propagates stage failures and stalled simulations.
+pub fn run_policy(sc: &Scenario, policy: Policy, seed: u64) -> Result<PolicyOutcome, ExecError> {
+    run_cell(sc, Placement::Policy(policy), policy.to_string(), seed)
+}
+
+/// Runs one cell: fresh world, full arrival schedule, one placement.
+pub(crate) fn run_cell(
+    sc: &Scenario,
+    placement: Placement<'_>,
+    label: String,
+    seed: u64,
+) -> Result<PolicyOutcome, ExecError> {
+    let cloud = CloudConfig {
+        quotas: sc.quotas.clone(),
+        ..CloudConfig::default()
+    };
+    let mut env = CloudEnv::new(cloud, seed);
+    let faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+    let needs_pool = matches!(
+        placement,
+        Placement::Policy(Policy::SharedPool) | Placement::Plan(_)
+    );
+    let pool = needs_pool.then(|| SharedPool::new(&mut env, &sc.pool));
+
+    let mut cell = Cell {
+        sc,
+        placement,
+        env,
+        faas,
+        pool,
+        adm: Admission::new(sc.quotas.clone()),
+        jobs: Vec::new(),
+        waiting: VecDeque::new(),
+        arrival_tokens: HashMap::new(),
+    };
+    for a in arrivals::schedule(sc, seed) {
+        let delay = a.at.saturating_since(SimTime::ZERO);
+        let token = cell.env.external_timer(delay);
+        cell.arrival_tokens.insert(token, a);
+    }
+    cell.run()?;
+    Ok(cell.into_outcome(label))
+}
+
+/// Where a stage runs.
+#[derive(Debug, Clone, Copy)]
+enum ExecSlot {
+    /// The shared FaaS executor.
+    Faas,
+    /// The job's own per-job fleet.
+    Own,
+    /// A shared-pool lease.
+    Pool(usize),
+}
+
+/// One in-flight (or finished) job inside a cell.
+struct JobRun {
+    tenant: usize,
+    name: String,
+    stages: Vec<Stage>,
+    next_stage: usize,
+    arrived: SimTime,
+    finished: Option<SimTime>,
+    active: Option<(JobHandle, ExecSlot)>,
+    /// The per-job fleet executor ([`Policy::PerJobFleet`] only).
+    own: Option<FunctionExecutor>,
+}
+
+struct Cell<'a> {
+    sc: &'a Scenario,
+    placement: Placement<'a>,
+    env: CloudEnv,
+    faas: FunctionExecutor,
+    pool: Option<SharedPool>,
+    adm: Admission,
+    jobs: Vec<JobRun>,
+    /// Jobs whose next stage awaits quota headroom, FIFO.
+    waiting: VecDeque<usize>,
+    /// Pending arrival timers, token → arrival.
+    arrival_tokens: HashMap<u64, Arrival>,
+}
+
+impl Cell<'_> {
+    fn run(&mut self) -> Result<(), ExecError> {
+        loop {
+            if self.done() {
+                break;
+            }
+            match self.env.pump() {
+                EnvEvent::Timer(token) => {
+                    let a = self
+                        .arrival_tokens
+                        .remove(&token)
+                        .expect("every external timer is an arrival");
+                    self.spawn_job(&a);
+                    self.drain_waiting()?;
+                }
+                EnvEvent::Progress => {
+                    self.poll_active()?;
+                    self.drain_waiting()?;
+                }
+                EnvEvent::Drained => {
+                    self.poll_active()?;
+                    let progressed = self.drain_waiting()?;
+                    if self.done() {
+                        break;
+                    }
+                    if !progressed {
+                        return Err(ExecError::Stalled(format!(
+                            "fleet cell drained with {} jobs unfinished",
+                            self.jobs.iter().filter(|j| j.finished.is_none()).count()
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(pool) = self.pool.as_mut() {
+            pool.shutdown(&mut self.env);
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> bool {
+        self.arrival_tokens.is_empty()
+            && self.waiting.is_empty()
+            && self.jobs.iter().all(|j| j.finished.is_some())
+    }
+
+    /// Registers an arriving job and tries to start its first stage.
+    fn spawn_job(&mut self, a: &Arrival) {
+        let tenant = &self.sc.tenants[a.tenant];
+        let idx = self.jobs.len();
+        self.jobs.push(JobRun {
+            tenant: a.tenant,
+            name: a.job_name(self.sc),
+            stages: tenant.stages(),
+            next_stage: 0,
+            arrived: self.env.now(),
+            finished: None,
+            active: None,
+            own: None,
+        });
+        self.advance_or_wait(idx);
+    }
+
+    /// Attempts the job's next stage; queues it (counting the throttle)
+    /// when the region has no headroom.
+    fn advance_or_wait(&mut self, idx: usize) {
+        if !self.try_advance(idx) {
+            self.adm.note_throttle();
+            self.waiting.push_back(idx);
+        }
+    }
+
+    /// Re-attempts queued submissions in FIFO order, stopping at the
+    /// first that still does not fit (head-of-line, like a real
+    /// admission queue). Returns whether anything was admitted.
+    fn drain_waiting(&mut self) -> Result<bool, ExecError> {
+        let mut progressed = false;
+        while let Some(&idx) = self.waiting.front() {
+            if !self.try_advance(idx) {
+                break;
+            }
+            self.waiting.pop_front();
+            progressed = true;
+        }
+        Ok(progressed)
+    }
+
+    /// Tries to submit the job's next stage. Returns `false` when the
+    /// admission controller has no headroom for it yet.
+    fn try_advance(&mut self, idx: usize) -> bool {
+        debug_assert!(self.jobs[idx].active.is_none());
+        let stage_idx = self.jobs[idx].next_stage;
+        let stateful = self.jobs[idx].stages[stage_idx].is_stateful();
+        let tasks = self.jobs[idx].stages[stage_idx].tasks;
+        let wants_pool = match self.placement {
+            Placement::Policy(Policy::Serverless) => false,
+            Placement::Policy(Policy::PerJobFleet) => {
+                return self.try_advance_own(idx);
+            }
+            Placement::Policy(Policy::SharedPool) => {
+                // The pool is home; a stateless stage *degrades* to
+                // cloud functions when every executor is busy and the
+                // Lambda quota still has headroom (burst capacity).
+                // Stateful stages always lease (the exchange needs the
+                // master's memory).
+                let saturated = !self
+                    .pool
+                    .as_ref()
+                    .expect("shared-pool placement builds a pool")
+                    .any_idle(&self.env);
+                if !stateful && saturated && self.adm.admits_faas(self.env.world(), tasks) {
+                    self.adm.note_degrade();
+                    self.submit_stage(idx, ExecSlot::Faas);
+                    return true;
+                }
+                true
+            }
+            Placement::Plan(backends) => backends[stage_idx] == StageBackend::Serverful,
+        };
+        if wants_pool {
+            let lease = self
+                .pool
+                .as_mut()
+                .expect("pool placements build a pool")
+                .lease(&self.env);
+            self.submit_stage(idx, ExecSlot::Pool(lease));
+            return true;
+        }
+        if self.adm.admits_faas(self.env.world(), tasks) {
+            self.submit_stage(idx, ExecSlot::Faas);
+            return true;
+        }
+        false
+    }
+
+    /// Per-job-fleet advance: provision the job's own executor on first
+    /// use, gated by the EC2 capacity quota.
+    fn try_advance_own(&mut self, idx: usize) -> bool {
+        if self.jobs[idx].own.is_none() {
+            let itype = cloudsim::instance_type(&self.sc.pool.instance)
+                .expect("scenario instance is in the catalog");
+            if !self.adm.admits_vm(self.env.world(), itype.vcpus as f64) {
+                return false;
+            }
+            let mut cfg = ExecutorConfig::default();
+            cfg.standalone.instance_override = Some(self.sc.pool.instance.clone());
+            cfg.standalone.fleet_label = Some(format!("{}:vm", self.jobs[idx].name));
+            let exec = FunctionExecutor::new(&mut self.env, Backend::vm(), cfg);
+            self.jobs[idx].own = Some(exec);
+        }
+        self.submit_stage(idx, ExecSlot::Own);
+        true
+    }
+
+    /// Seeds the stage's inputs and maps it on the chosen executor.
+    ///
+    /// Stage I/O model: stateless stages read/write their per-task
+    /// volumes through object storage (spread over their prefixes);
+    /// stateful stages on FaaS exchange through a *single* contended
+    /// prefix (the paper's hindrance), while on a VM the exchange stays
+    /// in the master's memory and only the CPU time is simulated.
+    fn submit_stage(&mut self, idx: usize, slot: ExecSlot) {
+        let stage_idx = self.jobs[idx].next_stage;
+        let stage = self.jobs[idx].stages[stage_idx].clone();
+        let job_name = self.jobs[idx].name.clone();
+        let on_faas = matches!(slot, ExecSlot::Faas);
+        let (read_bytes, write_bytes, read_spread, write_spread) = match stage.kind {
+            StageKind::Stateless {
+                read_spread,
+                write_spread,
+            } => (
+                (stage.read_mb_per_task * 1e6) as u64,
+                (stage.write_mb_per_task * 1e6) as u64,
+                read_spread,
+                write_spread,
+            ),
+            StageKind::Stateful { exchange_gb } if on_faas => {
+                let share = (exchange_gb * 1e9 / stage.tasks as f64) as u64;
+                (share, share, 1, 1)
+            }
+            StageKind::Stateful { .. } => (0, 0, 1, 1),
+        };
+        let prefix = format!("{job_name}/{}", stage.name);
+        if read_bytes > 0 {
+            for t in 0..stage.tasks {
+                self.env.seed_object(
+                    BUCKET,
+                    &stage_key(&prefix, "in", t, read_spread),
+                    ObjectBody::opaque(read_bytes),
+                );
+            }
+        }
+        let cpu = stage.cpu_secs_per_task;
+        let in_prefix = prefix.clone();
+        let factory: serverful::job::TaskFactory = Arc::new(move |input: &Payload| {
+            let t = input.as_u64().expect("task index") as usize;
+            let mut script = ScriptTask::new();
+            if read_bytes > 0 {
+                script = script.get(BUCKET, stage_key(&in_prefix, "in", t, read_spread));
+            }
+            script = script.compute(cpu);
+            if write_bytes > 0 {
+                script = script.put(
+                    BUCKET,
+                    stage_key(&in_prefix, "out", t, write_spread),
+                    ObjectBody::opaque(write_bytes),
+                );
+            }
+            script.finish_value(Payload::Unit).boxed()
+        });
+        let inputs: Vec<Payload> = (0..stage.tasks).map(|t| Payload::U64(t as u64)).collect();
+        let mut opts = MapOptions::named(format!("{job_name}:{}", stage.name));
+        if stage.is_stateful() {
+            opts = opts.stateful();
+        }
+        let handle = {
+            let env = &mut self.env;
+            match slot {
+                ExecSlot::Faas => self.faas.map_with(env, factory, inputs, opts),
+                ExecSlot::Own => self.jobs[idx]
+                    .own
+                    .as_mut()
+                    .expect("own slot has an executor")
+                    .map_with(env, factory, inputs, opts),
+                ExecSlot::Pool(lease) => self
+                    .pool
+                    .as_mut()
+                    .expect("pool slot has a pool")
+                    .exec_mut(lease)
+                    .map_with(env, factory, inputs, opts),
+            }
+        };
+        self.jobs[idx].active = Some((handle, slot));
+    }
+
+    /// Polls every in-flight stage; on completion, advances the job or
+    /// records it finished.
+    fn poll_active(&mut self) -> Result<(), ExecError> {
+        for idx in 0..self.jobs.len() {
+            let Some((handle, slot)) = self.jobs[idx].active else {
+                continue;
+            };
+            let polled = match slot {
+                ExecSlot::Faas => self.faas.try_result(&mut self.env, handle),
+                ExecSlot::Own => self.jobs[idx]
+                    .own
+                    .as_mut()
+                    .expect("own slot has an executor")
+                    .try_result(&mut self.env, handle),
+                ExecSlot::Pool(lease) => self
+                    .pool
+                    .as_mut()
+                    .expect("pool slot has a pool")
+                    .exec_mut(lease)
+                    .try_result(&mut self.env, handle),
+            };
+            let Some(result) = polled else { continue };
+            result?;
+            self.jobs[idx].active = None;
+            self.jobs[idx].next_stage += 1;
+            if self.jobs[idx].next_stage == self.jobs[idx].stages.len() {
+                self.jobs[idx].finished = Some(self.env.now());
+                if let Some(mut own) = self.jobs[idx].own.take() {
+                    own.shutdown(&mut self.env);
+                }
+            } else {
+                self.advance_or_wait(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the cell's measurements.
+    fn into_outcome(self, label: String) -> PolicyOutcome {
+        let ledger = self.env.world().ledger();
+        let total = ledger.total();
+        let tenant_jobs: Vec<usize> = (0..self.sc.tenants.len())
+            .map(|t| self.jobs.iter().filter(|j| j.tenant == t).count())
+            .collect();
+        let all_jobs: usize = tenant_jobs.iter().sum();
+        // Direct cost carries the job's `{tenant}#{seq}` billing label;
+        // shared-pool VM time is a common good, split by job count.
+        let pool_cost = ledger.total_labelled("shared-pool");
+        let tenant_cost_usd: Vec<f64> = self
+            .sc
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| {
+                let direct = ledger.total_labelled(&format!("{}#", spec.name));
+                let share = if all_jobs > 0 {
+                    pool_cost * tenant_jobs[t] as f64 / all_jobs as f64
+                } else {
+                    0.0
+                };
+                direct + share
+            })
+            .collect();
+        let jobs = self
+            .jobs
+            .into_iter()
+            .map(|j| JobOutcome {
+                tenant: j.tenant,
+                name: j.name,
+                arrived: j.arrived,
+                finished: j.finished.expect("run() completes every job"),
+            })
+            .collect();
+        PolicyOutcome {
+            label,
+            jobs,
+            cost_usd: total,
+            tenant_cost_usd,
+            throttled: self.adm.throttled,
+            degraded: self.adm.degraded,
+            pool_leases: self.pool.as_ref().map_or(0, |p| p.leases),
+            pool_hits: self.pool.as_ref().map_or(0, |p| p.hits),
+        }
+    }
+}
+
+/// The storage key of one task's stage input/output.
+fn stage_key(prefix: &str, dir: &str, task: usize, spread: usize) -> String {
+    format!("{prefix}-{dir}{}/{dir}-{task:05}", task % spread.max(1))
+}

@@ -1,0 +1,68 @@
+//! Plain-text rendering of a fleet run.
+//!
+//! Deterministic by construction: every number comes from the
+//! simulation's virtual clock and ledgers, every row order from the
+//! scenario definition, so the same `(scenario, seed)` renders the same
+//! bytes regardless of thread count.
+
+use telemetry::{fleet_policy_comparison, fleet_tenant_table, FleetPolicyRow, FleetTenantRow};
+
+use crate::driver::{FleetReport, PolicyOutcome};
+
+/// Renders the full report: header, policy comparison, per-tenant
+/// breakdown per policy.
+pub fn render(report: &FleetReport) -> String {
+    let sc = &report.scenario;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet scenario `{}` (seed {}): {:.1} jobs/min for {:.0}s, quotas: {} lambda / {:.0} vCPUs\n",
+        sc.name,
+        report.seed,
+        sc.arrival_rate_per_min,
+        sc.duration_secs,
+        sc.quotas.lambda_concurrency,
+        sc.quotas.ec2_vcpus,
+    ));
+    out.push_str(&format!(
+        "tenants: {}\n\n",
+        sc.tenants
+            .iter()
+            .map(|t| format!("{} ({}, x{:.3}, w{:.0})", t.name, t.job, t.scale, t.weight))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&fleet_policy_comparison(
+        &report.policies.iter().map(policy_row).collect::<Vec<_>>(),
+    ));
+    for p in &report.policies {
+        out.push_str(&format!("\nper-tenant ({}):\n", p.label));
+        let rows: Vec<FleetTenantRow> = sc
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, spec)| FleetTenantRow {
+                tenant: spec.name.clone(),
+                jobs: p.tenant_jobs(t),
+                cost_usd: p.tenant_cost_usd[t],
+                p50_secs: p.tenant_latency_percentile(t, 50.0),
+                p99_secs: p.tenant_latency_percentile(t, 99.0),
+            })
+            .collect();
+        out.push_str(&fleet_tenant_table(&rows));
+    }
+    out
+}
+
+/// Converts one policy outcome into its comparison-table row.
+pub fn policy_row(p: &PolicyOutcome) -> FleetPolicyRow {
+    FleetPolicyRow {
+        policy: p.label.clone(),
+        jobs: p.jobs.len(),
+        cost_usd: p.cost_usd,
+        p50_secs: p.latency_percentile(50.0),
+        p99_secs: p.latency_percentile(99.0),
+        throttled: p.throttled,
+        degraded: p.degraded,
+        pool_hit_pct: p.pool_hit_pct(),
+    }
+}

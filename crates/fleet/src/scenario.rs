@@ -1,0 +1,224 @@
+//! Scenario definitions: tenants, traffic shape, quotas, pool knobs.
+
+use cloudsim::RegionQuotas;
+use metaspace::jobs::{self, JobSpec};
+use metaspace::pipeline::{self, Stage};
+
+/// One tenant of the simulated region: a lab or team repeatedly
+/// submitting replicas of a Table 2 job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name; job names and billing labels are prefixed with it.
+    pub name: String,
+    /// Table 2 job the tenant submits (`Brain`, `Xenograft`, `X089`).
+    pub job: String,
+    /// Relative arrival weight in the traffic mix.
+    pub weight: f64,
+    /// Stage-graph scale factor in `(0, 1]`; see
+    /// [`metaspace::pipeline::scaled_stages`].
+    pub scale: f64,
+}
+
+impl TenantSpec {
+    /// The tenant's job specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` names no Table 2 job.
+    pub fn job_spec(&self) -> JobSpec {
+        jobs::by_name(&self.job)
+            .unwrap_or_else(|| panic!("tenant `{}`: unknown job `{}`", self.name, self.job))
+    }
+
+    /// The tenant's (scaled) stage graph.
+    pub fn stages(&self) -> Vec<Stage> {
+        pipeline::scaled_stages(&self.job_spec(), self.scale)
+    }
+}
+
+/// The deployment policy a fleet run compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Every stage of every job on cloud functions, subject to the
+    /// shared Lambda concurrency quota.
+    Serverless,
+    /// Every job provisions its own serverful fleet at arrival and
+    /// tears it down at completion (boot time and minimum billing paid
+    /// per job).
+    PerJobFleet,
+    /// Every stage leased from a shared warm pool of serverful
+    /// executors kept alive across jobs; when the whole pool is busy,
+    /// stateless stages degrade (burst) to cloud functions under the
+    /// shared Lambda quota instead of queueing.
+    SharedPool,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Serverless => f.write_str("serverless"),
+            Policy::PerJobFleet => f.write_str("per-job-fleet"),
+            Policy::SharedPool => f.write_str("shared-pool"),
+        }
+    }
+}
+
+/// Knobs of the cross-job shared VM pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Number of serverful executors in the pool (each one master VM).
+    pub size: usize,
+    /// Instance type each pool executor provisions.
+    pub instance: String,
+    /// Keep-alive window: an executor idle this long tears its VM down
+    /// (re-provisioned cold on the next lease).
+    pub idle_timeout_secs: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            size: 2,
+            instance: "c5.2xlarge".to_owned(),
+            idle_timeout_secs: 240.0,
+        }
+    }
+}
+
+/// A complete traffic scenario: who submits what, how often, under
+/// which regional quotas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (appears in the report header).
+    pub name: String,
+    /// The tenants sharing the region.
+    pub tenants: Vec<TenantSpec>,
+    /// Mean job arrivals per minute across all tenants (Poisson).
+    pub arrival_rate_per_min: f64,
+    /// Arrival window, seconds; jobs arriving inside it always run to
+    /// completion.
+    pub duration_secs: f64,
+    /// Shared regional service quotas.
+    pub quotas: RegionQuotas,
+    /// Shared-pool knobs (used by [`Policy::SharedPool`]; the per-job
+    /// fleet borrows the instance type).
+    pub pool: PoolConfig,
+    /// Hard cap on generated arrivals, a safety net against runaway
+    /// rate/duration combinations.
+    pub max_jobs: usize,
+}
+
+impl Scenario {
+    /// The debug-fast scenario CI's determinism gate runs: two tenants,
+    /// tiny scaled jobs, a Lambda quota low enough to throttle.
+    pub fn smoke() -> Scenario {
+        Scenario {
+            name: "smoke".to_owned(),
+            tenants: vec![
+                TenantSpec {
+                    name: "brain-lab".to_owned(),
+                    job: "Brain".to_owned(),
+                    weight: 3.0,
+                    scale: 0.02,
+                },
+                TenantSpec {
+                    name: "xeno-core".to_owned(),
+                    job: "Xenograft".to_owned(),
+                    weight: 1.0,
+                    scale: 0.008,
+                },
+            ],
+            arrival_rate_per_min: 6.0,
+            duration_secs: 90.0,
+            quotas: RegionQuotas {
+                lambda_concurrency: 8,
+                ec2_vcpus: 256.0,
+            },
+            pool: PoolConfig {
+                size: 1,
+                instance: "c5.2xlarge".to_owned(),
+                idle_timeout_secs: 180.0,
+            },
+            max_jobs: 24,
+        }
+    }
+
+    /// The paper-scale scenario of EXPERIMENTS.md: three tenants mixing
+    /// all Table 2 jobs at an arrival rate that saturates the shared
+    /// Lambda quota.
+    pub fn mixed() -> Scenario {
+        Scenario {
+            name: "mixed".to_owned(),
+            tenants: vec![
+                TenantSpec {
+                    name: "brain-lab".to_owned(),
+                    job: "Brain".to_owned(),
+                    weight: 4.0,
+                    scale: 0.0175,
+                },
+                TenantSpec {
+                    name: "xeno-core".to_owned(),
+                    job: "Xenograft".to_owned(),
+                    weight: 2.0,
+                    scale: 0.007,
+                },
+                TenantSpec {
+                    name: "x089-batch".to_owned(),
+                    job: "X089".to_owned(),
+                    weight: 1.0,
+                    scale: 0.00525,
+                },
+            ],
+            arrival_rate_per_min: 16.0,
+            duration_secs: 480.0,
+            quotas: RegionQuotas {
+                lambda_concurrency: 48,
+                ec2_vcpus: 256.0,
+            },
+            pool: PoolConfig {
+                size: 12,
+                instance: "c5.2xlarge".to_owned(),
+                idle_timeout_secs: 90.0,
+            },
+            max_jobs: 120,
+        }
+    }
+
+    /// Looks a scenario up by name (case-insensitive).
+    pub fn named(name: &str) -> Option<Scenario> {
+        match name.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scenario::smoke()),
+            "mixed" => Some(Scenario::mixed()),
+            _ => None,
+        }
+    }
+
+    /// Names [`Scenario::named`] resolves.
+    pub fn all_names() -> &'static [&'static str] {
+        &["smoke", "mixed"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scenarios_resolve() {
+        for name in Scenario::all_names() {
+            let sc = Scenario::named(name).expect("listed scenario resolves");
+            assert!(!sc.tenants.is_empty());
+            assert!(sc.arrival_rate_per_min > 0.0);
+        }
+        assert!(Scenario::named("nope").is_none());
+    }
+
+    #[test]
+    fn tenant_stage_graphs_build() {
+        for t in Scenario::mixed().tenants {
+            let stages = t.stages();
+            assert_eq!(stages.len(), 9);
+            assert!(stages.iter().all(|s| s.tasks >= 2));
+        }
+    }
+}

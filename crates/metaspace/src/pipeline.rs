@@ -212,6 +212,37 @@ pub fn stages(job: &JobSpec) -> Vec<Stage> {
     ]
 }
 
+/// Builds a down-scaled stage graph for a job: task counts and exchange
+/// volumes multiplied by `scale` (per-task work unchanged), with a
+/// two-task floor so every stage still exercises parallel dispatch.
+///
+/// Fleet-scale traffic simulations run dozens of concurrent jobs; at
+/// `scale = 1.0` a single Xenograft already spawns thousands of tasks,
+/// so tenants submit scaled replicas that keep the stage *shape*
+/// (elasticity swings, stateful windows) at a tractable task volume.
+///
+/// # Panics
+///
+/// Panics unless `0 < scale <= 1`.
+pub fn scaled_stages(job: &JobSpec, scale: f64) -> Vec<Stage> {
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "scale must be in (0, 1], got {scale}"
+    );
+    stages(job)
+        .into_iter()
+        .map(|mut s| {
+            s.tasks = ((s.tasks as f64 * scale).round() as usize).max(2);
+            if let StageKind::Stateful { exchange_gb } = s.kind {
+                s.kind = StageKind::Stateful {
+                    exchange_gb: (exchange_gb * scale).max(0.005),
+                };
+            }
+            s
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +290,21 @@ mod tests {
         let xeno = stages(&jobs::xenograft());
         let a = |s: &[Stage]| s.iter().find(|s| s.name == "annotate").unwrap().tasks;
         assert!(a(&xeno) > 4 * a(&brain));
+    }
+
+    #[test]
+    fn scaled_stages_keep_shape_at_lower_volume() {
+        let full = stages(&jobs::xenograft());
+        let scaled = scaled_stages(&jobs::xenograft(), 0.05);
+        assert_eq!(full.len(), scaled.len());
+        for (f, s) in full.iter().zip(&scaled) {
+            assert_eq!(f.name, s.name);
+            assert!(s.tasks >= 2);
+            assert!(s.tasks <= f.tasks);
+            assert_eq!(f.is_stateful(), s.is_stateful());
+        }
+        let tasks = |st: &[Stage]| st.iter().map(|s| s.tasks).sum::<usize>();
+        assert!(tasks(&scaled) * 10 < tasks(&full));
     }
 
     #[test]

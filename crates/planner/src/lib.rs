@@ -16,7 +16,7 @@
 //! * [`Evaluator`] — runs one candidate through a fresh simulated world
 //!   and returns `(cost_usd, makespan, waste)` from the telemetry
 //!   ledgers;
-//! * [`search`] — exhaustive grid for small spaces, seeded beam/local
+//! * [`search()`] — exhaustive grid for small spaces, seeded beam/local
 //!   search for large ones, fanned out over [`parallel_map`]'s
 //!   hand-rolled `std::thread::scope` work queue;
 //! * [`ParetoFrontier`] — the deterministic non-dominated set, with a
@@ -56,5 +56,5 @@ pub mod space;
 pub use eval::{Evaluator, PlanOutcome};
 pub use pareto::ParetoFrontier;
 pub use queue::parallel_map;
-pub use search::{search, Objective, SearchConfig, SearchReport};
+pub use search::{search, search_with, Objective, SearchConfig, SearchReport};
 pub use space::SearchSpace;

@@ -186,12 +186,33 @@ fn knob_distance(stages: &[metaspace::Stage], a: &DeploymentPlan, b: &Deployment
 /// Runs the search: grid when the space fits under
 /// [`SearchConfig::grid_limit`], seeded beam search otherwise.
 pub fn search(evaluator: &Evaluator, space: &SearchSpace, cfg: &SearchConfig) -> SearchReport {
-    let candidates = space.candidates(&evaluator.stages);
+    search_with(
+        &evaluator.stages,
+        &|plan| evaluator.evaluate(plan),
+        space,
+        cfg,
+    )
+}
+
+/// [`search`] over an arbitrary evaluation function: the same grid/beam
+/// engine, with the objective measured however the caller likes. The
+/// `fleet` crate uses this to evaluate a plan *under load* — the
+/// outcome of one plan measured inside a multi-tenant traffic scenario
+/// rather than an isolated single-job world. `eval` must be a pure
+/// function of the plan (plus captured constants) for the determinism
+/// argument in the module docs to hold.
+pub fn search_with(
+    stages: &[metaspace::Stage],
+    eval: &(dyn Fn(&DeploymentPlan) -> Result<PlanOutcome, serverful::ExecError> + Sync),
+    space: &SearchSpace,
+    cfg: &SearchConfig,
+) -> SearchReport {
+    let candidates = space.candidates(stages);
     let exhaustive = candidates.len() <= cfg.grid_limit;
     let mut outcomes: Vec<PlanOutcome> = Vec::new();
     let mut failed = 0usize;
     let mut evaluate_batch = |batch: &[DeploymentPlan], outcomes: &mut Vec<PlanOutcome>| {
-        let results = parallel_map(batch, cfg.threads, |_, plan| evaluator.evaluate(plan));
+        let results = parallel_map(batch, cfg.threads, |_, plan| eval(plan));
         for r in results {
             match r {
                 Ok(o) => outcomes.push(o),
@@ -239,7 +260,7 @@ pub fn search(evaluator: &Evaluator, space: &SearchSpace, cfg: &SearchConfig) ->
                 .filter(|c| {
                     ranked
                         .iter()
-                        .any(|o| knob_distance(&evaluator.stages, &o.plan, c) <= 1)
+                        .any(|o| knob_distance(stages, &o.plan, c) <= 1)
                 })
                 .cloned()
                 .collect();

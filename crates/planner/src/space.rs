@@ -109,7 +109,7 @@ impl SearchSpace {
     }
 
     /// The default space: every structured backend placement
-    /// (`2^(k+1)` masks — see [`backend_masks`]), two Lambda memory
+    /// (`2^(k+1)` masks — see `backend_masks`), two Lambda memory
     /// settings, the policy's automatic host plus every catalog
     /// instance within the 128 GiB class, fleets of 1–8 workers.
     ///

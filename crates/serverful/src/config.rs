@@ -47,6 +47,17 @@ pub struct StandaloneConfig {
     /// Attempts per VM slot before a provisioning failure is surfaced
     /// to the job (replacement VMs after boot failures or losses).
     pub max_provision_attempts: u32,
+    /// Keep-alive window for an idle pool with `reuse_instances`:
+    /// after this many seconds without queued or running jobs the
+    /// pool's VMs are torn down (they re-provision on the next job).
+    /// `None` keeps warm VMs until executor shutdown — the original
+    /// single-job behaviour.
+    pub idle_timeout_secs: Option<f64>,
+    /// Fleet name the pool's VMs are provisioned (and billed) under.
+    /// Defaults to `standalone-{pool index}`; the cross-job shared
+    /// pool labels its fleet so per-tenant cost reports can split
+    /// pool cost from direct job cost.
+    pub fleet_label: Option<String>,
 }
 
 impl Default for StandaloneConfig {
@@ -61,6 +72,8 @@ impl Default for StandaloneConfig {
             poll_interval: 1.0,
             map_setup_secs: 0.5,
             max_provision_attempts: 5,
+            idle_timeout_secs: None,
+            fleet_label: None,
         }
     }
 }

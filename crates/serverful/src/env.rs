@@ -88,6 +88,13 @@ enum Route {
     },
     /// Master re-pushing a requeued task bundle after a worker loss.
     Requeue { pool: usize },
+    /// A caller-owned timer registered via [`CloudEnv::external_timer`];
+    /// surfaced from [`CloudEnv::pump`] instead of being handled here.
+    External { token: u64 },
+    /// Keep-alive expiry for an idle pool. `epoch` versions the idle
+    /// window: a job starting (or another window opening) invalidates
+    /// earlier timers.
+    PoolIdle { pool: usize, epoch: u64 },
 }
 
 /// A retryable storage request, kept verbatim so a faulted op can be
@@ -172,6 +179,9 @@ pub(crate) struct StandalonePool {
     idle_procs: Vec<(usize, usize)>,
     /// Source of slot epochs.
     epoch_counter: u64,
+    /// Idle-window generation for the keep-alive timer (see
+    /// [`Route::PoolIdle`]).
+    idle_epoch: u64,
     fleet_name: String,
 }
 
@@ -197,6 +207,19 @@ impl StandalonePool {
             workers_ready && self.master.as_ref().is_some_and(|m| m.phase == VmPhase::Ready)
         }
     }
+}
+
+/// What one [`CloudEnv::pump`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvEvent {
+    /// An internal notification was routed; state may have advanced.
+    Progress,
+    /// A caller-owned [`CloudEnv::external_timer`] fired; the value is
+    /// the token that call returned.
+    Timer(u64),
+    /// The event queue is empty: nothing will ever happen again unless
+    /// the caller issues new work.
+    Drained,
 }
 
 /// The execution environment. See the [module docs](self).
@@ -363,6 +386,10 @@ impl CloudEnv {
 
     pub(crate) fn create_pool(&mut self, cfg: StandaloneConfig) -> usize {
         let idx = self.pools.len();
+        let fleet_name = cfg
+            .fleet_label
+            .clone()
+            .unwrap_or_else(|| format!("standalone-{idx}"));
         self.pools.push(StandalonePool {
             cfg,
             master: None,
@@ -373,9 +400,21 @@ impl CloudEnv {
             pushes_outstanding: 0,
             idle_procs: Vec::new(),
             epoch_counter: 0,
-            fleet_name: format!("standalone-{idx}"),
+            idle_epoch: 0,
+            fleet_name,
         });
         idx
+    }
+
+    /// True when every VM of the pool is provisioned and SSH-ready — a
+    /// job submitted now starts without paying boot time.
+    pub(crate) fn pool_ready(&self, pool: usize) -> bool {
+        self.pools[pool].all_ready()
+    }
+
+    /// Jobs currently running or queued on the pool (lease pressure).
+    pub(crate) fn pool_backlog(&self, pool: usize) -> usize {
+        self.pools[pool].queue.len() + usize::from(self.pools[pool].active.is_some())
     }
 
     /// Tears a pool's VMs down (executor shutdown).
@@ -404,14 +443,17 @@ impl CloudEnv {
     /// Pumps the world until `job` finishes; returns its results in
     /// input order.
     ///
+    /// External timers firing meanwhile are ignored — a blocking caller
+    /// by definition is not juggling other work.
+    ///
     /// # Errors
     ///
     /// Propagates task failures, decode failures and stalls.
     pub(crate) fn run_job(&mut self, job: usize) -> Result<Vec<Payload>, ExecError> {
         while !self.jobs[job].is_finished() {
-            match self.world.step() {
-                Some((t, n)) => self.dispatch(t, n),
-                None => {
+            match self.pump() {
+                EnvEvent::Progress | EnvEvent::Timer(_) => {}
+                EnvEvent::Drained => {
                     return Err(ExecError::Stalled(format!(
                         "simulation drained with job {job} ({}) unfinished: {}/{} tasks done",
                         self.jobs[job].name,
@@ -421,6 +463,64 @@ impl CloudEnv {
                 }
             }
         }
+        self.take_job_result(job)
+    }
+
+    /// Advances the world by one notification and routes it. This is the
+    /// non-blocking counterpart of the blocking drive loop behind
+    /// [`FunctionExecutor::get_result`]: a driver juggling many
+    /// concurrent jobs (the `fleet` crate) calls this in a loop, polling
+    /// its jobs with [`FunctionExecutor::try_result`] between events and
+    /// receiving its own [`external_timer`]s (arrivals, deadlines) as
+    /// [`EnvEvent::Timer`].
+    ///
+    /// [`FunctionExecutor::get_result`]: crate::FunctionExecutor::get_result
+    /// [`FunctionExecutor::try_result`]: crate::FunctionExecutor::try_result
+    ///
+    /// [`external_timer`]: Self::external_timer
+    pub fn pump(&mut self) -> EnvEvent {
+        match self.world.step() {
+            None => EnvEvent::Drained,
+            Some((t, n)) => {
+                if let Notify::Timer { tag } = &n {
+                    if let Some(Route::External { token }) = self.timer_routes.get(tag) {
+                        let token = *token;
+                        self.timer_routes.remove(tag);
+                        return EnvEvent::Timer(token);
+                    }
+                }
+                self.dispatch(t, n);
+                EnvEvent::Progress
+            }
+        }
+    }
+
+    /// Registers a caller-owned timer; [`pump`](Self::pump) surfaces it
+    /// as [`EnvEvent::Timer`] with the returned token after `delay` of
+    /// virtual time.
+    pub fn external_timer(&mut self, delay: SimDuration) -> u64 {
+        let tag = self.next_timer;
+        self.next_timer += 1;
+        self.timer_routes.insert(tag, Route::External { token: tag });
+        self.world.timer(delay, tag);
+        tag
+    }
+
+    /// The finished job's results (or error), if it has finished.
+    /// Returns `None` while the job is still running. Calling this twice
+    /// for the same finished job yields empty results — take it once.
+    pub(crate) fn try_job_result(
+        &mut self,
+        job: usize,
+    ) -> Option<Result<Vec<Payload>, ExecError>> {
+        if !self.jobs[job].is_finished() {
+            return None;
+        }
+        Some(self.take_job_result(job))
+    }
+
+    /// Extracts a finished job's results in input order.
+    fn take_job_result(&mut self, job: usize) -> Result<Vec<Payload>, ExecError> {
         if let Some(err) = self.jobs[job].error.clone() {
             return Err(err);
         }
@@ -537,6 +637,12 @@ impl CloudEnv {
     /// can re-issue it after backoff. All env storage traffic flows
     /// through here.
     fn issue_storage(&mut self, spec: StorageSpec, attempts: u32, route: Route) -> OpId {
+        // Storage is charged synchronously at issue time; bill it to the
+        // issuing route's job so concurrent jobs attribute correctly.
+        if let Some(job) = Self::route_job(&route) {
+            let label = self.jobs[job].name.clone();
+            self.world.set_bill_label(label);
+        }
         let parent = self.route_span(&route);
         self.world.set_trace_parent(parent);
         let op = match &spec {
@@ -795,6 +901,10 @@ impl CloudEnv {
 
     fn invoke_task(&mut self, job: usize, task: usize, memory_mb: u32, fleet: &str) {
         let span = self.begin_attempt_span(job, task, fleet);
+        // The sandbox captures the label at invoke time and bills its
+        // whole execution to this job, however late it retires.
+        let label = self.jobs[job].name.clone();
+        self.world.set_bill_label(label);
         self.world.set_trace_parent(span);
         let sandbox = self.world.faas_invoke(memory_mb, fleet);
         self.world.set_trace_parent(SpanId::NONE);
@@ -1368,6 +1478,9 @@ impl CloudEnv {
         }
         self.pools[pool].queue.pop_front();
         self.pools[pool].active = Some(job);
+        // A job starting closes any idle window: pending keep-alive
+        // timers must not tear down the pool under it.
+        self.pools[pool].idle_epoch += 1;
         self.pool_start_job(pool, job);
     }
 
@@ -1382,6 +1495,10 @@ impl CloudEnv {
         provision_attempts: u32,
     ) {
         let fleet_name = self.pools[pool].fleet_name.clone();
+        // Pool VMs outlive individual jobs (reuse, keep-alive), so their
+        // uptime bills under the pool's fleet label, not whichever job
+        // happens to be current when they terminate.
+        self.world.set_bill_label(fleet_name.clone());
         let vm = self.world.vm_provision(&itype, &fleet_name);
         let host = self.world.vm_host(vm);
         self.pools[pool].epoch_counter += 1;
@@ -1808,8 +1925,48 @@ impl CloudEnv {
         // more work may come.
         if !self.pools[pool].cfg.reuse_instances && self.pools[pool].queue.is_empty() {
             self.shutdown_pool(pool);
+        } else if self.pools[pool].queue.is_empty() {
+            // Reuse with a keep-alive budget: open an idle window. If no
+            // job arrives before it closes, the warm VMs are released
+            // (they re-provision on the next job).
+            if let Some(secs) = self.pools[pool].cfg.idle_timeout_secs {
+                self.pools[pool].idle_epoch += 1;
+                let epoch = self.pools[pool].idle_epoch;
+                self.set_timer(
+                    SimDuration::from_secs_f64(secs),
+                    Route::PoolIdle { pool, epoch },
+                );
+            }
         }
         self.pool_try_start(pool);
+    }
+
+    /// The keep-alive window of an idle pool closed: release its warm
+    /// VMs. Stale timers (a job started meanwhile, opening a newer
+    /// window) are dropped by the epoch check; VMs still mid-provision
+    /// push the teardown back by one more window so nothing leaks
+    /// unterminated.
+    fn on_pool_idle(&mut self, pool: usize, epoch: u64) {
+        let p = &self.pools[pool];
+        if p.idle_epoch != epoch || p.active.is_some() || !p.queue.is_empty() {
+            return;
+        }
+        if p.workers.is_empty() && p.master.is_none() {
+            return; // nothing warm to release
+        }
+        let settled = |pv: &PoolVm| matches!(pv.phase, VmPhase::Ready | VmPhase::Dead);
+        let all_settled =
+            p.workers.iter().all(settled) && p.master.as_ref().is_none_or(settled);
+        if !all_settled {
+            if let Some(secs) = self.pools[pool].cfg.idle_timeout_secs {
+                self.set_timer(
+                    SimDuration::from_secs_f64(secs),
+                    Route::PoolIdle { pool, epoch },
+                );
+            }
+            return;
+        }
+        self.shutdown_pool(pool);
     }
 
     // ------------------------------------------------------------------
@@ -1850,6 +2007,7 @@ impl CloudEnv {
         match route {
             Route::Poll { job } => self.on_poll(job),
             Route::PoolVm { pool, slot, epoch } => self.on_pool_vm_ready(pool, slot, epoch),
+            Route::PoolIdle { pool, epoch } => self.on_pool_idle(pool, epoch),
             Route::MasterNotify { job } => self.complete_job(job, None),
             Route::RetryTask { job, task, attempt } => self.on_retry_task(job, task, attempt),
             Route::RetryStorage {

@@ -211,6 +211,32 @@ impl FunctionExecutor {
         env.run_job(job.id)
     }
 
+    /// Non-blocking completion check: the job's results if it has
+    /// finished, `None` while it is still running. The counterpart of
+    /// [`get_result`](Self::get_result) for drivers pumping the
+    /// environment themselves via [`CloudEnv::pump`]. A finished job's
+    /// results can be taken only once.
+    pub fn try_result(
+        &mut self,
+        env: &mut CloudEnv,
+        job: JobHandle,
+    ) -> Option<Result<Vec<Payload>, ExecError>> {
+        env.try_job_result(job.id)
+    }
+
+    /// True when this executor's VM pool is fully provisioned and
+    /// SSH-ready, so the next job starts without paying boot time.
+    /// Always `false` on the FaaS backend (sandboxes are per-task).
+    pub fn warm(&self, env: &CloudEnv) -> bool {
+        self.pool.is_some_and(|pool| env.pool_ready(pool))
+    }
+
+    /// Jobs running or queued on this executor's VM pool (0 on FaaS):
+    /// the lease-selection signal for cross-job pool schedulers.
+    pub fn backlog(&self, env: &CloudEnv) -> usize {
+        self.pool.map_or(0, |pool| env.pool_backlog(pool))
+    }
+
     /// Tears down any VMs this executor keeps alive between jobs.
     pub fn shutdown(&mut self, env: &mut CloudEnv) {
         if let Some(pool) = self.pool {

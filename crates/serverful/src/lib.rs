@@ -40,6 +40,8 @@
 //! The crate is backed by the [`cloudsim`] substrate; all latencies,
 //! contention and billing come from its calibrated models.
 
+#![warn(missing_docs)]
+
 pub mod cloudobject;
 pub mod config;
 pub mod env;
@@ -54,7 +56,7 @@ pub mod task;
 
 pub use cloudobject::CloudObjectRef;
 pub use config::{ExecMode, ExecutorConfig, StandaloneConfig};
-pub use env::CloudEnv;
+pub use env::{CloudEnv, EnvEvent};
 pub use error::ExecError;
 pub use executor::{Backend, FunctionExecutor, JobHandle};
 pub use payload::Payload;

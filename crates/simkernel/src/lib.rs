@@ -29,6 +29,8 @@
 //! assert_eq!(t1.as_secs_f64(), 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod fair_share;
 pub mod rng;

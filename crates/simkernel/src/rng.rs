@@ -143,6 +143,29 @@ impl SimRng {
         SimDuration::from_secs_f64(self.normal_at_least(mean_secs, std_secs, 0.0))
     }
 
+    /// Draws an index with probability proportional to its weight;
+    /// used for weighted tenant mixes in arrival processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or the weights do not sum to a
+    /// positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted_index needs a non-empty, positive-sum weight vector"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // float round-off: land on the last bucket
+    }
+
     /// Shuffles a slice in place (Fisher-Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -211,6 +234,28 @@ mod tests {
         let n = 20_000;
         let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut rng = SimRng::seed_from(17);
+        let weights = [1.0, 3.0, 6.0];
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / 10.0;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expected).abs() < 0.02, "bucket {i}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive-sum")]
+    fn weighted_index_rejects_zero_weights() {
+        SimRng::seed_from(1).weighted_index(&[0.0, 0.0]);
     }
 
     #[test]

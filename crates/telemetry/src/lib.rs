@@ -41,7 +41,10 @@ pub mod trace;
 pub use cost::{CostCategory, CostLedger};
 pub use cpu::{CpuMonitor, FleetTag, UsageStats};
 pub use faults::{FaultKind, FaultLedger};
-pub use report::{plan_comparison, PaperRow, PlanRow, Table};
+pub use report::{
+    fleet_policy_comparison, fleet_tenant_table, plan_comparison, FleetPolicyRow, FleetTenantRow,
+    PaperRow, PlanRow, Table,
+};
 pub use stats::Summary;
 pub use timeline::{StageSpan, Timeline};
 pub use trace::{SpanId, StageMetrics, Tracer};

@@ -217,6 +217,148 @@ pub fn plan_comparison(rows: &[PlanRow]) -> String {
     table.to_string()
 }
 
+/// One traffic policy's fleet-wide outcome, for
+/// [`fleet_policy_comparison`]. Plain data: the fleet simulator fills it
+/// from its per-policy cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPolicyRow {
+    /// Policy name (e.g. `serverless`, `per-job-fleet`, `shared-pool`).
+    pub policy: String,
+    /// Jobs completed over the run.
+    pub jobs: usize,
+    /// Total dollars billed across tenants.
+    pub cost_usd: f64,
+    /// Median job latency (arrival to completion), seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile job latency, seconds.
+    pub p99_secs: f64,
+    /// Stage submissions delayed by the shared Lambda/EC2 quota.
+    pub throttled: usize,
+    /// Stage submissions degraded to another backend under quota
+    /// pressure.
+    pub degraded: usize,
+    /// Fraction of serverful stage submissions that leased an
+    /// already-warm pool; `None` for policies without a shared pool
+    /// (rendered `-`).
+    pub pool_hit_pct: Option<f64>,
+}
+
+/// Renders a per-policy comparison of a fleet run: absolute cost and
+/// tail latency plus each policy's cost relative to the cheapest.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{fleet_policy_comparison, FleetPolicyRow};
+///
+/// let text = fleet_policy_comparison(&[
+///     FleetPolicyRow {
+///         policy: "shared-pool".into(),
+///         jobs: 12,
+///         cost_usd: 1.5,
+///         p50_secs: 60.0,
+///         p99_secs: 90.0,
+///         throttled: 0,
+///         degraded: 0,
+///         pool_hit_pct: Some(83.3),
+///     },
+///     FleetPolicyRow {
+///         policy: "serverless".into(),
+///         jobs: 12,
+///         cost_usd: 3.0,
+///         p50_secs: 55.0,
+///         p99_secs: 140.0,
+///         throttled: 7,
+///         degraded: 0,
+///         pool_hit_pct: None,
+///     },
+/// ]);
+/// assert!(text.contains("shared-pool"));
+/// assert!(text.contains("83.3"));
+/// ```
+pub fn fleet_policy_comparison(rows: &[FleetPolicyRow]) -> String {
+    let best_cost = rows
+        .iter()
+        .map(|r| r.cost_usd)
+        .fold(f64::INFINITY, f64::min);
+    let mut table = Table::new([
+        "Policy",
+        "Jobs",
+        "Cost ($)",
+        "p50 (s)",
+        "p99 (s)",
+        "Throttled",
+        "Degraded",
+        "Pool hit%",
+        "vs cheapest",
+    ]);
+    for r in rows {
+        table.row([
+            r.policy.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.cost_usd),
+            format!("{:.2}", r.p50_secs),
+            format!("{:.2}", r.p99_secs),
+            r.throttled.to_string(),
+            r.degraded.to_string(),
+            r.pool_hit_pct
+                .map_or_else(|| "-".to_owned(), |p| format!("{p:.1}")),
+            if best_cost > 0.0 {
+                format!("{:.2}x", r.cost_usd / best_cost)
+            } else {
+                "-".to_owned()
+            },
+        ]);
+    }
+    table.to_string()
+}
+
+/// One tenant's outcome under a single policy, for
+/// [`fleet_tenant_table`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTenantRow {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs this tenant completed.
+    pub jobs: usize,
+    /// Dollars attributed to this tenant's jobs.
+    pub cost_usd: f64,
+    /// Median job latency, seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile job latency, seconds.
+    pub p99_secs: f64,
+}
+
+/// Renders the per-tenant breakdown of one policy's fleet run.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{fleet_tenant_table, FleetTenantRow};
+///
+/// let text = fleet_tenant_table(&[FleetTenantRow {
+///     tenant: "brain-lab".into(),
+///     jobs: 5,
+///     cost_usd: 0.42,
+///     p50_secs: 61.0,
+///     p99_secs: 88.0,
+/// }]);
+/// assert!(text.contains("brain-lab"));
+/// ```
+pub fn fleet_tenant_table(rows: &[FleetTenantRow]) -> String {
+    let mut table = Table::new(["Tenant", "Jobs", "Cost ($)", "p50 (s)", "p99 (s)"]);
+    for r in rows {
+        table.row([
+            r.tenant.clone(),
+            r.jobs.to_string(),
+            format!("{:.4}", r.cost_usd),
+            format!("{:.2}", r.p50_secs),
+            format!("{:.2}", r.p99_secs),
+        ]);
+    }
+    table.to_string()
+}
+
 /// Renders labelled values as a horizontal ASCII bar chart, scaled so the
 /// largest value spans `width` characters.
 ///
@@ -314,5 +456,59 @@ mod tests {
     fn plan_comparison_survives_zero_costs() {
         let text = plan_comparison(&[PlanRow::new("free", 0.0, 0.0, 0.0)]);
         assert!(text.contains('-'), "zero baselines render as `-`");
+    }
+
+    #[test]
+    fn fleet_policy_comparison_marks_cheapest_and_missing_pool() {
+        let rows = vec![
+            FleetPolicyRow {
+                policy: "shared-pool".into(),
+                jobs: 10,
+                cost_usd: 1.0,
+                p50_secs: 70.0,
+                p99_secs: 95.0,
+                throttled: 0,
+                degraded: 2,
+                pool_hit_pct: Some(75.0),
+            },
+            FleetPolicyRow {
+                policy: "serverless".into(),
+                jobs: 10,
+                cost_usd: 2.0,
+                p50_secs: 50.0,
+                p99_secs: 160.0,
+                throttled: 9,
+                degraded: 0,
+                pool_hit_pct: None,
+            },
+        ];
+        let text = fleet_policy_comparison(&rows);
+        let shared = text.lines().find(|l| l.starts_with("shared-pool")).unwrap();
+        let faas = text.lines().find(|l| l.starts_with("serverless")).unwrap();
+        assert!(shared.contains("1.00x") && shared.contains("75.0"));
+        assert!(faas.contains("2.00x") && faas.contains("-"));
+    }
+
+    #[test]
+    fn fleet_tenant_table_lists_every_tenant() {
+        let rows = vec![
+            FleetTenantRow {
+                tenant: "alpha".into(),
+                jobs: 3,
+                cost_usd: 0.3,
+                p50_secs: 40.0,
+                p99_secs: 55.0,
+            },
+            FleetTenantRow {
+                tenant: "beta".into(),
+                jobs: 1,
+                cost_usd: 0.9,
+                p50_secs: 200.0,
+                p99_secs: 200.0,
+            },
+        ];
+        let text = fleet_tenant_table(&rows);
+        assert!(text.contains("alpha") && text.contains("beta"));
+        assert!(text.contains("0.9000"));
     }
 }

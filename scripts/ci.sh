@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification for every PR.
 #
-#   scripts/ci.sh          # lint + debug tests (fast path)
+#   scripts/ci.sh          # lint + docs + debug tests (fast path)
 #   scripts/ci.sh --full   # also the release-gated paper-scale + chaos
 #                          # runs, and the Xenograft trace artifact
 #
@@ -29,6 +29,14 @@ fi
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== docs (deny warnings, incl. missing_docs) =="
+# serverful, cloudsim, simkernel and fleet carry #![warn(missing_docs)];
+# -D warnings promotes any undocumented public item to a failure.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "== doctests =="
+cargo test --workspace --doc -q
+
 echo "== tests (debug, incl. fast goldens) =="
 cargo test --workspace -q
 
@@ -42,6 +50,19 @@ cargo build --release -p bench -q
     | tee /tmp/plan_smoke.txt
 grep -q "verdict: frontier beats pure-serverless on cost: yes" /tmp/plan_smoke.txt \
     || { echo "planner smoke search lost to pure serverless" >&2; exit 1; }
+
+echo "== fleet smoke determinism (threads 1 vs 8, repeat runs) =="
+# The multi-tenant traffic report must be byte-identical for any worker
+# count and across repeat runs at the same seed.
+./target/release/repro fleet smoke --seed 42 --threads 1 > /tmp/fleet_a.txt
+./target/release/repro fleet smoke --seed 42 --threads 8 > /tmp/fleet_b.txt
+./target/release/repro fleet smoke --seed 42 --threads 8 > /tmp/fleet_c.txt
+diff /tmp/fleet_a.txt /tmp/fleet_b.txt \
+    || { echo "fleet report depends on --threads" >&2; exit 1; }
+diff /tmp/fleet_b.txt /tmp/fleet_c.txt \
+    || { echo "fleet report drifts across runs" >&2; exit 1; }
+grep -q "shared-pool" /tmp/fleet_a.txt \
+    || { echo "fleet report missing the shared-pool policy" >&2; exit 1; }
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="

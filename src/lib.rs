@@ -13,6 +13,7 @@
 pub extern crate bench;
 pub use clustersim;
 pub use cloudsim;
+pub use fleet;
 pub use metaspace;
 pub use planner;
 pub use serverful;
