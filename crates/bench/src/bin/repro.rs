@@ -6,6 +6,7 @@
 //! repro trace <job> [--arch serverless|hybrid|spark] [--seed N]
 //! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]
 //! repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]
+//! repro dag <job> [--seed N] [--smoke]
 //! ```
 //!
 //! `trace` writes deterministic Chrome trace-event JSON to stdout (load
@@ -21,17 +22,23 @@
 //! three deployment policies (serverless, per-job fleets, shared warm
 //! pool) and prints per-policy and per-tenant cost/latency tables.
 //! Like `plan`, `--threads` never changes a byte of output.
+//!
+//! `dag` runs a job's hybrid deployment twice from the same seed —
+//! classic stage barriers vs dependency-driven (pipelined) scheduling —
+//! and prints the stage-window table, overlap per stage, the DAG's
+//! critical path and a greppable verdict line. `--smoke` shrinks the
+//! stage graph for debug-fast CI gates.
 
 use std::env;
 
 use bench::render::{
-    render_fig2, render_fig3_rows, render_fig4_rows, render_fig5, render_fig6_rows,
+    render_dag, render_fig2, render_fig3_rows, render_fig4_rows, render_fig5, render_fig6_rows,
     render_plan_search, render_table1, render_table2, render_table3, render_table4_rows,
     render_trace,
 };
 use bench::{
     ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
-    extension_huge_sort, table4,
+    dag_comparison, extension_huge_sort, table4,
 };
 use fleet::Scenario;
 use metaspace::jobs;
@@ -51,6 +58,10 @@ fn main() {
     }
     if what == "fleet" {
         run_fleet(&args[2..]);
+        return;
+    }
+    if what == "dag" {
+        run_dag_cmd(&args[2..]);
         return;
     }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -94,6 +105,7 @@ fn main() {
             eprintln!(
                 "       repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]"
             );
+            eprintln!("       repro dag <job> [--seed N] [--smoke]");
             std::process::exit(2);
         }
     }
@@ -234,6 +246,36 @@ fn run_fleet(args: &[String]) {
     match fleet::run_scenario(&sc, seed, threads) {
         Ok(report) => print!("{}", fleet::report::render(&report)),
         Err(err) => die(&format!("fleet run failed: {err}")),
+    }
+}
+
+/// `repro dag <job> [--seed N] [--smoke]`: barrier vs pipelined on the
+/// job's hybrid deployment.
+fn run_dag_cmd(args: &[String]) {
+    let mut job = None;
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => die("--seed needs an integer"),
+            },
+            "--smoke" => smoke = true,
+            other if job.is_none() && !other.starts_with('-') => job = Some(other.to_owned()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(job) = job else {
+        die("usage: repro dag <job> [--seed N] [--smoke]");
+    };
+    let Some(spec) = jobs::by_name(&job) else {
+        die(&format!("unknown job `{job}` (expected Brain, Xenograft or X089)"));
+    };
+    match dag_comparison(&spec, seed, smoke) {
+        Ok(cmp) => print!("{}", render_dag(&cmp)),
+        Err(err) => die(&format!("dag run failed: {err}")),
     }
 }
 

@@ -173,6 +173,69 @@ pub fn table4(seed: u64) -> Vec<Table4Row> {
     jobs::all().iter().map(|j| table4_row(j, seed)).collect()
 }
 
+/// A barrier-vs-pipelined run of one job's hybrid deployment — the
+/// `repro dag` experiment.
+#[derive(Debug, Clone)]
+pub struct DagComparison {
+    /// Job name.
+    pub job: String,
+    /// The hybrid plan under classic BSP barriers.
+    pub barrier: AnnotationReport,
+    /// The same plan scheduled dependency-driven.
+    pub pipelined: AnnotationReport,
+    /// Stage-level dataflow edges as `(from, to)` index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Runs the job's hybrid deployment twice from the same seed — once
+/// with stage barriers, once dependency-driven — and pairs the reports
+/// with the pipeline's stage DAG. `smoke` shrinks the stage graph for
+/// debug-fast CI gates.
+///
+/// # Errors
+///
+/// Propagates executor failures from either run.
+pub fn dag_comparison(
+    spec: &JobSpec,
+    seed: u64,
+    smoke: bool,
+) -> Result<DagComparison, serverful::ExecError> {
+    use metaspace::plan::{DeploymentPlan, PlanKind};
+
+    let stages = if smoke {
+        metaspace::pipeline::scaled_stages(spec, 0.02)
+    } else {
+        metaspace::pipeline::stages(spec)
+    };
+    let barrier_plan = DeploymentPlan::hybrid(&stages);
+    let PlanKind::Functions(f) = &barrier_plan.kind else {
+        unreachable!("hybrid is a functions plan")
+    };
+    let pipelined_plan = DeploymentPlan::functions(
+        "hybrid-pipelined",
+        metaspace::plan::FunctionsPlan {
+            execution: serverful::ExecutionMode::Pipelined,
+            ..f.clone()
+        },
+    );
+    let cloud = cloudsim::CloudConfig::default;
+    let (barrier, _) =
+        metaspace::run_plan_stages(spec.name, &stages, &barrier_plan, seed, cloud(), false)?;
+    let (pipelined, _) =
+        metaspace::run_plan_stages(spec.name, &stages, &pipelined_plan, seed, cloud(), false)?;
+    let edges = metaspace::pipeline::edges(&stages)
+        .iter()
+        .enumerate()
+        .flat_map(|(to, deps)| deps.iter().map(move |e| (e.from, to)))
+        .collect();
+    Ok(DagComparison {
+        job: spec.name.to_owned(),
+        barrier,
+        pipelined,
+        edges,
+    })
+}
+
 /// Runs Figure 2: per-stage concurrency of the serverless Xenograft
 /// annotation. Returns `(stage, tasks, stateful, measured seconds)`.
 pub fn fig2(seed: u64) -> Vec<(String, usize, bool, f64)> {

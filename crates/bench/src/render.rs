@@ -7,10 +7,10 @@
 use metaspace::{jobs, run_annotation_traced, Architecture, TraceOutput};
 use planner::{Objective, SearchReport};
 use telemetry::report::bar_chart;
-use telemetry::{plan_comparison, PaperRow, PlanRow, Table};
+use telemetry::{critical_path, dag_stage_table, plan_comparison, PaperRow, PlanRow, StageWindow, Table};
 
 use crate::{
-    fig2, fig5, table1, table2, table3, table4, Table4Row, FIG4_PAPER_RATIO,
+    fig2, fig5, table1, table2, table3, table4, DagComparison, Table4Row, FIG4_PAPER_RATIO,
     FIG5_PAPER_COST_RATIO, FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER, TABLE4_PAPER,
 };
 
@@ -441,6 +441,59 @@ pub fn render_plan_search(job_label: &str, report: &SearchReport, objective: Obj
     if let Some(best) = report.best() {
         out.push_str(&format!("best plan ({objective}): {}\n", best.plan));
     }
+    out
+}
+
+/// Renders a barrier-vs-pipelined comparison of one job's hybrid
+/// deployment: the per-stage window table with dataflow overlap, the
+/// makespan/cost summary, the DAG's critical path, and the verdict
+/// line CI greps.
+///
+/// Deterministic: a pure function of the comparison, which is itself a
+/// pure function of `(job, seed)` — never of the worker count.
+pub fn render_dag(cmp: &DagComparison) -> String {
+    let windows = |report: &metaspace::AnnotationReport| -> Vec<StageWindow> {
+        report
+            .stages
+            .iter()
+            .map(|s| StageWindow::new(s.name.clone(), s.start_secs, s.end_secs))
+            .collect()
+    };
+    let barrier = windows(&cmp.barrier);
+    let pipelined = windows(&cmp.pipelined);
+
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!("Dataflow execution: {} hybrid, barrier vs pipelined", cmp.job),
+    );
+    out.push_str(&dag_stage_table(&barrier, &pipelined, &cmp.edges));
+
+    out.push_str(&format!(
+        "\nmakespan: barrier {:.2} s -> pipelined {:.2} s ({:.2}x)\n",
+        cmp.barrier.wall_secs,
+        cmp.pipelined.wall_secs,
+        cmp.barrier.wall_secs / cmp.pipelined.wall_secs
+    ));
+    out.push_str(&format!(
+        "cost:     barrier ${:.4} -> pipelined ${:.4}\n",
+        cmp.barrier.cost_usd, cmp.pipelined.cost_usd
+    ));
+    // Stage durations under barriers are the per-stage work unskewed by
+    // overlap, so the critical path over them is the *stage-granular*
+    // dataflow bound; task-level release can dip below it.
+    let cp = critical_path(&barrier, &cmp.edges);
+    out.push_str(&format!(
+        "critical path ({:.2} s): {}\n",
+        cp.secs,
+        cp.label(&barrier)
+    ));
+    let wins = cmp.pipelined.wall_secs < cmp.barrier.wall_secs
+        && cmp.pipelined.cost_usd <= cmp.barrier.cost_usd;
+    out.push_str(&format!(
+        "verdict: pipelined beats barrier at equal-or-lower cost: {}\n",
+        if wins { "yes" } else { "no" }
+    ));
     out
 }
 

@@ -18,12 +18,12 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use cloudsim::{CloudConfig, ObjectBody};
-use metaspace::pipeline::{Stage, StageKind};
+use metaspace::pipeline::{self, Stage, StageEdge, StageKind};
 use metaspace::plan::StageBackend;
 use serverful::executor::MapOptions;
 use serverful::{
-    Backend, CloudEnv, EnvEvent, ExecError, ExecutorConfig, FunctionExecutor, JobHandle, Payload,
-    ScriptTask,
+    fan_in_range, Backend, CloudEnv, EnvEvent, ExecError, ExecutionMode, ExecutorConfig,
+    FunctionExecutor, JobHandle, Payload, ScriptTask,
 };
 use simkernel::SimTime;
 
@@ -131,9 +131,10 @@ impl FleetReport {
 pub(crate) enum Placement<'a> {
     /// One of the three named policies.
     Policy(Policy),
-    /// An explicit per-stage backend assignment (what-if evaluation of
-    /// a [`metaspace::plan::DeploymentPlan`] under load).
-    Plan(&'a [StageBackend]),
+    /// An explicit per-stage backend assignment plus execution mode
+    /// (what-if evaluation of a [`metaspace::plan::DeploymentPlan`]
+    /// under load).
+    Plan(&'a [StageBackend], ExecutionMode),
 }
 
 /// Runs every policy cell over the scenario's traffic and merges the
@@ -183,13 +184,16 @@ pub(crate) fn run_cell(
     let faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
     let needs_pool = matches!(
         placement,
-        Placement::Policy(Policy::SharedPool) | Placement::Plan(_)
+        Placement::Policy(Policy::SharedPool) | Placement::Plan(..)
     );
     let pool = needs_pool.then(|| SharedPool::new(&mut env, &sc.pool));
+    let pipelined = sc.pipelined
+        || matches!(placement, Placement::Plan(_, ExecutionMode::Pipelined));
 
     let mut cell = Cell {
         sc,
         placement,
+        pipelined,
         env,
         faas,
         pool,
@@ -218,15 +222,33 @@ enum ExecSlot {
     Pool(usize),
 }
 
+/// One stage's dataflow state inside a pipelined cell.
+struct PipeStage {
+    /// The submitted job, once launched (FaaS stages launch gated at
+    /// arrival; pool/own stages launch when their dependencies drain).
+    handle: Option<(JobHandle, ExecSlot)>,
+    /// Whole stage finished and its result taken.
+    complete: bool,
+    /// Per-task released flags (gated FaaS stages).
+    released: Vec<bool>,
+    /// Whether this stage already counted one quota throttle.
+    throttle_noted: bool,
+}
+
 /// One in-flight (or finished) job inside a cell.
 struct JobRun {
     tenant: usize,
     name: String,
     stages: Vec<Stage>,
+    /// Stage-level dataflow edges ([`pipeline::edges`]; pipelined cells
+    /// only).
+    edges: Vec<Vec<StageEdge>>,
     next_stage: usize,
     arrived: SimTime,
     finished: Option<SimTime>,
     active: Option<(JobHandle, ExecSlot)>,
+    /// Per-stage dataflow state (pipelined cells only).
+    pipe: Vec<PipeStage>,
     /// The per-job fleet executor ([`Policy::PerJobFleet`] only).
     own: Option<FunctionExecutor>,
 }
@@ -234,12 +256,15 @@ struct JobRun {
 struct Cell<'a> {
     sc: &'a Scenario,
     placement: Placement<'a>,
+    /// Dependency-driven scheduling instead of BSP barriers.
+    pipelined: bool,
     env: CloudEnv,
     faas: FunctionExecutor,
     pool: Option<SharedPool>,
     adm: Admission,
     jobs: Vec<JobRun>,
-    /// Jobs whose next stage awaits quota headroom, FIFO.
+    /// Jobs whose next stage awaits quota headroom, FIFO (barrier cells
+    /// only; pipelined cells rescan in job order instead).
     waiting: VecDeque<usize>,
     /// Pending arrival timers, token → arrival.
     arrival_tokens: HashMap<u64, Arrival>,
@@ -258,15 +283,15 @@ impl Cell<'_> {
                         .remove(&token)
                         .expect("every external timer is an arrival");
                     self.spawn_job(&a);
-                    self.drain_waiting()?;
+                    self.progress_stages()?;
                 }
                 EnvEvent::Progress => {
                     self.poll_active()?;
-                    self.drain_waiting()?;
+                    self.progress_stages()?;
                 }
                 EnvEvent::Drained => {
                     self.poll_active()?;
-                    let progressed = self.drain_waiting()?;
+                    let progressed = self.progress_stages()?;
                     if self.done() {
                         break;
                     }
@@ -291,27 +316,79 @@ impl Cell<'_> {
             && self.jobs.iter().all(|j| j.finished.is_some())
     }
 
-    /// Registers an arriving job and tries to start its first stage.
+    /// Makes queued or gated stages progress after any event, whichever
+    /// scheduling discipline the cell runs.
+    fn progress_stages(&mut self) -> Result<bool, ExecError> {
+        if self.pipelined {
+            self.pipe_pass()
+        } else {
+            self.drain_waiting()
+        }
+    }
+
+    /// Registers an arriving job and tries to start its first stage
+    /// (barrier) or submits its gated FaaS stages (pipelined).
     fn spawn_job(&mut self, a: &Arrival) {
         let tenant = &self.sc.tenants[a.tenant];
         let idx = self.jobs.len();
+        let stages = tenant.stages();
+        let (edges, pipe) = if self.pipelined {
+            let edges = pipeline::edges(&stages);
+            let pipe = stages
+                .iter()
+                .map(|s| PipeStage {
+                    handle: None,
+                    complete: false,
+                    released: vec![false; s.tasks],
+                    throttle_noted: false,
+                })
+                .collect();
+            (edges, pipe)
+        } else {
+            (Vec::new(), Vec::new())
+        };
         self.jobs.push(JobRun {
             tenant: a.tenant,
             name: a.job_name(self.sc),
-            stages: tenant.stages(),
+            stages,
+            edges,
             next_stage: 0,
             arrived: self.env.now(),
             finished: None,
             active: None,
+            pipe,
             own: None,
         });
-        self.advance_or_wait(idx);
+        if self.pipelined {
+            // Every always-FaaS stage submits up front with its tasks
+            // gated: setup overlaps upstream work, tasks launch one by
+            // one as their upstream partitions (and the Lambda quota)
+            // allow. Pool/own stages launch from `pipe_pass` once their
+            // dependencies drain.
+            for s in 0..self.jobs[idx].stages.len() {
+                if self.faas_always(s) {
+                    self.submit_stage(idx, s, ExecSlot::Faas, true);
+                }
+            }
+        } else {
+            self.advance_or_wait(idx);
+        }
+    }
+
+    /// Whether a stage's placement is unconditionally cloud functions
+    /// (eligible for gated submission and task-granular release).
+    fn faas_always(&self, stage_idx: usize) -> bool {
+        match self.placement {
+            Placement::Policy(Policy::Serverless) => true,
+            Placement::Policy(_) => false,
+            Placement::Plan(backends, _) => backends[stage_idx] == StageBackend::Functions,
+        }
     }
 
     /// Attempts the job's next stage; queues it (counting the throttle)
     /// when the region has no headroom.
     fn advance_or_wait(&mut self, idx: usize) {
-        if !self.try_advance(idx) {
+        if !self.try_advance(idx, self.jobs[idx].next_stage) {
             self.adm.note_throttle();
             self.waiting.push_back(idx);
         }
@@ -323,7 +400,7 @@ impl Cell<'_> {
     fn drain_waiting(&mut self) -> Result<bool, ExecError> {
         let mut progressed = false;
         while let Some(&idx) = self.waiting.front() {
-            if !self.try_advance(idx) {
+            if !self.try_advance(idx, self.jobs[idx].next_stage) {
                 break;
             }
             self.waiting.pop_front();
@@ -332,17 +409,109 @@ impl Cell<'_> {
         Ok(progressed)
     }
 
-    /// Tries to submit the job's next stage. Returns `false` when the
+    /// One dependency-driven scheduling pass: launches pool/own stages
+    /// whose upstream stages have fully drained, and releases gated
+    /// FaaS tasks whose upstream *partitions* are done — each release
+    /// individually admitted against the Lambda quota. Deterministic:
+    /// jobs in arrival order, stages in pipeline order, tasks in index
+    /// order. Returns whether anything launched or released.
+    fn pipe_pass(&mut self) -> Result<bool, ExecError> {
+        let mut progressed = false;
+        let mut released_now = 0usize;
+        for idx in 0..self.jobs.len() {
+            if self.jobs[idx].finished.is_some() {
+                continue;
+            }
+            for s in 0..self.jobs[idx].stages.len() {
+                if self.jobs[idx].pipe[s].complete {
+                    continue;
+                }
+                if self.jobs[idx].pipe[s].handle.is_none() {
+                    // Pool/own-placed stage: the in-memory exchange
+                    // reads whole inputs, so it waits for every
+                    // upstream stage to drain — then launches at once.
+                    let ready = self.jobs[idx].edges[s]
+                        .iter()
+                        .all(|e| self.jobs[idx].pipe[e.from].complete);
+                    if !ready {
+                        continue;
+                    }
+                    if self.try_advance(idx, s) {
+                        progressed = true;
+                    } else {
+                        self.note_stage_throttle(idx, s);
+                    }
+                } else if self.release_ready_tasks(idx, s, &mut released_now) {
+                    progressed = true;
+                }
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Releases every gated task of stage `s` whose upstream partitions
+    /// are done, stopping at the first that the Lambda quota cannot
+    /// admit. Returns whether any task was released.
+    fn release_ready_tasks(&mut self, idx: usize, s: usize, released_now: &mut usize) -> bool {
+        let (handle, _) = self.jobs[idx].pipe[s].handle.expect("caller checked submission");
+        let tasks = self.jobs[idx].stages[s].tasks;
+        let mut any = false;
+        for t in 0..tasks {
+            if self.jobs[idx].pipe[s].released[t] {
+                continue;
+            }
+            let job = &self.jobs[idx];
+            let ready = job.edges[s].iter().all(|e| {
+                let up = &job.pipe[e.from];
+                if up.complete {
+                    return true;
+                }
+                let Some((uh, _)) = up.handle else {
+                    return false;
+                };
+                fan_in_range(e.fan_in, job.stages[e.from].tasks, tasks, t)
+                    .all(|u| uh.task_done(&self.env, u))
+            });
+            if !ready {
+                continue;
+            }
+            // Count this pass's not-yet-visible releases on top of the
+            // world's active sandboxes: admission at task granularity.
+            if !self.adm.admits_faas(self.env.world(), *released_now + 1) {
+                self.note_stage_throttle(idx, s);
+                break;
+            }
+            self.jobs[idx].pipe[s].released[t] = true;
+            handle.release_task(&mut self.env, t);
+            *released_now += 1;
+            any = true;
+        }
+        any
+    }
+
+    /// Counts at most one quota throttle per stage (pipelined cells
+    /// rescan stages every pass; the barrier path counts per queueing).
+    fn note_stage_throttle(&mut self, idx: usize, s: usize) {
+        if !self.jobs[idx].pipe[s].throttle_noted {
+            self.adm.note_throttle();
+            self.jobs[idx].pipe[s].throttle_noted = true;
+        }
+    }
+
+    /// Tries to submit the job's given stage. Returns `false` when the
     /// admission controller has no headroom for it yet.
-    fn try_advance(&mut self, idx: usize) -> bool {
-        debug_assert!(self.jobs[idx].active.is_none());
-        let stage_idx = self.jobs[idx].next_stage;
+    fn try_advance(&mut self, idx: usize, stage_idx: usize) -> bool {
+        debug_assert!(if self.pipelined {
+            self.jobs[idx].pipe[stage_idx].handle.is_none()
+        } else {
+            self.jobs[idx].active.is_none()
+        });
         let stateful = self.jobs[idx].stages[stage_idx].is_stateful();
         let tasks = self.jobs[idx].stages[stage_idx].tasks;
         let wants_pool = match self.placement {
             Placement::Policy(Policy::Serverless) => false,
             Placement::Policy(Policy::PerJobFleet) => {
-                return self.try_advance_own(idx);
+                return self.try_advance_own(idx, stage_idx);
             }
             Placement::Policy(Policy::SharedPool) => {
                 // The pool is home; a stateless stage *degrades* to
@@ -357,12 +526,12 @@ impl Cell<'_> {
                     .any_idle(&self.env);
                 if !stateful && saturated && self.adm.admits_faas(self.env.world(), tasks) {
                     self.adm.note_degrade();
-                    self.submit_stage(idx, ExecSlot::Faas);
+                    self.submit_stage(idx, stage_idx, ExecSlot::Faas, false);
                     return true;
                 }
                 true
             }
-            Placement::Plan(backends) => backends[stage_idx] == StageBackend::Serverful,
+            Placement::Plan(backends, _) => backends[stage_idx] == StageBackend::Serverful,
         };
         if wants_pool {
             let lease = self
@@ -370,11 +539,11 @@ impl Cell<'_> {
                 .as_mut()
                 .expect("pool placements build a pool")
                 .lease(&self.env);
-            self.submit_stage(idx, ExecSlot::Pool(lease));
+            self.submit_stage(idx, stage_idx, ExecSlot::Pool(lease), false);
             return true;
         }
         if self.adm.admits_faas(self.env.world(), tasks) {
-            self.submit_stage(idx, ExecSlot::Faas);
+            self.submit_stage(idx, stage_idx, ExecSlot::Faas, false);
             return true;
         }
         false
@@ -382,7 +551,7 @@ impl Cell<'_> {
 
     /// Per-job-fleet advance: provision the job's own executor on first
     /// use, gated by the EC2 capacity quota.
-    fn try_advance_own(&mut self, idx: usize) -> bool {
+    fn try_advance_own(&mut self, idx: usize, stage_idx: usize) -> bool {
         if self.jobs[idx].own.is_none() {
             let itype = cloudsim::instance_type(&self.sc.pool.instance)
                 .expect("scenario instance is in the catalog");
@@ -395,7 +564,7 @@ impl Cell<'_> {
             let exec = FunctionExecutor::new(&mut self.env, Backend::vm(), cfg);
             self.jobs[idx].own = Some(exec);
         }
-        self.submit_stage(idx, ExecSlot::Own);
+        self.submit_stage(idx, stage_idx, ExecSlot::Own, false);
         true
     }
 
@@ -406,8 +575,7 @@ impl Cell<'_> {
     /// stateful stages on FaaS exchange through a *single* contended
     /// prefix (the paper's hindrance), while on a VM the exchange stays
     /// in the master's memory and only the CPU time is simulated.
-    fn submit_stage(&mut self, idx: usize, slot: ExecSlot) {
-        let stage_idx = self.jobs[idx].next_stage;
+    fn submit_stage(&mut self, idx: usize, stage_idx: usize, slot: ExecSlot, gated: bool) {
         let stage = self.jobs[idx].stages[stage_idx].clone();
         let job_name = self.jobs[idx].name.clone();
         let on_faas = matches!(slot, ExecSlot::Faas);
@@ -460,6 +628,9 @@ impl Cell<'_> {
         if stage.is_stateful() {
             opts = opts.stateful();
         }
+        if gated {
+            opts = opts.gated();
+        }
         let handle = {
             let env = &mut self.env;
             match slot {
@@ -477,12 +648,19 @@ impl Cell<'_> {
                     .map_with(env, factory, inputs, opts),
             }
         };
-        self.jobs[idx].active = Some((handle, slot));
+        if self.pipelined {
+            self.jobs[idx].pipe[stage_idx].handle = Some((handle, slot));
+        } else {
+            self.jobs[idx].active = Some((handle, slot));
+        }
     }
 
     /// Polls every in-flight stage; on completion, advances the job or
     /// records it finished.
     fn poll_active(&mut self) -> Result<(), ExecError> {
+        if self.pipelined {
+            return self.poll_pipe();
+        }
         for idx in 0..self.jobs.len() {
             let Some((handle, slot)) = self.jobs[idx].active else {
                 continue;
@@ -512,6 +690,48 @@ impl Cell<'_> {
                 }
             } else {
                 self.advance_or_wait(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pipelined poll: every submitted stage of every job, in order; a
+    /// job finishes when all of its stages have drained.
+    fn poll_pipe(&mut self) -> Result<(), ExecError> {
+        for idx in 0..self.jobs.len() {
+            if self.jobs[idx].finished.is_some() {
+                continue;
+            }
+            for s in 0..self.jobs[idx].stages.len() {
+                if self.jobs[idx].pipe[s].complete {
+                    continue;
+                }
+                let Some((handle, slot)) = self.jobs[idx].pipe[s].handle else {
+                    continue;
+                };
+                let polled = match slot {
+                    ExecSlot::Faas => self.faas.try_result(&mut self.env, handle),
+                    ExecSlot::Own => self.jobs[idx]
+                        .own
+                        .as_mut()
+                        .expect("own slot has an executor")
+                        .try_result(&mut self.env, handle),
+                    ExecSlot::Pool(lease) => self
+                        .pool
+                        .as_mut()
+                        .expect("pool slot has a pool")
+                        .exec_mut(lease)
+                        .try_result(&mut self.env, handle),
+                };
+                let Some(result) = polled else { continue };
+                result?;
+                self.jobs[idx].pipe[s].complete = true;
+            }
+            if self.jobs[idx].pipe.iter().all(|p| p.complete) {
+                self.jobs[idx].finished = Some(self.env.now());
+                if let Some(mut own) = self.jobs[idx].own.take() {
+                    own.shutdown(&mut self.env);
+                }
             }
         }
         Ok(())

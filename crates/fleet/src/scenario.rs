@@ -106,6 +106,13 @@ pub struct Scenario {
     /// Hard cap on generated arrivals, a safety net against runaway
     /// rate/duration combinations.
     pub max_jobs: usize,
+    /// When set, jobs run their stage graphs dependency-driven
+    /// ([`serverful::ExecutionMode::Pipelined`]): FaaS stages release
+    /// tasks as their upstream partitions complete (quota admission at
+    /// task granularity), serverful stages start as soon as their
+    /// dependencies fully drain. Presets leave this off (BSP barriers,
+    /// the pre-dataflow behaviour).
+    pub pipelined: bool,
 }
 
 impl Scenario {
@@ -140,6 +147,7 @@ impl Scenario {
                 idle_timeout_secs: 180.0,
             },
             max_jobs: 24,
+            pipelined: false,
         }
     }
 
@@ -181,6 +189,7 @@ impl Scenario {
                 idle_timeout_secs: 90.0,
             },
             max_jobs: 120,
+            pipelined: false,
         }
     }
 

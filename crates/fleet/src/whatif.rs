@@ -45,7 +45,7 @@ pub fn plan_under_load(
             stages.len()
         )));
     }
-    run_cell(sc, Placement::Plan(&f.backends), plan.name.clone(), seed)
+    run_cell(sc, Placement::Plan(&f.backends, f.execution), plan.name.clone(), seed)
 }
 
 /// Evaluates `plan` under load and folds the fleet outcome into the

@@ -32,7 +32,7 @@ pub mod plan;
 pub mod runner;
 
 pub use jobs::JobSpec;
-pub use pipeline::{Stage, StageKind};
+pub use pipeline::{Stage, StageEdge, StageKind};
 pub use plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 pub use runner::{
     run_annotation, run_annotation_traced, run_annotation_with, run_plan, run_plan_stages,

@@ -22,7 +22,34 @@
 //! densities are profile parameters standing in for the real datasets
 //! (see [`jobs`](crate::jobs)).
 
+use serverful::FanIn;
+
 use crate::jobs::JobSpec;
+
+/// A dependency of one stage on an earlier stage, with the fan-in shape
+/// the DAG scheduler uses to release downstream partitions: one-to-one
+/// for map-chained stages (partition `p` only needs its own upstream
+/// block), all-to-all for the sort/segmentation shuffles (every
+/// downstream partition needs the whole upstream stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEdge {
+    /// Index of the upstream stage in the stage list.
+    pub from: usize,
+    /// Fan-in shape of the dependency.
+    pub fan_in: FanIn,
+}
+
+impl StageEdge {
+    /// A partition-wise edge from stage `from`.
+    pub fn one_to_one(from: usize) -> StageEdge {
+        StageEdge { from, fan_in: FanIn::OneToOne }
+    }
+
+    /// A shuffle edge from stage `from`.
+    pub fn all_to_all(from: usize) -> StageEdge {
+        StageEdge { from, fan_in: FanIn::AllToAll }
+    }
+}
 
 /// How a stage moves data.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +239,61 @@ pub fn stages(job: &JobSpec) -> Vec<Stage> {
     ]
 }
 
+/// The dependency edges of a stage list, one `Vec<StageEdge>` per
+/// stage, aligned index-for-index.
+///
+/// For the canonical METASPACE stage list (the nine names [`stages`]
+/// produces, in order) this is the real annotation dataflow of the
+/// paper's Figure 2: the dataset branch (`load-dataset` →
+/// `parse-spectra` → `ds-segment`) and the database branch
+/// (`formula-gen` → `db-segment`) proceed independently until
+/// `annotate` joins them — partition-wise against the dataset segments,
+/// all-to-all against the (replicated) database segments — and the
+/// scoring tail (`metrics` → `fdr`) chains partition-wise into the
+/// final `collect` shuffle.
+///
+/// Any other stage list (scaled replicas keep the canonical names; toy
+/// graphs in tests do not) degrades to the conservative linear chain of
+/// all-to-all edges — exactly the barrier order, so dataflow scheduling
+/// stays correct for arbitrary pipelines, just without overlap.
+pub fn edges(stages: &[Stage]) -> Vec<Vec<StageEdge>> {
+    const CANON: [&str; 9] = [
+        "load-dataset",
+        "parse-spectra",
+        "formula-gen",
+        "db-segment",
+        "ds-segment",
+        "annotate",
+        "metrics",
+        "fdr",
+        "collect",
+    ];
+    let canonical = stages.len() == CANON.len()
+        && stages.iter().zip(CANON).all(|(s, n)| s.name == n);
+    if canonical {
+        return vec![
+            vec![],                                                       // load-dataset
+            vec![StageEdge::one_to_one(0)],                               // parse-spectra
+            vec![],                                                       // formula-gen
+            vec![StageEdge::all_to_all(2)],                               // db-segment
+            vec![StageEdge::all_to_all(1)],                               // ds-segment
+            vec![StageEdge::one_to_one(4), StageEdge::all_to_all(3)],     // annotate
+            vec![StageEdge::one_to_one(5)],                               // metrics
+            vec![StageEdge::one_to_one(6)],                               // fdr
+            vec![StageEdge::all_to_all(7)],                               // collect
+        ];
+    }
+    (0..stages.len())
+        .map(|i| {
+            if i == 0 {
+                vec![]
+            } else {
+                vec![StageEdge::all_to_all(i - 1)]
+            }
+        })
+        .collect()
+}
+
 /// Builds a down-scaled stage graph for a job: task counts and exchange
 /// volumes multiplied by `scale` (per-task work unchanged), with a
 /// two-task floor so every stage still exercises parallel dispatch.
@@ -305,6 +387,51 @@ mod tests {
         }
         let tasks = |st: &[Stage]| st.iter().map(|s| s.tasks).sum::<usize>();
         assert!(tasks(&scaled) * 10 < tasks(&full));
+    }
+
+    #[test]
+    fn canonical_edges_form_a_dag_joining_at_annotate() {
+        let st = stages(&jobs::brain());
+        let deps = edges(&st);
+        assert_eq!(deps.len(), st.len());
+        // Every edge is topological.
+        for (i, es) in deps.iter().enumerate() {
+            for e in es {
+                assert!(e.from < i, "edge {} -> {i}", e.from);
+            }
+        }
+        // Two independent roots: the dataset and database branches.
+        let roots: Vec<usize> = deps
+            .iter()
+            .enumerate()
+            .filter(|(_, es)| es.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(roots, vec![0, 2], "load-dataset and formula-gen");
+        // annotate (index 5) joins both branches.
+        assert_eq!(deps[5].len(), 2);
+        // Shuffles are all-to-all; map chains are one-to-one.
+        assert_eq!(deps[4], vec![StageEdge::all_to_all(1)]);
+        assert_eq!(deps[6], vec![StageEdge::one_to_one(5)]);
+    }
+
+    #[test]
+    fn scaled_stages_keep_the_canonical_dataflow() {
+        // Scaled replicas preserve stage names, so the fleet's pipelined
+        // jobs get the real DAG, not the linear fallback.
+        let st = scaled_stages(&jobs::xenograft(), 0.05);
+        let deps = edges(&st);
+        assert_eq!(deps[5].len(), 2, "annotate still joins two branches");
+    }
+
+    #[test]
+    fn unknown_stage_lists_fall_back_to_a_linear_chain() {
+        let mut st = stages(&jobs::brain());
+        st.truncate(3);
+        let deps = edges(&st);
+        assert_eq!(deps[0], vec![]);
+        assert_eq!(deps[1], vec![StageEdge::all_to_all(0)]);
+        assert_eq!(deps[2], vec![StageEdge::all_to_all(1)]);
     }
 
     #[test]

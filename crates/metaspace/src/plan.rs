@@ -20,6 +20,8 @@
 
 use std::fmt;
 
+use serverful::ExecutionMode;
+
 use crate::pipeline::Stage;
 use crate::runner::Architecture;
 
@@ -65,6 +67,9 @@ pub struct FunctionsPlan {
     pub mem_factor: f64,
     /// Attempts per task before the job fails (retry budget).
     pub max_attempts: u32,
+    /// How the stage graph is scheduled: classic BSP barriers, or
+    /// dependency-driven dataflow ([`ExecutionMode::Pipelined`]).
+    pub execution: ExecutionMode,
 }
 
 impl FunctionsPlan {
@@ -104,6 +109,7 @@ impl FunctionsPlan {
             vm_count: 1,
             mem_factor: 2.5,
             max_attempts: serverful::RetryPolicy::default().max_attempts,
+            execution: ExecutionMode::Barrier,
         }
     }
 
@@ -226,8 +232,14 @@ impl DeploymentPlan {
             PlanKind::Cluster(c) => format!("cl:{}x{}", c.nodes, c.instance),
             PlanKind::Functions(f) => {
                 let mask: String = f.backends.iter().map(|b| b.code()).collect();
+                // The `:pl` suffix appears only for pipelined plans so
+                // every pre-dataflow (Barrier) key stays byte-stable.
+                let pl = match f.execution {
+                    ExecutionMode::Barrier => "",
+                    ExecutionMode::Pipelined => ":pl",
+                };
                 format!(
-                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}",
+                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}{pl}",
                     f.memory_mb,
                     f.vm_count,
                     f.instance.as_deref().unwrap_or("auto"),
@@ -291,6 +303,7 @@ mod tests {
             FunctionsPlan { vm_count: 4, ..f.clone() },
             FunctionsPlan { mem_factor: 2.0, ..f.clone() },
             FunctionsPlan { max_attempts: 1, ..f.clone() },
+            FunctionsPlan { execution: ExecutionMode::Pipelined, ..f.clone() },
         ];
         let mut keys = vec![base.key(), DeploymentPlan::cluster().key()];
         for v in variants {
@@ -298,6 +311,21 @@ mod tests {
         }
         let unique: std::collections::BTreeSet<&String> = keys.iter().collect();
         assert_eq!(unique.len(), keys.len(), "{keys:?}");
+    }
+
+    #[test]
+    fn barrier_keys_carry_no_execution_suffix() {
+        // Pre-dataflow plan keys must stay byte-stable: only Pipelined
+        // plans grow the `:pl` marker.
+        let st = stages(&jobs::brain());
+        let base = DeploymentPlan::hybrid(&st);
+        assert!(!base.key().contains(":pl"), "{}", base.key());
+        let PlanKind::Functions(f) = base.kind else { unreachable!() };
+        let pl = DeploymentPlan::functions(
+            "p",
+            FunctionsPlan { execution: ExecutionMode::Pipelined, ..f },
+        );
+        assert!(pl.key().ends_with(":pl"), "{}", pl.key());
     }
 
     #[test]

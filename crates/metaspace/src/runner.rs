@@ -19,20 +19,22 @@
 //! cost, per-stage spans (Figure 2) and CPU-utilisation statistics
 //! (Table 3).
 
+use std::cell::Cell;
 use std::fmt;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use cloudsim::{CloudConfig, InstanceType, ObjectBody, World};
 use clustersim::{ClusterConfig, ClusterEngine, StageDef};
 use serverful::executor::MapOptions;
 use serverful::{
-    Backend, CloudEnv, ExecError, ExecMode, ExecutorConfig, FunctionExecutor, Payload,
-    RetryPolicy, ScriptTask, SizingPolicy,
+    run_dag, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode, ExecutorConfig,
+    FunctionExecutor, Payload, RetryPolicy, ScriptTask, SizingPolicy,
 };
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
 use simkernel::{SimDuration, SimTime};
-use telemetry::trace::SpanId;
+
 use telemetry::UsageStats;
 
 use crate::jobs::JobSpec;
@@ -70,6 +72,13 @@ pub struct StageResult {
     pub tasks: usize,
     /// Wall-clock seconds.
     pub secs: f64,
+    /// Offset of the stage's first activity from the run start, seconds.
+    /// Under barrier execution stages tile back-to-back; under pipelined
+    /// execution windows overlap (the overlap report measures by how
+    /// much).
+    pub start_secs: f64,
+    /// Offset of the stage's last activity from the run start, seconds.
+    pub end_secs: f64,
     /// Whether the stage is a stateful operation.
     pub stateful: bool,
 }
@@ -320,7 +329,7 @@ fn run_functions_plan(
         retry: retry.clone(),
         ..ExecutorConfig::default()
     };
-    let mut faas = FunctionExecutor::new(&mut env, Backend::faas(), faas_cfg);
+    let faas = FunctionExecutor::new(&mut env, Backend::faas(), faas_cfg);
     // The architecture sizes the serverful host from the largest stateful
     // operation assigned to it ("measures input size and selects the host
     // instance type based on empirically defined bounds").
@@ -380,86 +389,20 @@ fn run_functions_plan(
         env.enable_tracing();
     }
     let start = env.now();
-    for (stage, backend) in stages.iter().zip(&plan.backends) {
-        let stage_span = if trace {
-            let now = env.now();
-            let span = env
-                .world_mut()
-                .tracer_mut()
-                .begin(now, &stage.name, "stage", "pipeline", SpanId::NONE);
-            env.set_job_parent(span);
-            span
-        } else {
-            SpanId::NONE
-        };
-        match stage.kind {
-            StageKind::Stateless {
-                read_spread,
-                write_spread,
-            } => {
-                let exec = match backend {
-                    StageBackend::Functions => &mut faas,
-                    StageBackend::Serverful => vm.as_mut().expect("serverful stage has a pool"),
-                };
-                run_stateless(&mut env, exec, stage, read_spread, write_spread)?;
-            }
-            StageKind::Stateful { exchange_gb } => match backend {
-                StageBackend::Serverful => {
-                    let vm_exec = vm.as_mut().expect("serverful stage has a pool");
-                    // The serverful path is bounded by the empirical
-                    // instance table: data beyond the fleet's bounded
-                    // memory is processed in sequential rounds, fused
-                    // (scatter+gather in one job through shared memory).
-                    let bytes = (exchange_gb * 1e9) as u64;
-                    let rounds = plan_rounds(&sizing, plan, planned_itype, bytes);
-                    for round in 0..rounds {
-                        let mut cfg =
-                            exchange_config(stage, exchange_gb / rounds as f64, seed);
-                        cfg.key_prefix = format!("{}-{round}-", stage.name);
-                        cfg.label = if rounds == 1 {
-                            stage.name.clone()
-                        } else {
-                            format!("{}/round{round}", stage.name)
-                        };
-                        let refs = shuffle::seed_input(&mut env, &cfg);
-                        shuffle::run_fused_exchange(
-                            &mut env,
-                            vm_exec,
-                            &cfg,
-                            &refs,
-                            vm_workers,
-                            false,
-                        )?;
-                    }
-                }
-                StageBackend::Functions => {
-                    let cfg = exchange_config(stage, exchange_gb, seed);
-                    let refs = shuffle::seed_input(&mut env, &cfg);
-                    shuffle::run_exchange(
-                        &mut env,
-                        &mut faas,
-                        &cfg,
-                        &refs,
-                        Exchange::Storage,
-                        stage.tasks,
-                        stage.tasks,
-                        false,
-                    )?;
-                }
-            },
-        }
-        if trace {
-            let now = env.now();
-            env.world_mut().tracer_mut().end(stage_span, now);
-            env.set_job_parent(SpanId::NONE);
-        }
-    }
-    if let Some(mut vm_exec) = vm {
+    // Lower the stage graph to a task-level DAG and run it. Barrier
+    // execution replays the classic stage chain (each node blocks until
+    // drained — byte-identical to the pre-dataflow runner); Pipelined
+    // releases downstream partitions as their upstream dependencies
+    // complete.
+    let dag = build_stage_dag(stages, plan, &sizing, planned_itype, vm_workers, seed);
+    let mut ctx = StageCtx { faas, vm };
+    run_dag(&mut env, &mut ctx, dag, plan.execution)?;
+    if let Some(mut vm_exec) = ctx.vm {
         vm_exec.shutdown(&mut env);
     }
 
     let end = env.now();
-    let stage_results = summarise(stages, env.timeline().spans());
+    let stage_results = summarise(stages, env.timeline().spans(), start);
     let cpu = UsageStats::compute(
         env.world().cpu_monitor(),
         start,
@@ -510,14 +453,181 @@ fn plan_rounds(
     }
 }
 
-/// Seeds per-task inputs and maps a read→compute→write script.
-fn run_stateless(
+/// The executors a DAG's launch closures draw on.
+struct StageCtx {
+    faas: FunctionExecutor,
+    vm: Option<FunctionExecutor>,
+}
+
+/// Lowers a stage graph (with its [`pipeline::edges`] dataflow) to a
+/// task-level [`Dag`]:
+///
+/// * a stateless stage → one map node;
+/// * a serverful stateful stage → one fused-exchange node per
+///   sequential round, rounds chained all-to-all (each round's working
+///   set must fully vacate the bounded fleet memory before the next);
+/// * a functions stateful stage → a scatter node plus a gather node
+///   joined all-to-all (the storage exchange is a full shuffle).
+///
+/// Stage-level in-edges attach to the stage's *first* node and point at
+/// the upstream stage's *terminal* node (round chains make
+/// terminal-done imply all-rounds-done, so this is exact).
+fn build_stage_dag(
+    stages: &[Stage],
+    plan: &FunctionsPlan,
+    sizing: &SizingPolicy,
+    planned_itype: &InstanceType,
+    vm_workers: usize,
+    seed: u64,
+) -> Dag<StageCtx> {
+    let stage_deps = pipeline::edges(stages);
+    let mut dag: Dag<StageCtx> = Dag::new();
+    // Terminal node index of each lowered stage.
+    let mut terminal: Vec<usize> = Vec::with_capacity(stages.len());
+    for (si, (stage, backend)) in stages.iter().zip(&plan.backends).enumerate() {
+        let g = dag.add_group(stage.name.clone());
+        let in_edges: Vec<Edge> = stage_deps[si]
+            .iter()
+            .map(|e| Edge {
+                from: terminal[e.from],
+                fan_in: e.fan_in,
+            })
+            .collect();
+        let terminal_node = match stage.kind {
+            StageKind::Stateless {
+                read_spread,
+                write_spread,
+            } => {
+                let stage_c = stage.clone();
+                let on_vm = *backend == StageBackend::Serverful;
+                dag.add_node(DagNode {
+                    label: stage.name.clone(),
+                    group: Some(g),
+                    tasks: stage.tasks,
+                    deps: in_edges,
+                    launch: Box::new(move |ctx: &mut StageCtx, env, gated| {
+                        let exec = if on_vm {
+                            ctx.vm.as_mut().expect("serverful stage has a pool")
+                        } else {
+                            &mut ctx.faas
+                        };
+                        Ok(submit_stateless(
+                            env,
+                            exec,
+                            &stage_c,
+                            read_spread,
+                            write_spread,
+                            gated,
+                        ))
+                    }),
+                })
+            }
+            StageKind::Stateful { exchange_gb } => match backend {
+                StageBackend::Serverful => {
+                    // The serverful path is bounded by the empirical
+                    // instance table: data beyond the fleet's bounded
+                    // memory is processed in sequential rounds, fused
+                    // (scatter+gather in one job through shared memory).
+                    let bytes = (exchange_gb * 1e9) as u64;
+                    let rounds = plan_rounds(sizing, plan, planned_itype, bytes);
+                    let mut prev = None;
+                    for round in 0..rounds {
+                        let mut cfg =
+                            exchange_config(stage, exchange_gb / rounds as f64, seed);
+                        cfg.key_prefix = format!("{}-{round}-", stage.name);
+                        cfg.label = if rounds == 1 {
+                            stage.name.clone()
+                        } else {
+                            format!("{}/round{round}", stage.name)
+                        };
+                        let deps = match prev {
+                            None => in_edges.clone(),
+                            Some(p) => vec![Edge::all_to_all(p)],
+                        };
+                        let label = cfg.label.clone();
+                        prev = Some(dag.add_node(DagNode {
+                            label,
+                            group: Some(g),
+                            tasks: vm_workers,
+                            deps,
+                            launch: Box::new(move |ctx: &mut StageCtx, env, gated| {
+                                let vm_exec =
+                                    ctx.vm.as_mut().expect("serverful stage has a pool");
+                                let refs = shuffle::seed_input(env, &cfg);
+                                Ok(shuffle::submit_fused_exchange(
+                                    env, vm_exec, &cfg, &refs, vm_workers, gated,
+                                ))
+                            }),
+                        }));
+                    }
+                    prev.expect("at least one round")
+                }
+                StageBackend::Functions => {
+                    let cfg = exchange_config(stage, exchange_gb, seed);
+                    let tasks = stage.tasks;
+                    // The gather factory needs the effective scatter
+                    // worker count, known only once the scatter node
+                    // launches; launches run in node order, so the cell
+                    // is always set before the gather reads it.
+                    let scatter_workers = Rc::new(Cell::new(0usize));
+                    let sw = Rc::clone(&scatter_workers);
+                    let cfg_s = cfg.clone();
+                    let scatter = dag.add_node(DagNode {
+                        label: format!("{}/scatter", stage.name),
+                        group: Some(g),
+                        tasks,
+                        deps: in_edges,
+                        launch: Box::new(move |ctx: &mut StageCtx, env, gated| {
+                            let refs = shuffle::seed_input(env, &cfg_s);
+                            let (handle, workers) = shuffle::submit_scatter(
+                                env,
+                                &mut ctx.faas,
+                                &cfg_s,
+                                &refs,
+                                Exchange::Storage,
+                                tasks,
+                                tasks,
+                                gated,
+                            );
+                            sw.set(workers);
+                            Ok(handle)
+                        }),
+                    });
+                    dag.add_node(DagNode {
+                        label: format!("{}/gather", stage.name),
+                        group: Some(g),
+                        tasks,
+                        deps: vec![Edge::all_to_all(scatter)],
+                        launch: Box::new(move |ctx: &mut StageCtx, env, gated| {
+                            Ok(shuffle::submit_gather(
+                                env,
+                                &mut ctx.faas,
+                                &cfg,
+                                Exchange::Storage,
+                                scatter_workers.get(),
+                                tasks,
+                                gated,
+                            ))
+                        }),
+                    })
+                }
+            },
+        };
+        terminal.push(terminal_node);
+    }
+    dag
+}
+
+/// Seeds per-task inputs and submits a read→compute→write map without
+/// blocking on it.
+fn submit_stateless(
     env: &mut CloudEnv,
     exec: &mut FunctionExecutor,
     stage: &Stage,
     read_spread: usize,
     write_spread: usize,
-) -> Result<(), ExecError> {
+    gated: bool,
+) -> serverful::JobHandle {
     let bucket = "lithops-workspace";
     let read_bytes = (stage.read_mb_per_task * 1e6) as u64;
     let write_bytes = (stage.write_mb_per_task * 1e6) as u64;
@@ -548,9 +658,11 @@ fn run_stateless(
         script.finish_value(Payload::Unit).boxed()
     });
     let inputs: Vec<Payload> = (0..stage.tasks).map(|t| Payload::U64(t as u64)).collect();
-    let handle = exec.map_with(env, factory, inputs, MapOptions::named(stage.name.clone()));
-    exec.get_result(env, handle)?;
-    Ok(())
+    let mut opts = MapOptions::named(stage.name.clone());
+    if gated {
+        opts = opts.gated();
+    }
+    exec.map_with(env, factory, inputs, opts)
 }
 
 fn stateless_in_key(stage: &Stage, task: usize, spread: usize) -> String {
@@ -588,8 +700,13 @@ fn exchange_config(stage: &Stage, exchange_gb: f64, seed: u64) -> SortConfig {
 }
 
 /// Merges the timeline's spans (stateful stages produce scatter+gather
-/// pairs) back into per-stage results.
-fn summarise(stages: &[Stage], spans: &[telemetry::StageSpan]) -> Vec<StageResult> {
+/// pairs, or one span per round) back into per-stage results, with
+/// stage windows expressed relative to `run_start`.
+fn summarise(
+    stages: &[Stage],
+    spans: &[telemetry::StageSpan],
+    run_start: SimTime,
+) -> Vec<StageResult> {
     stages
         .iter()
         .map(|stage| {
@@ -605,6 +722,8 @@ fn summarise(stages: &[Stage], spans: &[telemetry::StageSpan]) -> Vec<StageResul
                 name: stage.name.clone(),
                 tasks: stage.tasks,
                 secs: end.saturating_since(start).as_secs_f64(),
+                start_secs: start.saturating_since(run_start).as_secs_f64(),
+                end_secs: end.saturating_since(run_start).as_secs_f64(),
                 stateful: stage.is_stateful(),
             }
         })
@@ -646,6 +765,10 @@ fn run_cluster_plan(
                 name: stage.name.clone(),
                 tasks: stage.tasks,
                 secs: span.map_or(0.0, |s| s.duration().as_secs_f64()),
+                start_secs: span
+                    .map_or(0.0, |s| s.start.saturating_since(start).as_secs_f64()),
+                end_secs: span
+                    .map_or(0.0, |s| s.end.saturating_since(start).as_secs_f64()),
                 stateful: stage.is_stateful(),
             }
         })

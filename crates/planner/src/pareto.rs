@@ -149,6 +149,7 @@ mod tests {
                 vm_count: 1,
                 mem_factor: 2.5,
                 max_attempts: 3,
+                execution: serverful::ExecutionMode::Barrier,
             },
         );
         PlanOutcome {

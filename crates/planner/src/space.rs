@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use cloudsim::instances_within_mem;
 use metaspace::pipeline::{Stage, StageKind};
 use metaspace::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
-use serverful::SizingPolicy;
+use serverful::{ExecutionMode, SizingPolicy};
 
 /// The instance the sizing policy would pick for a backend mask — the
 /// same rule the runner applies (largest serverful stateful exchange
@@ -51,6 +51,8 @@ pub struct SearchSpace {
     pub vm_counts: Vec<usize>,
     /// Candidate sizing factors.
     pub mem_factors: Vec<f64>,
+    /// Candidate execution modes (BSP barriers vs dataflow pipelining).
+    pub executions: Vec<ExecutionMode>,
     /// Candidate fixed-cluster deployments.
     pub clusters: Vec<ClusterPlan>,
 }
@@ -104,6 +106,9 @@ impl SearchSpace {
             instances: vec![None],
             vm_counts: vec![1],
             mem_factors: vec![2.5],
+            // Barrier only: the smoke space stays exactly the paper's
+            // three named deployments.
+            executions: vec![ExecutionMode::Barrier],
             clusters: vec![ClusterPlan::paper()],
         }
     }
@@ -135,6 +140,7 @@ impl SearchSpace {
             instances,
             vm_counts: (1..=8).collect(),
             mem_factors: vec![2.5],
+            executions: vec![ExecutionMode::Barrier, ExecutionMode::Pipelined],
             clusters: vec![ClusterPlan::paper()],
         }
     }
@@ -187,28 +193,32 @@ impl SearchSpace {
                                     }
                                 }
                             }
-                            // Inert knobs are canonicalised to their
-                            // defaults so each distinct deployment
-                            // appears once: the VM knobs without
-                            // serverful stages, the Lambda memory
-                            // without function stages.
-                            let f = if pure_functions {
-                                FunctionsPlan {
-                                    backends: mask.clone(),
-                                    memory_mb,
-                                    ..FunctionsPlan::serverless(mask.len())
-                                }
-                            } else {
-                                FunctionsPlan {
-                                    backends: mask.clone(),
-                                    memory_mb: if pure_serverful { 1769 } else { memory_mb },
-                                    instance: instance.clone(),
-                                    vm_count,
-                                    mem_factor,
-                                    ..FunctionsPlan::serverless(mask.len())
-                                }
-                            };
-                            add(DeploymentPlan::functions("candidate", f));
+                            for &execution in &self.executions {
+                                // Inert knobs are canonicalised to their
+                                // defaults so each distinct deployment
+                                // appears once: the VM knobs without
+                                // serverful stages, the Lambda memory
+                                // without function stages.
+                                let f = if pure_functions {
+                                    FunctionsPlan {
+                                        backends: mask.clone(),
+                                        memory_mb,
+                                        execution,
+                                        ..FunctionsPlan::serverless(mask.len())
+                                    }
+                                } else {
+                                    FunctionsPlan {
+                                        backends: mask.clone(),
+                                        memory_mb: if pure_serverful { 1769 } else { memory_mb },
+                                        instance: instance.clone(),
+                                        vm_count,
+                                        mem_factor,
+                                        execution,
+                                        ..FunctionsPlan::serverless(mask.len())
+                                    }
+                                };
+                                add(DeploymentPlan::functions("candidate", f));
+                            }
                         }
                     }
                 }
@@ -257,8 +267,27 @@ mod tests {
             .iter()
             .filter(|p| matches!(&p.kind, PlanKind::Functions(f) if !f.uses_serverful()))
             .collect();
-        // One per memory setting, not one per (memory × instance × fleet).
-        assert_eq!(pure.len(), SearchSpace::standard(&stages).memories_mb.len());
+        // One per (memory setting × execution mode), not one per
+        // (memory × instance × fleet).
+        let space = SearchSpace::standard(&stages);
+        assert_eq!(pure.len(), space.memories_mb.len() * space.executions.len());
+    }
+
+    #[test]
+    fn standard_space_pairs_every_deployment_with_both_executions() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::standard(&stages).candidates(&stages);
+        let (mut barrier, mut pipelined) = (0usize, 0usize);
+        for p in &plans {
+            if let PlanKind::Functions(f) = &p.kind {
+                match f.execution {
+                    ExecutionMode::Barrier => barrier += 1,
+                    ExecutionMode::Pipelined => pipelined += 1,
+                }
+            }
+        }
+        assert_eq!(barrier, pipelined, "every barrier plan has a pipelined twin");
+        assert!(pipelined > 0);
     }
 
     #[test]

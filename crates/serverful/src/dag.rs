@@ -1,0 +1,584 @@
+//! Dependency-driven dataflow execution over [`CloudEnv`].
+//!
+//! A [`Dag`] represents a workflow as a task-level dependency graph:
+//! node *v*'s partition *p* becomes runnable as soon as its specific
+//! upstream partitions complete — not when the whole upstream stage
+//! drains. This is Wukong's observation ("In Search of a Fast and
+//! Efficient Serverless DAG Engine"): BSP stage barriers make fast
+//! partitions idle behind stragglers at every boundary, and a
+//! dependency-driven scheduler removes exactly that cost.
+//!
+//! Execution comes in two [`ExecutionMode`]s:
+//!
+//! * [`ExecutionMode::Barrier`] — the classic BSP chain. Nodes run one
+//!   at a time in submission order; each blocks until fully drained.
+//!   A barrier is the *degenerate DAG* (all-to-all edges between
+//!   consecutive stages collapsed into whole-job waits), and this mode
+//!   reproduces the pre-dataflow executor byte-for-byte: identical
+//!   world-call sequence, identical goldens.
+//! * [`ExecutionMode::Pipelined`] — every node is submitted up front
+//!   with its tasks *gated* ([`crate::executor::MapOptions::gated`]);
+//!   the scheduler pumps the environment and releases each task the
+//!   moment its [`FanIn`]-shaped upstream dependencies are satisfied.
+//!   FaaS tasks launch immediately; serverful tasks enqueue on the
+//!   already-warm worker pool.
+//!
+//! The launch closures own backend choice and input seeding; the DAG
+//! only sequences them. See `metaspace::runner` for the full pipeline
+//! lowering and `examples/dag_pipeline.rs` for a standalone example.
+
+use crate::env::{CloudEnv, EnvEvent};
+use crate::error::ExecError;
+use crate::executor::JobHandle;
+use simkernel::SimTime;
+use telemetry::trace::SpanId;
+
+/// How an edge fans partitions in from its upstream node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanIn {
+    /// Task `j` of a width-`m` downstream node depends on the block of
+    /// upstream tasks `[j*n/m, max((j+1)*n/m, j*n/m + 1))` of a
+    /// width-`n` upstream node. For equal widths this is the identity
+    /// mapping (map stages chained partition-to-partition).
+    OneToOne,
+    /// Every downstream task depends on *every* upstream task (shuffle
+    /// edges: sort, segmentation, any repartitioning exchange).
+    AllToAll,
+}
+
+/// A dependency edge: `from` is the index of an upstream node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the upstream node (must be < the downstream node's).
+    pub from: usize,
+    /// Fan-in shape of the dependency.
+    pub fan_in: FanIn,
+}
+
+impl Edge {
+    /// A one-to-one (partition-wise) edge from node `from`.
+    pub fn one_to_one(from: usize) -> Edge {
+        Edge { from, fan_in: FanIn::OneToOne }
+    }
+
+    /// An all-to-all (shuffle) edge from node `from`.
+    pub fn all_to_all(from: usize) -> Edge {
+        Edge { from, fan_in: FanIn::AllToAll }
+    }
+}
+
+/// The upstream task indices task `t` of a width-`m` downstream node
+/// waits on across a `fan_in`-shaped edge from a width-`n` upstream
+/// node, as a half-open range.
+///
+/// # Example
+///
+/// ```
+/// use serverful::dag::{fan_in_range, FanIn};
+///
+/// // 8 upstream partitions feeding 3 downstream: blocks of ~n/m.
+/// assert_eq!(fan_in_range(FanIn::OneToOne, 8, 3, 1), 2..5);
+/// assert_eq!(fan_in_range(FanIn::AllToAll, 8, 3, 1), 0..8);
+/// ```
+pub fn fan_in_range(
+    fan_in: FanIn,
+    upstream_tasks: usize,
+    downstream_tasks: usize,
+    t: usize,
+) -> std::ops::Range<usize> {
+    let n = upstream_tasks;
+    match fan_in {
+        FanIn::AllToAll => 0..n,
+        FanIn::OneToOne => {
+            let m = downstream_tasks;
+            let lo = t * n / m;
+            let hi = ((t + 1) * n / m).max(lo + 1).min(n);
+            lo..hi
+        }
+    }
+}
+
+/// How a DAG's nodes are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionMode {
+    /// BSP stage barriers: each node blocks until the previous fully
+    /// drains. Byte-identical to the pre-dataflow executor.
+    #[default]
+    Barrier,
+    /// Dependency-driven: all nodes submitted gated; tasks released as
+    /// their upstream partitions complete.
+    Pipelined,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Barrier => f.write_str("barrier"),
+            ExecutionMode::Pipelined => f.write_str("pipelined"),
+        }
+    }
+}
+
+/// Launches one node's job against the environment. `gated` asks for
+/// the submission to withhold task dispatch (Pipelined mode); a Barrier
+/// launch passes `false` and the job runs exactly as a plain `map`.
+pub type LaunchFn<C> =
+    Box<dyn FnMut(&mut C, &mut CloudEnv, bool) -> Result<JobHandle, ExecError>>;
+
+/// One node of the graph: a `map` job plus its dependency edges.
+pub struct DagNode<C> {
+    /// Display label (reports, trace annotations).
+    pub label: String,
+    /// Progress group this node belongs to (a pipeline stage may lower
+    /// to several nodes — scatter/gather, per-round exchanges).
+    pub group: Option<usize>,
+    /// Task count the node's job will have (known before launch so
+    /// fan-in block ranges can be computed).
+    pub tasks: usize,
+    /// Upstream dependencies. Every `Edge::from` must point at a node
+    /// with a strictly smaller index (topological submission order).
+    pub deps: Vec<Edge>,
+    /// Submits the node's job.
+    pub launch: LaunchFn<C>,
+}
+
+/// A workflow graph over a shared driver context `C` (executors, plan
+/// parameters — whatever the launch closures need).
+pub struct Dag<C> {
+    /// Group labels (pipeline stage names), indexed by `DagNode::group`.
+    pub groups: Vec<String>,
+    nodes: Vec<DagNode<C>>,
+}
+
+impl<C> Default for Dag<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> Dag<C> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Dag { groups: Vec::new(), nodes: Vec::new() }
+    }
+
+    /// Registers a progress group (stage) label; returns its index.
+    pub fn add_group(&mut self, label: impl Into<String>) -> usize {
+        self.groups.push(label.into());
+        self.groups.len() - 1
+    }
+
+    /// Adds a node; returns its index. Nodes must be added in a
+    /// topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge points at this node or a later one, or if the
+    /// node has zero tasks.
+    pub fn add_node(&mut self, node: DagNode<C>) -> usize {
+        let idx = self.nodes.len();
+        assert!(node.tasks > 0, "node {:?} has zero tasks", node.label);
+        for e in &node.deps {
+            assert!(
+                e.from < idx,
+                "edge {} -> {} is not topological",
+                e.from,
+                idx
+            );
+        }
+        self.nodes.push(node);
+        idx
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to node `idx` (label, task count, edges).
+    pub fn node(&self, idx: usize) -> &DagNode<C> {
+        &self.nodes[idx]
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The upstream task indices task `t` of node `v` waits on through
+    /// `edge`, as a half-open range over the upstream node's tasks.
+    fn dep_range(&self, v: usize, t: usize, edge: &Edge) -> std::ops::Range<usize> {
+        fan_in_range(edge.fan_in, self.nodes[edge.from].tasks, self.nodes[v].tasks, t)
+    }
+}
+
+/// Per-node scheduling telemetry from a [`run_dag`] execution.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The node's label.
+    pub label: String,
+    /// The node's group index, if any.
+    pub group: Option<usize>,
+    /// Task count.
+    pub tasks: usize,
+    /// When the node's job was submitted.
+    pub launched_at: SimTime,
+    /// When the node's job fully finished (results collected).
+    pub finished_at: SimTime,
+    /// When each task was released for dispatch (equals `launched_at`
+    /// for every task in Barrier mode).
+    pub released_at: Vec<SimTime>,
+    /// When each task's completion was observed by the scheduler.
+    pub done_at: Vec<SimTime>,
+}
+
+/// The result of a DAG execution: per-node stats in node order.
+#[derive(Debug, Clone)]
+pub struct DagStats {
+    /// One entry per node, in submission (topological) order.
+    pub nodes: Vec<NodeStats>,
+}
+
+/// Per-node bookkeeping while a pipelined run is in flight.
+struct Live {
+    handle: JobHandle,
+    stats: NodeStats,
+    /// Per-task done flags, stamped as the scheduler observes them.
+    done: Vec<bool>,
+    /// Per-task released flags.
+    released: Vec<bool>,
+    /// Whole job finished and results taken.
+    complete: bool,
+}
+
+/// Executes the graph. Consumes the DAG (launch closures are `FnMut`
+/// run once each).
+///
+/// In [`ExecutionMode::Barrier`] nodes run strictly one after another —
+/// the degenerate DAG — reproducing the classic stage-chained executor
+/// byte-for-byte (identical storage/compute call sequence, so golden
+/// traces are unchanged). In [`ExecutionMode::Pipelined`] all nodes
+/// submit up front gated and tasks are released as their dependencies
+/// complete.
+///
+/// When tracing is enabled, each group opens a `stage` span covering
+/// its nodes; in pipelined mode each job span additionally carries a
+/// `deps` attribute naming its upstream nodes (spans parented on DAG
+/// edges).
+///
+/// # Errors
+///
+/// Propagates the first node failure or a drained (stalled) world.
+pub fn run_dag<C>(
+    env: &mut CloudEnv,
+    ctx: &mut C,
+    dag: Dag<C>,
+    mode: ExecutionMode,
+) -> Result<DagStats, ExecError> {
+    match mode {
+        ExecutionMode::Barrier => run_barrier(env, ctx, dag),
+        ExecutionMode::Pipelined => run_pipelined(env, ctx, dag),
+    }
+}
+
+/// Begins the trace span of a group when `node` is its first member.
+fn maybe_begin_group_span<C>(
+    env: &mut CloudEnv,
+    dag: &Dag<C>,
+    node: usize,
+    open: &mut [SpanId],
+) {
+    let Some(g) = dag.nodes[node].group else {
+        return;
+    };
+    if !env.tracing_enabled() || open[g] != SpanId::NONE {
+        return;
+    }
+    let first = dag.nodes.iter().position(|n| n.group == Some(g));
+    if first != Some(node) {
+        return;
+    }
+    let now = env.now();
+    let name = dag.groups[g].clone();
+    let span = env
+        .world_mut()
+        .tracer_mut()
+        .begin(now, &name, "stage", "pipeline", SpanId::NONE);
+    open[g] = span;
+}
+
+/// Ends a group's span once its last member node finished.
+fn maybe_end_group_span<C>(
+    env: &mut CloudEnv,
+    dag: &Dag<C>,
+    node: usize,
+    open: &mut [SpanId],
+) {
+    let Some(g) = dag.nodes[node].group else {
+        return;
+    };
+    if open[g] == SpanId::NONE {
+        return;
+    }
+    let last = dag.nodes.iter().rposition(|n| n.group == Some(g));
+    if last != Some(node) {
+        return;
+    }
+    let now = env.now();
+    env.world_mut().tracer_mut().end(open[g], now);
+    open[g] = SpanId::NONE;
+}
+
+fn run_barrier<C>(
+    env: &mut CloudEnv,
+    ctx: &mut C,
+    mut dag: Dag<C>,
+) -> Result<DagStats, ExecError> {
+    let mut open = vec![SpanId::NONE; dag.groups.len()];
+    let mut stats = Vec::with_capacity(dag.len());
+    for v in 0..dag.len() {
+        maybe_begin_group_span(env, &dag, v, &mut open);
+        if let Some(g) = dag.nodes[v].group {
+            env.set_job_parent(open[g]);
+        }
+        let launched_at = env.now();
+        let handle = (dag.nodes[v].launch)(ctx, env, false)?;
+        let tasks = handle.total_tasks(env);
+        // Block until the node drains: the barrier.
+        let result = loop {
+            if let Some(r) = env.try_job_result(handle.id) {
+                break r;
+            }
+            match env.pump() {
+                EnvEvent::Progress | EnvEvent::Timer(_) => {}
+                EnvEvent::Drained => {
+                    break Err(ExecError::Stalled(format!(
+                        "simulation drained with DAG node {} ({}) unfinished",
+                        v, dag.nodes[v].label
+                    )));
+                }
+            }
+        };
+        env.set_job_parent(SpanId::NONE);
+        maybe_end_group_span(env, &dag, v, &mut open);
+        result?;
+        let finished_at = env.now();
+        stats.push(NodeStats {
+            label: dag.nodes[v].label.clone(),
+            group: dag.nodes[v].group,
+            tasks,
+            launched_at,
+            finished_at,
+            released_at: vec![launched_at; tasks],
+            done_at: vec![finished_at; tasks],
+        });
+    }
+    Ok(DagStats { nodes: stats })
+}
+
+fn run_pipelined<C>(
+    env: &mut CloudEnv,
+    ctx: &mut C,
+    mut dag: Dag<C>,
+) -> Result<DagStats, ExecError> {
+    let mut open = vec![SpanId::NONE; dag.groups.len()];
+    // Submit every node up front, gated, in topological order. Warm
+    // infrastructure (FaaS setup, pool provisioning) overlaps across
+    // the whole graph from t=0.
+    let mut live: Vec<Live> = Vec::with_capacity(dag.len());
+    for v in 0..dag.len() {
+        maybe_begin_group_span(env, &dag, v, &mut open);
+        if let Some(g) = dag.nodes[v].group {
+            env.set_job_parent(open[g]);
+        }
+        let launched_at = env.now();
+        let handle = (dag.nodes[v].launch)(ctx, env, true)?;
+        env.set_job_parent(SpanId::NONE);
+        let tasks = handle.total_tasks(env);
+        debug_assert_eq!(
+            tasks, dag.nodes[v].tasks,
+            "node {} declared {} tasks but launched {}",
+            dag.nodes[v].label, dag.nodes[v].tasks, tasks
+        );
+        if !dag.nodes[v].deps.is_empty() {
+            let deps: Vec<&str> = dag.nodes[v]
+                .deps
+                .iter()
+                .map(|e| dag.nodes[e.from].label.as_str())
+                .collect();
+            env.annotate_job_span(handle.id, "deps", &deps.join(","));
+        }
+        live.push(Live {
+            handle,
+            stats: NodeStats {
+                label: dag.nodes[v].label.clone(),
+                group: dag.nodes[v].group,
+                tasks,
+                launched_at,
+                finished_at: launched_at,
+                released_at: vec![SimTime::ZERO; tasks],
+                done_at: vec![SimTime::ZERO; tasks],
+            },
+            done: vec![false; tasks],
+            released: vec![false; tasks],
+            complete: false,
+        });
+    }
+
+    // Release pass + pump loop. The release scan is deterministic:
+    // nodes in topological order, tasks in index order.
+    release_ready(env, &dag, &mut live);
+    while live.iter().any(|l| !l.complete) {
+        match env.pump() {
+            EnvEvent::Progress | EnvEvent::Timer(_) => {}
+            EnvEvent::Drained => {
+                let stuck: Vec<&str> = live
+                    .iter()
+                    .filter(|l| !l.complete)
+                    .map(|l| l.stats.label.as_str())
+                    .collect();
+                return Err(ExecError::Stalled(format!(
+                    "simulation drained with DAG nodes unfinished: {}",
+                    stuck.join(", ")
+                )));
+            }
+        }
+        observe_progress(env, &dag, &mut live, &mut open)?;
+        release_ready(env, &dag, &mut live);
+    }
+    Ok(DagStats {
+        nodes: live.into_iter().map(|l| l.stats).collect(),
+    })
+}
+
+/// Stamps newly-observed task completions and finished jobs.
+fn observe_progress<C>(
+    env: &mut CloudEnv,
+    dag: &Dag<C>,
+    live: &mut [Live],
+    open: &mut [SpanId],
+) -> Result<(), ExecError> {
+    let now = env.now();
+    for (v, l) in live.iter_mut().enumerate() {
+        if l.complete {
+            continue;
+        }
+        if l.handle.done_tasks(env) > l.done.iter().filter(|d| **d).count() {
+            for t in 0..l.stats.tasks {
+                if !l.done[t] && l.handle.task_done(env, t) {
+                    l.done[t] = true;
+                    l.stats.done_at[t] = now;
+                }
+            }
+        }
+        if l.handle.is_finished(env) {
+            let result = env
+                .try_job_result(l.handle.id)
+                .expect("finished job yields a result");
+            l.complete = true;
+            l.stats.finished_at = now;
+            maybe_end_group_span(env, dag, v, open);
+            result?;
+            // A failed job short-circuits the whole DAG; spans of other
+            // open groups are abandoned, matching barrier-mode failure.
+        }
+    }
+    Ok(())
+}
+
+/// Releases every gated task whose dependencies are now satisfied.
+fn release_ready<C>(env: &mut CloudEnv, dag: &Dag<C>, live: &mut [Live]) {
+    let now = env.now();
+    for v in 0..live.len() {
+        if live[v].complete {
+            continue;
+        }
+        for t in 0..live[v].stats.tasks {
+            if live[v].released[t] {
+                continue;
+            }
+            let ready = dag.nodes[v].deps.iter().all(|e| {
+                dag.dep_range(v, t, e).all(|u| live[e.from].done[u])
+            });
+            if !ready {
+                continue;
+            }
+            live[v].released[t] = true;
+            live[v].stats.released_at[t] = now;
+            live[v].handle.release_task(env, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        assert_eq!(Edge::one_to_one(3), Edge { from: 3, fan_in: FanIn::OneToOne });
+        assert_eq!(Edge::all_to_all(0), Edge { from: 0, fan_in: FanIn::AllToAll });
+    }
+
+    #[test]
+    fn execution_mode_defaults_to_barrier() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Barrier);
+        assert_eq!(ExecutionMode::Barrier.to_string(), "barrier");
+        assert_eq!(ExecutionMode::Pipelined.to_string(), "pipelined");
+    }
+
+    fn leaf(label: &str, tasks: usize, deps: Vec<Edge>) -> DagNode<()> {
+        DagNode {
+            label: label.into(),
+            group: None,
+            tasks,
+            deps,
+            launch: Box::new(|_, _, _| unreachable!("never launched in this test")),
+        }
+    }
+
+    #[test]
+    fn one_to_one_block_mapping_covers_all_upstream_tasks() {
+        // Upstream 8 tasks, downstream 3: blocks [0,2) [2,5) [5,8).
+        let mut dag: Dag<()> = Dag::new();
+        let up = dag.add_node(leaf("up", 8, vec![]));
+        let down = dag.add_node(leaf("down", 3, vec![Edge::one_to_one(up)]));
+        let e = Edge::one_to_one(up);
+        let ranges: Vec<_> = (0..3).map(|t| dag.dep_range(down, t, &e)).collect();
+        assert_eq!(ranges, vec![0..2, 2..5, 5..8]);
+        // Every upstream task is covered.
+        let covered: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(covered, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_to_one_widening_maps_each_downstream_to_one_upstream() {
+        // Upstream 2 tasks, downstream 6: each downstream task waits on
+        // exactly one upstream partition.
+        let mut dag: Dag<()> = Dag::new();
+        let up = dag.add_node(leaf("up", 2, vec![]));
+        let down = dag.add_node(leaf("down", 6, vec![Edge::one_to_one(up)]));
+        let e = Edge::one_to_one(up);
+        let owners: Vec<_> = (0..6)
+            .map(|t| dag.dep_range(down, t, &e))
+            .collect();
+        assert_eq!(owners, vec![0..1, 0..1, 0..1, 1..2, 1..2, 1..2]);
+    }
+
+    #[test]
+    fn all_to_all_spans_the_whole_upstream() {
+        let mut dag: Dag<()> = Dag::new();
+        let up = dag.add_node(leaf("up", 5, vec![]));
+        let down = dag.add_node(leaf("down", 2, vec![Edge::all_to_all(up)]));
+        let e = Edge::all_to_all(up);
+        assert_eq!(dag.dep_range(down, 0, &e), 0..5);
+        assert_eq!(dag.dep_range(down, 1, &e), 0..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not topological")]
+    fn forward_edges_are_rejected() {
+        let mut dag: Dag<()> = Dag::new();
+        dag.add_node(leaf("a", 1, vec![Edge::one_to_one(0)]));
+    }
+}

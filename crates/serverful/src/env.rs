@@ -322,6 +322,18 @@ impl CloudEnv {
         self.job_parent = span;
     }
 
+    /// Annotates a job's root span with a string attribute (no-op when
+    /// tracing is off). The DAG scheduler uses this to parent spans on
+    /// their dataflow edges: a `deps` attribute naming the upstream
+    /// nodes each job waited on.
+    pub(crate) fn annotate_job_span(&mut self, job: usize, key: &'static str, value: &str) {
+        if !self.world.tracer().is_enabled() {
+            return;
+        }
+        let span = self.jobs[job].span;
+        self.world.tracer_mut().attr_str(span, key, value);
+    }
+
     /// Pre-loads an object outside the timed path (experiment setup).
     pub fn seed_object(&mut self, bucket: &str, key: &str, body: ObjectBody) {
         self.world.seed_object(bucket, key, body);
@@ -371,13 +383,94 @@ impl CloudEnv {
             } => {
                 self.jobs[id].monitor_host = self.world.client_host();
                 self.dispatch_faas(id, memory_mb, fetch_input, &fleet);
-                self.schedule_poll(id);
+                self.jobs[id].dispatch_ready = true;
+                self.maybe_start_monitor(id);
             }
             JobBackend::Standalone { pool } => {
                 self.pools[pool].queue.push_back(id);
                 self.pool_try_start(pool);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Gated (dataflow) task release
+    // ------------------------------------------------------------------
+
+    /// Starts the storage-polling completion monitor once it can make
+    /// progress: infrastructure dispatched *and* every task released.
+    /// Deferring the first poll past the last release keeps a gated job
+    /// from burning LIST requests on results that cannot exist yet; for
+    /// ungated jobs `held_tasks` is 0 and the monitor starts exactly
+    /// where it always did.
+    fn maybe_start_monitor(&mut self, job: usize) {
+        let j = &self.jobs[job];
+        if j.monitor_started || !j.dispatch_ready || j.held_tasks > 0 {
+            return;
+        }
+        self.jobs[job].monitor_started = true;
+        self.schedule_poll(job);
+    }
+
+    /// Releases one gated task for dispatch. No-op if the task was never
+    /// gated, was already released, or the job already finished.
+    pub(crate) fn release_task(&mut self, job: usize, task: usize) {
+        if self.jobs[job].is_finished() || !self.jobs[job].tasks[task].held {
+            return;
+        }
+        if self.jobs[job].first_release_at.is_none() {
+            self.jobs[job].first_release_at = Some(self.world.now());
+        }
+        self.jobs[job].tasks[task].held = false;
+        self.jobs[job].held_tasks -= 1;
+        match self.jobs[job].backend.clone() {
+            JobBackend::Faas {
+                memory_mb,
+                fetch_input,
+                fleet,
+            } => {
+                // Before setup completes, clearing `held` is enough:
+                // `dispatch_faas` picks the task up with the rest.
+                if self.jobs[job].dispatch_ready {
+                    self.dispatch_faas_task(job, task, memory_mb, fetch_input, &fleet);
+                }
+            }
+            JobBackend::Standalone { pool } => {
+                // Only once the job owns the pool does its queue exist;
+                // a queued job's `pool_start_job` reads `held` later.
+                if self.pools[pool].active == Some(job) {
+                    self.requeue_task(pool, job, task);
+                }
+            }
+        }
+        self.maybe_start_monitor(job);
+    }
+
+    /// Releases every still-gated task of a job, in task order.
+    pub(crate) fn release_all_tasks(&mut self, job: usize) {
+        for task in 0..self.jobs[job].tasks.len() {
+            self.release_task(job, task);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Partition-level progress (JobHandle accessors)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn job_total_tasks(&self, job: usize) -> usize {
+        self.jobs[job].tasks.len()
+    }
+
+    pub(crate) fn job_done_tasks(&self, job: usize) -> usize {
+        self.jobs[job].done_tasks
+    }
+
+    pub(crate) fn job_task_done(&self, job: usize, task: usize) -> bool {
+        matches!(self.jobs[job].tasks[task].phase, TaskPhase::Done)
+    }
+
+    pub(crate) fn job_finished(&self, job: usize) -> bool {
+        self.jobs[job].is_finished()
     }
 
     pub(crate) fn next_job_id(&self) -> usize {
@@ -450,7 +543,10 @@ impl CloudEnv {
     ///
     /// Propagates task failures, decode failures and stalls.
     pub(crate) fn run_job(&mut self, job: usize) -> Result<Vec<Payload>, ExecError> {
-        while !self.jobs[job].is_finished() {
+        loop {
+            if let Some(result) = self.try_job_result(job) {
+                return result;
+            }
             match self.pump() {
                 EnvEvent::Progress | EnvEvent::Timer(_) => {}
                 EnvEvent::Drained => {
@@ -463,7 +559,6 @@ impl CloudEnv {
                 }
             }
         }
-        self.take_job_result(job)
     }
 
     /// Advances the world by one notification and routes it. This is the
@@ -862,6 +957,9 @@ impl CloudEnv {
     fn dispatch_faas(&mut self, job: usize, memory_mb: u32, fetch_input: bool, fleet: &str) {
         let n = self.jobs[job].inputs.len();
         for task in 0..n {
+            if self.jobs[job].tasks[task].held {
+                continue; // gated; dispatched on release
+            }
             self.dispatch_faas_task(job, task, memory_mb, fetch_input, fleet);
         }
     }
@@ -1451,7 +1549,7 @@ impl CloudEnv {
         let j = &self.jobs[job];
         self.timeline.record(StageSpan {
             name: j.name.clone(),
-            start: j.submitted_at,
+            start: j.first_release_at.unwrap_or(j.submitted_at),
             end: now,
             tasks: j.tasks.len(),
             stateful: j.stateful,
@@ -1788,15 +1886,20 @@ impl CloudEnv {
     }
 
     /// Infra ready: master pushes every task bundle into its KV queue.
+    /// Gated tasks are skipped — their bundles arrive one by one through
+    /// `release_task` as upstream partitions complete.
     fn pool_start_job(&mut self, pool: usize, job: usize) {
         let kv = self.pools[pool].kv.expect("pool started without KV");
         let master = self.pools[pool].master_host();
         self.jobs[job].monitor_host = master;
         let n = self.jobs[job].inputs.len();
         let queue = format!("job-{job}");
-        self.pools[pool].pushes_outstanding = n;
+        let ready: Vec<usize> = (0..n)
+            .filter(|&t| !self.jobs[job].tasks[t].held)
+            .collect();
+        self.pools[pool].pushes_outstanding = ready.len();
         self.world.set_trace_parent(self.jobs[job].span);
-        for task in 0..n {
+        for task in ready {
             let bundle = Payload::List(vec![
                 Payload::U64(task as u64),
                 self.jobs[job].inputs[task].clone(),
@@ -1806,6 +1909,11 @@ impl CloudEnv {
             self.op_routes.insert(op, Route::Push { pool, job });
         }
         self.world.set_trace_parent(SpanId::NONE);
+        if self.pools[pool].pushes_outstanding == 0 {
+            // Fully gated job: workers spin up idle and wait for
+            // released bundles.
+            self.pool_pushes_complete(pool, job);
+        }
     }
 
     fn on_push_done(&mut self, pool: usize, job: usize) {
@@ -1813,8 +1921,13 @@ impl CloudEnv {
         if self.pools[pool].pushes_outstanding > 0 {
             return;
         }
-        // All bundles queued: start one worker process per vCPU of every
-        // worker that is up (replacements still booting join on ready).
+        self.pool_pushes_complete(pool, job);
+    }
+
+    /// All initially-queued bundles landed: start one worker process per
+    /// vCPU of every worker that is up (replacements still booting join
+    /// on ready) and arm the master's result monitor.
+    fn pool_pushes_complete(&mut self, pool: usize, job: usize) {
         let worker_specs: Vec<(usize, usize)> = self.pools[pool]
             .workers
             .iter()
@@ -1827,8 +1940,10 @@ impl CloudEnv {
         for (vm_idx, proc) in worker_specs {
             self.worker_pop(pool, vm_idx, proc);
         }
-        // The master begins monitoring result objects.
-        self.schedule_poll(job);
+        // The master begins monitoring result objects (once every gated
+        // task has been released).
+        self.jobs[job].dispatch_ready = true;
+        self.maybe_start_monitor(job);
     }
 
     fn worker_pop(&mut self, pool: usize, vm_idx: usize, proc: usize) {

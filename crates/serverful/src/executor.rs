@@ -53,6 +53,47 @@ pub struct JobHandle {
     pub(crate) id: usize,
 }
 
+impl JobHandle {
+    /// Number of tasks (partitions) in the job.
+    #[must_use = "a task count only informs scheduling; it has no side effect"]
+    pub fn total_tasks(&self, env: &CloudEnv) -> usize {
+        env.job_total_tasks(self.id)
+    }
+
+    /// Tasks that have completed successfully so far. Partition-level
+    /// progress: a dataflow scheduler can release downstream work as
+    /// soon as specific upstream partitions finish, without waiting for
+    /// the whole job.
+    #[must_use = "a completion count only informs scheduling; it has no side effect"]
+    pub fn done_tasks(&self, env: &CloudEnv) -> usize {
+        env.job_done_tasks(self.id)
+    }
+
+    /// Whether a specific partition has completed successfully.
+    #[must_use = "a completion check only informs scheduling; it has no side effect"]
+    pub fn task_done(&self, env: &CloudEnv, task: usize) -> bool {
+        env.job_task_done(self.id, task)
+    }
+
+    /// Whether the whole job has finished (all results collected, or
+    /// failed). Redeem with [`FunctionExecutor::try_result`].
+    #[must_use = "a completion check only informs scheduling; it has no side effect"]
+    pub fn is_finished(&self, env: &CloudEnv) -> bool {
+        env.job_finished(self.id)
+    }
+
+    /// Releases one gated task for dispatch (no-op if the task was not
+    /// gated or was already released). See [`MapOptions::gated`].
+    pub fn release_task(&self, env: &mut CloudEnv, task: usize) {
+        env.release_task(self.id, task);
+    }
+
+    /// Releases every still-gated task of the job.
+    pub fn release_all(&self, env: &mut CloudEnv) {
+        env.release_all_tasks(self.id);
+    }
+}
+
 /// Options for one `map` call.
 #[derive(Debug, Clone)]
 pub struct MapOptions {
@@ -61,6 +102,11 @@ pub struct MapOptions {
     /// Mark this stage a stateful operation (sort/partition/exchange) in
     /// the paper's sense; drives the Table 3 stateful-window statistics.
     pub stateful: bool,
+    /// Submit the job with every task *gated*: infrastructure spins up,
+    /// but no task is dispatched until [`JobHandle::release_task`]
+    /// releases it. The hook dependency-driven schedulers use to launch
+    /// partitions as their upstream data arrives.
+    pub gated: bool,
 }
 
 impl Default for MapOptions {
@@ -68,6 +114,7 @@ impl Default for MapOptions {
         MapOptions {
             name: "map".to_owned(),
             stateful: false,
+            gated: false,
         }
     }
 }
@@ -78,12 +125,19 @@ impl MapOptions {
         MapOptions {
             name: name.into(),
             stateful: false,
+            gated: false,
         }
     }
 
     /// Marks the stage stateful.
     pub fn stateful(mut self) -> Self {
         self.stateful = true;
+        self
+    }
+
+    /// Gates every task behind an explicit release (dataflow mode).
+    pub fn gated(mut self) -> Self {
+        self.gated = true;
         self
     }
 }
@@ -182,10 +236,20 @@ impl FunctionExecutor {
             io_overlap: self.config.io_compute_overlap,
             retry: self.config.retry.clone(),
             inputs,
-            tasks: (0..n).map(|_| TaskState::new()).collect(),
+            tasks: (0..n)
+                .map(|_| {
+                    let mut t = TaskState::new();
+                    t.held = opts.gated;
+                    t
+                })
+                .collect(),
             results: (0..n).map(|_| None).collect(),
             done_tasks: 0,
+            held_tasks: if opts.gated { n } else { 0 },
+            dispatch_ready: false,
+            monitor_started: false,
             submitted_at: env.now(),
+            first_release_at: None,
             finished_at: None,
             error: None,
             monitor: MonitorState::Sleeping,

@@ -152,6 +152,9 @@ pub(crate) struct TaskState {
     /// Trace span of the current attempt ([`SpanId::NONE`] when tracing is
     /// off or no attempt is in flight).
     pub span: SpanId,
+    /// Gated submission: the task is withheld from dispatch until a DAG
+    /// scheduler releases it ([`crate::env::CloudEnv`]'s `release_task`).
+    pub held: bool,
 }
 
 impl TaskState {
@@ -164,6 +167,7 @@ impl TaskState {
             attempts: 0,
             started_at: None,
             span: SpanId::NONE,
+            held: false,
         }
     }
 }
@@ -197,7 +201,23 @@ pub(crate) struct JobState {
     pub tasks: Vec<TaskState>,
     pub results: Vec<Option<Payload>>,
     pub done_tasks: usize,
+    /// Tasks still gated behind an explicit release (dataflow mode);
+    /// 0 for ordinary jobs.
+    pub held_tasks: usize,
+    /// Backend infrastructure is ready to dispatch released tasks
+    /// immediately (FaaS setup done / pool pushes acknowledged).
+    pub dispatch_ready: bool,
+    /// The storage-polling completion monitor has been started. Deferred
+    /// until every task is released, so a gated job does not burn LIST
+    /// requests polling for results that cannot exist yet.
+    pub monitor_started: bool,
     pub submitted_at: SimTime,
+    /// When the first gated task was released; `None` for ordinary
+    /// (ungated) jobs, whose work starts at submission. The timeline's
+    /// stage window opens here, so a pipelined stage's recorded start
+    /// is when it first got runnable work, not when its gated shell was
+    /// submitted.
+    pub first_release_at: Option<SimTime>,
     pub finished_at: Option<SimTime>,
     pub error: Option<ExecError>,
     pub monitor: MonitorState,
@@ -273,7 +293,11 @@ mod tests {
             tasks: vec![TaskState::new(), TaskState::new()],
             results: vec![None, None],
             done_tasks: 0,
+            held_tasks: 0,
+            dispatch_ready: false,
+            monitor_started: false,
             submitted_at: SimTime::ZERO,
+            first_release_at: None,
             finished_at: None,
             error: None,
             monitor: MonitorState::Sleeping,

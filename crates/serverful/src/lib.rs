@@ -44,6 +44,7 @@
 
 pub mod cloudobject;
 pub mod config;
+pub mod dag;
 pub mod env;
 pub mod error;
 pub mod executor;
@@ -56,9 +57,10 @@ pub mod task;
 
 pub use cloudobject::CloudObjectRef;
 pub use config::{ExecMode, ExecutorConfig, StandaloneConfig};
+pub use dag::{fan_in_range, run_dag, Dag, DagNode, DagStats, Edge, ExecutionMode, FanIn, NodeStats};
 pub use env::{CloudEnv, EnvEvent};
 pub use error::ExecError;
-pub use executor::{Backend, FunctionExecutor, JobHandle};
+pub use executor::{Backend, FunctionExecutor, JobHandle, MapOptions};
 pub use payload::Payload;
 pub use retry::RetryPolicy;
 pub use sizing::SizingPolicy;

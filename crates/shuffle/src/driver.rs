@@ -116,6 +116,33 @@ pub fn run_fused_exchange(
 ) -> Result<SortReport, ExecError> {
     let start = env.now();
     let cost_before = env.world().ledger().total();
+    let job = submit_fused_exchange(env, exec, cfg, refs, workers, false);
+    let results = exec.get_result(env, job)?;
+    if shutdown {
+        exec.shutdown(env);
+    }
+    let wall_secs = (env.now() - start).as_secs_f64();
+    let cost_usd = env.world().ledger().total() - cost_before;
+    Ok(SortReport {
+        wall_secs,
+        cost_usd,
+        output_parts: results.len(),
+        total_bytes: cfg.total_bytes,
+    })
+}
+
+/// Submits the fused exchange as a single (optionally gated) job
+/// without blocking on it — the non-blocking building block DAG
+/// schedulers compose. [`run_fused_exchange`] is this plus a blocking
+/// `get_result`.
+pub fn submit_fused_exchange(
+    env: &mut CloudEnv,
+    exec: &mut FunctionExecutor,
+    cfg: &SortConfig,
+    refs: &[CloudObjectRef],
+    workers: usize,
+    gated: bool,
+) -> serverful::JobHandle {
     let mut assignment: Vec<Vec<CloudObjectRef>> = vec![Vec::new(); workers];
     for (i, r) in refs.iter().enumerate() {
         assignment[i % workers].push(r.clone());
@@ -148,36 +175,18 @@ pub fn run_fused_exchange(
             .collect();
         Box::new(FusedExchangeTask::new(fused_cfg.clone(), w, workers, refs))
     });
-    let job = exec.map_with(
-        env,
-        factory,
-        inputs,
-        MapOptions::named(cfg.label.clone()).stateful(),
-    );
-    let results = exec.get_result(env, job)?;
-    if shutdown {
-        exec.shutdown(env);
+    let mut opts = MapOptions::named(cfg.label.clone()).stateful();
+    if gated {
+        opts = opts.gated();
     }
-    let wall_secs = (env.now() - start).as_secs_f64();
-    let cost_usd = env.world().ledger().total() - cost_before;
-    Ok(SortReport {
-        wall_secs,
-        cost_usd,
-        output_parts: results.len(),
-        total_bytes: cfg.total_bytes,
-    })
+    exec.map_with(env, factory, inputs, opts)
 }
 
-/// Runs one scatter/gather exchange on the given executor — the building
-/// block pipeline stages reuse for their stateful operations. With
-/// `shutdown` false, the executor's VMs stay alive for the next stage
-/// (instance reuse).
-///
-/// # Errors
-///
-/// Propagates executor errors (task failures, stalls).
+/// Submits the scatter half of a storage/KV exchange without blocking.
+/// Returns the handle and the *effective* scatter worker count (workers
+/// with no chunks assigned are dropped) — the gather half needs it.
 #[allow(clippy::too_many_arguments)]
-pub fn run_exchange(
+pub fn submit_scatter(
     env: &mut CloudEnv,
     exec: &mut FunctionExecutor,
     cfg: &SortConfig,
@@ -185,11 +194,8 @@ pub fn run_exchange(
     exchange: Exchange,
     workers: usize,
     ranges: usize,
-    shutdown: bool,
-) -> Result<SortReport, ExecError> {
-    let start = env.now();
-    let cost_before = env.world().ledger().total();
-
+    gated: bool,
+) -> (serverful::JobHandle, usize) {
     // Assign chunks to scatter workers round-robin; each worker's input
     // payload carries its refs so the sizing policy sees the data volume.
     let mut assignment: Vec<Vec<CloudObjectRef>> = vec![Vec::new(); workers];
@@ -235,14 +241,25 @@ pub fn run_exchange(
             refs,
         ))
     });
-    let job = exec.map_with(
-        env,
-        factory,
-        scatter_inputs,
-        MapOptions::named(format!("{}/scatter", cfg.label)).stateful(),
-    );
-    exec.get_result(env, job)?;
+    let mut opts = MapOptions::named(format!("{}/scatter", cfg.label)).stateful();
+    if gated {
+        opts = opts.gated();
+    }
+    (exec.map_with(env, factory, scatter_inputs, opts), scatter_workers)
+}
 
+/// Submits the gather half of an exchange without blocking.
+/// `scatter_workers` must be the effective count [`submit_scatter`]
+/// returned.
+pub fn submit_gather(
+    env: &mut CloudEnv,
+    exec: &mut FunctionExecutor,
+    cfg: &SortConfig,
+    exchange: Exchange,
+    scatter_workers: usize,
+    ranges: usize,
+    gated: bool,
+) -> serverful::JobHandle {
     let gather_cfg = cfg.clone();
     let gather_inputs: Vec<Payload> = (0..ranges).map(|r| Payload::U64(r as u64)).collect();
     let factory: serverful::job::TaskFactory = Arc::new(move |input: &Payload| {
@@ -254,12 +271,40 @@ pub fn run_exchange(
             exchange,
         ))
     });
-    let job = exec.map_with(
-        env,
-        factory,
-        gather_inputs,
-        MapOptions::named(format!("{}/gather", cfg.label)).stateful(),
-    );
+    let mut opts = MapOptions::named(format!("{}/gather", cfg.label)).stateful();
+    if gated {
+        opts = opts.gated();
+    }
+    exec.map_with(env, factory, gather_inputs, opts)
+}
+
+/// Runs one scatter/gather exchange on the given executor — the building
+/// block pipeline stages reuse for their stateful operations. With
+/// `shutdown` false, the executor's VMs stay alive for the next stage
+/// (instance reuse).
+///
+/// # Errors
+///
+/// Propagates executor errors (task failures, stalls).
+#[allow(clippy::too_many_arguments)]
+pub fn run_exchange(
+    env: &mut CloudEnv,
+    exec: &mut FunctionExecutor,
+    cfg: &SortConfig,
+    refs: &[CloudObjectRef],
+    exchange: Exchange,
+    workers: usize,
+    ranges: usize,
+    shutdown: bool,
+) -> Result<SortReport, ExecError> {
+    let start = env.now();
+    let cost_before = env.world().ledger().total();
+
+    let (job, scatter_workers) =
+        submit_scatter(env, exec, cfg, refs, exchange, workers, ranges, false);
+    exec.get_result(env, job)?;
+
+    let job = submit_gather(env, exec, cfg, exchange, scatter_workers, ranges, false);
     let results = exec.get_result(env, job)?;
 
     // "Once all logical functions have been completed, all resources are

@@ -32,4 +32,7 @@ pub mod tasks;
 pub mod verify;
 
 pub use config::SortConfig;
-pub use driver::{run_exchange, run_fused_exchange, seed_input, serverless_sort, vm_sort, SortReport};
+pub use driver::{
+    run_exchange, run_fused_exchange, seed_input, serverless_sort, submit_fused_exchange,
+    submit_gather, submit_scatter, vm_sort, SortReport,
+};

@@ -42,8 +42,9 @@ pub use cost::{CostCategory, CostLedger};
 pub use cpu::{CpuMonitor, FleetTag, UsageStats};
 pub use faults::{FaultKind, FaultLedger};
 pub use report::{
-    fleet_policy_comparison, fleet_tenant_table, plan_comparison, FleetPolicyRow, FleetTenantRow,
-    PaperRow, PlanRow, Table,
+    critical_path, dag_stage_table, fleet_policy_comparison, fleet_tenant_table, plan_comparison,
+    stage_overlaps, CriticalPath, FleetPolicyRow, FleetTenantRow, PaperRow, PlanRow, StageWindow,
+    Table,
 };
 pub use stats::Summary;
 pub use timeline::{StageSpan, Timeline};

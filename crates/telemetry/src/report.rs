@@ -359,6 +359,198 @@ pub fn fleet_tenant_table(rows: &[FleetTenantRow]) -> String {
     table.to_string()
 }
 
+/// One stage's execution window inside a run, for the dataflow
+/// (DAG-scheduling) reports. Plain data: the runner fills it from its
+/// per-stage spans; `start`/`end` are seconds since the run started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageWindow {
+    /// Stage name.
+    pub name: String,
+    /// Seconds from run start to the stage's first activity.
+    pub start_secs: f64,
+    /// Seconds from run start to the stage's last activity.
+    pub end_secs: f64,
+}
+
+impl StageWindow {
+    /// Creates a window.
+    pub fn new(name: impl Into<String>, start_secs: f64, end_secs: f64) -> Self {
+        StageWindow {
+            name: name.into(),
+            start_secs,
+            end_secs,
+        }
+    }
+
+    /// The window's length, seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end_secs - self.start_secs).max(0.0)
+    }
+}
+
+/// Per-stage upstream overlap: for each stage, how long it ran while at
+/// least one of its upstream dependencies (per `edges`, `(from, to)`
+/// index pairs into `windows`) was still running. Under barrier
+/// scheduling every entry is `0.0` — a stage only starts once its
+/// upstream stage has fully finished; dataflow pipelining is exactly
+/// what makes these positive.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{stage_overlaps, StageWindow};
+///
+/// let windows = [
+///     StageWindow::new("segment", 0.0, 10.0),
+///     StageWindow::new("annotate", 6.0, 14.0), // starts 4 s early
+/// ];
+/// let ov = stage_overlaps(&windows, &[(0, 1)]);
+/// assert_eq!(ov, vec![0.0, 4.0]);
+/// ```
+pub fn stage_overlaps(windows: &[StageWindow], edges: &[(usize, usize)]) -> Vec<f64> {
+    let mut overlaps = vec![0.0f64; windows.len()];
+    for &(from, to) in edges {
+        let overlap = (windows[from].end_secs.min(windows[to].end_secs)
+            - windows[to].start_secs.max(windows[from].start_secs))
+        .max(0.0);
+        overlaps[to] = overlaps[to].max(overlap);
+    }
+    overlaps
+}
+
+/// The longest duration-weighted dependency chain through a stage DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Indices into the window slice, in execution order.
+    pub stages: Vec<usize>,
+    /// Total seconds spent on the chain's stages.
+    pub secs: f64,
+}
+
+impl CriticalPath {
+    /// Renders the chain as `a -> b -> c`.
+    pub fn label(&self, windows: &[StageWindow]) -> String {
+        self.stages
+            .iter()
+            .map(|&i| windows[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Computes the critical path: the dependency chain (over `edges`,
+/// `(from, to)` pairs with `from < to`) maximising the sum of stage
+/// durations. This is the lower bound pipelining converges towards —
+/// stages off this chain can hide entirely inside it.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{critical_path, StageWindow};
+///
+/// let windows = [
+///     StageWindow::new("load", 0.0, 10.0),
+///     StageWindow::new("db", 0.0, 2.0),
+///     StageWindow::new("annotate", 10.0, 15.0),
+/// ];
+/// let cp = critical_path(&windows, &[(0, 2), (1, 2)]);
+/// assert_eq!(cp.stages, vec![0, 2]);
+/// assert!((cp.secs - 15.0).abs() < 1e-9);
+/// assert_eq!(cp.label(&windows), "load -> annotate");
+/// ```
+pub fn critical_path(windows: &[StageWindow], edges: &[(usize, usize)]) -> CriticalPath {
+    let n = windows.len();
+    let mut dist = vec![0.0f64; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    for (i, w) in windows.iter().enumerate() {
+        let mut best = 0.0f64;
+        for &(from, to) in edges {
+            if to == i && dist[from] > best {
+                best = dist[from];
+                prev[i] = Some(from);
+            }
+        }
+        dist[i] = best + w.duration_secs();
+    }
+    let Some(mut at) = (0..n).max_by(|&a, &b| {
+        dist[a]
+            .total_cmp(&dist[b])
+            // Ties break towards the earliest stage index, stably.
+            .then(b.cmp(&a))
+    }) else {
+        return CriticalPath {
+            stages: Vec::new(),
+            secs: 0.0,
+        };
+    };
+    let secs = dist[at];
+    let mut stages = vec![at];
+    while let Some(p) = prev[at] {
+        stages.push(p);
+        at = p;
+    }
+    stages.reverse();
+    CriticalPath { stages, secs }
+}
+
+/// Renders a barrier-vs-pipelined per-stage comparison: each stage's
+/// execution window under both modes plus how long the pipelined run
+/// overlapped the stage with its upstream dependencies. Both runs must
+/// cover the same stage list; `edges` are `(from, to)` index pairs.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{dag_stage_table, StageWindow};
+///
+/// let barrier = [
+///     StageWindow::new("segment", 0.0, 10.0),
+///     StageWindow::new("annotate", 10.0, 18.0),
+/// ];
+/// let pipelined = [
+///     StageWindow::new("segment", 0.0, 10.0),
+///     StageWindow::new("annotate", 6.0, 14.0),
+/// ];
+/// let text = dag_stage_table(&barrier, &pipelined, &[(0, 1)]);
+/// assert!(text.contains("annotate"));
+/// assert!(text.contains("4.00")); // seconds of overlap won back
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two runs disagree on the number of stages.
+pub fn dag_stage_table(
+    barrier: &[StageWindow],
+    pipelined: &[StageWindow],
+    edges: &[(usize, usize)],
+) -> String {
+    assert_eq!(
+        barrier.len(),
+        pipelined.len(),
+        "both runs must cover the same stage list"
+    );
+    let overlaps = stage_overlaps(pipelined, edges);
+    let mut table = Table::new([
+        "Stage",
+        "Barrier start",
+        "Barrier end",
+        "Pipelined start",
+        "Pipelined end",
+        "Overlap (s)",
+    ]);
+    for (i, (b, p)) in barrier.iter().zip(pipelined).enumerate() {
+        table.row([
+            b.name.clone(),
+            format!("{:.2}", b.start_secs),
+            format!("{:.2}", b.end_secs),
+            format!("{:.2}", p.start_secs),
+            format!("{:.2}", p.end_secs),
+            format!("{:.2}", overlaps[i]),
+        ]);
+    }
+    table.to_string()
+}
+
 /// Renders labelled values as a horizontal ASCII bar chart, scaled so the
 /// largest value spans `width` characters.
 ///
@@ -487,6 +679,61 @@ mod tests {
         let faas = text.lines().find(|l| l.starts_with("serverless")).unwrap();
         assert!(shared.contains("1.00x") && shared.contains("75.0"));
         assert!(faas.contains("2.00x") && faas.contains("-"));
+    }
+
+    #[test]
+    fn overlap_is_zero_under_barriers_and_positive_when_pipelined() {
+        let barrier = [
+            StageWindow::new("a", 0.0, 10.0),
+            StageWindow::new("b", 10.0, 20.0),
+        ];
+        let pipelined = [
+            StageWindow::new("a", 0.0, 10.0),
+            StageWindow::new("b", 4.0, 16.0),
+        ];
+        let edges = [(0usize, 1usize)];
+        assert_eq!(stage_overlaps(&barrier, &edges), vec![0.0, 0.0]);
+        assert_eq!(stage_overlaps(&pipelined, &edges), vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn overlap_takes_the_widest_upstream() {
+        let windows = [
+            StageWindow::new("a", 0.0, 8.0),
+            StageWindow::new("b", 0.0, 4.0),
+            StageWindow::new("join", 2.0, 10.0),
+        ];
+        // Overlaps 6 s with `a` but only 2 s with `b`: report 6.
+        let ov = stage_overlaps(&windows, &[(0, 2), (1, 2)]);
+        assert_eq!(ov[2], 6.0);
+    }
+
+    #[test]
+    fn critical_path_follows_the_heavier_branch() {
+        let windows = [
+            StageWindow::new("root", 0.0, 1.0),
+            StageWindow::new("heavy", 1.0, 11.0),
+            StageWindow::new("light", 1.0, 2.0),
+            StageWindow::new("sink", 11.0, 12.0),
+        ];
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let cp = critical_path(&windows, &edges);
+        assert_eq!(cp.stages, vec![0, 1, 3]);
+        assert!((cp.secs - 12.0).abs() < 1e-9);
+        assert_eq!(cp.label(&windows), "root -> heavy -> sink");
+    }
+
+    #[test]
+    fn critical_path_of_nothing_is_empty() {
+        let cp = critical_path(&[], &[]);
+        assert!(cp.stages.is_empty());
+        assert_eq!(cp.secs, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same stage list")]
+    fn dag_stage_table_rejects_mismatched_runs() {
+        dag_stage_table(&[StageWindow::new("a", 0.0, 1.0)], &[], &[]);
     }
 
     #[test]

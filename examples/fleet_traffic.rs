@@ -46,6 +46,7 @@ fn main() {
             idle_timeout_secs: 120.0,
         },
         max_jobs: 40,
+        pipelined: false,
     };
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -64,6 +64,17 @@ diff /tmp/fleet_b.txt /tmp/fleet_c.txt \
 grep -q "shared-pool" /tmp/fleet_a.txt \
     || { echo "fleet report missing the shared-pool policy" >&2; exit 1; }
 
+echo "== dag smoke determinism + pipelined win (Brain) =="
+# Barrier-vs-pipelined comparison must be byte-identical across repeat
+# runs at the same seed, and the pipelined schedule must beat the
+# barrier at equal-or-lower cost even on the scaled smoke graph.
+./target/release/repro dag brain --smoke --seed 42 > /tmp/dag_a.txt
+./target/release/repro dag brain --smoke --seed 42 > /tmp/dag_b.txt
+diff /tmp/dag_a.txt /tmp/dag_b.txt \
+    || { echo "dag comparison drifts across runs" >&2; exit 1; }
+grep -q "verdict: pipelined beats barrier at equal-or-lower cost: yes" /tmp/dag_a.txt \
+    || { echo "pipelined scheduling lost to the barrier" >&2; exit 1; }
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="
     cargo test --workspace --release -q

@@ -1,0 +1,181 @@
+//! Acceptance and property tests for the dependency-driven DAG
+//! executor: pipelined scheduling must respect dependency order on
+//! random graphs, stay seed-deterministic, and — the headline — beat
+//! barrier execution on the paper's hybrid deployments at equal-or-lower
+//! cost, all while the barrier mode keeps the pre-dataflow goldens
+//! byte-identical (covered by the untouched `tests/goldens.rs`).
+//!
+//! Like `tests/properties.rs`, random cases come from seeded [`SimRng`]
+//! draws (no crates.io access for `proptest`); failures print the case
+//! seed, which reproduces the exact graph.
+
+use std::sync::Arc;
+
+use serverful_repro::bench::render::render_dag;
+use serverful_repro::bench::dag_comparison;
+use serverful_repro::metaspace::jobs;
+use serverful_repro::serverful::{
+    fan_in_range, run_dag, Backend, CloudEnv, Dag, DagNode, Edge, ExecutionMode, ExecutorConfig,
+    FanIn, FunctionExecutor, MapOptions, Payload, ScriptTask,
+};
+use serverful_repro::simkernel::SimRng;
+
+struct Ctx {
+    exec: FunctionExecutor,
+}
+
+/// Builds a random topological DAG of FaaS map nodes: every node after
+/// the first depends on 1–2 random earlier nodes through a random
+/// fan-in shape, with per-node task counts and compute times drawn from
+/// the case rng.
+fn random_dag(rng: &mut SimRng) -> Dag<Ctx> {
+    let mut dag: Dag<Ctx> = Dag::new();
+    let nodes = rng.uniform_u64(3, 8) as usize;
+    for v in 0..nodes {
+        let tasks = rng.uniform_u64(1, 6) as usize;
+        let mut deps = Vec::new();
+        if v > 0 {
+            for _ in 0..rng.uniform_u64(1, 3) {
+                let from = rng.uniform_u64(0, v as u64) as usize;
+                if deps.iter().any(|e: &Edge| e.from == from) {
+                    continue;
+                }
+                deps.push(Edge {
+                    from,
+                    fan_in: if rng.uniform_u64(0, 2) == 0 {
+                        FanIn::OneToOne
+                    } else {
+                        FanIn::AllToAll
+                    },
+                });
+            }
+        }
+        let secs = 0.1 + rng.uniform_u64(0, 10) as f64 / 10.0;
+        let label = format!("n{v}");
+        dag.add_node(DagNode {
+            label: label.clone(),
+            group: None,
+            tasks,
+            deps,
+            launch: Box::new(move |ctx, env, gated| {
+                let mut opts = MapOptions::named(label.clone());
+                if gated {
+                    opts = opts.gated();
+                }
+                let factory = Arc::new(move |_: &Payload| {
+                    ScriptTask::new()
+                        .compute(secs)
+                        .finish_value(Payload::U64(0))
+                        .boxed()
+                });
+                let inputs = (0..tasks as u64).map(Payload::U64).collect();
+                Ok(ctx.exec.map_with(env, factory, inputs, opts))
+            }),
+        });
+    }
+    dag
+}
+
+/// Remembers each node's shape so dependency ranges can be re-derived
+/// from the stats alone after the DAG was consumed.
+fn shapes(dag: &Dag<Ctx>) -> Vec<(usize, Vec<Edge>)> {
+    (0..dag.len())
+        .map(|v| (dag.node(v).tasks, dag.node(v).deps.clone()))
+        .collect()
+}
+
+#[test]
+fn pipelined_release_order_respects_random_dag_dependencies() {
+    for case in 0..15u64 {
+        let seed = 0xDA6 ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = SimRng::seed_from(seed);
+        let dag = random_dag(&mut rng);
+        let shape = shapes(&dag);
+        let mut env = CloudEnv::new_default(seed);
+        let exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+        let mut ctx = Ctx { exec };
+        let stats = run_dag(&mut env, &mut ctx, dag, ExecutionMode::Pipelined)
+            .unwrap_or_else(|e| panic!("case seed {seed:#x}: pipelined run failed: {e}"));
+
+        for (v, (tasks, deps)) in shape.iter().enumerate() {
+            let node = &stats.nodes[v];
+            for t in 0..*tasks {
+                assert!(
+                    node.released_at[t] <= node.done_at[t],
+                    "case seed {seed:#x}: node {v} task {t} done before release"
+                );
+                // The topological-order property: a task is released
+                // only after every upstream partition its fan-in shape
+                // names was observed complete.
+                for e in deps {
+                    for u in fan_in_range(e.fan_in, stats.nodes[e.from].tasks, *tasks, t) {
+                        assert!(
+                            stats.nodes[e.from].done_at[u] <= node.released_at[t],
+                            "case seed {seed:#x}: node {v} task {t} released before \
+                             upstream {} task {u} completed",
+                            e.from
+                        );
+                    }
+                }
+            }
+            assert!(
+                node.finished_at >= *node.done_at.iter().max().expect("non-empty node"),
+                "case seed {seed:#x}: node {v} finished before its last task"
+            );
+        }
+    }
+}
+
+#[test]
+fn barrier_mode_is_a_strict_stage_chain_on_random_dags() {
+    for case in 0..10u64 {
+        let seed = 0xBA44 ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = SimRng::seed_from(seed);
+        let dag = random_dag(&mut rng);
+        let mut env = CloudEnv::new_default(seed);
+        let exec = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
+        let mut ctx = Ctx { exec };
+        let stats = run_dag(&mut env, &mut ctx, dag, ExecutionMode::Barrier)
+            .unwrap_or_else(|e| panic!("case seed {seed:#x}: barrier run failed: {e}"));
+        // Each node launches only after the previous one fully drained
+        // (the degenerate DAG), regardless of the declared edges.
+        for w in stats.nodes.windows(2) {
+            assert!(
+                w[1].launched_at >= w[0].finished_at,
+                "case seed {seed:#x}: barrier overlapped two nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_smoke_comparison_is_seed_deterministic() {
+    let job = jobs::brain();
+    let a = render_dag(&dag_comparison(&job, 42, true).expect("smoke run"));
+    let b = render_dag(&dag_comparison(&job, 42, true).expect("smoke run"));
+    assert_eq!(a, b, "same seed must reproduce the comparison byte-for-byte");
+    let c = render_dag(&dag_comparison(&job, 7, true).expect("smoke run"));
+    assert_ne!(a, c, "a different seed should perturb the measured run");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn pipelined_hybrid_beats_barrier_on_brain_and_xenograft() {
+    for job in [jobs::brain(), jobs::xenograft()] {
+        let cmp = dag_comparison(&job, 42, false).expect("full-scale run");
+        assert!(
+            cmp.pipelined.wall_secs < cmp.barrier.wall_secs,
+            "{}: pipelined {:.2}s must strictly beat barrier {:.2}s",
+            job.name,
+            cmp.pipelined.wall_secs,
+            cmp.barrier.wall_secs
+        );
+        assert!(
+            cmp.pipelined.cost_usd <= cmp.barrier.cost_usd + 1e-9,
+            "{}: pipelined ${:.4} must not cost more than barrier ${:.4}",
+            job.name,
+            cmp.pipelined.cost_usd,
+            cmp.barrier.cost_usd
+        );
+    }
+}
