@@ -8,13 +8,23 @@
 //! [`planner::parallel_map`] and merges in index order, which makes the
 //! full report byte-identical for any `--threads`.
 //!
-//! Inside a cell the driver owns the event loop (the executors never
-//! block): arrivals are [`serverful::CloudEnv::external_timer`]s, jobs
-//! advance stage-by-stage through non-blocking
-//! [`serverful::FunctionExecutor::try_result`] polls, and every stage
-//! submission first passes the [`Admission`] controller.
+//! Inside a cell, job lifecycles are futures on the deterministic async
+//! kernel ([`simkernel::aio`]): a barrier job `await`s its stages one
+//! after another; a pipelined job fans every stage's completion in
+//! through [`simkernel::join_all`]. A small reactor pumps the
+//! environment and feeds completions to those futures through exactly
+//! one [`serverful::FunctionExecutor::try_result`] dispatch
+//! (`CellState::scan_completions`) — barrier and pipelined cells share
+//! that single join path instead of the two hand-rolled poll loops the
+//! driver used to carry. Arrivals are
+//! [`serverful::CloudEnv::external_timer`]s that spawn a job future
+//! (spawn order = arrival order, the kernel's deterministic tie-break),
+//! and every stage submission still passes the [`Admission`]
+//! controller.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use cloudsim::{CloudConfig, ObjectBody};
@@ -25,7 +35,7 @@ use serverful::{
     fan_in_range, Backend, CloudEnv, EnvEvent, ExecError, ExecutionMode, ExecutorConfig,
     FunctionExecutor, JobHandle, Payload, ScriptTask,
 };
-use simkernel::SimTime;
+use simkernel::{join_all, AsyncExecutor, Gate, JoinHandle as AioJoinHandle, SimTime};
 
 use crate::admission::Admission;
 use crate::arrivals::{self, Arrival};
@@ -137,6 +147,13 @@ pub(crate) enum Placement<'a> {
     Plan(&'a [StageBackend], ExecutionMode),
 }
 
+/// Owned form of [`Placement`] (job futures need `'static` cell state;
+/// the execution mode is already folded into `pipelined`).
+enum CellPlacement {
+    Policy(Policy),
+    Plan(Vec<StageBackend>),
+}
+
 /// Runs every policy cell over the scenario's traffic and merges the
 /// outcomes.
 ///
@@ -189,9 +206,13 @@ pub(crate) fn run_cell(
     let pool = needs_pool.then(|| SharedPool::new(&mut env, &sc.pool));
     let pipelined = sc.pipelined
         || matches!(placement, Placement::Plan(_, ExecutionMode::Pipelined));
+    let placement = match placement {
+        Placement::Policy(p) => CellPlacement::Policy(p),
+        Placement::Plan(backends, _) => CellPlacement::Plan(backends.to_vec()),
+    };
 
-    let mut cell = Cell {
-        sc,
+    let mut state = CellState {
+        sc: sc.clone(),
         placement,
         pipelined,
         env,
@@ -204,11 +225,153 @@ pub(crate) fn run_cell(
     };
     for a in arrivals::schedule(sc, seed) {
         let delay = a.at.saturating_since(SimTime::ZERO);
-        let token = cell.env.external_timer(delay);
-        cell.arrival_tokens.insert(token, a);
+        let token = state.env.external_timer(delay);
+        state.arrival_tokens.insert(token, a);
     }
-    cell.run()?;
-    Ok(cell.into_outcome(label))
+    let cell = CellRef {
+        st: Rc::new(RefCell::new(state)),
+        exec: AsyncExecutor::new(),
+    };
+    reactor(&cell)?;
+    let CellRef { st, exec } = cell;
+    drop(exec); // all job futures completed; frees their state handles
+    let state = match Rc::try_unwrap(st) {
+        Ok(inner) => inner.into_inner(),
+        Err(_) => unreachable!("job futures outlive the cell reactor"),
+    };
+    Ok(state.into_outcome(label))
+}
+
+/// The cell's event loop: pump the world, feed stage completions to the
+/// job futures through the single join path, then let queued or gated
+/// submissions progress.
+fn reactor(cell: &CellRef) -> Result<(), ExecError> {
+    loop {
+        if cell.st.borrow().done() {
+            break;
+        }
+        let ev = cell.st.borrow_mut().env.pump();
+        match ev {
+            EnvEvent::Timer(token) => {
+                let a = cell
+                    .st
+                    .borrow_mut()
+                    .arrival_tokens
+                    .remove(&token)
+                    .expect("every external timer is an arrival");
+                spawn_job(cell, &a);
+                cell.exec.run_ready();
+                cell.st.borrow_mut().progress_stages()?;
+            }
+            EnvEvent::Progress => {
+                cell.st.borrow_mut().scan_completions()?;
+                cell.exec.run_ready();
+                cell.st.borrow_mut().progress_stages()?;
+            }
+            EnvEvent::Drained => {
+                cell.st.borrow_mut().scan_completions()?;
+                cell.exec.run_ready();
+                let progressed = cell.st.borrow_mut().progress_stages()?;
+                let st = cell.st.borrow();
+                if st.done() {
+                    break;
+                }
+                if !progressed {
+                    return Err(ExecError::Stalled(format!(
+                        "fleet cell drained with {} jobs unfinished",
+                        st.jobs.iter().filter(|j| j.finished.is_none()).count()
+                    )));
+                }
+            }
+        }
+    }
+    let st = &mut *cell.st.borrow_mut();
+    if let Some(pool) = st.pool.as_mut() {
+        pool.shutdown(&mut st.env);
+    }
+    Ok(())
+}
+
+/// Registers an arriving job and spawns its lifecycle future. The
+/// future's first poll (still within the arrival event) submits the
+/// job's first stage (barrier) or its gated FaaS stages (pipelined).
+fn spawn_job(cell: &CellRef, a: &Arrival) {
+    let (idx, gates, pipelined) = {
+        let stref = &mut *cell.st.borrow_mut();
+        let tenant = &stref.sc.tenants[a.tenant];
+        let idx = stref.jobs.len();
+        let stages = tenant.stages();
+        let (edges, pipe) = if stref.pipelined {
+            let edges = pipeline::edges(&stages);
+            let pipe = stages
+                .iter()
+                .map(|s| PipeStage {
+                    handle: None,
+                    complete: false,
+                    released: vec![false; s.tasks],
+                    throttle_noted: false,
+                })
+                .collect();
+            (edges, pipe)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let gates: Vec<Gate> = stages.iter().map(|_| cell.exec.gate()).collect();
+        let name = a.job_name(&stref.sc);
+        let arrived = stref.env.now();
+        stref.jobs.push(JobRun {
+            tenant: a.tenant,
+            name,
+            stages,
+            edges,
+            next_stage: 0,
+            arrived,
+            finished: None,
+            active: None,
+            pipe,
+            stage_done: gates.clone(),
+            own: None,
+        });
+        (idx, gates, stref.pipelined)
+    };
+    let cell = cell.clone();
+    cell.exec.clone().spawn(job_future(cell, idx, gates, pipelined));
+}
+
+/// One job's lifecycle as straight-line `await` code.
+async fn job_future(cell: CellRef, idx: usize, gates: Vec<Gate>, pipelined: bool) {
+    if pipelined {
+        {
+            // Every always-FaaS stage submits up front with its tasks
+            // gated: setup overlaps upstream work, tasks launch one by
+            // one as their upstream partitions (and the Lambda quota)
+            // allow. Pool/own stages launch from `pipe_pass` once their
+            // dependencies drain.
+            let st = &mut *cell.st.borrow_mut();
+            for s in 0..st.jobs[idx].stages.len() {
+                if st.faas_always(s) {
+                    st.submit_stage(idx, s, ExecSlot::Faas, true);
+                }
+            }
+        }
+        // Fan every stage's completion in through the one join path.
+        let stage_waits: Vec<AioJoinHandle<()>> = gates
+            .iter()
+            .map(|g| {
+                let g = g.clone();
+                cell.exec.spawn(async move { g.wait().await })
+            })
+            .collect();
+        join_all(stage_waits).await;
+    } else {
+        // The barrier chain: submit (or queue on admission), then block
+        // until the stage drains, stage after stage.
+        for gate in &gates {
+            cell.st.borrow_mut().advance_or_wait(idx);
+            gate.wait().await;
+        }
+    }
+    cell.st.borrow_mut().finish_job(idx);
 }
 
 /// Where a stage runs.
@@ -249,13 +412,24 @@ struct JobRun {
     active: Option<(JobHandle, ExecSlot)>,
     /// Per-stage dataflow state (pipelined cells only).
     pipe: Vec<PipeStage>,
+    /// Per-stage completion gates the job future awaits; opened by
+    /// [`CellState::scan_completions`].
+    stage_done: Vec<Gate>,
     /// The per-job fleet executor ([`Policy::PerJobFleet`] only).
     own: Option<FunctionExecutor>,
 }
 
-struct Cell<'a> {
-    sc: &'a Scenario,
-    placement: Placement<'a>,
+/// Shared handle to one cell: its state plus the async kernel the job
+/// futures run on.
+#[derive(Clone)]
+struct CellRef {
+    st: Rc<RefCell<CellState>>,
+    exec: AsyncExecutor,
+}
+
+struct CellState {
+    sc: Scenario,
+    placement: CellPlacement,
     /// Dependency-driven scheduling instead of BSP barriers.
     pipelined: bool,
     env: CloudEnv,
@@ -270,50 +444,84 @@ struct Cell<'a> {
     arrival_tokens: HashMap<u64, Arrival>,
 }
 
-impl Cell<'_> {
-    fn run(&mut self) -> Result<(), ExecError> {
-        loop {
-            if self.done() {
-                break;
-            }
-            match self.env.pump() {
-                EnvEvent::Timer(token) => {
-                    let a = self
-                        .arrival_tokens
-                        .remove(&token)
-                        .expect("every external timer is an arrival");
-                    self.spawn_job(&a);
-                    self.progress_stages()?;
-                }
-                EnvEvent::Progress => {
-                    self.poll_active()?;
-                    self.progress_stages()?;
-                }
-                EnvEvent::Drained => {
-                    self.poll_active()?;
-                    let progressed = self.progress_stages()?;
-                    if self.done() {
-                        break;
-                    }
-                    if !progressed {
-                        return Err(ExecError::Stalled(format!(
-                            "fleet cell drained with {} jobs unfinished",
-                            self.jobs.iter().filter(|j| j.finished.is_none()).count()
-                        )));
-                    }
-                }
-            }
-        }
-        if let Some(pool) = self.pool.as_mut() {
-            pool.shutdown(&mut self.env);
-        }
-        Ok(())
-    }
-
+impl CellState {
     fn done(&self) -> bool {
         self.arrival_tokens.is_empty()
             && self.waiting.is_empty()
             && self.jobs.iter().all(|j| j.finished.is_some())
+    }
+
+    /// Stamps a job finished (its future ran out of stages to await).
+    fn finish_job(&mut self, idx: usize) {
+        self.jobs[idx].finished = Some(self.env.now());
+        if let Some(mut own) = self.jobs[idx].own.take() {
+            own.shutdown(&mut self.env);
+        }
+    }
+
+    /// The one `try_result` dispatch in the driver: polls a stage's
+    /// handle on whichever executor its slot names. Both scheduling
+    /// disciplines consume completions through here.
+    fn try_stage_result(
+        &mut self,
+        idx: usize,
+        handle: JobHandle,
+        slot: ExecSlot,
+    ) -> Option<Result<Vec<Payload>, ExecError>> {
+        match slot {
+            ExecSlot::Faas => self.faas.try_result(&mut self.env, handle),
+            ExecSlot::Own => self.jobs[idx]
+                .own
+                .as_mut()
+                .expect("own slot has an executor")
+                .try_result(&mut self.env, handle),
+            ExecSlot::Pool(lease) => self
+                .pool
+                .as_mut()
+                .expect("pool slot has a pool")
+                .exec_mut(lease)
+                .try_result(&mut self.env, handle),
+        }
+    }
+
+    /// Polls every in-flight stage (jobs in arrival order, stages in
+    /// pipeline order) and opens the completion gate of each stage that
+    /// drained; the job futures take it from there.
+    fn scan_completions(&mut self) -> Result<(), ExecError> {
+        for idx in 0..self.jobs.len() {
+            if self.pipelined {
+                if self.jobs[idx].finished.is_some() {
+                    continue;
+                }
+                for s in 0..self.jobs[idx].stages.len() {
+                    if self.jobs[idx].pipe[s].complete {
+                        continue;
+                    }
+                    let Some((handle, slot)) = self.jobs[idx].pipe[s].handle else {
+                        continue;
+                    };
+                    let Some(result) = self.try_stage_result(idx, handle, slot) else {
+                        continue;
+                    };
+                    result?;
+                    self.jobs[idx].pipe[s].complete = true;
+                    self.jobs[idx].stage_done[s].open();
+                }
+            } else {
+                let Some((handle, slot)) = self.jobs[idx].active else {
+                    continue;
+                };
+                let Some(result) = self.try_stage_result(idx, handle, slot) else {
+                    continue;
+                };
+                result?;
+                self.jobs[idx].active = None;
+                let s = self.jobs[idx].next_stage;
+                self.jobs[idx].next_stage += 1;
+                self.jobs[idx].stage_done[s].open();
+            }
+        }
+        Ok(())
     }
 
     /// Makes queued or gated stages progress after any event, whichever
@@ -326,62 +534,13 @@ impl Cell<'_> {
         }
     }
 
-    /// Registers an arriving job and tries to start its first stage
-    /// (barrier) or submits its gated FaaS stages (pipelined).
-    fn spawn_job(&mut self, a: &Arrival) {
-        let tenant = &self.sc.tenants[a.tenant];
-        let idx = self.jobs.len();
-        let stages = tenant.stages();
-        let (edges, pipe) = if self.pipelined {
-            let edges = pipeline::edges(&stages);
-            let pipe = stages
-                .iter()
-                .map(|s| PipeStage {
-                    handle: None,
-                    complete: false,
-                    released: vec![false; s.tasks],
-                    throttle_noted: false,
-                })
-                .collect();
-            (edges, pipe)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        self.jobs.push(JobRun {
-            tenant: a.tenant,
-            name: a.job_name(self.sc),
-            stages,
-            edges,
-            next_stage: 0,
-            arrived: self.env.now(),
-            finished: None,
-            active: None,
-            pipe,
-            own: None,
-        });
-        if self.pipelined {
-            // Every always-FaaS stage submits up front with its tasks
-            // gated: setup overlaps upstream work, tasks launch one by
-            // one as their upstream partitions (and the Lambda quota)
-            // allow. Pool/own stages launch from `pipe_pass` once their
-            // dependencies drain.
-            for s in 0..self.jobs[idx].stages.len() {
-                if self.faas_always(s) {
-                    self.submit_stage(idx, s, ExecSlot::Faas, true);
-                }
-            }
-        } else {
-            self.advance_or_wait(idx);
-        }
-    }
-
     /// Whether a stage's placement is unconditionally cloud functions
     /// (eligible for gated submission and task-granular release).
     fn faas_always(&self, stage_idx: usize) -> bool {
-        match self.placement {
-            Placement::Policy(Policy::Serverless) => true,
-            Placement::Policy(_) => false,
-            Placement::Plan(backends, _) => backends[stage_idx] == StageBackend::Functions,
+        match &self.placement {
+            CellPlacement::Policy(Policy::Serverless) => true,
+            CellPlacement::Policy(_) => false,
+            CellPlacement::Plan(backends) => backends[stage_idx] == StageBackend::Functions,
         }
     }
 
@@ -508,12 +667,12 @@ impl Cell<'_> {
         });
         let stateful = self.jobs[idx].stages[stage_idx].is_stateful();
         let tasks = self.jobs[idx].stages[stage_idx].tasks;
-        let wants_pool = match self.placement {
-            Placement::Policy(Policy::Serverless) => false,
-            Placement::Policy(Policy::PerJobFleet) => {
+        let wants_pool = match &self.placement {
+            CellPlacement::Policy(Policy::Serverless) => false,
+            CellPlacement::Policy(Policy::PerJobFleet) => {
                 return self.try_advance_own(idx, stage_idx);
             }
-            Placement::Policy(Policy::SharedPool) => {
+            CellPlacement::Policy(Policy::SharedPool) => {
                 // The pool is home; a stateless stage *degrades* to
                 // cloud functions when every executor is busy and the
                 // Lambda quota still has headroom (burst capacity).
@@ -531,7 +690,7 @@ impl Cell<'_> {
                 }
                 true
             }
-            Placement::Plan(backends, _) => backends[stage_idx] == StageBackend::Serverful,
+            CellPlacement::Plan(backends) => backends[stage_idx] == StageBackend::Serverful,
         };
         if wants_pool {
             let lease = self
@@ -655,88 +814,6 @@ impl Cell<'_> {
         }
     }
 
-    /// Polls every in-flight stage; on completion, advances the job or
-    /// records it finished.
-    fn poll_active(&mut self) -> Result<(), ExecError> {
-        if self.pipelined {
-            return self.poll_pipe();
-        }
-        for idx in 0..self.jobs.len() {
-            let Some((handle, slot)) = self.jobs[idx].active else {
-                continue;
-            };
-            let polled = match slot {
-                ExecSlot::Faas => self.faas.try_result(&mut self.env, handle),
-                ExecSlot::Own => self.jobs[idx]
-                    .own
-                    .as_mut()
-                    .expect("own slot has an executor")
-                    .try_result(&mut self.env, handle),
-                ExecSlot::Pool(lease) => self
-                    .pool
-                    .as_mut()
-                    .expect("pool slot has a pool")
-                    .exec_mut(lease)
-                    .try_result(&mut self.env, handle),
-            };
-            let Some(result) = polled else { continue };
-            result?;
-            self.jobs[idx].active = None;
-            self.jobs[idx].next_stage += 1;
-            if self.jobs[idx].next_stage == self.jobs[idx].stages.len() {
-                self.jobs[idx].finished = Some(self.env.now());
-                if let Some(mut own) = self.jobs[idx].own.take() {
-                    own.shutdown(&mut self.env);
-                }
-            } else {
-                self.advance_or_wait(idx);
-            }
-        }
-        Ok(())
-    }
-
-    /// Pipelined poll: every submitted stage of every job, in order; a
-    /// job finishes when all of its stages have drained.
-    fn poll_pipe(&mut self) -> Result<(), ExecError> {
-        for idx in 0..self.jobs.len() {
-            if self.jobs[idx].finished.is_some() {
-                continue;
-            }
-            for s in 0..self.jobs[idx].stages.len() {
-                if self.jobs[idx].pipe[s].complete {
-                    continue;
-                }
-                let Some((handle, slot)) = self.jobs[idx].pipe[s].handle else {
-                    continue;
-                };
-                let polled = match slot {
-                    ExecSlot::Faas => self.faas.try_result(&mut self.env, handle),
-                    ExecSlot::Own => self.jobs[idx]
-                        .own
-                        .as_mut()
-                        .expect("own slot has an executor")
-                        .try_result(&mut self.env, handle),
-                    ExecSlot::Pool(lease) => self
-                        .pool
-                        .as_mut()
-                        .expect("pool slot has a pool")
-                        .exec_mut(lease)
-                        .try_result(&mut self.env, handle),
-                };
-                let Some(result) = polled else { continue };
-                result?;
-                self.jobs[idx].pipe[s].complete = true;
-            }
-            if self.jobs[idx].pipe.iter().all(|p| p.complete) {
-                self.jobs[idx].finished = Some(self.env.now());
-                if let Some(mut own) = self.jobs[idx].own.take() {
-                    own.shutdown(&mut self.env);
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Extracts the cell's measurements.
     fn into_outcome(self, label: String) -> PolicyOutcome {
         let ledger = self.env.world().ledger();
@@ -770,7 +847,7 @@ impl Cell<'_> {
                 tenant: j.tenant,
                 name: j.name,
                 arrived: j.arrived,
-                finished: j.finished.expect("run() completes every job"),
+                finished: j.finished.expect("the reactor completes every job"),
             })
             .collect();
         PolicyOutcome {

@@ -28,8 +28,8 @@ use cloudsim::{CloudConfig, InstanceType, ObjectBody, World};
 use clustersim::{ClusterConfig, ClusterEngine, StageDef};
 use serverful::executor::MapOptions;
 use serverful::{
-    run_dag, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode, ExecutorConfig,
-    FunctionExecutor, Payload, RetryPolicy, ScriptTask, SizingPolicy,
+    run_dag, run_dag_async, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode,
+    ExecutorConfig, FunctionExecutor, Payload, RetryPolicy, ScriptTask, SizingPolicy,
 };
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
@@ -227,10 +227,51 @@ pub fn run_plan_stages(
     cloud: CloudConfig,
     trace: bool,
 ) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
+    run_plan_stages_with_engine(label, stages, plan, seed, cloud, trace, DagEngine::default())
+}
+
+/// Which DAG driver executes the lowered stage graph. Both produce
+/// byte-identical reports, traces and billing (asserted by
+/// `tests/equivalence.rs`); the engines differ only in how the
+/// scheduling logic is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DagEngine {
+    /// The hand-rolled pump/poll loop ([`serverful::run_dag`]).
+    #[default]
+    Legacy,
+    /// Straight-line futures on the deterministic async kernel
+    /// ([`serverful::run_dag_async`]).
+    Async,
+}
+
+impl fmt::Display for DagEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagEngine::Legacy => f.write_str("legacy"),
+            DagEngine::Async => f.write_str("async"),
+        }
+    }
+}
+
+/// [`run_plan_stages`] with an explicit [`DagEngine`]. Cluster plans
+/// have no DAG to drive and ignore the engine choice.
+///
+/// # Errors
+///
+/// Propagates executor failures and rejects malformed plans.
+pub fn run_plan_stages_with_engine(
+    label: &str,
+    stages: &[Stage],
+    plan: &DeploymentPlan,
+    seed: u64,
+    cloud: CloudConfig,
+    trace: bool,
+    engine: DagEngine,
+) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
     validate_plan(stages, plan)?;
     match &plan.kind {
         PlanKind::Functions(f) => {
-            run_functions_plan(label, stages, f, seed, cloud, trace)
+            run_functions_plan(label, stages, f, seed, cloud, trace, engine)
         }
         PlanKind::Cluster(c) => Ok(run_cluster_plan(label, stages, c, seed, cloud, trace)),
     }
@@ -314,6 +355,7 @@ fn run_functions_plan(
     seed: u64,
     cloud: CloudConfig,
     trace: bool,
+    engine: DagEngine,
 ) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
     let retry = RetryPolicy {
         max_attempts: plan.max_attempts,
@@ -396,7 +438,17 @@ fn run_functions_plan(
     // complete.
     let dag = build_stage_dag(stages, plan, &sizing, planned_itype, vm_workers, seed);
     let mut ctx = StageCtx { faas, vm };
-    run_dag(&mut env, &mut ctx, dag, plan.execution)?;
+    match engine {
+        DagEngine::Legacy => {
+            run_dag(&mut env, &mut ctx, dag, plan.execution)?;
+        }
+        DagEngine::Async => {
+            let (env_back, ctx_back, result) = run_dag_async(env, ctx, dag, plan.execution);
+            env = env_back;
+            ctx = ctx_back;
+            result?;
+        }
+    }
     if let Some(mut vm_exec) = ctx.vm {
         vm_exec.shutdown(&mut env);
     }

@@ -205,6 +205,12 @@ impl<C> Dag<C> {
         self.nodes.is_empty()
     }
 
+    /// Mutable access to node `idx` (the async driver runs launch
+    /// closures through this).
+    pub(crate) fn node_mut(&mut self, idx: usize) -> &mut DagNode<C> {
+        &mut self.nodes[idx]
+    }
+
     /// The upstream task indices task `t` of node `v` waits on through
     /// `edge`, as a half-open range over the upstream node's tasks.
     fn dep_range(&self, v: usize, t: usize, edge: &Edge) -> std::ops::Range<usize> {
@@ -282,7 +288,7 @@ pub fn run_dag<C>(
 }
 
 /// Begins the trace span of a group when `node` is its first member.
-fn maybe_begin_group_span<C>(
+pub(crate) fn maybe_begin_group_span<C>(
     env: &mut CloudEnv,
     dag: &Dag<C>,
     node: usize,
@@ -308,7 +314,7 @@ fn maybe_begin_group_span<C>(
 }
 
 /// Ends a group's span once its last member node finished.
-fn maybe_end_group_span<C>(
+pub(crate) fn maybe_end_group_span<C>(
     env: &mut CloudEnv,
     dag: &Dag<C>,
     node: usize,

@@ -1,0 +1,442 @@
+//! The DAG scheduler as straight-line `await` code on the
+//! deterministic async kernel ([`simkernel::aio`]).
+//!
+//! [`run_dag_async`] executes the same [`Dag`] as [`crate::run_dag`],
+//! but the scheduling logic lives in futures instead of hand-rolled
+//! pump loops:
+//!
+//! * **Barrier mode** is one driver task: launch a node, `await` its
+//!   completion, move to the next — the callback-free shape of the
+//!   classic BSP chain.
+//! * **Pipelined mode** spawns one task per DAG node; each awaits the
+//!   reactor's observe/release epochs and handles only its own job.
+//!
+//! A small reactor bridges futures onto [`CloudEnv`]: after each
+//! `pump()` it advances the executor clock to the host clock and fires
+//! the epoch notifiers; tasks then run in ascending spawn order — the
+//! kernel's `(SimTime, spawn_seq)` wakeup rule. Because node tasks are
+//! spawned in topological order and every dependency edge points at an
+//! earlier node, each epoch replays the legacy scheduler's
+//! observe-then-release scan exactly: same env call sequence, same
+//! span-id allocation order, byte-identical tables, traces and billing
+//! (asserted by `tests/equivalence.rs` across engines, scenarios and
+//! modes).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use simkernel::{AsyncExecutor, Notifier, SimTime};
+use telemetry::trace::SpanId;
+
+use crate::dag::{
+    fan_in_range, maybe_begin_group_span, maybe_end_group_span, Dag, DagStats, Edge,
+    ExecutionMode, NodeStats,
+};
+use crate::env::{CloudEnv, EnvEvent};
+use crate::error::ExecError;
+use crate::executor::JobHandle;
+
+/// Executes the graph on the async kernel. Behaviourally identical to
+/// [`crate::run_dag`] — same env call sequence, same stats, same trace
+/// bytes — but takes ownership of the environment and driver context
+/// (futures need `'static` captures) and hands them back alongside the
+/// result.
+///
+/// # Errors
+///
+/// The returned result propagates the first node failure or a drained
+/// (stalled) world, exactly like the legacy driver.
+pub fn run_dag_async<C: 'static>(
+    env: CloudEnv,
+    ctx: C,
+    dag: Dag<C>,
+    mode: ExecutionMode,
+) -> (CloudEnv, C, Result<DagStats, ExecError>) {
+    match mode {
+        ExecutionMode::Barrier => run_barrier_async(env, ctx, dag),
+        ExecutionMode::Pipelined => run_pipelined_async(env, ctx, dag),
+    }
+}
+
+/// Recovers the sole owner of a shared cell once every task holding a
+/// clone was dropped.
+fn unwrap_shared<T>(rc: Rc<RefCell<T>>, what: &str) -> T {
+    match Rc::try_unwrap(rc) {
+        Ok(cell) => cell.into_inner(),
+        Err(_) => panic!("async DAG reactor leaked a reference to {what}"),
+    }
+}
+
+fn run_barrier_async<C: 'static>(
+    env: CloudEnv,
+    ctx: C,
+    mut dag: Dag<C>,
+) -> (CloudEnv, C, Result<DagStats, ExecError>) {
+    let env = Rc::new(RefCell::new(env));
+    let ctx = Rc::new(RefCell::new(ctx));
+    let exec = AsyncExecutor::new();
+    let epoch = exec.notifier();
+    let drained = Rc::new(Cell::new(false));
+
+    let driver = {
+        let env = env.clone();
+        let ctx = ctx.clone();
+        let epoch = epoch.clone();
+        let drained = drained.clone();
+        exec.spawn(async move {
+            let mut open = vec![SpanId::NONE; dag.groups.len()];
+            let mut stats = Vec::with_capacity(dag.len());
+            for v in 0..dag.len() {
+                let (launched_at, handle, tasks) = {
+                    let mut env = env.borrow_mut();
+                    maybe_begin_group_span(&mut env, &dag, v, &mut open);
+                    if let Some(g) = dag.node(v).group {
+                        env.set_job_parent(open[g]);
+                    }
+                    let launched_at = env.now();
+                    let handle =
+                        (dag.node_mut(v).launch)(&mut ctx.borrow_mut(), &mut env, false)?;
+                    let tasks = handle.total_tasks(&env);
+                    (launched_at, handle, tasks)
+                };
+                // The barrier: await the node draining completely.
+                let result = loop {
+                    if let Some(r) = env.borrow_mut().try_job_result(handle.id) {
+                        break r;
+                    }
+                    epoch.notified().await;
+                    if drained.get() {
+                        break Err(ExecError::Stalled(format!(
+                            "simulation drained with DAG node {} ({}) unfinished",
+                            v,
+                            dag.node(v).label
+                        )));
+                    }
+                };
+                {
+                    let mut env = env.borrow_mut();
+                    env.set_job_parent(SpanId::NONE);
+                    maybe_end_group_span(&mut env, &dag, v, &mut open);
+                }
+                result?;
+                let finished_at = env.borrow().now();
+                stats.push(NodeStats {
+                    label: dag.node(v).label.clone(),
+                    group: dag.node(v).group,
+                    tasks,
+                    launched_at,
+                    finished_at,
+                    released_at: vec![launched_at; tasks],
+                    done_at: vec![finished_at; tasks],
+                });
+            }
+            Ok(DagStats { nodes: stats })
+        })
+    };
+
+    exec.run_ready();
+    while !driver.is_done() {
+        let ev = env.borrow_mut().pump();
+        if matches!(ev, EnvEvent::Drained) {
+            drained.set(true);
+        }
+        exec.advance_to(env.borrow().now());
+        epoch.notify_all();
+        exec.run_ready();
+    }
+    let result = driver.try_take().expect("completed driver yields a result");
+    drop(driver);
+    drop(exec);
+    drop(epoch);
+    let env = unwrap_shared(env, "the environment");
+    let ctx = unwrap_shared(ctx, "the driver context");
+    (env, ctx, result)
+}
+
+/// Static per-node facts the node tasks need after the [`Dag`] (and its
+/// launch closures) has been consumed by submission.
+struct NodeMeta {
+    tasks: usize,
+    deps: Vec<Edge>,
+    /// Group to close when this node finishes (set only on the group's
+    /// last member, mirroring [`maybe_end_group_span`]).
+    end_group: Option<usize>,
+}
+
+/// Mutable per-node scheduling state shared between the reactor and the
+/// node tasks (the async twin of the legacy driver's `Live`).
+struct LiveAsync {
+    handle: JobHandle,
+    stats: NodeStats,
+    done: Vec<bool>,
+    released: Vec<bool>,
+    complete: bool,
+}
+
+/// Everything a pipelined node task needs, cheap to clone per task.
+struct PipeShared {
+    env: Rc<RefCell<CloudEnv>>,
+    live: Rc<RefCell<Vec<LiveAsync>>>,
+    meta: Rc<Vec<NodeMeta>>,
+    open: Rc<RefCell<Vec<SpanId>>>,
+    fatal: Rc<RefCell<Option<ExecError>>>,
+    observe: Notifier,
+    release: Notifier,
+}
+
+impl Clone for PipeShared {
+    fn clone(&self) -> Self {
+        PipeShared {
+            env: self.env.clone(),
+            live: self.live.clone(),
+            meta: self.meta.clone(),
+            open: self.open.clone(),
+            fatal: self.fatal.clone(),
+            observe: self.observe.clone(),
+            release: self.release.clone(),
+        }
+    }
+}
+
+fn run_pipelined_async<C: 'static>(
+    mut env: CloudEnv,
+    mut ctx: C,
+    mut dag: Dag<C>,
+) -> (CloudEnv, C, Result<DagStats, ExecError>) {
+    // Submission is inherently sequential straight-line code; run it
+    // synchronously, replaying the legacy submission loop exactly.
+    let mut open = vec![SpanId::NONE; dag.groups.len()];
+    let mut live: Vec<LiveAsync> = Vec::with_capacity(dag.len());
+    for v in 0..dag.len() {
+        maybe_begin_group_span(&mut env, &dag, v, &mut open);
+        if let Some(g) = dag.node(v).group {
+            env.set_job_parent(open[g]);
+        }
+        let launched_at = env.now();
+        let handle = match (dag.node_mut(v).launch)(&mut ctx, &mut env, true) {
+            Ok(h) => h,
+            Err(e) => return (env, ctx, Err(e)),
+        };
+        env.set_job_parent(SpanId::NONE);
+        let tasks = handle.total_tasks(&env);
+        debug_assert_eq!(
+            tasks,
+            dag.node(v).tasks,
+            "node {} declared {} tasks but launched {}",
+            dag.node(v).label,
+            dag.node(v).tasks,
+            tasks
+        );
+        if !dag.node(v).deps.is_empty() {
+            let deps: Vec<&str> = dag
+                .node(v)
+                .deps
+                .iter()
+                .map(|e| dag.node(e.from).label.as_str())
+                .collect();
+            env.annotate_job_span(handle.id, "deps", &deps.join(","));
+        }
+        live.push(LiveAsync {
+            handle,
+            stats: NodeStats {
+                label: dag.node(v).label.clone(),
+                group: dag.node(v).group,
+                tasks,
+                launched_at,
+                finished_at: launched_at,
+                released_at: vec![SimTime::ZERO; tasks],
+                done_at: vec![SimTime::ZERO; tasks],
+            },
+            done: vec![false; tasks],
+            released: vec![false; tasks],
+            complete: false,
+        });
+    }
+
+    // Distil the graph facts the node tasks need, then let the DAG (and
+    // its spent launch closures) go.
+    let meta: Vec<NodeMeta> = (0..dag.len())
+        .map(|v| {
+            let group = dag.node(v).group;
+            let end_group = group.filter(|g| {
+                (0..dag.len()).rev().find(|w| dag.node(*w).group == Some(*g)) == Some(v)
+            });
+            NodeMeta {
+                tasks: dag.node(v).tasks,
+                deps: dag.node(v).deps.clone(),
+                end_group,
+            }
+        })
+        .collect();
+    drop(dag);
+
+    let exec = AsyncExecutor::new();
+    let shared = PipeShared {
+        env: Rc::new(RefCell::new(env)),
+        live: Rc::new(RefCell::new(live)),
+        meta: Rc::new(meta),
+        open: Rc::new(RefCell::new(open)),
+        fatal: Rc::new(RefCell::new(None)),
+        observe: exec.notifier(),
+        release: exec.notifier(),
+    };
+
+    // One task per node, spawned in topological order so the kernel's
+    // spawn-sequence tie-break replays the legacy node-order scans.
+    for v in 0..shared.meta.len() {
+        let sh = shared.clone();
+        exec.spawn(async move { node_task(sh, v).await });
+    }
+
+    let result = pipelined_reactor(&exec, &shared);
+
+    drop(exec); // drops pending node tasks and their `shared` clones
+    let PipeShared { env, live, fatal, open, meta, observe, release } = shared;
+    drop((fatal, open, meta, observe, release));
+    let env = unwrap_shared(env, "the environment");
+    let ctx_back = ctx;
+    let result = result.map(|()| DagStats {
+        nodes: unwrap_shared(live, "the node stats")
+            .into_iter()
+            .map(|l| l.stats)
+            .collect(),
+    });
+    (env, ctx_back, result)
+}
+
+/// The host bridge for pipelined mode: pump the world, then fire the
+/// observe and release epochs — node tasks wake in spawn (= node)
+/// order, reproducing the legacy observe-all-then-release-all scans.
+fn pipelined_reactor(exec: &AsyncExecutor, shared: &PipeShared) -> Result<(), ExecError> {
+    // First drain lets every node task register on the release epoch;
+    // then the initial release pass runs before the first pump, exactly
+    // like the legacy driver.
+    exec.run_ready();
+    shared.release.notify_all();
+    exec.run_ready();
+    loop {
+        if let Some(e) = shared.fatal.borrow_mut().take() {
+            return Err(e);
+        }
+        if shared.live.borrow().iter().all(|l| l.complete) {
+            return Ok(());
+        }
+        match shared.env.borrow_mut().pump() {
+            EnvEvent::Progress | EnvEvent::Timer(_) => {}
+            EnvEvent::Drained => {
+                let live = shared.live.borrow();
+                let stuck: Vec<&str> = live
+                    .iter()
+                    .filter(|l| !l.complete)
+                    .map(|l| l.stats.label.as_str())
+                    .collect();
+                return Err(ExecError::Stalled(format!(
+                    "simulation drained with DAG nodes unfinished: {}",
+                    stuck.join(", ")
+                )));
+            }
+        }
+        exec.advance_to(shared.env.borrow().now());
+        shared.observe.notify_all();
+        exec.run_ready();
+        if let Some(e) = shared.fatal.borrow_mut().take() {
+            // A node failure short-circuits before any release pass,
+            // matching the legacy `observe_progress(..)?`.
+            return Err(e);
+        }
+        shared.release.notify_all();
+        exec.run_ready();
+    }
+}
+
+/// The per-node future: initial release pass, then one observe/release
+/// round per reactor epoch until the node's job completes.
+async fn node_task(sh: PipeShared, v: usize) {
+    sh.release.notified().await;
+    release_own(&sh, v);
+    loop {
+        if sh.live.borrow()[v].complete {
+            return;
+        }
+        sh.observe.notified().await;
+        if sh.fatal.borrow().is_some() {
+            // An earlier node failed this epoch: stop observing, like
+            // the legacy scan aborting mid-pass.
+            return;
+        }
+        if let Err(e) = observe_own(&sh, v) {
+            *sh.fatal.borrow_mut() = Some(e);
+            return;
+        }
+        if sh.live.borrow()[v].complete {
+            return;
+        }
+        sh.release.notified().await;
+        if sh.fatal.borrow().is_some() {
+            return;
+        }
+        release_own(&sh, v);
+    }
+}
+
+/// Stamps this node's newly-completed tasks; collects the job when it
+/// finishes (ending the group span on the group's last member).
+fn observe_own(sh: &PipeShared, v: usize) -> Result<(), ExecError> {
+    let now = sh.env.borrow().now();
+    let mut live = sh.live.borrow_mut();
+    let l = &mut live[v];
+    {
+        let env = sh.env.borrow();
+        if l.handle.done_tasks(&env) > l.done.iter().filter(|d| **d).count() {
+            for t in 0..l.stats.tasks {
+                if !l.done[t] && l.handle.task_done(&env, t) {
+                    l.done[t] = true;
+                    l.stats.done_at[t] = now;
+                }
+            }
+        }
+        if !l.handle.is_finished(&env) {
+            return Ok(());
+        }
+    }
+    let mut env = sh.env.borrow_mut();
+    let result = env
+        .try_job_result(l.handle.id)
+        .expect("finished job yields a result");
+    l.complete = true;
+    l.stats.finished_at = now;
+    if let Some(g) = sh.meta[v].end_group {
+        let span = sh.open.borrow()[g];
+        if span != SpanId::NONE {
+            env.world_mut().tracer_mut().end(span, now);
+            sh.open.borrow_mut()[g] = SpanId::NONE;
+        }
+    }
+    result.map(|_| ())
+}
+
+/// Releases this node's gated tasks whose upstream partitions are done.
+fn release_own(sh: &PipeShared, v: usize) {
+    let now = sh.env.borrow().now();
+    let mut live = sh.live.borrow_mut();
+    if live[v].complete {
+        return;
+    }
+    let meta = &sh.meta[v];
+    for t in 0..meta.tasks {
+        if live[v].released[t] {
+            continue;
+        }
+        let ready = meta.deps.iter().all(|e| {
+            fan_in_range(e.fan_in, sh.meta[e.from].tasks, meta.tasks, t)
+                .all(|u| live[e.from].done[u])
+        });
+        if !ready {
+            continue;
+        }
+        live[v].released[t] = true;
+        live[v].stats.released_at[t] = now;
+        let handle = live[v].handle;
+        handle.release_task(&mut sh.env.borrow_mut(), t);
+    }
+}

@@ -46,6 +46,17 @@ echo "== planner smoke search (Brain) =="
 # cost (the paper's Figure 4 direction). Debug evaluation of the full
 # pipeline takes minutes, so this runs the release binary.
 cargo build --release -p bench -q
+
+echo "== async-kernel microbenchmarks (BENCH_kernel.json + regression gate) =="
+# Runs the kernel bench in release, writes BENCH_kernel.json (gitignored;
+# CI artifact), and fails when any scenario's throughput drops more than
+# 20% below the committed BENCH_kernel_baseline.json or the fleet-replay
+# speedup falls under its 10x floor.
+./target/release/kernel --seed 42 \
+    --git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --out BENCH_kernel.json \
+    --check-against BENCH_kernel_baseline.json
+
 ./target/release/repro plan brain --smoke --threads 2 --seed 42 \
     | tee /tmp/plan_smoke.txt
 grep -q "verdict: frontier beats pure-serverless on cost: yes" /tmp/plan_smoke.txt \

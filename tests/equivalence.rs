@@ -1,0 +1,159 @@
+//! Cross-executor equivalence: the legacy polling DAG driver
+//! ([`serverful::run_dag`]) and the async-kernel driver
+//! ([`serverful::run_dag_async`]) must be *byte-identical* — same
+//! report tables, same span traces (down to span-id allocation order),
+//! same billing — on the paper's three workflows in both execution
+//! modes. This is the contract that lets the async kernel replace the
+//! pump loops without touching a single golden.
+//!
+//! Debug builds run the smoke-scaled graphs (same shape, ~2% volume);
+//! the full paper-scale sweep is release-gated like the other
+//! paper-scale tests.
+
+use serverful_repro::cloudsim::CloudConfig;
+use serverful_repro::metaspace::{
+    self, jobs::JobSpec, plan::PlanKind, DagEngine, DeploymentPlan, FunctionsPlan,
+};
+use serverful_repro::serverful::ExecutionMode;
+
+/// Runs one (spec, plan, mode) cell under both engines with tracing on
+/// and asserts the outputs match byte for byte.
+fn assert_engines_match(spec: &JobSpec, mode: ExecutionMode, smoke: bool, seed: u64) {
+    let stages = if smoke {
+        metaspace::pipeline::scaled_stages(spec, 0.02)
+    } else {
+        metaspace::pipeline::stages(spec)
+    };
+    let base = DeploymentPlan::hybrid(&stages);
+    let PlanKind::Functions(f) = &base.kind else {
+        unreachable!("hybrid is a functions plan")
+    };
+    let plan = DeploymentPlan::functions(
+        format!("hybrid-{mode}"),
+        FunctionsPlan {
+            execution: mode,
+            ..f.clone()
+        },
+    );
+    let run = |engine: DagEngine| {
+        metaspace::run_plan_stages_with_engine(
+            spec.name,
+            &stages,
+            &plan,
+            seed,
+            CloudConfig::default(),
+            true,
+            engine,
+        )
+        .unwrap_or_else(|e| panic!("{} {mode} {engine}: {e}", spec.name))
+    };
+    let (legacy_report, legacy_trace) = run(DagEngine::Legacy);
+    let (async_report, async_trace) = run(DagEngine::Async);
+
+    let ctx = format!("{} {mode}", spec.name);
+    assert_eq!(
+        format!("{legacy_report:?}"),
+        format!("{async_report:?}"),
+        "{ctx}: report tables diverged between engines"
+    );
+    assert_eq!(
+        legacy_report.cost_usd.to_bits(),
+        async_report.cost_usd.to_bits(),
+        "{ctx}: billing diverged between engines"
+    );
+    let lt = legacy_trace.expect("trace requested");
+    let at = async_trace.expect("trace requested");
+    assert_eq!(
+        lt.chrome_json, at.chrome_json,
+        "{ctx}: span traces diverged between engines"
+    );
+    assert_eq!(
+        lt.summary, at.summary,
+        "{ctx}: trace summaries diverged between engines"
+    );
+}
+
+#[test]
+fn engines_match_smoke_brain_barrier() {
+    assert_engines_match(&metaspace::jobs::brain(), ExecutionMode::Barrier, true, 42);
+}
+
+#[test]
+fn engines_match_smoke_brain_pipelined() {
+    assert_engines_match(&metaspace::jobs::brain(), ExecutionMode::Pipelined, true, 42);
+}
+
+#[test]
+fn engines_match_smoke_xenograft_barrier() {
+    assert_engines_match(&metaspace::jobs::xenograft(), ExecutionMode::Barrier, true, 42);
+}
+
+#[test]
+fn engines_match_smoke_xenograft_pipelined() {
+    assert_engines_match(&metaspace::jobs::xenograft(), ExecutionMode::Pipelined, true, 42);
+}
+
+#[test]
+fn engines_match_smoke_x089_barrier() {
+    assert_engines_match(&metaspace::jobs::x089(), ExecutionMode::Barrier, true, 42);
+}
+
+#[test]
+fn engines_match_smoke_x089_pipelined() {
+    assert_engines_match(&metaspace::jobs::x089(), ExecutionMode::Pipelined, true, 42);
+}
+
+/// Engines must also agree on a pure-serverless plan (no warm VM pool,
+/// scatter/gather lowering for stateful stages) and across seeds.
+#[test]
+fn engines_match_smoke_serverless_plans_and_seeds() {
+    for seed in [1, 42] {
+        for mode in [ExecutionMode::Barrier, ExecutionMode::Pipelined] {
+            let spec = metaspace::jobs::brain();
+            let stages = metaspace::pipeline::scaled_stages(&spec, 0.02);
+            let base = DeploymentPlan::serverless(&stages);
+            let PlanKind::Functions(f) = &base.kind else {
+                unreachable!("serverless is a functions plan")
+            };
+            let plan = DeploymentPlan::functions(
+                format!("serverless-{mode}"),
+                FunctionsPlan {
+                    execution: mode,
+                    ..f.clone()
+                },
+            );
+            let run = |engine: DagEngine| {
+                metaspace::run_plan_stages_with_engine(
+                    spec.name,
+                    &stages,
+                    &plan,
+                    seed,
+                    CloudConfig::default(),
+                    true,
+                    engine,
+                )
+                .expect("serverless smoke run completes")
+            };
+            let (lr, lt) = run(DagEngine::Legacy);
+            let (ar, at) = run(DagEngine::Async);
+            assert_eq!(format!("{lr:?}"), format!("{ar:?}"), "seed {seed} {mode}");
+            assert_eq!(
+                lt.expect("traced").chrome_json,
+                at.expect("traced").chrome_json,
+                "seed {seed} {mode}"
+            );
+        }
+    }
+}
+
+/// Paper-scale equivalence across the full golden-suite seeds — the
+/// gate the legacy path must keep passing until it is deleted.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
+fn engines_match_paper_scale_all_specs_and_modes() {
+    for spec in metaspace::jobs::all() {
+        for mode in [ExecutionMode::Barrier, ExecutionMode::Pipelined] {
+            assert_engines_match(&spec, mode, false, 42);
+        }
+    }
+}
