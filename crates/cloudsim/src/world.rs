@@ -17,7 +17,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use simkernel::fair_share::FlowId;
 use simkernel::{EventQueue, EventToken, FairShare, SchedStats, SimDuration, SimRng, SimTime};
 use telemetry::trace::{SpanId, Tracer};
-use telemetry::{CostCategory, CostLedger, CpuMonitor, FaultKind, FaultLedger, FleetTag};
+use telemetry::{
+    CostCategory, CostLedger, CpuMonitor, FaultKind, FaultLedger, FleetTag, SuppressReason,
+};
 
 use crate::config::CloudConfig;
 use crate::emr::{EmrJob, EmrJobId};
@@ -113,6 +115,10 @@ pub enum OpOutcome {
     },
     /// Host-to-host transfer finished.
     TransferOk,
+    /// The KV server this operation targeted died (its host was lost)
+    /// before the operation completed. Not retryable against the same
+    /// server; recovery must re-route to a replacement.
+    KvUnreachable,
     /// The operation failed with an injected transient fault; the
     /// caller may retry it.
     Faulted {
@@ -156,7 +162,7 @@ enum FlowDone {
         key: String,
         body: ObjectBody,
     },
-    KvValue { op: OpId, body: ObjectBody },
+    KvValue { op: OpId, kv: KvId, body: ObjectBody },
     KvPut { op: OpId, kv: KvId, key: String, body: ObjectBody },
     KvPush { op: OpId, kv: KvId, queue: String, body: ObjectBody },
     TransferDone { op: OpId },
@@ -228,6 +234,9 @@ struct Kv {
     flows: HashMap<FlowId, FlowDone>,
     data: HashMap<String, ObjectBody>,
     queues: HashMap<String, VecDeque<ObjectBody>>,
+    /// Set when the hosting VM was killed; every subsequent (or still
+    /// in-flight) operation resolves as [`OpOutcome::KvUnreachable`].
+    dead: bool,
 }
 
 /// The simulated cloud region. See the [module docs](self).
@@ -882,8 +891,15 @@ impl World {
             flows: HashMap::new(),
             data: HashMap::new(),
             queues: HashMap::new(),
+            dead: false,
         });
         kv
+    }
+
+    /// True while a KV server's hosting VM is up (operations against a
+    /// dead server resolve as [`OpOutcome::KvUnreachable`]).
+    pub fn kv_alive(&self, kv: KvId) -> bool {
+        !self.kvs[kv.index() as usize].dead
     }
 
     /// Asynchronously stores `body` under `key` in a KV server.
@@ -1250,12 +1266,20 @@ impl World {
                 self.store.put(&bucket, &key, body);
                 self.notify_op(op, OpOutcome::PutOk);
             }
-            FlowDone::KvValue { op, body } => {
-                self.notify_op(op, OpOutcome::KvValue { body: Some(body) })
+            FlowDone::KvValue { op, kv, body } => {
+                if self.kvs[kv.index() as usize].dead {
+                    self.notify_op(op, OpOutcome::KvUnreachable);
+                } else {
+                    self.notify_op(op, OpOutcome::KvValue { body: Some(body) })
+                }
             }
             FlowDone::KvPut { op, kv, key, body } => {
-                self.kvs[kv.index() as usize].data.insert(key, body);
-                self.notify_op(op, OpOutcome::KvOk);
+                if self.kvs[kv.index() as usize].dead {
+                    self.notify_op(op, OpOutcome::KvUnreachable);
+                } else {
+                    self.kvs[kv.index() as usize].data.insert(key, body);
+                    self.notify_op(op, OpOutcome::KvOk);
+                }
             }
             FlowDone::KvPush {
                 op,
@@ -1263,12 +1287,16 @@ impl World {
                 queue,
                 body,
             } => {
-                self.kvs[kv.index() as usize]
-                    .queues
-                    .entry(queue)
-                    .or_default()
-                    .push_back(body);
-                self.notify_op(op, OpOutcome::KvOk);
+                if self.kvs[kv.index() as usize].dead {
+                    self.notify_op(op, OpOutcome::KvUnreachable);
+                } else {
+                    self.kvs[kv.index() as usize]
+                        .queues
+                        .entry(queue)
+                        .or_default()
+                        .push_back(body);
+                    self.notify_op(op, OpOutcome::KvOk);
+                }
             }
             FlowDone::TransferDone { op } => {
                 self.notify_op(op, OpOutcome::TransferOk);
@@ -1280,6 +1308,17 @@ impl World {
 
     fn on_kv_start(&mut self, op: OpId, now: SimTime) {
         let kind = self.ops.remove(&op).expect("unknown KV op");
+        let target = match &kind {
+            OpKind::KvPut { kv, .. }
+            | OpKind::KvGet { kv, .. }
+            | OpKind::KvPush { kv, .. }
+            | OpKind::KvPop { kv, .. } => *kv,
+            other => unreachable!("non-KV op in KV start: {other:?}"),
+        };
+        if self.kvs[target.index() as usize].dead {
+            self.notify_op(op, OpOutcome::KvUnreachable);
+            return;
+        }
         match kind {
             OpKind::KvPut { from, kv, key, body } => {
                 let len = body.len();
@@ -1305,7 +1344,7 @@ impl World {
                     None => self.notify_op(op, OpOutcome::KvValue { body: None }),
                     Some(body) => {
                         let len = body.len();
-                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
+                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, kv, body });
                     }
                 }
             }
@@ -1318,7 +1357,7 @@ impl World {
                     None => self.notify_op(op, OpOutcome::KvValue { body: None }),
                     Some(body) => {
                         let len = body.len();
-                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, body });
+                        self.kv_begin_flow(kv, now, len, from, FlowDone::KvValue { op, kv, body });
                     }
                 }
             }
@@ -1529,8 +1568,9 @@ impl World {
 
     /// A planned VM loss fires. Terminated VMs and protected hosts
     /// (masters, KV hosts — the single points of failure the paper's
-    /// design keeps reliable) are spared. Uptime until the loss is
-    /// billed (per-second, with the minimum) and booked as wasted
+    /// design keeps reliable) are spared, with the swallowed injection
+    /// recorded in the fault ledger. Uptime until the loss is billed
+    /// (per-second, with the minimum) and booked as wasted
     /// instance-seconds.
     fn on_vm_crash(&mut self, vm: VmId, now: SimTime) {
         let rec = &self.vms[vm.index() as usize];
@@ -1538,10 +1578,77 @@ impl World {
             return;
         }
         let host = rec.host;
-        if self.protected_hosts.contains(&host) || self.kvs.iter().any(|kv| kv.host == host) {
+        if self.protected_hosts.contains(&host) {
+            self.fault_ledger
+                .record_suppressed(FaultKind::VmLoss, SuppressReason::ProtectedHost);
             return;
         }
+        if self.kvs.iter().any(|kv| kv.host == host && !kv.dead) {
+            self.fault_ledger
+                .record_suppressed(FaultKind::VmLoss, SuppressReason::KvHost);
+            return;
+        }
+        self.vm_crash_teardown(vm, now);
+    }
+
+    /// Forcibly terminates a running VM right now, bypassing fault
+    /// suppression — the chaos suite's master-kill switch. Any KV
+    /// server on the host dies with it: its in-flight remote flows
+    /// resolve as [`OpOutcome::KvUnreachable`] before the
+    /// [`Notify::VmFailed`] surfaces, and queued or future operations
+    /// against it resolve the same way. Billing follows the
+    /// injected-loss path (uptime billed and booked as wasted).
+    /// Returns `false` (no-op) if the VM never came up or already
+    /// terminated.
+    pub fn kill_vm(&mut self, vm: VmId) -> bool {
+        let rec = &self.vms[vm.index() as usize];
+        if rec.terminated || rec.up_at.is_none() {
+            return false;
+        }
+        let host = rec.host;
+        self.kill_kvs_on(host);
+        let now = self.queue.now();
+        self.vm_crash_teardown(vm, now);
+        true
+    }
+
+    /// Marks every KV server on `host` dead and fails its in-flight
+    /// remote flows as [`OpOutcome::KvUnreachable`] (in ascending op
+    /// order, for determinism). Host-local exchanges and queued op
+    /// starts resolve lazily through the `dead` flag when their timers
+    /// fire.
+    fn kill_kvs_on(&mut self, host: HostId) {
+        let mut orphans: Vec<OpId> = Vec::new();
+        for state in &mut self.kvs {
+            if state.host != host || state.dead {
+                continue;
+            }
+            state.dead = true;
+            if let Some(tok) = state.tick.take() {
+                self.queue.cancel(tok);
+            }
+            for (_, done) in state.flows.drain() {
+                let (FlowDone::Get { op, .. }
+                | FlowDone::Put { op, .. }
+                | FlowDone::KvValue { op, .. }
+                | FlowDone::KvPut { op, .. }
+                | FlowDone::KvPush { op, .. }
+                | FlowDone::TransferDone { op }) = done;
+                orphans.push(op);
+            }
+        }
+        orphans.sort_by_key(|op| op.index());
+        for op in orphans {
+            self.notify_op(op, OpOutcome::KvUnreachable);
+        }
+    }
+
+    /// The shared teardown of a mid-job VM loss (injected crash or
+    /// forced kill): bill the uptime as wasted, release the host and
+    /// surface [`Notify::VmFailed`].
+    fn vm_crash_teardown(&mut self, vm: VmId, now: SimTime) {
         let rec = &mut self.vms[vm.index() as usize];
+        let host = rec.host;
         let up_at = rec.up_at.expect("crashed a VM that never came up");
         rec.terminated = true;
         let secs = (now - up_at).as_secs_f64();

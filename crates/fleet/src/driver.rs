@@ -720,6 +720,7 @@ impl CellState {
             let mut cfg = ExecutorConfig::default();
             cfg.standalone.instance_override = Some(self.sc.pool.instance.clone());
             cfg.standalone.fleet_label = Some(format!("{}:vm", self.jobs[idx].name));
+            cfg.standalone.recovery = self.sc.pool.recovery;
             let exec = FunctionExecutor::new(&mut self.env, Backend::vm(), cfg);
             self.jobs[idx].own = Some(exec);
         }

@@ -34,6 +34,7 @@ impl SharedPool {
                 exec_cfg.standalone.instance_override = Some(cfg.instance.clone());
                 exec_cfg.standalone.idle_timeout_secs = Some(cfg.idle_timeout_secs);
                 exec_cfg.standalone.fleet_label = Some(format!("shared-pool-{i}"));
+                exec_cfg.standalone.recovery = cfg.recovery;
                 FunctionExecutor::new(env, Backend::vm(), exec_cfg)
             })
             .collect();

@@ -73,6 +73,10 @@ pub struct PoolConfig {
     /// Keep-alive window: an executor idle this long tears its VM down
     /// (re-provisioned cold on the next lease).
     pub idle_timeout_secs: f64,
+    /// Master fault tolerance of every serverful executor the scenario
+    /// creates (shared-pool members and per-job fleets alike). Presets
+    /// keep the paper's protected master.
+    pub recovery: serverful::RecoveryMode,
 }
 
 impl Default for PoolConfig {
@@ -81,6 +85,7 @@ impl Default for PoolConfig {
             size: 2,
             instance: "c5.2xlarge".to_owned(),
             idle_timeout_secs: 240.0,
+            recovery: serverful::RecoveryMode::Protected,
         }
     }
 }
@@ -145,6 +150,7 @@ impl Scenario {
                 size: 1,
                 instance: "c5.2xlarge".to_owned(),
                 idle_timeout_secs: 180.0,
+                ..PoolConfig::default()
             },
             max_jobs: 24,
             pipelined: false,
@@ -187,6 +193,7 @@ impl Scenario {
                 size: 12,
                 instance: "c5.2xlarge".to_owned(),
                 idle_timeout_secs: 90.0,
+                ..PoolConfig::default()
             },
             max_jobs: 120,
             pipelined: false,

@@ -36,6 +36,6 @@ pub use pipeline::{Stage, StageEdge, StageKind};
 pub use plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 pub use runner::{
     run_annotation, run_annotation_traced, run_annotation_with, run_plan, run_plan_stages,
-    run_plan_stages_with_engine, run_plan_with, AnnotationReport, Architecture, DagEngine,
-    TraceOutput,
+    run_plan_stages_chaos, run_plan_stages_with_engine, run_plan_with, AnnotationReport,
+    Architecture, ChaosReport, DagEngine, TraceOutput,
 };

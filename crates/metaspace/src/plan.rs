@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use serverful::ExecutionMode;
+use serverful::{ExecutionMode, RecoveryMode};
 
 use crate::pipeline::Stage;
 use crate::runner::Architecture;
@@ -70,6 +70,11 @@ pub struct FunctionsPlan {
     /// How the stage graph is scheduled: classic BSP barriers, or
     /// dependency-driven dataflow ([`ExecutionMode::Pipelined`]).
     pub execution: ExecutionMode,
+    /// What happens if the serverful master VM dies mid-job:
+    /// protected (the paper's assumption), checkpointed replay, or
+    /// decentralized continuation-passing with no master in the data
+    /// path. Irrelevant for pure-FaaS plans.
+    pub recovery: RecoveryMode,
 }
 
 impl FunctionsPlan {
@@ -110,6 +115,7 @@ impl FunctionsPlan {
             mem_factor: 2.5,
             max_attempts: serverful::RetryPolicy::default().max_attempts,
             execution: ExecutionMode::Barrier,
+            recovery: RecoveryMode::Protected,
         }
     }
 
@@ -232,14 +238,17 @@ impl DeploymentPlan {
             PlanKind::Cluster(c) => format!("cl:{}x{}", c.nodes, c.instance),
             PlanKind::Functions(f) => {
                 let mask: String = f.backends.iter().map(|b| b.code()).collect();
-                // The `:pl` suffix appears only for pipelined plans so
-                // every pre-dataflow (Barrier) key stays byte-stable.
+                // The `:pl` / `:ck` / `:dc` suffixes appear only for
+                // non-default execution and recovery modes so every
+                // pre-existing (Barrier, Protected) key stays
+                // byte-stable.
                 let pl = match f.execution {
                     ExecutionMode::Barrier => "",
                     ExecutionMode::Pipelined => ":pl",
                 };
+                let rc = f.recovery.key_suffix();
                 format!(
-                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}{pl}",
+                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}{pl}{rc}",
                     f.memory_mb,
                     f.vm_count,
                     f.instance.as_deref().unwrap_or("auto"),
@@ -304,6 +313,8 @@ mod tests {
             FunctionsPlan { mem_factor: 2.0, ..f.clone() },
             FunctionsPlan { max_attempts: 1, ..f.clone() },
             FunctionsPlan { execution: ExecutionMode::Pipelined, ..f.clone() },
+            FunctionsPlan { recovery: RecoveryMode::Checkpointed, ..f.clone() },
+            FunctionsPlan { recovery: RecoveryMode::Decentralized, ..f.clone() },
         ];
         let mut keys = vec![base.key(), DeploymentPlan::cluster().key()];
         for v in variants {
@@ -326,6 +337,34 @@ mod tests {
             FunctionsPlan { execution: ExecutionMode::Pipelined, ..f },
         );
         assert!(pl.key().ends_with(":pl"), "{}", pl.key());
+    }
+
+    #[test]
+    fn protected_keys_carry_no_recovery_suffix() {
+        // Same byte-stability rule for the recovery knob: only
+        // non-default modes grow a marker, and it composes with `:pl`.
+        let st = stages(&jobs::brain());
+        let base = DeploymentPlan::hybrid(&st);
+        assert!(!base.key().contains(":ck"), "{}", base.key());
+        assert!(!base.key().contains(":dc"), "{}", base.key());
+        let PlanKind::Functions(f) = base.kind else { unreachable!() };
+        let ck = DeploymentPlan::functions(
+            "c",
+            FunctionsPlan {
+                recovery: RecoveryMode::Checkpointed,
+                ..f.clone()
+            },
+        );
+        assert!(ck.key().ends_with(":ck"), "{}", ck.key());
+        let both = DeploymentPlan::functions(
+            "b",
+            FunctionsPlan {
+                execution: ExecutionMode::Pipelined,
+                recovery: RecoveryMode::Decentralized,
+                ..f
+            },
+        );
+        assert!(both.key().ends_with(":pl:dc"), "{}", both.key());
     }
 
     #[test]

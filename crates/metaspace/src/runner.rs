@@ -29,7 +29,8 @@ use clustersim::{ClusterConfig, ClusterEngine, StageDef};
 use serverful::executor::MapOptions;
 use serverful::{
     run_dag, run_dag_async, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode,
-    ExecutorConfig, FunctionExecutor, Payload, RetryPolicy, ScriptTask, SizingPolicy,
+    ExecutorConfig, FunctionExecutor, Payload, RecoveryMode, RecoveryStats, RetryPolicy,
+    ScriptTask, SizingPolicy,
 };
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
@@ -234,13 +235,17 @@ pub fn run_plan_stages(
 /// byte-identical reports, traces and billing (asserted by
 /// `tests/equivalence.rs`); the engines differ only in how the
 /// scheduling logic is expressed.
+///
+/// `Async` is the default engine; `Legacy` remains selectable only as
+/// the equivalence oracle and is slated for deletion once a release has
+/// shipped on the async kernel (see ROADMAP).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DagEngine {
     /// The hand-rolled pump/poll loop ([`serverful::run_dag`]).
-    #[default]
     Legacy,
     /// Straight-line futures on the deterministic async kernel
     /// ([`serverful::run_dag_async`]).
+    #[default]
     Async,
 }
 
@@ -271,9 +276,63 @@ pub fn run_plan_stages_with_engine(
     validate_plan(stages, plan)?;
     match &plan.kind {
         PlanKind::Functions(f) => {
-            run_functions_plan(label, stages, f, seed, cloud, trace, engine)
+            run_functions_plan(label, stages, f, seed, cloud, trace, engine, &[])
+                .map(|(r, t, _)| (r, t))
         }
         PlanKind::Cluster(c) => Ok(run_cluster_plan(label, stages, c, seed, cloud, trace)),
+    }
+}
+
+/// Extra observability a chaos run returns alongside its report.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Recovery-machinery activity (checkpoints, re-adoptions,
+    /// redispatches, continuations, master data-path ops).
+    pub recovery: RecoveryStats,
+    /// Routed executor events over the whole run (the clock the kill
+    /// indices count against).
+    pub events_routed: u64,
+    /// Deterministic digest of the science outputs in the workspace
+    /// bucket (recovery/continuation plumbing and warm-up keys
+    /// excluded). Equal digests mean the runs produced identical
+    /// outputs, however many re-executions it took.
+    pub science_digest: u64,
+}
+
+/// [`run_plan_stages_with_engine`] plus master-kill chaos injection:
+/// the serverful pool's master VM is killed when the executor's
+/// routed-event counter passes each offset in `kills` (offsets are
+/// relative to the start of the measured window, after warm-up). What
+/// happens next is the plan's [`RecoveryMode`]: `Protected` strands the
+/// job (the run errors), `Checkpointed` boots a replacement master that
+/// replays the snapshot, `Decentralized` does not care.
+///
+/// Only functions-family plans can host a master kill; cluster plans
+/// are rejected.
+///
+/// # Errors
+///
+/// Propagates executor failures — including the stall a protected-mode
+/// master kill is expected to cause — and rejects malformed or cluster
+/// plans.
+pub fn run_plan_stages_chaos(
+    label: &str,
+    stages: &[Stage],
+    plan: &DeploymentPlan,
+    seed: u64,
+    cloud: CloudConfig,
+    engine: DagEngine,
+    kills: &[u64],
+) -> Result<(AnnotationReport, ChaosReport), ExecError> {
+    validate_plan(stages, plan)?;
+    match &plan.kind {
+        PlanKind::Functions(f) => {
+            run_functions_plan(label, stages, f, seed, cloud, false, engine, kills)
+                .map(|(r, _, c)| (r, c))
+        }
+        PlanKind::Cluster(_) => Err(ExecError::Unsupported(
+            "master-kill chaos targets the serverful master; cluster plans have none".into(),
+        )),
     }
 }
 
@@ -348,6 +407,7 @@ fn ledger_waste(world: &World) -> f64 {
 // Cloud-function / hybrid / serverful path
 // ----------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn run_functions_plan(
     label: &str,
     stages: &[Stage],
@@ -356,7 +416,8 @@ fn run_functions_plan(
     cloud: CloudConfig,
     trace: bool,
     engine: DagEngine,
-) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
+    kills: &[u64],
+) -> Result<(AnnotationReport, Option<TraceOutput>, ChaosReport), ExecError> {
     let retry = RetryPolicy {
         max_attempts: plan.max_attempts,
         ..RetryPolicy::default()
@@ -397,6 +458,7 @@ fn run_functions_plan(
             ..ExecutorConfig::default() // consolidated, reuse_instances
         };
         cfg.standalone.sizing = sizing.clone();
+        cfg.standalone.recovery = plan.recovery;
         if plan.vm_count == 1 {
             cfg.standalone.instance_override = Some(planned_itype.name.to_owned());
         } else {
@@ -411,6 +473,18 @@ fn run_functions_plan(
     // existing, previously configured VMs"); bring the serverful host up
     // before the measured window, like the cluster baseline's excluded
     // initialisation.
+    // A master-kill-survivable exchange cannot live in the master's
+    // RAM: Decentralized has no master KV in the data path at all, and
+    // Checkpointed would strand in-flight gathers (finished peers are
+    // never re-executed, so their KV pieces would die with the master).
+    // Both recovery modes therefore route fused exchanges through
+    // object storage; only the paper's protected master keeps the
+    // shared-memory fast path.
+    let exchange = if plan.recovery == RecoveryMode::Protected {
+        Exchange::Kv
+    } else {
+        Exchange::Storage
+    };
     if let Some(vm_exec) = vm.as_mut() {
         let mut warm = SortConfig {
             chunks: 1,
@@ -422,7 +496,7 @@ fn run_functions_plan(
         };
         warm.bucket = "lithops-workspace".to_owned();
         let refs = shuffle::seed_input(&mut env, &warm);
-        shuffle::run_fused_exchange(&mut env, vm_exec, &warm, &refs, vm_workers, false)?;
+        shuffle::run_fused_exchange(&mut env, vm_exec, &warm, &refs, vm_workers, exchange, false)?;
         env.world_mut().ledger_mut().reset();
     }
     // Tracing starts after the warm-up so the trace covers exactly the
@@ -430,13 +504,20 @@ fn run_functions_plan(
     if trace {
         env.enable_tracing();
     }
+    // Kill offsets count routed events from here — after the warm-up,
+    // so the same offset lands at the same point of the measured window
+    // regardless of warm-up traffic.
+    let event_base = env.events_routed();
+    for &k in kills {
+        env.arm_master_kill(0, event_base + k);
+    }
     let start = env.now();
     // Lower the stage graph to a task-level DAG and run it. Barrier
     // execution replays the classic stage chain (each node blocks until
     // drained — byte-identical to the pre-dataflow runner); Pipelined
     // releases downstream partitions as their upstream dependencies
     // complete.
-    let dag = build_stage_dag(stages, plan, &sizing, planned_itype, vm_workers, seed);
+    let dag = build_stage_dag(stages, plan, &sizing, planned_itype, vm_workers, seed, exchange);
     let mut ctx = StageCtx { faas, vm };
     match engine {
         DagEngine::Legacy => {
@@ -475,7 +556,43 @@ fn run_functions_plan(
         stages: stage_results,
         cpu,
     };
-    Ok((report, trace.then(|| trace_output(env.world()))))
+    let chaos = ChaosReport {
+        recovery: env.recovery_stats().clone(),
+        events_routed: env.events_routed() - event_base,
+        science_digest: science_digest(env.world()),
+    };
+    Ok((report, trace.then(|| trace_output(env.world())), chaos))
+}
+
+/// Deterministic FNV-1a digest of the science outputs in the workspace
+/// bucket. Recovery snapshots, decentralized bundles/counters and job
+/// plumbing (`recovery/`, `jobs/`) and warm-up keys are excluded: the
+/// digest covers exactly what the pipeline computed, so a killed run
+/// that recovered digests identically to a fault-free one.
+fn science_digest(world: &World) -> u64 {
+    const BUCKET: &str = "lithops-workspace";
+    let store = world.store();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for key in store.list_prefix(BUCKET, "") {
+        if key.starts_with("recovery/")
+            || key.starts_with("jobs/")
+            || key.starts_with("warmup-")
+        {
+            continue;
+        }
+        key.as_bytes().iter().for_each(|b| mix(*b));
+        mix(0);
+        let body = store.get(BUCKET, &key).expect("listed key exists");
+        body.len().to_le_bytes().iter().for_each(|b| mix(*b));
+        if let Some(bytes) = body.bytes() {
+            bytes.iter().for_each(|b| mix(*b));
+        }
+    }
+    h
 }
 
 /// Sequential rounds a stateful exchange needs on the plan's fleet: the
@@ -524,6 +641,7 @@ struct StageCtx {
 /// Stage-level in-edges attach to the stage's *first* node and point at
 /// the upstream stage's *terminal* node (round chains make
 /// terminal-done imply all-rounds-done, so this is exact).
+#[allow(clippy::too_many_arguments)]
 fn build_stage_dag(
     stages: &[Stage],
     plan: &FunctionsPlan,
@@ -531,6 +649,7 @@ fn build_stage_dag(
     planned_itype: &InstanceType,
     vm_workers: usize,
     seed: u64,
+    exchange: Exchange,
 ) -> Dag<StageCtx> {
     let stage_deps = pipeline::edges(stages);
     let mut dag: Dag<StageCtx> = Dag::new();
@@ -607,7 +726,7 @@ fn build_stage_dag(
                                     ctx.vm.as_mut().expect("serverful stage has a pool");
                                 let refs = shuffle::seed_input(env, &cfg);
                                 Ok(shuffle::submit_fused_exchange(
-                                    env, vm_exec, &cfg, &refs, vm_workers, gated,
+                                    env, vm_exec, &cfg, &refs, vm_workers, exchange, gated,
                                 ))
                             }),
                         }));

@@ -150,6 +150,7 @@ mod tests {
                 mem_factor: 2.5,
                 max_attempts: 3,
                 execution: serverful::ExecutionMode::Barrier,
+                recovery: serverful::RecoveryMode::Protected,
             },
         );
         PlanOutcome {

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use cloudsim::instances_within_mem;
 use metaspace::pipeline::{Stage, StageKind};
 use metaspace::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
-use serverful::{ExecutionMode, SizingPolicy};
+use serverful::{ExecutionMode, RecoveryMode, SizingPolicy};
 
 /// The instance the sizing policy would pick for a backend mask — the
 /// same rule the runner applies (largest serverful stateful exchange
@@ -53,6 +53,11 @@ pub struct SearchSpace {
     pub mem_factors: Vec<f64>,
     /// Candidate execution modes (BSP barriers vs dataflow pipelining).
     pub executions: Vec<ExecutionMode>,
+    /// Candidate master recovery modes. Checkpointing buys fault
+    /// tolerance with periodic snapshot I/O (its cost shows up in the
+    /// evaluator's simulated billing and makespan, not a side formula);
+    /// decentralized pays per-task bundle/counter round-trips instead.
+    pub recoveries: Vec<RecoveryMode>,
     /// Candidate fixed-cluster deployments.
     pub clusters: Vec<ClusterPlan>,
 }
@@ -109,6 +114,7 @@ impl SearchSpace {
             // Barrier only: the smoke space stays exactly the paper's
             // three named deployments.
             executions: vec![ExecutionMode::Barrier],
+            recoveries: vec![RecoveryMode::Protected],
             clusters: vec![ClusterPlan::paper()],
         }
     }
@@ -141,7 +147,31 @@ impl SearchSpace {
             vm_counts: (1..=8).collect(),
             mem_factors: vec![2.5],
             executions: vec![ExecutionMode::Barrier, ExecutionMode::Pipelined],
+            // The standard space keeps the paper's protected master;
+            // sweeping fault tolerance is `recovery_sweep`'s job.
+            recoveries: vec![RecoveryMode::Protected],
             clusters: vec![ClusterPlan::paper()],
+        }
+    }
+
+    /// The fault-tolerance sweep: the paper's hybrid knobs crossed with
+    /// every [`RecoveryMode`] and both execution modes, so the planner
+    /// prices what surviving a master loss costs (checkpoint I/O vs
+    /// storage-routed dispatch) against the unprotected baseline.
+    pub fn recovery_sweep(stages: &[Stage]) -> SearchSpace {
+        let hybrid_mask = match DeploymentPlan::hybrid(stages).kind {
+            PlanKind::Functions(f) => f.backends,
+            PlanKind::Cluster(_) => unreachable!("hybrid is a functions plan"),
+        };
+        SearchSpace {
+            backend_masks: vec![hybrid_mask],
+            memories_mb: vec![1769],
+            instances: vec![None],
+            vm_counts: vec![1, 4],
+            mem_factors: vec![2.5],
+            executions: vec![ExecutionMode::Barrier, ExecutionMode::Pipelined],
+            recoveries: RecoveryMode::ALL.to_vec(),
+            clusters: Vec::new(),
         }
     }
 
@@ -194,30 +224,38 @@ impl SearchSpace {
                                 }
                             }
                             for &execution in &self.executions {
-                                // Inert knobs are canonicalised to their
-                                // defaults so each distinct deployment
-                                // appears once: the VM knobs without
-                                // serverful stages, the Lambda memory
-                                // without function stages.
-                                let f = if pure_functions {
-                                    FunctionsPlan {
-                                        backends: mask.clone(),
-                                        memory_mb,
-                                        execution,
-                                        ..FunctionsPlan::serverless(mask.len())
-                                    }
-                                } else {
-                                    FunctionsPlan {
-                                        backends: mask.clone(),
-                                        memory_mb: if pure_serverful { 1769 } else { memory_mb },
-                                        instance: instance.clone(),
-                                        vm_count,
-                                        mem_factor,
-                                        execution,
-                                        ..FunctionsPlan::serverless(mask.len())
-                                    }
-                                };
-                                add(DeploymentPlan::functions("candidate", f));
+                                for &recovery in &self.recoveries {
+                                    // Inert knobs are canonicalised to
+                                    // their defaults so each distinct
+                                    // deployment appears once: the VM
+                                    // knobs and recovery mode without
+                                    // serverful stages, the Lambda
+                                    // memory without function stages.
+                                    let f = if pure_functions {
+                                        FunctionsPlan {
+                                            backends: mask.clone(),
+                                            memory_mb,
+                                            execution,
+                                            ..FunctionsPlan::serverless(mask.len())
+                                        }
+                                    } else {
+                                        FunctionsPlan {
+                                            backends: mask.clone(),
+                                            memory_mb: if pure_serverful {
+                                                1769
+                                            } else {
+                                                memory_mb
+                                            },
+                                            instance: instance.clone(),
+                                            vm_count,
+                                            mem_factor,
+                                            execution,
+                                            recovery,
+                                            ..FunctionsPlan::serverless(mask.len())
+                                        }
+                                    };
+                                    add(DeploymentPlan::functions("candidate", f));
+                                }
                             }
                         }
                     }
@@ -304,6 +342,35 @@ mod tests {
         let stages = pipeline::stages(&jobs::brain());
         let k = stages.iter().filter(|s| s.is_stateful()).count();
         assert_eq!(backend_masks(&stages).len(), 1 << (k + 1));
+    }
+
+    #[test]
+    fn recovery_sweep_covers_every_mode_per_deployment() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::recovery_sweep(&stages).candidates(&stages);
+        let mut per_mode = std::collections::BTreeMap::new();
+        for p in &plans {
+            if let PlanKind::Functions(f) = &p.kind {
+                *per_mode.entry(f.recovery.name()).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(per_mode.len(), RecoveryMode::ALL.len(), "{per_mode:?}");
+        let counts: Vec<usize> = per_mode.values().copied().collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{per_mode:?}");
+        assert!(counts[0] >= 4, "fleet × execution per mode: {per_mode:?}");
+    }
+
+    #[test]
+    fn pure_functions_masks_collapse_the_recovery_knob() {
+        // Recovery is a serverful-master property: with no serverful
+        // stage the knob is inert and must not multiply candidates.
+        let stages = pipeline::stages(&jobs::brain());
+        let mut space = SearchSpace::smoke(&stages);
+        space.backend_masks = vec![vec![StageBackend::Functions; stages.len()]];
+        let baseline = space.candidates(&stages).len();
+        space.recoveries = RecoveryMode::ALL.to_vec();
+        let swept = space.candidates(&stages).len();
+        assert_eq!(baseline, swept);
     }
 
     #[test]

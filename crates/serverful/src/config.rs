@@ -1,5 +1,6 @@
 //! Executor configuration.
 
+use crate::recovery::RecoveryMode;
 use crate::retry::RetryPolicy;
 use crate::sizing::SizingPolicy;
 
@@ -58,6 +59,14 @@ pub struct StandaloneConfig {
     /// pool labels its fleet so per-tenant cost reports can split
     /// pool cost from direct job cost.
     pub fleet_label: Option<String>,
+    /// What happens when the master VM is lost mid-job. The default
+    /// [`RecoveryMode::Protected`] reproduces the paper's assumption
+    /// (the master cannot fail); the other modes survive its loss. See
+    /// [`crate::recovery`].
+    pub recovery: RecoveryMode,
+    /// Seconds between master checkpoint snapshots under
+    /// [`RecoveryMode::Checkpointed`]; ignored by the other modes.
+    pub checkpoint_interval_secs: f64,
 }
 
 impl Default for StandaloneConfig {
@@ -74,6 +83,8 @@ impl Default for StandaloneConfig {
             max_provision_attempts: 5,
             idle_timeout_secs: None,
             fleet_label: None,
+            recovery: RecoveryMode::Protected,
+            checkpoint_interval_secs: 5.0,
         }
     }
 }
@@ -135,6 +146,9 @@ mod tests {
         assert_eq!(cfg.runtime_memory_mb, 1769);
         assert!(matches!(cfg.standalone.exec_mode, ExecMode::Consolidated));
         assert!(cfg.standalone.reuse_instances);
+        // The paper assumes the master cannot fail; surviving its loss
+        // is opt-in.
+        assert_eq!(cfg.standalone.recovery, RecoveryMode::Protected);
     }
 
     #[test]

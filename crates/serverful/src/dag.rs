@@ -414,6 +414,18 @@ fn run_pipelined<C>(
                 .collect();
             env.annotate_job_span(handle.id, "deps", &deps.join(","));
         }
+        // Publish the fan-in metadata so decentralized pools can fire
+        // continuations without the scheduler in the loop (no-op for
+        // other recovery modes).
+        for e in &dag.nodes[v].deps {
+            env.register_continuation(
+                live[e.from].handle.id,
+                handle.id,
+                e.fan_in,
+                dag.nodes[e.from].tasks,
+                dag.nodes[v].tasks,
+            );
+        }
         live.push(Live {
             handle,
             stats: NodeStats {

@@ -236,6 +236,18 @@ fn run_pipelined_async<C: 'static>(
                 .collect();
             env.annotate_job_span(handle.id, "deps", &deps.join(","));
         }
+        // Publish the fan-in metadata so decentralized pools can fire
+        // continuations without the scheduler in the loop (no-op for
+        // other recovery modes).
+        for e in &dag.node(v).deps {
+            env.register_continuation(
+                live[e.from].handle.id,
+                handle.id,
+                e.fan_in,
+                dag.node(e.from).tasks,
+                dag.node(v).tasks,
+            );
+        }
         live.push(LiveAsync {
             handle,
             stats: NodeStats {

@@ -28,19 +28,24 @@
 //!    the client; all instances are automatically stopped afterwards
 //!    (unless instance reuse is enabled).
 
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 use cloudsim::{
     CloudConfig, HostId, KvId, Notify, ObjectBody, OpId, OpOutcome, SandboxId, VmId, World,
 };
+use simkernel::aio::AsyncExecutor;
 use simkernel::{SimDuration, SimTime};
 use telemetry::trace::SpanId;
 use telemetry::{FleetTag, StageSpan, Timeline};
 
 use crate::config::{ExecMode, StandaloneConfig};
+use crate::dag::{fan_in_range, FanIn};
 use crate::error::ExecError;
 use crate::job::{JobBackend, JobState, MonitorState, PendingShape, TaskPhase, TaskRun};
 use crate::payload::Payload;
+use crate::recovery::{checkpoint_key, JobCheckpoint, MasterCheckpoint, RecoveryMode, RecoveryStats};
 use crate::task::{Action, ActionOutcome, TaskStep};
 
 /// Where a notification should be delivered.
@@ -95,6 +100,52 @@ enum Route {
     /// window: a job starting (or another window opening) invalidates
     /// earlier timers.
     PoolIdle { pool: usize, epoch: u64 },
+    /// Periodic master-state snapshot PUT ([`RecoveryMode::Checkpointed`]).
+    Checkpoint { pool: usize, job: usize },
+    /// The replacement master's checkpoint GET during re-adoption.
+    /// `episode` versions the recovery so a twice-replaced master drops
+    /// the first replacement's fetch.
+    Readopt { pool: usize, job: usize, episode: u64 },
+    /// Client PUT of a task bundle to object storage
+    /// ([`RecoveryMode::Decentralized`] dispatch).
+    DcBundle { pool: usize, job: usize, task: usize },
+    /// Worker GET of a claimed task bundle (decentralized dispatch).
+    DcClaim { pool: usize, job: usize, vm_idx: usize, proc: usize, epoch: u64, task: usize },
+    /// Worker PUT of a per-task completion counter (decentralized
+    /// continuation passing).
+    DcCounter { pool: usize, job: usize, task: usize },
+}
+
+/// A pending recovery action queued by a kernel-driven future (the
+/// checkpoint sleep loop, the re-adoption gate) for the environment to
+/// execute between world events.
+#[derive(Debug, Clone, Copy)]
+enum RecoveryCmd {
+    Checkpoint { pool: usize },
+    Readopt { pool: usize, episode: u64 },
+}
+
+/// A registered DAG continuation: when upstream tasks of `up_job` land
+/// their completion counters in storage, downstream tasks of `down_job`
+/// whose fan-in block is fully counted are released directly — no
+/// master (and no driver) in the path.
+#[derive(Debug, Clone, Copy)]
+struct Continuation {
+    up_job: usize,
+    down_job: usize,
+    fan_in: FanIn,
+    up_tasks: usize,
+    down_tasks: usize,
+}
+
+/// Decentralized-mode bookkeeping for one job.
+#[derive(Debug)]
+struct DcJob {
+    /// Tasks whose bundle PUT has been issued (bundles persist in
+    /// storage, so a requeue after worker loss needs no re-upload).
+    uploaded: Vec<bool>,
+    /// Tasks whose completion counter has landed in storage.
+    counters: Vec<bool>,
 }
 
 /// A retryable storage request, kept verbatim so a faulted op can be
@@ -183,6 +234,24 @@ pub(crate) struct StandalonePool {
     /// [`Route::PoolIdle`]).
     idle_epoch: u64,
     fleet_name: String,
+    /// Decentralized mode: tasks whose bundles sit in storage awaiting
+    /// a worker claim, in dispatch order.
+    dc_ready: VecDeque<usize>,
+    /// True between a master loss and the replacement's checkpoint
+    /// replay (Checkpointed mode); dispatch defers to the re-adoption.
+    recovering: bool,
+    /// Master-recovery generation; stale re-adoption fetches of an
+    /// earlier episode are dropped.
+    recovery_episode: u64,
+    /// Monotonic checkpoint sequence number (survives master swaps via
+    /// the snapshot itself).
+    ckpt_seq: u64,
+    /// Liveness flag of the current checkpoint sleep loop; cleared when
+    /// the pool's job finishes so the loop exits on its next fire.
+    ckpt_active: Option<Rc<Cell<bool>>>,
+    /// Gate the pending re-adoption future waits on; opened when the
+    /// replacement master finishes SSH setup.
+    readopt_gate: Option<simkernel::aio::Gate>,
 }
 
 impl StandalonePool {
@@ -195,6 +264,16 @@ impl StandalonePool {
             self.workers[0].host
         } else {
             self.master.as_ref().expect("master missing").host
+        }
+    }
+
+    /// The VM currently acting as master (the single worker VM in
+    /// consolidated mode), if the slot is populated.
+    fn master_pv(&self) -> Option<&PoolVm> {
+        if self.consolidated() {
+            self.workers.first()
+        } else {
+            self.master.as_ref()
         }
     }
 
@@ -240,6 +319,23 @@ pub struct CloudEnv {
     /// Span subsequently submitted jobs parent under (a pipeline's stage
     /// span, for example).
     job_parent: SpanId,
+    /// Async kernel driving recovery futures (checkpoint sleep loops,
+    /// re-adoption gates) in lockstep with world time.
+    kernel: AsyncExecutor,
+    /// Commands those futures queue for the environment to execute.
+    recovery_cmds: Rc<RefCell<VecDeque<RecoveryCmd>>>,
+    /// Recovery activity counters (checkpoints, re-adoptions,
+    /// continuations); empty unless a non-default mode did work.
+    recovery_stats: RecoveryStats,
+    /// Registered decentralized DAG continuations.
+    continuations: Vec<Continuation>,
+    /// Per-job decentralized dispatch/counter state.
+    dc_jobs: HashMap<usize, DcJob>,
+    /// Armed chaos kills: `(pool, event index)`; fired once the routed
+    /// event counter passes the index and the master VM is up.
+    armed_kills: Vec<(usize, u64)>,
+    /// Notifications routed so far (the chaos kills' event clock).
+    events_routed: u64,
 }
 
 impl std::fmt::Debug for CloudEnv {
@@ -277,6 +373,13 @@ impl CloudEnv {
             scheduler_fleet,
             active_jobs: 0,
             job_parent: SpanId::NONE,
+            kernel: AsyncExecutor::new(),
+            recovery_cmds: Rc::new(RefCell::new(VecDeque::new())),
+            recovery_stats: RecoveryStats::new(),
+            continuations: Vec::new(),
+            dc_jobs: HashMap::new(),
+            armed_kills: Vec::new(),
+            events_routed: 0,
         }
     }
 
@@ -495,6 +598,12 @@ impl CloudEnv {
             epoch_counter: 0,
             idle_epoch: 0,
             fleet_name,
+            dc_ready: VecDeque::new(),
+            recovering: false,
+            recovery_episode: 0,
+            ckpt_seq: 0,
+            ckpt_active: None,
+            readopt_gate: None,
         });
         idx
     }
@@ -585,6 +694,9 @@ impl CloudEnv {
                     }
                 }
                 self.dispatch(t, n);
+                self.events_routed += 1;
+                self.drive_recovery();
+                self.fire_armed_kills();
                 EnvEvent::Progress
             }
         }
@@ -599,6 +711,113 @@ impl CloudEnv {
         self.timer_routes.insert(tag, Route::External { token: tag });
         self.world.timer(delay, tag);
         tag
+    }
+
+    // ------------------------------------------------------------------
+    // Master fault tolerance (see crate::recovery)
+    // ------------------------------------------------------------------
+
+    /// Recovery activity of this environment so far (checkpoints,
+    /// master replacements, continuations). Empty unless a pool with a
+    /// non-default [`RecoveryMode`] actually exercised it.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// Notifications routed by [`pump`](Self::pump) so far — the event
+    /// clock [`arm_master_kill`](Self::arm_master_kill) indices refer to.
+    pub fn events_routed(&self) -> u64 {
+        self.events_routed
+    }
+
+    /// Arms a forced chaos kill of `pool`'s master VM: once the routed
+    /// event counter reaches `at_event`, the master (the single worker
+    /// VM in consolidated mode) is torn down through
+    /// [`World::kill_vm`], bypassing fault-injection suppression. If the
+    /// master is not up yet at the index, the kill retries on every
+    /// subsequent event until it lands; a kill still pending when the
+    /// run drains simply never fires.
+    pub fn arm_master_kill(&mut self, pool: usize, at_event: u64) {
+        self.armed_kills.push((pool, at_event));
+    }
+
+    /// Armed chaos kills that have not fired yet.
+    pub fn pending_master_kills(&self) -> usize {
+        self.armed_kills.len()
+    }
+
+    /// Registers a decentralized continuation edge: completion counters
+    /// of `up_job` release the fan-in-satisfied tasks of `down_job`
+    /// directly from the environment (no master, no driver). Registered
+    /// unconditionally by the pipelined DAG drivers; consulted only for
+    /// jobs on [`RecoveryMode::Decentralized`] pools.
+    pub(crate) fn register_continuation(
+        &mut self,
+        up_job: usize,
+        down_job: usize,
+        fan_in: FanIn,
+        up_tasks: usize,
+        down_tasks: usize,
+    ) {
+        self.continuations.push(Continuation {
+            up_job,
+            down_job,
+            fan_in,
+            up_tasks,
+            down_tasks,
+        });
+    }
+
+    /// Advances the recovery kernel to world time, runs any woken
+    /// futures, and executes the commands they queued.
+    fn drive_recovery(&mut self) {
+        self.kernel.advance_to(self.world.now());
+        self.kernel.run_ready();
+        loop {
+            let cmd = self.recovery_cmds.borrow_mut().pop_front();
+            match cmd {
+                None => break,
+                Some(RecoveryCmd::Checkpoint { pool }) => self.write_checkpoint(pool),
+                Some(RecoveryCmd::Readopt { pool, episode }) => {
+                    self.begin_readopt(pool, episode)
+                }
+            }
+        }
+    }
+
+    /// Fires every armed kill whose event index has passed, retrying
+    /// kills whose master VM is not up yet.
+    fn fire_armed_kills(&mut self) {
+        if self.armed_kills.is_empty() {
+            return;
+        }
+        let events = self.events_routed;
+        let armed = std::mem::take(&mut self.armed_kills);
+        for (pool, at) in armed {
+            if events >= at && self.try_kill_master(pool) {
+                continue;
+            }
+            self.armed_kills.push((pool, at));
+        }
+    }
+
+    fn try_kill_master(&mut self, pool: usize) -> bool {
+        let Some(vm) = self
+            .pools
+            .get(pool)
+            .and_then(|p| p.master_pv())
+            .map(|m| m.vm)
+        else {
+            return false;
+        };
+        if !self.world.kill_vm(vm) {
+            return false;
+        }
+        let now = self.world.now();
+        self.world
+            .tracer_mut()
+            .instant(now, "chaos-master-kill", "recovery", "recovery");
+        true
     }
 
     /// The finished job's results (or error), if it has finished.
@@ -732,6 +951,17 @@ impl CloudEnv {
     /// can re-issue it after backoff. All env storage traffic flows
     /// through here.
     fn issue_storage(&mut self, spec: StorageSpec, attempts: u32, route: Route) -> OpId {
+        // A decentralized pool's dedicated master must stay out of the
+        // data path entirely; any op issued from its host is counted so
+        // the chaos suite can assert the count stays zero.
+        let from_dc_master = self.pools.iter().any(|p| {
+            p.cfg.recovery == RecoveryMode::Decentralized
+                && !p.consolidated()
+                && p.master.as_ref().is_some_and(|m| m.host == spec.host())
+        });
+        if from_dc_master {
+            self.recovery_stats.master_data_ops += 1;
+        }
         // Storage is charged synchronously at issue time; bill it to the
         // issuing route's job so concurrent jobs attribute correctly.
         if let Some(job) = Self::route_job(&route) {
@@ -776,7 +1006,12 @@ impl CloudEnv {
             | Route::Collect { job, .. }
             | Route::Push { job, .. }
             | Route::MasterNotify { job }
-            | Route::RetryTask { job, .. } => Some(*job),
+            | Route::RetryTask { job, .. }
+            | Route::Checkpoint { job, .. }
+            | Route::Readopt { job, .. }
+            | Route::DcBundle { job, .. }
+            | Route::DcClaim { job, .. }
+            | Route::DcCounter { job, .. } => Some(*job),
             _ => None,
         }
     }
@@ -796,7 +1031,19 @@ impl CloudEnv {
             return;
         }
         let policy = self.jobs[job].retry.clone();
-        let monitor = matches!(route, Route::List { .. } | Route::Collect { .. });
+        // Recovery control traffic (checkpoints, re-adoption fetches,
+        // completion counters) retries indefinitely like the monitor:
+        // losing one to a transient must not fail a task attempt.
+        let monitor = matches!(
+            route,
+            Route::List { .. }
+                | Route::Collect { .. }
+                | Route::Checkpoint { .. }
+                | Route::Readopt { .. }
+                | Route::DcBundle { .. }
+                | Route::DcClaim { .. }
+                | Route::DcCounter { .. }
+        );
         if !monitor && !policy.allows_retry(attempts) {
             self.world.fault_ledger_mut().attempts_exhausted += 1;
             match route {
@@ -1278,6 +1525,7 @@ impl CloudEnv {
                 let body = match outcome {
                     OpOutcome::GetOk { body } => Some(body),
                     OpOutcome::GetMissing => {
+                        run.pending.remove(&op);
                         self.end_io_busy(&mut run);
                         let step = run.logic.on_action(ActionOutcome::MissingObject);
                         self.apply_step(job, task, run, step);
@@ -1356,8 +1604,13 @@ impl CloudEnv {
             self.world.faas_release(sandbox);
         }
         if let Some((vm_idx, proc)) = self.jobs[job].tasks[task].worker {
-            // The worker process fetches its next logical function.
             if let JobBackend::Standalone { pool } = self.jobs[job].backend {
+                // Decentralized continuation passing: the completion
+                // counter goes to storage before the process moves on.
+                if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+                    self.dc_write_counter(pool, job, task, vm_idx);
+                }
+                // The worker process fetches its next logical function.
                 self.worker_pop(pool, vm_idx, proc);
             }
         }
@@ -1400,6 +1653,14 @@ impl CloudEnv {
 
     fn on_poll(&mut self, job: usize) {
         if self.jobs[job].is_finished() {
+            return;
+        }
+        // A poll timer of a monitor that since died (master loss) or
+        // was restarted by a checkpoint replay must not fork the loop:
+        // exactly one LIST cycle may be in flight.
+        if !matches!(self.jobs[job].monitor, MonitorState::Sleeping)
+            || !self.world.host_alive(self.jobs[job].monitor_host)
+        {
             return;
         }
         self.check_stragglers(job);
@@ -1462,6 +1723,13 @@ impl CloudEnv {
         if self.jobs[job].is_finished() {
             return;
         }
+        // The listing master died while the op was in flight, or a
+        // checkpoint replay already restarted the loop: drop the reply.
+        if !matches!(self.jobs[job].monitor, MonitorState::Listing)
+            || !self.world.host_alive(self.jobs[job].monitor_host)
+        {
+            return;
+        }
         let OpOutcome::ListOk { keys } = outcome else {
             unreachable!("list op yielded a non-list outcome")
         };
@@ -1496,6 +1764,11 @@ impl CloudEnv {
         if self.jobs[job].is_finished() {
             return;
         }
+        // Collector died mid-gather (master loss): the replacement's
+        // replay restarts the whole monitor cycle from a fresh LIST.
+        if !self.world.host_alive(self.jobs[job].monitor_host) {
+            return;
+        }
         let body = match outcome {
             OpOutcome::GetOk { body } => body,
             other => unreachable!("collect yielded {other:?}"),
@@ -1512,19 +1785,27 @@ impl CloudEnv {
             }
         }
         let MonitorState::Collecting { outstanding } = &mut self.jobs[job].monitor else {
-            unreachable!("collect outside collecting state")
+            // A straggling GET of a monitor cycle that a checkpoint
+            // replay already superseded.
+            return;
         };
         *outstanding -= 1;
         if *outstanding == 0 {
             self.jobs[job].monitor = MonitorState::Done;
             match self.jobs[job].backend {
                 JobBackend::Faas { .. } => self.complete_job(job, None),
-                JobBackend::Standalone { .. } => {
-                    // Master -> client SSH notification latency.
-                    self.set_timer(
-                        SimDuration::from_millis(60),
-                        Route::MasterNotify { job },
-                    );
+                JobBackend::Standalone { pool } => {
+                    if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+                        // The client collected its own results; there is
+                        // no master to hear from.
+                        self.complete_job(job, None);
+                    } else {
+                        // Master -> client SSH notification latency.
+                        self.set_timer(
+                            SimDuration::from_millis(60),
+                            Route::MasterNotify { job },
+                        );
+                    }
                 }
             }
         }
@@ -1626,7 +1907,9 @@ impl CloudEnv {
                 }
             }
         }
-        if is_master_vm {
+        // Only the paper's Protected stance exempts the master from
+        // injected loss; the recovery modes let it die and survive it.
+        if is_master_vm && self.pools[pool].cfg.recovery == RecoveryMode::Protected {
             self.world.protect_host(host);
         }
         self.vm_routes.insert(vm, Route::PoolVm { pool, slot, epoch });
@@ -1739,10 +2022,23 @@ impl CloudEnv {
             PoolSlot::Worker(0) => self.pools[pool].consolidated(),
             _ => false,
         };
-        if is_master_vm && self.pools[pool].kv.is_none() {
+        let kv_dead = self.pools[pool]
+            .kv
+            .is_some_and(|kv| !self.world.kv_alive(kv));
+        if is_master_vm
+            && self.pools[pool].cfg.recovery != RecoveryMode::Decentralized
+            && (self.pools[pool].kv.is_none() || kv_dead)
+        {
             let vm = self.pool_vm_mut(pool, slot).vm;
             let kv = self.world.kv_create(vm);
             self.pools[pool].kv = Some(kv);
+        }
+        // A replacement master finishing SSH setup lets the pending
+        // re-adoption proceed (Checkpointed mode).
+        if is_master_vm && self.pools[pool].recovering {
+            if let Some(gate) = self.pools[pool].readopt_gate.clone() {
+                gate.open();
+            }
         }
         self.pool_try_start(pool);
         // A replacement worker joining mid-job starts its processes
@@ -1779,6 +2075,20 @@ impl CloudEnv {
                 self.pool_worker_lost(pool, i);
             }
         }
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        if is_master_vm && was_ready {
+            let mode = self.pools[pool].cfg.recovery;
+            self.on_master_lost(pool, mode);
+            if mode == RecoveryMode::Decentralized && matches!(slot, PoolSlot::Master) {
+                // A dedicated decentralized master is pure overhead once
+                // the job is submitted: don't even replace it.
+                return;
+            }
+        }
         let budget = self.pools[pool].cfg.max_provision_attempts.max(1);
         if attempts >= budget {
             self.world.fault_ledger_mut().attempts_exhausted += 1;
@@ -1792,6 +2102,57 @@ impl CloudEnv {
         }
         self.world.fault_ledger_mut().vm_replacements += 1;
         self.pool_provision(pool, slot, itype, attempts + 1);
+    }
+
+    /// The pool's acting master VM (and with it the KV store and the
+    /// job monitor) was lost mid-run. What happens next is the whole
+    /// point of [`crate::recovery`].
+    fn on_master_lost(&mut self, pool: usize, mode: RecoveryMode) {
+        let now = self.world.now();
+        match mode {
+            RecoveryMode::Protected => {
+                // The paper's stance has no answer: queued bundles died
+                // with the KV store and the monitor stops listing. The
+                // run stalls, which `run_job` surfaces as an error.
+                self.world.tracer_mut().instant(
+                    now,
+                    "master-lost-unprotected",
+                    "recovery",
+                    "recovery",
+                );
+            }
+            RecoveryMode::Checkpointed => {
+                self.recovery_stats.masters_replaced += 1;
+                self.pools[pool].recovering = true;
+                self.pools[pool].recovery_episode += 1;
+                let episode = self.pools[pool].recovery_episode;
+                // The replacement master provisions through the normal
+                // slot budget below; once its SSH setup completes,
+                // `on_pool_vm_ready` opens this gate and the future
+                // queues the checkpoint fetch.
+                let gate = self.kernel.gate();
+                self.pools[pool].readopt_gate = Some(gate.clone());
+                let cmds = Rc::clone(&self.recovery_cmds);
+                self.kernel.spawn(async move {
+                    gate.wait().await;
+                    cmds.borrow_mut()
+                        .push_back(RecoveryCmd::Readopt { pool, episode });
+                });
+                self.world
+                    .tracer_mut()
+                    .instant(now, "master-lost", "recovery", "recovery");
+            }
+            RecoveryMode::Decentralized => {
+                // Nothing to do: dispatch and continuations live in
+                // object storage, and the client collects results.
+                self.world.tracer_mut().instant(
+                    now,
+                    "master-lost-nonevent",
+                    "recovery",
+                    "recovery",
+                );
+            }
+        }
     }
 
     /// Requeues every unfinished task that was running on a lost worker
@@ -1837,9 +2198,23 @@ impl CloudEnv {
     /// Pushes a task's bundle back onto the master's KV queue (worker
     /// loss or a storage-exhausted VM attempt).
     fn requeue_task(&mut self, pool: usize, job: usize, task: usize) {
+        if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+            self.dc_dispatch_task(pool, job, task);
+            return;
+        }
+        if self.pools[pool].recovering {
+            // The replacement master's checkpoint replay re-dispatches
+            // everything unacknowledged; queueing now would race it.
+            return;
+        }
         let Some(kv) = self.pools[pool].kv else {
             return; // pool torn down meanwhile
         };
+        if !self.world.kv_alive(kv) {
+            // Master (and queue) gone without a recovery mode: the
+            // bundle has nowhere to go — the job stalls (Protected).
+            return;
+        }
         let master = self.pools[pool].master_host();
         let queue = format!("job-{job}");
         let bundle = Payload::List(vec![
@@ -1889,6 +2264,14 @@ impl CloudEnv {
     /// Gated tasks are skipped — their bundles arrive one by one through
     /// `release_task` as upstream partitions complete.
     fn pool_start_job(&mut self, pool: usize, job: usize) {
+        match self.pools[pool].cfg.recovery {
+            RecoveryMode::Decentralized => {
+                self.dc_start_job(pool, job);
+                return;
+            }
+            RecoveryMode::Checkpointed => self.start_checkpoint_loop(pool),
+            RecoveryMode::Protected => {}
+        }
         let kv = self.pools[pool].kv.expect("pool started without KV");
         let master = self.pools[pool].master_host();
         self.jobs[job].monitor_host = master;
@@ -1950,6 +2333,10 @@ impl CloudEnv {
         let Some(job) = self.pools[pool].active else {
             return;
         };
+        if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+            self.worker_claim(pool, job, vm_idx, proc);
+            return;
+        }
         let Some(kv) = self.pools[pool].kv else {
             return;
         };
@@ -1961,6 +2348,12 @@ impl CloudEnv {
         let epoch = w.epoch;
         if !self.world.host_alive(host) {
             return; // VM just died; its VmFailed notification is queued
+        }
+        if !self.world.kv_alive(kv) {
+            // Queue died with the master; idle until recovery (or the
+            // stall, under Protected) resolves the run.
+            self.pools[pool].idle_procs.push((vm_idx, proc));
+            return;
         }
         let queue = format!("job-{job}");
         self.world.set_trace_parent(self.jobs[job].span);
@@ -2033,8 +2426,471 @@ impl CloudEnv {
         self.start_task(job, task, host, kv, &input);
     }
 
+    // ------------------------------------------------------------------
+    // Checkpointed master recovery (RecoveryMode::Checkpointed)
+    // ------------------------------------------------------------------
+
+    /// Starts the periodic checkpoint loop as a kernel future. The loop
+    /// snapshots once immediately — a replay baseline exists as soon as
+    /// the job does, even for jobs shorter than the interval — then
+    /// queues a [`RecoveryCmd::Checkpoint`] every interval until its
+    /// liveness flag is cleared by `pool_job_finished`.
+    fn start_checkpoint_loop(&mut self, pool: usize) {
+        if self.pools[pool]
+            .ckpt_active
+            .as_ref()
+            .is_some_and(|f| f.get())
+        {
+            return; // a loop from the previous job (reuse) is still live
+        }
+        let flag = Rc::new(Cell::new(true));
+        self.pools[pool].ckpt_active = Some(Rc::clone(&flag));
+        let interval = SimDuration::from_secs_f64(
+            self.pools[pool].cfg.checkpoint_interval_secs.max(0.05),
+        );
+        let exec = self.kernel.clone();
+        let cmds = Rc::clone(&self.recovery_cmds);
+        self.kernel.spawn(async move {
+            cmds.borrow_mut()
+                .push_back(RecoveryCmd::Checkpoint { pool });
+            loop {
+                exec.sleep(interval).await;
+                if !flag.get() {
+                    break;
+                }
+                cmds.borrow_mut()
+                    .push_back(RecoveryCmd::Checkpoint { pool });
+            }
+        });
+    }
+
+    /// Snapshots the master's orchestration state to object storage.
+    /// Skipped while the master is down or mid-replacement; the PUT pays
+    /// state-proportional I/O and bills to the active job.
+    fn write_checkpoint(&mut self, pool: usize) {
+        if self.pools[pool].cfg.recovery != RecoveryMode::Checkpointed
+            || self.pools[pool].recovering
+        {
+            return;
+        }
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        let Some(master) = self.pools[pool].master_pv() else {
+            return;
+        };
+        if master.phase != VmPhase::Ready {
+            return;
+        }
+        let host = master.host;
+        if !self.world.host_alive(host) {
+            return;
+        }
+        self.pools[pool].ckpt_seq += 1;
+        let tasks = &self.jobs[job].tasks;
+        let snapshot = MasterCheckpoint {
+            seq: self.pools[pool].ckpt_seq,
+            worker_epochs: self.pools[pool].workers.iter().map(|w| w.epoch).collect(),
+            jobs: vec![JobCheckpoint {
+                job: job as u64,
+                released: tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.held)
+                    .map(|(i, _)| i as u64)
+                    .collect(),
+                acked: tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.phase, TaskPhase::Done))
+                    .map(|(i, _)| i as u64)
+                    .collect(),
+            }],
+        };
+        let bytes = snapshot.encode();
+        self.recovery_stats.checkpoint_bytes += bytes.len() as u64;
+        let now = self.world.now();
+        self.world
+            .tracer_mut()
+            .instant(now, "checkpoint", "recovery", "recovery");
+        let bucket = self.jobs[job].bucket.clone();
+        self.issue_storage(
+            StorageSpec::Put {
+                host,
+                bucket,
+                key: checkpoint_key(pool),
+                body: ObjectBody::real(bytes),
+            },
+            1,
+            Route::Checkpoint { pool, job },
+        );
+    }
+
+    /// The replacement master finished SSH setup: fetch the checkpoint
+    /// so the replay can re-adopt workers and re-dispatch work.
+    fn begin_readopt(&mut self, pool: usize, episode: u64) {
+        if self.pools[pool].recovery_episode != episode || !self.pools[pool].recovering {
+            return; // a newer master loss superseded this recovery
+        }
+        let active = self.pools[pool].active;
+        let finished = active.is_some_and(|j| self.jobs[j].is_finished());
+        let Some(job) = active.filter(|_| !finished) else {
+            // Nothing to recover: the pool simply has a fresh master.
+            self.pools[pool].recovering = false;
+            self.pools[pool].readopt_gate = None;
+            return;
+        };
+        let Some(master) = self.pools[pool].master_pv() else {
+            return;
+        };
+        if master.phase != VmPhase::Ready || !self.world.host_alive(master.host) {
+            return; // replacement died too; the next one re-opens the gate
+        }
+        let host = master.host;
+        let bucket = self.jobs[job].bucket.clone();
+        self.issue_storage(
+            StorageSpec::Get {
+                host,
+                bucket,
+                key: checkpoint_key(pool),
+            },
+            1,
+            Route::Readopt { pool, job, episode },
+        );
+    }
+
+    /// Checkpoint fetched: replay it. Live workers re-register by epoch
+    /// handshake, the monitor restarts on the new master, and every
+    /// unacknowledged, unowned task is re-dispatched. Tasks still
+    /// running on surviving workers keep running — their results land in
+    /// object storage either way, which is what bounds the billing delta
+    /// to re-executed work.
+    fn on_readopt(&mut self, pool: usize, job: usize, episode: u64, outcome: OpOutcome) {
+        if self.pools[pool].recovery_episode != episode || !self.pools[pool].recovering {
+            return;
+        }
+        // A missing object (master died before the first snapshot) or a
+        // torn write decodes to `None`: the replay falls back to "adopt
+        // everything, re-dispatch everything unowned" — the snapshot
+        // only ever narrows work, the result LIST is the ground truth.
+        let snapshot = match &outcome {
+            OpOutcome::GetOk { body } => {
+                body.bytes().and_then(|b| MasterCheckpoint::decode(b).ok())
+            }
+            _ => None,
+        };
+        self.pools[pool].recovering = false;
+        self.pools[pool].readopt_gate = None;
+        if let Some(s) = &snapshot {
+            self.pools[pool].ckpt_seq = self.pools[pool].ckpt_seq.max(s.seq);
+        }
+        // Epoch handshake: every live worker re-registers with the
+        // replacement master.
+        let readopted = self.pools[pool]
+            .workers
+            .iter()
+            .filter(|w| w.phase == VmPhase::Ready && self.world.host_alive(w.host))
+            .count() as u64;
+        self.recovery_stats.workers_readopted += readopted;
+        if self.pools[pool].active != Some(job) || self.jobs[job].is_finished() {
+            return;
+        }
+        // The monitor moves to the new master and restarts its loop.
+        self.jobs[job].monitor_host = self.pools[pool].master_host();
+        if self.jobs[job].monitor_started {
+            self.schedule_poll(job);
+        }
+        // Re-dispatch released tasks that nothing owns: not done, not
+        // running on a surviving worker, not already backed off for a
+        // retry. The old KV queue died with the old master, so queued
+        // bundles are re-pushed from the replayed release frontier.
+        let retry_pending: std::collections::HashSet<usize> = self
+            .timer_routes
+            .values()
+            .filter_map(|r| match r {
+                Route::RetryTask { job: j, task, .. } if *j == job => Some(*task),
+                _ => None,
+            })
+            .collect();
+        let redispatch: Vec<usize> = self.jobs[job]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| {
+                !t.held
+                    && t.worker.is_none()
+                    && !retry_pending.contains(i)
+                    && !matches!(t.phase, TaskPhase::Done | TaskPhase::Failed(_))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let now = self.world.now();
+        self.world
+            .tracer_mut()
+            .instant(now, "master-readopted", "recovery", "recovery");
+        for task in redispatch {
+            self.recovery_stats.tasks_redispatched += 1;
+            self.requeue_task(pool, job, task);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decentralized continuation passing (RecoveryMode::Decentralized)
+    // ------------------------------------------------------------------
+
+    /// Decentralized job start: the client uploads task bundles straight
+    /// to object storage and collects results itself. The master VM (if
+    /// the pool even has a dedicated one) never touches the data path.
+    fn dc_start_job(&mut self, pool: usize, job: usize) {
+        self.jobs[job].monitor_host = self.world.client_host();
+        let n = self.jobs[job].inputs.len();
+        self.dc_jobs.insert(
+            job,
+            DcJob {
+                uploaded: vec![false; n],
+                counters: vec![false; n],
+            },
+        );
+        let ready: Vec<usize> = (0..n)
+            .filter(|&t| !self.jobs[job].tasks[t].held)
+            .collect();
+        self.pools[pool].pushes_outstanding = ready.len();
+        if ready.is_empty() {
+            // Fully gated job: workers spin up idle and wait for
+            // continuation-released bundles.
+            self.pool_pushes_complete(pool, job);
+            return;
+        }
+        for task in ready {
+            self.dc_dispatch_task(pool, job, task);
+        }
+    }
+
+    /// Makes a task claimable in decentralized mode: first dispatch
+    /// uploads the bundle; a requeue (worker loss, retry) reuses the
+    /// durable bundle already in storage.
+    fn dc_dispatch_task(&mut self, pool: usize, job: usize, task: usize) {
+        if self.jobs[job].is_finished() || self.pools[pool].active != Some(job) {
+            return;
+        }
+        let Some(dc) = self.dc_jobs.get_mut(&job) else {
+            return;
+        };
+        let first = !dc.uploaded[task];
+        dc.uploaded[task] = true;
+        if !first {
+            self.pools[pool].dc_ready.push_back(task);
+            self.on_requeue_done(pool);
+            return;
+        }
+        let bundle = Payload::List(vec![
+            Payload::U64(task as u64),
+            self.jobs[job].inputs[task].clone(),
+        ]);
+        let host = self.world.client_host();
+        let bucket = self.jobs[job].bucket.clone();
+        self.issue_storage(
+            StorageSpec::Put {
+                host,
+                bucket,
+                key: dc_bundle_key(job, task),
+                body: ObjectBody::real(bundle.encode()),
+            },
+            1,
+            Route::DcBundle { pool, job, task },
+        );
+    }
+
+    /// A bundle PUT landed: the task is claimable. During the initial
+    /// upload wave this also advances the pushes-outstanding gate that
+    /// starts the worker processes.
+    fn on_dc_bundle(&mut self, pool: usize, job: usize, task: usize) {
+        if self.jobs[job].is_finished() || self.pools[pool].active != Some(job) {
+            return;
+        }
+        self.pools[pool].dc_ready.push_back(task);
+        if self.pools[pool].pushes_outstanding > 0 {
+            self.on_push_done(pool, job);
+        } else {
+            self.on_requeue_done(pool);
+        }
+    }
+
+    /// A worker process claims the next ready task from storage (the
+    /// conditional-put claim of a real implementation) and fetches its
+    /// bundle. An empty ready list idles the process.
+    fn worker_claim(&mut self, pool: usize, job: usize, vm_idx: usize, proc: usize) {
+        let Some(w) = self.pools[pool].workers.get(vm_idx) else {
+            return;
+        };
+        if w.phase != VmPhase::Ready {
+            return;
+        }
+        let host = w.host;
+        let epoch = w.epoch;
+        if !self.world.host_alive(host) {
+            return; // VM just died; its VmFailed notification is queued
+        }
+        let task = loop {
+            let Some(t) = self.pools[pool].dc_ready.pop_front() else {
+                self.pools[pool].idle_procs.push((vm_idx, proc));
+                return;
+            };
+            let ts = &self.jobs[job].tasks[t];
+            if matches!(ts.phase, TaskPhase::Queued) && ts.worker.is_none() && !ts.held {
+                break t;
+            }
+            // Stale entry (task got owned or finished meanwhile): skip.
+        };
+        let bucket = self.jobs[job].bucket.clone();
+        self.issue_storage(
+            StorageSpec::Get {
+                host,
+                bucket,
+                key: dc_bundle_key(job, task),
+            },
+            1,
+            Route::DcClaim {
+                pool,
+                job,
+                vm_idx,
+                proc,
+                epoch,
+                task,
+            },
+        );
+    }
+
+    /// A claimed bundle arrived: run the task on the claiming process —
+    /// unless the claimer died in flight (the task goes back to the
+    /// ready list) or the task got owned meanwhile (the process claims
+    /// something else).
+    #[allow(clippy::too_many_arguments)]
+    fn on_dc_claim(
+        &mut self,
+        pool: usize,
+        job: usize,
+        vm_idx: usize,
+        proc: usize,
+        epoch: u64,
+        task: usize,
+        outcome: OpOutcome,
+    ) {
+        if self.pools[pool].active != Some(job) || self.jobs[job].is_finished() {
+            return;
+        }
+        let stale = match self.pools[pool].workers.get(vm_idx) {
+            Some(w) => w.epoch != epoch || !self.world.host_alive(w.host),
+            None => true,
+        };
+        if stale {
+            // The bundle is durable in storage: hand the claim back.
+            self.pools[pool].dc_ready.push_back(task);
+            self.on_requeue_done(pool);
+            return;
+        }
+        let ts = &self.jobs[job].tasks[task];
+        if !(matches!(ts.phase, TaskPhase::Queued) && ts.worker.is_none() && !ts.held) {
+            self.worker_pop(pool, vm_idx, proc);
+            return;
+        }
+        let OpOutcome::GetOk { body } = outcome else {
+            // Claims are queued only after the bundle PUT acks, so a
+            // miss means an injected fault path; just claim again.
+            self.worker_pop(pool, vm_idx, proc);
+            return;
+        };
+        let bytes = body.bytes().expect("task bundles are always real bytes");
+        let bundle = Payload::decode(bytes).expect("task bundle decodes");
+        let items = bundle.as_list().expect("bundle is a list");
+        let input = items[1].clone();
+        let host = self.pools[pool].workers[vm_idx].host;
+        let fleet = self.pools[pool].fleet_name.clone();
+        let span = self.begin_attempt_span(job, task, &fleet);
+        let now = self.world.now();
+        let t = &mut self.jobs[job].tasks[task];
+        t.worker = Some((vm_idx, proc));
+        t.attempts += 1;
+        t.started_at = Some(now);
+        t.span = span;
+        // No KV handle: decentralized tasks have no master to exchange
+        // through (stage tasks only touch object storage).
+        self.start_task(job, task, host, None, &input);
+    }
+
+    /// A finishing decentralized task writes its completion counter to
+    /// object storage before its process claims new work.
+    fn dc_write_counter(&mut self, pool: usize, job: usize, task: usize, vm_idx: usize) {
+        let Some(w) = self.pools[pool].workers.get(vm_idx) else {
+            return;
+        };
+        let host = w.host;
+        if !self.world.host_alive(host) {
+            return;
+        }
+        let bucket = self.jobs[job].bucket.clone();
+        self.issue_storage(
+            StorageSpec::Put {
+                host,
+                bucket,
+                key: dc_counter_key(job, task),
+                body: ObjectBody::real(Payload::U64(task as u64).encode()),
+            },
+            1,
+            Route::DcCounter { pool, job, task },
+        );
+    }
+
+    /// A completion counter landed: continuation passing. The finishing
+    /// task consults the registered DAG fan-in metadata and releases
+    /// every downstream task whose upstream counter block is complete —
+    /// directly from storage state, no master involved.
+    fn on_dc_counter(&mut self, _pool: usize, job: usize, task: usize) {
+        self.recovery_stats.counters_written += 1;
+        let n = self.jobs[job].tasks.len();
+        let dc = self.dc_jobs.entry(job).or_insert_with(|| DcJob {
+            uploaded: vec![false; n],
+            counters: vec![false; n],
+        });
+        dc.counters[task] = true;
+        let counters = dc.counters.clone();
+        let conts: Vec<Continuation> = self
+            .continuations
+            .iter()
+            .filter(|c| c.up_job == job)
+            .copied()
+            .collect();
+        for c in conts {
+            if self.jobs[c.down_job].is_finished() {
+                continue;
+            }
+            let fire: Vec<usize> = (0..c.down_tasks)
+                .filter(|&t| {
+                    self.jobs[c.down_job].tasks[t].held && {
+                        let range = fan_in_range(c.fan_in, c.up_tasks, c.down_tasks, t);
+                        range.contains(&task) && range.clone().all(|u| counters[u])
+                    }
+                })
+                .collect();
+            for t in fire {
+                self.recovery_stats.continuations_fired += 1;
+                self.release_task(c.down_job, t);
+            }
+        }
+    }
+
     fn pool_job_finished(&mut self, pool: usize, _job: usize) {
         self.pools[pool].active = None;
+        self.pools[pool].recovering = false;
+        self.pools[pool].readopt_gate = None;
+        self.pools[pool].dc_ready.clear();
+        if let Some(flag) = self.pools[pool].ckpt_active.take() {
+            // The checkpoint sleep loop exits on its next fire.
+            flag.set(false);
+        }
         // "Once all logical functions have been completed, all resources
         // are automatically stopped" — unless reuse is configured and
         // more work may come.
@@ -2089,6 +2945,10 @@ impl CloudEnv {
     // ------------------------------------------------------------------
 
     fn on_op(&mut self, route: Route, op: OpId, outcome: OpOutcome) {
+        if matches!(outcome, OpOutcome::KvUnreachable) {
+            self.on_kv_unreachable(route);
+            return;
+        }
         match route {
             Route::Task { job, task } => self.on_task_op(job, task, op, outcome),
             Route::InputPut { job, task } => {
@@ -2114,7 +2974,69 @@ impl CloudEnv {
                 epoch,
             } => self.on_pop(pool, vm_idx, proc, epoch, outcome),
             Route::Requeue { pool } => self.on_requeue_done(pool),
+            Route::Checkpoint { pool, .. } => {
+                if self.pools[pool].cfg.recovery == RecoveryMode::Checkpointed {
+                    self.recovery_stats.checkpoints_written += 1;
+                }
+            }
+            Route::Readopt {
+                pool,
+                job,
+                episode,
+            } => self.on_readopt(pool, job, episode, outcome),
+            Route::DcBundle { pool, job, task } => self.on_dc_bundle(pool, job, task),
+            Route::DcClaim {
+                pool,
+                job,
+                vm_idx,
+                proc,
+                epoch,
+                task,
+            } => self.on_dc_claim(pool, job, vm_idx, proc, epoch, task, outcome),
+            Route::DcCounter { pool, job, task } => self.on_dc_counter(pool, job, task),
             other => unreachable!("op completion routed to {other:?}"),
+        }
+    }
+
+    /// An in-flight KV operation lost its server (master death). Each
+    /// route has a graceful landing; none of them may panic, because
+    /// under [`RecoveryMode::Protected`] this is exactly how a forced
+    /// master kill is supposed to strand the run.
+    fn on_kv_unreachable(&mut self, route: Route) {
+        match route {
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            } => {
+                let Some(w) = self.pools[pool].workers.get(vm_idx) else {
+                    return;
+                };
+                if w.epoch == epoch
+                    && w.phase == VmPhase::Ready
+                    && self.world.host_alive(w.host)
+                {
+                    // The worker process survives the master: it idles
+                    // until recovery requeues work (or forever).
+                    self.pools[pool].idle_procs.push((vm_idx, proc));
+                }
+            }
+            Route::Push { pool, job } => {
+                // Keep the outstanding-push bookkeeping moving so the
+                // job reaches its (stalled or recovered) steady state.
+                self.on_push_done(pool, job);
+            }
+            Route::Task { job, task } => {
+                // A task's KV action (shuffle exchange) lost the server
+                // mid-transfer: the attempt is torn down and retried
+                // through the normal task budget.
+                self.task_attempt_failed(job, task, AttemptFailure::StorageExhausted);
+            }
+            // A requeue push that died with the queue: the checkpoint
+            // replay (or the stall) owns the task now.
+            Route::Requeue { .. } => {}
+            _ => {}
         }
     }
 
@@ -2123,7 +3045,13 @@ impl CloudEnv {
             Route::Poll { job } => self.on_poll(job),
             Route::PoolVm { pool, slot, epoch } => self.on_pool_vm_ready(pool, slot, epoch),
             Route::PoolIdle { pool, epoch } => self.on_pool_idle(pool, epoch),
-            Route::MasterNotify { job } => self.complete_job(job, None),
+            Route::MasterNotify { job } => {
+                // The notifying master must still be alive when the SSH
+                // message lands; a freshly-dead master notifies no one.
+                if self.world.host_alive(self.jobs[job].monitor_host) {
+                    self.complete_job(job, None);
+                }
+            }
             Route::RetryTask { job, task, attempt } => self.on_retry_task(job, task, attempt),
             Route::RetryStorage {
                 spec,
@@ -2178,7 +3106,14 @@ impl CloudEnv {
             }
         }
         if !self.world.host_alive(spec.host()) {
-            return; // issuing host died; task-level recovery owns this
+            // Issuing host died; task-level recovery owns this — except
+            // an in-flight decentralized claim, whose task would
+            // otherwise be stranded (it has no worker assigned yet).
+            if let Route::DcClaim { pool, task, .. } = inner {
+                self.pools[pool].dc_ready.push_back(task);
+                self.on_requeue_done(pool);
+            }
+            return;
         }
         let op = self.issue_storage(spec, attempts + 1, inner.clone());
         if let Route::Task { job: j, task } = inner {
@@ -2190,6 +3125,16 @@ impl CloudEnv {
             }
         }
     }
+}
+
+/// Storage key of a decentralized task's input bundle.
+fn dc_bundle_key(job: usize, task: usize) -> String {
+    format!("jobs/{job}/bundles/{task:05}")
+}
+
+/// Storage key of a decentralized task's completion counter.
+fn dc_counter_key(job: usize, task: usize) -> String {
+    format!("jobs/{job}/counters/{task:05}")
 }
 
 /// Draws a latency from the world's RNG-free path: uses mean only when

@@ -51,6 +51,7 @@ pub mod error;
 pub mod executor;
 pub mod job;
 pub mod payload;
+pub mod recovery;
 pub mod retry;
 pub mod sizing;
 pub mod storage;
@@ -64,6 +65,7 @@ pub use env::{CloudEnv, EnvEvent};
 pub use error::ExecError;
 pub use executor::{Backend, FunctionExecutor, JobHandle, MapOptions};
 pub use payload::Payload;
+pub use recovery::{RecoveryMode, RecoveryStats};
 pub use retry::RetryPolicy;
 pub use sizing::SizingPolicy;
 pub use storage::Storage;

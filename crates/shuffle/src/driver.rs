@@ -112,11 +112,12 @@ pub fn run_fused_exchange(
     cfg: &SortConfig,
     refs: &[CloudObjectRef],
     workers: usize,
+    exchange: Exchange,
     shutdown: bool,
 ) -> Result<SortReport, ExecError> {
     let start = env.now();
     let cost_before = env.world().ledger().total();
-    let job = submit_fused_exchange(env, exec, cfg, refs, workers, false);
+    let job = submit_fused_exchange(env, exec, cfg, refs, workers, exchange, false);
     let results = exec.get_result(env, job)?;
     if shutdown {
         exec.shutdown(env);
@@ -141,6 +142,7 @@ pub fn submit_fused_exchange(
     cfg: &SortConfig,
     refs: &[CloudObjectRef],
     workers: usize,
+    exchange: Exchange,
     gated: bool,
 ) -> serverful::JobHandle {
     let mut assignment: Vec<Vec<CloudObjectRef>> = vec![Vec::new(); workers];
@@ -173,7 +175,13 @@ pub fn submit_fused_exchange(
             .iter()
             .map(|p| p.as_cloudobject().expect("chunk ref").clone())
             .collect();
-        Box::new(FusedExchangeTask::new(fused_cfg.clone(), w, workers, refs))
+        Box::new(FusedExchangeTask::new(
+            fused_cfg.clone(),
+            w,
+            workers,
+            refs,
+            exchange,
+        ))
     });
     let mut opts = MapOptions::named(cfg.label.clone()).stateful();
     if gated {

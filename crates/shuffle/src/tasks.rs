@@ -183,7 +183,7 @@ pub struct GatherTask {
 enum GatherStage {
     Init,
     ReadingStorage,
-    ReadingKv { next: usize, bodies: Vec<ObjectBody> },
+    ReadingSeq { next: usize, bodies: Vec<ObjectBody> },
     Sorting { output: ObjectBody },
     Writing { bytes: u64 },
 }
@@ -201,15 +201,37 @@ impl GatherTask {
         }
     }
 
-    /// Re-issues the KV read of the piece currently awaited (used by the
-    /// fused exchange to retry after a not-yet-written piece).
-    pub(crate) fn retry_pending_kv(&mut self) -> TaskStep {
-        let GatherStage::ReadingKv { next, .. } = &self.stage else {
-            unreachable!("retry outside a KV read")
+    /// Issues the read of `mapper`'s piece over the exchange medium.
+    fn piece_get(&self, mapper: usize) -> TaskStep {
+        match self.exchange {
+            Exchange::Kv => TaskStep::Act(Action::KvGet {
+                key: kv_piece_key(mapper, self.range),
+            }),
+            Exchange::Storage => TaskStep::Act(Action::Get {
+                bucket: self.cfg.bucket.clone(),
+                key: self.cfg.piece_key(mapper, self.range),
+            }),
+        }
+    }
+
+    /// Starts a piece-at-a-time gather (used by the fused exchange,
+    /// whose peers may not have scattered yet — each read must be
+    /// individually retryable).
+    pub(crate) fn start_sequential(&mut self) -> TaskStep {
+        self.stage = GatherStage::ReadingSeq {
+            next: 1,
+            bodies: Vec::new(),
         };
-        TaskStep::Act(Action::KvGet {
-            key: kv_piece_key(next - 1, self.range),
-        })
+        self.piece_get(0)
+    }
+
+    /// Re-issues the read of the piece currently awaited (used by the
+    /// fused exchange to retry after a not-yet-written piece).
+    pub(crate) fn retry_pending(&mut self) -> TaskStep {
+        let GatherStage::ReadingSeq { next, .. } = &self.stage else {
+            unreachable!("retry outside a sequential read")
+        };
+        self.piece_get(next - 1)
     }
 
     fn sort_step(&mut self, bodies: Vec<ObjectBody>) -> TaskStep {
@@ -245,15 +267,7 @@ impl TaskLogic for GatherTask {
                     keys,
                 })
             }
-            Exchange::Kv => {
-                self.stage = GatherStage::ReadingKv {
-                    next: 1,
-                    bodies: Vec::new(),
-                };
-                TaskStep::Act(Action::KvGet {
-                    key: kv_piece_key(0, self.range),
-                })
-            }
+            Exchange::Kv => self.start_sequential(),
         }
     }
 
@@ -265,23 +279,24 @@ impl TaskLogic for GatherTask {
                 };
                 self.sort_step(bodies)
             }
-            GatherStage::ReadingKv { next, mut bodies } => {
-                let ActionOutcome::KvValue(Some(body)) = outcome else {
-                    return TaskStep::Fail(format!(
-                        "kv piece {} missing for range {}",
-                        next - 1,
-                        self.range
-                    ));
+            GatherStage::ReadingSeq { next, mut bodies } => {
+                let body = match outcome {
+                    ActionOutcome::KvValue(Some(body)) | ActionOutcome::Object(body) => body,
+                    _ => {
+                        return TaskStep::Fail(format!(
+                            "piece {} missing for range {}",
+                            next - 1,
+                            self.range
+                        ))
+                    }
                 };
                 bodies.push(body);
                 if next < self.mappers {
-                    self.stage = GatherStage::ReadingKv {
+                    self.stage = GatherStage::ReadingSeq {
                         next: next + 1,
                         bodies,
                     };
-                    TaskStep::Act(Action::KvGet {
-                        key: kv_piece_key(next, self.range),
-                    })
+                    self.piece_get(next)
                 } else {
                     self.sort_step(bodies)
                 }
@@ -308,6 +323,12 @@ impl TaskLogic for GatherTask {
 /// container"). This halves the per-stage framework overhead compared
 /// with a two-job scatter/gather and is what the serverful backend runs
 /// for stateful operations.
+///
+/// Under [`Exchange::Storage`] the same fused logic synchronises through
+/// object storage instead — the medium decentralized recovery requires,
+/// since there is no master KV in its data path. Peer pieces that have
+/// not landed yet surface as missing reads and are retried exactly like
+/// the KV case.
 pub struct FusedExchangeTask {
     scatter: ScatterTask,
     gather: GatherTask,
@@ -328,16 +349,17 @@ const MAX_RETRIES: usize = 10_000;
 
 impl FusedExchangeTask {
     /// Creates the fused logic for `worker`, which also owns range
-    /// `worker` of the output.
+    /// `worker` of the output, exchanging pieces over `exchange`.
     pub fn new(
         cfg: SortConfig,
         worker: usize,
         workers: usize,
         refs: Vec<CloudObjectRef>,
+        exchange: Exchange,
     ) -> Self {
         FusedExchangeTask {
-            scatter: ScatterTask::new(cfg.clone(), worker, workers, Exchange::Kv, refs),
-            gather: GatherTask::new(cfg, worker, workers, Exchange::Kv),
+            scatter: ScatterTask::new(cfg.clone(), worker, workers, exchange, refs),
+            gather: GatherTask::new(cfg, worker, workers, exchange),
             phase: FusedPhase::Scattering,
             retries: 0,
         }
@@ -355,14 +377,17 @@ impl TaskLogic for FusedExchangeTask {
             FusedPhase::Scattering => match self.scatter.on_action(outcome) {
                 TaskStep::Finish(_) => {
                     self.phase = FusedPhase::Gathering;
-                    self.gather.on_start(&Payload::Unit)
+                    self.gather.start_sequential()
                 }
                 other => other,
             },
             FusedPhase::Gathering => {
                 // A missing piece means a peer has not scattered yet:
                 // wait and retry instead of failing.
-                if let ActionOutcome::KvValue(None) = outcome {
+                if matches!(
+                    outcome,
+                    ActionOutcome::KvValue(None) | ActionOutcome::MissingObject
+                ) {
                     self.retries += 1;
                     if self.retries > MAX_RETRIES {
                         return TaskStep::Fail("exchange peer never produced its piece".into());
@@ -373,11 +398,11 @@ impl TaskLogic for FusedExchangeTask {
                 self.gather.on_action(outcome)
             }
             FusedPhase::AwaitingRetry => {
-                // The sleep elapsed; re-issue the same KV read by
+                // The sleep elapsed; re-issue the same piece read by
                 // restarting the gather's pending request.
                 debug_assert!(matches!(outcome, ActionOutcome::Done));
                 self.phase = FusedPhase::Gathering;
-                self.gather.retry_pending_kv()
+                self.gather.retry_pending()
             }
         }
     }

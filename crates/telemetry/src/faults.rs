@@ -69,6 +69,46 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Why a planned fault injection was swallowed instead of fired.
+///
+/// The chaos suite asserts on these: a fault schedule that silently
+/// loses injections would make "survived N faults" claims vacuous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SuppressReason {
+    /// The target host was explicitly protected (the serverful master
+    /// under `RecoveryMode::Protected`).
+    ProtectedHost,
+    /// The target host runs a KV server and is spared automatically.
+    KvHost,
+}
+
+impl SuppressReason {
+    /// All suppression reasons, in ledger order.
+    pub const ALL: [SuppressReason; 2] = [SuppressReason::ProtectedHost, SuppressReason::KvHost];
+
+    fn index(self) -> usize {
+        match self {
+            SuppressReason::ProtectedHost => 0,
+            SuppressReason::KvHost => 1,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuppressReason::ProtectedHost => "protected host",
+            SuppressReason::KvHost => "kv host",
+        }
+    }
+}
+
+impl fmt::Display for SuppressReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Counters of injected faults and the recovery work they caused.
 ///
 /// The world records injections and wasted billed time; the executor
@@ -78,6 +118,8 @@ impl fmt::Display for FaultKind {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultLedger {
     injected: [u64; 6],
+    /// Injections swallowed instead of fired, per kind × reason.
+    suppressed: [[u64; 2]; 6],
     /// Whole-task re-dispatches (fresh sandbox / requeued bundle).
     pub task_retries: u64,
     /// Single storage requests re-issued after a transient error.
@@ -111,6 +153,22 @@ impl FaultLedger {
         self.injected[kind.index()]
     }
 
+    /// Records one planned injection that was swallowed (the target was
+    /// exempt) rather than fired.
+    pub fn record_suppressed(&mut self, kind: FaultKind, reason: SuppressReason) {
+        self.suppressed[kind.index()][reason.index()] += 1;
+    }
+
+    /// Suppressed injections of one kind for one reason.
+    pub fn suppressed(&self, kind: FaultKind, reason: SuppressReason) -> u64 {
+        self.suppressed[kind.index()][reason.index()]
+    }
+
+    /// Total suppressed injections across all kinds and reasons.
+    pub fn total_suppressed(&self) -> u64 {
+        self.suppressed.iter().flatten().sum()
+    }
+
     /// Total injected faults across all kinds.
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
@@ -141,6 +199,15 @@ impl FaultLedger {
             let n = self.injected(kind);
             if n > 0 {
                 out.push_str(&format!("  {:<24} {n}\n", kind.name()));
+            }
+            for reason in SuppressReason::ALL {
+                let n = self.suppressed(kind, reason);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "  {:<24} {n}\n",
+                        format!("{} suppressed ({})", kind.name(), reason.name())
+                    ));
+                }
             }
         }
         out.push_str(&format!("  {:<24} {}\n", "task retries", self.task_retries));
@@ -221,6 +288,25 @@ mod tests {
         assert!(report.contains("vm loss"));
         assert!(report.contains("task retries"));
         assert!(!report.contains("sandbox crash"));
+    }
+
+    #[test]
+    fn suppressions_count_per_kind_and_reason() {
+        let mut ledger = FaultLedger::new();
+        ledger.record_suppressed(FaultKind::VmLoss, SuppressReason::ProtectedHost);
+        ledger.record_suppressed(FaultKind::VmLoss, SuppressReason::ProtectedHost);
+        ledger.record_suppressed(FaultKind::VmLoss, SuppressReason::KvHost);
+        assert_eq!(
+            ledger.suppressed(FaultKind::VmLoss, SuppressReason::ProtectedHost),
+            2
+        );
+        assert_eq!(ledger.suppressed(FaultKind::VmLoss, SuppressReason::KvHost), 1);
+        assert_eq!(ledger.total_suppressed(), 3);
+        assert_eq!(ledger.total_injected(), 0);
+        assert!(!ledger.is_empty());
+        let report = ledger.report();
+        assert!(report.contains("vm loss suppressed (protected host)"));
+        assert!(report.contains("vm loss suppressed (kv host)"));
     }
 
     #[test]

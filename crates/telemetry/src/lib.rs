@@ -33,6 +33,7 @@
 pub mod cost;
 pub mod cpu;
 pub mod faults;
+pub mod recovery;
 pub mod report;
 pub mod stats;
 pub mod timeline;
@@ -40,7 +41,8 @@ pub mod trace;
 
 pub use cost::{CostCategory, CostLedger};
 pub use cpu::{CpuMonitor, FleetTag, UsageStats};
-pub use faults::{FaultKind, FaultLedger};
+pub use faults::{FaultKind, FaultLedger, SuppressReason};
+pub use recovery::RecoveryStats;
 pub use report::{
     critical_path, dag_stage_table, fleet_policy_comparison, fleet_tenant_table, plan_comparison,
     stage_overlaps, CriticalPath, FleetPolicyRow, FleetTenantRow, PaperRow, PlanRow, StageWindow,

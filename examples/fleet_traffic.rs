@@ -44,6 +44,7 @@ fn main() {
             size: 3,
             instance: "c5.2xlarge".to_owned(),
             idle_timeout_secs: 120.0,
+            ..PoolConfig::default()
         },
         max_jobs: 40,
         pipelined: false,

@@ -75,6 +75,15 @@ diff /tmp/fleet_b.txt /tmp/fleet_c.txt \
 grep -q "shared-pool" /tmp/fleet_a.txt \
     || { echo "fleet report missing the shared-pool policy" >&2; exit 1; }
 
+echo "== master-kill chaos matrix (smoke) =="
+# Kill the serverful master at seeded event indices under both recovery
+# modes x both execution modes x two workloads; every cell must finish
+# with the fault-free run's science digest and bounded billing, and
+# replay byte-identically. (Runs again here, unfiltered, for visible
+# per-cell verdicts even though the workspace pass above includes it.)
+cargo test -q --test recovery -- --nocapture 2>&1 \
+    | tee /tmp/chaos_smoke.txt | grep "chaos cell OK"
+
 echo "== dag smoke determinism + pipelined win (Brain) =="
 # Barrier-vs-pipelined comparison must be byte-identical across repeat
 # runs at the same seed, and the pipelined schedule must beat the
@@ -89,6 +98,16 @@ grep -q "verdict: pipelined beats barrier at equal-or-lower cost: yes" /tmp/dag_
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="
     cargo test --workspace --release -q
+
+    echo "== master-kill chaos matrix (paper scale, per-cell verdicts) =="
+    # The release gate: all three Table 2 workloads x {Barrier,
+    # Pipelined} x {Checkpointed, Decentralized}, one verdict per cell.
+    cargo test --release --test recovery full_matrix_paper_scale -- \
+        --ignored --nocapture 2>&1 \
+        | tee /tmp/chaos_full.txt | grep "chaos cell OK"
+    cells=$(grep -c "chaos cell OK" /tmp/chaos_full.txt)
+    [[ "$cells" -eq 12 ]] \
+        || { echo "chaos matrix reported $cells/12 cells" >&2; exit 1; }
 
     echo "== trace artifact (Xenograft, seed 42) =="
     mkdir -p target/artifacts

@@ -445,3 +445,203 @@ fn async_kernel_state_is_invariant_to_spawn_permutations() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Master fault tolerance (serverful::recovery)
+// ---------------------------------------------------------------------
+
+/// Shape of one node of a random recovery graph — plain data so the
+/// same graph can be rebuilt for the fault-free and the killed run.
+struct RecNode {
+    tasks: usize,
+    /// `(upstream node, all_to_all)` dependency edges.
+    deps: Vec<(usize, bool)>,
+    secs: f64,
+}
+
+fn arb_recovery_graph(rng: &mut SimRng) -> Vec<RecNode> {
+    let nodes = rng.uniform_u64(3, 7) as usize;
+    (0..nodes)
+        .map(|v| {
+            let tasks = rng.uniform_u64(1, 5) as usize;
+            let mut deps: Vec<(usize, bool)> = Vec::new();
+            if v > 0 {
+                for _ in 0..rng.uniform_u64(1, 3) {
+                    let from = rng.uniform_u64(0, v as u64) as usize;
+                    if !deps.iter().any(|d| d.0 == from) {
+                        deps.push((from, rng.uniform_u64(0, 2) == 1));
+                    }
+                }
+            }
+            RecNode {
+                tasks,
+                deps,
+                secs: 0.05 + rng.uniform_u64(0, 8) as f64 / 20.0,
+            }
+        })
+        .collect()
+}
+
+struct RecCtx {
+    exec: serverful_repro::serverful::FunctionExecutor,
+}
+
+/// Every task writes one deterministic object keyed by its node and
+/// partition — re-executions after a master kill rewrite the same
+/// key/content, so the bucket digest is invariant iff recovery loses
+/// and duplicates nothing.
+fn build_recovery_dag(
+    spec: &[RecNode],
+) -> serverful_repro::serverful::Dag<RecCtx> {
+    use serverful_repro::serverful::{Dag, DagNode, Edge, FanIn, MapOptions, ScriptTask};
+    let mut dag: Dag<RecCtx> = Dag::new();
+    for (v, n) in spec.iter().enumerate() {
+        let tasks = n.tasks;
+        let secs = n.secs;
+        let label = format!("n{v}");
+        dag.add_node(DagNode {
+            label: label.clone(),
+            group: None,
+            tasks,
+            deps: n
+                .deps
+                .iter()
+                .map(|&(from, all)| Edge {
+                    from,
+                    fan_in: if all { FanIn::AllToAll } else { FanIn::OneToOne },
+                })
+                .collect(),
+            launch: Box::new(move |ctx: &mut RecCtx, env, gated| {
+                let mut opts = MapOptions::named(label.clone());
+                if gated {
+                    opts = opts.gated();
+                }
+                let node = v;
+                let factory = std::sync::Arc::new(move |input: &Payload| {
+                    let t = match input {
+                        Payload::U64(t) => *t,
+                        _ => unreachable!("recovery graph inputs are U64"),
+                    };
+                    ScriptTask::new()
+                        .compute(secs)
+                        .put(
+                            "recprop",
+                            format!("out/n{node}/t{t:03}"),
+                            ObjectBody::opaque(256 + 16 * (node as u64 * 31 + t)),
+                        )
+                        .finish_value(Payload::U64(t))
+                        .boxed()
+                });
+                let inputs = (0..tasks as u64).map(Payload::U64).collect();
+                Ok(ctx.exec.map_with(env, factory, inputs, opts))
+            }),
+        });
+    }
+    dag
+}
+
+/// FNV-1a over the output bucket's keys and object lengths.
+fn recovery_bucket_digest(env: &serverful_repro::serverful::CloudEnv) -> u64 {
+    let store = env.world().store();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for key in store.list_prefix("recprop", "") {
+        key.as_bytes().iter().for_each(|b| mix(*b));
+        mix(0);
+        let len = store.get("recprop", &key).expect("listed key exists").len();
+        len.to_le_bytes().iter().for_each(|b| mix(*b));
+    }
+    h
+}
+
+/// Runs one recovery graph on a small dedicated-master fleet under
+/// `mode`, optionally killing the master at routed-event index
+/// `kill_at`; returns the output digest and events routed.
+fn run_recovery_case(
+    spec: &[RecNode],
+    seed: u64,
+    mode: serverful_repro::serverful::RecoveryMode,
+    kill_at: Option<u64>,
+) -> Result<(u64, u64), serverful_repro::serverful::ExecError> {
+    use serverful_repro::serverful::{
+        Backend, CloudEnv, ExecMode, ExecutionMode, ExecutorConfig, FunctionExecutor, run_dag,
+    };
+    let mut env = CloudEnv::new_default(seed);
+    let mut cfg = ExecutorConfig::default();
+    cfg.standalone.exec_mode = ExecMode::Fleet {
+        instance_type: "c5.large".to_owned(),
+        count: 2,
+    };
+    cfg.standalone.recovery = mode;
+    // Short jobs: checkpoint aggressively so kills land on real replays,
+    // not just the adopt-everything fallback.
+    cfg.standalone.checkpoint_interval_secs = 0.5;
+    let exec = FunctionExecutor::new(&mut env, Backend::vm(), cfg);
+    if let Some(at) = kill_at {
+        env.arm_master_kill(0, at);
+    }
+    let mut ctx = RecCtx { exec };
+    let dag = build_recovery_dag(spec);
+    run_dag(&mut env, &mut ctx, dag, ExecutionMode::Pipelined)?;
+    assert_eq!(
+        env.pending_master_kills(),
+        0,
+        "armed master kill never fired (landed beyond the run's event horizon)"
+    );
+    Ok((recovery_bucket_digest(&env), env.events_routed()))
+}
+
+/// The recovery property: killing the master at *any* routed-event
+/// index leaves the final task-output digest identical to the
+/// fault-free run.
+fn master_kill_preserves_outputs(mode: serverful_repro::serverful::RecoveryMode) {
+    forall_cases(6, |seed, rng| {
+        let spec = arb_recovery_graph(rng);
+        let (base, events) = run_recovery_case(&spec, seed, mode, None)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: fault-free {} run: {e}", mode.name()));
+        assert!(events > 20, "seed {seed:#x}: suspiciously quiet run");
+        for _ in 0..2 {
+            let at = rng.uniform_u64(events / 10 + 1, events * 4 / 5 + 2);
+            let (digest, _) = run_recovery_case(&spec, seed, mode, Some(at))
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed:#x}: {} kill at {at}/{events}: {e}", mode.name())
+                });
+            assert_eq!(
+                digest, base,
+                "seed {seed:#x}: {} master kill at event {at}/{events} changed the outputs",
+                mode.name()
+            );
+        }
+    });
+}
+
+#[test]
+fn master_kill_preserves_outputs_checkpointed() {
+    master_kill_preserves_outputs(serverful_repro::serverful::RecoveryMode::Checkpointed);
+}
+
+#[test]
+fn master_kill_preserves_outputs_decentralized() {
+    master_kill_preserves_outputs(serverful_repro::serverful::RecoveryMode::Decentralized);
+}
+
+/// The paper's unprotected master, as a property: the same graphs and
+/// kill points that the recoverable modes survive must *fail* under
+/// [`RecoveryMode::Protected`] — queued bundles die with the KV store.
+#[test]
+fn master_kill_strands_protected_runs() {
+    use serverful_repro::serverful::RecoveryMode;
+    forall_cases(4, |seed, rng| {
+        let spec = arb_recovery_graph(rng);
+        let (_, events) = run_recovery_case(&spec, seed, RecoveryMode::Protected, None)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: fault-free protected run: {e}"));
+        let at = rng.uniform_u64(events / 10 + 1, events / 2 + 2);
+        assert!(
+            run_recovery_case(&spec, seed, RecoveryMode::Protected, Some(at)).is_err(),
+            "seed {seed:#x}: protected run survived a master kill at {at}/{events}"
+        );
+    });
+}
