@@ -7,6 +7,8 @@
 //! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]
 //! repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]
 //! repro dag <job> [--seed N] [--smoke]
+//! repro workload <name|all> [--seed N] [--smoke] [--dsl]
+//! repro workload --list
 //! ```
 //!
 //! `trace` writes deterministic Chrome trace-event JSON to stdout (load
@@ -28,17 +30,26 @@
 //! and prints the stage-window table, overlap per stage, the DAG's
 //! critical path and a greppable verdict line. `--smoke` shrinks the
 //! stage graph for debug-fast CI gates.
+//!
+//! `workload` runs any bundled workload description (METASPACE jobs and
+//! the DSL families alike) under three plans — hybrid barrier, hybrid
+//! pipelined, pure serverless — and prints the declared DAG, the
+//! economics table and two greppable verdict lines per workload.
+//! `workload all` sweeps every bundled workload and closes with a
+//! combined summary table; `--list` prints one name per line (the CI
+//! smoke gate enumerates it); `--dsl` prints the workload's canonical
+//! DSL text instead of running it.
 
 use std::env;
 
 use bench::render::{
     render_dag, render_fig2, render_fig3_rows, render_fig4_rows, render_fig5, render_fig6_rows,
     render_plan_search, render_table1, render_table2, render_table3, render_table4_rows,
-    render_trace,
+    render_trace, render_workload, workload_rows,
 };
 use bench::{
     ablation_fault_rate, ablation_memory, ablation_prefix_bandwidth, ablation_reuse,
-    dag_comparison, extension_huge_sort, table4,
+    dag_comparison, extension_huge_sort, table4, workload_comparison,
 };
 use fleet::Scenario;
 use metaspace::jobs;
@@ -62,6 +73,10 @@ fn main() {
     }
     if what == "dag" {
         run_dag_cmd(&args[2..]);
+        return;
+    }
+    if what == "workload" {
+        run_workload_cmd(&args[2..]);
         return;
     }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -106,6 +121,8 @@ fn main() {
                 "       repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]"
             );
             eprintln!("       repro dag <job> [--seed N] [--smoke]");
+            eprintln!("       repro workload <name|all> [--seed N] [--smoke] [--dsl]");
+            eprintln!("       repro workload --list");
             std::process::exit(2);
         }
     }
@@ -276,6 +293,69 @@ fn run_dag_cmd(args: &[String]) {
     match dag_comparison(&spec, seed, smoke) {
         Ok(cmp) => print!("{}", render_dag(&cmp)),
         Err(err) => die(&format!("dag run failed: {err}")),
+    }
+}
+
+/// `repro workload <name|all> [--seed N] [--smoke] [--dsl]` and
+/// `repro workload --list`: the three-plan comparison of any bundled
+/// workload description.
+fn run_workload_cmd(args: &[String]) {
+    let mut name = None;
+    let mut seed = 42u64;
+    let mut smoke = false;
+    let mut dsl = false;
+    let mut list = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => die("--seed needs an integer"),
+            },
+            "--smoke" => smoke = true,
+            "--dsl" => dsl = true,
+            "--list" => list = true,
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_owned()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+    }
+    if list {
+        for n in metaspace::workloads::all_names() {
+            println!("{n}");
+        }
+        return;
+    }
+    let Some(name) = name else {
+        die("usage: repro workload <name|all> [--seed N] [--smoke] [--dsl]\n       repro workload --list");
+    };
+    let names = if name == "all" {
+        metaspace::workloads::all_names()
+    } else {
+        vec![name]
+    };
+    let mut all_rows = Vec::new();
+    for n in &names {
+        let Some(w) = metaspace::workloads::named(n) else {
+            die(&format!(
+                "unknown workload `{n}` (one of: {})",
+                metaspace::workloads::all_names().join(", ")
+            ));
+        };
+        if dsl {
+            print!("{}", workload::emit(&w));
+            continue;
+        }
+        match workload_comparison(&w, seed, smoke) {
+            Ok(cmp) => {
+                print!("{}", render_workload(&cmp));
+                all_rows.extend(workload_rows(&cmp));
+            }
+            Err(err) => die(&format!("workload `{n}` failed: {err}")),
+        }
+    }
+    if names.len() > 1 && !all_rows.is_empty() {
+        heading("All bundled workloads: plan economics side by side");
+        print!("{}", telemetry::workload_table(&all_rows));
     }
 }
 

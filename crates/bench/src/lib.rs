@@ -237,6 +237,77 @@ pub fn dag_comparison(
     })
 }
 
+/// A three-plan run of one workload description — the `repro workload`
+/// experiment: the hybrid deployment under barriers and dependency-driven,
+/// plus the pure-serverless baseline.
+#[derive(Debug, Clone)]
+pub struct WorkloadComparison {
+    /// Workload name.
+    pub name: String,
+    /// The (possibly smoke-scaled) workload that actually ran.
+    pub workload: workload::Workload,
+    /// The hybrid plan under classic BSP barriers.
+    pub hybrid_barrier: AnnotationReport,
+    /// The same hybrid plan scheduled dependency-driven.
+    pub hybrid_pipelined: AnnotationReport,
+    /// Everything on cloud functions, under barriers.
+    pub serverless: AnnotationReport,
+    /// Stage-level dataflow edges as `(from, to)` index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Runs a workload description three times from the same seed — hybrid
+/// barrier, hybrid pipelined, pure serverless — and pairs the reports
+/// with the declared stage DAG. `smoke` shrinks the graph (~2% task
+/// volume, floor of two tasks per stage) for debug-fast CI gates.
+///
+/// # Errors
+///
+/// Propagates validation and executor failures from any run.
+pub fn workload_comparison(
+    w: &workload::Workload,
+    seed: u64,
+    smoke: bool,
+) -> Result<WorkloadComparison, serverful::ExecError> {
+    use metaspace::plan::{DeploymentPlan, PlanKind};
+
+    let w = if smoke {
+        w.scaled_with(
+            0.02,
+            &workload::ScaleOptions {
+                min_tasks: 2,
+                ..workload::ScaleOptions::default()
+            },
+        )
+    } else {
+        w.clone()
+    };
+    let hybrid = DeploymentPlan::hybrid(&w.stages);
+    let PlanKind::Functions(f) = &hybrid.kind else {
+        unreachable!("hybrid is a functions plan")
+    };
+    let pipelined_plan = DeploymentPlan::functions(
+        "hybrid-pipelined",
+        metaspace::plan::FunctionsPlan {
+            execution: serverful::ExecutionMode::Pipelined,
+            ..f.clone()
+        },
+    );
+    let serverless_plan = DeploymentPlan::serverless(&w.stages);
+    let cloud = cloudsim::CloudConfig::default;
+    let (hybrid_barrier, _) = metaspace::run_workload(&w, &hybrid, seed, cloud(), false)?;
+    let (hybrid_pipelined, _) = metaspace::run_workload(&w, &pipelined_plan, seed, cloud(), false)?;
+    let (serverless, _) = metaspace::run_workload(&w, &serverless_plan, seed, cloud(), false)?;
+    Ok(WorkloadComparison {
+        name: w.name.clone(),
+        edges: w.edge_pairs(),
+        workload: w,
+        hybrid_barrier,
+        hybrid_pipelined,
+        serverless,
+    })
+}
+
 /// Runs Figure 2: per-stage concurrency of the serverless Xenograft
 /// annotation. Returns `(stage, tasks, stateful, measured seconds)`.
 pub fn fig2(seed: u64) -> Vec<(String, usize, bool, f64)> {

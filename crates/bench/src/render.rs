@@ -7,11 +7,15 @@
 use metaspace::{jobs, run_annotation_traced, Architecture, TraceOutput};
 use planner::{Objective, SearchReport};
 use telemetry::report::bar_chart;
-use telemetry::{critical_path, dag_stage_table, plan_comparison, PaperRow, PlanRow, StageWindow, Table};
+use telemetry::{
+    critical_path, dag_stage_table, plan_comparison, workload_table, PaperRow, PlanRow,
+    StageWindow, Table, WorkloadRow,
+};
 
 use crate::{
-    fig2, fig5, table1, table2, table3, table4, DagComparison, Table4Row, FIG4_PAPER_RATIO,
-    FIG5_PAPER_COST_RATIO, FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER, TABLE4_PAPER,
+    fig2, fig5, table1, table2, table3, table4, DagComparison, Table4Row, WorkloadComparison,
+    FIG4_PAPER_RATIO, FIG5_PAPER_COST_RATIO, FIG5_PAPER_SPEEDUP, TABLE1_PAPER, TABLE3_PAPER,
+    TABLE4_PAPER,
 };
 
 fn heading(out: &mut String, title: &str) {
@@ -494,6 +498,87 @@ pub fn render_dag(cmp: &DagComparison) -> String {
         "verdict: pipelined beats barrier at equal-or-lower cost: {}\n",
         if wins { "yes" } else { "no" }
     ));
+    out
+}
+
+/// The three [`WorkloadRow`]s of one comparison, baseline (hybrid
+/// barrier) first — building blocks for both the single-workload render
+/// and the combined `repro workload all` summary table.
+pub fn workload_rows(cmp: &WorkloadComparison) -> Vec<WorkloadRow> {
+    let stages = cmp.workload.stages.len();
+    let tasks: usize = cmp.workload.stages.iter().map(|s| s.tasks).sum();
+    let row = |plan: &str, r: &metaspace::AnnotationReport| WorkloadRow {
+        workload: cmp.name.clone(),
+        stages,
+        tasks,
+        plan: plan.to_owned(),
+        cost_usd: r.cost_usd,
+        makespan_secs: r.wall_secs,
+    };
+    vec![
+        row("hybrid-barrier", &cmp.hybrid_barrier),
+        row("hybrid-pipelined", &cmp.hybrid_pipelined),
+        row("serverless", &cmp.serverless),
+    ]
+}
+
+/// The two release-gate claims of one workload comparison, as greppable
+/// `verdict:` lines: does dependency-driven scheduling still win on
+/// this graph, and does the hybrid deployment still beat pure
+/// serverless on cost? Families where either claim reverses print `no`
+/// — the point of running more than METASPACE.
+pub fn workload_verdicts(cmp: &WorkloadComparison) -> String {
+    let pipelined_wins = cmp.hybrid_pipelined.wall_secs < cmp.hybrid_barrier.wall_secs
+        && cmp.hybrid_pipelined.cost_usd <= cmp.hybrid_barrier.cost_usd;
+    let hybrid_wins = cmp.hybrid_barrier.cost_usd < cmp.serverless.cost_usd;
+    format!(
+        "verdict: {}: pipelined beats barrier at equal-or-lower cost: {}\n\
+         verdict: {}: hybrid beats serverless on cost: {}\n",
+        cmp.name,
+        if pipelined_wins { "yes" } else { "no" },
+        cmp.name,
+        if hybrid_wins { "yes" } else { "no" },
+    )
+}
+
+/// Renders one workload-description comparison: its declared DAG with
+/// both hybrid schedules side by side, the three-plan economics table,
+/// the stage-granular critical path, and the verdict lines CI greps.
+///
+/// Deterministic: a pure function of the comparison, which is itself a
+/// pure function of `(workload, seed)`.
+pub fn render_workload(cmp: &WorkloadComparison) -> String {
+    let windows = |report: &metaspace::AnnotationReport| -> Vec<StageWindow> {
+        report
+            .stages
+            .iter()
+            .map(|s| StageWindow::new(s.name.clone(), s.start_secs, s.end_secs))
+            .collect()
+    };
+    let barrier = windows(&cmp.hybrid_barrier);
+    let pipelined = windows(&cmp.hybrid_pipelined);
+
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Workload {}: {} stages, {} tasks, {:.0} cpu-s declared",
+            cmp.name,
+            cmp.workload.stages.len(),
+            cmp.workload.stages.iter().map(|s| s.tasks).sum::<usize>(),
+            cmp.workload.total_cpu_secs()
+        ),
+    );
+    out.push_str(&dag_stage_table(&barrier, &pipelined, &cmp.edges));
+    out.push('\n');
+    out.push_str(&workload_table(&workload_rows(cmp)));
+    let cp = critical_path(&barrier, &cmp.edges);
+    out.push_str(&format!(
+        "\ncritical path ({:.2} s): {}\n",
+        cp.secs,
+        cp.label(&barrier)
+    ));
+    out.push_str(&workload_verdicts(cmp));
     out
 }
 

@@ -28,7 +28,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use cloudsim::{CloudConfig, ObjectBody};
-use metaspace::pipeline::{self, Stage, StageEdge, StageKind};
+use metaspace::pipeline::{Stage, StageEdge, StageKind};
 use metaspace::plan::StageBackend;
 use serverful::executor::MapOptions;
 use serverful::{
@@ -300,9 +300,10 @@ fn spawn_job(cell: &CellRef, a: &Arrival) {
         let stref = &mut *cell.st.borrow_mut();
         let tenant = &stref.sc.tenants[a.tenant];
         let idx = stref.jobs.len();
-        let stages = tenant.stages();
+        let w = tenant.workload();
+        let stages = w.stages;
         let (edges, pipe) = if stref.pipelined {
-            let edges = pipeline::edges(&stages);
+            let edges = w.edges;
             let pipe = stages
                 .iter()
                 .map(|s| PipeStage {
@@ -403,8 +404,8 @@ struct JobRun {
     tenant: usize,
     name: String,
     stages: Vec<Stage>,
-    /// Stage-level dataflow edges ([`pipeline::edges`]; pipelined cells
-    /// only).
+    /// Stage-level dataflow edges from the tenant's workload
+    /// description (pipelined cells only).
     edges: Vec<Vec<StageEdge>>,
     next_stage: usize,
     arrived: SimTime,

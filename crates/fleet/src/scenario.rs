@@ -1,38 +1,50 @@
 //! Scenario definitions: tenants, traffic shape, quotas, pool knobs.
 
 use cloudsim::RegionQuotas;
-use metaspace::jobs::{self, JobSpec};
-use metaspace::pipeline::{self, Stage};
+use metaspace::pipeline::Stage;
+use metaspace::workloads;
+use workload::{ScaleOptions, Workload};
 
 /// One tenant of the simulated region: a lab or team repeatedly
-/// submitting replicas of a Table 2 job.
+/// submitting replicas of a bundled workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantSpec {
     /// Tenant name; job names and billing labels are prefixed with it.
     pub name: String,
-    /// Table 2 job the tenant submits (`Brain`, `Xenograft`, `X089`).
+    /// Bundled workload the tenant submits — any
+    /// [`metaspace::workloads`] name: a Table 2 job (`Brain`), its
+    /// `metaspace-` alias, or a DSL family (`terasort-small`).
     pub job: String,
     /// Relative arrival weight in the traffic mix.
     pub weight: f64,
     /// Stage-graph scale factor in `(0, 1]`; see
-    /// [`metaspace::pipeline::scaled_stages`].
+    /// [`workload::Workload::scaled_with`].
     pub scale: f64,
 }
 
 impl TenantSpec {
-    /// The tenant's job specification.
+    /// The tenant's (scaled) workload description.
     ///
     /// # Panics
     ///
-    /// Panics if `job` names no Table 2 job.
-    pub fn job_spec(&self) -> JobSpec {
-        jobs::by_name(&self.job)
-            .unwrap_or_else(|| panic!("tenant `{}`: unknown job `{}`", self.name, self.job))
+    /// Panics if `job` names no bundled workload.
+    pub fn workload(&self) -> Workload {
+        workloads::named(&self.job)
+            .unwrap_or_else(|| panic!("tenant `{}`: unknown workload `{}`", self.name, self.job))
+            .scaled_with(
+                self.scale,
+                // Floor of 2 tasks per stage: the historical
+                // `scaled_stages` behaviour the fleet goldens bake in.
+                &ScaleOptions {
+                    min_tasks: 2,
+                    ..ScaleOptions::default()
+                },
+            )
     }
 
     /// The tenant's (scaled) stage graph.
     pub fn stages(&self) -> Vec<Stage> {
-        pipeline::scaled_stages(&self.job_spec(), self.scale)
+        self.workload().stages
     }
 }
 
@@ -236,5 +248,26 @@ mod tests {
             assert_eq!(stages.len(), 9);
             assert!(stages.iter().all(|s| s.tasks >= 2));
         }
+    }
+
+    #[test]
+    fn dsl_family_tenants_resolve_with_their_declared_edges() {
+        let t = TenantSpec {
+            name: "sorters".to_owned(),
+            job: "terasort-small".to_owned(),
+            weight: 1.0,
+            scale: 0.1,
+        };
+        let w = t.workload();
+        w.validate().expect("scaled family stays valid");
+        assert_eq!(w.stages.len(), 3);
+        assert!(w.stages.iter().all(|s| s.tasks >= 2));
+        // validate -> sort is one-to-one, which the METASPACE
+        // name-match fallback (linear all-to-all) would get wrong: the
+        // declared edges must survive into the fleet.
+        assert!(w
+            .edges
+            .iter()
+            .any(|deps| deps.iter().any(|e| e.fan_in == serverful::FanIn::OneToOne)));
     }
 }

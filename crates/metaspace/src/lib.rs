@@ -30,12 +30,13 @@ pub mod jobs;
 pub mod pipeline;
 pub mod plan;
 pub mod runner;
+pub mod workloads;
 
 pub use jobs::JobSpec;
-pub use pipeline::{Stage, StageEdge, StageKind};
+pub use pipeline::{Stage, StageEdge, StageKind, Workload};
 pub use plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 pub use runner::{
-    run_annotation, run_annotation_traced, run_annotation_with, run_plan, run_plan_stages,
-    run_plan_stages_chaos, run_plan_stages_with_engine, run_plan_with, AnnotationReport,
-    Architecture, ChaosReport, DagEngine, TraceOutput,
+    run_annotation, run_annotation_traced, run_annotation_with, run_plan, run_plan_graph,
+    run_plan_stages, run_plan_stages_chaos, run_plan_with, run_workload, AnnotationReport,
+    Architecture, ChaosReport, TraceOutput,
 };

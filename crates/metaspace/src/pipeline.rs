@@ -22,89 +22,13 @@
 //! densities are profile parameters standing in for the real datasets
 //! (see [`jobs`](crate::jobs)).
 
-use serverful::FanIn;
-
 use crate::jobs::JobSpec;
 
-/// A dependency of one stage on an earlier stage, with the fan-in shape
-/// the DAG scheduler uses to release downstream partitions: one-to-one
-/// for map-chained stages (partition `p` only needs its own upstream
-/// block), all-to-all for the sort/segmentation shuffles (every
-/// downstream partition needs the whole upstream stage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StageEdge {
-    /// Index of the upstream stage in the stage list.
-    pub from: usize,
-    /// Fan-in shape of the dependency.
-    pub fan_in: FanIn,
-}
-
-impl StageEdge {
-    /// A partition-wise edge from stage `from`.
-    pub fn one_to_one(from: usize) -> StageEdge {
-        StageEdge { from, fan_in: FanIn::OneToOne }
-    }
-
-    /// A shuffle edge from stage `from`.
-    pub fn all_to_all(from: usize) -> StageEdge {
-        StageEdge { from, fan_in: FanIn::AllToAll }
-    }
-}
-
-/// How a stage moves data.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StageKind {
-    /// Embarrassingly parallel: tasks read their input slice, compute,
-    /// write their output. Reads/writes spread across this many
-    /// top-level storage prefixes.
-    Stateless {
-        /// Distinct top-level prefixes the reads spread over.
-        read_spread: usize,
-        /// Distinct top-level prefixes the writes spread over.
-        write_spread: usize,
-    },
-    /// Sort/partition: an all-to-all exchange of `exchange_gb`. On cloud
-    /// functions the exchange crosses object storage (one contended
-    /// prefix); on the serverful backend it stays in the master VM's
-    /// memory; on the cluster it crosses the executors' NICs.
-    Stateful {
-        /// Total bytes exchanged all-to-all, GB.
-        exchange_gb: f64,
-    },
-}
-
-/// One pipeline stage.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Stage {
-    /// Stage name.
-    pub name: String,
-    /// Parallel tasks (Figure 2's bar heights).
-    pub tasks: usize,
-    /// CPU-seconds per task.
-    pub cpu_secs_per_task: f64,
-    /// MB each task reads from object storage.
-    pub read_mb_per_task: f64,
-    /// MB each task writes to object storage.
-    pub write_mb_per_task: f64,
-    /// Data-movement behaviour.
-    pub kind: StageKind,
-}
-
-impl Stage {
-    /// Whether the stage is a stateful operation.
-    pub fn is_stateful(&self) -> bool {
-        matches!(self.kind, StageKind::Stateful { .. })
-    }
-
-    /// Total CPU-seconds across tasks.
-    pub fn total_cpu_secs(&self) -> f64 {
-        self.tasks as f64 * self.cpu_secs_per_task
-    }
-}
-
-fn clamp(x: f64, lo: usize, hi: usize) -> usize {
-    (x.round() as usize).clamp(lo, hi)
-}
+// The stage description types live in the `workload` crate now (the
+// general stage-DAG workload layer); re-exported here so the rest of
+// the workspace keeps addressing them as `metaspace::pipeline::Stage`
+// and friends.
+pub use workload::{Stage, StageEdge, StageKind, Workload};
 
 /// The sort volume of the dataset segmentation stage, GB. (The paper's
 /// §4.2 sort experiment processes a larger standalone volume — ~25 GB
@@ -124,119 +48,24 @@ pub fn db_sort_gb(job: &JobSpec) -> f64 {
     job.db_formulas as f64 / 1000.0 * 0.045
 }
 
+/// The job's annotation pipeline as a full workload description (the
+/// canonical 9-stage graph with its dataflow edges), expressed through
+/// the [`workload::families::metaspace`] family.
+pub fn job_workload(job: &JobSpec) -> Workload {
+    workload::families::metaspace(&workload::families::MetaspaceParams {
+        name: job.name.to_owned(),
+        dataset_gb: job.dataset_gb,
+        db_formulas_k: job.db_formulas as f64 / 1000.0,
+        max_volume_gb: job.max_volume_gb,
+        annotate_cpu_secs: job.annotate_cpu_secs,
+        dataset_sort_gb: dataset_sort_gb(job),
+        db_sort_gb: db_sort_gb(job),
+    })
+}
+
 /// Builds the stage graph for a job.
 pub fn stages(job: &JobSpec) -> Vec<Stage> {
-    let ds = job.dataset_gb;
-    let db_k = job.db_formulas as f64 / 1000.0;
-    let vol = job.max_volume_gb;
-
-    let load_tasks = clamp(ds * 32.0, 8, 96);
-    let formula_tasks = clamp(db_k * 3.2, 32, 300);
-    let annotate_tasks = clamp(vol * 8.5, 64, 4000);
-    let fdr_tasks = clamp(annotate_tasks as f64 / 4.0, 32, 1000);
-    let ds_sort = dataset_sort_gb(job);
-    let db_sort = db_sort_gb(job);
-    // The serverless sort scales out with partition count, but under a
-    // saturated prefix extra functions only add idle cost — the paper's
-    // hindrance.
-    let ds_sort_tasks = clamp(ds_sort * 5.0, 32, 100);
-
-    vec![
-        Stage {
-            name: "load-dataset".into(),
-            tasks: load_tasks,
-            cpu_secs_per_task: 2.0 + ds * 1024.0 / load_tasks as f64 * 0.01,
-            read_mb_per_task: ds * 1024.0 / load_tasks as f64,
-            write_mb_per_task: ds * 1024.0 / load_tasks as f64,
-            kind: StageKind::Stateless {
-                read_spread: 8,
-                write_spread: 8,
-            },
-        },
-        Stage {
-            name: "parse-spectra".into(),
-            tasks: load_tasks,
-            cpu_secs_per_task: 1.5 + ds * 1024.0 / load_tasks as f64 * 0.008,
-            read_mb_per_task: ds * 1024.0 / load_tasks as f64,
-            write_mb_per_task: ds * 1024.0 / load_tasks as f64 * 1.3,
-            kind: StageKind::Stateless {
-                read_spread: 8,
-                write_spread: 8,
-            },
-        },
-        Stage {
-            name: "formula-gen".into(),
-            tasks: formula_tasks,
-            cpu_secs_per_task: 8.0,
-            read_mb_per_task: 1.0,
-            write_mb_per_task: 4.0,
-            kind: StageKind::Stateless {
-                read_spread: 16,
-                write_spread: 16,
-            },
-        },
-        Stage {
-            name: "db-segment".into(),
-            tasks: 32,
-            cpu_secs_per_task: db_sort * 1024.0 / 32.0 * 0.05,
-            read_mb_per_task: 0.0, // the exchange's own chunks are the input
-            write_mb_per_task: 0.0,
-            kind: StageKind::Stateful {
-                exchange_gb: db_sort,
-            },
-        },
-        Stage {
-            name: "ds-segment".into(),
-            tasks: ds_sort_tasks,
-            cpu_secs_per_task: ds_sort * 1024.0 / ds_sort_tasks as f64 * 0.05,
-            read_mb_per_task: 0.0,
-            write_mb_per_task: 0.0,
-            kind: StageKind::Stateful {
-                exchange_gb: ds_sort,
-            },
-        },
-        Stage {
-            name: "annotate".into(),
-            tasks: annotate_tasks,
-            cpu_secs_per_task: job.annotate_cpu_secs,
-            read_mb_per_task: vol * 1024.0 / annotate_tasks as f64,
-            write_mb_per_task: 8.0,
-            kind: StageKind::Stateless {
-                read_spread: 64,
-                write_spread: 32,
-            },
-        },
-        Stage {
-            name: "metrics".into(),
-            tasks: clamp(annotate_tasks as f64 / 2.0, 64, 2000),
-            cpu_secs_per_task: job.annotate_cpu_secs * 0.25,
-            read_mb_per_task: 20.0,
-            write_mb_per_task: 6.0,
-            kind: StageKind::Stateless {
-                read_spread: 32,
-                write_spread: 32,
-            },
-        },
-        Stage {
-            name: "fdr".into(),
-            tasks: fdr_tasks,
-            cpu_secs_per_task: (job.annotate_cpu_secs / 6.0).max(1.0),
-            read_mb_per_task: 20.0,
-            write_mb_per_task: 4.0,
-            kind: StageKind::Stateless {
-                read_spread: 32,
-                write_spread: 32,
-            },
-        },
-        Stage {
-            name: "collect".into(),
-            tasks: 16,
-            cpu_secs_per_task: 0.5,
-            read_mb_per_task: 0.0,
-            write_mb_per_task: 0.0,
-            kind: StageKind::Stateful { exchange_gb: 0.4 },
-        },
-    ]
+    job_workload(job).stages
 }
 
 /// The dependency edges of a stage list, one `Vec<StageEdge>` per
@@ -307,22 +136,21 @@ pub fn edges(stages: &[Stage]) -> Vec<Vec<StageEdge>> {
 ///
 /// Panics unless `0 < scale <= 1`.
 pub fn scaled_stages(job: &JobSpec, scale: f64) -> Vec<Stage> {
-    assert!(
-        scale > 0.0 && scale <= 1.0,
-        "scale must be in (0, 1], got {scale}"
-    );
-    stages(job)
-        .into_iter()
-        .map(|mut s| {
-            s.tasks = ((s.tasks as f64 * scale).round() as usize).max(2);
-            if let StageKind::Stateful { exchange_gb } = s.kind {
-                s.kind = StageKind::Stateful {
-                    exchange_gb: (exchange_gb * scale).max(0.005),
-                };
-            }
-            s
-        })
-        .collect()
+    scaled_workload(job, scale).stages
+}
+
+/// [`scaled_stages`] with the dataflow edges attached: the down-scaled
+/// job as a full workload description. Uses the generic workload scaler
+/// with this pipeline's historical floors (two tasks, 0.005 GB).
+///
+/// # Panics
+///
+/// Panics unless `0 < scale <= 1`.
+pub fn scaled_workload(job: &JobSpec, scale: f64) -> Workload {
+    job_workload(job).scaled_with(
+        scale,
+        &workload::ScaleOptions { min_tasks: 2, min_exchange_gb: 0.005 },
+    )
 }
 
 #[cfg(test)]
@@ -432,6 +260,29 @@ mod tests {
         assert_eq!(deps[0], vec![]);
         assert_eq!(deps[1], vec![StageEdge::all_to_all(0)]);
         assert_eq!(deps[2], vec![StageEdge::all_to_all(1)]);
+    }
+
+    #[test]
+    fn workload_description_matches_the_canonical_graph() {
+        // The migration gate: the DSL-expressible workload description
+        // must carry exactly the dataflow `edges` hard-coded for the
+        // canonical stage list, for every Table 2 job, and survive a
+        // text round-trip unchanged.
+        for job in jobs::all() {
+            let w = job_workload(&job);
+            w.validate().expect("job workloads validate");
+            assert_eq!(w.edges, edges(&w.stages), "{}", job.name);
+            let back = workload::parse(&workload::emit(&w)).expect("round-trip parses");
+            assert_eq!(back, w, "{} drifts through the DSL", job.name);
+        }
+    }
+
+    #[test]
+    fn scaled_workload_keeps_edges_aligned() {
+        let w = scaled_workload(&jobs::xenograft(), 0.05);
+        w.validate().expect("scaled workloads stay valid");
+        assert_eq!(w.stages, scaled_stages(&jobs::xenograft(), 0.05));
+        assert_eq!(w.edges, edges(&w.stages));
     }
 
     #[test]

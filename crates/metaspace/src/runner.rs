@@ -28,9 +28,8 @@ use cloudsim::{CloudConfig, InstanceType, ObjectBody, World};
 use clustersim::{ClusterConfig, ClusterEngine, StageDef};
 use serverful::executor::MapOptions;
 use serverful::{
-    run_dag, run_dag_async, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode,
-    ExecutorConfig, FunctionExecutor, Payload, RecoveryMode, RecoveryStats, RetryPolicy,
-    ScriptTask, SizingPolicy,
+    run_dag_async, Backend, CloudEnv, Dag, DagNode, Edge, ExecError, ExecMode, ExecutorConfig,
+    FunctionExecutor, Payload, RecoveryMode, RecoveryStats, RetryPolicy, ScriptTask, SizingPolicy,
 };
 use shuffle::tasks::Exchange;
 use shuffle::SortConfig;
@@ -39,7 +38,7 @@ use simkernel::{SimDuration, SimTime};
 use telemetry::UsageStats;
 
 use crate::jobs::JobSpec;
-use crate::pipeline::{self, Stage, StageKind};
+use crate::pipeline::{self, Stage, StageEdge, StageKind, Workload};
 use crate::plan::{ClusterPlan, DeploymentPlan, FunctionsPlan, PlanKind, StageBackend};
 
 /// The deployment architecture to evaluate.
@@ -228,59 +227,57 @@ pub fn run_plan_stages(
     cloud: CloudConfig,
     trace: bool,
 ) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
-    run_plan_stages_with_engine(label, stages, plan, seed, cloud, trace, DagEngine::default())
+    run_plan_graph(label, stages, &pipeline::edges(stages), plan, seed, cloud, trace)
 }
 
-/// Which DAG driver executes the lowered stage graph. Both produce
-/// byte-identical reports, traces and billing (asserted by
-/// `tests/equivalence.rs`); the engines differ only in how the
-/// scheduling logic is expressed.
-///
-/// `Async` is the default engine; `Legacy` remains selectable only as
-/// the equivalence oracle and is slated for deletion once a release has
-/// shipped on the async kernel (see ROADMAP).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum DagEngine {
-    /// The hand-rolled pump/poll loop ([`serverful::run_dag`]).
-    Legacy,
-    /// Straight-line futures on the deterministic async kernel
-    /// ([`serverful::run_dag_async`]).
-    #[default]
-    Async,
-}
-
-impl fmt::Display for DagEngine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DagEngine::Legacy => f.write_str("legacy"),
-            DagEngine::Async => f.write_str("async"),
-        }
-    }
-}
-
-/// [`run_plan_stages`] with an explicit [`DagEngine`]. Cluster plans
-/// have no DAG to drive and ignore the engine choice.
+/// [`run_plan_stages`] with explicit dataflow edges instead of the
+/// METASPACE name-matched ones — the compilation target every workload
+/// description lowers to. `edges` must align index-for-index with
+/// `stages` and point only at earlier stages. Cluster plans execute the
+/// stage list as a barrier chain and ignore the edges.
 ///
 /// # Errors
 ///
-/// Propagates executor failures and rejects malformed plans.
-pub fn run_plan_stages_with_engine(
+/// Propagates executor failures and rejects malformed plans or
+/// misaligned/non-topological edges.
+pub fn run_plan_graph(
     label: &str,
     stages: &[Stage],
+    edges: &[Vec<StageEdge>],
     plan: &DeploymentPlan,
     seed: u64,
     cloud: CloudConfig,
     trace: bool,
-    engine: DagEngine,
 ) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
     validate_plan(stages, plan)?;
+    validate_edges(stages, edges)?;
     match &plan.kind {
         PlanKind::Functions(f) => {
-            run_functions_plan(label, stages, f, seed, cloud, trace, engine, &[])
+            run_functions_plan(label, stages, edges, f, seed, cloud, trace, &[])
                 .map(|(r, t, _)| (r, t))
         }
         PlanKind::Cluster(c) => Ok(run_cluster_plan(label, stages, c, seed, cloud, trace)),
     }
+}
+
+/// Runs a full [`Workload`] description — validated, then compiled to
+/// the stage DAG with the workload's own dataflow edges — under a plan.
+/// The workload's name labels the report.
+///
+/// # Errors
+///
+/// Rejects invalid workloads and malformed plans; propagates executor
+/// failures.
+pub fn run_workload(
+    w: &Workload,
+    plan: &DeploymentPlan,
+    seed: u64,
+    cloud: CloudConfig,
+    trace: bool,
+) -> Result<(AnnotationReport, Option<TraceOutput>), ExecError> {
+    w.validate()
+        .map_err(|e| ExecError::Unsupported(e.to_string()))?;
+    run_plan_graph(&w.name, &w.stages, &w.edges, plan, seed, cloud, trace)
 }
 
 /// Extra observability a chaos run returns alongside its report.
@@ -299,7 +296,7 @@ pub struct ChaosReport {
     pub science_digest: u64,
 }
 
-/// [`run_plan_stages_with_engine`] plus master-kill chaos injection:
+/// [`run_plan_stages`] plus master-kill chaos injection:
 /// the serverful pool's master VM is killed when the executor's
 /// routed-event counter passes each offset in `kills` (offsets are
 /// relative to the start of the measured window, after warm-up). What
@@ -321,19 +318,42 @@ pub fn run_plan_stages_chaos(
     plan: &DeploymentPlan,
     seed: u64,
     cloud: CloudConfig,
-    engine: DagEngine,
     kills: &[u64],
 ) -> Result<(AnnotationReport, ChaosReport), ExecError> {
     validate_plan(stages, plan)?;
+    let edges = pipeline::edges(stages);
     match &plan.kind {
         PlanKind::Functions(f) => {
-            run_functions_plan(label, stages, f, seed, cloud, false, engine, kills)
+            run_functions_plan(label, stages, &edges, f, seed, cloud, false, kills)
                 .map(|(r, _, c)| (r, c))
         }
         PlanKind::Cluster(_) => Err(ExecError::Unsupported(
             "master-kill chaos targets the serverful master; cluster plans have none".into(),
         )),
     }
+}
+
+/// Rejects dataflow edges the lowering cannot honour: one edge list per
+/// stage, each pointing only at earlier stages.
+fn validate_edges(stages: &[Stage], edges: &[Vec<StageEdge>]) -> Result<(), ExecError> {
+    if edges.len() != stages.len() {
+        return Err(ExecError::Unsupported(format!(
+            "{} stages but {} edge lists; they must align index-for-index",
+            stages.len(),
+            edges.len()
+        )));
+    }
+    for (i, deps) in edges.iter().enumerate() {
+        for e in deps {
+            if e.from >= i {
+                return Err(ExecError::Unsupported(format!(
+                    "edge into stage {i} from {} is not topological",
+                    e.from
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Rejects plans the execution path cannot honour.
@@ -411,11 +431,11 @@ fn ledger_waste(world: &World) -> f64 {
 fn run_functions_plan(
     label: &str,
     stages: &[Stage],
+    edges: &[Vec<StageEdge>],
     plan: &FunctionsPlan,
     seed: u64,
     cloud: CloudConfig,
     trace: bool,
-    engine: DagEngine,
     kills: &[u64],
 ) -> Result<(AnnotationReport, Option<TraceOutput>, ChaosReport), ExecError> {
     let retry = RetryPolicy {
@@ -517,19 +537,11 @@ fn run_functions_plan(
     // drained — byte-identical to the pre-dataflow runner); Pipelined
     // releases downstream partitions as their upstream dependencies
     // complete.
-    let dag = build_stage_dag(stages, plan, &sizing, planned_itype, vm_workers, seed, exchange);
-    let mut ctx = StageCtx { faas, vm };
-    match engine {
-        DagEngine::Legacy => {
-            run_dag(&mut env, &mut ctx, dag, plan.execution)?;
-        }
-        DagEngine::Async => {
-            let (env_back, ctx_back, result) = run_dag_async(env, ctx, dag, plan.execution);
-            env = env_back;
-            ctx = ctx_back;
-            result?;
-        }
-    }
+    let dag = build_stage_dag(stages, edges, plan, &sizing, planned_itype, vm_workers, seed, exchange);
+    let ctx = StageCtx { faas, vm };
+    let (env_back, ctx, result) = run_dag_async(env, ctx, dag, plan.execution);
+    env = env_back;
+    result?;
     if let Some(mut vm_exec) = ctx.vm {
         vm_exec.shutdown(&mut env);
     }
@@ -628,8 +640,8 @@ struct StageCtx {
     vm: Option<FunctionExecutor>,
 }
 
-/// Lowers a stage graph (with its [`pipeline::edges`] dataflow) to a
-/// task-level [`Dag`]:
+/// Lowers a stage graph (with its dataflow edges) to a task-level
+/// [`Dag`]:
 ///
 /// * a stateless stage → one map node;
 /// * a serverful stateful stage → one fused-exchange node per
@@ -644,6 +656,7 @@ struct StageCtx {
 #[allow(clippy::too_many_arguments)]
 fn build_stage_dag(
     stages: &[Stage],
+    stage_deps: &[Vec<StageEdge>],
     plan: &FunctionsPlan,
     sizing: &SizingPolicy,
     planned_itype: &InstanceType,
@@ -651,7 +664,6 @@ fn build_stage_dag(
     seed: u64,
     exchange: Exchange,
 ) -> Dag<StageCtx> {
-    let stage_deps = pipeline::edges(stages);
     let mut dag: Dag<StageCtx> = Dag::new();
     // Terminal node index of each lowered stage.
     let mut terminal: Vec<usize> = Vec::with_capacity(stages.len());

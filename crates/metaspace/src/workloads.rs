@@ -1,0 +1,73 @@
+//! The combined bundled-workload catalog: every workload this
+//! reproduction ships, resolvable by one name.
+//!
+//! Three sources merge here:
+//!
+//! * the Table 2 METASPACE jobs ([`crate::jobs`]), expressed as full
+//!   workload descriptions through
+//!   [`crate::pipeline::job_workload`] — addressable both by their job
+//!   name (`brain`) and a `metaspace-` prefixed alias
+//!   (`metaspace-brain`);
+//! * the non-METASPACE families bundled in [`workload::catalog`]
+//!   (`mlpipe`, `montage`, `terasort-small/medium/large`).
+//!
+//! The CLI (`repro workload`), the CI smoke gate and the fleet's
+//! tenant specs all resolve through this module, so a name means the
+//! same graph everywhere.
+
+use crate::jobs;
+use crate::pipeline;
+use workload::Workload;
+
+/// Every bundled workload name, in presentation order (METASPACE jobs
+/// first, then the other families).
+pub fn all_names() -> Vec<String> {
+    let mut names: Vec<String> = jobs::all()
+        .iter()
+        .map(|j| format!("metaspace-{}", j.name.to_ascii_lowercase()))
+        .collect();
+    names.extend(workload::catalog::names().iter().map(|s| (*s).to_owned()));
+    names
+}
+
+/// Resolves a bundled workload by (case-insensitive) name: a METASPACE
+/// job name (`Brain`), its `metaspace-` alias (`metaspace-brain`), or a
+/// [`workload::catalog`] family instance (`terasort-small`).
+pub fn named(name: &str) -> Option<Workload> {
+    let canon = name.to_ascii_lowercase();
+    let job_name = canon.strip_prefix("metaspace-").unwrap_or(&canon);
+    if let Some(job) = jobs::by_name(job_name) {
+        return Some(pipeline::job_workload(&job));
+    }
+    workload::catalog::named(&canon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves_and_validates() {
+        let names = all_names();
+        assert_eq!(names.len(), 8, "3 METASPACE jobs + 5 family instances");
+        for n in &names {
+            let w = named(n).unwrap_or_else(|| panic!("{n} missing"));
+            w.validate().unwrap_or_else(|e| panic!("{n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn metaspace_jobs_resolve_by_both_names() {
+        let a = named("brain").expect("job name");
+        let b = named("metaspace-Brain").expect("alias");
+        assert_eq!(a, b);
+        assert_eq!(a.name, "Brain");
+        assert_eq!(a.stages, pipeline::stages(&jobs::brain()));
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_none() {
+        assert!(named("metaspace-nope").is_none());
+        assert!(named("").is_none());
+    }
+}

@@ -2,9 +2,9 @@
 
 use cloudsim::CloudConfig;
 use metaspace::jobs::JobSpec;
-use metaspace::pipeline::{self, Stage};
+use metaspace::pipeline::{self, Stage, StageEdge, Workload};
 use metaspace::plan::DeploymentPlan;
-use metaspace::runner::run_plan_stages;
+use metaspace::runner::run_plan_graph;
 use serverful::ExecError;
 
 /// The measured objectives of one plan: what the search engine trades
@@ -50,6 +50,8 @@ pub struct Evaluator {
     pub label: String,
     /// The stage graph to deploy.
     pub stages: Vec<Stage>,
+    /// The dataflow edges between stages (per downstream stage).
+    pub edges: Vec<Vec<StageEdge>>,
     /// Cloud configuration each world is built from.
     pub cloud: CloudConfig,
     /// Simulation seed shared by every evaluation.
@@ -59,14 +61,30 @@ pub struct Evaluator {
 impl Evaluator {
     /// An evaluator for one of the paper's Table 2 jobs.
     pub fn for_job(job: &JobSpec, seed: u64) -> Evaluator {
-        Evaluator::new(job.name, pipeline::stages(job), seed)
+        Evaluator::for_workload(&pipeline::job_workload(job), seed)
     }
 
-    /// An evaluator for an arbitrary stage graph.
+    /// An evaluator for any workload description — the planner's entry
+    /// point for the DSL families; the candidate space it searches
+    /// ([`crate::SearchSpace`]) is derived from the same stage list.
+    pub fn for_workload(w: &Workload, seed: u64) -> Evaluator {
+        Evaluator {
+            label: w.name.clone(),
+            stages: w.stages.clone(),
+            edges: w.edges.clone(),
+            cloud: CloudConfig::default(),
+            seed,
+        }
+    }
+
+    /// An evaluator for a bare stage list, with edges recovered by the
+    /// METASPACE name match (linear all-to-all chain otherwise).
     pub fn new(label: impl Into<String>, stages: Vec<Stage>, seed: u64) -> Evaluator {
+        let edges = pipeline::edges(&stages);
         Evaluator {
             label: label.into(),
             stages,
+            edges,
             cloud: CloudConfig::default(),
             seed,
         }
@@ -80,9 +98,10 @@ impl Evaluator {
     /// budgets under fault injection). The search engine skips failed
     /// candidates rather than aborting.
     pub fn evaluate(&self, plan: &DeploymentPlan) -> Result<PlanOutcome, ExecError> {
-        let (report, _) = run_plan_stages(
+        let (report, _) = run_plan_graph(
             &self.label,
             &self.stages,
+            &self.edges,
             plan,
             self.seed,
             self.cloud.clone(),
@@ -150,6 +169,23 @@ mod tests {
             },
         );
         assert!(ev.evaluate(&bad).is_err());
+    }
+
+    #[test]
+    fn workload_evaluators_deploy_the_declared_edges() {
+        // A DSL family whose graph the METASPACE name match does not
+        // know: the evaluator must run the declared diamond, not the
+        // linear fallback, and stay deterministic.
+        let w = metaspace::workloads::named("montage")
+            .expect("bundled family")
+            .scaled(0.05);
+        let ev = Evaluator::for_workload(&w, 7);
+        assert_eq!(ev.edges, w.edges);
+        let plan = DeploymentPlan::hybrid(&ev.stages);
+        let a = ev.evaluate(&plan).unwrap();
+        let b = ev.evaluate(&plan).unwrap();
+        assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
     }
 
     #[test]

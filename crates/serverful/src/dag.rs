@@ -27,7 +27,7 @@
 //! only sequences them. See `metaspace::runner` for the full pipeline
 //! lowering and `examples/dag_pipeline.rs` for a standalone example.
 
-use crate::env::{CloudEnv, EnvEvent};
+use crate::env::CloudEnv;
 use crate::error::ExecError;
 use crate::executor::JobHandle;
 use simkernel::SimTime;
@@ -213,12 +213,14 @@ impl<C> Dag<C> {
 
     /// The upstream task indices task `t` of node `v` waits on through
     /// `edge`, as a half-open range over the upstream node's tasks.
+    #[cfg(test)]
     fn dep_range(&self, v: usize, t: usize, edge: &Edge) -> std::ops::Range<usize> {
         fan_in_range(edge.fan_in, self.nodes[edge.from].tasks, self.nodes[v].tasks, t)
     }
 }
 
-/// Per-node scheduling telemetry from a [`run_dag`] execution.
+/// Per-node scheduling telemetry from a [`crate::run_dag_async`]
+/// execution.
 #[derive(Debug, Clone)]
 pub struct NodeStats {
     /// The node's label.
@@ -243,48 +245,6 @@ pub struct NodeStats {
 pub struct DagStats {
     /// One entry per node, in submission (topological) order.
     pub nodes: Vec<NodeStats>,
-}
-
-/// Per-node bookkeeping while a pipelined run is in flight.
-struct Live {
-    handle: JobHandle,
-    stats: NodeStats,
-    /// Per-task done flags, stamped as the scheduler observes them.
-    done: Vec<bool>,
-    /// Per-task released flags.
-    released: Vec<bool>,
-    /// Whole job finished and results taken.
-    complete: bool,
-}
-
-/// Executes the graph. Consumes the DAG (launch closures are `FnMut`
-/// run once each).
-///
-/// In [`ExecutionMode::Barrier`] nodes run strictly one after another —
-/// the degenerate DAG — reproducing the classic stage-chained executor
-/// byte-for-byte (identical storage/compute call sequence, so golden
-/// traces are unchanged). In [`ExecutionMode::Pipelined`] all nodes
-/// submit up front gated and tasks are released as their dependencies
-/// complete.
-///
-/// When tracing is enabled, each group opens a `stage` span covering
-/// its nodes; in pipelined mode each job span additionally carries a
-/// `deps` attribute naming its upstream nodes (spans parented on DAG
-/// edges).
-///
-/// # Errors
-///
-/// Propagates the first node failure or a drained (stalled) world.
-pub fn run_dag<C>(
-    env: &mut CloudEnv,
-    ctx: &mut C,
-    dag: Dag<C>,
-    mode: ExecutionMode,
-) -> Result<DagStats, ExecError> {
-    match mode {
-        ExecutionMode::Barrier => run_barrier(env, ctx, dag),
-        ExecutionMode::Pipelined => run_pipelined(env, ctx, dag),
-    }
 }
 
 /// Begins the trace span of a group when `node` is its first member.
@@ -333,199 +293,6 @@ pub(crate) fn maybe_end_group_span<C>(
     let now = env.now();
     env.world_mut().tracer_mut().end(open[g], now);
     open[g] = SpanId::NONE;
-}
-
-fn run_barrier<C>(
-    env: &mut CloudEnv,
-    ctx: &mut C,
-    mut dag: Dag<C>,
-) -> Result<DagStats, ExecError> {
-    let mut open = vec![SpanId::NONE; dag.groups.len()];
-    let mut stats = Vec::with_capacity(dag.len());
-    for v in 0..dag.len() {
-        maybe_begin_group_span(env, &dag, v, &mut open);
-        if let Some(g) = dag.nodes[v].group {
-            env.set_job_parent(open[g]);
-        }
-        let launched_at = env.now();
-        let handle = (dag.nodes[v].launch)(ctx, env, false)?;
-        let tasks = handle.total_tasks(env);
-        // Block until the node drains: the barrier.
-        let result = loop {
-            if let Some(r) = env.try_job_result(handle.id) {
-                break r;
-            }
-            match env.pump() {
-                EnvEvent::Progress | EnvEvent::Timer(_) => {}
-                EnvEvent::Drained => {
-                    break Err(ExecError::Stalled(format!(
-                        "simulation drained with DAG node {} ({}) unfinished",
-                        v, dag.nodes[v].label
-                    )));
-                }
-            }
-        };
-        env.set_job_parent(SpanId::NONE);
-        maybe_end_group_span(env, &dag, v, &mut open);
-        result?;
-        let finished_at = env.now();
-        stats.push(NodeStats {
-            label: dag.nodes[v].label.clone(),
-            group: dag.nodes[v].group,
-            tasks,
-            launched_at,
-            finished_at,
-            released_at: vec![launched_at; tasks],
-            done_at: vec![finished_at; tasks],
-        });
-    }
-    Ok(DagStats { nodes: stats })
-}
-
-fn run_pipelined<C>(
-    env: &mut CloudEnv,
-    ctx: &mut C,
-    mut dag: Dag<C>,
-) -> Result<DagStats, ExecError> {
-    let mut open = vec![SpanId::NONE; dag.groups.len()];
-    // Submit every node up front, gated, in topological order. Warm
-    // infrastructure (FaaS setup, pool provisioning) overlaps across
-    // the whole graph from t=0.
-    let mut live: Vec<Live> = Vec::with_capacity(dag.len());
-    for v in 0..dag.len() {
-        maybe_begin_group_span(env, &dag, v, &mut open);
-        if let Some(g) = dag.nodes[v].group {
-            env.set_job_parent(open[g]);
-        }
-        let launched_at = env.now();
-        let handle = (dag.nodes[v].launch)(ctx, env, true)?;
-        env.set_job_parent(SpanId::NONE);
-        let tasks = handle.total_tasks(env);
-        debug_assert_eq!(
-            tasks, dag.nodes[v].tasks,
-            "node {} declared {} tasks but launched {}",
-            dag.nodes[v].label, dag.nodes[v].tasks, tasks
-        );
-        if !dag.nodes[v].deps.is_empty() {
-            let deps: Vec<&str> = dag.nodes[v]
-                .deps
-                .iter()
-                .map(|e| dag.nodes[e.from].label.as_str())
-                .collect();
-            env.annotate_job_span(handle.id, "deps", &deps.join(","));
-        }
-        // Publish the fan-in metadata so decentralized pools can fire
-        // continuations without the scheduler in the loop (no-op for
-        // other recovery modes).
-        for e in &dag.nodes[v].deps {
-            env.register_continuation(
-                live[e.from].handle.id,
-                handle.id,
-                e.fan_in,
-                dag.nodes[e.from].tasks,
-                dag.nodes[v].tasks,
-            );
-        }
-        live.push(Live {
-            handle,
-            stats: NodeStats {
-                label: dag.nodes[v].label.clone(),
-                group: dag.nodes[v].group,
-                tasks,
-                launched_at,
-                finished_at: launched_at,
-                released_at: vec![SimTime::ZERO; tasks],
-                done_at: vec![SimTime::ZERO; tasks],
-            },
-            done: vec![false; tasks],
-            released: vec![false; tasks],
-            complete: false,
-        });
-    }
-
-    // Release pass + pump loop. The release scan is deterministic:
-    // nodes in topological order, tasks in index order.
-    release_ready(env, &dag, &mut live);
-    while live.iter().any(|l| !l.complete) {
-        match env.pump() {
-            EnvEvent::Progress | EnvEvent::Timer(_) => {}
-            EnvEvent::Drained => {
-                let stuck: Vec<&str> = live
-                    .iter()
-                    .filter(|l| !l.complete)
-                    .map(|l| l.stats.label.as_str())
-                    .collect();
-                return Err(ExecError::Stalled(format!(
-                    "simulation drained with DAG nodes unfinished: {}",
-                    stuck.join(", ")
-                )));
-            }
-        }
-        observe_progress(env, &dag, &mut live, &mut open)?;
-        release_ready(env, &dag, &mut live);
-    }
-    Ok(DagStats {
-        nodes: live.into_iter().map(|l| l.stats).collect(),
-    })
-}
-
-/// Stamps newly-observed task completions and finished jobs.
-fn observe_progress<C>(
-    env: &mut CloudEnv,
-    dag: &Dag<C>,
-    live: &mut [Live],
-    open: &mut [SpanId],
-) -> Result<(), ExecError> {
-    let now = env.now();
-    for (v, l) in live.iter_mut().enumerate() {
-        if l.complete {
-            continue;
-        }
-        if l.handle.done_tasks(env) > l.done.iter().filter(|d| **d).count() {
-            for t in 0..l.stats.tasks {
-                if !l.done[t] && l.handle.task_done(env, t) {
-                    l.done[t] = true;
-                    l.stats.done_at[t] = now;
-                }
-            }
-        }
-        if l.handle.is_finished(env) {
-            let result = env
-                .try_job_result(l.handle.id)
-                .expect("finished job yields a result");
-            l.complete = true;
-            l.stats.finished_at = now;
-            maybe_end_group_span(env, dag, v, open);
-            result?;
-            // A failed job short-circuits the whole DAG; spans of other
-            // open groups are abandoned, matching barrier-mode failure.
-        }
-    }
-    Ok(())
-}
-
-/// Releases every gated task whose dependencies are now satisfied.
-fn release_ready<C>(env: &mut CloudEnv, dag: &Dag<C>, live: &mut [Live]) {
-    let now = env.now();
-    for v in 0..live.len() {
-        if live[v].complete {
-            continue;
-        }
-        for t in 0..live[v].stats.tasks {
-            if live[v].released[t] {
-                continue;
-            }
-            let ready = dag.nodes[v].deps.iter().all(|e| {
-                dag.dep_range(v, t, e).all(|u| live[e.from].done[u])
-            });
-            if !ready {
-                continue;
-            }
-            live[v].released[t] = true;
-            live[v].stats.released_at[t] = now;
-            live[v].handle.release_task(env, t);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! The DAG scheduler as straight-line `await` code on the
 //! deterministic async kernel ([`simkernel::aio`]).
 //!
-//! [`run_dag_async`] executes the same [`Dag`] as [`crate::run_dag`],
-//! but the scheduling logic lives in futures instead of hand-rolled
-//! pump loops:
+//! [`run_dag_async`] is the workspace's one DAG driver (it replaced a
+//! hand-rolled pump/poll loop that was kept as an equivalence oracle
+//! until the async default had shipped): the scheduling logic lives in
+//! futures instead of pump loops:
 //!
 //! * **Barrier mode** is one driver task: launch a node, `await` its
 //!   completion, move to the next — the callback-free shape of the
@@ -16,11 +17,10 @@
 //! the epoch notifiers; tasks then run in ascending spawn order — the
 //! kernel's `(SimTime, spawn_seq)` wakeup rule. Because node tasks are
 //! spawned in topological order and every dependency edge points at an
-//! earlier node, each epoch replays the legacy scheduler's
-//! observe-then-release scan exactly: same env call sequence, same
-//! span-id allocation order, byte-identical tables, traces and billing
-//! (asserted by `tests/equivalence.rs` across engines, scenarios and
-//! modes).
+//! earlier node, each epoch runs a deterministic observe-then-release
+//! scan: same env call sequence, same span-id allocation order,
+//! byte-identical tables, traces and billing across repeat runs
+//! (asserted by `tests/equivalence.rs` across scenarios and modes).
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -36,16 +36,27 @@ use crate::env::{CloudEnv, EnvEvent};
 use crate::error::ExecError;
 use crate::executor::JobHandle;
 
-/// Executes the graph on the async kernel. Behaviourally identical to
-/// [`crate::run_dag`] — same env call sequence, same stats, same trace
-/// bytes — but takes ownership of the environment and driver context
-/// (futures need `'static` captures) and hands them back alongside the
-/// result.
+/// Executes the graph. Consumes the DAG (launch closures are `FnMut`
+/// run once each) and takes ownership of the environment and driver
+/// context (futures need `'static` captures), handing them back
+/// alongside the result.
+///
+/// In [`ExecutionMode::Barrier`] nodes run strictly one after another —
+/// the degenerate DAG — reproducing the classic stage-chained executor
+/// byte-for-byte (identical storage/compute call sequence, so golden
+/// traces are unchanged). In [`ExecutionMode::Pipelined`] all nodes
+/// submit up front gated and tasks are released as their dependencies
+/// complete.
+///
+/// When tracing is enabled, each group opens a `stage` span covering
+/// its nodes; in pipelined mode each job span additionally carries a
+/// `deps` attribute naming its upstream nodes (spans parented on DAG
+/// edges).
 ///
 /// # Errors
 ///
 /// The returned result propagates the first node failure or a drained
-/// (stalled) world, exactly like the legacy driver.
+/// (stalled) world.
 pub fn run_dag_async<C: 'static>(
     env: CloudEnv,
     ctx: C,

@@ -59,7 +59,7 @@ pub mod task;
 
 pub use cloudobject::CloudObjectRef;
 pub use config::{ExecMode, ExecutorConfig, StandaloneConfig};
-pub use dag::{fan_in_range, run_dag, Dag, DagNode, DagStats, Edge, ExecutionMode, FanIn, NodeStats};
+pub use dag::{fan_in_range, Dag, DagNode, DagStats, Edge, ExecutionMode, FanIn, NodeStats};
 pub use dag_async::run_dag_async;
 pub use env::{CloudEnv, EnvEvent};
 pub use error::ExecError;

@@ -45,8 +45,8 @@ pub use faults::{FaultKind, FaultLedger, SuppressReason};
 pub use recovery::RecoveryStats;
 pub use report::{
     critical_path, dag_stage_table, fleet_policy_comparison, fleet_tenant_table, plan_comparison,
-    stage_overlaps, CriticalPath, FleetPolicyRow, FleetTenantRow, PaperRow, PlanRow, StageWindow,
-    Table,
+    stage_overlaps, workload_table, CriticalPath, FleetPolicyRow, FleetTenantRow, PaperRow,
+    PlanRow, StageWindow, Table, WorkloadRow,
 };
 pub use stats::Summary;
 pub use timeline::{StageSpan, Timeline};

@@ -217,6 +217,94 @@ pub fn plan_comparison(rows: &[PlanRow]) -> String {
     table.to_string()
 }
 
+/// One (workload, plan) measurement for [`workload_table`]. Plain data:
+/// the bench harness fills it from each plan's annotation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadRow {
+    /// Workload name (e.g. `Brain`, `terasort-small`).
+    pub workload: String,
+    /// Stage count of the workload's graph.
+    pub stages: usize,
+    /// Total logical tasks across stages.
+    pub tasks: usize,
+    /// Plan name (e.g. `hybrid-barrier`, `serverless`).
+    pub plan: String,
+    /// Dollars billed.
+    pub cost_usd: f64,
+    /// End-to-end seconds.
+    pub makespan_secs: f64,
+}
+
+/// Renders the per-workload-family comparison: one row per (workload,
+/// plan) cell, with cost and makespan relative to the *first listed
+/// plan of the same workload* (the baseline — conventionally the hybrid
+/// barrier deployment), so wins and reversals read off one column even
+/// when several workloads share the table.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::report::{workload_table, WorkloadRow};
+///
+/// let rows = vec![
+///     WorkloadRow {
+///         workload: "terasort".into(),
+///         stages: 3,
+///         tasks: 60,
+///         plan: "hybrid-barrier".into(),
+///         cost_usd: 1.0,
+///         makespan_secs: 100.0,
+///     },
+///     WorkloadRow {
+///         workload: "terasort".into(),
+///         stages: 3,
+///         tasks: 60,
+///         plan: "hybrid-pipelined".into(),
+///         cost_usd: 1.0,
+///         makespan_secs: 80.0,
+///     },
+/// ];
+/// let text = workload_table(&rows);
+/// assert!(text.contains("0.80x"));
+/// ```
+pub fn workload_table(rows: &[WorkloadRow]) -> String {
+    let mut table = Table::new([
+        "Workload",
+        "Stages",
+        "Tasks",
+        "Plan",
+        "Cost ($)",
+        "Makespan (s)",
+        "vs baseline cost",
+        "vs baseline time",
+    ]);
+    let mut baseline: Option<&WorkloadRow> = None;
+    for r in rows {
+        if baseline.is_none_or(|b| b.workload != r.workload) {
+            baseline = Some(r);
+        }
+        let base = baseline.expect("set above");
+        let rel = |v: f64, b: f64| {
+            if b > 0.0 {
+                format!("{:.2}x", v / b)
+            } else {
+                "-".to_owned()
+            }
+        };
+        table.row([
+            r.workload.clone(),
+            r.stages.to_string(),
+            r.tasks.to_string(),
+            r.plan.clone(),
+            format!("{:.4}", r.cost_usd),
+            format!("{:.2}", r.makespan_secs),
+            rel(r.cost_usd, base.cost_usd),
+            rel(r.makespan_secs, base.makespan_secs),
+        ]);
+    }
+    table.to_string()
+}
+
 /// One traffic policy's fleet-wide outcome, for
 /// [`fleet_policy_comparison`]. Plain data: the fleet simulator fills it
 /// from its per-policy cells.

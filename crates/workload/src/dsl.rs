@@ -1,0 +1,307 @@
+//! The line-oriented workload text format.
+//!
+//! One declaration per line; `#` starts a comment; blank lines are
+//! ignored. The canonical form [`emit`] produces round-trips exactly:
+//! `parse(emit(w)) == w` for any valid workload, and
+//! `emit(parse(text)) == text` for canonical text (floats print via
+//! Rust's shortest-round-trip `Display`, so no precision is lost).
+//!
+//! ```text
+//! workload terasort-small
+//! stage gen tasks=10 cpu_secs=1.5 read_mb=0 write_mb=512 stateless read_spread=16 write_spread=16
+//! stage sort tasks=25 cpu_secs=10.24 read_mb=0 write_mb=0 stateful exchange_gb=5
+//! stage validate tasks=10 cpu_secs=1 read_mb=512 write_mb=1 stateless read_spread=16 write_spread=16
+//! edge sort <- gen all-to-all
+//! edge validate <- sort one-to-one
+//! ```
+//!
+//! Grammar, one declaration per line:
+//!
+//! - `workload <name>` — exactly once, first declaration.
+//! - `stage <name> tasks=<n> cpu_secs=<f> read_mb=<f> write_mb=<f>`
+//!   followed by either `stateless read_spread=<n> write_spread=<n>`
+//!   or `stateful exchange_gb=<f>`.
+//! - `edge <to> <- <from> one-to-one|all-to-all` — stages referenced
+//!   by name, declared before use.
+
+use std::fmt;
+
+use serverful::FanIn;
+
+use crate::spec::{Stage, StageEdge, StageKind, ValidateError, Workload};
+
+/// Why a workload text failed to load: a syntax error at a line, or a
+/// well-formed description that fails [`Workload::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslError {
+    /// The text is not well-formed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The text parsed but describes an unschedulable workload.
+    Invalid(ValidateError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Parse { line, message } => {
+                write!(f, "workload DSL line {line}: {message}")
+            }
+            DslError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<ValidateError> for DslError {
+    fn from(e: ValidateError) -> Self {
+        DslError::Invalid(e)
+    }
+}
+
+fn fan_name(f: FanIn) -> &'static str {
+    match f {
+        FanIn::OneToOne => "one-to-one",
+        FanIn::AllToAll => "all-to-all",
+    }
+}
+
+/// Renders a workload in the canonical text form: the `workload`
+/// header, every stage in order, then every edge in downstream order.
+pub fn emit(w: &Workload) -> String {
+    let mut out = format!("workload {}\n", w.name);
+    for s in &w.stages {
+        out.push_str(&format!(
+            "stage {} tasks={} cpu_secs={} read_mb={} write_mb={}",
+            s.name, s.tasks, s.cpu_secs_per_task, s.read_mb_per_task, s.write_mb_per_task
+        ));
+        match s.kind {
+            StageKind::Stateless { read_spread, write_spread } => out.push_str(&format!(
+                " stateless read_spread={read_spread} write_spread={write_spread}\n"
+            )),
+            StageKind::Stateful { exchange_gb } => {
+                out.push_str(&format!(" stateful exchange_gb={exchange_gb}\n"))
+            }
+        }
+    }
+    for (to, deps) in w.edges.iter().enumerate() {
+        for e in deps {
+            out.push_str(&format!(
+                "edge {} <- {} {}\n",
+                w.stages[to].name,
+                w.stages[e.from].name,
+                fan_name(e.fan_in)
+            ));
+        }
+    }
+    out
+}
+
+struct Line<'a> {
+    no: usize,
+    tokens: Vec<&'a str>,
+}
+
+impl Line<'_> {
+    fn err(&self, message: impl Into<String>) -> DslError {
+        DslError::Parse { line: self.no, message: message.into() }
+    }
+
+    /// Consumes `key=<value>` from token position `i`.
+    fn kv<T: std::str::FromStr>(&self, i: usize, key: &str) -> Result<T, DslError> {
+        let tok = self
+            .tokens
+            .get(i)
+            .ok_or_else(|| self.err(format!("missing `{key}=<value>`")))?;
+        let val = tok
+            .strip_prefix(key)
+            .and_then(|r| r.strip_prefix('='))
+            .ok_or_else(|| self.err(format!("expected `{key}=<value>`, got `{tok}`")))?;
+        val.parse()
+            .map_err(|_| self.err(format!("`{key}` value `{val}` does not parse")))
+    }
+}
+
+/// Parses (and validates) a workload from its text form.
+pub fn parse(text: &str) -> Result<Workload, DslError> {
+    let mut name: Option<String> = None;
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut edges: Vec<Vec<StageEdge>> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let body = raw.split('#').next().unwrap_or("");
+        let tokens: Vec<&str> = body.split_whitespace().collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        let line = Line { no: idx + 1, tokens };
+        match line.tokens[0] {
+            "workload" => {
+                if name.is_some() {
+                    return Err(line.err("duplicate `workload` header"));
+                }
+                if line.tokens.len() != 2 {
+                    return Err(line.err("expected `workload <name>`"));
+                }
+                name = Some(line.tokens[1].to_owned());
+            }
+            "stage" => {
+                if name.is_none() {
+                    return Err(line.err("`workload <name>` header must come first"));
+                }
+                if line.tokens.len() < 7 {
+                    return Err(line.err(
+                        "expected `stage <name> tasks= cpu_secs= read_mb= write_mb= stateless|stateful ...`",
+                    ));
+                }
+                let sname = line.tokens[1].to_owned();
+                let tasks: usize = line.kv(2, "tasks")?;
+                let cpu_secs_per_task: f64 = line.kv(3, "cpu_secs")?;
+                let read_mb_per_task: f64 = line.kv(4, "read_mb")?;
+                let write_mb_per_task: f64 = line.kv(5, "write_mb")?;
+                let kind = match line.tokens[6] {
+                    "stateless" => StageKind::Stateless {
+                        read_spread: line.kv(7, "read_spread")?,
+                        write_spread: line.kv(8, "write_spread")?,
+                    },
+                    "stateful" => StageKind::Stateful {
+                        exchange_gb: line.kv(7, "exchange_gb")?,
+                    },
+                    other => {
+                        return Err(
+                            line.err(format!("expected `stateless` or `stateful`, got `{other}`"))
+                        )
+                    }
+                };
+                let expected = match kind {
+                    StageKind::Stateless { .. } => 9,
+                    StageKind::Stateful { .. } => 8,
+                };
+                if line.tokens.len() != expected {
+                    return Err(line.err("trailing tokens after stage declaration"));
+                }
+                stages.push(Stage {
+                    name: sname,
+                    tasks,
+                    cpu_secs_per_task,
+                    read_mb_per_task,
+                    write_mb_per_task,
+                    kind,
+                });
+                edges.push(Vec::new());
+            }
+            "edge" => {
+                if line.tokens.len() != 5 || line.tokens[2] != "<-" {
+                    return Err(line.err("expected `edge <to> <- <from> one-to-one|all-to-all`"));
+                }
+                let resolve = |n: &str| {
+                    stages
+                        .iter()
+                        .position(|s| s.name == n)
+                        .ok_or_else(|| line.err(format!("unknown stage `{n}`")))
+                };
+                let to = resolve(line.tokens[1])?;
+                let from = resolve(line.tokens[3])?;
+                let fan_in = match line.tokens[4] {
+                    "one-to-one" => FanIn::OneToOne,
+                    "all-to-all" => FanIn::AllToAll,
+                    other => {
+                        return Err(line.err(format!(
+                            "expected `one-to-one` or `all-to-all`, got `{other}`"
+                        )))
+                    }
+                };
+                edges[to].push(StageEdge { from, fan_in });
+            }
+            other => return Err(line.err(format!("unknown declaration `{other}`"))),
+        }
+    }
+
+    let name = name.ok_or(DslError::Parse {
+        line: text.lines().count().max(1),
+        message: "missing `workload <name>` header".into(),
+    })?;
+    let w = Workload { name, stages, edges };
+    w.validate()?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANONICAL: &str = "\
+workload terasort-toy
+stage gen tasks=4 cpu_secs=1.5 read_mb=0 write_mb=512 stateless read_spread=16 write_spread=16
+stage sort tasks=4 cpu_secs=10.24 read_mb=0 write_mb=0 stateful exchange_gb=5
+stage validate tasks=4 cpu_secs=1 read_mb=512 write_mb=1 stateless read_spread=16 write_spread=16
+edge sort <- gen all-to-all
+edge validate <- sort one-to-one
+";
+
+    #[test]
+    fn canonical_text_round_trips_exactly() {
+        let w = parse(CANONICAL).unwrap();
+        assert_eq!(emit(&w), CANONICAL);
+        assert_eq!(parse(&emit(&w)).unwrap(), w);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let noisy = format!("# a comment\n\n{CANONICAL}\n# trailing note\n");
+        assert_eq!(parse(&noisy).unwrap(), parse(CANONICAL).unwrap());
+        let inline = CANONICAL.replace("workload terasort-toy", "workload terasort-toy # the name");
+        assert_eq!(parse(&inline).unwrap(), parse(CANONICAL).unwrap());
+    }
+
+    #[test]
+    fn float_precision_survives_the_round_trip() {
+        // A value with no short decimal representation must re-parse to
+        // the identical bits (Rust Display is shortest-round-trip).
+        let mut w = parse(CANONICAL).unwrap();
+        w.stages[0].cpu_secs_per_task = 0.1 + 0.2; // 0.30000000000000004
+        let back = parse(&emit(&w)).unwrap();
+        assert_eq!(
+            back.stages[0].cpu_secs_per_task.to_bits(),
+            w.stages[0].cpu_secs_per_task.to_bits()
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = CANONICAL.replace("edge sort <- gen all-to-all", "edge sort <- gen sideways");
+        match parse(&bad).unwrap_err() {
+            DslError::Parse { line, message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("sideways"), "{message}");
+            }
+            e => panic!("expected parse error, got {e}"),
+        }
+    }
+
+    #[test]
+    fn unknown_stage_reference_is_an_error() {
+        let bad = CANONICAL.replace("edge sort <- gen", "edge sort <- ghost");
+        assert!(matches!(parse(&bad).unwrap_err(), DslError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let e = parse("stage a tasks=1 cpu_secs=1 read_mb=0 write_mb=0 stateful exchange_gb=1\n")
+            .unwrap_err();
+        assert!(matches!(e, DslError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn forward_edge_fails_validation() {
+        // `validate` is declared after `sort`, so an edge sort <- validate
+        // parses but is rejected as non-topological.
+        let bad = CANONICAL.replace("edge validate <- sort", "edge sort <- validate");
+        assert!(matches!(parse(&bad).unwrap_err(), DslError::Invalid(_)));
+    }
+}

@@ -95,6 +95,26 @@ diff /tmp/dag_a.txt /tmp/dag_b.txt \
 grep -q "verdict: pipelined beats barrier at equal-or-lower cost: yes" /tmp/dag_a.txt \
     || { echo "pipelined scheduling lost to the barrier" >&2; exit 1; }
 
+echo "== workload smoke gate (every bundled workload, seeded, twice) =="
+# Every bundled workload description must parse, validate, emit
+# canonically, run one seeded smoke cell deterministically, and print
+# its two verdict lines. The DSL round trip itself is asserted here at
+# the CLI level: emit must be a fixed point.
+./target/release/repro workload --list > /tmp/workload_names.txt
+[[ "$(wc -l < /tmp/workload_names.txt)" -ge 8 ]] \
+    || { echo "workload catalog lost entries" >&2; exit 1; }
+while read -r wl; do
+    ./target/release/repro workload "$wl" --dsl > /tmp/wl_dsl.txt
+    grep -q "^workload " /tmp/wl_dsl.txt \
+        || { echo "workload $wl: DSL emission broken" >&2; exit 1; }
+    ./target/release/repro workload "$wl" --smoke --seed 42 > /tmp/wl_a.txt
+    ./target/release/repro workload "$wl" --smoke --seed 42 > /tmp/wl_b.txt
+    diff /tmp/wl_a.txt /tmp/wl_b.txt \
+        || { echo "workload $wl drifts across runs" >&2; exit 1; }
+    [[ "$(grep -c "^verdict: $wl:" /tmp/wl_a.txt)" -eq 2 ]] \
+        || { echo "workload $wl: missing verdict lines" >&2; exit 1; }
+done < <(sed 's/metaspace-brain/Brain/;s/metaspace-xenograft/Xenograft/;s/metaspace-x089/X089/' /tmp/workload_names.txt)
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="
     cargo test --workspace --release -q

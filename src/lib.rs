@@ -20,3 +20,4 @@ pub use serverful;
 pub use shuffle;
 pub use simkernel;
 pub use telemetry;
+pub use workload;

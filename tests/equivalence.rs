@@ -1,10 +1,11 @@
-//! Cross-executor equivalence: the legacy polling DAG driver
-//! ([`serverful::run_dag`]) and the async-kernel driver
-//! ([`serverful::run_dag_async`]) must be *byte-identical* — same
-//! report tables, same span traces (down to span-id allocation order),
-//! same billing — on the paper's three workflows in both execution
-//! modes. This is the contract that lets the async kernel replace the
-//! pump loops without touching a single golden.
+//! Executor determinism: the async-kernel DAG driver
+//! ([`serverful::run_dag_async`]) is the workspace's only engine, so
+//! the contract the deleted legacy pump loop used to witness is now
+//! stated directly — repeat runs of the same (workload, plan, mode,
+//! seed) cell must be *byte-identical*: same report tables, same span
+//! traces (down to span-id allocation order), same billing bits. This
+//! is what lets goldens, chaos replays and CI double-runs mean
+//! anything.
 //!
 //! Debug builds run the smoke-scaled graphs (same shape, ~2% volume);
 //! the full paper-scale sweep is release-gated like the other
@@ -12,148 +13,163 @@
 
 use serverful_repro::cloudsim::CloudConfig;
 use serverful_repro::metaspace::{
-    self, jobs::JobSpec, plan::PlanKind, DagEngine, DeploymentPlan, FunctionsPlan,
+    self, jobs::JobSpec, plan::PlanKind, workloads, DeploymentPlan, FunctionsPlan,
 };
 use serverful_repro::serverful::ExecutionMode;
 
-/// Runs one (spec, plan, mode) cell under both engines with tracing on
-/// and asserts the outputs match byte for byte.
-fn assert_engines_match(spec: &JobSpec, mode: ExecutionMode, smoke: bool, seed: u64) {
+/// Re-keys a hybrid/serverless base plan to the requested execution
+/// mode.
+fn with_mode(base: DeploymentPlan, mode: ExecutionMode) -> DeploymentPlan {
+    let PlanKind::Functions(f) = &base.kind else {
+        unreachable!("functions plan expected")
+    };
+    DeploymentPlan::functions(
+        format!("{}-{mode}", base.name),
+        FunctionsPlan {
+            execution: mode,
+            ..f.clone()
+        },
+    )
+}
+
+/// Runs one (spec, mode) hybrid cell twice with tracing on and asserts
+/// the two runs match byte for byte.
+fn assert_repeat_identical(spec: &JobSpec, mode: ExecutionMode, smoke: bool, seed: u64) {
     let stages = if smoke {
         metaspace::pipeline::scaled_stages(spec, 0.02)
     } else {
         metaspace::pipeline::stages(spec)
     };
-    let base = DeploymentPlan::hybrid(&stages);
-    let PlanKind::Functions(f) = &base.kind else {
-        unreachable!("hybrid is a functions plan")
+    let plan = with_mode(DeploymentPlan::hybrid(&stages), mode);
+    let run = || {
+        metaspace::run_plan_stages(spec.name, &stages, &plan, seed, CloudConfig::default(), true)
+            .unwrap_or_else(|e| panic!("{} {mode}: {e}", spec.name))
     };
-    let plan = DeploymentPlan::functions(
-        format!("hybrid-{mode}"),
-        FunctionsPlan {
-            execution: mode,
-            ..f.clone()
-        },
-    );
-    let run = |engine: DagEngine| {
-        metaspace::run_plan_stages_with_engine(
-            spec.name,
-            &stages,
-            &plan,
-            seed,
-            CloudConfig::default(),
-            true,
-            engine,
-        )
-        .unwrap_or_else(|e| panic!("{} {mode} {engine}: {e}", spec.name))
-    };
-    let (legacy_report, legacy_trace) = run(DagEngine::Legacy);
-    let (async_report, async_trace) = run(DagEngine::Async);
+    let (first_report, first_trace) = run();
+    let (second_report, second_trace) = run();
 
     let ctx = format!("{} {mode}", spec.name);
     assert_eq!(
-        format!("{legacy_report:?}"),
-        format!("{async_report:?}"),
-        "{ctx}: report tables diverged between engines"
+        format!("{first_report:?}"),
+        format!("{second_report:?}"),
+        "{ctx}: report tables diverged between repeat runs"
     );
     assert_eq!(
-        legacy_report.cost_usd.to_bits(),
-        async_report.cost_usd.to_bits(),
-        "{ctx}: billing diverged between engines"
+        first_report.cost_usd.to_bits(),
+        second_report.cost_usd.to_bits(),
+        "{ctx}: billing diverged between repeat runs"
     );
-    let lt = legacy_trace.expect("trace requested");
-    let at = async_trace.expect("trace requested");
+    let ft = first_trace.expect("trace requested");
+    let st = second_trace.expect("trace requested");
     assert_eq!(
-        lt.chrome_json, at.chrome_json,
-        "{ctx}: span traces diverged between engines"
+        ft.chrome_json, st.chrome_json,
+        "{ctx}: span traces diverged between repeat runs"
     );
     assert_eq!(
-        lt.summary, at.summary,
-        "{ctx}: trace summaries diverged between engines"
+        ft.summary, st.summary,
+        "{ctx}: trace summaries diverged between repeat runs"
     );
 }
 
 #[test]
-fn engines_match_smoke_brain_barrier() {
-    assert_engines_match(&metaspace::jobs::brain(), ExecutionMode::Barrier, true, 42);
+fn repeat_runs_match_smoke_brain_barrier() {
+    assert_repeat_identical(&metaspace::jobs::brain(), ExecutionMode::Barrier, true, 42);
 }
 
 #[test]
-fn engines_match_smoke_brain_pipelined() {
-    assert_engines_match(&metaspace::jobs::brain(), ExecutionMode::Pipelined, true, 42);
+fn repeat_runs_match_smoke_brain_pipelined() {
+    assert_repeat_identical(&metaspace::jobs::brain(), ExecutionMode::Pipelined, true, 42);
 }
 
 #[test]
-fn engines_match_smoke_xenograft_barrier() {
-    assert_engines_match(&metaspace::jobs::xenograft(), ExecutionMode::Barrier, true, 42);
+fn repeat_runs_match_smoke_xenograft_barrier() {
+    assert_repeat_identical(&metaspace::jobs::xenograft(), ExecutionMode::Barrier, true, 42);
 }
 
 #[test]
-fn engines_match_smoke_xenograft_pipelined() {
-    assert_engines_match(&metaspace::jobs::xenograft(), ExecutionMode::Pipelined, true, 42);
+fn repeat_runs_match_smoke_xenograft_pipelined() {
+    assert_repeat_identical(&metaspace::jobs::xenograft(), ExecutionMode::Pipelined, true, 42);
 }
 
 #[test]
-fn engines_match_smoke_x089_barrier() {
-    assert_engines_match(&metaspace::jobs::x089(), ExecutionMode::Barrier, true, 42);
+fn repeat_runs_match_smoke_x089_barrier() {
+    assert_repeat_identical(&metaspace::jobs::x089(), ExecutionMode::Barrier, true, 42);
 }
 
 #[test]
-fn engines_match_smoke_x089_pipelined() {
-    assert_engines_match(&metaspace::jobs::x089(), ExecutionMode::Pipelined, true, 42);
+fn repeat_runs_match_smoke_x089_pipelined() {
+    assert_repeat_identical(&metaspace::jobs::x089(), ExecutionMode::Pipelined, true, 42);
 }
 
-/// Engines must also agree on a pure-serverless plan (no warm VM pool,
-/// scatter/gather lowering for stateful stages) and across seeds.
+/// Determinism must also hold on a pure-serverless plan (no warm VM
+/// pool, scatter/gather lowering for stateful stages) and across seeds
+/// — and a different seed must actually perturb the trace, or the
+/// repeat-run assertions above are vacuous.
 #[test]
-fn engines_match_smoke_serverless_plans_and_seeds() {
-    for seed in [1, 42] {
-        for mode in [ExecutionMode::Barrier, ExecutionMode::Pipelined] {
-            let spec = metaspace::jobs::brain();
-            let stages = metaspace::pipeline::scaled_stages(&spec, 0.02);
-            let base = DeploymentPlan::serverless(&stages);
-            let PlanKind::Functions(f) = &base.kind else {
-                unreachable!("serverless is a functions plan")
-            };
-            let plan = DeploymentPlan::functions(
-                format!("serverless-{mode}"),
-                FunctionsPlan {
-                    execution: mode,
-                    ..f.clone()
-                },
-            );
-            let run = |engine: DagEngine| {
-                metaspace::run_plan_stages_with_engine(
-                    spec.name,
-                    &stages,
-                    &plan,
-                    seed,
-                    CloudConfig::default(),
-                    true,
-                    engine,
-                )
-                .expect("serverless smoke run completes")
-            };
-            let (lr, lt) = run(DagEngine::Legacy);
-            let (ar, at) = run(DagEngine::Async);
-            assert_eq!(format!("{lr:?}"), format!("{ar:?}"), "seed {seed} {mode}");
-            assert_eq!(
-                lt.expect("traced").chrome_json,
-                at.expect("traced").chrome_json,
-                "seed {seed} {mode}"
-            );
+fn repeat_runs_match_smoke_serverless_plans_and_seeds() {
+    for mode in [ExecutionMode::Barrier, ExecutionMode::Pipelined] {
+        let spec = metaspace::jobs::brain();
+        let stages = metaspace::pipeline::scaled_stages(&spec, 0.02);
+        let plan = with_mode(DeploymentPlan::serverless(&stages), mode);
+        let run = |seed: u64| {
+            metaspace::run_plan_stages(
+                spec.name,
+                &stages,
+                &plan,
+                seed,
+                CloudConfig::default(),
+                true,
+            )
+            .expect("serverless smoke run completes")
+        };
+        let mut traces = Vec::new();
+        for seed in [1, 42] {
+            let (r1, t1) = run(seed);
+            let (r2, t2) = run(seed);
+            assert_eq!(format!("{r1:?}"), format!("{r2:?}"), "seed {seed} {mode}");
+            let t1 = t1.expect("traced").chrome_json;
+            assert_eq!(t1, t2.expect("traced").chrome_json, "seed {seed} {mode}");
+            traces.push(t1);
         }
+        assert_ne!(
+            traces[0], traces[1],
+            "{mode}: different seeds should perturb the measured run"
+        );
     }
 }
 
-/// Paper-scale equivalence across the full golden-suite seeds — the
-/// gate the legacy path must keep passing until it is deleted.
+/// Every bundled workload — METASPACE jobs and the DSL families alike —
+/// replays byte-identically through [`metaspace::run_workload`] on its
+/// smoke scale.
+#[test]
+fn repeat_runs_match_every_bundled_workload() {
+    for name in workloads::all_names() {
+        let w = workloads::named(&name).expect("bundled name resolves");
+        let w = w.scaled(0.02);
+        let plan = with_mode(DeploymentPlan::hybrid(&w.stages), ExecutionMode::Pipelined);
+        let run = || {
+            metaspace::run_workload(&w, &plan, 42, CloudConfig::default(), true)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+        };
+        let (r1, t1) = run();
+        let (r2, t2) = run();
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"), "{name}: reports diverged");
+        assert_eq!(
+            t1.expect("traced").chrome_json,
+            t2.expect("traced").chrome_json,
+            "{name}: traces diverged"
+        );
+    }
+}
+
+/// Paper-scale repeat determinism across the full job × mode matrix —
+/// the release gate the smoke cells preview.
 #[test]
 #[cfg_attr(debug_assertions, ignore = "paper-scale run; use --release")]
-fn engines_match_paper_scale_all_specs_and_modes() {
+fn repeat_runs_match_paper_scale_all_specs_and_modes() {
     for spec in metaspace::jobs::all() {
         for mode in [ExecutionMode::Barrier, ExecutionMode::Pipelined] {
-            assert_engines_match(&spec, mode, false, 42);
+            assert_repeat_identical(&spec, mode, false, 42);
         }
     }
 }

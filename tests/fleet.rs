@@ -1,7 +1,7 @@
 //! Fleet-level integration tests: determinism of the multi-tenant
 //! traffic simulator and the issue's headline economics claim.
 
-use serverful_repro::fleet::{report, run_policy, run_scenario, Policy, Scenario};
+use serverful_repro::fleet::{report, run_policy, run_scenario, Policy, Scenario, TenantSpec};
 
 /// Same seed, same scenario, any thread count, run twice: the rendered
 /// report must be byte-identical. This is the library-level twin of the
@@ -46,6 +46,31 @@ fn all_policies_replay_identical_traffic() {
     };
     assert_eq!(names(0), names(1));
     assert_eq!(names(0), names(2));
+}
+
+/// Tenants are not limited to METASPACE jobs: a DSL workload family
+/// (terasort) joins the smoke traffic mix — dependency-driven, so its
+/// declared one-to-one edge is exercised — and the region stays
+/// byte-deterministic.
+#[test]
+fn dsl_family_tenants_share_the_region_deterministically() {
+    let mut sc = Scenario::smoke();
+    sc.name = "smoke+terasort".to_owned();
+    sc.pipelined = true;
+    sc.tenants.push(TenantSpec {
+        name: "sorters".to_owned(),
+        job: "terasort-small".to_owned(),
+        weight: 2.0,
+        scale: 0.05,
+    });
+    let a = run_scenario(&sc, 42, 2).expect("mixed-family traffic completes");
+    let b = run_scenario(&sc, 42, 2).expect("mixed-family traffic completes");
+    let text = report::render(&a);
+    assert_eq!(text, report::render(&b), "repeat runs must not drift");
+    assert!(
+        a.policies[0].jobs.iter().any(|j| j.name.starts_with("sorters#")),
+        "the terasort tenant never submitted a job"
+    );
 }
 
 /// The smoke scenario's quota is sized so pure serverless actually

@@ -567,7 +567,8 @@ fn run_recovery_case(
     kill_at: Option<u64>,
 ) -> Result<(u64, u64), serverful_repro::serverful::ExecError> {
     use serverful_repro::serverful::{
-        Backend, CloudEnv, ExecMode, ExecutionMode, ExecutorConfig, FunctionExecutor, run_dag,
+        run_dag_async, Backend, CloudEnv, ExecMode, ExecutionMode, ExecutorConfig,
+        FunctionExecutor,
     };
     let mut env = CloudEnv::new_default(seed);
     let mut cfg = ExecutorConfig::default();
@@ -583,9 +584,10 @@ fn run_recovery_case(
     if let Some(at) = kill_at {
         env.arm_master_kill(0, at);
     }
-    let mut ctx = RecCtx { exec };
+    let ctx = RecCtx { exec };
     let dag = build_recovery_dag(spec);
-    run_dag(&mut env, &mut ctx, dag, ExecutionMode::Pipelined)?;
+    let (env, _ctx, result) = run_dag_async(env, ctx, dag, ExecutionMode::Pipelined);
+    result?;
     assert_eq!(
         env.pending_master_kills(),
         0,

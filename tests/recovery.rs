@@ -21,8 +21,7 @@
 
 use serverful_repro::cloudsim::CloudConfig;
 use serverful_repro::metaspace::{
-    self, jobs::JobSpec, plan::PlanKind, ChaosReport, DagEngine, DeploymentPlan, FunctionsPlan,
-    Stage,
+    self, jobs::JobSpec, plan::PlanKind, ChaosReport, DeploymentPlan, FunctionsPlan, Stage,
 };
 use serverful_repro::serverful::{ExecError, ExecutionMode, RecoveryMode};
 use serverful_repro::simkernel::SimRng;
@@ -58,15 +57,7 @@ fn run_cell(
     plan: &DeploymentPlan,
     kills: &[u64],
 ) -> Result<(metaspace::AnnotationReport, ChaosReport), ExecError> {
-    metaspace::run_plan_stages_chaos(
-        spec.name,
-        stages,
-        plan,
-        SEED,
-        CloudConfig::default(),
-        DagEngine::default(),
-        kills,
-    )
+    metaspace::run_plan_stages_chaos(spec.name, stages, plan, SEED, CloudConfig::default(), kills)
 }
 
 /// Runs one matrix cell: fault-free baseline, then a seeded master
