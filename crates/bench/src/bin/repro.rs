@@ -4,11 +4,12 @@
 //! ```text
 //! repro [table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|ablations|all] [seed]
 //! repro trace <job> [--arch serverless|hybrid|spark] [--seed N]
-//! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]
+//! repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke|--providers]
 //! repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]
 //! repro dag <job> [--seed N] [--smoke]
-//! repro workload <name|all> [--seed N] [--smoke] [--dsl]
+//! repro workload <name|all|path/to.wl> [--seed N] [--smoke] [--dsl]
 //! repro workload --list
+//! repro providers
 //! ```
 //!
 //! `trace` writes deterministic Chrome trace-event JSON to stdout (load
@@ -31,14 +32,20 @@
 //! critical path and a greppable verdict line. `--smoke` shrinks the
 //! stage graph for debug-fast CI gates.
 //!
-//! `workload` runs any bundled workload description (METASPACE jobs and
-//! the DSL families alike) under three plans — hybrid barrier, hybrid
-//! pipelined, pure serverless — and prints the declared DAG, the
-//! economics table and two greppable verdict lines per workload.
-//! `workload all` sweeps every bundled workload and closes with a
-//! combined summary table; `--list` prints one name per line (the CI
-//! smoke gate enumerates it); `--dsl` prints the workload's canonical
-//! DSL text instead of running it.
+//! `workload` runs any workload description — bundled (METASPACE jobs
+//! and the DSL families alike) or loaded from a `.wl` file on disk —
+//! under three plans: hybrid barrier, hybrid pipelined, pure
+//! serverless; it prints the declared DAG, the economics table and two
+//! greppable verdict lines per workload. `workload all` sweeps every
+//! bundled workload and closes with a combined summary table; `--list`
+//! prints one name per line (the CI smoke gate enumerates it); `--dsl`
+//! prints the workload's canonical DSL text instead of running it.
+//!
+//! `providers` prints the provider/region registry: each region's
+//! catalog size, master instance, FaaS tariff, cold-start shape, quota
+//! defaults and spot market. `plan --providers` sweeps provider ×
+//! region × spot-vs-on-demand as free plan dimensions (region plans
+//! carry `:@{region}` key suffixes, spot plans `:sp`).
 
 use std::env;
 
@@ -77,6 +84,10 @@ fn main() {
     }
     if what == "workload" {
         run_workload_cmd(&args[2..]);
+        return;
+    }
+    if what == "providers" {
+        run_providers();
         return;
     }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
@@ -121,8 +132,9 @@ fn main() {
                 "       repro fleet <scenario> [--arrival-rate R] [--duration S] [--seed N] [--threads N]"
             );
             eprintln!("       repro dag <job> [--seed N] [--smoke]");
-            eprintln!("       repro workload <name|all> [--seed N] [--smoke] [--dsl]");
+            eprintln!("       repro workload <name|all|path/to.wl> [--seed N] [--smoke] [--dsl]");
             eprintln!("       repro workload --list");
+            eprintln!("       repro providers");
             std::process::exit(2);
         }
     }
@@ -161,14 +173,16 @@ fn run_trace(args: &[String]) {
     }
 }
 
-/// `repro plan <job> [--objective O] [--threads N] [--seed N] [--smoke]`:
-/// searches the deployment space and prints the Pareto frontier.
+/// `repro plan <job> [--objective O] [--threads N] [--seed N]
+/// [--smoke|--providers]`: searches the deployment space and prints the
+/// Pareto frontier.
 fn run_plan(args: &[String]) {
     let mut job = None;
     let mut objective = Objective::Pareto;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut seed = 42u64;
     let mut smoke = false;
+    let mut providers = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -185,18 +199,24 @@ fn run_plan(args: &[String]) {
                 None => die("--seed needs an integer"),
             },
             "--smoke" => smoke = true,
+            "--providers" => providers = true,
             other if job.is_none() && !other.starts_with('-') => job = Some(other.to_owned()),
             other => die(&format!("unexpected argument `{other}`")),
         }
     }
     let Some(job) = job else {
-        die("usage: repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke]");
+        die("usage: repro plan <job> [--objective cost|latency|pareto] [--threads N] [--seed N] [--smoke|--providers]");
     };
+    if smoke && providers {
+        die("--smoke and --providers name different search spaces; pick one");
+    }
     let Some(spec) = jobs::by_name(&job) else {
         die(&format!("unknown job `{job}` (expected Brain, Xenograft or X089)"));
     };
     let ev = Evaluator::for_job(&spec, seed);
-    let space = if smoke {
+    let space = if providers {
+        SearchSpace::provider_sweep(&ev.stages)
+    } else if smoke {
         SearchSpace::smoke(&ev.stages)
     } else {
         SearchSpace::standard(&ev.stages)
@@ -335,11 +355,16 @@ fn run_workload_cmd(args: &[String]) {
     };
     let mut all_rows = Vec::new();
     for n in &names {
-        let Some(w) = metaspace::workloads::named(n) else {
-            die(&format!(
-                "unknown workload `{n}` (one of: {})",
-                metaspace::workloads::all_names().join(", ")
-            ));
+        let w = if n.ends_with(".wl") || n.contains('/') {
+            load_workload_file(n)
+        } else {
+            match metaspace::workloads::named(n) {
+                Some(w) => w,
+                None => die(&format!(
+                    "unknown workload `{n}` (one of: {}; or a .wl file path)",
+                    metaspace::workloads::all_names().join(", ")
+                )),
+            }
         };
         if dsl {
             print!("{}", workload::emit(&w));
@@ -357,6 +382,58 @@ fn run_workload_cmd(args: &[String]) {
         heading("All bundled workloads: plan economics side by side");
         print!("{}", telemetry::workload_table(&all_rows));
     }
+}
+
+/// Loads and validates a workload description from a `.wl` file.
+fn load_workload_file(path: &str) -> workload::Workload {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read workload file `{path}`: {err}")),
+    };
+    match workload::parse(&text) {
+        Ok(w) => w,
+        Err(err) => die(&format!("workload file `{path}`: {err}")),
+    }
+}
+
+/// `repro providers`: the provider/region registry and spot markets.
+fn run_providers() {
+    heading("Provider/region registry (cloudsim::providers)");
+    let mut table = Table::new([
+        "Region",
+        "Instances",
+        "Master",
+        "FaaS $/GiB-s",
+        "Cold start p50 (s)",
+        "Lambda quota",
+        "vCPU quota",
+        "Spot disc.",
+        "Preempt p",
+        "Reclaim window (s)",
+    ]);
+    for region in cloudsim::regions() {
+        table.row([
+            region.key(),
+            format!("{}", region.catalog.len()),
+            region.master_instance.to_owned(),
+            format!("{:.9}", region.faas_tariff.usd_per_gib_second),
+            format!("{:.1}", region.cold_start_median),
+            format!("{}", region.quotas.lambda_concurrency),
+            format!("{:.0}", region.quotas.ec2_vcpus),
+            format!("{:.0}%", region.spot.discount * 100.0),
+            format!("{:.2}", region.spot.preemption_prob),
+            format!(
+                "{:.0}-{:.0}",
+                region.spot.preemption_after.0, region.spot.preemption_after.1
+            ),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "(default region: {}; `repro plan <job> --providers` sweeps region x tenancy,",
+        cloudsim::default_region().key()
+    );
+    println!(" `repro fleet spot-storm` / `repro fleet spillover` exercise the markets under traffic)");
 }
 
 fn die(msg: &str) -> ! {

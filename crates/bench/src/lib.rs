@@ -6,6 +6,8 @@
 //! wrap them for `cargo bench`. See EXPERIMENTS.md for the recorded
 //! paper-vs-measured comparison.
 
+#![warn(missing_docs)]
+
 use std::sync::Arc;
 
 use metaspace::{jobs, run_annotation, AnnotationReport, Architecture, JobSpec};

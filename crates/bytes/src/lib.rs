@@ -7,6 +7,8 @@
 //! slicing views. That is exactly the subset the workspace relies on:
 //! payload bodies and object-store contents are created once and shared.
 
+#![warn(missing_docs)]
+
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};

@@ -7,7 +7,7 @@
 //! service takes about two minutes to spin up.
 
 use crate::faults::FaultConfig;
-use crate::pricing::{EmrTariff, LambdaTariff, S3Tariff};
+use crate::pricing::{EmrTariff, InstanceType, LambdaTariff, S3Tariff, CATALOG};
 
 /// Object-storage model parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +102,16 @@ pub struct VmConfig {
     pub terminate_secs: f64,
     /// Minimum billed seconds per instance (AWS bills at least 60 s).
     pub min_billed_secs: f64,
+    /// The region's instance catalog and price list; defaults to the
+    /// paper's us-east-1 catalog ([`crate::pricing::CATALOG`]). Set by
+    /// [`RegionProfile::apply`](crate::provider::RegionProfile::apply)
+    /// when a non-default region is selected.
+    pub catalog: &'static [InstanceType],
+    /// Fractional discount applied to uptime billed for instances
+    /// provisioned as [`Tenancy::Spot`](crate::Tenancy::Spot); see
+    /// [`SpotMarket::discount`](crate::provider::SpotMarket::discount).
+    /// Irrelevant (and never read) for on-demand provisions.
+    pub spot_discount: f64,
 }
 
 impl Default for VmConfig {
@@ -111,7 +121,22 @@ impl Default for VmConfig {
             setup: (2.5, 0.5),
             terminate_secs: 1.5,
             min_billed_secs: 60.0,
+            catalog: CATALOG,
+            spot_discount: 0.65,
         }
+    }
+}
+
+impl VmConfig {
+    /// Looks up an instance type in the configured regional catalog.
+    pub fn instance_type(&self, name: &str) -> Option<&'static InstanceType> {
+        self.catalog.iter().find(|it| it.name == name)
+    }
+
+    /// The uptime price multiplier of a spot instance,
+    /// `1 - spot_discount`, clamped to `[0, 1]`.
+    pub fn spot_price_mult(&self) -> f64 {
+        (1.0 - self.spot_discount).clamp(0.0, 1.0)
     }
 }
 

@@ -60,6 +60,16 @@ pub struct FaultConfig {
     /// Probability that a storage request is throttled with a 503
     /// SlowDown ([`FaultKind::StorageSlowDown`]; not billed).
     pub storage_slowdown_prob: f64,
+    /// Probability that a **spot** VM provision is eventually reclaimed
+    /// by the provider ([`FaultKind::SpotPreemption`]; uptime is billed
+    /// at the spot rate). Drawn only for spot provisions, so on-demand
+    /// runs never consume this stream; set by
+    /// [`RegionProfile::apply`](crate::provider::RegionProfile::apply)
+    /// from the region's [`SpotMarket`](crate::provider::SpotMarket).
+    pub spot_preemption_prob: f64,
+    /// Uniform window, seconds after the spot VM comes up, in which a
+    /// planned preemption fires.
+    pub spot_preemption_after: (f64, f64),
     /// Restricts injection to a virtual-time window `[start, end)` in
     /// seconds; `None` means faults can fire at any time.
     pub window: Option<(f64, f64)>,
@@ -76,6 +86,8 @@ impl Default for FaultConfig {
             vm_loss_after: (5.0, 120.0),
             storage_error_prob: 0.0,
             storage_slowdown_prob: 0.0,
+            spot_preemption_prob: 0.0,
+            spot_preemption_after: (30.0, 600.0),
             window: None,
         }
     }
@@ -117,7 +129,10 @@ impl FaultConfig {
         }
     }
 
-    /// True when at least one failure class can fire.
+    /// True when at least one *ambient* failure class can fire. Spot
+    /// preemption is deliberately excluded: it is a market property
+    /// that only applies to capacity explicitly provisioned as spot,
+    /// not an injected chaos overlay.
     pub fn any_enabled(&self) -> bool {
         self.sandbox_invoke_error_prob > 0.0
             || self.sandbox_crash_prob > 0.0
@@ -191,6 +206,18 @@ impl FaultInjector {
         None
     }
 
+    /// Preemption decision for a **spot** VM provision, drawn at
+    /// provision time (never called for on-demand provisions, which
+    /// keeps every on-demand RNG stream byte-identical to a world
+    /// without a spot market). Returns how long after coming up the VM
+    /// is reclaimed.
+    pub(crate) fn spot_fault(&mut self, now: SimTime) -> Option<SimDuration> {
+        if self.roll(self.cfg.spot_preemption_prob, now) {
+            return Some(self.draw_delay(self.cfg.spot_preemption_after));
+        }
+        None
+    }
+
     /// Fault decision for a storage request, drawn at issue time.
     pub(crate) fn storage_fault(&mut self, now: SimTime) -> Option<FaultKind> {
         if self.roll(self.cfg.storage_error_prob, now) {
@@ -230,6 +257,7 @@ mod tests {
             assert!(inj.sandbox_fault(now).is_none());
             assert!(inj.vm_fault(now).is_none());
             assert!(inj.storage_fault(now).is_none());
+            assert!(inj.spot_fault(now).is_none());
         }
         // The RNG stream was never advanced.
         assert_eq!(format!("{before:?}"), format!("{:?}", inj.rng));
@@ -295,6 +323,27 @@ mod tests {
                 }
                 other => panic!("expected a planned crash, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn spot_preemptions_replay_and_fall_in_the_window() {
+        let cfg = FaultConfig {
+            spot_preemption_prob: 1.0,
+            spot_preemption_after: (20.0, 300.0),
+            ..FaultConfig::default()
+        };
+        // A pure spot market is not "chaos enabled": it never fires
+        // without explicitly provisioned spot capacity.
+        assert!(!cfg.any_enabled());
+        let mut a = FaultInjector::new(cfg.clone(), 5);
+        let mut b = FaultInjector::new(cfg, 5);
+        for i in 0..200u64 {
+            let now = SimTime::from_micros(i);
+            let (da, db) = (a.spot_fault(now), b.spot_fault(now));
+            assert_eq!(da, db, "seeded preemption schedule replays");
+            let secs = da.expect("prob 1.0 always preempts").as_secs_f64();
+            assert!((20.0..=300.0).contains(&secs), "delay {secs}");
         }
     }
 

@@ -42,6 +42,7 @@ pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod pricing;
+pub mod provider;
 pub mod store;
 pub mod util;
 pub mod world;
@@ -55,5 +56,8 @@ pub use pricing::{
     catalog, instance_type, instances_within_mem, largest_instance_within_mem,
     smallest_instance_with_mem, InstanceType, LambdaTariff, S3Tariff,
 };
+pub use provider::{
+    default_region, providers, region, region_keys, regions, Provider, RegionProfile, SpotMarket,
+};
 pub use store::{ObjectBody, ObjectStore};
-pub use world::{Notify, OpOutcome, World};
+pub use world::{Notify, OpOutcome, Tenancy, World};

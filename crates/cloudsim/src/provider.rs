@@ -1,0 +1,455 @@
+//! Providers, regions and the spot market.
+//!
+//! The paper prices everything against one hard-coded region (AWS
+//! us-east-1, 30 June 2024). This module generalises that into a
+//! [`Provider`] registry over N heterogeneous regions: each
+//! [`RegionProfile`] carries its own instance catalog and price list,
+//! FaaS tariff and cold-start distribution, quota shape, and a
+//! [`SpotMarket`] — discounted VM capacity that the provider may
+//! reclaim at any time (surfacing as
+//! [`FaultKind::SpotPreemption`](crate::FaultKind::SpotPreemption)).
+//!
+//! The **default region** (`aws/us-east-1`) reproduces the paper's
+//! numbers exactly: running with no region selected touches neither the
+//! configuration nor any RNG stream, so every pre-existing golden and
+//! determinism gate is unaffected. Selecting a region rewrites a
+//! [`CloudConfig`] through [`RegionProfile::apply`]; everything else in
+//! the simulator is region-agnostic and reads the catalog and tariffs
+//! out of the config it was built with.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudsim::provider::{self, Provider};
+//!
+//! // The registry spans at least two providers.
+//! let names: Vec<&str> = provider::providers().iter().map(|p| p.name()).collect();
+//! assert!(names.contains(&"aws") && names.contains(&"gcp"));
+//!
+//! // Regions resolve by `{provider}-{region}` key.
+//! let eu = provider::region("aws-eu-west-1").expect("registered");
+//! let us = provider::default_region();
+//! assert!(eu.price_of("c5.4xlarge").unwrap() > us.price_of("c5.4xlarge").unwrap());
+//!
+//! // Spot capacity is discounted but preemptible.
+//! assert!(us.spot.discount > 0.0 && us.spot.preemption_prob > 0.0);
+//! ```
+
+use crate::config::{CloudConfig, RegionQuotas};
+use crate::pricing::{InstanceType, LambdaTariff, CATALOG};
+
+/// A provider's spot-market shape for one region: how deep the discount
+/// runs and how often capacity is reclaimed.
+///
+/// The discount applies to VM uptime billed for instances provisioned
+/// with [`Tenancy::Spot`](crate::Tenancy::Spot); the preemption
+/// probability is drawn once per spot provision (see
+/// [`FaultConfig`](crate::FaultConfig)), so an on-demand-only run never
+/// consumes spot RNG state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotMarket {
+    /// Fractional discount off the on-demand price in `(0, 1)`; a spot
+    /// instance bills `(1 - discount) ×` the on-demand rate.
+    pub discount: f64,
+    /// Probability that a spot provision is eventually reclaimed,
+    /// drawn at provision time.
+    pub preemption_prob: f64,
+    /// Uniform window, seconds after the VM comes up, in which a
+    /// planned preemption fires.
+    pub preemption_after: (f64, f64),
+}
+
+/// One provider region: a named price list plus the model parameters
+/// that differ between clouds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionProfile {
+    /// Provider short name (`"aws"`, `"gcp"`).
+    pub provider: &'static str,
+    /// Region name within the provider (`"us-east-1"`).
+    pub region: &'static str,
+    /// Instance catalog with this region's on-demand prices, sorted by
+    /// memory (the sizing policy scans smallest-first).
+    pub catalog: &'static [InstanceType],
+    /// Default master/orchestrator instance for serverful pools — the
+    /// smallest general-purpose box in this catalog.
+    pub master_instance: &'static str,
+    /// FaaS tariff (price per GiB-second and the memory→vCPU mapping).
+    pub faas_tariff: LambdaTariff,
+    /// FaaS cold-start log-normal median, seconds.
+    pub cold_start_median: f64,
+    /// FaaS cold-start log-normal sigma.
+    pub cold_start_sigma: f64,
+    /// Account-level quota shape of the region.
+    pub quotas: RegionQuotas,
+    /// The region's spot market.
+    pub spot: SpotMarket,
+}
+
+impl RegionProfile {
+    /// The registry key, `{provider}-{region}` (e.g. `aws-us-east-1`).
+    pub fn key(&self) -> String {
+        format!("{}-{}", self.provider, self.region)
+    }
+
+    /// Looks up an instance type in this region's catalog.
+    pub fn instance_type(&self, name: &str) -> Option<&'static InstanceType> {
+        self.catalog.iter().find(|it| it.name == name)
+    }
+
+    /// This region's on-demand hourly price for an instance, if the
+    /// catalog carries it.
+    pub fn price_of(&self, name: &str) -> Option<f64> {
+        self.instance_type(name).map(|it| it.hourly_usd)
+    }
+
+    /// Rewrites a [`CloudConfig`] to run in this region: catalog and
+    /// spot discount, FaaS tariff and cold-start shape, quotas, and the
+    /// spot-preemption fault knobs. Everything else (storage, KV, EMR,
+    /// ambient fault probabilities) is carried over from `base`
+    /// unchanged, so chaos overlays compose with region selection.
+    ///
+    /// Applying the default region changes *only* the spot knobs — the
+    /// default [`CloudConfig`] already is `aws-us-east-1` minus a spot
+    /// market, and spot knobs never draw RNG unless spot capacity is
+    /// actually provisioned.
+    pub fn apply(&self, base: &CloudConfig) -> CloudConfig {
+        let mut cfg = base.clone();
+        cfg.vm.catalog = self.catalog;
+        cfg.vm.spot_discount = self.spot.discount;
+        cfg.faas.tariff = self.faas_tariff;
+        cfg.faas.cold_start_median = self.cold_start_median;
+        cfg.faas.cold_start_sigma = self.cold_start_sigma;
+        cfg.quotas = self.quotas.clone();
+        cfg.faults.spot_preemption_prob = self.spot.preemption_prob;
+        cfg.faults.spot_preemption_after = self.spot.preemption_after;
+        cfg
+    }
+}
+
+/// A cloud provider: a named family of regions sharing billing idioms.
+///
+/// The trait exists so callers can enumerate the market generically
+/// ([`providers`]) and future backends (a trace-driven region, an
+/// on-premise cluster) can register without touching the planner or the
+/// fleet; data-only regions stay `const`-constructible.
+pub trait Provider {
+    /// Provider short name (`"aws"`).
+    fn name(&self) -> &'static str;
+    /// Every region this provider offers, in registry order.
+    fn regions(&self) -> &'static [RegionProfile];
+}
+
+/// Amazon-shaped provider: the paper's price list plus an EU replica.
+pub struct Aws;
+
+/// Google-shaped provider: a distinct catalog, slower cold starts, a
+/// deeper but more volatile spot market.
+pub struct Gcp;
+
+impl Provider for Aws {
+    fn name(&self) -> &'static str {
+        "aws"
+    }
+    fn regions(&self) -> &'static [RegionProfile] {
+        &AWS_REGIONS
+    }
+}
+
+impl Provider for Gcp {
+    fn name(&self) -> &'static str {
+        "gcp"
+    }
+    fn regions(&self) -> &'static [RegionProfile] {
+        &GCP_REGIONS
+    }
+}
+
+/// EU prices: the same instance shapes at the typical ~11% premium over
+/// us-east-1 (eu-west-1, 30 June 2024 shape).
+const EU_PRICE_MULT: f64 = 1.11;
+
+/// Scales one catalog entry's hourly price (const so regional catalogs
+/// stay `'static` data).
+const fn at_price(base: InstanceType, mult: f64) -> InstanceType {
+    InstanceType {
+        hourly_usd: base.hourly_usd * mult,
+        ..base
+    }
+}
+
+/// The eu-west-1 catalog: us-east-1 shapes at EU prices.
+static AWS_EU_WEST_1_CATALOG: [InstanceType; 10] = [
+    at_price(CATALOG[0], EU_PRICE_MULT),
+    at_price(CATALOG[1], EU_PRICE_MULT),
+    at_price(CATALOG[2], EU_PRICE_MULT),
+    at_price(CATALOG[3], EU_PRICE_MULT),
+    at_price(CATALOG[4], EU_PRICE_MULT),
+    at_price(CATALOG[5], EU_PRICE_MULT),
+    at_price(CATALOG[6], EU_PRICE_MULT),
+    at_price(CATALOG[7], EU_PRICE_MULT),
+    at_price(CATALOG[8], EU_PRICE_MULT),
+    at_price(CATALOG[9], EU_PRICE_MULT),
+];
+
+/// The GCP catalog (us-central1 on-demand, 30 June 2024 shape), sorted
+/// by memory like every catalog. Names follow the `n2`/`m1`/`m2`
+/// families; network baselines are the per-VM egress caps.
+static GCP_US_CENTRAL1_CATALOG: [InstanceType; 9] = [
+    InstanceType {
+        name: "e2-standard-2",
+        vcpus: 2,
+        mem_gib: 8.0,
+        hourly_usd: 0.067,
+        net_gbps: 4.0,
+    },
+    InstanceType {
+        name: "n2-standard-8",
+        vcpus: 8,
+        mem_gib: 32.0,
+        hourly_usd: 0.3885,
+        net_gbps: 16.0,
+    },
+    InstanceType {
+        name: "n2-highmem-8",
+        vcpus: 8,
+        mem_gib: 64.0,
+        hourly_usd: 0.5241,
+        net_gbps: 16.0,
+    },
+    InstanceType {
+        name: "n2-highmem-16",
+        vcpus: 16,
+        mem_gib: 128.0,
+        hourly_usd: 1.0482,
+        net_gbps: 32.0,
+    },
+    InstanceType {
+        name: "n2-highmem-32",
+        vcpus: 32,
+        mem_gib: 256.0,
+        hourly_usd: 2.0963,
+        net_gbps: 32.0,
+    },
+    InstanceType {
+        name: "n2-highmem-64",
+        vcpus: 64,
+        mem_gib: 512.0,
+        hourly_usd: 4.1926,
+        net_gbps: 50.0,
+    },
+    InstanceType {
+        name: "n2-highmem-96",
+        vcpus: 96,
+        mem_gib: 768.0,
+        hourly_usd: 6.2889,
+        net_gbps: 75.0,
+    },
+    InstanceType {
+        name: "m1-megamem-96",
+        vcpus: 96,
+        mem_gib: 1433.6,
+        hourly_usd: 10.6740,
+        net_gbps: 32.0,
+    },
+    InstanceType {
+        name: "m2-ultramem-208",
+        vcpus: 208,
+        mem_gib: 5888.0,
+        hourly_usd: 42.1860,
+        net_gbps: 32.0,
+    },
+];
+
+static AWS_REGIONS: [RegionProfile; 2] = [
+    // The paper's region. `apply` on the default CloudConfig changes
+    // only the spot knobs (asserted in tests).
+    RegionProfile {
+        provider: "aws",
+        region: "us-east-1",
+        catalog: CATALOG,
+        master_instance: "c5.large",
+        faas_tariff: LambdaTariff {
+            usd_per_gib_second: 0.0000166667,
+            usd_per_request: 0.0000002,
+            mb_per_vcpu: 1769.0,
+        },
+        cold_start_median: 2.5,
+        cold_start_sigma: 0.35,
+        quotas: RegionQuotas {
+            lambda_concurrency: 10_000,
+            ec2_vcpus: 4096.0,
+        },
+        spot: SpotMarket {
+            discount: 0.65,
+            preemption_prob: 0.05,
+            preemption_after: (30.0, 600.0),
+        },
+    },
+    RegionProfile {
+        provider: "aws",
+        region: "eu-west-1",
+        catalog: &AWS_EU_WEST_1_CATALOG,
+        master_instance: "c5.large",
+        faas_tariff: LambdaTariff {
+            // EU Lambda GiB-seconds price the same premium as EC2.
+            usd_per_gib_second: 0.0000185,
+            usd_per_request: 0.0000002,
+            mb_per_vcpu: 1769.0,
+        },
+        cold_start_median: 2.5,
+        cold_start_sigma: 0.35,
+        quotas: RegionQuotas {
+            lambda_concurrency: 6_000,
+            ec2_vcpus: 2560.0,
+        },
+        // Shallower discount, calmer market than us-east-1.
+        spot: SpotMarket {
+            discount: 0.55,
+            preemption_prob: 0.03,
+            preemption_after: (60.0, 900.0),
+        },
+    },
+];
+
+static GCP_REGIONS: [RegionProfile; 1] = [RegionProfile {
+    provider: "gcp",
+    region: "us-central1",
+    catalog: &GCP_US_CENTRAL1_CATALOG,
+    master_instance: "e2-standard-2",
+    faas_tariff: LambdaTariff {
+        // Cloud-Functions-shaped: cheaper GiB-seconds, CPU bundled at a
+        // coarser memory step.
+        usd_per_gib_second: 0.0000145,
+        usd_per_request: 0.0000004,
+        mb_per_vcpu: 2048.0,
+    },
+    // Measurably slower, heavier-tailed cold starts.
+    cold_start_median: 3.2,
+    cold_start_sigma: 0.45,
+    quotas: RegionQuotas {
+        lambda_concurrency: 3_000,
+        ec2_vcpus: 2400.0,
+    },
+    // The deepest discount with the stormiest reclaim behaviour.
+    spot: SpotMarket {
+        discount: 0.75,
+        preemption_prob: 0.12,
+        preemption_after: (20.0, 300.0),
+    },
+}];
+
+/// Every registered provider, in registry order.
+pub fn providers() -> &'static [&'static (dyn Provider + Sync)] {
+    static PROVIDERS: [&(dyn Provider + Sync); 2] = [&Aws, &Gcp];
+    &PROVIDERS
+}
+
+/// Every registered region across all providers, in registry order.
+pub fn regions() -> Vec<&'static RegionProfile> {
+    AWS_REGIONS.iter().chain(GCP_REGIONS.iter()).collect()
+}
+
+/// Looks a region up by its `{provider}-{region}` key
+/// (case-insensitive).
+pub fn region(key: &str) -> Option<&'static RegionProfile> {
+    let key = key.to_ascii_lowercase();
+    regions().into_iter().find(|r| r.key() == key)
+}
+
+/// The paper's region (`aws-us-east-1`): the profile whose application
+/// to the default config is a no-op except for enabling its spot
+/// market.
+pub fn default_region() -> &'static RegionProfile {
+    &AWS_REGIONS[0]
+}
+
+/// Keys of every registered region, in registry order — the values a
+/// plan's `region` knob and the planner's region dimension range over.
+pub fn region_keys() -> Vec<String> {
+    regions().into_iter().map(RegionProfile::key).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_key_and_rejects_unknowns() {
+        for r in regions() {
+            let found = region(&r.key()).expect("registered key resolves");
+            assert_eq!(found.key(), r.key());
+        }
+        assert!(region("aws-mars-north-1").is_none());
+        assert_eq!(region("AWS-US-EAST-1").unwrap().key(), "aws-us-east-1");
+    }
+
+    #[test]
+    fn every_catalog_is_sorted_by_memory_and_carries_the_master() {
+        for r in regions() {
+            for pair in r.catalog.windows(2) {
+                assert!(
+                    pair[0].mem_gib <= pair[1].mem_gib,
+                    "{}: {} before {}",
+                    r.key(),
+                    pair[0].name,
+                    pair[1].name
+                );
+            }
+            assert!(
+                r.instance_type(r.master_instance).is_some(),
+                "{}: master instance {} missing from its own catalog",
+                r.key(),
+                r.master_instance
+            );
+        }
+    }
+
+    #[test]
+    fn spot_markets_are_sane() {
+        for r in regions() {
+            assert!((0.0..1.0).contains(&r.spot.discount), "{}", r.key());
+            assert!(
+                (0.0..1.0).contains(&r.spot.preemption_prob),
+                "{}",
+                r.key()
+            );
+            assert!(r.spot.preemption_after.0 < r.spot.preemption_after.1);
+        }
+    }
+
+    #[test]
+    fn default_region_apply_only_enables_the_spot_market() {
+        let base = CloudConfig::default();
+        let applied = default_region().apply(&base);
+        let mut expected = base.clone();
+        expected.faults.spot_preemption_prob = default_region().spot.preemption_prob;
+        expected.faults.spot_preemption_after = default_region().spot.preemption_after;
+        assert_eq!(applied, expected);
+    }
+
+    #[test]
+    fn eu_prices_carry_the_premium_and_gcp_prices_differ() {
+        let us = default_region();
+        let eu = region("aws-eu-west-1").unwrap();
+        for (a, b) in us.catalog.iter().zip(eu.catalog.iter()) {
+            assert_eq!(a.name, b.name);
+            assert!((b.hourly_usd - a.hourly_usd * EU_PRICE_MULT).abs() < 1e-12);
+        }
+        let gcp = region("gcp-us-central1").unwrap();
+        assert!(gcp.instance_type("c5.4xlarge").is_none());
+        assert!(gcp.instance_type("n2-highmem-16").is_some());
+    }
+
+    #[test]
+    fn providers_enumerate_their_regions() {
+        let mut total = 0;
+        for p in providers() {
+            assert!(!p.regions().is_empty(), "{} has no regions", p.name());
+            for r in p.regions() {
+                assert_eq!(r.provider, p.name());
+                total += 1;
+            }
+        }
+        assert_eq!(total, regions().len());
+    }
+}

@@ -150,6 +150,21 @@ enum Ev {
     SandboxCrash { sandbox: SandboxId },
     VmBootFail { vm: VmId },
     VmCrash { vm: VmId },
+    VmPreempt { vm: VmId },
+}
+
+/// How a VM's capacity is bought.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tenancy {
+    /// Regular on-demand capacity at the catalog price (the default —
+    /// and the paper's only mode).
+    #[default]
+    OnDemand,
+    /// Spot capacity: uptime bills at `(1 - discount) ×` the catalog
+    /// price ([`VmConfig::spot_discount`](crate::VmConfig)), but the
+    /// provider may reclaim the instance at any time — surfacing as
+    /// [`Notify::VmFailed`] with [`FaultKind::SpotPreemption`].
+    Spot,
 }
 
 /// What to do when a storage/KV flow completes.
@@ -218,6 +233,13 @@ struct Vm {
     /// Injected loss scheduled to fire this long after the VM comes up
     /// (decided at provision time).
     planned_loss: Option<SimDuration>,
+    /// How the capacity was bought (spot uptime bills discounted).
+    tenancy: Tenancy,
+    /// Uptime price multiplier: 1.0 on-demand, `1 - discount` for spot.
+    price_mult: f64,
+    /// Spot reclaim scheduled to fire this long after the VM comes up
+    /// (decided at provision time; spot tenancy only).
+    planned_preempt: Option<SimDuration>,
     /// Trace span covering boot + agent setup.
     boot_span: SpanId,
     /// Trace span covering the billed uptime.
@@ -787,9 +809,23 @@ impl World {
     // VMs
     // ------------------------------------------------------------------
 
-    /// Provisions a VM of the given type; it surfaces as
+    /// Provisions an on-demand VM of the given type; it surfaces as
     /// [`Notify::VmUp`] after boot and agent setup.
     pub fn vm_provision(&mut self, itype: &InstanceType, fleet: &str) -> VmId {
+        self.vm_provision_with(itype, fleet, Tenancy::OnDemand)
+    }
+
+    /// Provisions a VM with an explicit [`Tenancy`]. Spot provisions
+    /// bill uptime at the configured discount and draw a seeded
+    /// preemption decision at provision time (on-demand provisions
+    /// never touch the spot RNG stream, preserving byte-identical
+    /// replays of spot-free runs).
+    pub fn vm_provision_with(
+        &mut self,
+        itype: &InstanceType,
+        fleet: &str,
+        tenancy: Tenancy,
+    ) -> VmId {
         let fleet_tag = self.fleet(fleet);
         let host = self.add_host(Host::new(
             itype.vcpus as f64,
@@ -799,10 +835,20 @@ impl World {
         ));
         let vm = VmId::from_index(self.vms.len() as u64);
         let fault = self.faults.vm_fault(self.queue.now());
+        let (price_mult, planned_preempt) = match tenancy {
+            Tenancy::OnDemand => (1.0, None),
+            Tenancy::Spot => (
+                self.cfg.vm.spot_price_mult(),
+                self.faults.spot_fault(self.queue.now()),
+            ),
+        };
         let boot_span =
             self.tracer
                 .begin(self.queue.now(), "vm-boot", "vm", fleet, self.trace_parent);
         self.tracer.attr_str(boot_span, "instance_type", itype.name);
+        if tenancy == Tenancy::Spot {
+            self.tracer.attr_str(boot_span, "tenancy", "spot");
+        }
         self.vms.push(Vm {
             host,
             itype: *itype,
@@ -814,6 +860,9 @@ impl World {
                 Some(VmFault::LossAfter(after)) => Some(after),
                 _ => None,
             },
+            tenancy,
+            price_mult,
+            planned_preempt,
             boot_span,
             run_span: SpanId::NONE,
             span_parent: self.trace_parent,
@@ -844,7 +893,7 @@ impl World {
         rec.terminated = true;
         let secs = (now - up_at).as_secs_f64() + self.cfg.vm.terminate_secs;
         let billed = secs.max(self.cfg.vm.min_billed_secs);
-        let cost = billed * rec.itype.usd_per_second();
+        let cost = billed * rec.itype.usd_per_second() * rec.price_mult;
         let host = rec.host;
         let fleet = rec.fleet;
         let run_span = rec.run_span;
@@ -867,6 +916,24 @@ impl World {
     /// The instance type a VM was provisioned as.
     pub fn vm_instance_type(&self, vm: VmId) -> InstanceType {
         self.vms[vm.index() as usize].itype
+    }
+
+    /// How a VM's capacity was bought.
+    pub fn vm_tenancy(&self, vm: VmId) -> Tenancy {
+        self.vms[vm.index() as usize].tenancy
+    }
+
+    /// The regional instance catalog this world was configured with.
+    pub fn catalog(&self) -> &'static [InstanceType] {
+        self.cfg.vm.catalog
+    }
+
+    /// Looks up an instance type in this world's regional catalog (the
+    /// region-aware replacement for the free function
+    /// [`crate::instance_type`], which always answers from the default
+    /// us-east-1 catalog).
+    pub fn lookup_instance(&self, name: &str) -> Option<&'static InstanceType> {
+        self.cfg.vm.instance_type(name)
     }
 
     // ------------------------------------------------------------------
@@ -1132,6 +1199,7 @@ impl World {
             Ev::SandboxCrash { sandbox } => self.on_sandbox_crash(sandbox, now),
             Ev::VmBootFail { vm } => self.on_vm_boot_fail(vm),
             Ev::VmCrash { vm } => self.on_vm_crash(vm, now),
+            Ev::VmPreempt { vm } => self.on_vm_preempt(vm, now),
         }
     }
 
@@ -1481,6 +1549,7 @@ impl World {
         let host = rec.host;
         let fleet = rec.fleet;
         let planned_loss = rec.planned_loss;
+        let planned_preempt = rec.planned_preempt;
         let boot_span = rec.boot_span;
         let span_parent = rec.span_parent;
         let itype_name = rec.itype.name;
@@ -1496,6 +1565,9 @@ impl World {
         self.cpu.add_provisioned(fleet, now, vcpus);
         if let Some(after) = planned_loss {
             self.queue.schedule_in(after, Ev::VmCrash { vm });
+        }
+        if let Some(after) = planned_preempt {
+            self.queue.schedule_in(after, Ev::VmPreempt { vm });
         }
         self.outbox.push_back(Notify::VmUp { vm });
     }
@@ -1573,22 +1645,44 @@ impl World {
     /// (per-second, with the minimum) and booked as wasted
     /// instance-seconds.
     fn on_vm_crash(&mut self, vm: VmId, now: SimTime) {
+        if self.vm_loss_suppressed(vm, FaultKind::VmLoss) {
+            return;
+        }
+        self.vm_crash_teardown(vm, now, FaultKind::VmLoss);
+    }
+
+    /// A planned spot preemption fires. The same suppression rules as
+    /// injected VM loss apply (terminated VMs are moot; protected and
+    /// KV hosts are spared and the swallowed reclaim is ledgered — a
+    /// framework that puts a master on spot capacity against advice
+    /// still keeps its deterministic gates).
+    fn on_vm_preempt(&mut self, vm: VmId, now: SimTime) {
+        if self.vm_loss_suppressed(vm, FaultKind::SpotPreemption) {
+            return;
+        }
+        self.vm_crash_teardown(vm, now, FaultKind::SpotPreemption);
+    }
+
+    /// Shared suppression check for mid-run VM loss classes: already
+    /// terminated (moot), protected host or live KV host (spared, the
+    /// swallowed injection recorded under `kind`).
+    fn vm_loss_suppressed(&mut self, vm: VmId, kind: FaultKind) -> bool {
         let rec = &self.vms[vm.index() as usize];
         if rec.terminated {
-            return;
+            return true;
         }
         let host = rec.host;
         if self.protected_hosts.contains(&host) {
             self.fault_ledger
-                .record_suppressed(FaultKind::VmLoss, SuppressReason::ProtectedHost);
-            return;
+                .record_suppressed(kind, SuppressReason::ProtectedHost);
+            return true;
         }
         if self.kvs.iter().any(|kv| kv.host == host && !kv.dead) {
             self.fault_ledger
-                .record_suppressed(FaultKind::VmLoss, SuppressReason::KvHost);
-            return;
+                .record_suppressed(kind, SuppressReason::KvHost);
+            return true;
         }
-        self.vm_crash_teardown(vm, now);
+        false
     }
 
     /// Forcibly terminates a running VM right now, bypassing fault
@@ -1608,7 +1702,7 @@ impl World {
         let host = rec.host;
         self.kill_kvs_on(host);
         let now = self.queue.now();
-        self.vm_crash_teardown(vm, now);
+        self.vm_crash_teardown(vm, now, FaultKind::VmLoss);
         true
     }
 
@@ -1643,17 +1737,18 @@ impl World {
         }
     }
 
-    /// The shared teardown of a mid-job VM loss (injected crash or
-    /// forced kill): bill the uptime as wasted, release the host and
-    /// surface [`Notify::VmFailed`].
-    fn vm_crash_teardown(&mut self, vm: VmId, now: SimTime) {
+    /// The shared teardown of a mid-job VM loss (injected crash, forced
+    /// kill or spot preemption): bill the uptime as wasted — at the spot
+    /// rate for spot tenancy — release the host and surface
+    /// [`Notify::VmFailed`] carrying `kind`.
+    fn vm_crash_teardown(&mut self, vm: VmId, now: SimTime, kind: FaultKind) {
         let rec = &mut self.vms[vm.index() as usize];
         let host = rec.host;
         let up_at = rec.up_at.expect("crashed a VM that never came up");
         rec.terminated = true;
         let secs = (now - up_at).as_secs_f64();
         let billed = secs.max(self.cfg.vm.min_billed_secs);
-        let cost = billed * rec.itype.usd_per_second();
+        let cost = billed * rec.itype.usd_per_second() * rec.price_mult;
         let fleet = rec.fleet;
         let run_span = rec.run_span;
         let label = rec.bill_label.clone();
@@ -1663,17 +1758,13 @@ impl World {
         self.cpu.add_provisioned(fleet, now, -vcpus);
         self.active_vm_vcpus -= lost_vcpus;
         self.charge_as(CostCategory::VmCompute, cost, label);
-        self.tracer.attr_str(run_span, "fault", FaultKind::VmLoss.name());
+        self.tracer.attr_str(run_span, "fault", kind.name());
         self.tracer.attr_f64(run_span, "wasted_secs", billed);
         self.tracer.end(run_span, now);
-        self.tracer
-            .instant(now, FaultKind::VmLoss.name(), "fault", "faults");
+        self.tracer.instant(now, kind.name(), "fault", "faults");
         self.fault_ledger.wasted_instance_secs += billed;
-        self.fault_ledger.record_fault(FaultKind::VmLoss);
-        self.outbox.push_back(Notify::VmFailed {
-            vm,
-            fault: FaultKind::VmLoss,
-        });
+        self.fault_ledger.record_fault(kind);
+        self.outbox.push_back(Notify::VmFailed { vm, fault: kind });
     }
 
     // --- EMR ---

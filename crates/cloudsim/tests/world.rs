@@ -367,3 +367,68 @@ fn cpu_monitor_tracks_provision_and_busy() {
     assert!(!samples.is_empty());
     assert!(samples.iter().all(|&s| (s - 50.0).abs() < 1e-9));
 }
+
+#[test]
+fn spot_vm_bills_at_the_discounted_rate() {
+    let mut cfg = CloudConfig::default();
+    cfg.faults.spot_preemption_prob = 0.0; // never reclaimed
+    let mut w = World::new(cfg, 7);
+    let it = instance_type("m4.4xlarge").unwrap();
+    let vm = w.vm_provision_with(it, "vm", cloudsim::Tenancy::Spot);
+    run_until_vm_up(&mut w, vm);
+    assert_eq!(w.vm_tenancy(vm), cloudsim::Tenancy::Spot);
+    w.vm_terminate(vm);
+    let cost = w.ledger().total_for(CostCategory::VmCompute);
+    // 60 s minimum at (1 - 0.65) of the on-demand rate.
+    let expected = 60.0 * it.usd_per_second() * 0.35;
+    assert!((cost - expected).abs() < 1e-9, "cost {cost} vs {expected}");
+}
+
+#[test]
+fn spot_preemption_fires_in_window_and_is_ledgered() {
+    let mut cfg = CloudConfig::default();
+    cfg.faults.spot_preemption_prob = 1.0;
+    cfg.faults.spot_preemption_after = (30.0, 60.0);
+    let mut w = World::new(cfg, 11);
+    let it = instance_type("m4.4xlarge").unwrap();
+    let vm = w.vm_provision_with(it, "vm", cloudsim::Tenancy::Spot);
+    let t_up = run_until_vm_up(&mut w, vm);
+    let (t_fail, fault) = loop {
+        let (t, n) = w.step().expect("preemption must fire");
+        if let Notify::VmFailed { vm: failed, fault } = n {
+            assert_eq!(failed, vm);
+            break (t, fault);
+        }
+    };
+    assert_eq!(fault, cloudsim::FaultKind::SpotPreemption);
+    let dt = (t_fail - t_up).as_secs_f64();
+    assert!((30.0..=60.0).contains(&dt), "preempted after {dt}s");
+    assert_eq!(
+        w.fault_ledger().injected(cloudsim::FaultKind::SpotPreemption),
+        1
+    );
+    // The wasted uptime bills at the spot rate.
+    let cost = w.ledger().total_for(CostCategory::VmCompute);
+    let expected = dt.max(60.0) * it.usd_per_second() * 0.35;
+    assert!((cost - expected).abs() < 1e-9, "cost {cost} vs {expected}");
+}
+
+#[test]
+fn on_demand_runs_are_untouched_by_spot_knobs() {
+    // Enabling a violent spot market must not change an on-demand run:
+    // spot RNG is drawn per spot provision, never ambiently.
+    let run = |prob: f64| {
+        let mut cfg = CloudConfig::default();
+        cfg.faults.spot_preemption_prob = prob;
+        let mut w = World::new(cfg, 13);
+        let it = instance_type("m4.4xlarge").unwrap();
+        let vm = w.vm_provision(it, "vm");
+        run_until_vm_up(&mut w, vm);
+        let host = w.vm_host(vm);
+        let op = w.compute(host, 120.0);
+        run_until_op(&mut w, op);
+        w.vm_terminate(vm);
+        (w.now(), w.ledger().total_for(CostCategory::VmCompute))
+    };
+    assert_eq!(run(0.0), run(1.0));
+}

@@ -33,6 +33,8 @@
 //! assert!(report.wall_secs >= 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod engine;
 

@@ -27,7 +27,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use cloudsim::{CloudConfig, ObjectBody};
+use cloudsim::{CloudConfig, ObjectBody, World};
 use metaspace::pipeline::{Stage, StageEdge, StageKind};
 use metaspace::plan::StageBackend;
 use serverful::executor::MapOptions;
@@ -41,6 +41,7 @@ use crate::admission::Admission;
 use crate::arrivals::{self, Arrival};
 use crate::pool::SharedPool;
 use crate::scenario::{Policy, Scenario};
+use telemetry::FaultKind;
 
 /// Object-storage bucket fleet jobs stage data through.
 const BUCKET: &str = "fleet-workspace";
@@ -86,6 +87,18 @@ pub struct PolicyOutcome {
     pub pool_leases: usize,
     /// Shared-pool leases that found warm VMs.
     pub pool_hits: usize,
+    /// Spot VMs the provider reclaimed in this cell (0 for on-demand
+    /// runs, which never provision spot capacity).
+    pub preemptions: u64,
+    /// Spot worker slots that exhausted their preemption budget and
+    /// fell back to on-demand capacity.
+    pub spot_fallbacks: u64,
+    /// FNV-1a digest of the science outputs in the cell's workspace
+    /// bucket (job plumbing and recovery state excluded). Two cells
+    /// that computed the same results digest identically even when
+    /// preemptions reshuffled *where and when* the work ran — the
+    /// release-gated storm test compares exactly this.
+    pub science_digest: u64,
 }
 
 impl PolicyOutcome {
@@ -157,14 +170,47 @@ enum CellPlacement {
 /// Runs every policy cell over the scenario's traffic and merges the
 /// outcomes.
 ///
+/// Under a [`crate::scenario::RegionOutage`] each policy runs *two*
+/// cells: the home cell over arrivals outside the outage window, and a
+/// spill cell (labelled `{policy}@{spill_to}`) over the arrivals the
+/// outage diverted. The split is a pure function of the precomputed
+/// schedule, so the whole report stays byte-deterministic.
+///
 /// # Errors
 ///
 /// Propagates the first cell failure (stage failure or a stalled
 /// simulation), in policy order.
 pub fn run_scenario(sc: &Scenario, seed: u64, threads: usize) -> Result<FleetReport, ExecError> {
+    let schedule = arrivals::schedule(sc, seed);
     let policies = [Policy::Serverless, Policy::PerJobFleet, Policy::SharedPool];
-    let outcomes = planner::parallel_map(&policies, threads, |_, policy| {
-        run_cell(sc, Placement::Policy(*policy), policy.to_string(), seed)
+    let mut cells: Vec<(Policy, String, Option<String>, Vec<Arrival>)> = Vec::new();
+    for policy in policies {
+        match &sc.outage {
+            None => cells.push((policy, policy.to_string(), sc.region.clone(), schedule.clone())),
+            Some(o) => {
+                let (spill, home): (Vec<Arrival>, Vec<Arrival>) = schedule
+                    .iter()
+                    .cloned()
+                    .partition(|a| o.covers(a.at.as_secs_f64()));
+                cells.push((policy, policy.to_string(), sc.region.clone(), home));
+                cells.push((
+                    policy,
+                    format!("{policy}@{}", o.spill_to),
+                    Some(o.spill_to.clone()),
+                    spill,
+                ));
+            }
+        }
+    }
+    let outcomes = planner::parallel_map(&cells, threads, |_, (policy, label, region, arrivals)| {
+        run_cell_traffic(
+            sc,
+            Placement::Policy(*policy),
+            label.clone(),
+            seed,
+            region.as_deref(),
+            arrivals,
+        )
     });
     let mut merged = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
@@ -177,7 +223,8 @@ pub fn run_scenario(sc: &Scenario, seed: u64, threads: usize) -> Result<FleetRep
     })
 }
 
-/// Runs a single policy cell.
+/// Runs a single policy cell over the full schedule in the scenario's
+/// home region (outage spillover is [`run_scenario`]'s job).
 ///
 /// # Errors
 ///
@@ -186,24 +233,65 @@ pub fn run_policy(sc: &Scenario, policy: Policy, seed: u64) -> Result<PolicyOutc
     run_cell(sc, Placement::Policy(policy), policy.to_string(), seed)
 }
 
-/// Runs one cell: fresh world, full arrival schedule, one placement.
+/// Runs one cell over the scenario's full schedule at home.
 pub(crate) fn run_cell(
     sc: &Scenario,
     placement: Placement<'_>,
     label: String,
     seed: u64,
 ) -> Result<PolicyOutcome, ExecError> {
-    let cloud = CloudConfig {
+    let schedule = arrivals::schedule(sc, seed);
+    run_cell_traffic(sc, placement, label, seed, sc.region.as_deref(), &schedule)
+}
+
+/// Runs one cell: fresh world in the given region, the given arrivals,
+/// one placement.
+///
+/// # Panics
+///
+/// Panics when `region` names no registered [`cloudsim::region`] — the
+/// presets are validated by their tests, and an unknown key is a
+/// configuration bug, not a runtime condition.
+fn run_cell_traffic(
+    sc: &Scenario,
+    placement: Placement<'_>,
+    label: String,
+    seed: u64,
+    region: Option<&str>,
+    arrivals: &[Arrival],
+) -> Result<PolicyOutcome, ExecError> {
+    let mut cloud = CloudConfig {
         quotas: sc.quotas.clone(),
         ..CloudConfig::default()
     };
+    let profile = region.map(|key| {
+        cloudsim::region(key).unwrap_or_else(|| {
+            panic!(
+                "scenario `{}`: unknown region `{key}` (known: {})",
+                sc.name,
+                cloudsim::region_keys().join(", ")
+            )
+        })
+    });
+    if let Some(p) = profile {
+        cloud = p.apply(&cloud);
+        // The scenario's quotas are the experiment's control variable;
+        // they win over the region profile's account defaults.
+        cloud.quotas = sc.quotas.clone();
+    }
+    if let Some(m) = &sc.spot_market {
+        cloud.vm.spot_discount = m.discount;
+        cloud.faults.spot_preemption_prob = m.preemption_prob;
+        cloud.faults.spot_preemption_after = m.preemption_after;
+    }
     let mut env = CloudEnv::new(cloud, seed);
     let faas = FunctionExecutor::new(&mut env, Backend::faas(), ExecutorConfig::default());
     let needs_pool = matches!(
         placement,
         Placement::Policy(Policy::SharedPool) | Placement::Plan(..)
     );
-    let pool = needs_pool.then(|| SharedPool::new(&mut env, &sc.pool));
+    let pool =
+        needs_pool.then(|| SharedPool::new(&mut env, &sc.pool, profile.map(|p| p.master_instance)));
     let pipelined = sc.pipelined
         || matches!(placement, Placement::Plan(_, ExecutionMode::Pipelined));
     let placement = match placement {
@@ -223,10 +311,10 @@ pub(crate) fn run_cell(
         waiting: VecDeque::new(),
         arrival_tokens: HashMap::new(),
     };
-    for a in arrivals::schedule(sc, seed) {
+    for a in arrivals {
         let delay = a.at.saturating_since(SimTime::ZERO);
         let token = state.env.external_timer(delay);
-        state.arrival_tokens.insert(token, a);
+        state.arrival_tokens.insert(token, a.clone());
     }
     let cell = CellRef {
         st: Rc::new(RefCell::new(state)),
@@ -713,8 +801,13 @@ impl CellState {
     /// use, gated by the EC2 capacity quota.
     fn try_advance_own(&mut self, idx: usize, stage_idx: usize) -> bool {
         if self.jobs[idx].own.is_none() {
-            let itype = cloudsim::instance_type(&self.sc.pool.instance)
-                .expect("scenario instance is in the catalog");
+            // Resolved against the *cell's* catalog — a region cell may
+            // price (or lack) instances the default catalog doesn't.
+            let itype = *self
+                .env
+                .world()
+                .lookup_instance(&self.sc.pool.instance)
+                .expect("scenario instance is in the region's catalog");
             if !self.adm.admits_vm(self.env.world(), itype.vcpus as f64) {
                 return false;
             }
@@ -818,6 +911,10 @@ impl CellState {
 
     /// Extracts the cell's measurements.
     fn into_outcome(self, label: String) -> PolicyOutcome {
+        let faults = self.env.world().fault_ledger();
+        let preemptions = faults.injected(FaultKind::SpotPreemption);
+        let spot_fallbacks = faults.spot_fallbacks;
+        let science_digest = science_digest(self.env.world());
         let ledger = self.env.world().ledger();
         let total = ledger.total();
         let tenant_jobs: Vec<usize> = (0..self.sc.tenants.len())
@@ -861,8 +958,39 @@ impl CellState {
             degraded: self.adm.degraded,
             pool_leases: self.pool.as_ref().map_or(0, |p| p.leases),
             pool_hits: self.pool.as_ref().map_or(0, |p| p.hits),
+            preemptions,
+            spot_fallbacks,
+            science_digest,
         }
     }
+}
+
+/// Deterministic FNV-1a digest of the science outputs in the fleet
+/// workspace bucket, mirroring the chaos suite's digest over the
+/// metaspace workspace: recovery snapshots and job plumbing
+/// (`recovery/`, `jobs/`) and warm-up keys are excluded, so a cell that
+/// lost spot VMs mid-run and recovered digests identically to a
+/// fault-free one.
+fn science_digest(world: &World) -> u64 {
+    let store = world.store();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for key in store.list_prefix(BUCKET, "") {
+        if key.starts_with("recovery/") || key.starts_with("jobs/") || key.starts_with("warmup-") {
+            continue;
+        }
+        key.as_bytes().iter().for_each(|b| mix(*b));
+        mix(0);
+        let body = store.get(BUCKET, &key).expect("listed key exists");
+        body.len().to_le_bytes().iter().for_each(|b| mix(*b));
+        if let Some(bytes) = body.bytes() {
+            bytes.iter().for_each(|b| mix(*b));
+        }
+    }
+    h
 }
 
 /// The storage key of one task's stage input/output.

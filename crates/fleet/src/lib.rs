@@ -60,4 +60,4 @@ pub use admission::Admission;
 pub use arrivals::{schedule, Arrival};
 pub use driver::{run_policy, run_scenario, FleetReport, JobOutcome, PolicyOutcome};
 pub use pool::SharedPool;
-pub use scenario::{Policy, PoolConfig, Scenario, TenantSpec};
+pub use scenario::{Policy, PoolConfig, RegionOutage, Scenario, TenantSpec};

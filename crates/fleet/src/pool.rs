@@ -9,7 +9,7 @@
 //! ([`serverful::StandaloneConfig::idle_timeout_secs`]), so pool cost
 //! tracks load instead of wall clock.
 
-use serverful::{Backend, CloudEnv, ExecutorConfig, FunctionExecutor};
+use serverful::{Backend, CloudEnv, ExecMode, ExecutorConfig, FunctionExecutor};
 
 use crate::scenario::PoolConfig;
 
@@ -26,7 +26,13 @@ pub struct SharedPool {
 impl SharedPool {
     /// Creates the pool's executors. VMs provision lazily on the first
     /// lease of each executor, so an unused pool costs nothing.
-    pub fn new(env: &mut CloudEnv, cfg: &PoolConfig) -> Self {
+    ///
+    /// With [`PoolConfig::workers`] `> 0` each executor runs fleet-mode
+    /// (a dedicated master plus that many `instance`-typed workers, the
+    /// layout whose worker slots can bid spot); `master_instance`
+    /// overrides the master type for regions whose catalog lacks the
+    /// AWS default (see [`cloudsim::RegionProfile::master_instance`]).
+    pub fn new(env: &mut CloudEnv, cfg: &PoolConfig, master_instance: Option<&str>) -> Self {
         assert!(cfg.size > 0, "shared pool needs at least one executor");
         let execs = (0..cfg.size)
             .map(|i| {
@@ -35,6 +41,16 @@ impl SharedPool {
                 exec_cfg.standalone.idle_timeout_secs = Some(cfg.idle_timeout_secs);
                 exec_cfg.standalone.fleet_label = Some(format!("shared-pool-{i}"));
                 exec_cfg.standalone.recovery = cfg.recovery;
+                exec_cfg.standalone.bid = cfg.bid;
+                if cfg.workers > 0 {
+                    exec_cfg.standalone.exec_mode = ExecMode::Fleet {
+                        instance_type: cfg.instance.clone(),
+                        count: cfg.workers,
+                    };
+                }
+                if let Some(master) = master_instance {
+                    exec_cfg.standalone.master_instance = master.to_owned();
+                }
                 FunctionExecutor::new(env, Backend::vm(), exec_cfg)
             })
             .collect();
@@ -100,7 +116,7 @@ mod tests {
     #[test]
     fn cold_pool_leases_are_misses() {
         let mut env = CloudEnv::new_default(3);
-        let mut pool = SharedPool::new(&mut env, &PoolConfig::default());
+        let mut pool = SharedPool::new(&mut env, &PoolConfig::default(), None);
         let lease = pool.lease(&env);
         assert!(lease < PoolConfig::default().size);
         assert_eq!(pool.leases, 1);
@@ -111,7 +127,7 @@ mod tests {
     #[test]
     fn empty_lease_history_has_no_hit_rate() {
         let mut env = CloudEnv::new_default(3);
-        let pool = SharedPool::new(&mut env, &PoolConfig::default());
+        let pool = SharedPool::new(&mut env, &PoolConfig::default(), None);
         assert_eq!(pool.hit_pct(), None);
     }
 }

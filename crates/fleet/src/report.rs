@@ -23,6 +23,25 @@ pub fn render(report: &FleetReport) -> String {
         sc.quotas.lambda_concurrency,
         sc.quotas.ec2_vcpus,
     ));
+    // Region, outage and spot lines render only when the scenario sets
+    // the corresponding knob, so pre-provider reports stay byte-stable.
+    if let Some(region) = &sc.region {
+        out.push_str(&format!("region: {region}\n"));
+    }
+    if let Some(o) = &sc.outage {
+        out.push_str(&format!(
+            "outage: {:.0}s..{:.0}s spills arrivals to {}\n",
+            o.start_secs,
+            o.start_secs + o.duration_secs,
+            o.spill_to,
+        ));
+    }
+    if sc.pool.bid.is_spot() {
+        out.push_str(&format!(
+            "pool bid: spot ({} workers per executor)\n",
+            sc.pool.workers,
+        ));
+    }
     out.push_str(&format!(
         "tenants: {}\n\n",
         sc.tenants
@@ -34,6 +53,14 @@ pub fn render(report: &FleetReport) -> String {
     out.push_str(&fleet_policy_comparison(
         &report.policies.iter().map(policy_row).collect::<Vec<_>>(),
     ));
+    if sc.pool.bid.is_spot() {
+        for p in &report.policies {
+            out.push_str(&format!(
+                "spot ({}): {} preemptions, {} on-demand fallbacks, science digest {:016x}\n",
+                p.label, p.preemptions, p.spot_fallbacks, p.science_digest,
+            ));
+        }
+    }
     for p in &report.policies {
         out.push_str(&format!("\nper-tenant ({}):\n", p.label));
         let rows: Vec<FleetTenantRow> = sc

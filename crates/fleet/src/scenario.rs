@@ -1,6 +1,7 @@
-//! Scenario definitions: tenants, traffic shape, quotas, pool knobs.
+//! Scenario definitions: tenants, traffic shape, quotas, pool knobs,
+//! region placement and spot-market shape.
 
-use cloudsim::RegionQuotas;
+use cloudsim::{RegionQuotas, SpotMarket};
 use metaspace::pipeline::Stage;
 use metaspace::workloads;
 use workload::{ScaleOptions, Workload};
@@ -89,6 +90,18 @@ pub struct PoolConfig {
     /// creates (shared-pool members and per-job fleets alike). Presets
     /// keep the paper's protected master.
     pub recovery: serverful::RecoveryMode,
+    /// Dedicated worker VMs per pool executor. `0` (the default, and
+    /// the historical layout) runs each executor consolidated: one VM
+    /// that doubles as master. `> 0` switches executors to fleet mode —
+    /// an orchestrating master plus this many `instance`-typed workers,
+    /// which is the only layout where a spot [`PoolConfig::bid`] bites
+    /// (masters always run on-demand).
+    pub workers: usize,
+    /// How pool worker slots bid for VM capacity: on-demand (the
+    /// paper's behaviour) or discounted-but-preemptible spot with a
+    /// bounded per-slot preemption budget, falling back to on-demand
+    /// once the budget is spent.
+    pub bid: serverful::BidPolicy,
 }
 
 impl Default for PoolConfig {
@@ -98,7 +111,34 @@ impl Default for PoolConfig {
             instance: "c5.2xlarge".to_owned(),
             idle_timeout_secs: 240.0,
             recovery: serverful::RecoveryMode::Protected,
+            workers: 0,
+            bid: serverful::BidPolicy::OnDemand,
         }
+    }
+}
+
+/// A scheduled regional outage: while it lasts, arriving jobs cannot be
+/// admitted in the scenario's home region and spill to a secondary one.
+///
+/// The spillover split is a pure function of the precomputed arrival
+/// schedule — each policy then runs one cell per region over its share
+/// of the traffic, so the whole run stays byte-deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionOutage {
+    /// Outage start, seconds into the run.
+    pub start_secs: f64,
+    /// Outage length, seconds.
+    pub duration_secs: f64,
+    /// Region key (see [`cloudsim::region`]) jobs arriving during the
+    /// outage run in instead.
+    pub spill_to: String,
+}
+
+impl RegionOutage {
+    /// Whether an arrival at `at_secs` falls inside the outage window
+    /// (start inclusive, end exclusive).
+    pub fn covers(&self, at_secs: f64) -> bool {
+        at_secs >= self.start_secs && at_secs < self.start_secs + self.duration_secs
     }
 }
 
@@ -130,6 +170,21 @@ pub struct Scenario {
     /// dependencies fully drain. Presets leave this off (BSP barriers,
     /// the pre-dataflow behaviour).
     pub pipelined: bool,
+    /// Home region key (see [`cloudsim::region`]). `None` — the
+    /// default, and every pre-existing preset — leaves the cell's
+    /// [`cloudsim::CloudConfig`] untouched, so historical runs stay
+    /// byte-identical. The scenario's own [`Scenario::quotas`] always
+    /// win over the region profile's (they are the experiment's control
+    /// variable).
+    pub region: Option<String>,
+    /// Overrides the region's spot-market shape (discount, preemption
+    /// probability and window) — how a *preemption storm* is dialled in
+    /// without minting a whole synthetic region. `None` keeps the
+    /// region profile's market.
+    pub spot_market: Option<SpotMarket>,
+    /// A scheduled regional outage with cross-region spillover; `None`
+    /// (all presets before `spillover`) runs all traffic at home.
+    pub outage: Option<RegionOutage>,
 }
 
 impl Scenario {
@@ -166,6 +221,9 @@ impl Scenario {
             },
             max_jobs: 24,
             pipelined: false,
+            region: None,
+            spot_market: None,
+            outage: None,
         }
     }
 
@@ -209,6 +267,65 @@ impl Scenario {
             },
             max_jobs: 120,
             pipelined: false,
+            region: None,
+            spot_market: None,
+            outage: None,
+        }
+    }
+
+    /// A preemption storm in GCP's volatile spot market: the smoke
+    /// tenants run against `gcp-us-central1` with a spot-bidding shared
+    /// pool (fleet-mode executors, so worker slots are spot-eligible)
+    /// and a market override that reclaims almost every spot VM. The
+    /// release-gated test asserts the storm cell's science digest is
+    /// byte-identical to the same scenario run all on-demand — spot
+    /// reclaims change when and what the run pays, never what it
+    /// computes.
+    pub fn spot_storm() -> Scenario {
+        Scenario {
+            name: "spot-storm".to_owned(),
+            region: Some("gcp-us-central1".to_owned()),
+            spot_market: Some(SpotMarket {
+                discount: 0.75,
+                preemption_prob: 0.85,
+                preemption_after: (15.0, 90.0),
+            }),
+            pool: PoolConfig {
+                size: 2,
+                instance: "n2-standard-8".to_owned(),
+                idle_timeout_secs: 180.0,
+                workers: 2,
+                bid: serverful::BidPolicy::spot(),
+                ..PoolConfig::default()
+            },
+            ..Scenario::smoke_shaped("spot-storm")
+        }
+    }
+
+    /// A regional outage with cross-region spillover: the smoke tenants
+    /// run at home in `aws-us-east-1` until a mid-run outage window
+    /// diverts arriving jobs to `aws-eu-west-1` (same shapes, ~11%
+    /// price premium). Every policy runs one home cell and one spill
+    /// cell over its deterministic share of the schedule.
+    pub fn spillover() -> Scenario {
+        Scenario {
+            name: "spillover".to_owned(),
+            region: Some("aws-us-east-1".to_owned()),
+            outage: Some(RegionOutage {
+                start_secs: 30.0,
+                duration_secs: 40.0,
+                spill_to: "aws-eu-west-1".to_owned(),
+            }),
+            ..Scenario::smoke_shaped("spillover")
+        }
+    }
+
+    /// The smoke scenario's traffic shape under a different name — the
+    /// base the region/spot presets specialise.
+    fn smoke_shaped(name: &str) -> Scenario {
+        Scenario {
+            name: name.to_owned(),
+            ..Scenario::smoke()
         }
     }
 
@@ -217,13 +334,15 @@ impl Scenario {
         match name.to_ascii_lowercase().as_str() {
             "smoke" => Some(Scenario::smoke()),
             "mixed" => Some(Scenario::mixed()),
+            "spot-storm" => Some(Scenario::spot_storm()),
+            "spillover" => Some(Scenario::spillover()),
             _ => None,
         }
     }
 
     /// Names [`Scenario::named`] resolves.
     pub fn all_names() -> &'static [&'static str] {
-        &["smoke", "mixed"]
+        &["smoke", "mixed", "spot-storm", "spillover"]
     }
 }
 
@@ -239,6 +358,48 @@ mod tests {
             assert!(sc.arrival_rate_per_min > 0.0);
         }
         assert!(Scenario::named("nope").is_none());
+    }
+
+    #[test]
+    fn regioned_presets_name_registered_regions_and_catalog_instances() {
+        for sc in [Scenario::spot_storm(), Scenario::spillover()] {
+            let key = sc.region.as_deref().expect("regioned preset");
+            let profile = cloudsim::region(key).expect("region is registered");
+            assert!(
+                profile.instance_type(&sc.pool.instance).is_some(),
+                "{}: pool instance `{}` missing from {key}'s catalog",
+                sc.name,
+                sc.pool.instance
+            );
+            if let Some(o) = &sc.outage {
+                cloudsim::region(&o.spill_to).expect("spill region is registered");
+            }
+        }
+    }
+
+    #[test]
+    fn spot_storm_pool_is_spot_eligible() {
+        let sc = Scenario::spot_storm();
+        assert!(sc.pool.bid.is_spot());
+        assert!(
+            sc.pool.workers > 0,
+            "spot bids only bite on dedicated worker slots; consolidated VMs are masters"
+        );
+        let m = sc.spot_market.expect("storm overrides the market");
+        assert!(m.preemption_prob > 0.5, "a storm should reclaim most spot VMs");
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let o = RegionOutage {
+            start_secs: 30.0,
+            duration_secs: 40.0,
+            spill_to: "aws-eu-west-1".into(),
+        };
+        assert!(!o.covers(29.9));
+        assert!(o.covers(30.0));
+        assert!(o.covers(69.9));
+        assert!(!o.covers(70.0));
     }
 
     #[test]

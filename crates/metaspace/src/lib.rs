@@ -24,6 +24,8 @@
 //! densities) are profile parameters derived from the paper's published
 //! characterisation; see `jobs` and DESIGN.md for the mapping.
 
+#![warn(missing_docs)]
+
 pub mod algo;
 pub mod data;
 pub mod jobs;

@@ -75,6 +75,15 @@ pub struct FunctionsPlan {
     /// decentralized continuation-passing with no master in the data
     /// path. Irrelevant for pure-FaaS plans.
     pub recovery: RecoveryMode,
+    /// Provider region to deploy in, as a `{provider}-{region}` registry
+    /// key (see [`cloudsim::provider`]). `None` is the paper's
+    /// `aws-us-east-1` with no spot market — byte-identical to the
+    /// pre-provider behaviour.
+    pub region: Option<String>,
+    /// Bid for spot capacity on serverful worker slots (discounted but
+    /// preemptible; masters stay on-demand). Meaningless without a
+    /// serverful stage.
+    pub spot: bool,
 }
 
 impl FunctionsPlan {
@@ -116,6 +125,8 @@ impl FunctionsPlan {
             max_attempts: serverful::RetryPolicy::default().max_attempts,
             execution: ExecutionMode::Barrier,
             recovery: RecoveryMode::Protected,
+            region: None,
+            spot: false,
         }
     }
 
@@ -238,17 +249,23 @@ impl DeploymentPlan {
             PlanKind::Cluster(c) => format!("cl:{}x{}", c.nodes, c.instance),
             PlanKind::Functions(f) => {
                 let mask: String = f.backends.iter().map(|b| b.code()).collect();
-                // The `:pl` / `:ck` / `:dc` suffixes appear only for
-                // non-default execution and recovery modes so every
-                // pre-existing (Barrier, Protected) key stays
-                // byte-stable.
+                // The `:pl` / `:ck` / `:dc` / `:@region` / `:sp`
+                // suffixes appear only for non-default execution,
+                // recovery, region and tenancy so every pre-existing
+                // (Barrier, Protected, default-region, on-demand) key
+                // stays byte-stable.
                 let pl = match f.execution {
                     ExecutionMode::Barrier => "",
                     ExecutionMode::Pipelined => ":pl",
                 };
                 let rc = f.recovery.key_suffix();
+                let rg = match &f.region {
+                    Some(r) => format!(":@{r}"),
+                    None => String::new(),
+                };
+                let sp = if f.spot { ":sp" } else { "" };
                 format!(
-                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}{pl}{rc}",
+                    "fn:{mask}:mem{}:vm{}x{}:mf{:.1}:r{}{pl}{rc}{rg}{sp}",
                     f.memory_mb,
                     f.vm_count,
                     f.instance.as_deref().unwrap_or("auto"),
@@ -315,6 +332,8 @@ mod tests {
             FunctionsPlan { execution: ExecutionMode::Pipelined, ..f.clone() },
             FunctionsPlan { recovery: RecoveryMode::Checkpointed, ..f.clone() },
             FunctionsPlan { recovery: RecoveryMode::Decentralized, ..f.clone() },
+            FunctionsPlan { region: Some("aws-eu-west-1".into()), ..f.clone() },
+            FunctionsPlan { spot: true, ..f.clone() },
         ];
         let mut keys = vec![base.key(), DeploymentPlan::cluster().key()];
         for v in variants {
@@ -365,6 +384,37 @@ mod tests {
             },
         );
         assert!(both.key().ends_with(":pl:dc"), "{}", both.key());
+    }
+
+    #[test]
+    fn default_region_and_tenancy_carry_no_suffix() {
+        // Same byte-stability rule for the provider knobs: only a
+        // selected region or a spot bid grows a marker, and they
+        // compose (region before tenancy).
+        let st = stages(&jobs::brain());
+        let base = DeploymentPlan::hybrid(&st);
+        assert!(!base.key().contains(":@"), "{}", base.key());
+        assert!(!base.key().contains(":sp"), "{}", base.key());
+        let PlanKind::Functions(f) = base.kind else { unreachable!() };
+        let rg = DeploymentPlan::functions(
+            "r",
+            FunctionsPlan {
+                region: Some("gcp-us-central1".into()),
+                ..f.clone()
+            },
+        );
+        assert!(rg.key().ends_with(":@gcp-us-central1"), "{}", rg.key());
+        let both = DeploymentPlan::functions(
+            "b",
+            FunctionsPlan {
+                region: Some("aws-eu-west-1".into()),
+                spot: true,
+                ..f.clone()
+            },
+        );
+        assert!(both.key().ends_with(":@aws-eu-west-1:sp"), "{}", both.key());
+        let sp = DeploymentPlan::functions("s", FunctionsPlan { spot: true, ..f });
+        assert!(sp.key().ends_with(":sp"), "{}", sp.key());
     }
 
     #[test]

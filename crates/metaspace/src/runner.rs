@@ -381,9 +381,26 @@ fn validate_plan(stages: &[Stage], plan: &DeploymentPlan) -> Result<(), ExecErro
             if f.mem_factor.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return bad(format!("plan `{}` has a non-positive mem factor", plan.name));
             }
+            let catalog = match &f.region {
+                Some(key) => match cloudsim::region(key) {
+                    Some(profile) => profile.catalog,
+                    None => {
+                        return bad(format!(
+                            "plan `{}`: unknown region `{key}` (known: {})",
+                            plan.name,
+                            cloudsim::region_keys().join(", ")
+                        ))
+                    }
+                },
+                None => cloudsim::catalog(),
+            };
             if let Some(name) = &f.instance {
-                if cloudsim::instance_type(name).is_none() {
-                    return bad(format!("plan `{}`: unknown instance type `{name}`", plan.name));
+                if !catalog.iter().any(|it| it.name == *name) {
+                    return bad(format!(
+                        "plan `{}`: unknown instance type `{name}` in region `{}`",
+                        plan.name,
+                        f.region.as_deref().unwrap_or("aws-us-east-1")
+                    ));
                 }
             }
         }
@@ -446,6 +463,21 @@ fn run_functions_plan(
         mem_factor: plan.mem_factor,
         ..SizingPolicy::default()
     };
+    // Region selection rewrites the config through the provider
+    // registry; a spot bid with no explicit region runs in the default
+    // region's market. The default path (no region, no spot) leaves the
+    // caller's config untouched so pre-provider runs stay
+    // byte-identical.
+    let profile = match (&plan.region, plan.spot) {
+        (Some(key), _) => Some(cloudsim::region(key).expect("validated above")),
+        (None, true) => Some(cloudsim::default_region()),
+        (None, false) => None,
+    };
+    let cloud = match profile {
+        Some(p) => p.apply(&cloud),
+        None => cloud,
+    };
+    let catalog = profile.map_or_else(cloudsim::catalog, |p| p.catalog);
     let mut env = CloudEnv::new(cloud, seed);
     let faas_cfg = ExecutorConfig {
         runtime_memory_mb: plan.memory_mb,
@@ -467,8 +499,11 @@ fn run_functions_plan(
         .max()
         .unwrap_or(0);
     let planned_itype: &InstanceType = match &plan.instance {
-        Some(name) => cloudsim::instance_type(name).expect("validated above"),
-        None => sizing.plan(max_exchange_bytes).0,
+        Some(name) => catalog
+            .iter()
+            .find(|it| it.name == *name)
+            .expect("validated above"),
+        None => sizing.plan_from(catalog, max_exchange_bytes).0,
     };
     // Total worker processes across the serverful fleet (one per vCPU).
     let vm_workers = planned_itype.vcpus as usize * plan.vm_count;
@@ -479,6 +514,13 @@ fn run_functions_plan(
         };
         cfg.standalone.sizing = sizing.clone();
         cfg.standalone.recovery = plan.recovery;
+        if let Some(p) = profile {
+            // The default master would not exist in a foreign catalog.
+            cfg.standalone.master_instance = p.master_instance.to_owned();
+        }
+        if plan.spot {
+            cfg.standalone.bid = serverful::BidPolicy::spot();
+        }
         if plan.vm_count == 1 {
             cfg.standalone.instance_override = Some(planned_itype.name.to_owned());
         } else {

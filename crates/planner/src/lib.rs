@@ -47,6 +47,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod eval;
 pub mod pareto;
 pub mod queue;

@@ -151,6 +151,8 @@ mod tests {
                 max_attempts: 3,
                 execution: serverful::ExecutionMode::Barrier,
                 recovery: serverful::RecoveryMode::Protected,
+                region: None,
+                spot: false,
             },
         );
         PlanOutcome {

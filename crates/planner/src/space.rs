@@ -18,7 +18,12 @@ use serverful::{ExecutionMode, RecoveryMode, SizingPolicy};
 /// same rule the runner applies (largest serverful stateful exchange
 /// drives the choice). Explicit-instance candidates equal to this are
 /// redundant deployments and get pruned.
-fn auto_instance(stages: &[Stage], backends: &[StageBackend], mem_factor: f64) -> String {
+fn auto_instance(
+    stages: &[Stage],
+    backends: &[StageBackend],
+    mem_factor: f64,
+    region: Option<&str>,
+) -> String {
     let bytes = stages
         .iter()
         .zip(backends)
@@ -33,7 +38,10 @@ fn auto_instance(stages: &[Stage], backends: &[StageBackend], mem_factor: f64) -
         mem_factor,
         ..SizingPolicy::default()
     };
-    sizing.plan(bytes).0.name.to_owned()
+    let catalog = region
+        .and_then(cloudsim::region)
+        .map_or_else(cloudsim::catalog, |p| p.catalog);
+    sizing.plan_from(catalog, bytes).0.name.to_owned()
 }
 
 /// The cross product of knob choices the search enumerates. Candidate
@@ -58,6 +66,16 @@ pub struct SearchSpace {
     /// evaluator's simulated billing and makespan, not a side formula);
     /// decentralized pays per-task bundle/counter round-trips instead.
     pub recoveries: Vec<RecoveryMode>,
+    /// Candidate provider regions, as `{provider}-{region}` registry
+    /// keys ([`cloudsim::region_keys`]); `None` is the paper's
+    /// `aws-us-east-1` with no spot market. Every preset except
+    /// [`SearchSpace::provider_sweep`] pins this to `vec![None]` so
+    /// pre-provider candidate sets stay byte-stable.
+    pub regions: Vec<Option<String>>,
+    /// Candidate spot bids for serverful worker slots: `false` is
+    /// on-demand everywhere (the paper), `true` bids discounted
+    /// preemptible capacity.
+    pub spots: Vec<bool>,
     /// Candidate fixed-cluster deployments.
     pub clusters: Vec<ClusterPlan>,
 }
@@ -115,6 +133,8 @@ impl SearchSpace {
             // three named deployments.
             executions: vec![ExecutionMode::Barrier],
             recoveries: vec![RecoveryMode::Protected],
+            regions: vec![None],
+            spots: vec![false],
             clusters: vec![ClusterPlan::paper()],
         }
     }
@@ -150,6 +170,8 @@ impl SearchSpace {
             // The standard space keeps the paper's protected master;
             // sweeping fault tolerance is `recovery_sweep`'s job.
             recoveries: vec![RecoveryMode::Protected],
+            regions: vec![None],
+            spots: vec![false],
             clusters: vec![ClusterPlan::paper()],
         }
     }
@@ -171,6 +193,34 @@ impl SearchSpace {
             mem_factors: vec![2.5],
             executions: vec![ExecutionMode::Barrier, ExecutionMode::Pipelined],
             recoveries: RecoveryMode::ALL.to_vec(),
+            regions: vec![None],
+            spots: vec![false],
+            clusters: Vec::new(),
+        }
+    }
+
+    /// The provider-market sweep: the paper's hybrid mask crossed with
+    /// every registered region (plus the default) and both tenancies,
+    /// so the planner prices where a workflow should run and whether
+    /// discounted-but-preemptible spot capacity beats on-demand once
+    /// replacement VMs and re-queued bundles are billed.
+    pub fn provider_sweep(stages: &[Stage]) -> SearchSpace {
+        let hybrid_mask = match DeploymentPlan::hybrid(stages).kind {
+            PlanKind::Functions(f) => f.backends,
+            PlanKind::Cluster(_) => unreachable!("hybrid is a functions plan"),
+        };
+        SearchSpace {
+            backend_masks: vec![hybrid_mask],
+            memories_mb: vec![1769],
+            instances: vec![None],
+            vm_counts: vec![1, 4],
+            mem_factors: vec![2.5],
+            executions: vec![ExecutionMode::Barrier],
+            recoveries: vec![RecoveryMode::Protected],
+            regions: std::iter::once(None)
+                .chain(cloudsim::region_keys().into_iter().map(Some))
+                .collect(),
+            spots: vec![false, true],
             clusters: Vec::new(),
         }
     }
@@ -207,54 +257,103 @@ impl SearchSpace {
             by_key.entry(key).or_insert(plan);
         };
 
+        let default_region = cloudsim::default_region().key();
         for mask in &self.backend_masks {
             let pure_functions = !mask.contains(&StageBackend::Serverful);
             let pure_serverful = !mask.contains(&StageBackend::Functions);
-            for &memory_mb in &self.memories_mb {
-                for instance in &self.instances {
-                    for &vm_count in &self.vm_counts {
-                        for &mem_factor in &self.mem_factors {
-                            if !pure_functions {
-                                if let Some(name) = instance {
-                                    // Same deployment as the `auto`
-                                    // candidate — prune the duplicate.
-                                    if *name == auto_instance(stages, mask, mem_factor) {
-                                        continue;
+            for region in &self.regions {
+                // Naming the default region selects the configuration
+                // the simulator already runs (`apply` only switches on
+                // the spot market, which `plan.spot` governs anyway),
+                // so it canonicalises to the suffix-free `None`.
+                let region = match region {
+                    Some(key) if *key == default_region => &None,
+                    other => other,
+                };
+                for &memory_mb in &self.memories_mb {
+                    for instance in &self.instances {
+                        // An explicit host must exist in the candidate
+                        // region's catalog (instance names are
+                        // per-provider); the auto twin is pruned as a
+                        // duplicate deployment.
+                        if let Some(name) = instance {
+                            let catalog = region
+                                .as_deref()
+                                .and_then(cloudsim::region)
+                                .map_or_else(cloudsim::catalog, |p| p.catalog);
+                            if !catalog.iter().any(|it| it.name == *name) {
+                                continue;
+                            }
+                        }
+                        for &vm_count in &self.vm_counts {
+                            for &mem_factor in &self.mem_factors {
+                                if !pure_functions {
+                                    if let Some(name) = instance {
+                                        // Same deployment as the `auto`
+                                        // candidate — prune the duplicate.
+                                        if *name
+                                            == auto_instance(
+                                                stages,
+                                                mask,
+                                                mem_factor,
+                                                region.as_deref(),
+                                            )
+                                        {
+                                            continue;
+                                        }
                                     }
                                 }
-                            }
-                            for &execution in &self.executions {
-                                for &recovery in &self.recoveries {
-                                    // Inert knobs are canonicalised to
-                                    // their defaults so each distinct
-                                    // deployment appears once: the VM
-                                    // knobs and recovery mode without
-                                    // serverful stages, the Lambda
-                                    // memory without function stages.
-                                    let f = if pure_functions {
-                                        FunctionsPlan {
-                                            backends: mask.clone(),
-                                            memory_mb,
-                                            execution,
-                                            ..FunctionsPlan::serverless(mask.len())
-                                        }
-                                    } else {
-                                        FunctionsPlan {
-                                            backends: mask.clone(),
-                                            memory_mb: if pure_serverful {
-                                                1769
+                                for &execution in &self.executions {
+                                    for &recovery in &self.recoveries {
+                                        for &spot in &self.spots {
+                                            // A spot bid only bites on
+                                            // fleet worker slots; the
+                                            // consolidated single VM is
+                                            // the master and always
+                                            // bills on-demand, so its
+                                            // spot twin is the same
+                                            // deployment.
+                                            if spot && (pure_functions || vm_count < 2) {
+                                                continue;
+                                            }
+                                            // Inert knobs are
+                                            // canonicalised to their
+                                            // defaults so each distinct
+                                            // deployment appears once:
+                                            // the VM knobs, recovery
+                                            // mode and spot bid without
+                                            // serverful stages, the
+                                            // Lambda memory without
+                                            // function stages.
+                                            let f = if pure_functions {
+                                                FunctionsPlan {
+                                                    backends: mask.clone(),
+                                                    memory_mb,
+                                                    execution,
+                                                    region: region.clone(),
+                                                    ..FunctionsPlan::serverless(mask.len())
+                                                }
                                             } else {
-                                                memory_mb
-                                            },
-                                            instance: instance.clone(),
-                                            vm_count,
-                                            mem_factor,
-                                            execution,
-                                            recovery,
-                                            ..FunctionsPlan::serverless(mask.len())
+                                                FunctionsPlan {
+                                                    backends: mask.clone(),
+                                                    memory_mb: if pure_serverful {
+                                                        1769
+                                                    } else {
+                                                        memory_mb
+                                                    },
+                                                    instance: instance.clone(),
+                                                    vm_count,
+                                                    mem_factor,
+                                                    execution,
+                                                    recovery,
+                                                    region: region.clone(),
+                                                    spot,
+                                                    ..FunctionsPlan::serverless(mask.len())
+                                                }
+                                            };
+                                            add(DeploymentPlan::functions("candidate", f));
                                         }
-                                    };
-                                    add(DeploymentPlan::functions("candidate", f));
+                                    }
                                 }
                             }
                         }
@@ -374,6 +473,63 @@ mod tests {
     }
 
     #[test]
+    fn provider_sweep_crosses_regions_and_tenancies() {
+        let stages = pipeline::stages(&jobs::brain());
+        let plans = SearchSpace::provider_sweep(&stages).candidates(&stages);
+        // Every non-default region appears; the default region
+        // canonicalises to the suffix-free key instead of growing a
+        // redundant `:@` marker for the same deployment.
+        let default_region = cloudsim::default_region().key();
+        for key in cloudsim::region_keys() {
+            let marker = format!(":@{key}");
+            let present = plans.iter().any(|p| p.key().contains(&marker));
+            if key == default_region {
+                assert!(!present, "default region {key} should stay suffix-free");
+            } else {
+                assert!(present, "missing region {key}");
+            }
+        }
+        assert!(plans.iter().any(|p| !p.key().contains(":@")));
+        // Both tenancies appear; spot plans exist only where the bid can
+        // bite (fleet-mode vm4, never the consolidated master), and each
+        // has an on-demand twin differing only by the `:sp` marker.
+        let spot: Vec<&DeploymentPlan> =
+            plans.iter().filter(|p| p.key().ends_with(":sp")).collect();
+        assert!(!spot.is_empty());
+        for p in &spot {
+            assert!(
+                p.key().contains(":vm4"),
+                "{} bids spot on a consolidated master",
+                p.key()
+            );
+            let twin = p.key().trim_end_matches(":sp").to_owned();
+            assert!(
+                plans.iter().any(|q| q.key() == twin),
+                "{} has no on-demand twin",
+                p.key()
+            );
+        }
+    }
+
+    #[test]
+    fn default_spaces_stay_in_the_default_region() {
+        // Pre-provider candidate sets must stay byte-stable: no smoke,
+        // standard or recovery-sweep key may grow a region or spot
+        // marker.
+        let stages = pipeline::stages(&jobs::brain());
+        for space in [
+            SearchSpace::smoke(&stages),
+            SearchSpace::standard(&stages),
+            SearchSpace::recovery_sweep(&stages),
+        ] {
+            for p in space.candidates(&stages) {
+                let key = p.key();
+                assert!(!key.contains(":@") && !key.ends_with(":sp"), "{key}");
+            }
+        }
+    }
+
+    #[test]
     fn explicit_instances_matching_the_auto_choice_are_skipped() {
         let stages = pipeline::stages(&jobs::brain());
         let plans = SearchSpace::standard(&stages).candidates(&stages);
@@ -382,7 +538,8 @@ mod tests {
         for p in &plans {
             if let PlanKind::Functions(f) = &p.kind {
                 if let Some(name) = &f.instance {
-                    let auto_twin = auto_instance(&stages, &f.backends, f.mem_factor);
+                    let auto_twin =
+                        auto_instance(&stages, &f.backends, f.mem_factor, f.region.as_deref());
                     assert_ne!(
                         name, &auto_twin,
                         "{p}: explicit instance duplicates the sizing policy's choice"

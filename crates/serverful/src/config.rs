@@ -2,7 +2,7 @@
 
 use crate::recovery::RecoveryMode;
 use crate::retry::RetryPolicy;
-use crate::sizing::SizingPolicy;
+use crate::sizing::{BidPolicy, SizingPolicy};
 
 /// How the serverful (VM) backend lays out compute.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +67,11 @@ pub struct StandaloneConfig {
     /// Seconds between master checkpoint snapshots under
     /// [`RecoveryMode::Checkpointed`]; ignored by the other modes.
     pub checkpoint_interval_secs: f64,
+    /// How worker slots bid for VM capacity: on-demand (default, the
+    /// paper's behaviour) or discounted-but-preemptible spot with a
+    /// bounded per-slot preemption budget. Master slots always run
+    /// on-demand regardless.
+    pub bid: BidPolicy,
 }
 
 impl Default for StandaloneConfig {
@@ -85,6 +90,7 @@ impl Default for StandaloneConfig {
             fleet_label: None,
             recovery: RecoveryMode::Protected,
             checkpoint_interval_secs: 5.0,
+            bid: BidPolicy::OnDemand,
         }
     }
 }

@@ -33,7 +33,8 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use cloudsim::{
-    CloudConfig, HostId, KvId, Notify, ObjectBody, OpId, OpOutcome, SandboxId, VmId, World,
+    CloudConfig, FaultKind, HostId, KvId, Notify, ObjectBody, OpId, OpOutcome, SandboxId,
+    Tenancy, VmId, World,
 };
 use simkernel::aio::AsyncExecutor;
 use simkernel::{SimDuration, SimTime};
@@ -211,6 +212,10 @@ struct PoolVm {
     /// Provisioning attempts charged against this slot for the current
     /// job (boot failures and losses both consume the budget).
     provision_attempts: u32,
+    /// Spot preemptions this slot has absorbed for the current job;
+    /// carried across replacements so a [`BidPolicy::Spot`] budget can
+    /// fall the slot back to on-demand.
+    preemptions: u32,
 }
 
 /// A serverful resource pool: one per executor using the VM backend.
@@ -889,9 +894,9 @@ impl CloudEnv {
                     self.on_vm_up(route, vm);
                 }
             }
-            Notify::VmFailed { vm, .. } => {
+            Notify::VmFailed { vm, fault } => {
                 if let Some(route) = self.vm_routes.remove(&vm) {
-                    self.on_pool_vm_failed(route);
+                    self.on_pool_vm_failed(route, fault);
                 }
             }
             Notify::Timer { tag } => {
@@ -1866,19 +1871,39 @@ impl CloudEnv {
     /// Provisions (or re-provisions) a pool VM slot, protecting master
     /// hosts from injected VM loss (the paper's design assumes the
     /// orchestrating master stays up; boot failures still apply).
+    ///
+    /// `preemptions` is the slot's spot-reclaim history for the current
+    /// job: under [`BidPolicy::Spot`] a worker slot bids spot until that
+    /// history exhausts the policy's budget, then falls back to
+    /// on-demand. Masters (including the consolidated single VM, which
+    /// doubles as one) always run on-demand.
     fn pool_provision(
         &mut self,
         pool: usize,
         slot: PoolSlot,
         itype: cloudsim::InstanceType,
         provision_attempts: u32,
+        preemptions: u32,
     ) {
         let fleet_name = self.pools[pool].fleet_name.clone();
         // Pool VMs outlive individual jobs (reuse, keep-alive), so their
         // uptime bills under the pool's fleet label, not whichever job
         // happens to be current when they terminate.
         self.world.set_bill_label(fleet_name.clone());
-        let vm = self.world.vm_provision(&itype, &fleet_name);
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        let tenancy = match self.pools[pool].cfg.bid {
+            crate::sizing::BidPolicy::Spot { max_preemptions }
+                if !is_master_vm && preemptions < max_preemptions =>
+            {
+                Tenancy::Spot
+            }
+            _ => Tenancy::OnDemand,
+        };
+        let vm = self.world.vm_provision_with(&itype, &fleet_name, tenancy);
         let host = self.world.vm_host(vm);
         self.pools[pool].epoch_counter += 1;
         let epoch = self.pools[pool].epoch_counter;
@@ -1889,11 +1914,7 @@ impl CloudEnv {
             phase: VmPhase::Booting,
             epoch,
             provision_attempts,
-        };
-        let is_master_vm = match slot {
-            PoolSlot::Master => true,
-            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
-            _ => false,
+            preemptions,
         };
         match slot {
             PoolSlot::Master => self.pools[pool].master = Some(pv),
@@ -1921,7 +1942,7 @@ impl CloudEnv {
         if let Some(m) = &self.pools[pool].master {
             if m.phase == VmPhase::Dead {
                 let itype = m.itype;
-                self.pool_provision(pool, PoolSlot::Master, itype, 1);
+                self.pool_provision(pool, PoolSlot::Master, itype, 1, 0);
             }
         }
         let dead: Vec<(usize, cloudsim::InstanceType)> = self.pools[pool]
@@ -1932,7 +1953,7 @@ impl CloudEnv {
             .map(|(i, w)| (i, w.itype))
             .collect();
         for (i, itype) in dead {
-            self.pool_provision(pool, PoolSlot::Worker(i), itype, 1);
+            self.pool_provision(pool, PoolSlot::Worker(i), itype, 1, 0);
         }
     }
 
@@ -1944,15 +1965,17 @@ impl CloudEnv {
         if consolidated {
             // Single right-sized VM: sizing from the job's input bytes.
             let wanted = match &self.pools[pool].cfg.instance_override {
-                Some(name) => *cloudsim::instance_type(name)
+                Some(name) => *self
+                    .world
+                    .lookup_instance(name)
                     .unwrap_or_else(|| panic!("unknown instance type {name}")),
                 None => *self.pools[pool]
                     .cfg
                     .sizing
-                    .choose(self.jobs[job].input_data_size()),
+                    .choose_from(self.world.catalog(), self.jobs[job].input_data_size()),
             };
             if self.pools[pool].workers.is_empty() {
-                self.pool_provision(pool, PoolSlot::Worker(0), wanted, 1);
+                self.pool_provision(pool, PoolSlot::Worker(0), wanted, 1, 0);
                 return false;
             }
             // An existing VM is reused only if it is big enough.
@@ -1976,15 +1999,19 @@ impl CloudEnv {
         };
         if self.pools[pool].master.is_none() {
             let master_name = self.pools[pool].cfg.master_instance.clone();
-            let itype = *cloudsim::instance_type(&master_name)
+            let itype = *self
+                .world
+                .lookup_instance(&master_name)
                 .unwrap_or_else(|| panic!("unknown instance type {master_name}"));
-            self.pool_provision(pool, PoolSlot::Master, itype, 1);
+            self.pool_provision(pool, PoolSlot::Master, itype, 1, 0);
         }
-        let itype = *cloudsim::instance_type(&instance_type)
+        let itype = *self
+            .world
+            .lookup_instance(&instance_type)
             .unwrap_or_else(|| panic!("unknown instance type {instance_type}"));
         while self.pools[pool].workers.len() < count {
             let slot = self.pools[pool].workers.len();
-            self.pool_provision(pool, PoolSlot::Worker(slot), itype, 1);
+            self.pool_provision(pool, PoolSlot::Worker(slot), itype, 1, 0);
         }
         self.pools[pool].all_ready()
     }
@@ -2053,22 +2080,39 @@ impl CloudEnv {
         }
     }
 
-    /// A pool VM failed: boot failure or mid-job loss. Replacement VMs
-    /// are provisioned into the same slot while the budget lasts; a lost
-    /// worker's in-flight tasks are requeued on the master's KV queue.
-    fn on_pool_vm_failed(&mut self, route: Route) {
+    /// A pool VM failed: boot failure, mid-job loss or spot preemption.
+    /// Replacement VMs are provisioned into the same slot while the
+    /// budget lasts; a lost worker's in-flight tasks are requeued on the
+    /// master's KV queue. A preempted slot's reclaim history advances,
+    /// and the replacement falls back to on-demand once the bid policy's
+    /// budget is spent (ledgered as a spot fallback).
+    fn on_pool_vm_failed(&mut self, route: Route, fault: FaultKind) {
         let Route::PoolVm { pool, slot, epoch } = route else {
             unreachable!("vm route is always a pool vm")
         };
-        let (itype, attempts, was_ready) = match self.pool_vm_opt(pool, slot) {
+        let preempted = fault == FaultKind::SpotPreemption;
+        let (itype, attempts, preemptions, was_ready) = match self.pool_vm_opt(pool, slot) {
             Some(pv) if pv.epoch == epoch => {
                 let was_ready = pv.phase == VmPhase::Ready;
                 pv.phase = VmPhase::Dead;
-                (pv.itype, pv.provision_attempts, was_ready)
+                if preempted {
+                    pv.preemptions += 1;
+                }
+                (pv.itype, pv.provision_attempts, pv.preemptions, was_ready)
             }
             // Stale failure of a replaced VM or a shut-down pool.
             _ => return,
         };
+        if preempted {
+            if let crate::sizing::BidPolicy::Spot { max_preemptions } = self.pools[pool].cfg.bid
+            {
+                // The reclaim that exhausts the budget flips this slot's
+                // replacements to on-demand; count the concession once.
+                if preemptions == max_preemptions {
+                    self.world.fault_ledger_mut().spot_fallbacks += 1;
+                }
+            }
+        }
         if let PoolSlot::Worker(i) = slot {
             self.pools[pool].idle_procs.retain(|&(v, _)| v != i);
             if was_ready {
@@ -2101,7 +2145,7 @@ impl CloudEnv {
             return;
         }
         self.world.fault_ledger_mut().vm_replacements += 1;
-        self.pool_provision(pool, slot, itype, attempts + 1);
+        self.pool_provision(pool, slot, itype, attempts + 1, preemptions);
     }
 
     /// The pool's acting master VM (and with it the KV store and the

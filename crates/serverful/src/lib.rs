@@ -67,6 +67,6 @@ pub use executor::{Backend, FunctionExecutor, JobHandle, MapOptions};
 pub use payload::Payload;
 pub use recovery::{RecoveryMode, RecoveryStats};
 pub use retry::RetryPolicy;
-pub use sizing::SizingPolicy;
+pub use sizing::{BidPolicy, SizingPolicy};
 pub use storage::Storage;
 pub use task::{Action, ActionOutcome, ScriptTask, TaskLogic, TaskStep};

@@ -7,9 +7,7 @@
 //! empirically defined bounds."* [`SizingPolicy`] implements that rule
 //! against the instance catalog.
 
-use cloudsim::{
-    catalog, largest_instance_within_mem, smallest_instance_with_mem, InstanceType,
-};
+use cloudsim::{catalog, InstanceType};
 
 /// Chooses an instance type from the data size a job will touch.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,9 +59,21 @@ impl SizingPolicy {
     /// assert_eq!(policy.choose(20_000_000_000).name, "m4.4xlarge");
     /// ```
     pub fn choose(&self, input_bytes: u64) -> &'static InstanceType {
+        self.choose_from(catalog(), input_bytes)
+    }
+
+    /// [`choose`](Self::choose) against an explicit regional catalog
+    /// (sorted by memory) instead of the default us-east-1 price list.
+    pub fn choose_from(
+        &self,
+        catalog: &'static [InstanceType],
+        input_bytes: u64,
+    ) -> &'static InstanceType {
         let need = self.required_mem_gib(input_bytes);
-        smallest_instance_with_mem(need)
-            .unwrap_or_else(|| catalog().last().expect("catalog is non-empty"))
+        catalog
+            .iter()
+            .find(|it| it.mem_gib >= need)
+            .unwrap_or_else(|| catalog.last().expect("catalog is non-empty"))
     }
 
     /// Plans a stateful operation within the empirical bound table:
@@ -81,16 +91,65 @@ impl SizingPolicy {
     /// assert_eq!((it.name, rounds), ("m4.4xlarge", 2));
     /// ```
     pub fn plan(&self, input_bytes: u64) -> (&'static InstanceType, usize) {
+        self.plan_from(catalog(), input_bytes)
+    }
+
+    /// [`plan`](Self::plan) against an explicit regional catalog (sorted
+    /// by memory) instead of the default us-east-1 price list.
+    pub fn plan_from(
+        &self,
+        catalog: &'static [InstanceType],
+        input_bytes: u64,
+    ) -> (&'static InstanceType, usize) {
         let need = self.required_mem_gib(input_bytes);
         if need <= self.max_instance_mem_gib {
-            return (self.choose(input_bytes), 1);
+            return (self.choose_from(catalog, input_bytes), 1);
         }
-        let largest = largest_instance_within_mem(self.max_instance_mem_gib)
+        let largest = catalog
+            .iter()
+            .rev()
+            .find(|it| it.mem_gib <= self.max_instance_mem_gib)
             .expect("catalog has an instance within the bound");
         let usable = largest.mem_gib - self.headroom_gib;
         let per_round_bytes = (usable / self.mem_factor * (1u64 << 30) as f64) as u64;
         let rounds = input_bytes.div_ceil(per_round_bytes.max(1)) as usize;
         (largest, rounds.max(2))
+    }
+}
+
+/// How a serverful pool bids for VM capacity.
+///
+/// The default is on-demand everywhere — byte-identical to the
+/// pre-spot behaviour. A spot bid provisions *worker* slots as
+/// [`Tenancy::Spot`](cloudsim::Tenancy::Spot) (masters always run
+/// on-demand: losing the orchestrator to a reclaim would defeat the
+/// serverful design) and tolerates a bounded number of preemptions per
+/// slot before falling back to on-demand capacity for that slot's
+/// replacements. Fallbacks are counted in
+/// [`FaultLedger::spot_fallbacks`](telemetry::FaultLedger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BidPolicy {
+    /// Only on-demand capacity (the paper's behaviour).
+    #[default]
+    OnDemand,
+    /// Bid for discounted spot capacity on worker slots.
+    Spot {
+        /// Preemptions tolerated per slot before its replacements fall
+        /// back to on-demand.
+        max_preemptions: u32,
+    },
+}
+
+impl BidPolicy {
+    /// The conventional spot bid: persist through two reclaims per slot
+    /// before conceding that slot to on-demand.
+    pub fn spot() -> BidPolicy {
+        BidPolicy::Spot { max_preemptions: 2 }
+    }
+
+    /// True when this policy ever bids for spot capacity.
+    pub fn is_spot(&self) -> bool {
+        matches!(self, BidPolicy::Spot { .. })
     }
 }
 

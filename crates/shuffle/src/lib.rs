@@ -25,6 +25,8 @@
 //!   are identical but nothing is materialised. Used at paper scale
 //!   (tens of GB).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod data;
 pub mod driver;

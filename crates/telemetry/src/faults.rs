@@ -26,17 +26,21 @@ pub enum FaultKind {
     StorageTransient,
     /// An object-storage request was throttled (503 SlowDown).
     StorageSlowDown,
+    /// A spot VM was reclaimed by the provider's spot market (its
+    /// uptime is billed at the spot rate).
+    SpotPreemption,
 }
 
 impl FaultKind {
     /// All fault kinds, in ledger order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::SandboxInvokeError,
         FaultKind::SandboxCrash,
         FaultKind::VmBootFailure,
         FaultKind::VmLoss,
         FaultKind::StorageTransient,
         FaultKind::StorageSlowDown,
+        FaultKind::SpotPreemption,
     ];
 
     fn index(self) -> usize {
@@ -47,6 +51,7 @@ impl FaultKind {
             FaultKind::VmLoss => 3,
             FaultKind::StorageTransient => 4,
             FaultKind::StorageSlowDown => 5,
+            FaultKind::SpotPreemption => 6,
         }
     }
 
@@ -59,6 +64,7 @@ impl FaultKind {
             FaultKind::VmLoss => "vm loss",
             FaultKind::StorageTransient => "storage transient error",
             FaultKind::StorageSlowDown => "storage slow-down",
+            FaultKind::SpotPreemption => "spot preemption",
         }
     }
 }
@@ -117,9 +123,9 @@ impl fmt::Display for SuppressReason {
 /// seeded fault schedule replays exactly.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultLedger {
-    injected: [u64; 6],
+    injected: [u64; 7],
     /// Injections swallowed instead of fired, per kind × reason.
-    suppressed: [[u64; 2]; 6],
+    suppressed: [[u64; 2]; 7],
     /// Whole-task re-dispatches (fresh sandbox / requeued bundle).
     pub task_retries: u64,
     /// Single storage requests re-issued after a transient error.
@@ -128,6 +134,9 @@ pub struct FaultLedger {
     pub vm_replacements: u64,
     /// Straggler tasks speculatively re-dispatched by the monitor.
     pub stragglers_redispatched: u64,
+    /// Spot bid policies that gave up on spot capacity and fell back to
+    /// on-demand after repeated preemptions.
+    pub spot_fallbacks: u64,
     /// Units of work whose retry budget ran out.
     pub attempts_exhausted: u64,
     /// Billed GB-seconds of sandbox executions that crashed or were
@@ -223,6 +232,12 @@ impl FaultLedger {
             out.push_str(&format!(
                 "  {:<24} {}\n",
                 "stragglers redispatched", self.stragglers_redispatched
+            ));
+        }
+        if self.spot_fallbacks > 0 {
+            out.push_str(&format!(
+                "  {:<24} {}\n",
+                "spot fallbacks", self.spot_fallbacks
             ));
         }
         if self.attempts_exhausted > 0 {

@@ -30,6 +30,8 @@
 //! assert!((ledger.total() - 0.77).abs() < 1e-12);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cost;
 pub mod cpu;
 pub mod faults;

@@ -15,14 +15,49 @@
 //! edge validate <- sort one-to-one
 //! ```
 //!
-//! Grammar, one declaration per line:
+//! # Grammar
 //!
-//! - `workload <name>` — exactly once, first declaration.
-//! - `stage <name> tasks=<n> cpu_secs=<f> read_mb=<f> write_mb=<f>`
-//!   followed by either `stateless read_spread=<n> write_spread=<n>`
-//!   or `stateful exchange_gb=<f>`.
-//! - `edge <to> <- <from> one-to-one|all-to-all` — stages referenced
-//!   by name, declared before use.
+//! Lexically, each line is stripped of its comment (`#` to end of
+//! line) and split on whitespace; empty lines vanish before parsing,
+//! so indentation and spacing are free. In EBNF over the remaining
+//! token lines:
+//!
+//! ```text
+//! workload-file = header , { stage-decl } , { edge-decl } ;
+//!
+//! header        = "workload" , name ;
+//!
+//! stage-decl    = "stage" , name ,
+//!                 "tasks="    , nat ,
+//!                 "cpu_secs=" , num ,
+//!                 "read_mb="  , num ,
+//!                 "write_mb=" , num ,
+//!                 ( stateless | stateful ) ;
+//! stateless     = "stateless" , "read_spread=" , nat , "write_spread=" , nat ;
+//! stateful      = "stateful"  , "exchange_gb=" , num ;
+//!
+//! edge-decl     = "edge" , name , "<-" , name , fan ;
+//! fan           = "one-to-one" | "all-to-all" ;
+//!
+//! name          = token ;  (* no whitespace or "#"; validation further
+//!                             requires uniqueness *)
+//! nat           = token ;  (* Rust usize literal *)
+//! num           = token ;  (* Rust f64 literal *)
+//! ```
+//!
+//! Ordering rules the grammar cannot show: the `workload` header comes
+//! before any `stage`; an `edge` may only name stages already declared
+//! (which, with [`Workload::validate`]'s `from < to` check, forces
+//! edges to point forward — the graph is acyclic by construction).
+//! Declaration interleaving is otherwise free: `edge` lines may appear
+//! between `stage` lines as long as both endpoints exist. The parsed
+//! value then passes [`Workload::validate`], so a text that parses but
+//! describes an unschedulable graph still fails with
+//! [`DslError::Invalid`].
+//!
+//! Files conventionally use the `.wl` extension; `repro workload
+//! path/to.wl` loads one from disk through [`parse`] and runs it like
+//! any bundled workload.
 
 use std::fmt;
 

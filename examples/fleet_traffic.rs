@@ -48,6 +48,11 @@ fn main() {
         },
         max_jobs: 40,
         pipelined: false,
+        // Home-region defaults: no provider override, no spot market,
+        // no outage — the pre-provider scenario, byte-for-byte.
+        region: None,
+        spot_market: None,
+        outage: None,
     };
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -30,12 +30,26 @@ echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== docs (deny warnings, incl. missing_docs) =="
-# serverful, cloudsim, simkernel and fleet carry #![warn(missing_docs)];
-# -D warnings promotes any undocumented public item to a failure.
+# Every workspace crate carries #![warn(missing_docs)]; -D warnings
+# promotes any undocumented public item to a failure. The rendered tree
+# under target/doc is the CI doc artifact: every crate must have
+# produced an index page.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+for crate in bench bytes cloudsim clustersim fleet metaspace planner \
+             serverful shuffle simkernel telemetry workload; do
+    [[ -f "target/doc/$crate/index.html" ]] \
+        || { echo "doc artifact missing for crate $crate" >&2; exit 1; }
+done
+ls -d target/doc
 
-echo "== doctests =="
-cargo test --workspace --doc -q
+echo "== doctests (count-gated) =="
+# Doc examples are part of the documented API surface; losing them is
+# doc drift even when rustdoc stays warning-free. Keep the floor in
+# sync when examples are deliberately added or removed.
+cargo test --workspace --doc -q | tee /tmp/doctests.txt
+doctests=$(grep -Eo '[0-9]+ passed' /tmp/doctests.txt | awk '{s+=$1} END {print s}')
+[[ "${doctests:-0}" -ge 44 ]] \
+    || { echo "doctest count dropped to ${doctests:-0} (floor 44)" >&2; exit 1; }
 
 echo "== tests (debug, incl. fast goldens) =="
 cargo test --workspace -q
@@ -74,6 +88,19 @@ diff /tmp/fleet_b.txt /tmp/fleet_c.txt \
     || { echo "fleet report drifts across runs" >&2; exit 1; }
 grep -q "shared-pool" /tmp/fleet_a.txt \
     || { echo "fleet report missing the shared-pool policy" >&2; exit 1; }
+
+echo "== provider registry + spot-market smoke =="
+# The region table must list every registered region, and the provider
+# sweep must stay deterministic across repeat runs at the same seed.
+./target/release/repro providers > /tmp/providers.txt
+for region in aws-us-east-1 aws-eu-west-1 gcp-us-central1; do
+    grep -q "$region" /tmp/providers.txt \
+        || { echo "repro providers missing region $region" >&2; exit 1; }
+done
+./target/release/repro plan brain --providers --threads 2 --seed 42 > /tmp/prov_a.txt
+./target/release/repro plan brain --providers --threads 8 --seed 42 > /tmp/prov_b.txt
+diff /tmp/prov_a.txt /tmp/prov_b.txt \
+    || { echo "provider sweep depends on --threads" >&2; exit 1; }
 
 echo "== master-kill chaos matrix (smoke) =="
 # Kill the serverful master at seeded event indices under both recovery
@@ -114,6 +141,16 @@ while read -r wl; do
     [[ "$(grep -c "^verdict: $wl:" /tmp/wl_a.txt)" -eq 2 ]] \
         || { echo "workload $wl: missing verdict lines" >&2; exit 1; }
 done < <(sed 's/metaspace-brain/Brain/;s/metaspace-xenograft/Xenograft/;s/metaspace-x089/X089/' /tmp/workload_names.txt)
+
+echo "== workload from disk (.wl round trip) =="
+# A workload emitted as DSL, written to disk and loaded back via
+# `repro workload path/to.wl` must run byte-identically to its bundled
+# twin: the file loader and the catalog resolve to the same graph.
+./target/release/repro workload terasort-small --dsl > /tmp/terasort-small.wl
+./target/release/repro workload /tmp/terasort-small.wl --smoke --seed 42 > /tmp/wl_disk.txt
+./target/release/repro workload terasort-small --smoke --seed 42 > /tmp/wl_bundled.txt
+diff /tmp/wl_disk.txt /tmp/wl_bundled.txt \
+    || { echo "disk-loaded workload diverges from its bundled twin" >&2; exit 1; }
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== tests (release: paper-scale + chaos + golden gates) =="
