@@ -78,6 +78,10 @@ fn main() {
         "  fleet-replay speedup: {:.1}x (async kernel vs legacy pump loop)",
         report.fleet_replay_speedup
     );
+    println!(
+        "  monitor-churn speedup: {:.1}x (monitor futures vs legacy poll routing)",
+        report.monitor_churn_speedup
+    );
 
     let json = report.to_json();
     if let Err(e) = std::fs::write(&out, &json) {

@@ -1,8 +1,8 @@
 //! Microbenchmarks of the deterministic async kernel
 //! ([`simkernel::aio`]): raw event throughput, timer churn, fan-in
-//! wakeup storms, and a fleet-replay-shaped head-to-head of the old
+//! wakeup storms, and two replay-shaped head-to-heads of the old
 //! scan-everything pump-loop discipline against the wake-only async
-//! path. `scripts/ci.sh` runs these in `--release` every run, writes
+//! path (fleet stage completions, and completion-monitor poll churn). `scripts/ci.sh` runs these in `--release` every run, writes
 //! `BENCH_kernel.json`, and fails the build when throughput regresses
 //! more than 20% below the committed `BENCH_kernel_baseline.json`.
 //!
@@ -26,7 +26,7 @@ use std::time::Instant;
 use simkernel::{join_all, AsyncExecutor, EventQueue, Gate, SimDuration, SimRng, SimTime};
 
 /// Identifies the JSON layout; bump on breaking changes.
-pub const SCHEMA: &str = "bench-kernel/v1";
+pub const SCHEMA: &str = "bench-kernel/v2";
 
 /// Scenario sizes; [`KernelBenchConfig::full`] for CI, `tiny` for
 /// debug-fast schema tests.
@@ -53,6 +53,14 @@ pub struct KernelBenchConfig {
     /// Non-completion world events interleaved per task (sandbox
     /// starts, transfers — the traffic the old loop rescanned on).
     pub fleet_noise: usize,
+    /// Jobs in the monitor-churn scenario (each runs one completion
+    /// monitor).
+    pub monitor_jobs: usize,
+    /// Tasks per monitor-churn job.
+    pub monitor_tasks: usize,
+    /// Poll interval of each monitor-churn monitor, in microseconds —
+    /// short on purpose, so tick traffic dominates.
+    pub monitor_interval_us: u64,
 }
 
 impl KernelBenchConfig {
@@ -69,6 +77,9 @@ impl KernelBenchConfig {
             fleet_stages: 5,
             fleet_tasks: 40,
             fleet_noise: 4,
+            monitor_jobs: 500,
+            monitor_tasks: 40,
+            monitor_interval_us: 1_000,
         }
     }
 
@@ -85,6 +96,9 @@ impl KernelBenchConfig {
             fleet_stages: 2,
             fleet_tasks: 3,
             fleet_noise: 2,
+            monitor_jobs: 3,
+            monitor_tasks: 4,
+            monitor_interval_us: 2_000,
         }
     }
 }
@@ -115,6 +129,9 @@ pub struct KernelBenchReport {
     /// Wall-clock ratio legacy-pump / async-kernel on the fleet-replay
     /// scenario (same events on both sides).
     pub fleet_replay_speedup: f64,
+    /// Wall-clock ratio legacy-pump / async-kernel on the monitor-churn
+    /// scenario (same events on both sides).
+    pub monitor_churn_speedup: f64,
 }
 
 /// Runs every scenario and assembles the report.
@@ -133,11 +150,16 @@ pub fn run(seed: u64, git_rev: &str, cfg: &KernelBenchConfig) -> KernelBenchRepo
     let speedup = legacy.wall_secs / asynchronous.wall_secs;
     scenarios.push(legacy);
     scenarios.push(asynchronous);
+    let (m_legacy, m_async) = monitor_churn(seed, cfg);
+    let monitor_speedup = m_legacy.wall_secs / m_async.wall_secs;
+    scenarios.push(m_legacy);
+    scenarios.push(m_async);
     KernelBenchReport {
         seed,
         git_rev: git_rev.to_owned(),
         scenarios,
         fleet_replay_speedup: speedup,
+        monitor_churn_speedup: monitor_speedup,
     }
 }
 
@@ -436,6 +458,163 @@ fn fleet_replay(seed: u64, cfg: &KernelBenchConfig) -> (ScenarioResult, Scenario
     (legacy, asynchronous)
 }
 
+/// A replayed monitor-churn world event: one task of `job` finishing,
+/// or (legacy model only) one completion-monitor poll tick.
+#[derive(Clone, Copy)]
+enum MEv {
+    TaskDone { job: usize },
+    Poll { job: usize },
+}
+
+/// Per-task completion delays for the monitor-churn jobs. Forced odd so
+/// a completion never ties with an (even-interval) poll tick — the two
+/// replay models break same-instant ties differently.
+fn monitor_durations(seed: u64, cfg: &KernelBenchConfig) -> Vec<Vec<u64>> {
+    let mut rng = SimRng::seed_from(seed ^ 0x404E17);
+    (0..cfg.monitor_jobs)
+        .map(|_| {
+            (0..cfg.monitor_tasks)
+                .map(|_| rng.uniform_u64(1_000, 80_000) | 1)
+                .collect()
+        })
+        .collect()
+}
+
+fn monitor_arrival(job: usize) -> u64 {
+    job as u64 * 2_000
+}
+
+/// Replays monitor churn the old way: poll ticks are timer events routed
+/// through the global queue, and every popped event walks every job's
+/// monitor state to re-derive the one-LIST-in-flight guard (the
+/// `schedule_poll`/`on_poll` discipline).
+fn monitor_churn_legacy(
+    seed: u64,
+    cfg: &KernelBenchConfig,
+    durs: &[Vec<u64>],
+) -> (ScenarioResult, u64) {
+    let _ = seed;
+    let interval = cfg.monitor_interval_us;
+    let mut q: EventQueue<MEv> = EventQueue::new();
+    let mut remaining: Vec<usize> = durs.iter().map(Vec::len).collect();
+    let mut ticks = vec![0u64; cfg.monitor_jobs];
+    let mut finished = vec![false; cfg.monitor_jobs];
+    for (job, ds) in durs.iter().enumerate() {
+        let at = monitor_arrival(job);
+        for &d in ds {
+            q.schedule_at(SimTime::from_micros(at + d), MEv::TaskDone { job });
+        }
+        q.schedule_at(SimTime::from_micros(at + interval), MEv::Poll { job });
+    }
+    let mut events = 0u64;
+    let mut checksum = 0u64;
+    let t = Instant::now();
+    while let Some((now, ev)) = q.next() {
+        events += 1;
+        // The old loop's shape: every pump re-derives the monitor guard
+        // by scanning every job's state.
+        let mut live = 0usize;
+        for f in &finished {
+            live += usize::from(!*f);
+        }
+        std::hint::black_box(live);
+        match ev {
+            MEv::TaskDone { job } => remaining[job] -= 1,
+            MEv::Poll { job } => {
+                ticks[job] += 1;
+                checksum = checksum.wrapping_add(mix(now, job, ticks[job] as usize));
+                if remaining[job] == 0 {
+                    finished[job] = true;
+                } else {
+                    q.schedule_at(
+                        SimTime::from_micros(now.as_micros() + interval),
+                        MEv::Poll { job },
+                    );
+                }
+            }
+        }
+    }
+    let wall = t.elapsed().as_secs_f64();
+    (result("monitor-churn-legacy-pump", events, wall), checksum)
+}
+
+/// Replays the same monitor churn on the async kernel: each job's
+/// monitor is one future sleeping its poll interval on the kernel's
+/// timer wheel; the reactor pops only the task completions and wakes
+/// nobody else.
+fn monitor_churn_async(
+    seed: u64,
+    cfg: &KernelBenchConfig,
+    durs: &[Vec<u64>],
+) -> (ScenarioResult, u64) {
+    let _ = seed;
+    let interval = cfg.monitor_interval_us;
+    let exec = AsyncExecutor::new();
+    let mut q: EventQueue<MEv> = EventQueue::new();
+    let checksum = Rc::new(Cell::new(0u64));
+    let remaining: Vec<Rc<Cell<usize>>> = durs
+        .iter()
+        .map(|ds| Rc::new(Cell::new(ds.len())))
+        .collect();
+    for (job, ds) in durs.iter().enumerate() {
+        let at = monitor_arrival(job);
+        for &d in ds {
+            q.schedule_at(SimTime::from_micros(at + d), MEv::TaskDone { job });
+        }
+        let exec2 = exec.clone();
+        let sum2 = Rc::clone(&checksum);
+        let rem = Rc::clone(&remaining[job]);
+        exec.spawn(async move {
+            let mut next = at + interval;
+            let mut ticks = 0u64;
+            loop {
+                let now = exec2.now().as_micros();
+                exec2.sleep(SimDuration::from_micros(next - now)).await;
+                ticks += 1;
+                sum2.set(sum2.get().wrapping_add(mix(exec2.now(), job, ticks as usize)));
+                if rem.get() == 0 {
+                    break;
+                }
+                next += interval;
+            }
+        });
+    }
+    let mut events = 0u64;
+    let t = Instant::now();
+    exec.run_ready();
+    while let Some((now, ev)) = q.next() {
+        events += 1;
+        exec.advance_to(now);
+        let MEv::TaskDone { job } = ev else {
+            unreachable!("the async model schedules no poll events")
+        };
+        remaining[job].set(remaining[job].get() - 1);
+        exec.run_ready();
+    }
+    // The final detection tick of every job lies beyond the last world
+    // event; drain the timer wheel.
+    let stuck = exec.run();
+    let wall = t.elapsed().as_secs_f64();
+    assert_eq!(stuck, 0, "every monitor detected completion");
+    events += exec.stats().timer_fires;
+    (result("monitor-churn-async-kernel", events, wall), checksum.get())
+}
+
+/// Runs both monitor-churn models over the identical schedule, asserts
+/// their tick-trace checksums match, and returns both results (legacy
+/// first).
+fn monitor_churn(seed: u64, cfg: &KernelBenchConfig) -> (ScenarioResult, ScenarioResult) {
+    let durs = monitor_durations(seed, cfg);
+    let (legacy, legacy_sum) = monitor_churn_legacy(seed, cfg, &durs);
+    let (asynchronous, async_sum) = monitor_churn_async(seed, cfg, &durs);
+    assert_eq!(
+        legacy_sum, async_sum,
+        "monitor-churn models diverged — the speedup would be meaningless"
+    );
+    assert_eq!(legacy.events, asynchronous.events, "same schedule, same events");
+    (legacy, asynchronous)
+}
+
 impl KernelBenchReport {
     /// Serialises to the `BENCH_kernel.json` layout: one key per line,
     /// so the no-dependency parser (and grep) can read it back.
@@ -461,8 +640,13 @@ impl KernelBenchReport {
         out.push_str("  ],\n");
         let _ = writeln!(
             out,
-            "  \"fleet_replay_speedup\": {:.3}",
+            "  \"fleet_replay_speedup\": {:.3},",
             self.fleet_replay_speedup
+        );
+        let _ = writeln!(
+            out,
+            "  \"monitor_churn_speedup\": {:.3}",
+            self.monitor_churn_speedup
         );
         out.push_str("}\n");
         out
@@ -487,6 +671,7 @@ impl KernelBenchReport {
         let mut seed = None;
         let mut git_rev = None;
         let mut speedup = None;
+        let mut monitor_speedup = None;
         let mut scenarios: Vec<ScenarioResult> = Vec::new();
         let mut cur: Option<ScenarioResult> = None;
         let mut in_scenarios = false;
@@ -527,6 +712,8 @@ impl KernelBenchReport {
                 git_rev = str_field(t).map(str::to_owned);
             } else if t.starts_with("\"fleet_replay_speedup\"") {
                 speedup = num_field(t);
+            } else if t.starts_with("\"monitor_churn_speedup\"") {
+                monitor_speedup = num_field(t);
             }
         }
         let schema = schema.ok_or("missing \"schema\"")?;
@@ -541,6 +728,8 @@ impl KernelBenchReport {
             git_rev: git_rev.ok_or("missing \"git_rev\"")?,
             scenarios,
             fleet_replay_speedup: speedup.ok_or("missing \"fleet_replay_speedup\"")?,
+            monitor_churn_speedup: monitor_speedup
+                .ok_or("missing \"monitor_churn_speedup\"")?,
         })
     }
 
@@ -578,6 +767,16 @@ mod tests {
         for seed in [1, 7, 42] {
             // `fleet_replay` panics internally on checksum divergence.
             let (l, a) = fleet_replay(seed, &cfg);
+            assert_eq!(l.events, a.events);
+        }
+    }
+
+    #[test]
+    fn monitor_churn_models_agree_across_seeds() {
+        let cfg = KernelBenchConfig::tiny();
+        for seed in [1, 7, 42] {
+            // `monitor_churn` panics internally on checksum divergence.
+            let (l, a) = monitor_churn(seed, &cfg);
             assert_eq!(l.events, a.events);
         }
     }

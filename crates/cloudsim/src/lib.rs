@@ -57,7 +57,8 @@ pub use pricing::{
     smallest_instance_with_mem, InstanceType, LambdaTariff, S3Tariff,
 };
 pub use provider::{
-    default_region, providers, region, region_keys, regions, Provider, RegionProfile, SpotMarket,
+    default_region, providers, region, region_keys, region_of, regions, Provider, RegionProfile,
+    SpotMarket,
 };
 pub use store::{ObjectBody, ObjectStore};
 pub use world::{Notify, OpOutcome, Tenancy, World};

@@ -73,6 +73,13 @@ pub struct RegionProfile {
     /// Default master/orchestrator instance for serverful pools — the
     /// smallest general-purpose box in this catalog.
     pub master_instance: &'static str,
+    /// Lithops-style backend label of this region's FaaS offering
+    /// (`"aws_lambda"`, `"gcp_cloudfunctions"`). Billing and trace
+    /// labels derive from here instead of hard-coding AWS names.
+    pub faas_label: &'static str,
+    /// Lithops-style backend label of this region's VM offering
+    /// (`"aws_ec2"`, `"gcp_gce"`).
+    pub vm_label: &'static str,
     /// FaaS tariff (price per GiB-second and the memory→vCPU mapping).
     pub faas_tariff: LambdaTariff,
     /// FaaS cold-start log-normal median, seconds.
@@ -268,6 +275,8 @@ static AWS_REGIONS: [RegionProfile; 2] = [
         region: "us-east-1",
         catalog: CATALOG,
         master_instance: "c5.large",
+        faas_label: "aws_lambda",
+        vm_label: "aws_ec2",
         faas_tariff: LambdaTariff {
             usd_per_gib_second: 0.0000166667,
             usd_per_request: 0.0000002,
@@ -290,6 +299,8 @@ static AWS_REGIONS: [RegionProfile; 2] = [
         region: "eu-west-1",
         catalog: &AWS_EU_WEST_1_CATALOG,
         master_instance: "c5.large",
+        faas_label: "aws_lambda",
+        vm_label: "aws_ec2",
         faas_tariff: LambdaTariff {
             // EU Lambda GiB-seconds price the same premium as EC2.
             usd_per_gib_second: 0.0000185,
@@ -316,6 +327,8 @@ static GCP_REGIONS: [RegionProfile; 1] = [RegionProfile {
     region: "us-central1",
     catalog: &GCP_US_CENTRAL1_CATALOG,
     master_instance: "e2-standard-2",
+    faas_label: "gcp_cloudfunctions",
+    vm_label: "gcp_gce",
     faas_tariff: LambdaTariff {
         // Cloud-Functions-shaped: cheaper GiB-seconds, CPU bundled at a
         // coarser memory step.
@@ -361,6 +374,17 @@ pub fn region(key: &str) -> Option<&'static RegionProfile> {
 /// market.
 pub fn default_region() -> &'static RegionProfile {
     &AWS_REGIONS[0]
+}
+
+/// The registered region a config was derived from, identified by its
+/// catalog — every region owns a distinct `'static` catalog slice, so
+/// pointer identity suffices. `None` for hand-built configs carrying a
+/// custom catalog. The default [`CloudConfig`] shares the us-east-1
+/// catalog and resolves to [`default_region`].
+pub fn region_of(cfg: &CloudConfig) -> Option<&'static RegionProfile> {
+    regions()
+        .into_iter()
+        .find(|r| std::ptr::eq(cfg.vm.catalog, r.catalog))
 }
 
 /// Keys of every registered region, in registry order — the values a

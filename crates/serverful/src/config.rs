@@ -40,7 +40,8 @@ pub struct StandaloneConfig {
     /// Mean/std of the SSH connect + worker bootstrap performed on each
     /// fresh VM, seconds.
     pub ssh_setup: (f64, f64),
-    /// Master's storage-polling interval while monitoring a job, seconds.
+    /// Master's storage-polling interval while monitoring a job,
+    /// seconds (the tick period of the job's monitor future).
     pub poll_interval: f64,
     /// Client-side setup per `map` on this backend — small, because the
     /// runtime and modules already live on the VMs.
@@ -103,7 +104,7 @@ pub struct ExecutorConfig {
     /// Sandbox memory for the FaaS backend, MB (1769 MB = 1 vCPU).
     pub runtime_memory_mb: u32,
     /// Client's storage-polling interval while monitoring a FaaS job,
-    /// seconds.
+    /// seconds (the tick period of the job's monitor future).
     pub poll_interval: f64,
     /// Whether each sandbox fetches its input bundle from object storage
     /// before running (Lithops ships function + data through storage).

@@ -1,0 +1,815 @@
+//! Serverful (standalone) pools: VM provisioning, master/worker
+//! lifecycle, the KV work queue, and pool idle/teardown.
+
+use super::*;
+
+/// Which pool VM a lifecycle notification concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum PoolSlot {
+    Master,
+    Worker(usize),
+}
+
+/// Lifecycle of a pool VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum VmPhase {
+    Booting,
+    SshSetup,
+    Ready,
+    /// The slot's VM is gone and its provisioning budget is spent; a new
+    /// job re-provisions it with a fresh budget.
+    Dead,
+}
+
+#[derive(Debug)]
+pub(super) struct PoolVm {
+    pub(super) vm: VmId,
+    pub(super) host: HostId,
+    pub(super) itype: cloudsim::InstanceType,
+    pub(super) phase: VmPhase,
+    /// Slot generation; bumped on every (re-)provision so in-flight pops
+    /// and SSH timers of a replaced VM can be told apart.
+    pub(super) epoch: u64,
+    /// Provisioning attempts charged against this slot for the current
+    /// job (boot failures and losses both consume the budget).
+    pub(super) provision_attempts: u32,
+    /// Spot preemptions this slot has absorbed for the current job;
+    /// carried across replacements so a [`BidPolicy::Spot`] budget can
+    /// fall the slot back to on-demand.
+    pub(super) preemptions: u32,
+}
+
+/// A serverful resource pool: one per executor using the VM backend.
+pub(crate) struct StandalonePool {
+    pub(super) cfg: StandaloneConfig,
+    /// Dedicated master VM (fleet mode). In consolidated mode the single
+    /// worker VM doubles as the master.
+    pub(super) master: Option<PoolVm>,
+    pub(super) kv: Option<KvId>,
+    pub(super) workers: Vec<PoolVm>,
+    pub(super) queue: VecDeque<usize>,
+    pub(super) active: Option<usize>,
+    /// Pushes still outstanding before workers may start popping.
+    pub(super) pushes_outstanding: usize,
+    /// Worker processes that popped an empty queue and went idle; woken
+    /// when a requeued bundle lands.
+    pub(super) idle_procs: Vec<(usize, usize)>,
+    /// Source of slot epochs.
+    pub(super) epoch_counter: u64,
+    /// Idle-window generation for the keep-alive timer (see
+    /// [`Route::PoolIdle`]).
+    pub(super) idle_epoch: u64,
+    pub(super) fleet_name: String,
+    /// Decentralized mode: tasks whose bundles sit in storage awaiting
+    /// a worker claim, in dispatch order.
+    pub(super) dc_ready: VecDeque<usize>,
+    /// True between a master loss and the replacement's checkpoint
+    /// replay (Checkpointed mode); dispatch defers to the re-adoption.
+    pub(super) recovering: bool,
+    /// Master-recovery generation; stale re-adoption fetches of an
+    /// earlier episode are dropped.
+    pub(super) recovery_episode: u64,
+    /// Monotonic checkpoint sequence number (survives master swaps via
+    /// the snapshot itself).
+    pub(super) ckpt_seq: u64,
+    /// Liveness flag of the current checkpoint sleep loop; cleared when
+    /// the pool's job finishes so the loop exits on its next fire.
+    pub(super) ckpt_active: Option<Rc<Cell<bool>>>,
+    /// Gate the pending re-adoption future waits on; opened when the
+    /// replacement master finishes SSH setup.
+    pub(super) readopt_gate: Option<simkernel::aio::Gate>,
+}
+
+impl StandalonePool {
+    pub(super) fn consolidated(&self) -> bool {
+        matches!(self.cfg.exec_mode, ExecMode::Consolidated)
+    }
+
+    pub(super) fn master_host(&self) -> HostId {
+        if self.consolidated() {
+            self.workers[0].host
+        } else {
+            self.master.as_ref().expect("master missing").host
+        }
+    }
+
+    /// The VM currently acting as master (the single worker VM in
+    /// consolidated mode), if the slot is populated.
+    pub(super) fn master_pv(&self) -> Option<&PoolVm> {
+        if self.consolidated() {
+            self.workers.first()
+        } else {
+            self.master.as_ref()
+        }
+    }
+
+    pub(super) fn all_ready(&self) -> bool {
+        let workers_ready = !self.workers.is_empty()
+            && self.workers.iter().all(|w| w.phase == VmPhase::Ready);
+        if self.consolidated() {
+            workers_ready
+        } else {
+            workers_ready && self.master.as_ref().is_some_and(|m| m.phase == VmPhase::Ready)
+        }
+    }
+}
+
+impl CloudEnv {
+    pub(crate) fn create_pool(&mut self, cfg: StandaloneConfig) -> usize {
+        let idx = self.pools.len();
+        let fleet_name = cfg
+            .fleet_label
+            .clone()
+            .unwrap_or_else(|| format!("standalone-{idx}"));
+        self.pools.push(StandalonePool {
+            cfg,
+            master: None,
+            kv: None,
+            workers: Vec::new(),
+            queue: VecDeque::new(),
+            active: None,
+            pushes_outstanding: 0,
+            idle_procs: Vec::new(),
+            epoch_counter: 0,
+            idle_epoch: 0,
+            fleet_name,
+            dc_ready: VecDeque::new(),
+            recovering: false,
+            recovery_episode: 0,
+            ckpt_seq: 0,
+            ckpt_active: None,
+            readopt_gate: None,
+        });
+        idx
+    }
+
+    /// True when every VM of the pool is provisioned and SSH-ready — a
+    /// job submitted now starts without paying boot time.
+    pub(crate) fn pool_ready(&self, pool: usize) -> bool {
+        self.pools[pool].all_ready()
+    }
+
+    /// Jobs currently running or queued on the pool (lease pressure).
+    pub(crate) fn pool_backlog(&self, pool: usize) -> usize {
+        self.pools[pool].queue.len() + usize::from(self.pools[pool].active.is_some())
+    }
+
+    /// Tears a pool's VMs down (executor shutdown).
+    pub(crate) fn shutdown_pool(&mut self, pool: usize) {
+        let p = &mut self.pools[pool];
+        assert!(p.active.is_none(), "shutdown with an active job");
+        let mut terminate = Vec::new();
+        for w in p.workers.drain(..) {
+            self.vm_routes.remove(&w.vm);
+            if w.phase == VmPhase::Ready {
+                terminate.push(w.vm);
+            }
+        }
+        if let Some(m) = p.master.take() {
+            self.vm_routes.remove(&m.vm);
+            if m.phase == VmPhase::Ready {
+                terminate.push(m.vm);
+            }
+        }
+        p.kv = None;
+        for vm in terminate {
+            self.world.vm_terminate(vm);
+        }
+    }
+
+    pub(super) fn pool_try_start(&mut self, pool: usize) {
+        if self.pools[pool].active.is_some() {
+            return;
+        }
+        let Some(&job) = self.pools[pool].queue.front() else {
+            return;
+        };
+        // Proactive provisioning: figure out the fleet this job needs.
+        if !self.pool_ensure_infra(pool, job) {
+            return; // infra still coming up; retried on VM readiness
+        }
+        self.pools[pool].queue.pop_front();
+        self.pools[pool].active = Some(job);
+        // A job starting closes any idle window: pending keep-alive
+        // timers must not tear down the pool under it.
+        self.pools[pool].idle_epoch += 1;
+        self.pool_start_job(pool, job);
+    }
+
+    /// Provisions (or re-provisions) a pool VM slot, protecting master
+    /// hosts from injected VM loss (the paper's design assumes the
+    /// orchestrating master stays up; boot failures still apply).
+    ///
+    /// `preemptions` is the slot's spot-reclaim history for the current
+    /// job: under [`BidPolicy::Spot`] a worker slot bids spot until that
+    /// history exhausts the policy's budget, then falls back to
+    /// on-demand. Masters (including the consolidated single VM, which
+    /// doubles as one) always run on-demand.
+    pub(super) fn pool_provision(
+        &mut self,
+        pool: usize,
+        slot: PoolSlot,
+        itype: cloudsim::InstanceType,
+        provision_attempts: u32,
+        preemptions: u32,
+    ) {
+        let fleet_name = self.pools[pool].fleet_name.clone();
+        // Pool VMs outlive individual jobs (reuse, keep-alive), so their
+        // uptime bills under the pool's fleet label, not whichever job
+        // happens to be current when they terminate.
+        self.world.set_bill_label(fleet_name.clone());
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        let tenancy = match self.pools[pool].cfg.bid {
+            crate::sizing::BidPolicy::Spot { max_preemptions }
+                if !is_master_vm && preemptions < max_preemptions =>
+            {
+                Tenancy::Spot
+            }
+            _ => Tenancy::OnDemand,
+        };
+        let vm = self.world.vm_provision_with(&itype, &fleet_name, tenancy);
+        let host = self.world.vm_host(vm);
+        self.pools[pool].epoch_counter += 1;
+        let epoch = self.pools[pool].epoch_counter;
+        let pv = PoolVm {
+            vm,
+            host,
+            itype,
+            phase: VmPhase::Booting,
+            epoch,
+            provision_attempts,
+            preemptions,
+        };
+        match slot {
+            PoolSlot::Master => self.pools[pool].master = Some(pv),
+            PoolSlot::Worker(i) => {
+                let workers = &mut self.pools[pool].workers;
+                if i < workers.len() {
+                    workers[i] = pv;
+                } else {
+                    debug_assert_eq!(i, workers.len());
+                    workers.push(pv);
+                }
+            }
+        }
+        // Only the paper's Protected stance exempts the master from
+        // injected loss; the recovery modes let it die and survive it.
+        if is_master_vm && self.pools[pool].cfg.recovery == RecoveryMode::Protected {
+            self.world.protect_host(host);
+        }
+        self.vm_routes.insert(vm, Route::PoolVm { pool, slot, epoch });
+    }
+
+    /// Re-provisions any slot left `Dead` by an exhausted replacement
+    /// budget, with a fresh budget (called when a new job starts).
+    pub(super) fn pool_replace_dead(&mut self, pool: usize) {
+        if let Some(m) = &self.pools[pool].master {
+            if m.phase == VmPhase::Dead {
+                let itype = m.itype;
+                self.pool_provision(pool, PoolSlot::Master, itype, 1, 0);
+            }
+        }
+        let dead: Vec<(usize, cloudsim::InstanceType)> = self.pools[pool]
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.phase == VmPhase::Dead)
+            .map(|(i, w)| (i, w.itype))
+            .collect();
+        for (i, itype) in dead {
+            self.pool_provision(pool, PoolSlot::Worker(i), itype, 1, 0);
+        }
+    }
+
+    /// Ensures master + workers exist and are ready. Returns true when
+    /// everything is ready now.
+    pub(super) fn pool_ensure_infra(&mut self, pool: usize, job: usize) -> bool {
+        self.pool_replace_dead(pool);
+        let consolidated = self.pools[pool].consolidated();
+        if consolidated {
+            // Single right-sized VM: sizing from the job's input bytes.
+            let wanted = match &self.pools[pool].cfg.instance_override {
+                Some(name) => *self
+                    .world
+                    .lookup_instance(name)
+                    .unwrap_or_else(|| panic!("unknown instance type {name}")),
+                None => *self.pools[pool]
+                    .cfg
+                    .sizing
+                    .choose_from(self.world.catalog(), self.jobs[job].input_data_size()),
+            };
+            if self.pools[pool].workers.is_empty() {
+                self.pool_provision(pool, PoolSlot::Worker(0), wanted, 1, 0);
+                return false;
+            }
+            // An existing VM is reused only if it is big enough.
+            let current = &self.pools[pool].workers[0];
+            if current.itype.mem_gib < wanted.mem_gib && current.phase == VmPhase::Ready {
+                let old = self.pools[pool].workers.remove(0);
+                self.vm_routes.remove(&old.vm);
+                self.world.vm_terminate(old.vm);
+                self.pools[pool].kv = None;
+                return self.pool_ensure_infra(pool, job);
+            }
+            return self.pools[pool].all_ready();
+        }
+        // Fleet mode: dedicated master + N workers of a fixed type.
+        let ExecMode::Fleet {
+            instance_type,
+            count,
+        } = self.pools[pool].cfg.exec_mode.clone()
+        else {
+            unreachable!()
+        };
+        if self.pools[pool].master.is_none() {
+            let master_name = self.pools[pool].cfg.master_instance.clone();
+            let itype = *self
+                .world
+                .lookup_instance(&master_name)
+                .unwrap_or_else(|| panic!("unknown instance type {master_name}"));
+            self.pool_provision(pool, PoolSlot::Master, itype, 1, 0);
+        }
+        let itype = *self
+            .world
+            .lookup_instance(&instance_type)
+            .unwrap_or_else(|| panic!("unknown instance type {instance_type}"));
+        while self.pools[pool].workers.len() < count {
+            let slot = self.pools[pool].workers.len();
+            self.pool_provision(pool, PoolSlot::Worker(slot), itype, 1, 0);
+        }
+        self.pools[pool].all_ready()
+    }
+
+    pub(super) fn on_vm_up(&mut self, route: Route, vm: VmId) {
+        let Route::PoolVm { pool, slot, epoch } = route else {
+            unreachable!("vm route is always a pool vm")
+        };
+        match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch => {}
+            _ => {
+                // Slot gone (pool shut down) or replaced: the VM is
+                // orphaned; stop paying for it.
+                self.vm_routes.remove(&vm);
+                self.world.vm_terminate(vm);
+                return;
+            }
+        }
+        let ssh = self.pools[pool].cfg.ssh_setup;
+        self.pool_vm_mut(pool, slot).phase = VmPhase::SshSetup;
+        let delay = world_latency(&mut self.world, ssh);
+        self.set_timer(delay, Route::PoolVm { pool, slot, epoch });
+    }
+
+    pub(super) fn on_pool_vm_ready(&mut self, pool: usize, slot: PoolSlot, epoch: u64) {
+        match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch && pv.phase == VmPhase::SshSetup => {
+                pv.phase = VmPhase::Ready;
+            }
+            _ => return, // stale SSH timer of a replaced VM or shut pool
+        }
+        // The master's KV server starts as soon as its VM is ready.
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        let kv_dead = self.pools[pool]
+            .kv
+            .is_some_and(|kv| !self.world.kv_alive(kv));
+        if is_master_vm
+            && self.pools[pool].cfg.recovery != RecoveryMode::Decentralized
+            && (self.pools[pool].kv.is_none() || kv_dead)
+        {
+            let vm = self.pool_vm_mut(pool, slot).vm;
+            let kv = self.world.kv_create(vm);
+            self.pools[pool].kv = Some(kv);
+        }
+        // A replacement master finishing SSH setup lets the pending
+        // re-adoption proceed (Checkpointed mode).
+        if is_master_vm && self.pools[pool].recovering {
+            if let Some(gate) = self.pools[pool].readopt_gate.clone() {
+                gate.open();
+            }
+        }
+        self.pool_try_start(pool);
+        // A replacement worker joining mid-job starts its processes
+        // immediately (the initial cohort is started by on_push_done).
+        if let PoolSlot::Worker(i) = slot {
+            if self.pools[pool].active.is_some() && self.pools[pool].pushes_outstanding == 0 {
+                let vcpus = self.pools[pool].workers[i].itype.vcpus as usize;
+                for proc in 0..vcpus {
+                    self.worker_pop(pool, i, proc);
+                }
+            }
+        }
+    }
+
+    /// A pool VM failed: boot failure, mid-job loss or spot preemption.
+    /// Replacement VMs are provisioned into the same slot while the
+    /// budget lasts; a lost worker's in-flight tasks are requeued on the
+    /// master's KV queue. A preempted slot's reclaim history advances,
+    /// and the replacement falls back to on-demand once the bid policy's
+    /// budget is spent (ledgered as a spot fallback).
+    pub(super) fn on_pool_vm_failed(&mut self, route: Route, fault: FaultKind) {
+        let Route::PoolVm { pool, slot, epoch } = route else {
+            unreachable!("vm route is always a pool vm")
+        };
+        let preempted = fault == FaultKind::SpotPreemption;
+        let (itype, attempts, preemptions, was_ready) = match self.pool_vm_opt(pool, slot) {
+            Some(pv) if pv.epoch == epoch => {
+                let was_ready = pv.phase == VmPhase::Ready;
+                pv.phase = VmPhase::Dead;
+                if preempted {
+                    pv.preemptions += 1;
+                }
+                (pv.itype, pv.provision_attempts, pv.preemptions, was_ready)
+            }
+            // Stale failure of a replaced VM or a shut-down pool.
+            _ => return,
+        };
+        if preempted {
+            if let crate::sizing::BidPolicy::Spot { max_preemptions } = self.pools[pool].cfg.bid
+            {
+                // The reclaim that exhausts the budget flips this slot's
+                // replacements to on-demand; count the concession once.
+                if preemptions == max_preemptions {
+                    self.world.fault_ledger_mut().spot_fallbacks += 1;
+                }
+            }
+        }
+        if let PoolSlot::Worker(i) = slot {
+            self.pools[pool].idle_procs.retain(|&(v, _)| v != i);
+            if was_ready {
+                self.pool_worker_lost(pool, i);
+            }
+        }
+        let is_master_vm = match slot {
+            PoolSlot::Master => true,
+            PoolSlot::Worker(0) => self.pools[pool].consolidated(),
+            _ => false,
+        };
+        if is_master_vm && was_ready {
+            let mode = self.pools[pool].cfg.recovery;
+            self.on_master_lost(pool, mode);
+            if mode == RecoveryMode::Decentralized && matches!(slot, PoolSlot::Master) {
+                // A dedicated decentralized master is pure overhead once
+                // the job is submitted: don't even replace it.
+                return;
+            }
+        }
+        let budget = self.pools[pool].cfg.max_provision_attempts.max(1);
+        if attempts >= budget {
+            self.world.fault_ledger_mut().attempts_exhausted += 1;
+            self.fail_pool_job(
+                pool,
+                ExecError::InfraFailed(format!(
+                    "pool VM slot {slot:?} failed {attempts} provisioning attempts"
+                )),
+            );
+            return;
+        }
+        self.world.fault_ledger_mut().vm_replacements += 1;
+        self.pool_provision(pool, slot, itype, attempts + 1, preemptions);
+    }
+
+    /// Requeues every unfinished task that was running on a lost worker
+    /// VM. Attempt budgets are charged per task; an exhausted task fails
+    /// the job.
+    pub(super) fn pool_worker_lost(&mut self, pool: usize, vm_idx: usize) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        let lost: Vec<usize> = self.jobs[job]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.worker, Some((v, _)) if v == vm_idx)
+                    && !matches!(t.phase, TaskPhase::Done)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for task in lost {
+            if self.jobs[job].is_finished() {
+                return;
+            }
+            let attempts = self.jobs[job].tasks[task].attempts;
+            if !self.jobs[job].retry.allows_retry(attempts) {
+                self.world.fault_ledger_mut().attempts_exhausted += 1;
+                let err = ExecError::AttemptsExhausted {
+                    what: format!("task {task} of job '{}'", self.jobs[job].name),
+                    attempts: attempts.max(1),
+                };
+                self.complete_job(job, Some(err));
+                return;
+            }
+            // Tear the attempt down without touching the (dead) worker's
+            // process bookkeeping, then push the bundle back.
+            self.jobs[job].tasks[task].worker = None;
+            self.clear_task_attempt(job, task, AttemptFailure::SandboxDead);
+            self.world.fault_ledger_mut().task_retries += 1;
+            self.requeue_task(pool, job, task);
+        }
+    }
+
+    /// Pushes a task's bundle back onto the master's KV queue (worker
+    /// loss or a storage-exhausted VM attempt).
+    pub(super) fn requeue_task(&mut self, pool: usize, job: usize, task: usize) {
+        if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+            self.dc_dispatch_task(pool, job, task);
+            return;
+        }
+        if self.pools[pool].recovering {
+            // The replacement master's checkpoint replay re-dispatches
+            // everything unacknowledged; queueing now would race it.
+            return;
+        }
+        let Some(kv) = self.pools[pool].kv else {
+            return; // pool torn down meanwhile
+        };
+        if !self.world.kv_alive(kv) {
+            // Master (and queue) gone without a recovery mode: the
+            // bundle has nowhere to go — the job stalls (Protected).
+            return;
+        }
+        let master = self.pools[pool].master_host();
+        let queue = format!("job-{job}");
+        let bundle = Payload::List(vec![
+            Payload::U64(task as u64),
+            self.jobs[job].inputs[task].clone(),
+        ]);
+        let body = ObjectBody::real(bundle.encode());
+        self.world.set_trace_parent(self.jobs[job].span);
+        let op = self.world.kv_push(master, kv, &queue, body);
+        self.world.set_trace_parent(SpanId::NONE);
+        self.op_routes.insert(op, Route::Requeue { pool });
+    }
+
+    /// A requeued bundle landed: wake idle worker processes so one of
+    /// them picks it up.
+    pub(super) fn on_requeue_done(&mut self, pool: usize) {
+        let idle: Vec<(usize, usize)> = self.pools[pool].idle_procs.drain(..).collect();
+        for (vm_idx, proc) in idle {
+            self.worker_pop(pool, vm_idx, proc);
+        }
+    }
+
+    /// Fails the pool's current job — or, before any job is active, the
+    /// one waiting at the head of the queue — with `err`.
+    pub(super) fn fail_pool_job(&mut self, pool: usize, err: ExecError) {
+        if let Some(job) = self.pools[pool].active {
+            self.complete_job(job, Some(err));
+        } else if let Some(job) = self.pools[pool].queue.pop_front() {
+            self.complete_job(job, Some(err));
+        }
+    }
+
+    pub(super) fn pool_vm_mut(&mut self, pool: usize, slot: PoolSlot) -> &mut PoolVm {
+        self.pool_vm_opt(pool, slot).expect("pool VM slot missing")
+    }
+
+    /// The slot's VM, if the slot still exists (pool shutdowns drain the
+    /// worker list while replacements may still be booting).
+    pub(super) fn pool_vm_opt(&mut self, pool: usize, slot: PoolSlot) -> Option<&mut PoolVm> {
+        match slot {
+            PoolSlot::Master => self.pools[pool].master.as_mut(),
+            PoolSlot::Worker(i) => self.pools[pool].workers.get_mut(i),
+        }
+    }
+
+    /// Infra ready: master pushes every task bundle into its KV queue.
+    /// Gated tasks are skipped — their bundles arrive one by one through
+    /// `release_task` as upstream partitions complete.
+    pub(super) fn pool_start_job(&mut self, pool: usize, job: usize) {
+        match self.pools[pool].cfg.recovery {
+            RecoveryMode::Decentralized => {
+                self.dc_start_job(pool, job);
+                return;
+            }
+            RecoveryMode::Checkpointed => self.start_checkpoint_loop(pool),
+            RecoveryMode::Protected => {}
+        }
+        let kv = self.pools[pool].kv.expect("pool started without KV");
+        let master = self.pools[pool].master_host();
+        self.jobs[job].monitor_host = master;
+        let n = self.jobs[job].inputs.len();
+        let queue = format!("job-{job}");
+        let ready: Vec<usize> = (0..n)
+            .filter(|&t| !self.jobs[job].tasks[t].held)
+            .collect();
+        self.pools[pool].pushes_outstanding = ready.len();
+        self.world.set_trace_parent(self.jobs[job].span);
+        for task in ready {
+            let bundle = Payload::List(vec![
+                Payload::U64(task as u64),
+                self.jobs[job].inputs[task].clone(),
+            ]);
+            let body = ObjectBody::real(bundle.encode());
+            let op = self.world.kv_push(master, kv, &queue, body);
+            self.op_routes.insert(op, Route::Push { pool, job });
+        }
+        self.world.set_trace_parent(SpanId::NONE);
+        if self.pools[pool].pushes_outstanding == 0 {
+            // Fully gated job: workers spin up idle and wait for
+            // released bundles.
+            self.pool_pushes_complete(pool, job);
+        }
+    }
+
+    pub(super) fn on_push_done(&mut self, pool: usize, job: usize) {
+        self.pools[pool].pushes_outstanding -= 1;
+        if self.pools[pool].pushes_outstanding > 0 {
+            return;
+        }
+        self.pool_pushes_complete(pool, job);
+    }
+
+    /// All initially-queued bundles landed: start one worker process per
+    /// vCPU of every worker that is up (replacements still booting join
+    /// on ready) and arm the master's result monitor.
+    pub(super) fn pool_pushes_complete(&mut self, pool: usize, job: usize) {
+        let worker_specs: Vec<(usize, usize)> = self.pools[pool]
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.phase == VmPhase::Ready)
+            .flat_map(|(vm_idx, w)| {
+                (0..w.itype.vcpus as usize).map(move |proc| (vm_idx, proc))
+            })
+            .collect();
+        for (vm_idx, proc) in worker_specs {
+            self.worker_pop(pool, vm_idx, proc);
+        }
+        // The master begins monitoring result objects (once every gated
+        // task has been released).
+        self.jobs[job].dispatch_ready = true;
+        self.maybe_start_monitor(job);
+    }
+
+    pub(super) fn worker_pop(&mut self, pool: usize, vm_idx: usize, proc: usize) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+            self.worker_claim(pool, job, vm_idx, proc);
+            return;
+        }
+        let Some(kv) = self.pools[pool].kv else {
+            return;
+        };
+        let w = &self.pools[pool].workers[vm_idx];
+        if w.phase != VmPhase::Ready {
+            return;
+        }
+        let host = w.host;
+        let epoch = w.epoch;
+        if !self.world.host_alive(host) {
+            return; // VM just died; its VmFailed notification is queued
+        }
+        if !self.world.kv_alive(kv) {
+            // Queue died with the master; idle until recovery (or the
+            // stall, under Protected) resolves the run.
+            self.pools[pool].idle_procs.push((vm_idx, proc));
+            return;
+        }
+        let queue = format!("job-{job}");
+        self.world.set_trace_parent(self.jobs[job].span);
+        let op = self.world.kv_pop(host, kv, &queue);
+        self.world.set_trace_parent(SpanId::NONE);
+        self.op_routes.insert(
+            op,
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            },
+        );
+    }
+
+    pub(super) fn on_pop(
+        &mut self,
+        pool: usize,
+        vm_idx: usize,
+        proc: usize,
+        epoch: u64,
+        outcome: OpOutcome,
+    ) {
+        let Some(job) = self.pools[pool].active else {
+            return;
+        };
+        let OpOutcome::KvValue { body } = outcome else {
+            unreachable!("pop yielded a non-KV outcome")
+        };
+        let stale = self.pools[pool].workers[vm_idx].epoch != epoch
+            || !self.world.host_alive(self.pools[pool].workers[vm_idx].host);
+        if stale {
+            // Pop issued by a since-lost worker VM (or one whose crash
+            // notification is still queued): the popped bundle must not
+            // vanish with it — push it back for the others.
+            if let Some(body) = body {
+                if let Some(kv) = self.pools[pool].kv {
+                    let master = self.pools[pool].master_host();
+                    let queue = format!("job-{job}");
+                    self.world.set_trace_parent(self.jobs[job].span);
+                    let op = self.world.kv_push(master, kv, &queue, body);
+                    self.world.set_trace_parent(SpanId::NONE);
+                    self.op_routes.insert(op, Route::Requeue { pool });
+                }
+            }
+            return;
+        }
+        let Some(body) = body else {
+            // Queue drained; the worker process idles until a requeued
+            // bundle wakes it.
+            self.pools[pool].idle_procs.push((vm_idx, proc));
+            return;
+        };
+        let bytes = body.bytes().expect("task bundles are always real bytes");
+        let bundle = Payload::decode(bytes).expect("task bundle decodes");
+        let items = bundle.as_list().expect("bundle is a list");
+        let task = items[0].as_u64().expect("bundle[0] is the index") as usize;
+        let input = items[1].clone();
+        let host = self.pools[pool].workers[vm_idx].host;
+        let kv = self.pools[pool].kv;
+        let fleet = self.pools[pool].fleet_name.clone();
+        let span = self.begin_attempt_span(job, task, &fleet);
+        let now = self.world.now();
+        let t = &mut self.jobs[job].tasks[task];
+        t.worker = Some((vm_idx, proc));
+        t.attempts += 1;
+        t.started_at = Some(now);
+        t.span = span;
+        self.start_task(job, task, host, kv, &input);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointed master recovery (RecoveryMode::Checkpointed)
+    // ------------------------------------------------------------------
+
+    pub(super) fn pool_job_finished(&mut self, pool: usize, _job: usize) {
+        self.pools[pool].active = None;
+        self.pools[pool].recovering = false;
+        self.pools[pool].readopt_gate = None;
+        self.pools[pool].dc_ready.clear();
+        if let Some(flag) = self.pools[pool].ckpt_active.take() {
+            // The checkpoint sleep loop exits on its next fire.
+            flag.set(false);
+        }
+        // "Once all logical functions have been completed, all resources
+        // are automatically stopped" — unless reuse is configured and
+        // more work may come.
+        if !self.pools[pool].cfg.reuse_instances && self.pools[pool].queue.is_empty() {
+            self.shutdown_pool(pool);
+        } else if self.pools[pool].queue.is_empty() {
+            // Reuse with a keep-alive budget: open an idle window. If no
+            // job arrives before it closes, the warm VMs are released
+            // (they re-provision on the next job).
+            if let Some(secs) = self.pools[pool].cfg.idle_timeout_secs {
+                self.pools[pool].idle_epoch += 1;
+                let epoch = self.pools[pool].idle_epoch;
+                self.set_timer(
+                    SimDuration::from_secs_f64(secs),
+                    Route::PoolIdle { pool, epoch },
+                );
+            }
+        }
+        self.pool_try_start(pool);
+    }
+
+    /// The keep-alive window of an idle pool closed: release its warm
+    /// VMs. Stale timers (a job started meanwhile, opening a newer
+    /// window) are dropped by the epoch check; VMs still mid-provision
+    /// push the teardown back by one more window so nothing leaks
+    /// unterminated.
+    pub(super) fn on_pool_idle(&mut self, pool: usize, epoch: u64) {
+        let p = &self.pools[pool];
+        if p.idle_epoch != epoch || p.active.is_some() || !p.queue.is_empty() {
+            return;
+        }
+        if p.workers.is_empty() && p.master.is_none() {
+            return; // nothing warm to release
+        }
+        let settled = |pv: &PoolVm| matches!(pv.phase, VmPhase::Ready | VmPhase::Dead);
+        let all_settled =
+            p.workers.iter().all(settled) && p.master.as_ref().is_none_or(settled);
+        if !all_settled {
+            if let Some(secs) = self.pools[pool].cfg.idle_timeout_secs {
+                self.set_timer(
+                    SimDuration::from_secs_f64(secs),
+                    Route::PoolIdle { pool, epoch },
+                );
+            }
+            return;
+        }
+        self.shutdown_pool(pool);
+    }
+
+    // ------------------------------------------------------------------
+    // Route demultiplexers
+    // ------------------------------------------------------------------
+}

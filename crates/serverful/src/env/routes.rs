@@ -1,0 +1,246 @@
+//! Event routing: the [`Route`] tag carried by every simulator
+//! notification, the [`EnvCmd`] queue kernel futures use to call back
+//! into the environment, and the dispatchers that fan completed ops,
+//! KV failures, and timers out to the focused modules.
+
+use super::*;
+
+/// Where a notification should be delivered.
+#[derive(Debug, Clone)]
+pub(super) enum Route {
+    /// An op issued by a task's logic (or its result write).
+    Task { job: usize, task: usize },
+    /// The client PUT of a task's input bundle.
+    InputPut { job: usize, task: usize },
+    /// Client-side function/deps serialisation before dispatch.
+    JobSetup { job: usize },
+    /// A world-clock timer armed on behalf of a kernel future
+    /// ([`CloudEnv::wake_timer`]): firing opens the gate and pumps the
+    /// kernel so the awaiting loop runs *inside* this dispatch, exactly
+    /// where the old hand-rolled timer handler ran.
+    Wake { gate: Gate },
+    /// Monitor LIST. `generation` versions the monitor loop so a LIST
+    /// issued before a checkpoint replay restarted the cycle is told
+    /// apart from the replacement's.
+    List { job: usize, generation: u64 },
+    /// Monitor result GET (same `generation` discipline as
+    /// [`Route::List`]).
+    Collect { job: usize, task: usize, generation: u64 },
+    /// A pool VM came up / finished SSH setup. `epoch` versions the
+    /// slot so timers of a replaced VM are dropped.
+    PoolVm { pool: usize, slot: PoolSlot, epoch: u64 },
+    /// Master pushed one task bundle into the KV queue.
+    Push { pool: usize, job: usize },
+    /// A worker process's KV pop. `epoch` versions the worker VM so
+    /// pops issued by a since-replaced VM are not mistaken for the
+    /// replacement's.
+    Pop { pool: usize, vm_idx: usize, proc: usize, epoch: u64 },
+    /// The master's SSH notification reaching the client.
+    MasterNotify { job: usize },
+    /// Master re-pushing a requeued task bundle after a worker loss.
+    Requeue { pool: usize },
+    /// A caller-owned timer registered via [`CloudEnv::external_timer`];
+    /// surfaced from [`CloudEnv::pump`] instead of being handled here.
+    External { token: u64 },
+    /// Keep-alive expiry for an idle pool. `epoch` versions the idle
+    /// window: a job starting (or another window opening) invalidates
+    /// earlier timers.
+    PoolIdle { pool: usize, epoch: u64 },
+    /// Periodic master-state snapshot PUT ([`RecoveryMode::Checkpointed`]).
+    Checkpoint { pool: usize, job: usize },
+    /// The replacement master's checkpoint GET during re-adoption.
+    /// `episode` versions the recovery so a twice-replaced master drops
+    /// the first replacement's fetch.
+    Readopt { pool: usize, job: usize, episode: u64 },
+    /// Client PUT of a task bundle to object storage
+    /// ([`RecoveryMode::Decentralized`] dispatch).
+    DcBundle { pool: usize, job: usize, task: usize },
+    /// Worker GET of a claimed task bundle (decentralized dispatch).
+    DcClaim { pool: usize, job: usize, vm_idx: usize, proc: usize, epoch: u64, task: usize },
+    /// Worker PUT of a per-task completion counter (decentralized
+    /// continuation passing).
+    DcCounter { pool: usize, job: usize, task: usize },
+}
+
+/// An action queued by a kernel future for the environment to execute.
+/// The futures own control flow (when to tick, when to give up); the
+/// environment owns the world handle, so every side effect funnels
+/// through one of these.
+pub(super) enum EnvCmd {
+    /// Periodic master-state snapshot (checkpoint sleep loop).
+    Checkpoint { pool: usize },
+    /// Fetch the checkpoint for a replacement master (re-adoption gate).
+    Readopt { pool: usize, episode: u64 },
+    /// A completion-monitor tick elapsed: run the LIST cycle.
+    MonitorTick {
+        job: usize,
+        generation: u64,
+        reply: ReplySlot<TickVerdict>,
+    },
+    /// A straggler-speculation tick elapsed: sweep for late attempts.
+    StragglerSweep { job: usize, reply: ReplySlot<TickVerdict> },
+    /// A task retry backoff elapsed: re-dispatch the attempt.
+    RetryTask { job: usize, task: usize, attempt: u32 },
+    /// A storage retry backoff elapsed: re-issue the faulted request.
+    RetryStorage {
+        spec: StorageSpec,
+        attempts: u32,
+        inner: Box<Route>,
+        /// `(faulted op, its slot)` in the task action's pending map,
+        /// if any. The faulted op stays in the map as a placeholder
+        /// while the backoff runs — so a sibling op of a multi-op
+        /// action cannot drain the map and assemble a result with a
+        /// hole — and is swapped for the re-issued op at fire time.
+        pending_slot: Option<(OpId, usize)>,
+        /// Task attempt the op belonged to; a mismatch at fire time
+        /// means the whole attempt was torn down meanwhile.
+        task_attempt: u32,
+    },
+}
+
+impl CloudEnv {
+    /// The job a route belongs to, if any.
+    pub(super) fn route_job(route: &Route) -> Option<usize> {
+        match route {
+            Route::Task { job, .. }
+            | Route::InputPut { job, .. }
+            | Route::JobSetup { job }
+            | Route::List { job, .. }
+            | Route::Collect { job, .. }
+            | Route::Push { job, .. }
+            | Route::MasterNotify { job }
+            | Route::Checkpoint { job, .. }
+            | Route::Readopt { job, .. }
+            | Route::DcBundle { job, .. }
+            | Route::DcClaim { job, .. }
+            | Route::DcCounter { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    pub(super) fn on_op(&mut self, route: Route, op: OpId, outcome: OpOutcome) {
+        if matches!(outcome, OpOutcome::KvUnreachable) {
+            self.on_kv_unreachable(route);
+            return;
+        }
+        match route {
+            Route::Task { job, task } => self.on_task_op(job, task, op, outcome),
+            Route::InputPut { job, task } => {
+                if self.jobs[job].is_finished() {
+                    return;
+                }
+                let JobBackend::Faas {
+                    memory_mb, fleet, ..
+                } = self.jobs[job].backend.clone()
+                else {
+                    unreachable!("input put on a non-FaaS job")
+                };
+                self.invoke_task(job, task, memory_mb, &fleet);
+            }
+            Route::JobSetup { job } => self.on_job_setup(job),
+            Route::List { job, generation } => self.on_list(job, generation, outcome),
+            Route::Collect {
+                job,
+                task,
+                generation,
+            } => self.on_collect(job, task, generation, outcome),
+            Route::Push { pool, job } => self.on_push_done(pool, job),
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            } => self.on_pop(pool, vm_idx, proc, epoch, outcome),
+            Route::Requeue { pool } => self.on_requeue_done(pool),
+            Route::Checkpoint { pool, .. } => {
+                if self.pools[pool].cfg.recovery == RecoveryMode::Checkpointed {
+                    self.recovery_stats.checkpoints_written += 1;
+                }
+            }
+            Route::Readopt {
+                pool,
+                job,
+                episode,
+            } => self.on_readopt(pool, job, episode, outcome),
+            Route::DcBundle { pool, job, task } => self.on_dc_bundle(pool, job, task),
+            Route::DcClaim {
+                pool,
+                job,
+                vm_idx,
+                proc,
+                epoch,
+                task,
+            } => self.on_dc_claim(pool, job, vm_idx, proc, epoch, task, outcome),
+            Route::DcCounter { pool, job, task } => self.on_dc_counter(pool, job, task),
+            other => unreachable!("op completion routed to {other:?}"),
+        }
+    }
+
+    /// An in-flight KV operation lost its server (master death). Each
+    /// route has a graceful landing; none of them may panic, because
+    /// under [`RecoveryMode::Protected`] this is exactly how a forced
+    /// master kill is supposed to strand the run.
+    pub(super) fn on_kv_unreachable(&mut self, route: Route) {
+        match route {
+            Route::Pop {
+                pool,
+                vm_idx,
+                proc,
+                epoch,
+            } => {
+                let Some(w) = self.pools[pool].workers.get(vm_idx) else {
+                    return;
+                };
+                if w.epoch == epoch
+                    && w.phase == VmPhase::Ready
+                    && self.world.host_alive(w.host)
+                {
+                    // The worker process survives the master: it idles
+                    // until recovery requeues work (or forever).
+                    self.pools[pool].idle_procs.push((vm_idx, proc));
+                }
+            }
+            Route::Push { pool, job } => {
+                // Keep the outstanding-push bookkeeping moving so the
+                // job reaches its (stalled or recovered) steady state.
+                self.on_push_done(pool, job);
+            }
+            Route::Task { job, task } => {
+                // A task's KV action (shuffle exchange) lost the server
+                // mid-transfer: the attempt is torn down and retried
+                // through the normal task budget.
+                self.task_attempt_failed(job, task, AttemptFailure::StorageExhausted);
+            }
+            // A requeue push that died with the queue: the checkpoint
+            // replay (or the stall) owns the task now.
+            Route::Requeue { .. } => {}
+            _ => {}
+        }
+    }
+
+    pub(super) fn on_timer(&mut self, route: Route) {
+        match route {
+            Route::Wake { gate } => {
+                // Open the gate and pump the kernel *inside* this
+                // dispatch — but without advancing the kernel clock, so
+                // kernel timers (checkpoint sleeps) keep firing at their
+                // end-of-pump position. The woken loop queues its
+                // command and the drain runs it right here, exactly
+                // where the old hand-rolled timer handler ran.
+                gate.open();
+                self.kernel.run_ready();
+                self.drain_cmds();
+            }
+            Route::PoolVm { pool, slot, epoch } => self.on_pool_vm_ready(pool, slot, epoch),
+            Route::PoolIdle { pool, epoch } => self.on_pool_idle(pool, epoch),
+            Route::MasterNotify { job } => {
+                // The notifying master must still be alive when the SSH
+                // message lands; a freshly-dead master notifies no one.
+                if self.world.host_alive(self.jobs[job].monitor_host) {
+                    self.complete_job(job, None);
+                }
+            }
+            other => unreachable!("timer routed to {other:?}"),
+        }
+    }
+}

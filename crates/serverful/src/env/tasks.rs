@@ -1,0 +1,451 @@
+//! Task execution on both backends: FaaS dispatch, sandbox and
+//! worker task startup, the action/step engine driving [`TaskLogic`],
+//! and task completion/failure.
+
+use super::*;
+
+impl CloudEnv {
+    pub(super) fn dispatch_faas(&mut self, job: usize, memory_mb: u32, fetch_input: bool, fleet: &str) {
+        let n = self.jobs[job].inputs.len();
+        for task in 0..n {
+            if self.jobs[job].tasks[task].held {
+                continue; // gated; dispatched on release
+            }
+            self.dispatch_faas_task(job, task, memory_mb, fetch_input, fleet);
+        }
+    }
+
+    /// Dispatches (or re-dispatches) one FaaS task. Re-uploading the
+    /// input bundle on retries is idempotent and covers the case where
+    /// the original upload itself was lost.
+    pub(super) fn dispatch_faas_task(
+        &mut self,
+        job: usize,
+        task: usize,
+        memory_mb: u32,
+        fetch_input: bool,
+        fleet: &str,
+    ) {
+        if fetch_input {
+            // Upload the input bundle first; invoke on completion so
+            // the sandbox never races its own input.
+            let key = self.jobs[job].input_key(task);
+            let body = ObjectBody::real(self.jobs[job].inputs[task].encode());
+            let client = self.world.client_host();
+            let bucket = self.jobs[job].bucket.clone();
+            self.issue_storage(
+                StorageSpec::Put {
+                    host: client,
+                    bucket,
+                    key,
+                    body,
+                },
+                1,
+                Route::InputPut { job, task },
+            );
+        } else {
+            self.invoke_task(job, task, memory_mb, fleet);
+        }
+    }
+
+    pub(super) fn invoke_task(&mut self, job: usize, task: usize, memory_mb: u32, fleet: &str) {
+        let span = self.begin_attempt_span(job, task, fleet);
+        // The sandbox captures the label at invoke time and bills its
+        // whole execution to this job, however late it retires.
+        let label = self.jobs[job].name.clone();
+        self.world.set_bill_label(label);
+        self.world.set_trace_parent(span);
+        let sandbox = self.world.faas_invoke(memory_mb, fleet);
+        self.world.set_trace_parent(SpanId::NONE);
+        let now = self.world.now();
+        let t = &mut self.jobs[job].tasks[task];
+        t.sandbox = Some(sandbox);
+        t.phase = TaskPhase::Starting;
+        t.attempts += 1;
+        t.started_at = Some(now);
+        t.span = span;
+        self.sandbox_routes
+            .insert(sandbox, Route::Task { job, task });
+    }
+
+    pub(super) fn on_sandbox_up(&mut self, route: Route, sandbox: SandboxId) {
+        let Route::Task { job, task } = route else {
+            unreachable!("sandbox route is always a task")
+        };
+        if self.jobs[job].is_finished() {
+            // Job failed while this sandbox was starting; bill and drop.
+            self.sandbox_routes.remove(&sandbox);
+            self.world.faas_release(sandbox);
+            return;
+        }
+        let host = self.world.sandbox_host(sandbox);
+        let fetch = matches!(
+            self.jobs[job].backend,
+            JobBackend::Faas { fetch_input: true, .. }
+        );
+        if fetch {
+            self.jobs[job].tasks[task].phase = TaskPhase::FetchingInput;
+            let bucket = self.jobs[job].bucket.clone();
+            let key = self.jobs[job].input_key(task);
+            let op = self.issue_storage(
+                StorageSpec::Get { host, bucket, key },
+                1,
+                Route::Task { job, task },
+            );
+            // Remember the host for when the input arrives; track the
+            // GET so an attempt teardown cleans its route up.
+            let mut run = TaskRun::new(
+                // Placeholder logic; replaced at start. Using the factory
+                // here would double-construct.
+                crate::task::ScriptTask::new().boxed(),
+                host,
+                None,
+            );
+            run.pending.insert(op, 0);
+            self.jobs[job].tasks[task].run = Some(run);
+        } else {
+            let input = self.jobs[job].inputs[task].clone();
+            self.start_task(job, task, host, None, &input);
+        }
+    }
+
+    pub(super) fn start_task(
+        &mut self,
+        job: usize,
+        task: usize,
+        host: HostId,
+        kv: Option<KvId>,
+        input: &Payload,
+    ) {
+        let logic = (self.jobs[job].factory)(input);
+        let mut run = TaskRun::new(logic, host, kv);
+        self.jobs[job].tasks[task].phase = TaskPhase::Running;
+        let step = run.logic.on_start(input);
+        self.apply_step(job, task, run, step);
+    }
+
+    /// Applies a task step: issues the action's ops or finishes the task.
+    pub(super) fn apply_step(&mut self, job: usize, task: usize, mut run: TaskRun, step: TaskStep) {
+        match step {
+            TaskStep::Act(action) => {
+                match self.issue_action(job, task, &mut run, action) {
+                    Ok(()) => self.jobs[job].tasks[task].run = Some(run),
+                    Err(err) => self.fail_task(job, task, run, err.to_string()),
+                }
+            }
+            TaskStep::Finish(payload) => {
+                self.jobs[job].tasks[task].run = Some(run);
+                self.finish_task(job, task, payload);
+            }
+            TaskStep::Fail(msg) => self.fail_task(job, task, run, msg),
+        }
+    }
+
+    pub(super) fn issue_action(
+        &mut self,
+        job: usize,
+        task: usize,
+        run: &mut TaskRun,
+        action: Action,
+    ) -> Result<(), ExecError> {
+        let host = run.host;
+        run.shape = PendingShape::Single;
+        let route = Route::Task { job, task };
+        // Data-path actions burn partial CPU for (de)serialisation while
+        // the transfer is in flight (accounting only).
+        let overlapped = !matches!(action, Action::Compute { .. } | Action::Sleep { .. });
+        if overlapped {
+            let frac = self.jobs[job].io_overlap;
+            if frac > 0.0 {
+                self.world.task_io_busy(host, frac);
+                run.io_busy = frac;
+            }
+        }
+        match action {
+            Action::Compute { cpu_secs } => {
+                let op = self.world.compute(host, cpu_secs);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Sleep { secs } => {
+                let op = self.world.sleep(SimDuration::from_secs_f64(secs));
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::Get { bucket, key } => {
+                let op = self.issue_storage(
+                    StorageSpec::Get { host, bucket, key },
+                    1,
+                    route,
+                );
+                run.pending.insert(op, 0);
+            }
+            Action::Put { bucket, key, body } => {
+                let op = self.issue_storage(
+                    StorageSpec::Put {
+                        host,
+                        bucket,
+                        key,
+                        body,
+                    },
+                    1,
+                    route,
+                );
+                run.pending.insert(op, 0);
+            }
+            Action::Delete { bucket, key } => {
+                let op = self.issue_storage(
+                    StorageSpec::Delete { host, bucket, key },
+                    1,
+                    route,
+                );
+                run.pending.insert(op, 0);
+            }
+            Action::List { bucket, prefix } => {
+                let op = self.issue_storage(
+                    StorageSpec::List {
+                        host,
+                        bucket,
+                        prefix,
+                    },
+                    1,
+                    route,
+                );
+                run.pending.insert(op, 0);
+            }
+            Action::GetMany { bucket, keys } => {
+                assert!(!keys.is_empty(), "GetMany with no keys");
+                run.shape = PendingShape::Multi {
+                    results: vec![None; keys.len()],
+                    puts: false,
+                };
+                for (i, key) in keys.into_iter().enumerate() {
+                    let op = self.issue_storage(
+                        StorageSpec::Get {
+                            host,
+                            bucket: bucket.clone(),
+                            key,
+                        },
+                        1,
+                        route.clone(),
+                    );
+                    run.pending.insert(op, i);
+                }
+            }
+            Action::PutMany { bucket, entries } => {
+                assert!(!entries.is_empty(), "PutMany with no entries");
+                run.shape = PendingShape::Multi {
+                    results: vec![None; entries.len()],
+                    puts: true,
+                };
+                for (i, (key, body)) in entries.into_iter().enumerate() {
+                    let op = self.issue_storage(
+                        StorageSpec::Put {
+                            host,
+                            bucket: bucket.clone(),
+                            key,
+                            body,
+                        },
+                        1,
+                        route.clone(),
+                    );
+                    run.pending.insert(op, i);
+                }
+            }
+            Action::KvGet { key } => {
+                let kv = run.kv.ok_or_else(|| {
+                    ExecError::Unsupported("KV access outside the serverful backend".into())
+                })?;
+                self.world.set_trace_parent(self.task_span(job, task));
+                let op = self.world.kv_get(host, kv, &key);
+                self.world.set_trace_parent(SpanId::NONE);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+            Action::KvPut { key, body } => {
+                let kv = run.kv.ok_or_else(|| {
+                    ExecError::Unsupported("KV access outside the serverful backend".into())
+                })?;
+                self.world.set_trace_parent(self.task_span(job, task));
+                let op = self.world.kv_put(host, kv, &key, body);
+                self.world.set_trace_parent(SpanId::NONE);
+                run.pending.insert(op, 0);
+                self.op_routes.insert(op, route);
+            }
+        }
+        Ok(())
+    }
+
+    /// An op belonging to a task (either its logic or its result write)
+    /// completed.
+    pub(super) fn on_task_op(&mut self, job: usize, task: usize, op: OpId, outcome: OpOutcome) {
+        if self.jobs[job].is_finished() {
+            return;
+        }
+        // The task's host may have died at this very timestamp with its
+        // failure notification still queued behind this op: issuing the
+        // next action would hit a dead host. Drop the completion — the
+        // pending SandboxFailed/VmFailed tears the attempt down.
+        if let Some(run) = &self.jobs[job].tasks[task].run {
+            if !self.world.host_alive(run.host) {
+                return;
+            }
+        }
+        match &self.jobs[job].tasks[task].phase {
+            TaskPhase::FetchingInput => {
+                let body = match outcome {
+                    OpOutcome::GetOk { body } => body,
+                    OpOutcome::GetMissing => {
+                        let run = self.jobs[job].tasks[task].run.take().unwrap();
+                        self.fail_task(job, task, run, "input bundle missing".into());
+                        return;
+                    }
+                    other => unreachable!("input fetch yielded {other:?}"),
+                };
+                let run = self.jobs[job].tasks[task].run.take().unwrap();
+                let host = run.host;
+                let input = match body.bytes() {
+                    Some(bytes) => match Payload::decode(bytes) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let run2 = TaskRun::new(crate::task::ScriptTask::new().boxed(), host, None);
+                            self.fail_task(job, task, run2, e.to_string());
+                            return;
+                        }
+                    },
+                    None => {
+                        // Opaque input bundle: fall back to the in-memory
+                        // input (used by paper-scale profile runs).
+                        self.jobs[job].inputs[task].clone()
+                    }
+                };
+                drop(run);
+                self.start_task(job, task, host, None, &input);
+            }
+            TaskPhase::Running => {
+                let mut run = self.jobs[job].tasks[task].run.take().unwrap();
+                // The action is completing (or progressing); once the
+                // last op lands, the overlapped-I/O accounting ends.
+                let body = match outcome {
+                    OpOutcome::GetOk { body } => Some(body),
+                    OpOutcome::GetMissing => {
+                        run.pending.remove(&op);
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::MissingObject);
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    OpOutcome::ListOk { keys } => {
+                        run.pending.remove(&op);
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::Keys(keys));
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    OpOutcome::KvValue { body } => {
+                        run.pending.remove(&op);
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(ActionOutcome::KvValue(body));
+                        self.apply_step(job, task, run, step);
+                        return;
+                    }
+                    _ => None,
+                };
+                match run.complete_op(op, body) {
+                    Some(assembled) => {
+                        self.end_io_busy(&mut run);
+                        let step = run.logic.on_action(assembled);
+                        self.apply_step(job, task, run, step);
+                    }
+                    None => {
+                        // More ops of a multi-action outstanding.
+                        self.jobs[job].tasks[task].run = Some(run);
+                    }
+                }
+            }
+            TaskPhase::WritingResult => {
+                debug_assert!(matches!(outcome, OpOutcome::PutOk));
+                self.task_done(job, task);
+            }
+            other => unreachable!("op completed in phase {other:?}"),
+        }
+    }
+
+    /// Task logic finished: write the encoded result to object storage.
+    pub(super) fn finish_task(&mut self, job: usize, task: usize, payload: Payload) {
+        let host = self.jobs[job].tasks[task].run.as_ref().unwrap().host;
+        self.jobs[job].tasks[task].phase = TaskPhase::WritingResult;
+        self.jobs[job].results[task] = None; // filled by the monitor
+        let bucket = self.jobs[job].bucket.clone();
+        let key = self.jobs[job].result_key(task);
+        let body = ObjectBody::real(payload.encode());
+        let op = self.issue_storage(
+            StorageSpec::Put {
+                host,
+                bucket,
+                key,
+                body,
+            },
+            1,
+            Route::Task { job, task },
+        );
+        // Track the write in the pending map so an attempt teardown
+        // (worker loss, straggler) cleans its route up too.
+        if let Some(run) = self.jobs[job].tasks[task].run.as_mut() {
+            run.pending.insert(op, 0);
+        }
+    }
+
+    /// Result written: retire the task's host slot.
+    pub(super) fn task_done(&mut self, job: usize, task: usize) {
+        let now = self.world.now();
+        let span = std::mem::replace(&mut self.jobs[job].tasks[task].span, SpanId::NONE);
+        self.world.tracer_mut().end(span, now);
+        self.jobs[job].tasks[task].phase = TaskPhase::Done;
+        self.jobs[job].done_tasks += 1;
+        if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.sandbox_routes.remove(&sandbox);
+            self.world.faas_release(sandbox);
+        }
+        if let Some((vm_idx, proc)) = self.jobs[job].tasks[task].worker {
+            if let JobBackend::Standalone { pool } = self.jobs[job].backend {
+                // Decentralized continuation passing: the completion
+                // counter goes to storage before the process moves on.
+                if self.pools[pool].cfg.recovery == RecoveryMode::Decentralized {
+                    self.dc_write_counter(pool, job, task, vm_idx);
+                }
+                // The worker process fetches its next logical function.
+                self.worker_pop(pool, vm_idx, proc);
+            }
+        }
+    }
+
+    /// Ends the overlapped-I/O busy accounting of a task's action.
+    pub(super) fn end_io_busy(&mut self, run: &mut TaskRun) {
+        if run.io_busy > 0.0 {
+            self.world.task_io_busy(run.host, -run.io_busy);
+            run.io_busy = 0.0;
+        }
+    }
+
+    pub(super) fn fail_task(&mut self, job: usize, task: usize, mut run: TaskRun, msg: String) {
+        self.end_io_busy(&mut run);
+        drop(run);
+        let now = self.world.now();
+        let span = std::mem::replace(&mut self.jobs[job].tasks[task].span, SpanId::NONE);
+        let tracer = self.world.tracer_mut();
+        tracer.attr_str(span, "failed", &msg);
+        tracer.end(span, now);
+        self.jobs[job].tasks[task].phase = TaskPhase::Failed(msg.clone());
+        if let Some(sandbox) = self.jobs[job].tasks[task].sandbox {
+            self.sandbox_routes.remove(&sandbox);
+            self.world.faas_release(sandbox);
+        }
+        let err = ExecError::TaskFailed(format!("task {task}: {msg}"));
+        self.complete_job(job, Some(err));
+    }
+
+    // ------------------------------------------------------------------
+    // Completion monitor (shared: client for FaaS, master for VMs)
+    // ------------------------------------------------------------------
+}

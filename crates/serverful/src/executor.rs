@@ -10,7 +10,7 @@ use std::fmt;
 use crate::config::ExecutorConfig;
 use crate::env::CloudEnv;
 use crate::error::ExecError;
-use crate::job::{JobBackend, JobState, MonitorState, TaskFactory, TaskState};
+use crate::job::{JobBackend, JobState, TaskFactory, TaskState};
 use crate::payload::Payload;
 
 /// The compute backend an executor targets.
@@ -34,14 +34,36 @@ impl Backend {
     pub fn vm() -> Backend {
         Backend::Vm
     }
+
+    /// The Lithops-style compute-backend label of this backend in a
+    /// region (`aws_lambda`/`aws_ec2` on AWS, `gcp_cloudfunctions`/
+    /// `gcp_gce` on GCP). Billing and trace labels should go through
+    /// here — or [`Self::label_in`] with the environment — rather than
+    /// assuming AWS names.
+    pub fn label(&self, region: &cloudsim::provider::RegionProfile) -> &'static str {
+        match self {
+            Backend::Faas => region.faas_label,
+            Backend::Vm => region.vm_label,
+        }
+    }
+
+    /// The backend label under the environment's active region, falling
+    /// back to the default (paper) region for environments built from a
+    /// hand-rolled catalog no registered region owns.
+    pub fn label_in(&self, env: &CloudEnv) -> &'static str {
+        let region = env
+            .region()
+            .unwrap_or_else(cloudsim::provider::default_region);
+        self.label(region)
+    }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Backend::Faas => f.write_str("aws_lambda"),
-            Backend::Vm => f.write_str("aws_ec2"),
-        }
+        // Region-less display: the default region's labels (the paper's
+        // AWS deployment). Anything with an environment in hand should
+        // prefer [`Backend::label_in`].
+        f.write_str(self.label(cloudsim::provider::default_region()))
     }
 }
 
@@ -252,7 +274,6 @@ impl FunctionExecutor {
             first_release_at: None,
             finished_at: None,
             error: None,
-            monitor: MonitorState::Sleeping,
             monitor_host: env.world().client_host(),
             span: telemetry::trace::SpanId::NONE,
         };
@@ -317,6 +338,24 @@ mod tests {
     fn backend_displays_like_lithops_names() {
         assert_eq!(Backend::faas().to_string(), "aws_lambda");
         assert_eq!(Backend::vm().to_string(), "aws_ec2");
+    }
+
+    #[test]
+    fn backend_labels_follow_the_region() {
+        let gcp = cloudsim::provider::region("gcp-us-central1").expect("gcp region registered");
+        assert_eq!(Backend::faas().label(gcp), "gcp_cloudfunctions");
+        assert_eq!(Backend::vm().label(gcp), "gcp_gce");
+
+        let base = cloudsim::CloudConfig::default();
+        let env = CloudEnv::new(gcp.apply(&base), 7);
+        assert_eq!(Backend::faas().label_in(&env), "gcp_cloudfunctions");
+        assert_eq!(Backend::vm().label_in(&env), "gcp_gce");
+
+        // An environment on the default (AWS) config keeps the
+        // Lithops-compatible names.
+        let aws = CloudEnv::new(base, 7);
+        assert_eq!(Backend::faas().label_in(&aws), "aws_lambda");
+        assert_eq!(Backend::vm().label_in(&aws), "aws_ec2");
     }
 
     #[test]

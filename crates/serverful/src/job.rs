@@ -172,19 +172,6 @@ impl TaskState {
     }
 }
 
-/// Completion-monitor state (storage polling, as Lithops does).
-#[derive(Debug)]
-pub(crate) enum MonitorState {
-    /// Waiting for the next poll timer.
-    Sleeping,
-    /// A LIST is in flight.
-    Listing,
-    /// Result GETs are in flight; counts down outstanding ops.
-    Collecting { outstanding: usize },
-    /// Monitoring finished.
-    Done,
-}
-
 /// One `map` invocation.
 pub(crate) struct JobState {
     pub id: usize,
@@ -220,7 +207,9 @@ pub(crate) struct JobState {
     pub first_release_at: Option<SimTime>,
     pub finished_at: Option<SimTime>,
     pub error: Option<ExecError>,
-    pub monitor: MonitorState,
+    /// The host running the completion monitor (client for FaaS, the
+    /// acting master for VMs); the monitor's loop state itself lives in
+    /// the environment's per-job monitor handle.
     pub monitor_host: HostId,
     /// Root trace span covering the whole job.
     pub span: SpanId,
@@ -300,7 +289,6 @@ mod tests {
             first_release_at: None,
             finished_at: None,
             error: None,
-            monitor: MonitorState::Sleeping,
             monitor_host: HostId::from_index(0),
             span: SpanId::NONE,
         }

@@ -38,7 +38,12 @@
 //! ```
 //!
 //! The crate is backed by the [`cloudsim`] substrate; all latencies,
-//! contention and billing come from its calibrated models.
+//! contention and billing come from its calibrated models. The
+//! orchestration core lives in the [`env`](mod@env) module tree:
+//! [`CloudEnv`] pumps world notifications and hosts a deterministic
+//! async kernel ([`simkernel::aio`]) on which the completion monitor,
+//! retry re-arming and straggler speculation run as futures — see
+//! `env/`'s submodule docs for the per-concern breakdown.
 
 #![warn(missing_docs)]
 

@@ -341,6 +341,17 @@ impl AsyncExecutor {
         }
     }
 
+    /// A cancellation token bound to this executor.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            state: Rc::new(RefCell::new(CancelState {
+                cancelled: false,
+                waiters: Vec::new(),
+                exec: Rc::downgrade(&self.inner),
+            })),
+        }
+    }
+
     /// A multi-round broadcast notifier bound to this executor.
     pub fn notifier(&self) -> Notifier {
         Notifier {
@@ -575,6 +586,219 @@ impl Future for GateWait {
             this.registered = true;
         }
         Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------
+
+struct CancelState {
+    cancelled: bool,
+    waiters: Vec<u64>,
+    exec: Weak<RefCell<Inner>>,
+}
+
+/// A cooperative cancellation signal: any number of tasks await
+/// [`CancelToken::cancelled`] (typically inside a [`race`] against
+/// their real work) until some other code calls
+/// [`CancelToken::cancel`]. Once cancelled it stays cancelled. Clones
+/// share the same state, so the orchestrator keeps one clone and the
+/// spawned loop keeps another.
+///
+/// ```
+/// use simkernel::{race, AsyncExecutor, Either, SimDuration};
+///
+/// let exec = AsyncExecutor::new();
+/// let token = exec.cancel_token();
+/// let exec2 = exec.clone();
+/// let t2 = token.clone();
+/// let loser = exec.spawn(async move {
+///     match race(exec2.sleep(SimDuration::from_secs(60)), t2.cancelled()).await {
+///         Either::Left(()) => "timer won",
+///         Either::Right(()) => "cancelled",
+///     }
+/// });
+/// exec.run_ready();
+/// token.cancel();
+/// exec.run_ready();
+/// assert_eq!(loser.try_take(), Some("cancelled"));
+/// // The pending 60 s sleep was dropped with the race: the clock
+/// // never has to advance to it.
+/// assert_eq!(exec.now().as_secs_f64(), 0.0);
+/// ```
+#[derive(Clone)]
+pub struct CancelToken {
+    state: Rc<RefCell<CancelState>>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// True once [`Self::cancel`] was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.borrow().cancelled
+    }
+
+    /// Cancels the token, waking every waiter (idempotent).
+    pub fn cancel(&self) {
+        let (exec, waiters) = {
+            let mut st = self.state.borrow_mut();
+            if st.cancelled {
+                return;
+            }
+            st.cancelled = true;
+            (st.exec.clone(), std::mem::take(&mut st.waiters))
+        };
+        wake_all(&exec, waiters);
+    }
+
+    /// A future that resolves once the token is cancelled. A loop that
+    /// should die silently can park on this forever.
+    pub fn cancelled(&self) -> Cancelled {
+        Cancelled {
+            state: self.state.clone(),
+            registered: false,
+        }
+    }
+}
+
+/// Future returned by [`CancelToken::cancelled`].
+#[derive(Debug)]
+pub struct Cancelled {
+    state: Rc<RefCell<CancelState>>,
+    registered: bool,
+}
+
+impl std::fmt::Debug for CancelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelState")
+            .field("cancelled", &self.cancelled)
+            .finish()
+    }
+}
+
+impl Future for Cancelled {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        let mut st = this.state.borrow_mut();
+        if st.cancelled {
+            return Poll::Ready(());
+        }
+        if !this.registered {
+            let exec = st.exec.upgrade().expect("executor dropped mid-wait");
+            let id = exec.borrow().current_task();
+            st.waiters.push(id);
+            this.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------
+// race / timeout
+// ---------------------------------------------------------------------
+
+/// The winner of a [`race`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished first (or the two tied — the race is
+    /// left-biased).
+    Left(A),
+    /// The second future finished first.
+    Right(B),
+}
+
+/// Races two futures; the loser is dropped, which cancels any timer or
+/// queue position it held. Deterministically **left-biased**: when both
+/// are ready at the same poll, `a` wins.
+///
+/// ```
+/// use simkernel::{race, AsyncExecutor, Either, SimDuration};
+///
+/// let exec = AsyncExecutor::new();
+/// let exec2 = exec.clone();
+/// let h = exec.spawn(async move {
+///     let quick = exec2.sleep(SimDuration::from_secs(1));
+///     let slow = exec2.sleep(SimDuration::from_secs(10));
+///     race(quick, slow).await
+/// });
+/// exec.run();
+/// assert!(matches!(h.try_take(), Some(Either::Left(()))));
+/// assert_eq!(exec.now().as_secs_f64(), 1.0);
+/// ```
+pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
+    Race {
+        a: Box::pin(a),
+        b: Box::pin(b),
+    }
+}
+
+/// Future returned by [`race`].
+pub struct Race<A: Future, B: Future> {
+    a: Pin<Box<A>>,
+    b: Pin<Box<B>>,
+}
+
+impl<A: Future, B: Future> std::fmt::Debug for Race<A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Race").finish()
+    }
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(out) = self.a.as_mut().poll(cx) {
+            return Poll::Ready(Either::Left(out));
+        }
+        if let Poll::Ready(out) = self.b.as_mut().poll(cx) {
+            return Poll::Ready(Either::Right(out));
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs `fut` with a deadline `dur` from now: `Some(output)` if it
+/// finishes in time, `None` if the timer fires first. Built on [`race`]
+/// with the payload future on the left, so a future that completes
+/// exactly at the deadline still wins.
+///
+/// ```
+/// use simkernel::{timeout, AsyncExecutor, SimDuration};
+///
+/// let exec = AsyncExecutor::new();
+/// let exec2 = exec.clone();
+/// let h = exec.spawn(async move {
+///     let fast = timeout(&exec2, SimDuration::from_secs(5), exec2.sleep(SimDuration::from_secs(1))).await;
+///     let slow = timeout(&exec2, SimDuration::from_secs(5), exec2.sleep(SimDuration::from_secs(100))).await;
+///     (fast, slow)
+/// });
+/// exec.run();
+/// assert_eq!(h.try_take(), Some((Some(()), None)));
+/// // 1 s for the fast await plus the 5 s deadline of the slow one.
+/// assert_eq!(exec.now().as_secs_f64(), 6.0);
+/// ```
+pub fn timeout<F: Future>(
+    exec: &AsyncExecutor,
+    dur: SimDuration,
+    fut: F,
+) -> impl Future<Output = Option<F::Output>> {
+    let deadline = exec.sleep(dur);
+    async move {
+        match race(fut, deadline).await {
+            Either::Left(out) => Some(out),
+            Either::Right(()) => None,
+        }
     }
 }
 
@@ -1120,6 +1344,119 @@ mod tests {
         });
         // Nothing will ever open the gate: run() returns 1 pending.
         assert_eq!(exec.run(), 1);
+    }
+
+    #[test]
+    fn cancel_token_wakes_every_waiter_once() {
+        let exec = AsyncExecutor::new();
+        let token = exec.cancel_token();
+        let events = log();
+        for i in 0..3 {
+            let t = token.clone();
+            let ev = events.clone();
+            exec.spawn(async move {
+                t.cancelled().await;
+                ev.borrow_mut().push(i);
+            });
+        }
+        exec.run_ready();
+        assert!(events.borrow().is_empty());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        token.cancel(); // idempotent
+        exec.run_ready();
+        assert_eq!(*events.borrow(), vec![0, 1, 2]);
+        // A late waiter passes straight through.
+        let late = exec.spawn({
+            let t = token.clone();
+            async move { t.cancelled().await }
+        });
+        exec.run_ready();
+        assert!(late.is_done());
+    }
+
+    #[test]
+    fn cancelling_a_raced_sleep_drops_its_timer() {
+        // Satellite coverage: a loop parked on race(sleep, cancelled)
+        // that is cancelled mid-sleep must drop the pending timer so
+        // the clock never advances to the abandoned deadline.
+        let exec = AsyncExecutor::new();
+        let token = exec.cancel_token();
+        let exec2 = exec.clone();
+        let t2 = token.clone();
+        let h = exec.spawn(async move {
+            match race(exec2.sleep(SimDuration::from_secs(1_000)), t2.cancelled()).await {
+                Either::Left(()) => "slept",
+                Either::Right(()) => "cancelled",
+            }
+        });
+        exec.run_ready();
+        token.cancel();
+        exec.run_ready();
+        assert_eq!(h.try_take(), Some("cancelled"));
+        assert_eq!(exec.now(), SimTime::ZERO);
+        // Self-clocked run has nothing left: the 1000 s timer is gone.
+        assert_eq!(exec.run(), 0);
+        assert_eq!(exec.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn race_is_left_biased_on_ties() {
+        let exec = AsyncExecutor::new();
+        let exec2 = exec.clone();
+        let h = exec.spawn(async move {
+            race(
+                exec2.sleep(SimDuration::from_secs(3)),
+                exec2.sleep(SimDuration::from_secs(3)),
+            )
+            .await
+        });
+        exec.run();
+        assert!(matches!(h.try_take(), Some(Either::Left(()))));
+    }
+
+    #[test]
+    fn timeout_racing_a_gate() {
+        // Satellite coverage: a timeout around Gate::wait resolves to
+        // Some(()) when the gate opens in time and None when it does
+        // not — and the expired wait deregisters cleanly.
+        let exec = AsyncExecutor::new();
+        let opened = exec.gate();
+        let never = exec.gate();
+        let exec2 = exec.clone();
+        let g1 = opened.clone();
+        let g2 = never.clone();
+        let h = exec.spawn(async move {
+            let won = timeout(&exec2, SimDuration::from_secs(10), g1.wait()).await;
+            let lost = timeout(&exec2, SimDuration::from_secs(10), g2.wait()).await;
+            (won, lost)
+        });
+        exec.run_ready();
+        exec.advance_to(SimTime::from_secs_f64(4.0));
+        opened.open();
+        exec.run_ready();
+        exec.advance_to(SimTime::from_secs_f64(20.0));
+        assert_eq!(h.try_take(), Some((Some(()), None)));
+        // Opening the dead gate later must not wake anything.
+        never.open();
+        exec.run_ready();
+        assert_eq!(exec.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn timeout_returns_payload_on_deadline_tie() {
+        let exec = AsyncExecutor::new();
+        let exec2 = exec.clone();
+        let h = exec.spawn(async move {
+            timeout(
+                &exec2,
+                SimDuration::from_secs(5),
+                exec2.sleep(SimDuration::from_secs(5)),
+            )
+            .await
+        });
+        exec.run();
+        assert_eq!(h.try_take(), Some(Some(())));
     }
 
     #[test]

@@ -26,6 +26,21 @@ if [[ -n "${UPDATE_GOLDENS:-}" ]]; then
     exit 1
 fi
 
+echo "== structural gate (serverful env stays modular) =="
+# The env monolith was broken up when the orchestration core moved onto
+# kernel futures; keep it that way. No serverful source file may grow
+# past 1,200 lines, and the deleted hand-rolled monitor machinery
+# (Route::Poll, MonitorState) must not reappear.
+oversized=$(find crates/serverful/src -name '*.rs' \
+    | xargs wc -l | awk '$2 != "total" && $1 > 1200 {print $2 " (" $1 " lines)"}')
+[[ -z "$oversized" ]] \
+    || { echo "serverful source over the 1,200-line ceiling:"; \
+         echo "$oversized"; exit 1; } >&2
+if grep -rn "Route::Poll\b\|MonitorState" crates/serverful/src; then
+    echo "hand-rolled monitor machinery (Route::Poll / MonitorState) is back" >&2
+    exit 1
+fi
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -48,8 +63,8 @@ echo "== doctests (count-gated) =="
 # sync when examples are deliberately added or removed.
 cargo test --workspace --doc -q | tee /tmp/doctests.txt
 doctests=$(grep -Eo '[0-9]+ passed' /tmp/doctests.txt | awk '{s+=$1} END {print s}')
-[[ "${doctests:-0}" -ge 44 ]] \
-    || { echo "doctest count dropped to ${doctests:-0} (floor 44)" >&2; exit 1; }
+[[ "${doctests:-0}" -ge 47 ]] \
+    || { echo "doctest count dropped to ${doctests:-0} (floor 47)" >&2; exit 1; }
 
 echo "== tests (debug, incl. fast goldens) =="
 cargo test --workspace -q
